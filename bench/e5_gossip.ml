@@ -1,0 +1,83 @@
+(* E5 — Gossip dissemination at scale (§4.2, lpbcast [EGH+01]).
+
+   DACE's scalable protocol end: delivery ratio and message cost of
+   gossip as a function of fanout and system size, on a 20%-lossy
+   network, against reliable flooding (whose cost is quadratic in the
+   group size) as the strong-guarantee reference. *)
+
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Membership = Tpbs_group.Membership
+module Gossip = Tpbs_group.Gossip
+module Rbcast = Tpbs_group.Rbcast
+module Rng = Tpbs_sim.Rng
+
+let events = 5
+let loss = 0.2
+
+let run_gossip ~n ~fanout =
+  let engine = Engine.create ~seed:(1000 + n + fanout) () in
+  let net = Net.create ~config:{ Net.default_config with loss } engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let count = ref 0 in
+  let rng = Rng.create 3 in
+  let protos =
+    Array.map
+      (fun me ->
+        let seed_view =
+          List.map (fun k -> nodes.(k)) (Rng.sample_without_replacement rng 4 n)
+        in
+        Gossip.attach
+          ~config:{ Gossip.default_config with fanout }
+          group ~me ~name:"e5" ~seed_view
+          ~deliver:(fun ~origin:_ _ -> incr count))
+      nodes
+  in
+  for i = 1 to events do
+    Gossip.bcast protos.(i mod n) (Printf.sprintf "event-%d" i)
+  done;
+  Engine.run ~until:240_000 engine;
+  Array.iter Gossip.stop protos;
+  Engine.run engine;
+  let s = Net.stats net in
+  ( float_of_int !count /. float_of_int (n * events),
+    float_of_int s.Net.sent /. float_of_int events )
+
+let run_flooding ~n =
+  let engine = Engine.create ~seed:(2000 + n) () in
+  let net = Net.create ~config:{ Net.default_config with loss } engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let count = ref 0 in
+  let protos =
+    Array.map
+      (fun me ->
+        Rbcast.attach group ~me ~name:"e5r" ~deliver:(fun ~origin:_ _ ->
+            incr count))
+      nodes
+  in
+  for i = 1 to events do
+    Rbcast.bcast protos.(i mod n) (Printf.sprintf "event-%d" i)
+  done;
+  Engine.run engine;
+  let s = Net.stats net in
+  ( float_of_int !count /. float_of_int (n * events),
+    float_of_int s.Net.sent /. float_of_int events )
+
+let run () =
+  Workload.table_header
+    (Printf.sprintf "E5  gossip delivery ratio vs fanout and size (%.0f%% loss)"
+       (100. *. loss))
+    [ "nodes"; "fanout"; "delivery"; "msgs/event" ];
+  List.iter
+    (fun n ->
+      List.iter
+        (fun fanout ->
+          let ratio, msgs = run_gossip ~n ~fanout in
+          Fmt.pr "%5d  %6d  %7.1f%%  %10.0f@." n fanout (100. *. ratio) msgs)
+        [ 1; 2; 3; 4; 6 ];
+      let ratio, msgs = run_flooding ~n in
+      Fmt.pr "%5d  %6s  %7.1f%%  %10.0f   (reliable flooding reference)@." n
+        "flood" (100. *. ratio) msgs)
+    [ 25; 50; 100; 200 ]

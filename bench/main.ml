@@ -1,0 +1,26 @@
+(* Experiment harness: regenerates every table of EXPERIMENTS.md.
+
+   dune exec bench/main.exe            -- run everything
+   dune exec bench/main.exe -- e3 e5   -- selected experiments *)
+
+let experiments =
+  [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
+    "e4", E4_remote_filtering.run; "e5", E5_gossip.run; "e6", E6_rmi.run;
+    "e7", E7_paradigms.run; "e8", E8_dgc.run; "e9", E9_threading.run;
+    "e10", E10_psc.run; "ablations", A1_ablations.run; "micro", Micro.run ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt (String.lowercase_ascii name) experiments with
+      | Some run -> run ()
+      | None ->
+          Fmt.epr "unknown experiment %s (known: %s)@." name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

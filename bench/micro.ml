@@ -1,0 +1,96 @@
+(* Bechamel micro-benchmarks: per-operation costs of the core data
+   paths. One Test.make per row. *)
+
+open Bechamel
+open Toolkit
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Registry = Tpbs_types.Registry
+module Obvent = Tpbs_obvent.Obvent
+module Expr = Tpbs_filter.Expr
+module Rfilter = Tpbs_filter.Rfilter
+module Factored = Tpbs_filter.Factored
+module Vclock = Tpbs_group.Vclock
+module Rng = Tpbs_sim.Rng
+module Topics = Tpbs_baselines.Topics
+
+let tests () =
+  let reg = Workload.registry () in
+  let rng = Rng.create 1 in
+  let event = Workload.random_event reg rng ~cls:"StockQuote" () in
+  let value = Obvent.to_value event in
+  let bytes = Codec.encode value in
+  let filter =
+    Expr.(
+      getter [ "getPrice" ] <. float 100.
+      &&& Binop (Contains, getter [ "getCompany" ], str "Telco"))
+  in
+  let rf = Option.get (Rfilter.of_expr ~env:[] ~param:"StockQuote" filter) in
+  let factored_1000 = Factored.create () in
+  List.iteri
+    (fun i rf -> Factored.add factored_1000 ~id:i rf)
+    (List.filter_map
+       (Rfilter.of_expr ~env:[] ~param:"StockQuote")
+       (Workload.filter_population rng ~n:1000 ~redundancy:0.5 ~pool:50));
+  let vc1 = Vclock.create 32 and vc2 = Vclock.create 32 in
+  for i = 0 to 31 do
+    if i mod 2 = 0 then Vclock.tick vc1 i else Vclock.tick vc2 i
+  done;
+  let topics = Topics.create () in
+  for i = 0 to 999 do
+    Topics.subscribe topics
+      ~topic:(Printf.sprintf "stocks/s%d" (i mod 50))
+      i
+  done;
+  [ Test.make ~name:"codec: encode obvent"
+      (Staged.stage (fun () -> ignore (Codec.encode value)));
+    Test.make ~name:"codec: decode obvent"
+      (Staged.stage (fun () -> ignore (Codec.decode bytes)));
+    Test.make ~name:"obvent: clone (serialize+deserialize)"
+      (Staged.stage (fun () -> ignore (Obvent.clone reg event)));
+    Test.make ~name:"registry: subtype check"
+      (Staged.stage (fun () ->
+           ignore (Registry.subtype reg "SpotPrice" "Obvent")));
+    Test.make ~name:"filter: interpreted eval"
+      (Staged.stage (fun () ->
+           ignore (Expr.eval_bool reg ~env:[] ~arg:event filter)));
+    Test.make ~name:"filter: remote-filter eval"
+      (Staged.stage (fun () -> ignore (Rfilter.matches_obvent rf event)));
+    Test.make ~name:"filter: factored match (1000 subs)"
+      (Staged.stage (fun () ->
+           ignore (Factored.matches factored_1000 value)));
+    Test.make ~name:"vclock: merge (32 ranks)"
+      (Staged.stage (fun () ->
+           let c = Vclock.copy vc1 in
+           Vclock.merge c vc2));
+    Test.make ~name:"topics: match (1000 subs)"
+      (Staged.stage (fun () -> ignore (Topics.publish topics ~topic:"stocks/s7")))
+  ]
+
+let run () =
+  Fmt.pr "@.== micro-benchmarks (Bechamel, ns/op) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()))
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* Print estimates sorted by name. *)
+  (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> Fmt.pr "(no results)@."
+  | Some tbl ->
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             match Analyze.OLS.estimates ols with
+             | Some [ est ] -> Fmt.pr "%-45s %12.1f@." name est
+             | _ -> Fmt.pr "%-45s %12s@." name "n/a"))

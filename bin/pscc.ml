@@ -1,0 +1,128 @@
+(* pscc — the precompiler/driver for Java_ps programs, the counterpart
+   of the paper's psc (§4.1): check a program, show the adapter plan
+   the precompiler would generate, or run the program on the simulated
+   DACE deployment. *)
+
+module Compile = Tpbs_psc.Compile
+module Interp = Tpbs_psc.Interp
+module Pparser = Tpbs_psc.Pparser
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  match Compile.compile_string (read_file path) with
+  | compiled -> Ok compiled
+  | exception Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+  | exception Pparser.Parse_error (pos, msg) ->
+      Error
+        (Fmt.str "parse error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg)
+  | exception Tpbs_filter.Lexer.Lex_error (pos, msg) ->
+      Error (Fmt.str "lex error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg)
+  | exception Sys_error msg -> Error msg
+
+open Cmdliner
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM.javaps")
+
+let check_cmd =
+  let run file =
+    match load file with
+    | Ok compiled ->
+        Fmt.pr "%s: %d types, %d subscriptions, %d publish statements — OK@."
+          file
+          (List.length compiled.Compile.adapters)
+          (List.length compiled.Compile.sub_plans)
+          (List.length compiled.Compile.publish_types);
+        0
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Typecheck a Java_ps program (LP1).")
+    Term.(const run $ file_arg)
+
+let plan_cmd =
+  let run file =
+    match load file with
+    | Ok compiled ->
+        Fmt.pr "%a@." Compile.pp_plan compiled;
+        0
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Show the precompilation plan: generated adapters and the \
+          RemoteFilter/LocalFilter classification of every subscription \
+          (§4.4).")
+    Term.(const run $ file_arg)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "horizon" ] ~doc:"Stop the simulation at this virtual time.")
+
+let broker_arg =
+  Arg.(
+    value & flag
+    & info [ "broker" ]
+        ~doc:"Route unreliable traffic through a dedicated filtering host.")
+
+let run_cmd =
+  let run file seed horizon broker =
+    match load file with
+    | Ok compiled ->
+        let result = Interp.run ~seed ?horizon ~broker compiled in
+        Fmt.pr "%a" Interp.pp_trace result.Interp.trace;
+        let s = result.Interp.stats in
+        Fmt.pr
+          "-- %d published, %d delivered, %d filtered out, %d expired@."
+          s.Tpbs_core.Pubsub.Domain.published
+          s.Tpbs_core.Pubsub.Domain.deliveries
+          s.Tpbs_core.Pubsub.Domain.filtered_out
+          s.Tpbs_core.Pubsub.Domain.expired;
+        0
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a Java_ps program on the simulated deployment.")
+    Term.(const run $ file_arg $ seed_arg $ horizon_arg $ broker_arg)
+
+let edl_cmd =
+  let run file =
+    match load file with
+    | Ok compiled ->
+        Fmt.pr "%s" (Tpbs_psc.Edl.export compiled.Compile.registry);
+        0
+    | Error msg ->
+        Fmt.epr "%s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "edl"
+       ~doc:
+         "Export the program's obvent types as an EDL schema (§5.6) — a           Java_ps declaration file another deployment can import.")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "precompiler and runner for Java_ps publish/subscribe programs" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "pscc" ~version:"1.0.0" ~doc)
+          [ check_cmd; plan_cmd; run_cmd; edl_cmd ]))

@@ -1,0 +1,78 @@
+(* Large-scale dissemination: a newsroom feeding 120 reader nodes.
+
+   DACE maps obvent classes to dissemination channels and can back
+   them with protocols "with weaker guarantees but strong focus on
+   scalability" (§4.2) — here lpbcast-style gossip. The example
+   publishes breaking news over (a) plain best-effort datagrams and
+   (b) the gossip channel, on a lossy network, and compares delivery
+   ratios and message cost.
+
+   Run with:  dune exec examples/newsroom_gossip.exe *)
+
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Value = Tpbs_serial.Value
+module Obvent = Tpbs_obvent.Obvent
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Pubsub = Tpbs_core.Pubsub
+module Fspec = Tpbs_core.Fspec
+
+let readers = 120
+let stories = 10
+let loss = 0.20
+
+let declare_types reg =
+  Registry.declare_class reg ~name:"News" ~implements:[ "Obvent" ]
+    ~attrs:[ "desk", Vtype.Tstring; "headline", Vtype.Tstring ]
+    ();
+  Registry.declare_class reg ~name:"Breaking" ~extends:"News" ()
+
+let run_once ~gossip =
+  let reg = Registry.create () in
+  declare_types reg;
+  let engine = Engine.create ~seed:99 () in
+  let net = Net.create ~config:{ Net.default_config with loss } engine in
+  let domain = Pubsub.Domain.create reg net in
+  if gossip then
+    Pubsub.Domain.use_gossip domain ~cls:"Breaking"
+      ~config:{ Tpbs_group.Gossip.default_config with fanout = 4 }
+      ();
+  let newsroom = Pubsub.Process.create domain (Net.add_node net) in
+  let reader_procs =
+    Array.init readers (fun _ -> Pubsub.Process.create domain (Net.add_node net))
+  in
+  let received = ref 0 in
+  Array.iter
+    (fun p ->
+      let s =
+        Pubsub.Process.subscribe p ~param:"News"
+          ~filter:(Fspec.of_source ~param:"n" "n.getDesk() == \"world\"")
+          (fun _ -> incr received)
+      in
+      Pubsub.Subscription.activate s)
+    reader_procs;
+  for i = 1 to stories do
+    Pubsub.Process.publish newsroom
+      (Obvent.make reg "Breaking"
+         [ "desk", Value.Str "world";
+           "headline", Value.Str (Printf.sprintf "story %d" i) ])
+  done;
+  Engine.run ~until:300_000 engine;
+  let ratio = float_of_int !received /. float_of_int (readers * stories) in
+  let s = Net.stats net in
+  ratio, s.Net.sent, s.Net.bytes_sent
+
+let () =
+  Fmt.pr "newsroom: %d readers, %d stories, %.0f%% message loss@.@." readers
+    stories (100. *. loss);
+  let ratio_be, msgs_be, bytes_be = run_once ~gossip:false in
+  let ratio_go, msgs_go, bytes_go = run_once ~gossip:true in
+  Fmt.pr "%-12s %12s %12s %14s@." "transport" "delivery" "messages" "bytes";
+  Fmt.pr "%-12s %11.1f%% %12d %14d@." "best-effort" (100. *. ratio_be) msgs_be
+    bytes_be;
+  Fmt.pr "%-12s %11.1f%% %12d %14d@." "gossip" (100. *. ratio_go) msgs_go
+    bytes_go;
+  Fmt.pr
+    "@.gossip trades extra messages for loss-resilient delivery — the@.\
+     scalable end of DACE's protocol spectrum (§4.2, [EGH+01]).@."

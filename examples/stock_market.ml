@@ -1,0 +1,148 @@
+(* The paper's running example, end to end (Figs. 1, 2 and 8):
+
+   - the stock market publishes quotes over type-based pub/sub;
+   - brokers subscribe with content filters (without breaking the
+     obvents' encapsulation — only getters are used);
+   - a bank subscribes to the abstract type StockObvent and therefore
+     sees the whole hierarchy: quotes AND purchase requests;
+   - quotes carry a remote reference to the market, and a broker buys
+     back through RMI — publish/subscribe and remote invocation "hand
+     in hand" (§5.4).
+
+   Run with:  dune exec examples/stock_market.exe *)
+
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Value = Tpbs_serial.Value
+module Obvent = Tpbs_obvent.Obvent
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Rmi = Tpbs_rmi.Rmi
+module Pubsub = Tpbs_core.Pubsub
+module Fspec = Tpbs_core.Fspec
+
+let declare_types reg =
+  (* Fig. 1's hierarchy, with quotes carrying the market reference as
+     in Fig. 8. *)
+  Registry.declare_class reg ~name:"StockObvent" ~implements:[ "Obvent" ]
+    ~attrs:
+      [ "company", Vtype.Tstring; "price", Vtype.Tfloat; "amount", Vtype.Tint ]
+    ();
+  Registry.declare_class reg ~name:"StockQuote" ~extends:"StockObvent"
+    ~attrs:[ "market", Vtype.Tremote "StockMarket" ]
+    ();
+  Registry.declare_class reg ~name:"StockRequest" ~extends:"StockObvent" ();
+  Registry.declare_class reg ~name:"SpotPrice" ~extends:"StockRequest" ();
+  Registry.declare_class reg ~name:"MarketPrice" ~extends:"StockRequest"
+    ~attrs:[ "expiry", Vtype.Tint ]
+    ()
+
+let () =
+  let reg = Registry.create () in
+  declare_types reg;
+  let engine = Engine.create ~seed:2024 () in
+  let net = Net.create engine in
+  let domain = Pubsub.Domain.create reg net in
+
+  (* Address spaces: the market (p1), a broker (p2), the bank (p3). *)
+  let market_node = Net.add_node net in
+  let broker_node = Net.add_node net in
+  let bank_node = Net.add_node net in
+  let market_rmi = Rmi.attach net ~me:market_node in
+  let broker_rmi = Rmi.attach net ~me:broker_node in
+  let bank_rmi = Rmi.attach net ~me:bank_node in
+  let p1 = Pubsub.Process.create domain ~rmi:market_rmi market_node in
+  let p2 = Pubsub.Process.create domain ~rmi:broker_rmi broker_node in
+  let p3 = Pubsub.Process.create domain ~rmi:bank_rmi bank_node in
+
+  (* The market's bound object: remotely invocable purchases. *)
+  let sales = ref [] in
+  let market_ref =
+    Rmi.export market_rmi ~iface:"StockMarket" (fun ~meth ~args ->
+        match meth, args with
+        | "buy", [ Value.Str company; Value.Float price; Value.Int amount ] ->
+            sales := (company, price, amount) :: !sales;
+            Value.Bool true
+        | _ -> raise (Rmi.App_error "no such method"))
+  in
+
+  (* p2, the broker: cheap Telco quotes, bought back through RMI
+     (Fig. 8's subscription verbatim, plus the buy). *)
+  let sub_broker =
+    Pubsub.Process.subscribe p2 ~param:"StockQuote"
+      ~filter:
+        (Fspec.of_source ~param:"q"
+           "q.getPrice() < 100 && q.getCompany().indexOf(\"Telco\") != -1")
+      (fun q ->
+        Fmt.pr "[t=%6d] broker: offer %a at %a — buying via RMI@."
+          (Engine.now engine) Value.pp (Obvent.get q "company") Value.pp
+          (Obvent.get q "price");
+        Rmi.invoke broker_rmi (Obvent.get q "market") ~meth:"buy"
+          ~args:
+            [ Obvent.get q "company"; Obvent.get q "price";
+              Obvent.get q "amount" ]
+          ~k:(fun result ->
+            match result with
+            | Ok (Value.Bool bought) ->
+                Fmt.pr "[t=%6d] broker: purchase %s@." (Engine.now engine)
+                  (if bought then "confirmed" else "rejected")
+            | Ok v ->
+                Fmt.pr "[t=%6d] broker: odd reply %a@." (Engine.now engine)
+                  Value.pp v
+            | Error e ->
+                Fmt.pr "[t=%6d] broker: buy failed (%a)@." (Engine.now engine)
+                  Rmi.pp_error e))
+  in
+  Pubsub.Subscription.activate sub_broker;
+
+  (* p3, the bank: subscribes to the abstract type and sees the whole
+     hierarchy; it converts expiring MarketPrice requests into
+     SpotPrice requests on behalf of its customers (the intermediary
+     role described in §2.1.3). *)
+  let sub_bank =
+    Pubsub.Process.subscribe p3 ~param:"StockObvent" (fun o ->
+        Fmt.pr "[t=%6d] bank  : observed %s (%a)@." (Engine.now engine)
+          (Obvent.cls o) Value.pp (Obvent.get o "company");
+        if Obvent.cls o = "MarketPrice" then begin
+          let spot =
+            Obvent.make reg "SpotPrice"
+              [ "company", Obvent.get o "company";
+                "price", Obvent.get o "price"; "amount", Obvent.get o "amount" ]
+          in
+          Fmt.pr "[t=%6d] bank  : converting to spot request@."
+            (Engine.now engine);
+          Pubsub.Process.publish p3 spot
+        end)
+  in
+  Pubsub.Subscription.activate sub_bank;
+
+  (* The market publishes quotes; the broker publishes a market-price
+     request the bank converts. *)
+  let quote company price =
+    Obvent.make reg "StockQuote"
+      [ "company", Value.Str company; "price", Value.Float price;
+        "amount", Value.Int 10; "market", market_ref ]
+  in
+  Pubsub.Process.publish p1 (quote "Telco Mobiles" 80.);
+  Pubsub.Process.publish p1 (quote "Acme Corp" 60.);
+  Pubsub.Process.publish p1 (quote "Telco Fixnet" 120.);
+  Pubsub.Process.publish p2
+    (Obvent.make reg "MarketPrice"
+       [ "company", Value.Str "Octopus"; "price", Value.Float 42.;
+         "amount", Value.Int 7; "expiry", Value.Int 100_000 ]);
+
+  Engine.run engine;
+
+  Fmt.pr "@.-- market executed %d sale(s)@." (List.length !sales);
+  List.iter
+    (fun (company, price, amount) ->
+      Fmt.pr "   sold %d x %s at %.2f@." amount company price)
+    (List.rev !sales);
+  let stats = Pubsub.Domain.stats domain in
+  Fmt.pr "-- published %d, delivered %d, filtered out %d@."
+    stats.Pubsub.Domain.published stats.Pubsub.Domain.deliveries
+    stats.Pubsub.Domain.filtered_out;
+  (* Every subscriber's copy of a quote created a proxy for the market
+     object — the DGC pressure discussed in §5.4.2. *)
+  Fmt.pr "-- market objects still pinned by remote proxies: %d@."
+    (Rmi.pinned market_rmi)

@@ -1,0 +1,144 @@
+module Value = Tpbs_serial.Value
+
+type op = Eq | Ne | Lt | Le | Gt | Ge | Contains | Prefix
+
+type constraint_ = { attr : string; op : op; const : Value.t }
+
+type event = (string * Value.t) list
+
+type t = {
+  subs : (int, constraint_ list) Hashtbl.t;
+  (* counting index: attribute -> constraints mentioning it *)
+  by_attr : (string, (constraint_ * int) list ref) Hashtbl.t;
+  sizes : (int, int) Hashtbl.t;
+}
+
+let create () =
+  { subs = Hashtbl.create 64; by_attr = Hashtbl.create 64;
+    sizes = Hashtbl.create 64 }
+
+let num = function
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | _ -> None
+
+let is_substring ~needle hay =
+  let nn = String.length needle and hn = String.length hay in
+  nn = 0
+  ||
+  let found = ref false in
+  (try
+     for i = 0 to hn - nn do
+       if String.sub hay i nn = needle then begin
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let satisfied (c : constraint_) (v : Value.t) =
+  match c.op with
+  | Eq -> (
+      match num v, num c.const with
+      | Some a, Some b -> a = b
+      | _ -> Value.equal v c.const)
+  | Ne -> (
+      match num v, num c.const with
+      | Some a, Some b -> a <> b
+      | _ -> not (Value.equal v c.const))
+  | Lt | Le | Gt | Ge -> (
+      let cmp =
+        match num v, num c.const with
+        | Some a, Some b -> Some (Float.compare a b)
+        | _ -> (
+            match v, c.const with
+            | Value.Str a, Value.Str b -> Some (String.compare a b)
+            | _ -> None)
+      in
+      match cmp with
+      | None -> false
+      | Some r -> (
+          match c.op with
+          | Lt -> r < 0
+          | Le -> r <= 0
+          | Gt -> r > 0
+          | Ge -> r >= 0
+          | Eq | Ne | Contains | Prefix -> assert false))
+  | Contains -> (
+      match v, c.const with
+      | Value.Str s, Value.Str needle -> is_substring ~needle s
+      | _ -> false)
+  | Prefix -> (
+      match v, c.const with
+      | Value.Str s, Value.Str p ->
+          String.length p <= String.length s
+          && String.sub s 0 (String.length p) = p
+      | _ -> false)
+
+let matches_naive constraints event =
+  List.for_all
+    (fun c ->
+      match List.assoc_opt c.attr event with
+      | None -> false
+      | Some v -> satisfied c v)
+    constraints
+
+let subscribe t id constraints =
+  if Hashtbl.mem t.subs id then invalid_arg "Contentps.subscribe: duplicate id";
+  Hashtbl.replace t.subs id constraints;
+  Hashtbl.replace t.sizes id (List.length constraints);
+  List.iter
+    (fun c ->
+      let bucket =
+        match Hashtbl.find_opt t.by_attr c.attr with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.replace t.by_attr c.attr b;
+            b
+      in
+      bucket := (c, id) :: !bucket)
+    constraints
+
+let unsubscribe t id =
+  match Hashtbl.find_opt t.subs id with
+  | None -> ()
+  | Some constraints ->
+      Hashtbl.remove t.subs id;
+      Hashtbl.remove t.sizes id;
+      List.iter
+        (fun (c : constraint_) ->
+          match Hashtbl.find_opt t.by_attr c.attr with
+          | Some bucket ->
+              bucket := List.filter (fun (_, sid) -> sid <> id) !bucket
+          | None -> ())
+        constraints
+
+let matches t event =
+  (* Counting algorithm over the per-attribute index. *)
+  let counters = Hashtbl.create 32 in
+  let matched = ref [] in
+  List.iter
+    (fun (attr, v) ->
+      match Hashtbl.find_opt t.by_attr attr with
+      | None -> ()
+      | Some bucket ->
+          List.iter
+            (fun (c, sid) ->
+              if satisfied c v then begin
+                let n =
+                  1 + Option.value ~default:0 (Hashtbl.find_opt counters sid)
+                in
+                Hashtbl.replace counters sid n;
+                if n = Hashtbl.find t.sizes sid then matched := sid :: !matched
+              end)
+            !bucket)
+    event;
+  (* Empty conjunctions match everything. *)
+  Hashtbl.iter
+    (fun sid size -> if size = 0 then matched := sid :: !matched)
+    t.sizes;
+  List.sort_uniq Int.compare !matched
+
+let subscriber_count t = Hashtbl.length t.subs

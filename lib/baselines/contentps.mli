@@ -1,0 +1,36 @@
+(** Attribute–value content-based publish/subscribe, in the style the
+    paper contrasts with (CEA [BMB+00], Siena/Gryphon [CNF98, ASS+99]):
+    events are flat bags of named attributes — no encapsulation, no
+    typing of the event as an object — and subscriptions are
+    conjunctions of (attribute, operator, constant) constraints.
+
+    This is the baseline for experiment E7: it matches the same
+    workloads as the type-based engine but gives up LP1 (no static
+    checks — a predicate on a missing or mistyped attribute is just
+    false) and LP2 (the event's representation is the interface). *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge | Contains | Prefix
+
+type constraint_ = { attr : string; op : op; const : Tpbs_serial.Value.t }
+
+type event = (string * Tpbs_serial.Value.t) list
+
+type t
+
+val create : unit -> t
+
+val subscribe : t -> int -> constraint_ list -> unit
+(** Register subscriber id with a conjunction (empty = match all).
+    @raise Invalid_argument on duplicate id. *)
+
+val unsubscribe : t -> int -> unit
+
+val matches : t -> event -> int list
+(** Subscriber ids whose every constraint is satisfied, ascending.
+    Constraints on absent attributes are false. *)
+
+val matches_naive : constraint_ list -> event -> bool
+(** Reference single-subscription evaluation (used by tests and the
+    naive arm of benches). *)
+
+val subscriber_count : t -> int

@@ -1,0 +1,88 @@
+module Sset = Set.Make (Int)
+
+(* Trie over topic segments. *)
+type node = {
+  mutable exact : Sset.t;  (* subscribers to this node and subtree *)
+  mutable one_level : Sset.t;  (* trailing wildcard: one extra level *)
+  children : (string, node) Hashtbl.t;
+}
+
+type t = { root : node; mutable subscriber_count : int }
+
+let fresh_node () =
+  { exact = Sset.empty; one_level = Sset.empty; children = Hashtbl.create 4 }
+
+let create () = { root = fresh_node (); subscriber_count = 0 }
+
+let parse topic =
+  List.filter (fun s -> s <> "") (String.split_on_char '/' topic)
+
+let rec descend node segments ~make =
+  match segments with
+  | [] -> Some node
+  | seg :: rest -> (
+      match Hashtbl.find_opt node.children seg with
+      | Some child -> descend child rest ~make
+      | None ->
+          if make then begin
+            let child = fresh_node () in
+            Hashtbl.replace node.children seg child;
+            descend child rest ~make
+          end
+          else None)
+
+let split_wildcard topic =
+  let segments = parse topic in
+  match List.rev segments with
+  | "*" :: rest -> List.rev rest, true
+  | _ -> segments, false
+
+let subscribe t ~topic id =
+  let segments, wildcard = split_wildcard topic in
+  match descend t.root segments ~make:true with
+  | None -> assert false
+  | Some node ->
+      t.subscriber_count <- t.subscriber_count + 1;
+      if wildcard then node.one_level <- Sset.add id node.one_level
+      else node.exact <- Sset.add id node.exact
+
+let unsubscribe t ~topic id =
+  let segments, wildcard = split_wildcard topic in
+  match descend t.root segments ~make:false with
+  | None -> ()
+  | Some node ->
+      let before =
+        Sset.cardinal node.exact + Sset.cardinal node.one_level
+      in
+      if wildcard then node.one_level <- Sset.remove id node.one_level
+      else node.exact <- Sset.remove id node.exact;
+      let after = Sset.cardinal node.exact + Sset.cardinal node.one_level in
+      t.subscriber_count <- t.subscriber_count - (before - after)
+
+let publish t ~topic =
+  let segments = parse topic in
+  let acc = ref Sset.empty in
+  let rec walk node = function
+    | [] -> acc := Sset.union node.exact !acc
+    | [ last ] -> (
+        (* A one-level wildcard at this node matches the last segment. *)
+        acc := Sset.union node.one_level !acc;
+        acc := Sset.union node.exact !acc;
+        match Hashtbl.find_opt node.children last with
+        | Some child -> walk child []
+        | None -> ())
+    | seg :: rest -> (
+        (* Plain subscriptions match every descendant. *)
+        acc := Sset.union node.exact !acc;
+        match Hashtbl.find_opt node.children seg with
+        | Some child -> walk child rest
+        | None -> ())
+  in
+  walk t.root segments;
+  Sset.elements !acc
+
+let rec count_topics node =
+  Hashtbl.fold (fun _ child acc -> acc + count_topics child) node.children 1
+
+let topic_count t = count_topics t.root - 1 (* exclude the root *)
+let subscriber_count t = t.subscriber_count

@@ -1,0 +1,30 @@
+(** Topic-based publish/subscribe: the "original" static scheme the
+    paper contrasts type-based subscription with (§2.3.2 cites
+    [OPSS93, Ske98, AEM99, TIB99]). Topics are path-like names forming
+    a containment hierarchy, e.g. subscribing to ["stocks"] also
+    receives ["stocks/telco"] — the topic-hierarchy analogue of
+    Fig. 1's type hierarchy, but with no typing of the payload and no
+    content filtering (the limited expressiveness the paper points
+    out). Wildcard ["*"] matches one trailing level. *)
+
+type t
+(** A topic-matching engine (one filtering host's view). *)
+
+val create : unit -> t
+
+val subscribe : t -> topic:string -> int -> unit
+(** Register subscriber id under a topic pattern. A trailing ["/*"]
+    matches exactly one extra level; a plain topic matches itself and
+    every descendant. *)
+
+val unsubscribe : t -> topic:string -> int -> unit
+
+val publish : t -> topic:string -> int list
+(** Subscriber ids whose pattern matches the published topic,
+    ascending. *)
+
+val topic_count : t -> int
+val subscriber_count : t -> int
+
+val parse : string -> string list
+(** Split a topic path on ['/']; empty segments are dropped. *)

@@ -1,0 +1,100 @@
+module Value = Tpbs_serial.Value
+
+type pattern = Exact of Value.t | Formal of Value.kind | Wildcard
+type template = pattern list
+type tuple = Value.t list
+
+type waiter = {
+  w_template : template;
+  w_k : tuple -> unit;
+  w_take : bool;
+  mutable w_done : bool;
+}
+
+type t = {
+  mutable tuples : (int * tuple) list;  (* insertion order, oldest first *)
+  mutable next_stamp : int;
+  mutable waiters : waiter list;  (* registration order *)
+  notifies : (int, template * (tuple -> unit)) Hashtbl.t;
+  mutable next_notify : int;
+}
+
+let create () =
+  { tuples = []; next_stamp = 0; waiters = []; notifies = Hashtbl.create 8;
+    next_notify = 0 }
+
+let pattern_matches p v =
+  match p with
+  | Wildcard -> true
+  | Formal k -> Value.kind v = k
+  | Exact expected -> Value.equal expected v
+
+let matches template tuple =
+  List.length template = List.length tuple
+  && List.for_all2 pattern_matches template tuple
+
+let size t = List.length t.tuples
+let pending t = List.length (List.filter (fun w -> not w.w_done) t.waiters)
+
+let insert t tuple =
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  t.tuples <- t.tuples @ [ stamp, tuple ]
+
+let remove_stamp t stamp =
+  t.tuples <- List.filter (fun (s, _) -> s <> stamp) t.tuples
+
+let find_oldest t template =
+  List.find_opt (fun (_, tuple) -> matches template tuple) t.tuples
+
+let try_read t template = Option.map snd (find_oldest t template)
+
+let try_take t template =
+  match find_oldest t template with
+  | None -> None
+  | Some (stamp, tuple) ->
+      remove_stamp t stamp;
+      Some tuple
+
+let out t tuple =
+  (* Serve blocked continuations first, in registration order; a take
+     consumes the tuple and stops the scan. *)
+  let consumed = ref false in
+  List.iter
+    (fun w ->
+      if (not !consumed) && (not w.w_done) && matches w.w_template tuple then begin
+        w.w_done <- true;
+        if w.w_take then consumed := true;
+        w.w_k tuple
+      end)
+    t.waiters;
+  t.waiters <- List.filter (fun w -> not w.w_done) t.waiters;
+  if not !consumed then begin
+    insert t tuple;
+    Hashtbl.iter
+      (fun _ (template, callback) ->
+        if matches template tuple then callback tuple)
+      t.notifies
+  end
+
+let read t template ~k =
+  match try_read t template with
+  | Some tuple -> k tuple
+  | None ->
+      t.waiters <-
+        t.waiters @ [ { w_template = template; w_k = k; w_take = false; w_done = false } ]
+
+let take t template ~k =
+  match try_take t template with
+  | Some tuple -> k tuple
+  | None ->
+      t.waiters <-
+        t.waiters @ [ { w_template = template; w_k = k; w_take = true; w_done = false } ]
+
+let notify t template callback =
+  let id = t.next_notify in
+  t.next_notify <- id + 1;
+  Hashtbl.replace t.notifies id (template, callback);
+  id
+
+let cancel_notify t id = Hashtbl.remove t.notifies id

@@ -1,0 +1,61 @@
+(** A Linda tuple space [Gel85] — the spiritual ancestor the paper
+    compares publish/subscribe against (§6.3), with the classical
+    primitives and the latter-day callback extension:
+
+    - [out] pushes a tuple (cf. [publish]);
+    - [read] finds a matching tuple without removing it;
+    - [take] (Linda's [in]) withdraws a matching tuple — the
+      concurrency-control primitive publish/subscribe deliberately
+      gives up for scalability (§6.3.3);
+    - [notify] registers a callback for future [out]s, the
+      JavaSpaces/TSpaces-style pub/sub retrofit (§6.3.4).
+
+    Matching is template-based (§5.1.2's critique): a template is a
+    list of actuals (exact values) and formals (typed placeholders),
+    compared attribute-wise — nested or range matching must be
+    programmed around, which is exactly the expressiveness gap
+    experiment E7 measures. *)
+
+type pattern =
+  | Exact of Tpbs_serial.Value.t  (** actual: must be equal *)
+  | Formal of Tpbs_serial.Value.kind  (** typed placeholder *)
+  | Wildcard  (** untyped placeholder *)
+
+type template = pattern list
+
+type tuple = Tpbs_serial.Value.t list
+
+type t
+
+val create : unit -> t
+
+val out : t -> tuple -> unit
+(** Insert; pending [take]/[read] continuations and [notify]
+    registrations are served first (in registration order). *)
+
+val try_read : t -> template -> tuple option
+(** Oldest matching tuple, left in place. *)
+
+val try_take : t -> template -> tuple option
+(** Oldest matching tuple, withdrawn. *)
+
+val read : t -> template -> k:(tuple -> unit) -> unit
+(** Blocking read: [k] fires immediately if a match exists, else on a
+    future matching [out]. *)
+
+val take : t -> template -> k:(tuple -> unit) -> unit
+(** Blocking withdraw; at most one blocked [take] consumes a given
+    tuple. *)
+
+val notify : t -> template -> (tuple -> unit) -> int
+(** Persistent subscription to future matching [out]s (does not see
+    existing tuples). Returns a registration id. *)
+
+val cancel_notify : t -> int -> unit
+
+val matches : template -> tuple -> bool
+val size : t -> int
+(** Tuples currently in the space. *)
+
+val pending : t -> int
+(** Blocked read/take continuations. *)

@@ -1,0 +1,98 @@
+module Engine = Tpbs_sim.Engine
+module Obvent = Tpbs_obvent.Obvent
+
+type policy = Single | Multi of int | Class_serial
+
+type t = {
+  engine : Engine.t;
+  service_time : int;
+  mutable policy : policy;
+  handler : Obvent.t -> unit;
+  mutable queue : Obvent.t list;  (* FIFO: oldest first *)
+  mutable active : int;
+  active_classes : (string, int) Hashtbl.t;
+  mutable executed : int;
+  mutable max_overlap : int;
+  mutable peak_queue : int;
+}
+
+let create engine ?(service_time = 0) policy handler =
+  { engine; service_time; policy; handler; queue = [];
+    active = 0; active_classes = Hashtbl.create 4; executed = 0;
+    max_overlap = 0; peak_queue = 0 }
+
+let class_active t cls =
+  Option.value ~default:0 (Hashtbl.find_opt t.active_classes cls)
+
+(* Can this obvent start right now? *)
+let admissible t obvent =
+  match t.policy with
+  | Single -> t.active < 1
+  | Multi n -> t.active < max 1 n
+  | Class_serial -> class_active t (Obvent.cls obvent) < 1
+
+let rec start t obvent =
+  t.active <- t.active + 1;
+  let cls = Obvent.cls obvent in
+  Hashtbl.replace t.active_classes cls (class_active t cls + 1);
+  t.executed <- t.executed + 1;
+  if t.active > t.max_overlap then t.max_overlap <- t.active;
+  t.handler obvent;
+  Engine.schedule t.engine ~delay:t.service_time (fun () -> finish t cls)
+
+and finish t cls =
+  t.active <- t.active - 1;
+  (match class_active t cls with
+  | 1 -> Hashtbl.remove t.active_classes cls
+  | n -> Hashtbl.replace t.active_classes cls (n - 1));
+  drain t
+
+and drain t =
+  (* Start the first queued obvent the policy admits; under
+     Class_serial later obvents of other classes may overtake a
+     blocked head, preserving per-class order. *)
+  let rec pick seen = function
+    | [] -> None
+    | o :: rest ->
+        if
+          admissible t o
+          && (t.policy <> Class_serial
+             || not (List.exists (fun s -> Obvent.cls s = Obvent.cls o) seen))
+        then Some (o, List.rev_append seen rest)
+        else pick (o :: seen) rest
+  in
+  match pick [] t.queue with
+  | None -> ()
+  | Some (next, rest) ->
+      t.queue <- rest;
+      start t next;
+      drain t
+
+let submit t obvent =
+  (* Fairness: queued work goes first. *)
+  let blocked_predecessor =
+    t.policy = Class_serial
+    && List.exists (fun o -> Obvent.cls o = Obvent.cls obvent) t.queue
+  in
+  if t.queue = [] && admissible t obvent && not blocked_predecessor then
+    start t obvent
+  else begin
+    t.queue <- t.queue @ [ obvent ];
+    if List.length t.queue > t.peak_queue then
+      t.peak_queue <- List.length t.queue;
+    drain t
+  end
+
+let set_policy t policy =
+  t.policy <- policy;
+  drain t
+
+let policy t = t.policy
+
+type stats = { executed : int; max_overlap : int; peak_queue : int }
+
+let stats (t : t) =
+  { executed = t.executed; max_overlap = t.max_overlap;
+    peak_queue = t.peak_queue }
+
+let in_flight t = t.active

@@ -1,0 +1,9 @@
+exception Cannot_publish of string
+exception Cannot_subscribe of string
+exception Cannot_unsubscribe of string
+
+let cannot_publish fmt = Fmt.kstr (fun s -> raise (Cannot_publish s)) fmt
+let cannot_subscribe fmt = Fmt.kstr (fun s -> raise (Cannot_subscribe s)) fmt
+
+let cannot_unsubscribe fmt =
+  Fmt.kstr (fun s -> raise (Cannot_unsubscribe s)) fmt

@@ -1,0 +1,14 @@
+(** The notification exceptions of package [java.pubsub] (Fig. 3). *)
+
+exception Cannot_publish of string
+(** Problems transmitting an obvent (§3.2). *)
+
+exception Cannot_subscribe of string
+(** Subscription cannot be issued — e.g. already activated (§3.4.1). *)
+
+exception Cannot_unsubscribe of string
+(** Unsubscription cannot be issued — e.g. not activated (§3.4.2). *)
+
+val cannot_publish : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val cannot_subscribe : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val cannot_unsubscribe : ('a, Format.formatter, unit, 'b) format4 -> 'a

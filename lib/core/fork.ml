@@ -1,0 +1,16 @@
+type verdict = Continue | Cancel
+
+let subscribe process ~param ?filter handler =
+  let handle = ref None in
+  let wrapped obvent =
+    match handler obvent with
+    | Continue -> ()
+    | Cancel -> (
+        match !handle with
+        | Some s when Pubsub.Subscription.is_active s ->
+            Pubsub.Subscription.deactivate s
+        | Some _ | None -> ())
+  in
+  let s = Pubsub.Process.subscribe process ~param ?filter wrapped in
+  handle := Some s;
+  Pubsub.Subscription.activate s

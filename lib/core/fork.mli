@@ -1,0 +1,23 @@
+(** The fork-style subscription alternative (§5.1).
+
+    The paper explores a [fork]-like primitive where the subscription
+    is not reified as a handle: the handler itself decides after each
+    notification whether the subscription "is to be pursued". The
+    paper rejects this as the {e only} mechanism (a subscription could
+    then be cancelled only after one more event) but notes the pattern
+    "can be desirable in many cases" — so it is offered here as sugar
+    over the real engine, with exactly the §5.1 semantics: no handle
+    escapes, and cancellation happens from inside. *)
+
+type verdict = Continue | Cancel
+
+val subscribe :
+  Pubsub.Process.t ->
+  param:string ->
+  ?filter:Fspec.t ->
+  (Tpbs_obvent.Obvent.t -> verdict) ->
+  unit
+(** Subscribe and activate immediately; when the handler returns
+    [Cancel], the subscription deactivates itself (after that event,
+    as §5.1 describes — the restriction the paper criticizes).
+    @raise Errors.Cannot_subscribe as {!Pubsub.Process.subscribe}. *)

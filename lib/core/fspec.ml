@@ -1,0 +1,24 @@
+module Expr = Tpbs_filter.Expr
+module Obvent = Tpbs_obvent.Obvent
+
+type t =
+  | Accept_all
+  | Tree of Expr.t * Expr.env
+  | Closure of (Obvent.t -> bool)
+
+let accept_all = Accept_all
+let tree ?(env = []) e = Tree (e, env)
+
+let of_source ?(env = []) ~param src =
+  Tree (Tpbs_filter.Parser.expr_of_string ~param src, env)
+
+let closure f = Closure f
+
+let matches reg spec obvent =
+  match spec with
+  | Accept_all -> true
+  | Tree (e, env) -> (
+      match Expr.eval_bool reg ~env ~arg:obvent e with
+      | b -> b
+      | exception Expr.Eval_error _ -> false)
+  | Closure f -> ( match f obvent with b -> b | exception _ -> false)

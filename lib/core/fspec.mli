@@ -1,0 +1,34 @@
+(** Filter specifications: what the application hands to [subscribe].
+
+    The paper distinguishes filters the precompiler can lift into
+    remote-filter trees (conforming to §3.3.4) from those it must
+    apply locally. We mirror this: a [Tree] filter is deferred code —
+    an expression AST plus the captured final variables — which the
+    engine typechecks, classifies for mobility, normalizes and, when
+    possible, ships to filtering hosts; a [Closure] is an arbitrary
+    OCaml predicate, always applied at the subscriber (the analogue of
+    opaque Java code). *)
+
+type t =
+  | Accept_all
+      (** the [{ return true; }] idiom of §2.3.2 — subscribe to every
+          instance of the type *)
+  | Tree of Tpbs_filter.Expr.t * Tpbs_filter.Expr.env
+      (** deferred code: body and captured final variables *)
+  | Closure of (Tpbs_obvent.Obvent.t -> bool)
+      (** opaque predicate, local-only *)
+
+val accept_all : t
+val tree : ?env:Tpbs_filter.Expr.env -> Tpbs_filter.Expr.t -> t
+
+val of_source : ?env:Tpbs_filter.Expr.env -> param:string -> string -> t
+(** Parse Java_ps filter syntax, e.g.
+    [of_source ~param:"q" "q.getPrice() < 100"].
+    @raise Tpbs_filter.Parser.Parse_error on syntax errors. *)
+
+val closure : (Tpbs_obvent.Obvent.t -> bool) -> t
+
+val matches :
+  Tpbs_types.Registry.t -> t -> Tpbs_obvent.Obvent.t -> bool
+(** Evaluate at the subscriber. A filter that raises is treated as
+    non-matching, like an exception escaping a predicate. *)

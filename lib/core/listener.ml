@@ -1,0 +1,23 @@
+module Obvent = Tpbs_obvent.Obvent
+
+type notifiable = { notify : Obvent.t -> unit }
+type registration = { sub : Pubsub.Subscription.t }
+
+let register process ~param ?filter notifiable =
+  let sub =
+    Pubsub.Process.subscribe process ~param ?filter notifiable.notify
+  in
+  Pubsub.Subscription.activate sub;
+  { sub }
+
+let unregister r = Pubsub.Subscription.deactivate r.sub
+let subscription r = r.sub
+
+let dispatch_by_class cases ~default =
+  {
+    notify =
+      (fun o ->
+        match List.assoc_opt (Obvent.cls o) cases with
+        | Some handler -> handler o
+        | None -> default o);
+  }

@@ -1,0 +1,47 @@
+(** The callback/listener alternative (§5.2).
+
+    "Nearly all Java APIs for common publish/subscribe engines"
+    register a listener object with a weakly typed
+    [notify(Obvent o)] method. The paper's criticism is precisely the
+    weak typing: the listener receives the {e root} type and must
+    downcast, so mistakes surface at run time, not compile time (LP1
+    lost) — and one listener registered for several types must
+    dispatch by hand (the multi-method discussion of §5.2.2).
+
+    This module makes that style available so the comparison is
+    executable: a notifiable is a single object, registrations attach
+    it to types, and its [notify] sees every obvent as the root
+    type. *)
+
+type notifiable = { notify : Tpbs_obvent.Obvent.t -> unit }
+(** The [Notifiable] interface of Fig. 7: one weakly typed callback.
+    Downcasting is the application's problem, exactly as criticized. *)
+
+type registration
+
+val register :
+  Pubsub.Process.t ->
+  param:string ->
+  ?filter:Fspec.t ->
+  notifiable ->
+  registration
+(** [subscribe (T t) { filter } n] with an explicit listener
+    (§5.2.1). The same notifiable may be registered for several types
+    — each registration is a separate subscription underneath, so "is
+    the same event delivered several times?" (§5.2.2) answers: once
+    per registration, like separate subscriptions.
+    @raise Errors.Cannot_subscribe as {!Pubsub.Process.subscribe}. *)
+
+val unregister : registration -> unit
+(** @raise Errors.Cannot_unsubscribe if already unregistered. *)
+
+val subscription : registration -> Pubsub.Subscription.t
+(** The underlying handle (thread policies etc. remain available). *)
+
+val dispatch_by_class :
+  (string * (Tpbs_obvent.Obvent.t -> unit)) list ->
+  default:(Tpbs_obvent.Obvent.t -> unit) ->
+  notifiable
+(** The hand-written dispatch §5.2.2 says Java forces on you in the
+    absence of multi-methods: route by the obvent's dynamic class
+    name. *)

@@ -1,0 +1,764 @@
+module Registry = Tpbs_types.Registry
+module Qos = Tpbs_types.Qos
+module Vtype = Tpbs_types.Vtype
+module Obvent = Tpbs_obvent.Obvent
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Net = Tpbs_sim.Net
+module Engine = Tpbs_sim.Engine
+module Stable = Tpbs_sim.Stable
+module Metric = Tpbs_sim.Metric
+module Rng = Tpbs_sim.Rng
+module Membership = Tpbs_group.Membership
+module Best_effort = Tpbs_group.Best_effort
+module Rbcast = Tpbs_group.Rbcast
+module Fifo = Tpbs_group.Fifo
+module Causal = Tpbs_group.Causal
+module Total = Tpbs_group.Total
+module Certified = Tpbs_group.Certified
+module Gossip = Tpbs_group.Gossip
+module Rfilter = Tpbs_filter.Rfilter
+module Mobility = Tpbs_filter.Mobility
+module Factored = Tpbs_filter.Factored
+module Typecheck = Tpbs_filter.Typecheck
+
+let pub_port = "psb:pub"
+let ctl_port = "psb:ctl"
+let del_port = "psb:del"
+
+type proto =
+  | P_best of Best_effort.t
+  | P_rel of Rbcast.t
+  | P_fifo of Fifo.t
+  | P_causal of Causal.t
+  | P_total of Total.t
+  | P_cert of Certified.t
+  | P_gossip of Gossip.t
+  | P_broker  (* plain unreliable, routed through the filtering host *)
+
+type tx_entry = {
+  tx_cls : string;
+  tx_envelope : string;
+  tx_prio : int;
+  tx_birth : int option;
+  tx_ttl : int option;
+  tx_seq : int;
+}
+
+type subscription = {
+  sid : int;
+  sub_process : process;
+  param : string;
+  filter : Fspec.t;
+  rfilter : Rfilter.t option;  (* liftable + mobile: goes to the broker *)
+  dispatch : Dispatch.t;
+  mutable active : bool;
+  mutable durable : int option;
+  mutable delivered : int;
+}
+
+and process = {
+  dom : domain;
+  node : Net.node_id;
+  rmi : Tpbs_rmi.Rmi.runtime option;
+  cert_storage : Stable.t;
+  channels : (string, proto) Hashtbl.t;
+  mutable subs : subscription list;
+  mutable txq : tx_entry list;
+  mutable tx_armed : bool;
+  mutable tx_next_seq : int;
+  interest : (Net.node_id * string, unit) Hashtbl.t;
+      (* (node, subscribed type) pairs learned from the meta channel:
+         this process's local view of who wants what *)
+}
+
+and channel_meta = {
+  profile : Qos.profile;
+  members : Membership.t;
+  gossip_config : Gossip.config option;
+}
+
+and broker_sub = { b_node : Net.node_id; b_param : string; b_always : bool }
+
+and broker_state = {
+  b_process : process;
+  factored : Factored.t;
+  broker_subs : (int, broker_sub) Hashtbl.t;
+}
+
+and domain = {
+  registry : Registry.t;
+  net : Net.t;
+  tx_interval : int;
+  rng : Rng.t;
+  mutable processes : process list;  (* creation order *)
+  channel_meta : (string, channel_meta) Hashtbl.t;
+  gossip_overrides : (string, Gossip.config) Hashtbl.t;
+  mutable brokers : broker_state list;  (* filtering hosts, in designation order *)
+  mutable meta_enabled : bool;
+  mutable targeted : bool;  (* subscription-aware best-effort dissemination *)
+  mutable next_sid : int;
+  latency : Metric.t;
+  mutable published : int;
+  mutable deliveries : int;
+  mutable filtered_out : int;
+  mutable expired : int;
+  mutable decode_errors : int;
+  mutable broker_forwards : int;
+  mutable broker_events : int;
+  mutable control_messages : int;
+}
+
+(* --- envelopes ------------------------------------------------------- *)
+
+let encode_envelope ~publish_time obvent_bytes =
+  Codec.encode (List [ Int publish_time; Str obvent_bytes ])
+
+let decode_envelope bytes =
+  match Codec.decode bytes with
+  | List [ Int publish_time; Str obvent_bytes ] ->
+      Some (publish_time, obvent_bytes)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let encode_routed ~cls envelope = Codec.encode (List [ Str cls; Str envelope ])
+
+let decode_routed bytes =
+  match Codec.decode bytes with
+  | List [ Str cls; Str envelope ] -> Some (cls, envelope)
+  | _ | (exception Codec.Decode_error _) -> None
+
+(* --- domain ------------------------------------------------------------ *)
+
+module Domain = struct
+  type t = domain
+
+  let create ?(tx_interval = 200) registry net =
+    {
+      registry;
+      net;
+      tx_interval;
+      rng = Rng.split (Engine.rng (Net.engine net));
+      processes = [];
+      channel_meta = Hashtbl.create 16;
+      gossip_overrides = Hashtbl.create 4;
+      brokers = [];
+      meta_enabled = false;
+      targeted = false;
+      next_sid = 0;
+      latency = Metric.create ();
+      published = 0;
+      deliveries = 0;
+      filtered_out = 0;
+      expired = 0;
+      decode_errors = 0;
+      broker_forwards = 0;
+      broker_events = 0;
+      control_messages = 0;
+    }
+
+  let registry d = d.registry
+  let net d = d.net
+  let engine d = Net.engine d.net
+  let nodes d = List.map (fun p -> p.node) d.processes
+
+  let enable_meta d = d.meta_enabled <- true
+
+  let enable_targeted_dissemination d =
+    d.meta_enabled <- true;
+    d.targeted <- true
+
+  let use_gossip d ~cls ?(config = Gossip.default_config) () =
+    if Hashtbl.mem d.channel_meta cls then
+      invalid_arg "Domain.use_gossip: channel already opened";
+    Hashtbl.replace d.gossip_overrides cls config
+
+  type stats = {
+    published : int;
+    deliveries : int;
+    filtered_out : int;
+    expired : int;
+    decode_errors : int;
+    broker_forwards : int;
+    broker_events : int;
+    control_messages : int;
+  }
+
+  let stats (d : t) =
+    {
+      published = d.published;
+      deliveries = d.deliveries;
+      filtered_out = d.filtered_out;
+      expired = d.expired;
+      decode_errors = d.decode_errors;
+      broker_forwards = d.broker_forwards;
+      broker_events = d.broker_events;
+      control_messages = d.control_messages;
+    }
+
+  let latency d = d.latency
+
+  let reset_stats (d : t) =
+    d.published <- 0;
+    d.deliveries <- 0;
+    d.filtered_out <- 0;
+    d.expired <- 0;
+    d.decode_errors <- 0;
+    d.broker_forwards <- 0;
+    d.broker_events <- 0;
+    d.control_messages <- 0
+end
+
+let now_of d = Engine.now (Net.engine d.net)
+
+(* --- delivery path ---------------------------------------------------- *)
+
+let adopt_proxies p obvent =
+  match p.rmi with
+  | None -> ()
+  | Some runtime ->
+      Value.fold
+        (fun () v ->
+          match v with
+          | Value.Remote _ -> Tpbs_rmi.Rmi.adopt_proxy runtime v
+          | _ -> ())
+        () (Obvent.to_value obvent)
+
+let stale d meta obvent =
+  meta.profile.Qos.timely
+  &&
+  match Obvent.birth d.registry obvent, Obvent.time_to_live d.registry obvent with
+  | Some birth, Some ttl -> now_of d > birth + ttl
+  | _, _ -> false
+
+let deliver_to_subscription p meta ~publish_time ~obvent_bytes s =
+  let d = p.dom in
+  (* Each notifiable deserializes its own clone: Obvent Local
+     Uniqueness, §2.1.2. *)
+  match Obvent.deserialize d.registry obvent_bytes with
+  | exception Obvent.Invalid_obvent _ -> d.decode_errors <- d.decode_errors + 1
+  | obvent ->
+      if stale d meta obvent then d.expired <- d.expired + 1
+      else if Fspec.matches d.registry s.filter obvent then begin
+        s.delivered <- s.delivered + 1;
+        d.deliveries <- d.deliveries + 1;
+        Metric.record d.latency (float_of_int (now_of d - publish_time));
+        (* §5.4.2: a delivered copy containing remote references
+           creates proxies in the subscriber's address space. *)
+        adopt_proxies p obvent;
+        Dispatch.submit s.dispatch obvent
+      end
+      else d.filtered_out <- d.filtered_out + 1
+
+(* Learn interest from control traffic: every process sees the meta
+   channel (it is broadcast) and updates its local routing view. *)
+let learn_interest p cls obvent_bytes =
+  let d = p.dom in
+  if d.targeted && (cls = "SubscriptionActivated" || cls = "SubscriptionDeactivated")
+  then
+    match Obvent.deserialize d.registry obvent_bytes with
+    | exception Obvent.Invalid_obvent _ -> ()
+    | o -> (
+        match Obvent.get o "nodeId", Obvent.get o "subscribedType" with
+        | Value.Int node, Value.Str param ->
+            if cls = "SubscriptionActivated" then
+              Hashtbl.replace p.interest (node, param) ()
+            else Hashtbl.remove p.interest (node, param)
+        | _, _ -> ())
+
+let on_event p cls envelope =
+  let d = p.dom in
+  match decode_envelope envelope with
+  | None -> d.decode_errors <- d.decode_errors + 1
+  | Some (publish_time, obvent_bytes) ->
+      learn_interest p cls obvent_bytes;
+      let meta = Hashtbl.find d.channel_meta cls in
+      List.iter
+        (fun s ->
+          if s.active && Registry.subtype d.registry cls s.param then
+            deliver_to_subscription p meta ~publish_time ~obvent_bytes s)
+        p.subs
+
+(* --- channels ------------------------------------------------------------ *)
+
+let attach_channel p cls (meta : channel_meta) =
+  if not (Hashtbl.mem p.channels cls) then begin
+    let deliver ~origin:_ envelope = on_event p cls envelope in
+    let proto =
+      match meta.gossip_config with
+      | Some config ->
+          let n = Membership.size meta.members in
+          let contacts =
+            List.map
+              (fun k -> (Membership.members meta.members).(k))
+              (Rng.sample_without_replacement p.dom.rng (min 4 n) n)
+          in
+          P_gossip
+            (Gossip.attach ~config meta.members ~me:p.node ~name:cls
+               ~seed_view:contacts ~deliver)
+      | None -> (
+          let profile = meta.profile in
+          if profile.Qos.certified then
+            P_cert
+              (Certified.attach meta.members ~me:p.node ~name:cls
+                 ~storage:p.cert_storage ~deliver ())
+          else
+            match profile.Qos.order with
+            | Qos.Total -> P_total (Total.attach meta.members ~me:p.node ~name:cls ~deliver)
+            | Qos.Causal_total ->
+                P_total
+                  (Total.attach ~causal:true meta.members ~me:p.node ~name:cls
+                     ~deliver)
+            | Qos.Causal -> P_causal (Causal.attach meta.members ~me:p.node ~name:cls ~deliver)
+            | Qos.Fifo -> P_fifo (Fifo.attach meta.members ~me:p.node ~name:cls ~deliver)
+            | Qos.No_order ->
+                if profile.Qos.reliable then
+                  P_rel (Rbcast.attach meta.members ~me:p.node ~name:cls ~deliver)
+                else if p.dom.brokers <> [] then P_broker
+                else
+                  P_best (Best_effort.attach meta.members ~me:p.node ~name:cls ~deliver))
+    in
+    Hashtbl.replace p.channels cls proto
+  end
+
+let ensure_channel d cls =
+  match Hashtbl.find_opt d.channel_meta cls with
+  | Some meta -> meta
+  | None ->
+      let profile = fst (Qos.of_type d.registry cls) in
+      let members =
+        Membership.create d.net
+          (List.rev_map (fun p -> p.node) d.processes |> List.rev)
+      in
+      let meta =
+        { profile; members;
+          gossip_config = Hashtbl.find_opt d.gossip_overrides cls }
+      in
+      Hashtbl.replace d.channel_meta cls meta;
+      List.iter (fun p -> attach_channel p cls meta) d.processes;
+      meta
+
+(* --- transmission ----------------------------------------------------------- *)
+
+let transmit p cls envelope =
+  let meta = ensure_channel p.dom cls in
+  attach_channel p cls meta;
+  match Hashtbl.find p.channels cls with
+  | P_best b ->
+      (* Subscription-aware dissemination: address only the nodes this
+         process believes are interested (learned eventually from the
+         meta channel). Control traffic itself stays broadcast. *)
+      if p.dom.targeted && not (Registry.subtype p.dom.registry cls "MetaObvent")
+      then begin
+        let targets = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun (node, param) () ->
+            if Registry.subtype p.dom.registry cls param then
+              Hashtbl.replace targets node ())
+          p.interest;
+        Hashtbl.iter (fun node () -> Best_effort.send_to b ~dst:node envelope)
+          targets
+      end
+      else Best_effort.bcast b envelope
+  | P_rel r -> Rbcast.bcast r envelope
+  | P_fifo f -> Fifo.bcast f envelope
+  | P_causal c -> Causal.bcast c envelope
+  | P_total t -> Total.bcast t envelope
+  | P_cert c -> Certified.bcast c envelope
+  | P_gossip g -> Gossip.bcast g envelope
+  | P_broker ->
+      (* One copy per filtering host: each broker owns the compound
+         filter of the subscriptions assigned to it and forwards to
+         its own matching subscribers. *)
+      List.iter
+        (fun b ->
+          Net.send p.dom.net ~src:p.node ~dst:b.b_process.node ~port:pub_port
+            (encode_routed ~cls envelope))
+        p.dom.brokers
+
+(* Egress queue for Prioritary/Timely traffic: one message per drain
+   slot; higher priority overtakes, later-born timely obvents are
+   preferred, stale ones expire in the queue (§3.1.2 "transmission
+   semantics"). *)
+let rec drain_tx p =
+  p.tx_armed <- false;
+  let d = p.dom in
+  let current = now_of d in
+  let fresh, dead =
+    List.partition
+      (fun e ->
+        match e.tx_birth, e.tx_ttl with
+        | Some birth, Some ttl -> current <= birth + ttl
+        | _, _ -> true)
+      p.txq
+  in
+  d.expired <- d.expired + List.length dead;
+  p.txq <- fresh;
+  match fresh with
+  | [] -> ()
+  | entries ->
+      let better a b =
+        if a.tx_prio <> b.tx_prio then a.tx_prio > b.tx_prio
+        else
+          match a.tx_birth, b.tx_birth with
+          | Some ba, Some bb when ba <> bb -> ba > bb  (* newer first *)
+          | _ -> a.tx_seq < b.tx_seq
+      in
+      let best =
+        List.fold_left (fun acc e -> if better e acc then e else acc)
+          (List.hd entries) (List.tl entries)
+      in
+      p.txq <- List.filter (fun e -> e.tx_seq <> best.tx_seq) p.txq;
+      transmit p best.tx_cls best.tx_envelope;
+      arm_tx p
+
+and arm_tx p =
+  if (not p.tx_armed) && p.txq <> [] then begin
+    p.tx_armed <- true;
+    Net.schedule_on p.dom.net p.node ~delay:p.dom.tx_interval (fun () ->
+        drain_tx p)
+  end
+
+(* --- broker ------------------------------------------------------------------ *)
+
+let broker_on_publish d b bytes =
+  match decode_routed bytes with
+  | None -> d.decode_errors <- d.decode_errors + 1
+  | Some (cls, envelope) -> (
+      d.broker_events <- d.broker_events + 1;
+      match decode_envelope envelope with
+      | None -> d.decode_errors <- d.decode_errors + 1
+      | Some (_, obvent_bytes) ->
+          let value =
+            match Codec.decode obvent_bytes with
+            | v -> Some v
+            | exception Codec.Decode_error _ -> None
+          in
+          (* Factored matching once per event. *)
+          let matched_ids =
+            match value with
+            | Some v -> Factored.matches b.factored v
+            | None -> []
+          in
+          let matched_nodes = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun sid sub ->
+              if Registry.subtype d.registry cls sub.b_param then
+                if sub.b_always || List.mem sid matched_ids then
+                  Hashtbl.replace matched_nodes sub.b_node ())
+            b.broker_subs;
+          Hashtbl.iter
+            (fun node () ->
+              d.broker_forwards <- d.broker_forwards + 1;
+              Net.send d.net ~src:b.b_process.node ~dst:node ~port:del_port
+                (encode_routed ~cls envelope))
+            matched_nodes)
+
+let broker_on_ctl d b bytes =
+  match Codec.decode bytes with
+  | List [ Str "sub"; Int sid; Int node; Str param; filt ] ->
+      let always, rfilter =
+        match filt with
+        | Value.Null -> true, None
+        | v -> (
+            match Rfilter.of_value v with
+            | Some rf -> false, Some rf
+            | None -> true, None)
+      in
+      if not (Hashtbl.mem b.broker_subs sid) then begin
+        Hashtbl.replace b.broker_subs sid
+          { b_node = node; b_param = param; b_always = always };
+        match rfilter with
+        | Some rf -> Factored.add b.factored ~id:sid rf
+        | None -> ()
+      end
+  | List [ Str "unsub"; Int sid ] ->
+      if Hashtbl.mem b.broker_subs sid then begin
+        Hashtbl.remove b.broker_subs sid;
+        Factored.remove b.factored ~id:sid
+      end
+  | _ | (exception Codec.Decode_error _) -> d.decode_errors <- d.decode_errors + 1
+
+(* --- the reflexive meta channel (§4.2) ----------------------------------------- *)
+
+(* Subscription and unsubscription requests are obvents themselves,
+   disseminated on the channel of their own class. Meta traffic about
+   meta subscriptions is suppressed to keep the reflexive tower
+   finite. *)
+let publish_meta_fwd :
+    (process -> cls:string -> sid:int -> param:string -> unit) ref =
+  ref (fun _ ~cls:_ ~sid:_ ~param:_ -> ())
+
+let emit_meta p ~cls ~sid ~param =
+  let d = p.dom in
+  if d.targeted && not (Registry.subtype d.registry param "MetaObvent") then begin
+    (* The subscriber's own process knows immediately. *)
+    if cls = "SubscriptionActivated" then
+      Hashtbl.replace p.interest (p.node, param) ()
+    else Hashtbl.remove p.interest (p.node, param)
+  end;
+  if d.meta_enabled && not (Registry.subtype d.registry param "MetaObvent")
+  then !publish_meta_fwd p ~cls ~sid ~param
+
+(* --- subscription handles ------------------------------------------------------ *)
+
+module Subscription = struct
+  type t = subscription
+
+  let id s = s.sid
+  let subscribed_type s = s.param
+  let is_active s = s.active
+  let durable_id s = s.durable
+  let delivered s = s.delivered
+  let dispatch_stats s = Dispatch.stats s.dispatch
+  let set_single_threading s = Dispatch.set_policy s.dispatch Dispatch.Single
+
+  let set_multi_threading s ~max =
+    Dispatch.set_policy s.dispatch (Dispatch.Multi max)
+
+  let set_class_serial_threading s =
+    Dispatch.set_policy s.dispatch Dispatch.Class_serial
+
+  let broker_of d node =
+    match d.brokers with
+    | [] -> None
+    | brokers ->
+        (* Subscriptions are gathered per filtering host by subscriber
+           node, so one node's filters always land on the same host. *)
+        Some (List.nth brokers (node mod List.length brokers))
+
+  let send_ctl s verb =
+    let p = s.sub_process in
+    let d = p.dom in
+    match broker_of d p.node with
+    | None -> ()
+    | Some b ->
+        d.control_messages <- d.control_messages + 1;
+        let body =
+          match verb with
+          | `Sub ->
+              let filt =
+                match s.rfilter with
+                | Some rf -> Rfilter.to_value rf
+                | None -> Value.Null
+              in
+              Value.List
+                [ Str "sub"; Int s.sid; Int p.node; Str s.param; filt ]
+          | `Unsub -> Value.List [ Str "unsub"; Int s.sid ]
+        in
+        Net.send d.net ~src:p.node ~dst:b.b_process.node ~port:ctl_port
+          (Codec.encode body)
+
+  let ensure_channels s =
+    let d = s.sub_process.dom in
+    List.iter
+      (fun cls -> ignore (ensure_channel d cls))
+      (List.filter
+         (fun cls -> Registry.subtype d.registry cls s.param)
+         (Registry.obvent_classes d.registry))
+
+  let activate s =
+    if s.active then
+      Errors.cannot_subscribe "subscription %d is already activated" s.sid;
+    ensure_channels s;
+    s.active <- true;
+    send_ctl s `Sub;
+    emit_meta s.sub_process ~cls:"SubscriptionActivated" ~sid:s.sid
+      ~param:s.param
+
+  let activate_durable s ~id =
+    if s.active then
+      Errors.cannot_subscribe "subscription %d is already activated" s.sid;
+    let p = s.sub_process in
+    let key = Printf.sprintf "dursub:%d" id in
+    (match Stable.get p.cert_storage key with
+    | Some param when param <> s.param ->
+        Errors.cannot_subscribe
+          "durable id %d is bound to type %s, not %s" id param s.param
+    | Some _ | None -> ());
+    Stable.put p.cert_storage key s.param;
+    s.durable <- Some id;
+    ensure_channels s;
+    s.active <- true;
+    send_ctl s `Sub;
+    emit_meta p ~cls:"SubscriptionActivated" ~sid:s.sid ~param:s.param
+
+  let deactivate s =
+    if not s.active then
+      Errors.cannot_unsubscribe "subscription %d is not activated" s.sid;
+    s.active <- false;
+    send_ctl s `Unsub;
+    emit_meta s.sub_process ~cls:"SubscriptionDeactivated" ~sid:s.sid
+      ~param:s.param
+end
+
+(* --- processes -------------------------------------------------------------------- *)
+
+module Process = struct
+  type t = process
+
+  let node p = p.node
+  let domain p = p.dom
+  let subscriptions p = List.rev p.subs
+
+  let create d ?storage ?rmi node =
+    if List.exists (fun p -> p.node = node) d.processes then
+      invalid_arg "Process.create: node already has a process";
+    if Hashtbl.length d.channel_meta > 0 then
+      invalid_arg
+        "Process.create: create all processes before opening channels";
+    let p =
+      {
+        dom = d;
+        node;
+        rmi;
+        cert_storage =
+          (match storage with Some s -> s | None -> Stable.create ());
+        channels = Hashtbl.create 8;
+        subs = [];
+        txq = [];
+        tx_armed = false;
+        tx_next_seq = 0;
+        interest = Hashtbl.create 16;
+      }
+    in
+    (* Broker deliveries can arrive on any process. *)
+    Net.set_handler d.net node ~port:del_port (fun _src bytes ->
+        match decode_routed bytes with
+        | Some (cls, envelope) ->
+            if Hashtbl.mem d.channel_meta cls then on_event p cls envelope
+        | None -> d.decode_errors <- d.decode_errors + 1);
+    d.processes <- d.processes @ [ p ];
+    p
+
+  let var_types env =
+    List.map
+      (fun (x, v) ->
+        match Vtype.of_kind (Value.kind v) with
+        | Some t -> x, t
+        | None ->
+            Errors.cannot_subscribe
+              "captured variable %s has an untypeable binding" x)
+      env
+
+  let subscribe p ~param ?(filter = Fspec.Accept_all) ?(service_time = 0)
+      handler =
+    let d = p.dom in
+    if not (Registry.exists d.registry param) then
+      Errors.cannot_subscribe "unknown type %s" param;
+    if not (Registry.is_obvent_type d.registry param) then
+      Errors.cannot_subscribe "type %s does not widen to Obvent" param;
+    (* LP1: the filter is typechecked against the subscribed type at
+       subscription-creation time. *)
+    let rfilter =
+      match filter with
+      | Fspec.Accept_all -> None
+      | Fspec.Closure _ -> None
+      | Fspec.Tree (e, env) -> (
+          let vars = var_types env in
+          (match Typecheck.check_filter d.registry ~param ~vars e with
+          | () -> ()
+          | exception Typecheck.Ill_typed err ->
+              Errors.cannot_subscribe "ill-typed filter: %a" Typecheck.pp_error
+                err);
+          match Mobility.classify d.registry ~param ~vars e with
+          | Mobility.Local_only _ -> None
+          | Mobility.Mobile -> Rfilter.of_expr ~env ~param e)
+    in
+    let profile = fst (Qos.of_type d.registry param) in
+    let default_policy =
+      (* Multi-threading by default, except for ordered obvents
+         (§3.3.5). *)
+      if profile.Qos.order <> Qos.No_order then Dispatch.Single
+      else Dispatch.Multi max_int
+    in
+    let sid = d.next_sid in
+    d.next_sid <- sid + 1;
+    let s =
+      {
+        sid;
+        sub_process = p;
+        param;
+        filter;
+        rfilter;
+        dispatch =
+          Dispatch.create (Net.engine d.net) ~service_time default_policy
+            handler;
+        active = false;
+        durable = None;
+        delivered = 0;
+      }
+    in
+    p.subs <- s :: p.subs;
+    s
+
+  let publish p obvent =
+    let d = p.dom in
+    if not (Net.alive d.net p.node) then
+      Errors.cannot_publish "publishing process %d is crashed" p.node;
+    let cls = Obvent.cls obvent in
+    let meta = ensure_channel d cls in
+    d.published <- d.published + 1;
+    let envelope =
+      encode_envelope ~publish_time:(now_of d) (Obvent.serialize obvent)
+    in
+    if meta.profile.Qos.prioritary || meta.profile.Qos.timely then begin
+      let entry =
+        {
+          tx_cls = cls;
+          tx_envelope = envelope;
+          tx_prio = Obvent.priority d.registry obvent;
+          tx_birth = Obvent.birth d.registry obvent;
+          tx_ttl = Obvent.time_to_live d.registry obvent;
+          tx_seq = p.tx_next_seq;
+        }
+      in
+      p.tx_next_seq <- p.tx_next_seq + 1;
+      p.txq <- entry :: p.txq;
+      arm_tx p
+    end
+    else transmit p cls envelope
+
+  let resume p =
+    p.tx_armed <- false;
+    Hashtbl.iter
+      (fun _ proto ->
+        match proto with P_cert c -> Certified.resume c | _ -> ())
+      p.channels;
+    List.iter (fun s -> if s.active then Subscription.send_ctl s `Sub) p.subs;
+    arm_tx p
+end
+
+let () =
+  publish_meta_fwd :=
+    fun p ~cls ~sid ~param ->
+      let d = p.dom in
+      if Net.alive d.net p.node then
+        Process.publish p
+          (Obvent.make d.registry cls
+             [ "subscriptionId", Value.Int sid; "nodeId", Value.Int p.node;
+               "subscribedType", Value.Str param ])
+
+(* --- broker designation --------------------------------------------------------------- *)
+
+let add_broker d p =
+  if List.exists (fun b -> b.b_process.node = p.node) d.brokers then
+    invalid_arg "add_broker: node is already a filtering host";
+  let b =
+    { b_process = p; factored = Factored.create ();
+      broker_subs = Hashtbl.create 32 }
+  in
+  d.brokers <- d.brokers @ [ b ];
+  Net.set_handler d.net p.node ~port:pub_port (fun _src bytes ->
+      broker_on_publish d b bytes);
+  Net.set_handler d.net p.node ~port:ctl_port (fun _src bytes ->
+      broker_on_ctl d b bytes)
+
+let make_broker = add_broker
+
+let broker_filter_stats d =
+  match d.brokers with
+  | [] -> None
+  | b :: _ -> Some (Factored.stats b.factored)
+
+let per_broker_filter_stats d =
+  List.map (fun b -> Factored.stats b.factored) d.brokers

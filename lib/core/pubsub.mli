@@ -1,0 +1,185 @@
+(** The type-based publish/subscribe engine — the paper's primary
+    contribution, as a library with the same semantics the [publish] /
+    [subscribe] primitives compile down to (§3, §4).
+
+    One {!Domain} spans a simulated deployment: it owns the type
+    registry and maps every obvent class to a dissemination channel (a
+    DACE {e multicast class}, §4.2) whose protocol is chosen from the
+    class's QoS profile (Fig. 3/4):
+
+    - unreliable → best-effort datagrams (or broker routing, below)
+    - reliable → flooding reliable broadcast
+    - FIFO / causal / total / causal+total → the corresponding
+      ordered broadcast
+    - certified → logged, acknowledged, crash-surviving delivery
+
+    Transmission semantics ride on top: [Prioritary] and [Timely]
+    obvents pass through a rate-limited egress queue where higher
+    priorities overtake and stale obvents expire.
+
+    A {!Process} is one address space. [subscribe] registers a typed
+    subscription — filter plus handler closure — and returns the
+    {!Subscription} handle of Fig. 3 ([activate] / [deactivate] /
+    thread policies). Subscribing to a type receives instances of all
+    its subtypes (Fig. 1), each subscription getting its own
+    deserialized clone of every published obvent (§2.1.2).
+
+    When a {e broker} is designated, plain-unreliable channels route
+    through it: subscriptions whose filters are mobile
+    ({!Tpbs_filter.Mobility}) and liftable ({!Tpbs_filter.Rfilter})
+    travel to the broker, are factored into a compound filter
+    ({!Tpbs_filter.Factored}), and events are forwarded only to nodes
+    with a matching subscription — the remote filtering of §3.3.3.
+    Non-conforming filters fall back to always-forward + local
+    evaluation, exactly like the paper's [LocalFilter]. *)
+
+module Domain : sig
+  type t
+
+  val create :
+    ?tx_interval:int -> Tpbs_types.Registry.t -> Tpbs_sim.Net.t -> t
+  (** [tx_interval] is the egress-queue drain period for
+      priority/timely traffic (default 200 ticks). *)
+
+  val registry : t -> Tpbs_types.Registry.t
+  val net : t -> Tpbs_sim.Net.t
+  val engine : t -> Tpbs_sim.Engine.t
+
+  val nodes : t -> Tpbs_sim.Net.node_id list
+  (** Nodes of all attached processes, in creation order. *)
+
+  val enable_meta : t -> unit
+  (** Turn on DACE's reflexive control channel (§4.2): every
+      subscription activation/deactivation is itself published as an
+      obvent of class [SubscriptionActivated] /
+      [SubscriptionDeactivated] (see {!Tpbs_types.Registry.create}'s
+      builtin [MetaObvent] hierarchy), so processes can learn about
+      subscriptions — and "possibly new multicast classes" — by
+      subscribing. Meta traffic about meta subscriptions is
+      suppressed. *)
+
+  val enable_targeted_dissemination : t -> unit
+  (** Subscription-aware dissemination (implies {!enable_meta}):
+      best-effort channels address only nodes believed to hold a
+      matching subscription, a view each process learns eventually
+      from the meta channel — the control-traffic-driven dissemination
+      of DACE. Events published before interest has propagated can be
+      missed, exactly as with real subscription propagation delay;
+      reliable/ordered/certified channels keep their full groups. *)
+
+  val use_gossip : t -> cls:string -> ?config:Tpbs_group.Gossip.config -> unit -> unit
+  (** Route this (unreliable) obvent class over gossip instead of
+      plain best-effort — DACE's scalable end of the spectrum. Must be
+      called before the first publish/subscribe touching the class. *)
+
+  type stats = {
+    published : int;
+    deliveries : int;  (** handler submissions across all subscriptions *)
+    filtered_out : int;
+    expired : int;  (** timely obvents dropped as stale *)
+    decode_errors : int;
+    broker_forwards : int;  (** node-level forwards made by the broker *)
+    broker_events : int;  (** events that transited the broker *)
+    control_messages : int;  (** subscription (un)registrations sent *)
+  }
+
+  val stats : t -> stats
+  val latency : t -> Tpbs_sim.Metric.t
+  (** Publish-to-handler latency samples, virtual ticks. *)
+
+  val reset_stats : t -> unit
+end
+
+module Subscription : sig
+  type t
+
+  val activate : t -> unit
+  (** @raise Errors.Cannot_subscribe if already activated. *)
+
+  val activate_durable : t -> id:int -> unit
+  (** Certified subscriptions outlive their process (§3.4.1): the
+      durable id names the subscription across incarnations; the
+      actual catch-up happens in {!Process.resume}.
+      @raise Errors.Cannot_subscribe if already activated, if the
+      process has no stable storage, or if the id is already bound to
+      a different subscribed type. *)
+
+  val deactivate : t -> unit
+  (** @raise Errors.Cannot_unsubscribe if not activated. *)
+
+  val is_active : t -> bool
+  val id : t -> int
+  val subscribed_type : t -> string
+  val durable_id : t -> int option
+
+  val set_single_threading : t -> unit
+  val set_multi_threading : t -> max:int -> unit
+
+  (** The extension the paper suggests in §3.3.5: at most one obvent
+      of each concrete class processed at a time. *)
+  val set_class_serial_threading : t -> unit
+  val dispatch_stats : t -> Dispatch.stats
+  val delivered : t -> int
+  (** Obvents that reached this subscription's handler. *)
+end
+
+module Process : sig
+  type t
+
+  val create :
+    Domain.t ->
+    ?storage:Tpbs_sim.Stable.t ->
+    ?rmi:Tpbs_rmi.Rmi.runtime ->
+    Tpbs_sim.Net.node_id ->
+    t
+  (** Attach a pub/sub process to a node. At most one process per
+      node.
+      @raise Invalid_argument otherwise. *)
+
+  val node : t -> Tpbs_sim.Net.node_id
+  val domain : t -> Domain.t
+
+  val subscribe :
+    t ->
+    param:string ->
+    ?filter:Fspec.t ->
+    ?service_time:int ->
+    (Tpbs_obvent.Obvent.t -> unit) ->
+    Subscription.t
+  (** Create (but do not activate) a subscription to obvent type
+      [param]. [Tree] filters are typechecked against [param] here —
+      the compile-time check of LP1.
+      @raise Errors.Cannot_subscribe if [param] is not an obvent type
+      or the filter is ill-typed. *)
+
+  val publish : t -> Tpbs_obvent.Obvent.t -> unit
+  (** The [publish] primitive (§3.2): asynchronously disseminate to
+      every concerned notifiable, per the obvent class's QoS.
+      @raise Errors.Cannot_publish if the hosting node is crashed. *)
+
+  val resume : t -> unit
+  (** After the hosting node recovers from a crash: re-arm certified
+      channels (retransmissions + catch-up sync) and re-register the
+      process's active subscriptions with the broker. *)
+
+  val subscriptions : t -> Subscription.t list
+end
+
+val add_broker : Domain.t -> Process.t -> unit
+(** Designate a filtering host. Plain-unreliable traffic then routes
+    publisher → broker(s) → matching subscribers. With several hosts,
+    subscriptions are gathered per host (by subscriber node, §2.3.2
+    "gathering filters of several subscribers on a given host") and a
+    publisher sends one copy per host. Call before activity starts.
+    @raise Invalid_argument if the node is already a filtering host. *)
+
+val make_broker : Domain.t -> Process.t -> unit
+(** Alias of {!add_broker} (historical name). *)
+
+val broker_filter_stats : Domain.t -> Tpbs_filter.Factored.stats option
+(** The first broker's compound-filter statistics (None when no
+    broker). *)
+
+val per_broker_filter_stats : Domain.t -> Tpbs_filter.Factored.stats list
+(** Compound-filter statistics of every filtering host, in designation
+    order. *)

@@ -1,0 +1,81 @@
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Net = Tpbs_sim.Net
+
+type pattern = Any | Kind of Value.kind | Exact of Value.t
+
+type sub = {
+  id : int;
+  patterns : pattern list;
+  filter : Value.t list -> bool;
+  handler : Value.t list -> unit;
+  mutable delivered : int;
+  mutable active : bool;
+}
+
+type t = {
+  domain : Pubsub.Domain.t;
+  node : Net.node_id;
+  mutable subs : sub list;
+  mutable next_id : int;
+}
+
+let port = "structural"
+
+let pattern_matches p v =
+  match p with
+  | Any -> true
+  | Kind k -> Value.kind v = k
+  | Exact expected -> Value.equal expected v
+
+let matches patterns tuple =
+  List.length patterns = List.length tuple
+  && List.for_all2 pattern_matches patterns tuple
+
+let on_tuple t bytes =
+  match Codec.decode bytes with
+  | Value.List _ ->
+      List.iter
+        (fun s ->
+          if s.active then begin
+            (* A fresh copy per subscription, mirroring obvent local
+               uniqueness. *)
+            match Codec.decode bytes with
+            | Value.List tuple ->
+                if matches s.patterns tuple && s.filter tuple then begin
+                  s.delivered <- s.delivered + 1;
+                  s.handler tuple
+                end
+            | _ -> ()
+          end)
+        t.subs
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let attach process =
+  let domain = Pubsub.Process.domain process in
+  let node = Pubsub.Process.node process in
+  let t = { domain; node; subs = []; next_id = 0 } in
+  Net.set_handler (Pubsub.Domain.net domain) node ~port (fun _src bytes ->
+      on_tuple t bytes);
+  t
+
+let publish t tuple =
+  let bytes = Codec.encode (Value.List tuple) in
+  let net = Pubsub.Domain.net t.domain in
+  List.iter
+    (fun dst -> Net.send net ~src:t.node ~dst ~port bytes)
+    (Pubsub.Domain.nodes t.domain)
+
+let subscribe t patterns ?(filter = fun _ -> true) handler =
+  let s =
+    { id = t.next_id; patterns; filter; handler; delivered = 0; active = true }
+  in
+  t.next_id <- t.next_id + 1;
+  t.subs <- t.subs @ [ s ];
+  s
+
+let cancel t s =
+  s.active <- false;
+  t.subs <- List.filter (fun x -> x.id <> s.id) t.subs
+
+let delivered s = s.delivered

@@ -1,0 +1,47 @@
+(** Structural ("tuple") publishing — the design alternative of §5.5.2
+    "Tuples: Back to the Roots".
+
+    The paper sketches extending [publish] to accept any number of
+    arguments, and [subscribe] to bind a matching number of formals:
+
+    {v publish (company, price, amount, market); v}
+    {v subscribe (String company, float price, int amount, ...) {...} {...} v}
+
+    matching by {e structural} rather than name equivalence. This
+    module implements that alternative over its own best-effort
+    channel: a subscription is an arity + per-position pattern
+    (wildcard / kind / exact value) plus an optional client-side
+    predicate — "a very appealing style … but requires a more complex
+    filtering" (all matching is structural, nothing can be factored by
+    type, and positions are anonymous). Comparing this with the
+    type-based engine is part of experiment E7's territory. *)
+
+type pattern =
+  | Any
+  | Kind of Tpbs_serial.Value.kind  (** a typed formal, as in Linda *)
+  | Exact of Tpbs_serial.Value.t  (** an actual *)
+
+type t
+(** Per-process endpoint. *)
+
+type sub
+
+val attach : Pubsub.Process.t -> t
+(** One endpoint per process; attaching again replaces the previous
+    endpoint (its subscriptions stop receiving). *)
+
+val publish : t -> Tpbs_serial.Value.t list -> unit
+(** Send the tuple to every process of the domain (best effort). *)
+
+val subscribe :
+  t ->
+  pattern list ->
+  ?filter:(Tpbs_serial.Value.t list -> bool) ->
+  (Tpbs_serial.Value.t list -> unit) ->
+  sub
+(** Create and activate a structural subscription. Each delivery
+    hands the handler a fresh copy of the tuple. *)
+
+val cancel : t -> sub -> unit
+val delivered : sub -> int
+val matches : pattern list -> Tpbs_serial.Value.t list -> bool

@@ -1,0 +1,91 @@
+(** Filter expressions: the abstract syntax of the deferred code a
+    [subscribe] statement captures in its filter closure (§3.3, LM4).
+
+    The AST is deliberately confined to what §3.3.4 allows a mobile
+    filter to do: (nested) getter invocations on the formal argument,
+    references to captured [final] outer variables of primitive type,
+    literals, and pure operators. Everything else a real closure could
+    do is represented {e outside} this AST, as an opaque OCaml
+    closure handled by {!Tpbs_filter.Mobility}. *)
+
+type unop =
+  | Not
+  | Neg
+  | Length  (** [s.length()] on strings, size on lists *)
+  | Is_null
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or  (** short-circuit *)
+  | Concat
+  | Index_of  (** Java [String.indexOf]: -1 when absent *)
+  | Contains
+  | Starts_with
+
+type t =
+  | Const of Tpbs_serial.Value.t
+  | Arg  (** the formal argument: the filtered obvent *)
+  | Invoke of t * string  (** method (getter) invocation *)
+  | Var of string  (** captured final outer variable *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+type env = (string * Tpbs_serial.Value.t) list
+(** Bindings of the captured outer variables at subscription time. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val size : t -> int
+(** Node count — the cost model used by factoring statistics. *)
+
+val getter_paths : t -> string list list
+(** All maximal invocation paths rooted at [Arg], deduplicated — the
+    leaves of the paper's {e invocation tree} (§4.4.3). A path
+    [["getQuote"; "getPrice"]] means [arg.getQuote().getPrice()]. *)
+
+val vars : t -> string list
+(** Captured variable names, deduplicated. *)
+
+(** {1 Evaluation} *)
+
+exception Eval_error of string
+(** Runtime failure: null dereference, division by zero, operator
+    applied to wrong runtime kinds. The engine treats a failing filter
+    as non-matching, like an exception escaping a Java predicate. *)
+
+val eval :
+  Tpbs_types.Registry.t ->
+  env:env ->
+  ?arg:Tpbs_obvent.Obvent.t ->
+  t ->
+  Tpbs_serial.Value.t
+(** [arg] binds the formal argument; evaluating [Arg] without one is
+    an {!Eval_error}. *)
+
+val eval_bool :
+  Tpbs_types.Registry.t -> env:env -> ?arg:Tpbs_obvent.Obvent.t -> t -> bool
+(** Evaluate a (typechecked) filter body to its boolean verdict.
+    @raise Eval_error if the result is not a boolean. *)
+
+(** {1 Convenient constructors} *)
+
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+val getter : string list -> t
+(** [getter ["getQuote"; "getPrice"]] builds the nested invocation on
+    [Arg]. *)
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( <. ) : t -> t -> t
+val ( <=. ) : t -> t -> t
+val ( >. ) : t -> t -> t
+val ( >=. ) : t -> t -> t
+val ( =. ) : t -> t -> t
+val ( <>. ) : t -> t -> t

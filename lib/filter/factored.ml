@@ -1,0 +1,394 @@
+module Value = Tpbs_serial.Value
+module Obvent = Tpbs_obvent.Obvent
+
+(* Normalized key for equality bucketing: numeric values are promoted
+   to float bits so that [Int 100] and [Float 100.] land in the same
+   bucket, matching the promoting equality of the evaluator. *)
+type eq_key = Kbits of int64 | Kstr of string | Kbool of bool | Kother of Value.t
+
+let eq_key_of : Value.t -> eq_key = function
+  | Int i -> Kbits (Int64.bits_of_float (float_of_int i))
+  | Float f -> Kbits (Int64.bits_of_float f)
+  | Str s -> Kstr s
+  | Bool b -> Kbool b
+  | v -> Kother v
+
+type tformula =
+  | T_true
+  | T_false
+  | T_atom of int
+  | T_not of tformula
+  | T_and of tformula list
+  | T_or of tformula list
+
+type shape =
+  | Conj of int array  (* atom ids of a pure positive conjunction *)
+  | Tree of tformula
+
+(* Per-path index. The mutable lists accumulate; sorted arrays are
+   rebuilt lazily when dirty. *)
+type path_index = {
+  path : string list;
+  eq_buckets : (eq_key, int list ref) Hashtbl.t;
+  mutable ne_atoms : (Value.t * int) list;
+  mutable lt : (float * int) list;
+  mutable le : (float * int) list;
+  mutable gt : (float * int) list;
+  mutable ge : (float * int) list;
+  mutable lt_sorted : (float * int) array;
+  mutable le_sorted : (float * int) array;
+  mutable gt_sorted : (float * int) array;
+  mutable ge_sorted : (float * int) array;
+  mutable dirty : bool;
+  mutable misc : (Rfilter.atom * int) list;
+      (* string-ordered, contains, prefix: evaluated one by one *)
+}
+
+type t = {
+  mutable paths : path_index array;  (* indexed by path id *)
+  path_ids : (string list, int) Hashtbl.t;
+  atom_ids : (string list * Rfilter.cmp * Value.t, int) Hashtbl.t;
+  mutable n_atoms : int;
+  subs : (int, shape) Hashtbl.t;
+  (* Dense slots for the counting algorithm: external sub ids map to
+     compact slots so per-event state is flat arrays. *)
+  slot_of_id : (int, int) Hashtbl.t;
+  mutable slot_id : int array;  (* slot -> external id *)
+  mutable n_slots : int;
+  conj_index : (int, (int * int) list ref) Hashtbl.t;
+      (* atom id -> (slot, conjunction size) *)
+  tree_subs : (int, tformula) Hashtbl.t;  (* external id -> formula *)
+  mutable total_atoms : int;
+  (* scratch, grown on demand; generation-stamped to avoid clears *)
+  mutable truth : Bytes.t;  (* atom id -> 0/1 for the current event *)
+  mutable counters : int array;  (* slot -> satisfied-atom count *)
+  mutable stamps : int array;  (* slot -> generation of the count *)
+  mutable generation : int;
+  mutable path_evals : int;
+  mutable atom_evals : int;
+  mutable events_matched : int;
+}
+
+let create () =
+  {
+    paths = [||];
+    path_ids = Hashtbl.create 64;
+    atom_ids = Hashtbl.create 256;
+    n_atoms = 0;
+    subs = Hashtbl.create 64;
+    slot_of_id = Hashtbl.create 64;
+    slot_id = Array.make 64 0;
+    n_slots = 0;
+    conj_index = Hashtbl.create 256;
+    tree_subs = Hashtbl.create 16;
+    total_atoms = 0;
+    truth = Bytes.create 256;
+    counters = Array.make 64 0;
+    stamps = Array.make 64 (-1);
+    generation = 0;
+    path_evals = 0;
+    atom_evals = 0;
+    events_matched = 0;
+  }
+
+let slot_for t id =
+  match Hashtbl.find_opt t.slot_of_id id with
+  | Some slot -> slot
+  | None ->
+      let slot = t.n_slots in
+      t.n_slots <- slot + 1;
+      if slot >= Array.length t.counters then begin
+        let grow arr fill =
+          let fresh = Array.make (2 * Array.length arr) fill in
+          Array.blit arr 0 fresh 0 (Array.length arr);
+          fresh
+        in
+        t.counters <- grow t.counters 0;
+        t.stamps <- grow t.stamps (-1);
+        t.slot_id <- grow t.slot_id 0
+      end;
+      t.slot_id.(slot) <- id;
+      Hashtbl.replace t.slot_of_id id slot;
+      slot
+
+let fresh_path t path =
+  match Hashtbl.find_opt t.path_ids path with
+  | Some id -> id
+  | None ->
+      let id = Array.length t.paths in
+      let entry =
+        {
+          path;
+          eq_buckets = Hashtbl.create 8;
+          ne_atoms = [];
+          lt = []; le = []; gt = []; ge = [];
+          lt_sorted = [||]; le_sorted = [||]; gt_sorted = [||]; ge_sorted = [||];
+          dirty = false;
+          misc = [];
+        }
+      in
+      t.paths <- Array.append t.paths [| entry |];
+      Hashtbl.add t.path_ids path id;
+      id
+
+let numeric_threshold : Value.t -> float option = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let intern_atom t (a : Rfilter.atom) =
+  let key = a.path, a.cmp, a.const in
+  match Hashtbl.find_opt t.atom_ids key with
+  | Some id -> id
+  | None ->
+      let id = t.n_atoms in
+      t.n_atoms <- t.n_atoms + 1;
+      if id >= Bytes.length t.truth then
+        t.truth <- Bytes.extend t.truth 0 (Bytes.length t.truth);
+      Hashtbl.add t.atom_ids key id;
+      let pidx = t.paths.(fresh_path t a.path) in
+      (match a.cmp, numeric_threshold a.const with
+      | Rfilter.Ceq, _ ->
+          let k = eq_key_of a.const in
+          let bucket =
+            match Hashtbl.find_opt pidx.eq_buckets k with
+            | Some b -> b
+            | None ->
+                let b = ref [] in
+                Hashtbl.add pidx.eq_buckets k b;
+                b
+          in
+          bucket := id :: !bucket
+      | Rfilter.Cne, _ -> pidx.ne_atoms <- (a.const, id) :: pidx.ne_atoms
+      | Rfilter.Clt, Some f ->
+          pidx.lt <- (f, id) :: pidx.lt;
+          pidx.dirty <- true
+      | Rfilter.Cle, Some f ->
+          pidx.le <- (f, id) :: pidx.le;
+          pidx.dirty <- true
+      | Rfilter.Cgt, Some f ->
+          pidx.gt <- (f, id) :: pidx.gt;
+          pidx.dirty <- true
+      | Rfilter.Cge, Some f ->
+          pidx.ge <- (f, id) :: pidx.ge;
+          pidx.dirty <- true
+      | (Rfilter.Clt | Rfilter.Cle | Rfilter.Cgt | Rfilter.Cge), None ->
+          pidx.misc <- (a, id) :: pidx.misc
+      | (Rfilter.Ccontains | Rfilter.Cprefix), _ ->
+          pidx.misc <- (a, id) :: pidx.misc);
+      id
+
+let rec compile t (f : Rfilter.formula) : tformula =
+  match f with
+  | True -> T_true
+  | False -> T_false
+  | Atom a ->
+      t.total_atoms <- t.total_atoms + 1;
+      T_atom (intern_atom t a)
+  | Not f -> T_not (compile t f)
+  | And fs -> T_and (List.map (compile t) fs)
+  | Or fs -> T_or (List.map (compile t) fs)
+
+let add t ~id (rf : Rfilter.t) =
+  if Hashtbl.mem t.subs id then
+    invalid_arg (Printf.sprintf "Factored.add: id %d already registered" id);
+  match Rfilter.conjunction_atoms rf with
+  | Some atoms ->
+      let ids =
+        Array.of_list
+          (List.map
+             (fun a ->
+               t.total_atoms <- t.total_atoms + 1;
+               intern_atom t a)
+             atoms)
+      in
+      (* The counting algorithm needs each atom counted once. *)
+      let unique = Array.of_list (List.sort_uniq Int.compare (Array.to_list ids)) in
+      let n = Array.length unique in
+      let slot = slot_for t id in
+      Array.iter
+        (fun aid ->
+          let entry =
+            match Hashtbl.find_opt t.conj_index aid with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.add t.conj_index aid l;
+                l
+          in
+          entry := (slot, n) :: !entry)
+        unique;
+      Hashtbl.add t.subs id (Conj unique)
+  | None ->
+      let f = compile t rf.formula in
+      Hashtbl.add t.tree_subs id f;
+      Hashtbl.add t.subs id (Tree f)
+
+let rec tformula_atoms acc = function
+  | T_true | T_false -> acc
+  | T_atom a -> a :: acc
+  | T_not f -> tformula_atoms acc f
+  | T_and fs | T_or fs -> List.fold_left tformula_atoms acc fs
+
+let remove t ~id =
+  match Hashtbl.find_opt t.subs id with
+  | None -> ()
+  | Some shape ->
+      (match shape with
+      | Conj unique ->
+          let slot = slot_for t id in
+          Array.iter
+            (fun aid ->
+              match Hashtbl.find_opt t.conj_index aid with
+              | Some l -> l := List.filter (fun (s, _) -> s <> slot) !l
+              | None -> ())
+            unique;
+          t.total_atoms <- t.total_atoms - Array.length unique
+      | Tree f ->
+          Hashtbl.remove t.tree_subs id;
+          t.total_atoms <- t.total_atoms - List.length (tformula_atoms [] f));
+      Hashtbl.remove t.subs id
+
+let is_registered t ~id = Hashtbl.mem t.subs id
+
+let rebuild_sorted pidx =
+  let sort l = Array.of_list (List.sort (fun (a, _) (b, _) -> Float.compare a b) l) in
+  pidx.lt_sorted <- sort pidx.lt;
+  pidx.le_sorted <- sort pidx.le;
+  pidx.gt_sorted <- sort pidx.gt;
+  pidx.ge_sorted <- sort pidx.ge;
+  pidx.dirty <- false
+
+(* First index whose threshold satisfies [pred]; the array is sorted
+   ascending and [pred] is monotone (false then true). *)
+let lower_bound arr pred =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pred (fst arr.(mid)) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let matches t (root : Value.t) =
+  t.events_matched <- t.events_matched + 1;
+  Bytes.fill t.truth 0 (Bytes.length t.truth) '\000';
+  let set_true id = Bytes.unsafe_set t.truth id '\001' in
+  let true_atoms = ref [] in
+  let mark id =
+    set_true id;
+    true_atoms := id :: !true_atoms
+  in
+  (* Phase 1+2: evaluate each unique path once, resolve its atoms. *)
+  Array.iter
+    (fun pidx ->
+      if pidx.dirty then rebuild_sorted pidx;
+      t.path_evals <- t.path_evals + 1;
+      match Rfilter.eval_path root pidx.path with
+      | None ->
+          (* Missing path: every condition on it is false, including
+             the Cne ones (three-valued collapse, cf. Rfilter). *)
+          ()
+      | Some v ->
+          (match Hashtbl.find_opt pidx.eq_buckets (eq_key_of v) with
+          | Some bucket -> List.iter mark !bucket
+          | None -> ());
+          List.iter
+            (fun (const, id) ->
+              t.atom_evals <- t.atom_evals + 1;
+              if not (Rfilter.eval_atom_value v { path = pidx.path; cmp = Cne; const })
+              then ()
+              else mark id)
+            pidx.ne_atoms;
+          (match numeric_threshold v with
+          | Some k ->
+              (* v < thr : thresholds strictly above k *)
+              let a = pidx.lt_sorted in
+              for i = lower_bound a (fun thr -> thr > k) to Array.length a - 1 do
+                mark (snd a.(i))
+              done;
+              (* v <= thr : thresholds at least k *)
+              let a = pidx.le_sorted in
+              for i = lower_bound a (fun thr -> thr >= k) to Array.length a - 1 do
+                mark (snd a.(i))
+              done;
+              (* v > thr : thresholds strictly below k *)
+              let a = pidx.gt_sorted in
+              for i = 0 to lower_bound a (fun thr -> thr >= k) - 1 do
+                mark (snd a.(i))
+              done;
+              (* v >= thr : thresholds at most k *)
+              let a = pidx.ge_sorted in
+              for i = 0 to lower_bound a (fun thr -> thr > k) - 1 do
+                mark (snd a.(i))
+              done
+          | None -> ());
+          List.iter
+            (fun (atom, id) ->
+              t.atom_evals <- t.atom_evals + 1;
+              if Rfilter.eval_atom_value v atom then mark id)
+            pidx.misc)
+    t.paths;
+  (* Phase 3a: counting algorithm over pure conjunctions —
+     generation-stamped flat counters, no per-event clearing. *)
+  t.generation <- t.generation + 1;
+  let generation = t.generation in
+  let matched = ref [] in
+  List.iter
+    (fun aid ->
+      match Hashtbl.find_opt t.conj_index aid with
+      | None -> ()
+      | Some subs ->
+          List.iter
+            (fun (slot, size) ->
+              let c =
+                if t.stamps.(slot) = generation then t.counters.(slot) + 1
+                else 1
+              in
+              t.stamps.(slot) <- generation;
+              t.counters.(slot) <- c;
+              if c = size then matched := t.slot_id.(slot) :: !matched)
+            !subs)
+    !true_atoms;
+  (* Empty conjunctions (True filters) never enter the counting index;
+     pure-True filters compile to Tree T_true, handled below. *)
+  (* Phase 3b: general formulas over the memoized truth values. *)
+  let rec eval_t = function
+    | T_true -> true
+    | T_false -> false
+    | T_atom id -> Bytes.unsafe_get t.truth id = '\001'
+    | T_not f -> not (eval_t f)
+    | T_and fs -> List.for_all eval_t fs
+    | T_or fs -> List.exists eval_t fs
+  in
+  Hashtbl.iter
+    (fun sid f -> if eval_t f then matched := sid :: !matched)
+    t.tree_subs;
+  List.sort_uniq Int.compare !matched
+
+let matches_obvent t o = matches t (Obvent.to_value o)
+
+type stats = {
+  subscriptions : int;
+  unique_paths : int;
+  unique_atoms : int;
+  total_atoms : int;
+  path_evals : int;
+  atom_evals : int;
+  events_matched : int;
+}
+
+let stats t =
+  {
+    subscriptions = Hashtbl.length t.subs;
+    unique_paths = Array.length t.paths;
+    unique_atoms = t.n_atoms;
+    total_atoms = t.total_atoms;
+    path_evals = t.path_evals;
+    atom_evals = t.atom_evals;
+    events_matched = t.events_matched;
+  }
+
+let redundancy t =
+  let s = stats t in
+  if s.total_atoms = 0 then 0.
+  else 1. -. (float_of_int s.unique_atoms /. float_of_int s.total_atoms)

@@ -1,0 +1,56 @@
+(** Compound filters: factoring out redundancies between the filters
+    of many subscribers gathered on one filtering host (§2.3.2,
+    §3.3.3; the matching algorithm follows Aguilera et al., PODC'99).
+
+    The compound filter indexes all registered remote filters so that
+    matching one event costs roughly one evaluation per {e unique}
+    getter path and per {e unique} elementary condition, instead of
+    one full filter evaluation per subscriber:
+
+    - each unique invocation path is evaluated once per event;
+    - equality conditions are bucketed per path in a hash table, so a
+      thousand [getCompany() == "..."] subscriptions cost one lookup;
+    - numeric threshold conditions ([<], [<=], [>], [>=]) are kept in
+      sorted arrays per path and resolved by binary search;
+    - pure conjunctions are matched with the counting algorithm;
+      other formulas are evaluated over the memoized condition
+      results. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> id:int -> Rfilter.t -> unit
+(** Register a subscriber's filter under [id].
+    @raise Invalid_argument if [id] is already present. *)
+
+val remove : t -> id:int -> unit
+(** Unregister. Unknown ids are ignored (deactivation races are the
+    caller's business). *)
+
+val is_registered : t -> id:int -> bool
+
+val matches : t -> Tpbs_serial.Value.t -> int list
+(** Ids of all registered filters satisfied by the event, ascending.
+    Agrees with {!Rfilter.eval} filter by filter. *)
+
+val matches_obvent : t -> Tpbs_obvent.Obvent.t -> int list
+
+type stats = {
+  subscriptions : int;  (** live registered filters *)
+  unique_paths : int;  (** distinct getter paths across all filters *)
+  unique_atoms : int;  (** distinct elementary conditions *)
+  total_atoms : int;  (** sum of per-filter condition counts *)
+  path_evals : int;  (** cumulative path evaluations over all events *)
+  atom_evals : int;
+      (** cumulative individually-evaluated conditions (equality
+          bucket hits and threshold binary searches not included —
+          that is the saving) *)
+  events_matched : int;  (** cumulative calls to {!matches} *)
+}
+
+val stats : t -> stats
+
+val redundancy : t -> float
+(** [1 - unique_atoms/total_atoms] — the fraction of condition work
+    factoring eliminates; 0 when every filter is unique. *)

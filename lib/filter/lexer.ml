@@ -1,0 +1,170 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen | Rparen
+  | Lbrace | Rbrace
+  | Semi | Comma | Dot
+  | Op of string
+  | Eof
+
+type pos = { line : int; col : int }
+
+exception Lex_error of pos * string
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.line p.col
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %s" s
+  | Int_lit i -> Fmt.pf ppf "integer %d" i
+  | Float_lit f -> Fmt.pf ppf "float %g" f
+  | Str_lit s -> Fmt.pf ppf "string %S" s
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Lbrace -> Fmt.string ppf "'{'"
+  | Rbrace -> Fmt.string ppf "'}'"
+  | Semi -> Fmt.string ppf "';'"
+  | Comma -> Fmt.string ppf "','"
+  | Dot -> Fmt.string ppf "'.'"
+  | Op s -> Fmt.pf ppf "'%s'" s
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos_at i = { line = !line; col = i - !bol + 1 } in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let rec skip i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> skip (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          skip (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec close j =
+            if j + 1 >= n then
+              raise (Lex_error (pos_at i, "unterminated block comment"))
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then begin
+                incr line;
+                bol := j + 1
+              end;
+              close (j + 1)
+            end
+          in
+          skip (close (i + 2))
+      | _ -> i
+  in
+  let rec lex i =
+    let i = skip i in
+    if i >= n then emit Eof (pos_at i)
+    else begin
+      let p = pos_at i in
+      let c = src.[i] in
+      if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop (i + 1) in
+        emit (Ident (String.sub src i (j - i))) p;
+        lex j
+      end
+      else if is_digit c then begin
+        let rec stop j = if j < n && is_digit src.[j] then stop (j + 1) else j in
+        let j = stop (i + 1) in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = stop (j + 1) in
+          emit (Float_lit (float_of_string (String.sub src i (k - i)))) p;
+          lex k
+        end
+        else begin
+          emit (Int_lit (int_of_string (String.sub src i (j - i)))) p;
+          lex j
+        end
+      end
+      else
+        match c with
+        | '"' ->
+            let buf = Buffer.create 16 in
+            let rec scan j =
+              if j >= n then raise (Lex_error (p, "unterminated string literal"))
+              else
+                match src.[j] with
+                | '"' -> j + 1
+                | '\\' when j + 1 < n ->
+                    let e = src.[j + 1] in
+                    Buffer.add_char buf
+                      (match e with
+                      | 'n' -> '\n'
+                      | 't' -> '\t'
+                      | '\\' -> '\\'
+                      | '"' -> '"'
+                      | _ -> raise (Lex_error (p, "bad escape")));
+                    scan (j + 2)
+                | '\n' -> raise (Lex_error (p, "newline in string literal"))
+                | ch ->
+                    Buffer.add_char buf ch;
+                    scan (j + 1)
+            in
+            let j = scan (i + 1) in
+            emit (Str_lit (Buffer.contents buf)) p;
+            lex j
+        | '(' -> emit Lparen p; lex (i + 1)
+        | ')' -> emit Rparen p; lex (i + 1)
+        | '{' -> emit Lbrace p; lex (i + 1)
+        | '}' -> emit Rbrace p; lex (i + 1)
+        | ';' -> emit Semi p; lex (i + 1)
+        | ',' -> emit Comma p; lex (i + 1)
+        | '.' -> emit Dot p; lex (i + 1)
+        | '&' when i + 1 < n && src.[i + 1] = '&' -> emit (Op "&&") p; lex (i + 2)
+        | '|' when i + 1 < n && src.[i + 1] = '|' -> emit (Op "||") p; lex (i + 2)
+        | '=' when i + 1 < n && src.[i + 1] = '=' -> emit (Op "==") p; lex (i + 2)
+        | '!' when i + 1 < n && src.[i + 1] = '=' -> emit (Op "!=") p; lex (i + 2)
+        | '<' when i + 1 < n && src.[i + 1] = '=' -> emit (Op "<=") p; lex (i + 2)
+        | '>' when i + 1 < n && src.[i + 1] = '=' -> emit (Op ">=") p; lex (i + 2)
+        | '<' -> emit (Op "<") p; lex (i + 1)
+        | '>' -> emit (Op ">") p; lex (i + 1)
+        | '=' -> emit (Op "=") p; lex (i + 1)
+        | '!' -> emit (Op "!") p; lex (i + 1)
+        | '+' -> emit (Op "+") p; lex (i + 1)
+        | '-' -> emit (Op "-") p; lex (i + 1)
+        | '*' -> emit (Op "*") p; lex (i + 1)
+        | '/' -> emit (Op "/") p; lex (i + 1)
+        | '%' -> emit (Op "%") p; lex (i + 1)
+        | _ -> raise (Lex_error (p, Printf.sprintf "stray character %C" c))
+    end
+  in
+  lex 0;
+  List.rev !toks
+
+type stream = { toks : (token * pos) array; mutable idx : int }
+
+let stream_of_tokens toks = { toks = Array.of_list toks; idx = 0 }
+let stream_of_string src = stream_of_tokens (tokenize src)
+
+let peek s =
+  if s.idx < Array.length s.toks then fst s.toks.(s.idx) else Eof
+
+let peek_pos s =
+  if s.idx < Array.length s.toks then snd s.toks.(s.idx)
+  else { line = 0; col = 0 }
+
+let next s =
+  let t = peek s in
+  if s.idx < Array.length s.toks then s.idx <- s.idx + 1;
+  t
+
+let at_eof s = peek s = Eof
+let save s = s.idx
+let restore s idx = s.idx <- idx

@@ -1,0 +1,41 @@
+(** Tokenizer for the Java_ps surface syntax. Shared by the filter
+    expression parser and the psc precompiler front end: the paper's
+    filters "promote the use of the native language syntax" (§4.4.3),
+    so both parse the same token stream. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen | Rparen
+  | Lbrace | Rbrace
+  | Semi | Comma | Dot
+  | Op of string  (** one of [&& || == != < <= > >= + - * / % ! =] *)
+  | Eof
+
+type pos = { line : int; col : int }
+
+exception Lex_error of pos * string
+
+val pp_token : Format.formatter -> token -> unit
+val pp_pos : Format.formatter -> pos -> unit
+
+val tokenize : string -> (token * pos) list
+(** Whole-input tokenization, ending with [Eof]. Skips whitespace,
+    [//] line comments and [/* */] block comments.
+    @raise Lex_error on an unterminated string/comment or a stray
+    character. *)
+
+(** Mutable cursor over a token stream, used by recursive-descent
+    parsers. *)
+type stream
+
+val stream_of_string : string -> stream
+val stream_of_tokens : (token * pos) list -> stream
+val peek : stream -> token
+val peek_pos : stream -> pos
+val next : stream -> token
+val at_eof : stream -> bool
+val save : stream -> int
+val restore : stream -> int -> unit

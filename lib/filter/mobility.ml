@@ -1,0 +1,46 @@
+module Vtype = Tpbs_types.Vtype
+module Registry = Tpbs_types.Registry
+
+type reason =
+  | Nonprimitive_variable of string * Vtype.t
+  | Remote_value of string
+
+type verdict = Mobile | Local_only of reason list
+
+let pp_reason ppf = function
+  | Nonprimitive_variable (x, t) ->
+      Fmt.pf ppf "variable %s has non-primitive type %a" x Vtype.pp t
+  | Remote_value path ->
+      Fmt.pf ppf "filter observes remote reference via %s" path
+
+let pp_verdict ppf = function
+  | Mobile -> Fmt.string ppf "mobile"
+  | Local_only reasons ->
+      Fmt.pf ppf "local-only (%a)" Fmt.(list ~sep:(any "; ") pp_reason) reasons
+
+let classify reg ~param ~vars e =
+  let reasons = ref [] in
+  let note r = if not (List.mem r !reasons) then reasons := r :: !reasons in
+  List.iter
+    (fun x ->
+      match List.assoc_opt x vars with
+      | Some t when not (Vtype.is_primitive t) ->
+          note (Nonprimitive_variable (x, t))
+      | Some _ | None -> ())
+    (Expr.vars e);
+  (* A getter path whose result type is a remote reference makes the
+     filter observe bound-object identity; keep it at the subscriber. *)
+  List.iter
+    (fun path ->
+      let rec walk cls = function
+        | [] -> ()
+        | m :: rest -> (
+            match Registry.method_ret reg cls m with
+            | Some (Vtype.Tremote _) when rest = [] ->
+                note (Remote_value (String.concat "." path))
+            | Some (Vtype.Tobject next) -> walk next rest
+            | Some _ | None -> ())
+      in
+      walk param path)
+    (Expr.getter_paths e);
+  match List.rev !reasons with [] -> Mobile | rs -> Local_only rs

@@ -1,0 +1,32 @@
+(** Mobility analysis of filters (§3.3.4).
+
+    A filter may migrate to a foreign filtering host only when it is
+    location-independent: its invocations are (nested) getter calls on
+    the filtered obvent, and its captured variables are primitives (or
+    strings). A filter that deviates "is applied locally". The AST of
+    {!Expr} makes most violations unrepresentable; what remains
+    checkable is the variable discipline and the use of remote
+    references. Opaque OCaml closures supplied directly to the engine
+    are always local — they are the analogue of Java filters whose
+    bytecode the precompiler cannot lift. *)
+
+type reason =
+  | Nonprimitive_variable of string * Tpbs_types.Vtype.t
+      (** a captured variable of object/list/remote type (§3.3.4
+          restricts variables to primitives and strings) *)
+  | Remote_value of string
+      (** the filter observes a remote reference returned by the named
+          getter path; evaluating it elsewhere would pin the filter to
+          proxy semantics *)
+
+type verdict = Mobile | Local_only of reason list
+
+val classify :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  vars:(string * Tpbs_types.Vtype.t) list ->
+  Expr.t ->
+  verdict
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

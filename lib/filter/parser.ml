@@ -1,0 +1,157 @@
+module L = Lexer
+
+exception Parse_error of L.pos * string
+
+let fail s fmt =
+  let pos = L.peek_pos s in
+  Fmt.kstr (fun msg -> raise (Parse_error (pos, msg))) fmt
+
+let expect s tok =
+  let got = L.next s in
+  if got <> tok then
+    fail s "expected %a, found %a" L.pp_token tok L.pp_token got
+
+let rec parse_or s ~param =
+  let lhs = parse_and s ~param in
+  match L.peek s with
+  | Op "||" ->
+      ignore (L.next s);
+      Expr.Binop (Or, lhs, parse_or s ~param)
+  | _ -> lhs
+
+and parse_and s ~param =
+  let lhs = parse_equality s ~param in
+  match L.peek s with
+  | Op "&&" ->
+      ignore (L.next s);
+      Expr.Binop (And, lhs, parse_and s ~param)
+  | _ -> lhs
+
+and parse_equality s ~param =
+  let lhs = parse_rel s ~param in
+  match L.peek s with
+  | Op "==" ->
+      ignore (L.next s);
+      Expr.Binop (Eq, lhs, parse_rel s ~param)
+  | Op "!=" ->
+      ignore (L.next s);
+      Expr.Binop (Ne, lhs, parse_rel s ~param)
+  | _ -> lhs
+
+and parse_rel s ~param =
+  let lhs = parse_additive s ~param in
+  let op =
+    match L.peek s with
+    | Op "<" -> Some Expr.Lt
+    | Op "<=" -> Some Expr.Le
+    | Op ">" -> Some Expr.Gt
+    | Op ">=" -> Some Expr.Ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      ignore (L.next s);
+      Expr.Binop (op, lhs, parse_additive s ~param)
+  | None -> lhs
+
+and parse_additive s ~param =
+  let rec loop lhs =
+    match L.peek s with
+    | Op "+" ->
+        ignore (L.next s);
+        loop (Expr.Binop (Add, lhs, parse_mult s ~param))
+    | Op "-" ->
+        ignore (L.next s);
+        loop (Expr.Binop (Sub, lhs, parse_mult s ~param))
+    | _ -> lhs
+  in
+  loop (parse_mult s ~param)
+
+and parse_mult s ~param =
+  let rec loop lhs =
+    match L.peek s with
+    | Op "*" ->
+        ignore (L.next s);
+        loop (Expr.Binop (Mul, lhs, parse_unary s ~param))
+    | Op "/" ->
+        ignore (L.next s);
+        loop (Expr.Binop (Div, lhs, parse_unary s ~param))
+    | Op "%" ->
+        ignore (L.next s);
+        loop (Expr.Binop (Mod, lhs, parse_unary s ~param))
+    | _ -> lhs
+  in
+  loop (parse_unary s ~param)
+
+and parse_unary s ~param =
+  match L.peek s with
+  | Op "!" ->
+      ignore (L.next s);
+      Expr.Unop (Not, parse_unary s ~param)
+  | Op "-" -> (
+      ignore (L.next s);
+      (* Fold negative literals so that idioms like
+         [indexOf(...) != -1] normalize (§4.4.3). *)
+      match parse_unary s ~param with
+      | Expr.Const (Tpbs_serial.Value.Int i) -> Expr.int (-i)
+      | Expr.Const (Tpbs_serial.Value.Float f) -> Expr.float (-.f)
+      | e -> Expr.Unop (Neg, e))
+  | _ -> parse_postfix s ~param
+
+and parse_postfix s ~param =
+  let rec loop recv =
+    match L.peek s with
+    | Dot -> (
+        ignore (L.next s);
+        match L.next s with
+        | Ident m -> (
+            expect s L.Lparen;
+            match m, L.peek s with
+            | "length", L.Rparen ->
+                ignore (L.next s);
+                loop (Expr.Unop (Length, recv))
+            | _, L.Rparen ->
+                ignore (L.next s);
+                loop (Expr.Invoke (recv, m))
+            | _, _ ->
+                let arg = parse_or s ~param in
+                expect s L.Rparen;
+                let e =
+                  match m with
+                  | "indexOf" -> Expr.Binop (Index_of, recv, arg)
+                  | "contains" -> Expr.Binop (Contains, recv, arg)
+                  | "startsWith" -> Expr.Binop (Starts_with, recv, arg)
+                  | "equals" -> Expr.Binop (Eq, recv, arg)
+                  | "concat" -> Expr.Binop (Concat, recv, arg)
+                  | _ ->
+                      fail s "method %s with an argument is not supported in filters" m
+                in
+                loop e)
+        | tok -> fail s "expected method name after '.', found %a" L.pp_token tok)
+    | _ -> recv
+  in
+  loop (parse_primary s ~param)
+
+and parse_primary s ~param =
+  match L.next s with
+  | Int_lit i -> Expr.int i
+  | Float_lit f -> Expr.float f
+  | Str_lit str -> Expr.str str
+  | Ident "true" -> Expr.bool true
+  | Ident "false" -> Expr.bool false
+  | Ident "null" -> Expr.Const Tpbs_serial.Value.Null
+  | Ident x -> if String.equal x param then Expr.Arg else Expr.Var x
+  | Lparen ->
+      let e = parse_or s ~param in
+      expect s L.Rparen;
+      e
+  | tok -> fail s "expected an expression, found %a" L.pp_token tok
+
+let parse_expr s ~param = parse_or s ~param
+
+let expr_of_string ~param src =
+  let s = L.stream_of_string src in
+  let e = parse_expr s ~param in
+  if not (L.at_eof s) then
+    fail s "trailing input after expression: %a" L.pp_token (L.peek s);
+  e

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for filter (and handler) expressions in
+    the Java_ps surface syntax, e.g.
+
+    {[ q.getPrice() < 100 && q.getCompany().indexOf("Telco") != -1 ]}
+
+    The formal parameter of the enclosing [subscribe] expression
+    parses to {!Expr.Arg}; any other identifier parses to a captured
+    variable ({!Expr.Var}). Known library methods are desugared:
+    [indexOf], [contains], [startsWith], [length], [equals]. *)
+
+exception Parse_error of Lexer.pos * string
+
+val parse_expr : Lexer.stream -> param:string -> Expr.t
+(** Parse one expression from the stream, leaving the cursor after
+    it.
+    @raise Parse_error on syntax errors. *)
+
+val expr_of_string : param:string -> string -> Expr.t
+(** Parse a complete string as a single expression; the whole input
+    must be consumed.
+    @raise Parse_error / @raise Lexer.Lex_error. *)

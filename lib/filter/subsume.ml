@@ -1,0 +1,210 @@
+module Value = Tpbs_serial.Value
+
+(* Per-path knowledge extracted from a conjunction of atoms. *)
+type bound = { value : float; inclusive : bool }
+
+type path_info = {
+  mutable lo : bound option;  (* value >= / > lo *)
+  mutable hi : bound option;  (* value <= / < hi *)
+  mutable eq : Value.t option;  (* value == eq *)
+  mutable ne : Value.t list;
+  mutable contains : string list;  (* value contains each *)
+  mutable prefix : string option;  (* longest known prefix *)
+  mutable unsupported : bool;  (* an atom we cannot reason about *)
+}
+
+let fresh_info () =
+  { lo = None; hi = None; eq = None; ne = []; contains = [];
+    prefix = None; unsupported = false }
+
+let as_float : Value.t -> float option = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let tighten_lo info b =
+  match info.lo with
+  | None -> info.lo <- Some b
+  | Some cur ->
+      if b.value > cur.value || (b.value = cur.value && not b.inclusive) then
+        info.lo <- Some b
+
+let tighten_hi info b =
+  match info.hi with
+  | None -> info.hi <- Some b
+  | Some cur ->
+      if b.value < cur.value || (b.value = cur.value && not b.inclusive) then
+        info.hi <- Some b
+
+let is_substring ~needle hay =
+  let nn = String.length needle and hn = String.length hay in
+  nn = 0
+  ||
+  let found = ref false in
+  (try
+     for i = 0 to hn - nn do
+       if String.sub hay i nn = needle then begin
+         found := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found
+
+let is_prefix ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+let absorb info (a : Rfilter.atom) =
+  match a.cmp with
+  | Ceq -> (
+      info.eq <- Some a.const;
+      match as_float a.const with
+      | Some f ->
+          tighten_lo info { value = f; inclusive = true };
+          tighten_hi info { value = f; inclusive = true }
+      | None -> ())
+  | Cne -> info.ne <- a.const :: info.ne
+  | Clt -> (
+      match as_float a.const with
+      | Some f -> tighten_hi info { value = f; inclusive = false }
+      | None -> info.unsupported <- true)
+  | Cle -> (
+      match as_float a.const with
+      | Some f -> tighten_hi info { value = f; inclusive = true }
+      | None -> info.unsupported <- true)
+  | Cgt -> (
+      match as_float a.const with
+      | Some f -> tighten_lo info { value = f; inclusive = false }
+      | None -> info.unsupported <- true)
+  | Cge -> (
+      match as_float a.const with
+      | Some f -> tighten_lo info { value = f; inclusive = true }
+      | None -> info.unsupported <- true)
+  | Ccontains -> (
+      match a.const with
+      | Str s -> info.contains <- s :: info.contains
+      | _ -> info.unsupported <- true)
+  | Cprefix -> (
+      match a.const with
+      | Str s -> (
+          match info.prefix with
+          | None -> info.prefix <- Some s
+          | Some p ->
+              (* Keep the longer prefix if compatible; otherwise the
+                 conjunction is unsatisfiable, which still soundly
+                 implies everything, but we stay conservative. *)
+              if is_prefix ~prefix:p s then info.prefix <- Some s
+              else if not (is_prefix ~prefix:s p) then info.unsupported <- true)
+      | _ -> info.unsupported <- true)
+
+let knowledge atoms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Rfilter.atom) ->
+      let info =
+        match Hashtbl.find_opt tbl a.path with
+        | Some i -> i
+        | None ->
+            let i = fresh_info () in
+            Hashtbl.add tbl a.path i;
+            i
+      in
+      absorb info a)
+    atoms;
+  tbl
+
+(* Does the knowledge about a path guarantee atom [b]? *)
+let entails (info : path_info) (b : Rfilter.atom) =
+  let eq_guarantees v =
+    match info.eq with
+    | Some e -> Value.equal e v
+    | None -> false
+  in
+  match b.cmp with
+  | Ceq -> eq_guarantees b.const
+  | Cne -> (
+      (* Known equal to something different, or an explicit ne. *)
+      (match info.eq with
+      | Some e -> not (Value.equal e b.const)
+      | None -> List.exists (Value.equal b.const) info.ne)
+      ||
+      match as_float b.const, info.lo, info.hi with
+      | Some v, Some lo, _ when lo.value > v || (lo.value = v && not lo.inclusive)
+        -> true
+      | Some v, _, Some hi when hi.value < v || (hi.value = v && not hi.inclusive)
+        -> true
+      | _ -> false)
+  | Clt -> (
+      match as_float b.const, info.hi with
+      | Some v, Some hi -> hi.value < v || (hi.value = v && not hi.inclusive)
+      | _ -> false)
+  | Cle -> (
+      match as_float b.const, info.hi with
+      | Some v, Some hi -> hi.value <= v
+      | _ -> false)
+  | Cgt -> (
+      match as_float b.const, info.lo with
+      | Some v, Some lo -> lo.value > v || (lo.value = v && not lo.inclusive)
+      | _ -> false)
+  | Cge -> (
+      match as_float b.const, info.lo with
+      | Some v, Some lo -> lo.value >= v
+      | _ -> false)
+  | Ccontains -> (
+      match b.const with
+      | Str needle -> (
+          List.exists (fun s -> is_substring ~needle s) info.contains
+          || (match info.prefix with
+             | Some p -> is_substring ~needle p
+             | None -> false)
+          ||
+          match info.eq with
+          | Some (Str s) -> is_substring ~needle s
+          | _ -> false)
+      | _ -> false)
+  | Cprefix -> (
+      match b.const with
+      | Str needle -> (
+          (match info.prefix with
+          | Some p -> is_prefix ~prefix:needle p
+          | None -> false)
+          ||
+          match info.eq with
+          | Some (Str s) -> is_prefix ~prefix:needle s
+          | _ -> false)
+      | _ -> false)
+
+let implies a b =
+  if not (String.equal a.Rfilter.param b.Rfilter.param) then false
+  else
+    match Rfilter.conjunction_atoms a, b.Rfilter.formula with
+    | _, True -> true
+    | None, _ -> false
+    | Some a_atoms, _ -> (
+        match Rfilter.conjunction_atoms b with
+        | None -> false
+        | Some b_atoms ->
+            let know = knowledge a_atoms in
+            List.for_all
+              (fun (batom : Rfilter.atom) ->
+                match Hashtbl.find_opt know batom.path with
+                | None -> false
+                | Some info -> (not info.unsupported) && entails info batom)
+              b_atoms)
+
+let equivalent a b = implies a b && implies b a
+
+let count_covered filters =
+  let arr = Array.of_list filters in
+  let n = Array.length arr in
+  let covered = ref 0 in
+  for i = 0 to n - 1 do
+    let is_covered = ref false in
+    for j = 0 to n - 1 do
+      if i <> j && not !is_covered && implies arr.(j) arr.(i) then
+        is_covered := true
+    done;
+    if !is_covered then incr covered
+  done;
+  !covered

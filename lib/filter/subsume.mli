@@ -1,0 +1,19 @@
+(** Sound (incomplete) implication checking between remote filters.
+
+    Used by filtering hosts to recognize that one subscription's
+    criteria cover another's — a second source of factoring beyond
+    shared conditions: if filter [A] implies filter [B], every event
+    accepted by [A] is accepted by [B], so [B] need not be evaluated
+    for subscribers already covered. Only pure conjunctions are
+    analyzed; anything else conservatively yields [false]. *)
+
+val implies : Rfilter.t -> Rfilter.t -> bool
+(** [implies a b] — [true] guarantees that every event matching [a]
+    matches [b]. [false] means "unknown". *)
+
+val equivalent : Rfilter.t -> Rfilter.t -> bool
+(** Mutual implication. *)
+
+val count_covered : Rfilter.t list -> int
+(** Number of filters in the list implied by some {e other} filter of
+    the list — a redundancy measure reported by experiment E3. *)

@@ -1,0 +1,137 @@
+module Vtype = Tpbs_types.Vtype
+module Registry = Tpbs_types.Registry
+module Value = Tpbs_serial.Value
+
+type error = { expr : Expr.t; message : string }
+
+exception Ill_typed of error
+
+let pp_error ppf e = Fmt.pf ppf "%s in `%a'" e.message Expr.pp e.expr
+
+let fail expr fmt =
+  Fmt.kstr (fun message -> raise (Ill_typed { expr; message })) fmt
+
+let const_type expr (v : Value.t) : Vtype.t =
+  match v with
+  | Bool _ -> Tbool
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Str _ -> Tstring
+  | Null -> fail expr "null literals need an expected type; compare with isNull"
+  | List _ | Obj _ | Remote _ ->
+      fail expr "only primitive literals are allowed in filters"
+
+let is_numeric : Vtype.t -> bool = function
+  | Tint | Tfloat -> true
+  | Tbool | Tstring | Tlist _ | Tobject _ | Tremote _ -> false
+
+let join_numeric a b : Vtype.t =
+  match (a : Vtype.t), (b : Vtype.t) with
+  | Tint, Tint -> Tint
+  | (Tint | Tfloat), (Tint | Tfloat) -> Tfloat
+  | _ -> assert false
+
+let rec infer reg ~param ~vars (e : Expr.t) : Vtype.t =
+  match e with
+  | Const v -> const_type e v
+  | Arg -> Tobject param
+  | Var x -> (
+      match List.assoc_opt x vars with
+      | Some t -> t
+      | None -> fail e "unbound variable %s" x)
+  | Invoke (recv, m) -> (
+      match infer reg ~param ~vars recv with
+      | Tobject cls -> (
+          match Registry.method_ret reg cls m with
+          | Some ret -> ret
+          | None -> fail e "type %s has no method %s" cls m)
+      | Tremote iface ->
+          fail e
+            "cannot invoke %s on remote reference of interface %s inside a \
+             filter" m iface
+      | t -> fail e "cannot invoke %s on a value of type %a" m Vtype.pp t)
+  | Unop (Not, a) ->
+      expect reg ~param ~vars a Vtype.Tbool;
+      Tbool
+  | Unop (Neg, a) -> (
+      match infer reg ~param ~vars a with
+      | (Tint | Tfloat) as t -> t
+      | t -> fail e "cannot negate %a" Vtype.pp t)
+  | Unop (Length, a) -> (
+      match infer reg ~param ~vars a with
+      | Tstring | Tlist _ -> Tint
+      | t -> fail e "length() undefined on %a" Vtype.pp t)
+  | Unop (Is_null, a) -> (
+      match infer reg ~param ~vars a with
+      | Tstring | Tlist _ | Tobject _ | Tremote _ -> Tbool
+      | t -> fail e "isNull undefined on primitive type %a" Vtype.pp t)
+  | Binop ((And | Or), a, b) ->
+      expect reg ~param ~vars a Vtype.Tbool;
+      expect reg ~param ~vars b Vtype.Tbool;
+      Tbool
+  | Binop ((Eq | Ne), a, b) ->
+      let ta = infer reg ~param ~vars a and tb = infer reg ~param ~vars b in
+      let compatible =
+        Vtype.equal ta tb
+        || (is_numeric ta && is_numeric tb)
+        || equality_over_hierarchy reg ta tb
+      in
+      if not compatible then
+        fail e "cannot compare %a with %a" Vtype.pp ta Vtype.pp tb;
+      Tbool
+  | Binop ((Lt | Le | Gt | Ge), a, b) ->
+      let ta = infer reg ~param ~vars a and tb = infer reg ~param ~vars b in
+      let ordered =
+        (is_numeric ta && is_numeric tb)
+        || (Vtype.equal ta Tstring && Vtype.equal tb Tstring)
+      in
+      if not ordered then
+        fail e "ordering undefined between %a and %a" Vtype.pp ta Vtype.pp tb;
+      Tbool
+  | Binop (Add, a, b) ->
+      let ta = infer reg ~param ~vars a and tb = infer reg ~param ~vars b in
+      if is_numeric ta && is_numeric tb then join_numeric ta tb
+        (* Java's overloaded +: string concatenation. *)
+      else if Vtype.equal ta Tstring && Vtype.equal tb Tstring then Tstring
+      else fail e "cannot add %a and %a" Vtype.pp ta Vtype.pp tb
+  | Binop ((Sub | Mul | Div | Mod), a, b) ->
+      let ta = infer reg ~param ~vars a and tb = infer reg ~param ~vars b in
+      if is_numeric ta && is_numeric tb then join_numeric ta tb
+      else fail e "arithmetic on %a and %a" Vtype.pp ta Vtype.pp tb
+  | Binop (Concat, a, b) ->
+      expect reg ~param ~vars a Vtype.Tstring;
+      expect reg ~param ~vars b Vtype.Tstring;
+      Tstring
+  | Binop (Index_of, a, b) ->
+      expect reg ~param ~vars a Vtype.Tstring;
+      expect reg ~param ~vars b Vtype.Tstring;
+      Tint
+  | Binop ((Contains | Starts_with), a, b) ->
+      expect reg ~param ~vars a Vtype.Tstring;
+      expect reg ~param ~vars b Vtype.Tstring;
+      Tbool
+
+and expect reg ~param ~vars e t =
+  let actual = infer reg ~param ~vars e in
+  if not (Vtype.equal actual t) then
+    fail e "expected %a, found %a" Vtype.pp t Vtype.pp actual
+
+and equality_over_hierarchy reg ta tb =
+  (* Java reference equality between related nominal types. *)
+  match (ta : Vtype.t), (tb : Vtype.t) with
+  | Tobject a, Tobject b ->
+      Registry.exists reg a && Registry.exists reg b
+      && (Registry.subtype reg a b || Registry.subtype reg b a)
+  | _ -> false
+
+let check_filter reg ~param ~vars e =
+  if not (Registry.exists reg param) then
+    fail e "unknown parameter type %s" param;
+  if not (Registry.is_obvent_type reg param) then
+    fail e "parameter type %s does not widen to Obvent" param;
+  expect reg ~param ~vars e Vtype.Tbool
+
+let check_filter_result reg ~param ~vars e =
+  match check_filter reg ~param ~vars e with
+  | () -> Ok ()
+  | exception Ill_typed err -> Error err

@@ -1,0 +1,38 @@
+(** Static typechecking of filter bodies against the obvent type of
+    the subscription's formal parameter — the compile-time safety the
+    paper's LP1 demands: type errors in filters are found before the
+    subscription ever sees an event. *)
+
+type error = { expr : Expr.t; message : string }
+
+exception Ill_typed of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val infer :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  vars:(string * Tpbs_types.Vtype.t) list ->
+  Expr.t ->
+  Tpbs_types.Vtype.t
+(** [infer reg ~param ~vars e] — type of [e] where [Arg : param] and
+    captured variables have the declared types.
+    @raise Ill_typed on unknown methods, operator misuse, or unbound
+    variables. *)
+
+val check_filter :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  vars:(string * Tpbs_types.Vtype.t) list ->
+  Expr.t ->
+  unit
+(** A filter body must have type [bool] (§3.3.1).
+    @raise Ill_typed otherwise. *)
+
+val check_filter_result :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  vars:(string * Tpbs_types.Vtype.t) list ->
+  Expr.t ->
+  (unit, error) result
+(** Non-raising variant, used by the psc compiler to report errors. *)

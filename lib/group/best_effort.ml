@@ -1,0 +1,24 @@
+module Net = Tpbs_sim.Net
+
+type t = {
+  group : Membership.t;
+  me : Net.node_id;
+  port : string;
+}
+
+let attach group ~me ~name ~deliver =
+  let port = "be:" ^ name in
+  Net.set_handler (Membership.net group) me ~port (fun src payload ->
+      deliver ~origin:src payload);
+  { group; me; port }
+
+let bcast t payload =
+  let net = Membership.net t.group in
+  Array.iter
+    (fun dst -> Net.send net ~src:t.me ~dst ~port:t.port payload)
+    (Membership.members t.group)
+
+let send_to t ~dst payload =
+  Net.send (Membership.net t.group) ~src:t.me ~dst ~port:t.port payload
+
+let me t = t.me

@@ -1,0 +1,26 @@
+(** Best-effort multicast: the protocol behind default (unreliable)
+    obvents — one datagram per group member, IP-multicast-like, no
+    retransmission (§3.1.2 "Unreliable: there is only a best-effort
+    attempt to deliver"). The local member delivers through the same
+    path so that self-delivery keeps the clone-per-subscriber
+    semantics. *)
+
+type t
+
+val attach :
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+(** Install this member's endpoint for channel [name]. [deliver] is
+    invoked once per received broadcast payload. *)
+
+val bcast : t -> string -> unit
+(** Send to every group member (including self). *)
+
+val send_to : t -> dst:Tpbs_sim.Net.node_id -> string -> unit
+(** Unicast on the channel's port — used by subscription-aware
+    dissemination to address only interested members. *)
+
+val me : t -> Tpbs_sim.Net.node_id

@@ -1,0 +1,65 @@
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+
+type pending = { origin : Net.node_id; sender_rank : int; vc : Vclock.t; payload : string }
+
+type t = {
+  group : Membership.t;
+  rb : Rbcast.t;
+  me : Net.node_id;
+  local : Vclock.t;
+  mutable parked : pending list;
+  deliver : origin:Net.node_id -> string -> unit;
+}
+
+let rec drain t =
+  let deliverable, still =
+    List.partition
+      (fun p -> Vclock.deliverable p.vc ~sender:p.sender_rank ~local:t.local)
+      t.parked
+  in
+  t.parked <- still;
+  match deliverable with
+  | [] -> ()
+  | ps ->
+      List.iter
+        (fun p ->
+          Vclock.merge t.local p.vc;
+          t.deliver ~origin:p.origin p.payload)
+        ps;
+      drain t
+
+let on_receive t ~origin ~tag payload =
+  match Vclock.of_value tag with
+  | None -> ()
+  | Some vc -> (
+      match Membership.rank t.group origin with
+      | sender_rank ->
+          t.parked <- { origin; sender_rank; vc; payload } :: t.parked;
+          drain t
+      | exception Not_found -> ())
+
+let attach group ~me ~name ~deliver =
+  let rb =
+    Rbcast.attach group ~me ~name:("causal:" ^ name)
+      ~deliver:(fun ~origin:_ _ -> ())
+  in
+  let t =
+    { group; rb; me; local = Vclock.create (Membership.size group);
+      parked = []; deliver }
+  in
+  Rbcast.set_tagged_deliver rb (fun ~origin ~tag payload ->
+      on_receive t ~origin ~tag payload);
+  t
+
+let bcast t payload =
+  let rank = Membership.rank t.group t.me in
+  (* The publish event advances the local clock; the message carries
+     the advanced clock, and local delivery goes through the same
+     holdback path as everyone else's. *)
+  let vc = Vclock.copy t.local in
+  Vclock.tick vc rank;
+  Rbcast.bcast_tagged t.rb ~tag:(Vclock.to_value vc) payload
+
+let clock t = Vclock.copy t.local
+let holdback_size t = List.length t.parked

@@ -1,0 +1,23 @@
+(** Causally ordered broadcast (§3.1.2 "Causally ordered"): delivery
+    respects Lamport's happens-before over publish events — if a
+    member publishes [o2] after delivering [o1], no member delivers
+    [o2] before [o1]. Implemented as CBCAST over {!Rbcast}: each
+    message carries the publisher's vector clock and receivers hold
+    back until the clock condition allows delivery. Causal order
+    implies FIFO order (the subtype relation in Fig. 3 is a theorem
+    here, exercised by the tests). *)
+
+type t
+
+val attach :
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+
+val bcast : t -> string -> unit
+val clock : t -> Vclock.t
+(** Snapshot of the local vector clock. *)
+
+val holdback_size : t -> int

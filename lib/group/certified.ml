@@ -1,0 +1,216 @@
+module Net = Tpbs_sim.Net
+module Stable = Tpbs_sim.Stable
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+type t = {
+  group : Membership.t;
+  me : Net.node_id;
+  name : string;
+  storage : Stable.t;
+  retry_period : int;
+  data_port : string;
+  ack_port : string;
+  sync_port : string;
+  (* publisher side (in-memory; rebuilt pessimistically on resume) *)
+  mutable next_seq : int;
+  waiting : (int, (Net.node_id, unit) Hashtbl.t) Hashtbl.t;
+      (* seq -> members that have not acked *)
+  (* subscriber side *)
+  expected : (Net.node_id, int) Hashtbl.t;  (* mirror of durable frontier *)
+  parked : (Net.node_id * int, string) Hashtbl.t;
+  deliver : origin:Net.node_id -> string -> unit;
+  mutable timer_armed : bool;
+}
+
+let log_key t seq = Printf.sprintf "cert:%s:log:%d" t.name seq
+let next_key t = Printf.sprintf "cert:%s:next" t.name
+let frontier_key t origin = Printf.sprintf "cert:%s:exp:%d" t.name origin
+
+let encode_data ~origin ~seq payload =
+  Codec.encode (List [ Int origin; Int seq; Str payload ])
+
+let decode_data bytes =
+  match Codec.decode bytes with
+  | List [ Int origin; Int seq; Str payload ] -> Some (origin, seq, payload)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let net t = Membership.net t.group
+
+let send_data t ~dst ~seq payload =
+  Net.send (net t) ~src:t.me ~dst ~port:t.data_port
+    (encode_data ~origin:t.me ~seq payload)
+
+let send_ack t ~dst ~seq =
+  Net.send (net t) ~src:t.me ~dst ~port:t.ack_port
+    (Codec.encode (Int seq))
+
+(* --- durable frontier ---------------------------------------------- *)
+
+let expected_of t origin =
+  match Hashtbl.find_opt t.expected origin with
+  | Some e -> e
+  | None -> (
+      match Stable.get t.storage (frontier_key t origin) with
+      | Some s ->
+          let e = int_of_string s in
+          Hashtbl.replace t.expected origin e;
+          e
+      | None -> 0)
+
+let advance_frontier t origin e =
+  Hashtbl.replace t.expected origin e;
+  Stable.put t.storage (frontier_key t origin) (string_of_int e)
+
+(* --- retransmission ------------------------------------------------- *)
+
+let retransmit_round t =
+  Hashtbl.iter
+    (fun seq missing ->
+      match Stable.get t.storage (log_key t seq) with
+      | None -> ()
+      | Some payload ->
+          Hashtbl.iter (fun dst () -> send_data t ~dst ~seq payload) missing)
+    t.waiting
+
+let rec arm_timer t =
+  if not t.timer_armed then begin
+    t.timer_armed <- true;
+    Net.schedule_on (net t) t.me ~delay:t.retry_period (fun () ->
+        t.timer_armed <- false;
+        if Hashtbl.length t.waiting > 0 then begin
+          retransmit_round t;
+          arm_timer t
+        end)
+  end
+
+(* --- receive paths --------------------------------------------------- *)
+
+let rec drain t origin =
+  let e = expected_of t origin in
+  match Hashtbl.find_opt t.parked (origin, e) with
+  | None -> ()
+  | Some payload ->
+      Hashtbl.remove t.parked (origin, e);
+      advance_frontier t origin (e + 1);
+      t.deliver ~origin payload;
+      drain t origin
+
+let on_data t bytes =
+  match decode_data bytes with
+  | None -> ()
+  | Some (origin, seq, payload) ->
+      (* Always (re-)ack: the publisher may have lost our ack. *)
+      send_ack t ~dst:origin ~seq;
+      let e = expected_of t origin in
+      if seq >= e then begin
+        Hashtbl.replace t.parked (origin, seq) payload;
+        drain t origin
+      end
+
+let on_ack t src bytes =
+  match Codec.decode bytes with
+  | Int seq -> (
+      match Hashtbl.find_opt t.waiting seq with
+      | None -> ()
+      | Some missing ->
+          Hashtbl.remove missing src;
+          if Hashtbl.length missing = 0 then Hashtbl.remove t.waiting seq)
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let on_sync t src bytes =
+  (* A member recovered and asks for everything from [from_seq] on. *)
+  match Codec.decode bytes with
+  | Int from_seq ->
+      for seq = from_seq to t.next_seq - 1 do
+        match Stable.get t.storage (log_key t seq) with
+        | Some payload -> send_data t ~dst:src ~seq payload
+        | None -> ()
+      done
+  | _ | (exception Codec.Decode_error _) -> ()
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let request_sync t =
+  Array.iter
+    (fun dst ->
+      if dst <> t.me then
+        Net.send (net t) ~src:t.me ~dst ~port:t.sync_port
+          (Codec.encode (Int (expected_of t dst))))
+    (Membership.members t.group)
+
+let attach group ~me ~name ~storage ?(retry_period = 5000) ~deliver () =
+  let t =
+    {
+      group;
+      me;
+      name;
+      storage;
+      retry_period;
+      data_port = "cert:" ^ name;
+      ack_port = "cert-ack:" ^ name;
+      sync_port = "cert-sync:" ^ name;
+      next_seq =
+        (match Stable.get storage (Printf.sprintf "cert:%s:next" name) with
+        | Some s -> int_of_string s
+        | None -> 0);
+      waiting = Hashtbl.create 16;
+      expected = Hashtbl.create 16;
+      parked = Hashtbl.create 16;
+      deliver;
+      timer_armed = false;
+    }
+  in
+  let n = net t in
+  Net.set_handler n me ~port:t.data_port (fun _src bytes -> on_data t bytes);
+  Net.set_handler n me ~port:t.ack_port (fun src bytes -> on_ack t src bytes);
+  Net.set_handler n me ~port:t.sync_port (fun src bytes -> on_sync t src bytes);
+  t
+
+let bcast t payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (* Log before the first send: certified means the message survives
+     our own crash. *)
+  Stable.put t.storage (log_key t seq) payload;
+  Stable.put t.storage (next_key t) (string_of_int t.next_seq);
+  let missing = Hashtbl.create 8 in
+  Array.iter
+    (fun dst -> if dst <> t.me then Hashtbl.replace missing dst ())
+    (Membership.members t.group);
+  if Hashtbl.length missing > 0 then Hashtbl.replace t.waiting seq missing;
+  (* Local delivery goes through the same frontier bookkeeping. *)
+  on_data t (encode_data ~origin:t.me ~seq payload);
+  Array.iter
+    (fun dst -> if dst <> t.me then send_data t ~dst ~seq payload)
+    (Membership.members t.group);
+  arm_timer t
+
+let resume t =
+  t.timer_armed <- false;
+  (* Pessimistically assume nobody acked anything we logged. *)
+  Hashtbl.reset t.waiting;
+  t.next_seq <-
+    (match Stable.get t.storage (next_key t) with
+    | Some s -> int_of_string s
+    | None -> 0);
+  for seq = 0 to t.next_seq - 1 do
+    if Stable.get t.storage (log_key t seq) <> None then begin
+      let missing = Hashtbl.create 8 in
+      Array.iter
+        (fun dst -> if dst <> t.me then Hashtbl.replace missing dst ())
+        (Membership.members t.group);
+      if Hashtbl.length missing > 0 then Hashtbl.replace t.waiting seq missing
+    end
+  done;
+  if Hashtbl.length t.waiting > 0 then begin
+    retransmit_round t;
+    arm_timer t
+  end;
+  request_sync t
+
+let unacked t =
+  Hashtbl.fold (fun _ missing acc -> acc + Hashtbl.length missing) t.waiting 0
+
+let log_size t =
+  List.length (Stable.keys_with_prefix t.storage (Printf.sprintf "cert:%s:log:" t.name))

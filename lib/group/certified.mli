@@ -1,0 +1,43 @@
+(** Certified obvent delivery (§3.1.2 "Certified"): even if a
+    subscriber temporarily disconnects or fails, it eventually
+    delivers the obvent.
+
+    Publishers write every message to stable storage before sending
+    and keep retransmitting until each group member acknowledges.
+    Subscribers record their per-publisher delivery frontier durably;
+    after a crash, {!resume} re-arms the protocol and asks every
+    member for the messages published past the frontier — the
+    mechanism behind re-activating a subscription by durable id
+    (§3.4.1, [activate(long id)]).
+
+    Delivery is per-publisher FIFO (gap detection needs consecutive
+    sequence numbers); cross-publisher order is unconstrained. *)
+
+type t
+
+val attach :
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  storage:Tpbs_sim.Stable.t ->
+  ?retry_period:int ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  unit ->
+  t
+(** [retry_period] defaults to 5000 ticks. *)
+
+val bcast : t -> string -> unit
+(** Logs durably, then broadcasts; keeps retransmitting to members
+    that have not acknowledged. *)
+
+val resume : t -> unit
+(** Call after the hosting node recovers from a crash: restarts the
+    retransmission timer from the durable log and requests missed
+    messages from all members. (Timers do not survive crashes; state
+    on disk does.) *)
+
+val unacked : t -> int
+(** (message, member) pairs still awaiting acknowledgement. *)
+
+val log_size : t -> int
+(** Messages retained in the durable publisher log. *)

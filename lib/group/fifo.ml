@@ -1,0 +1,54 @@
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+
+type t = {
+  rb : Rbcast.t;
+  mutable next_send : int;
+  expected : (Net.node_id, int) Hashtbl.t;  (* next seq expected per origin *)
+  parked : (Net.node_id * int, string) Hashtbl.t;
+  deliver : origin:Net.node_id -> string -> unit;
+}
+
+let expected_of t origin =
+  Option.value ~default:0 (Hashtbl.find_opt t.expected origin)
+
+let rec drain t origin =
+  let next = expected_of t origin in
+  match Hashtbl.find_opt t.parked (origin, next) with
+  | None -> ()
+  | Some payload ->
+      Hashtbl.remove t.parked (origin, next);
+      Hashtbl.replace t.expected origin (next + 1);
+      t.deliver ~origin payload;
+      drain t origin
+
+let on_receive t ~origin ~tag payload =
+  match (tag : Value.t) with
+  | Int seq ->
+      let next = expected_of t origin in
+      if seq < next then () (* stale duplicate *)
+      else begin
+        Hashtbl.replace t.parked (origin, seq) payload;
+        drain t origin
+      end
+  | _ -> ()
+
+let attach group ~me ~name ~deliver =
+  let rb =
+    Rbcast.attach group ~me ~name:("fifo:" ^ name)
+      ~deliver:(fun ~origin:_ _ -> ())
+  in
+  let t =
+    { rb; next_send = 0; expected = Hashtbl.create 16;
+      parked = Hashtbl.create 16; deliver }
+  in
+  Rbcast.set_tagged_deliver rb (fun ~origin ~tag payload ->
+      on_receive t ~origin ~tag payload);
+  t
+
+let bcast t payload =
+  let seq = t.next_send in
+  t.next_send <- seq + 1;
+  Rbcast.bcast_tagged t.rb ~tag:(Value.Int seq) payload
+
+let holdback_size t = Hashtbl.length t.parked

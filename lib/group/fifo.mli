@@ -1,0 +1,19 @@
+(** FIFO-ordered broadcast (§3.1.2 "FIFO ordered"): obvents published
+    through the same object are delivered to every matching
+    subscriber in publication order (publisher-side order). Layered
+    on {!Rbcast}: each publisher numbers its messages, receivers hold
+    back out-of-order ones. *)
+
+type t
+
+val attach :
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+
+val bcast : t -> string -> unit
+
+val holdback_size : t -> int
+(** Messages currently parked waiting for a predecessor. *)

@@ -1,0 +1,223 @@
+module Net = Tpbs_sim.Net
+module Rng = Tpbs_sim.Rng
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+type config = {
+  fanout : int;
+  view_size : int;
+  buffer_size : int;
+  rounds_ttl : int;
+  period : int;
+  pull : bool;
+}
+
+let default_config =
+  { fanout = 3; view_size = 12; buffer_size = 64; rounds_ttl = 5;
+    period = 2000; pull = true }
+
+type event = {
+  id : Net.node_id * int;  (* origin, per-origin sequence *)
+  origin : Net.node_id;
+  payload : string;
+  mutable age : int;  (* rounds since buffered here *)
+}
+
+type t = {
+  group : Membership.t;
+  me : Net.node_id;
+  config : config;
+  port : string;
+  pull_port : string;
+  rng : Rng.t;
+  mutable view : Net.node_id list;
+  mutable buffer : event list;  (* fresh events, newest first *)
+  archive : (Net.node_id * int, event) Hashtbl.t;
+      (* recently seen events kept for pull-retrieval (lpbcast's
+         event-id digests); retired after 4x rounds_ttl rounds *)
+  seen : (Net.node_id * int, unit) Hashtbl.t;
+  mutable next_seq : int;
+  mutable delivered : int;
+  mutable running : bool;
+  deliver : origin:Net.node_id -> string -> unit;
+}
+
+let event_to_value e : Value.t =
+  List [ Int (fst e.id); Int (snd e.id); Int e.origin; Str e.payload ]
+
+let event_of_value : Value.t -> event option = function
+  | List [ Int a; Int b; Int origin; Str payload ] ->
+      Some { id = (a, b); origin; payload; age = 0 }
+  | _ -> None
+
+let id_to_value (a, b) : Value.t = List [ Int a; Int b ]
+
+let id_of_value : Value.t -> (Net.node_id * int) option = function
+  | List [ Int a; Int b ] -> Some (a, b)
+  | _ -> None
+
+let encode_gossip t events digest =
+  let view_sample = List.map (fun id -> Value.Int id) (t.me :: t.view) in
+  Codec.encode
+    (List
+       [ List view_sample;
+         List (List.map event_to_value events);
+         List (List.map id_to_value digest) ])
+
+let decode_gossip bytes =
+  match Codec.decode bytes with
+  | List [ List view_sample; List events; List digest ] ->
+      let ids =
+        List.filter_map (function Value.Int i -> Some i | _ -> None) view_sample
+      in
+      let evs = List.filter_map event_of_value events in
+      let dig = List.filter_map id_of_value digest in
+      Some (ids, evs, dig)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let truncate_view t =
+  let distinct =
+    List.sort_uniq Int.compare (List.filter (fun id -> id <> t.me) t.view)
+  in
+  if List.length distinct <= t.config.view_size then t.view <- distinct
+  else begin
+    let arr = Array.of_list distinct in
+    Rng.shuffle t.rng arr;
+    t.view <- Array.to_list (Array.sub arr 0 t.config.view_size)
+  end
+
+let truncate_buffer t =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  t.buffer <-
+    take t.config.buffer_size
+      (List.filter (fun e -> e.age <= t.config.rounds_ttl) t.buffer)
+
+let accept_event t e =
+  if not (Hashtbl.mem t.seen e.id) then begin
+    Hashtbl.add t.seen e.id ();
+    let fresh = { e with age = 0 } in
+    t.buffer <- fresh :: t.buffer;
+    Hashtbl.replace t.archive e.id fresh;
+    truncate_buffer t;
+    t.delivered <- t.delivered + 1;
+    t.deliver ~origin:e.origin e.payload
+  end
+
+let on_gossip t src bytes =
+  match decode_gossip bytes with
+  | None -> ()
+  | Some (view_sample, events, digest) ->
+      t.view <- view_sample @ t.view;
+      truncate_view t;
+      List.iter (accept_event t) events;
+      (* lpbcast pull: ask the gossiper for events we only know by id. *)
+      let missing =
+        if t.config.pull then
+          List.filter (fun id -> not (Hashtbl.mem t.seen id)) digest
+        else []
+      in
+      if missing <> [] && src <> t.me then
+        Net.send (Membership.net t.group) ~src:t.me ~dst:src ~port:t.pull_port
+          (Codec.encode (List (List.map id_to_value missing)))
+
+let on_pull t src bytes =
+  match Codec.decode bytes with
+  | List ids ->
+      let events =
+        List.filter_map
+          (fun idv ->
+            match id_of_value idv with
+            | Some id -> Hashtbl.find_opt t.archive id
+            | None -> None)
+          ids
+      in
+      if events <> [] then
+        (* Reply with the payloads; empty view sample and digest. *)
+        Net.send (Membership.net t.group) ~src:t.me ~dst:src ~port:t.port
+          (Codec.encode
+             (List [ List []; List (List.map event_to_value events); List [] ]))
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let retire_archive t =
+  let horizon = 4 * t.config.rounds_ttl in
+  let stale =
+    Hashtbl.fold
+      (fun id e acc -> if e.age > horizon then id :: acc else acc)
+      t.archive []
+  in
+  List.iter (Hashtbl.remove t.archive) stale
+
+let round t =
+  if t.running then begin
+    Hashtbl.iter (fun _ e -> e.age <- e.age + 1) t.archive;
+    retire_archive t;
+    let fresh = List.filter (fun e -> e.age <= t.config.rounds_ttl) t.buffer in
+    truncate_buffer t;
+    if t.view <> [] then begin
+      let digest =
+        if t.config.pull then
+          Hashtbl.fold (fun id _ acc -> id :: acc) t.archive []
+        else []
+      in
+      if fresh <> [] || digest <> [] then begin
+        let targets = Array.of_list t.view in
+        Rng.shuffle t.rng targets;
+        let k = min t.config.fanout (Array.length targets) in
+        let bytes = encode_gossip t fresh digest in
+        for i = 0 to k - 1 do
+          Net.send (Membership.net t.group) ~src:t.me ~dst:targets.(i)
+            ~port:t.port bytes
+        done
+      end
+    end
+  end
+
+let rec arm t =
+  if t.running then
+    Net.schedule_on (Membership.net t.group) t.me ~delay:t.config.period
+      (fun () ->
+        round t;
+        arm t)
+
+let attach ?(config = default_config) group ~me ~name ~seed_view ~deliver =
+  let net = Membership.net group in
+  let t =
+    {
+      group;
+      me;
+      config;
+      port = "gossip:" ^ name;
+      pull_port = "gossip-pull:" ^ name;
+      rng = Rng.split (Tpbs_sim.Engine.rng (Net.engine net));
+      view = List.filter (fun id -> id <> me) seed_view;
+      buffer = [];
+      archive = Hashtbl.create 256;
+      seen = Hashtbl.create 256;
+      next_seq = 0;
+      delivered = 0;
+      running = true;
+      deliver;
+    }
+  in
+  truncate_view t;
+  Net.set_handler net me ~port:t.port (fun src bytes -> on_gossip t src bytes);
+  Net.set_handler net me ~port:t.pull_port (fun src bytes -> on_pull t src bytes);
+  arm t;
+  t
+
+let bcast t payload =
+  let id = t.me, t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let e = { id; origin = t.me; payload; age = 0 } in
+  accept_event t e;
+  (* Eagerly push the fresh event once, without waiting a full period:
+     lpbcast publishers seed the epidemic on publication. *)
+  round t
+
+let view t = t.view
+let delivered_count t = t.delivered
+let stop t = t.running <- false

@@ -1,0 +1,47 @@
+(** Lightweight probabilistic broadcast (lpbcast, [EGH+01]) — the
+    gossip-based end of DACE's protocol spectrum (§4.2): weaker
+    guarantees, strong focus on scalability.
+
+    Each member keeps a bounded {e partial view} of the group and a
+    bounded buffer of recent events. Every gossip period it sends its
+    fresh events (plus a sample of its view, which is how membership
+    information itself spreads epidemically) to [fanout] members drawn
+    from its view. Events retire after [rounds_ttl] periods and the
+    buffer is capped, so per-node state is O(view + buffer) no matter
+    the group size — the trade being probabilistic delivery, measured
+    in experiment E5 against fanout and system size. *)
+
+type config = {
+  fanout : int;  (** gossip targets per round *)
+  view_size : int;  (** partial view bound *)
+  buffer_size : int;  (** event buffer bound *)
+  rounds_ttl : int;  (** rounds an event stays gossipable *)
+  period : int;  (** ticks between rounds *)
+  pull : bool;
+      (** lpbcast's id digests + retrieval: receivers ask the gossiper
+          for events they only know by id. Disabling this is the
+          push-only ablation measured by the bench harness. *)
+}
+
+val default_config : config
+(** fanout 3, view 12, buffer 64, ttl 5, period 2000, pull on. *)
+
+type t
+
+val attach :
+  ?config:config ->
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  seed_view:Tpbs_sim.Net.node_id list ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+(** [seed_view] bootstraps the partial view (e.g. a few contact
+    nodes); it is refreshed epidemically afterwards. The gossip timer
+    starts immediately. *)
+
+val bcast : t -> string -> unit
+val view : t -> Tpbs_sim.Net.node_id list
+val delivered_count : t -> int
+val stop : t -> unit
+(** Stop gossiping (the node leaves the epidemic). *)

@@ -1,0 +1,30 @@
+type t = {
+  net : Tpbs_sim.Net.t;
+  members : Tpbs_sim.Net.node_id array;
+  ranks : (Tpbs_sim.Net.node_id, int) Hashtbl.t;
+}
+
+let create net member_list =
+  let members = Array.of_list member_list in
+  let ranks = Hashtbl.create (Array.length members) in
+  Array.iteri
+    (fun i id ->
+      if Hashtbl.mem ranks id then
+        invalid_arg "Membership.create: duplicate member";
+      Hashtbl.add ranks id i)
+    members;
+  { net; members; ranks }
+
+let net t = t.net
+let members t = t.members
+let size t = Array.length t.members
+
+let rank t id =
+  match Hashtbl.find_opt t.ranks id with
+  | Some r -> r
+  | None -> raise Not_found
+
+let is_member t id = Hashtbl.mem t.ranks id
+
+let others t id =
+  Array.to_list (Array.of_seq (Seq.filter (fun m -> m <> id) (Array.to_seq t.members)))

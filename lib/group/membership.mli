@@ -1,0 +1,27 @@
+(** Static group membership: the set of address spaces participating
+    in one dissemination channel (a DACE "multicast class", §4.2).
+
+    The paper's architecture maps every obvent class to a multicast
+    group; protocols in this library are parameterized by such a
+    group. Membership here is fixed at creation — dynamic
+    subscription/unsubscription is handled one level up by the
+    engine's channel bookkeeping, while gossip ({!Gossip}) maintains
+    its own partial views underneath. *)
+
+type t
+
+val create : Tpbs_sim.Net.t -> Tpbs_sim.Net.node_id list -> t
+(** @raise Invalid_argument on duplicate members. *)
+
+val net : t -> Tpbs_sim.Net.t
+val members : t -> Tpbs_sim.Net.node_id array
+val size : t -> int
+
+val rank : t -> Tpbs_sim.Net.node_id -> int
+(** Dense index of a member, used by vector clocks.
+    @raise Not_found for non-members. *)
+
+val is_member : t -> Tpbs_sim.Net.node_id -> bool
+
+val others : t -> Tpbs_sim.Net.node_id -> Tpbs_sim.Net.node_id list
+(** All members except the given one. *)

@@ -1,0 +1,83 @@
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+type t = {
+  group : Membership.t;
+  me : Net.node_id;
+  port : string;
+  mutable next_seq : int;
+  seen : (Net.node_id * int, unit) Hashtbl.t;
+  mutable deliver :
+    origin:Net.node_id -> tag:Value.t -> string -> unit;
+  mutable duplicates : int;
+}
+
+let encode ~origin ~seq ~tag payload =
+  Codec.encode (List [ Int origin; Int seq; tag; Str payload ])
+
+let decode bytes =
+  match Codec.decode bytes with
+  | List [ Int origin; Int seq; tag; Str payload ] ->
+      Some (origin, seq, tag, payload)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let relay t ~except bytes =
+  let net = Membership.net t.group in
+  Array.iter
+    (fun dst ->
+      if dst <> t.me && dst <> except then
+        Net.send net ~src:t.me ~dst ~port:t.port bytes)
+    (Membership.members t.group)
+
+let accept t src bytes =
+  match decode bytes with
+  | None -> ()
+  | Some (origin, seq, tag, payload) ->
+      if Hashtbl.mem t.seen (origin, seq) then
+        t.duplicates <- t.duplicates + 1
+      else begin
+        Hashtbl.add t.seen (origin, seq) ();
+        (* Relay before delivering: if the application callback
+           crashes this node, the flood has already gone out. *)
+        relay t ~except:src bytes;
+        t.deliver ~origin ~tag payload
+      end
+
+let attach group ~me ~name ~deliver =
+  let port = "rb:" ^ name in
+  let t =
+    {
+      group;
+      me;
+      port;
+      next_seq = 0;
+      seen = Hashtbl.create 256;
+      deliver = (fun ~origin ~tag:_ payload -> deliver ~origin payload);
+      duplicates = 0;
+    }
+  in
+  Net.set_handler (Membership.net group) me ~port (fun src payload ->
+      accept t src payload);
+  t
+
+let set_tagged_deliver t f =
+  t.deliver <- (fun ~origin ~tag payload -> f ~origin ~tag payload)
+
+let bcast_tagged t ~tag payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let bytes = encode ~origin:t.me ~seq ~tag payload in
+  (* Mark as seen so our own flood-back is suppressed, then deliver
+     locally and send to everyone. *)
+  Hashtbl.add t.seen (t.me, seq) ();
+  let net = Membership.net t.group in
+  Array.iter
+    (fun dst ->
+      if dst <> t.me then Net.send net ~src:t.me ~dst ~port:t.port bytes)
+    (Membership.members t.group);
+  t.deliver ~origin:t.me ~tag payload
+
+let bcast t payload = bcast_tagged t ~tag:Value.Null payload
+let me t = t.me
+let duplicates_suppressed t = t.duplicates

@@ -1,0 +1,39 @@
+(** Reliable broadcast by eager flooding: on the first receipt of a
+    message, a member delivers it and relays it to every other member
+    before anything else.
+
+    This provides the paper's "Reliable" delivery (§3.1.2): if any
+    correct member delivers, every correct member that stays up
+    delivers too, even if the original publisher crashes mid-send —
+    the classical Birman–Joseph reliable multicast [BJ87], traded for
+    O(n²) messages. The duplicate-suppression table also masks
+    moderate message loss because each member receives up to n copies.
+
+    Delivery is unordered; {!Fifo}, {!Causal} and {!Total} layer
+    orderings on top of the same flooding transport. *)
+
+type t
+
+val attach :
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+
+val bcast : t -> string -> unit
+
+val bcast_tagged : t -> tag:Tpbs_serial.Value.t -> string -> unit
+(** Broadcast with an extra protocol tag (used by the ordered layers
+    to piggyback sequence numbers or vector clocks). Plain {!bcast}
+    uses [Null]. The tag is passed to [deliver_tagged] if installed. *)
+
+val set_tagged_deliver :
+  t ->
+  (origin:Tpbs_sim.Net.node_id -> tag:Tpbs_serial.Value.t -> string -> unit) ->
+  unit
+
+val me : t -> Tpbs_sim.Net.node_id
+val duplicates_suppressed : t -> int
+(** How many redundant copies the dedup table absorbed — the cost of
+    flooding, reported by experiment E2. *)

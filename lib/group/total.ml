@@ -1,0 +1,193 @@
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+type pending_pub = {
+  origin : Net.node_id;
+  rank : int;
+  pub_seq : int;
+  vc : Vclock.t;
+  payload : string;
+}
+
+type t = {
+  group : Membership.t;
+  me : Net.node_id;
+  sequencer : Net.node_id;
+  submit_port : string;
+  rb : Rbcast.t;
+  causal : bool;
+  retry_period : int;
+  (* publisher side *)
+  local_vc : Vclock.t;  (* tracks publishes when causal sequencing is on *)
+  mutable next_pub_seq : int;
+  unsequenced : (int, string) Hashtbl.t;  (* pub_seq -> submit bytes *)
+  mutable retry_armed : bool;
+  (* sequencer side *)
+  mutable next_global : int;
+  seq_seen : (Net.node_id * int, unit) Hashtbl.t;
+  mutable seq_parked : pending_pub list;  (* causal holdback at the sequencer *)
+  seq_vc : Vclock.t;
+  (* subscriber side *)
+  mutable next_deliver : int;
+  parked : (int, Net.node_id * string) Hashtbl.t;
+  deliver : origin:Net.node_id -> string -> unit;
+}
+
+let encode_submit ~origin ~pub_seq ~vc payload =
+  Codec.encode (List [ Int origin; Int pub_seq; Vclock.to_value vc; Str payload ])
+
+let decode_submit bytes =
+  match Codec.decode bytes with
+  | List [ Int origin; Int pub_seq; vcv; Str payload ] -> (
+      match Vclock.of_value vcv with
+      | Some vc -> Some (origin, pub_seq, vc, payload)
+      | None -> None)
+  | _ | (exception Codec.Decode_error _) -> None
+
+(* Sequencer: assign the next global number and flood. The tag
+   carries (global seq, publisher, publisher's sequence, clock). *)
+let sequence_out t (p : pending_pub) =
+  let n = t.next_global in
+  t.next_global <- n + 1;
+  Rbcast.bcast_tagged t.rb
+    ~tag:(List [ Int n; Int p.origin; Int p.pub_seq; Vclock.to_value p.vc ])
+    p.payload
+
+let rec sequencer_drain t =
+  if not t.causal then ()
+  else begin
+    let ready, still =
+      List.partition
+        (fun p -> Vclock.deliverable p.vc ~sender:p.rank ~local:t.seq_vc)
+        t.seq_parked
+    in
+    t.seq_parked <- still;
+    match ready with
+    | [] -> ()
+    | ps ->
+        List.iter
+          (fun p ->
+            Vclock.merge t.seq_vc p.vc;
+            sequence_out t p)
+          ps;
+        sequencer_drain t
+  end
+
+let on_submit t bytes =
+  match decode_submit bytes with
+  | None -> ()
+  | Some (origin, pub_seq, vc, payload) -> (
+      if not (Hashtbl.mem t.seq_seen (origin, pub_seq)) then begin
+        Hashtbl.add t.seq_seen (origin, pub_seq) ();
+        match Membership.rank t.group origin with
+        | rank ->
+            let p = { origin; rank; pub_seq; vc; payload } in
+            if t.causal then begin
+              t.seq_parked <- p :: t.seq_parked;
+              sequencer_drain t
+            end
+            else sequence_out t p
+        | exception Not_found -> ()
+      end)
+
+let rec subscriber_drain t =
+  match Hashtbl.find_opt t.parked t.next_deliver with
+  | None -> ()
+  | Some (origin, payload) ->
+      Hashtbl.remove t.parked t.next_deliver;
+      t.next_deliver <- t.next_deliver + 1;
+      t.deliver ~origin payload;
+      subscriber_drain t
+
+(* Publisher: retransmit unsequenced submissions until we see them
+   come back in the agreed order (tolerates a lossy submit link). *)
+let rec arm_retry t =
+  if (not t.retry_armed) && Hashtbl.length t.unsequenced > 0 then begin
+    t.retry_armed <- true;
+    Net.schedule_on (Membership.net t.group) t.me ~delay:t.retry_period
+      (fun () ->
+        t.retry_armed <- false;
+        if Hashtbl.length t.unsequenced > 0 then begin
+          Hashtbl.iter
+            (fun _ bytes ->
+              Net.send (Membership.net t.group) ~src:t.me ~dst:t.sequencer
+                ~port:t.submit_port bytes)
+            t.unsequenced;
+          arm_retry t
+        end)
+  end
+
+let on_sequenced t ~tag payload =
+  match (tag : Value.t) with
+  | List [ Int n; Int origin; Int pub_seq; vcv ] ->
+      if origin = t.me then Hashtbl.remove t.unsequenced pub_seq;
+      (* Happens-before through delivery: merging the publisher's
+         clock here makes a subsequent local publish causally after
+         this message. *)
+      if t.causal then
+        Option.iter (Vclock.merge t.local_vc) (Vclock.of_value vcv);
+      if n >= t.next_deliver then begin
+        Hashtbl.replace t.parked n (origin, payload);
+        subscriber_drain t
+      end
+  | _ -> ()
+
+let attach ?(causal = false) group ~me ~name ~deliver =
+  let members = Membership.members group in
+  if Array.length members = 0 then invalid_arg "Total.attach: empty group";
+  let sequencer = members.(0) in
+  let submit_port = "total-submit:" ^ name in
+  let rb =
+    Rbcast.attach group ~me ~name:("total:" ^ name)
+      ~deliver:(fun ~origin:_ _ -> ())
+  in
+  let t =
+    {
+      group;
+      me;
+      sequencer;
+      submit_port;
+      rb;
+      causal;
+      retry_period = 5000;
+      local_vc = Vclock.create (Membership.size group);
+      next_pub_seq = 0;
+      unsequenced = Hashtbl.create 8;
+      retry_armed = false;
+      next_global = 0;
+      seq_seen = Hashtbl.create 64;
+      seq_parked = [];
+      seq_vc = Vclock.create (Membership.size group);
+      next_deliver = 0;
+      parked = Hashtbl.create 32;
+      deliver;
+    }
+  in
+  Rbcast.set_tagged_deliver rb (fun ~origin:_ ~tag payload ->
+      on_sequenced t ~tag payload);
+  if me = sequencer then
+    Net.set_handler (Membership.net group) me ~port:submit_port
+      (fun _src bytes -> on_submit t bytes);
+  t
+
+let bcast t payload =
+  let rank = Membership.rank t.group t.me in
+  let vc =
+    if t.causal then begin
+      Vclock.tick t.local_vc rank;
+      Vclock.copy t.local_vc
+    end
+    else Vclock.create (Membership.size t.group)
+  in
+  let pub_seq = t.next_pub_seq in
+  t.next_pub_seq <- pub_seq + 1;
+  let bytes = encode_submit ~origin:t.me ~pub_seq ~vc payload in
+  Hashtbl.replace t.unsequenced pub_seq bytes;
+  Net.send (Membership.net t.group) ~src:t.me ~dst:t.sequencer
+    ~port:t.submit_port bytes;
+  arm_retry t
+
+let sequencer t = t.sequencer
+let is_sequencer t = t.me = t.sequencer
+let holdback_size t = Hashtbl.length t.parked + List.length t.seq_parked

@@ -1,0 +1,27 @@
+(** Totally ordered broadcast (§3.1.2 "Totally ordered"): all members
+    deliver all messages in one agreed order (subscriber-side order).
+
+    Implemented with a fixed sequencer (the group's first member):
+    publishers unicast to the sequencer, which assigns global sequence
+    numbers and reliably broadcasts; members deliver in sequence-number
+    order with a holdback queue.
+
+    With [~causal:true] the sequencer first runs the CBCAST holdback
+    on incoming publications, so the agreed order is additionally
+    causal — the composition "CausalOrder + TotalOrder" obtained in
+    the paper by multiple subtyping (Fig. 3/4). *)
+
+type t
+
+val attach :
+  ?causal:bool ->
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
+  t
+
+val bcast : t -> string -> unit
+val sequencer : t -> Tpbs_sim.Net.node_id
+val is_sequencer : t -> bool
+val holdback_size : t -> int

@@ -1,0 +1,58 @@
+module Value = Tpbs_serial.Value
+
+type t = int array
+
+let create n =
+  if n < 0 then invalid_arg "Vclock.create";
+  Array.make n 0
+
+let size = Array.length
+let get t i = t.(i)
+let copy = Array.copy
+let tick t i = t.(i) <- t.(i) + 1
+
+let merge t other =
+  if Array.length t <> Array.length other then
+    invalid_arg "Vclock.merge: size mismatch";
+  Array.iteri (fun i v -> if v > t.(i) then t.(i) <- v) other
+
+let leq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+  !ok
+
+type relation = Equal | Before | After | Concurrent
+
+let relate a b =
+  let le = leq a b and ge = leq b a in
+  match le, ge with
+  | true, true -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | false, false -> Concurrent
+
+let deliverable m ~sender ~local =
+  Array.length m = Array.length local
+  && m.(sender) = local.(sender) + 1
+  &&
+  let ok = ref true in
+  Array.iteri (fun k v -> if k <> sender && v > local.(k) then ok := false) m;
+  !ok
+
+let to_value t : Value.t = List (Array.to_list (Array.map (fun i -> Value.Int i) t))
+
+let of_value : Value.t -> t option = function
+  | List vs ->
+      let ints =
+        List.filter_map (function Value.Int i -> Some i | _ -> None) vs
+      in
+      if List.length ints = List.length vs then Some (Array.of_list ints)
+      else None
+  | _ -> None
+
+let pp ppf t =
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any ",") int) t
+
+let equal a b = a = b

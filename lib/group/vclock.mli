@@ -1,0 +1,35 @@
+(** Vector clocks, tracking the happens-before relation [Lam78] that
+    defines causally ordered obvent delivery (§3.1.2). Clocks are
+    indexed by member {e rank} within a group. *)
+
+type t
+
+val create : int -> t
+(** All-zero clock for a group of the given size. *)
+
+val size : t -> int
+val get : t -> int -> int
+val copy : t -> t
+
+val tick : t -> int -> unit
+(** Increment one rank's entry (a local publish event). *)
+
+val merge : t -> t -> unit
+(** Pointwise max into the first clock (a delivery event). *)
+
+val leq : t -> t -> bool
+(** Pointwise ≤, i.e. "happened before or equal". *)
+
+type relation = Equal | Before | After | Concurrent
+
+val relate : t -> t -> relation
+
+val deliverable : t -> sender:int -> local:t -> bool
+(** CBCAST condition: message clock [m] from [sender] is deliverable
+    at a process with clock [local] iff [m.(sender) = local.(sender) + 1]
+    and [m.(k) <= local.(k)] for all other [k]. *)
+
+val to_value : t -> Tpbs_serial.Value.t
+val of_value : Tpbs_serial.Value.t -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,118 @@
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Registry = Tpbs_types.Registry
+module Qos = Tpbs_types.Qos
+
+type t = { uid : int; cls : string; fields : (string * Value.t) list }
+
+exception Invalid_obvent of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Invalid_obvent s)) fmt
+
+let counter = ref 0
+
+let fresh_uid () =
+  incr counter;
+  !counter
+
+let uid o = o.uid
+let cls o = o.cls
+let fields o = o.fields
+
+let validate reg cls fields =
+  if not (Registry.exists reg cls) then err "unknown class %s" cls;
+  if not (Registry.is_class reg cls) then
+    err "%s is an interface; obvents are class instances" cls;
+  if not (Registry.is_obvent_type reg cls) then
+    err "class %s does not widen to Obvent" cls;
+  let declared = Registry.attrs_of reg cls in
+  List.iter
+    (fun (attr, ty) ->
+      match List.assoc_opt attr fields with
+      | None -> err "class %s: missing attribute %s" cls attr
+      | Some v ->
+          if not (Registry.conforms_vtype reg v ty) then
+            err "class %s: attribute %s = %a does not conform to %a" cls attr
+              Value.pp v Tpbs_types.Vtype.pp ty)
+    declared;
+  List.iter
+    (fun (attr, _) ->
+      if not (List.mem_assoc attr declared) then
+        err "class %s: unexpected field %s" cls attr)
+    fields;
+  (* Normalize field order to declaration order so that structural
+     equality and serialization are canonical. *)
+  List.map (fun (attr, _) -> attr, List.assoc attr fields) declared
+
+let make reg cls fields =
+  let fields = validate reg cls fields in
+  { uid = fresh_uid (); cls; fields }
+
+let get o attr =
+  match List.assoc_opt attr o.fields with
+  | Some v -> v
+  | None -> err "obvent %s has no attribute %s" o.cls attr
+
+let attr_of_getter m =
+  let n = String.length m in
+  if n > 3 && String.sub m 0 3 = "get" then
+    Some (String.uncapitalize_ascii (String.sub m 3 (n - 3)))
+  else None
+
+let invoke reg o m =
+  match Registry.method_ret reg o.cls m with
+  | None -> err "obvent %s has no method %s" o.cls m
+  | Some _ -> (
+      match attr_of_getter m with
+      | Some attr -> get o attr
+      | None -> err "method %s is not a getter" m)
+
+let to_value o : Value.t = Obj { cls = o.cls; fields = o.fields }
+
+let of_value reg (v : Value.t) =
+  match v with
+  | Obj o ->
+      if not (Registry.conforms reg v o.cls) then
+        err "value does not conform to class %s" o.cls;
+      if not (Registry.is_obvent_type reg o.cls) then
+        err "class %s does not widen to Obvent" o.cls;
+      { uid = fresh_uid (); cls = o.cls; fields = o.fields }
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ | Remote _ ->
+      err "value is not an object"
+
+let serialize o = Codec.encode (to_value o)
+
+let deserialize reg s =
+  match Codec.decode s with
+  | v -> of_value reg v
+  | exception Codec.Decode_error msg -> err "deserialize: %s" msg
+
+let clone reg o = deserialize reg (serialize o)
+
+let equal_content a b =
+  String.equal a.cls b.cls
+  && List.equal
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && Value.equal v1 v2)
+       a.fields b.fields
+
+let pp ppf o = Fmt.pf ppf "#%d:%a" o.uid Value.pp (to_value o)
+let instance_of reg o tname = Registry.subtype reg o.cls tname
+let qos reg o = fst (Qos.of_type reg o.cls)
+
+let int_getter reg o m =
+  match invoke reg o m with
+  | Int i -> i
+  | v -> err "%s returned %a, expected int" m Value.pp v
+
+let priority reg o =
+  if Registry.subtype reg o.cls "Prioritary" then int_getter reg o "getPriority"
+  else 0
+
+let time_to_live reg o =
+  if Registry.subtype reg o.cls "Timely" then
+    Some (int_getter reg o "getTimeToLive")
+  else None
+
+let birth reg o =
+  if Registry.subtype reg o.cls "Timely" then Some (int_getter reg o "getBirth")
+  else None

@@ -1,0 +1,88 @@
+(** Obvents — event objects (§2.1.1): application-defined, first-class
+    unbound objects used to notify events.
+
+    An obvent is an instance of a registered obvent {e class}
+    (a class whose type widens to [Obvent]). Its attributes are
+    private; the observable surface is its getters, which is what the
+    paper's filters invoke (LP2: encapsulation preservation).
+
+    Each in-memory obvent carries a unique id. Serialization never
+    transports the id: deserializing always mints a fresh one, which
+    realizes the paper's uniqueness rules (§2.1.2) — every subscriber,
+    even two notifiables in the same address space, receives a
+    distinct clone of the published obvent. *)
+
+type t
+
+exception Invalid_obvent of string
+
+val make :
+  Tpbs_types.Registry.t ->
+  string ->
+  (string * Tpbs_serial.Value.t) list ->
+  t
+(** [make reg cls fields] instantiates obvent class [cls]. Every
+    attribute declared by [cls] (including inherited ones) must be
+    given exactly once with a conforming value, and no extra field is
+    allowed.
+    @raise Invalid_obvent if [cls] is unknown, abstract (an
+    interface), not an obvent type, or the fields don't conform. *)
+
+val uid : t -> int
+(** Process-unique identity, fresh per clone. *)
+
+val cls : t -> string
+(** The dynamic type (concrete class) of the obvent. *)
+
+val fields : t -> (string * Tpbs_serial.Value.t) list
+
+val get : t -> string -> Tpbs_serial.Value.t
+(** Attribute access by name.
+    @raise Invalid_obvent if absent. *)
+
+val invoke : Tpbs_types.Registry.t -> t -> string -> Tpbs_serial.Value.t
+(** [invoke reg o "getPrice"] — call a getter. This is the only
+    method-invocation form filters may use (§3.3.4).
+    @raise Invalid_obvent if the method is not visible on the obvent's
+    class. *)
+
+val attr_of_getter : string -> string option
+(** [attr_of_getter "getPrice"] is [Some "price"]; [None] when the
+    name does not follow the getter convention. *)
+
+val to_value : t -> Tpbs_serial.Value.t
+(** View as a serializable value (drops the uid). *)
+
+val of_value : Tpbs_types.Registry.t -> Tpbs_serial.Value.t -> t
+(** Validate and adopt a value as an obvent, minting a fresh uid.
+    @raise Invalid_obvent if the value doesn't conform. *)
+
+val serialize : t -> string
+
+val deserialize : Tpbs_types.Registry.t -> string -> t
+(** @raise Invalid_obvent on garbage or non-conforming payloads. *)
+
+val clone : Tpbs_types.Registry.t -> t -> t
+(** Round trip through the codec: structurally equal, fresh uid. *)
+
+val equal_content : t -> t -> bool
+(** Structural equality, ignoring uids. *)
+
+val pp : Format.formatter -> t -> unit
+
+val instance_of : Tpbs_types.Registry.t -> t -> string -> bool
+(** [instance_of reg o t] — does the obvent's dynamic type widen to
+    [t]? The basic type-based subscription test (§2.1.3). *)
+
+val qos : Tpbs_types.Registry.t -> t -> Tpbs_types.Qos.profile
+(** Resolved delivery/transmission semantics of the obvent's class. *)
+
+val priority : Tpbs_types.Registry.t -> t -> int
+(** [getPriority] if the obvent is [Prioritary], else [0]. *)
+
+val time_to_live : Tpbs_types.Registry.t -> t -> int option
+(** [getTimeToLive] if the obvent is [Timely] (and its semantics were
+    not overridden by reliability), else [None]. *)
+
+val birth : Tpbs_types.Registry.t -> t -> int option
+(** [getBirth] if the obvent is [Timely]. *)

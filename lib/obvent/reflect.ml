@@ -1,0 +1,25 @@
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Value = Tpbs_serial.Value
+
+let class_name = Obvent.cls
+let methods reg o = Registry.methods_of reg (Obvent.cls o)
+
+let has_method reg o name ?ret () =
+  match Registry.method_ret reg (Obvent.cls o) name with
+  | None -> false
+  | Some actual -> (
+      match ret with None -> true | Some expected -> Vtype.equal actual expected)
+
+let invoke_opt reg o name =
+  if has_method reg o name () then
+    match Obvent.invoke reg o name with
+    | v -> Some v
+    | exception Obvent.Invalid_obvent _ -> None
+  else None
+
+let structural_filter reg ~meth pred o =
+  match invoke_opt reg o meth with Some v -> pred v | None -> false
+
+let fields_of o =
+  List.map (fun (name, v) -> name, Value.kind v) (Obvent.fields o)

@@ -1,0 +1,42 @@
+(** Introspection over obvents (§5.5.1 "100% Pure Content").
+
+    The paper notes that Java's reflection lets a subscriber match
+    obvents {e structurally} — "subscribe to any obvents which
+    implement a given method irrespective of the types" — trading LP1
+    type safety for flexibility, and reports that its prototype
+    supports such untyped filters. This module is the [getClass] /
+    [getMethod] / [invoke] surface; the engine consumes it through
+    opaque closure filters, which are automatically local-only — the
+    honest cost of giving up the static filter discipline. *)
+
+val class_name : Obvent.t -> string
+(** The analogue of [o.getClass().getName()]. *)
+
+val methods : Tpbs_types.Registry.t -> Obvent.t -> Tpbs_types.Registry.meth list
+(** All getters visible on the obvent's dynamic type. *)
+
+val has_method :
+  Tpbs_types.Registry.t -> Obvent.t -> string -> ?ret:Tpbs_types.Vtype.t -> unit -> bool
+(** [has_method reg o "getPrice" ~ret:Tfloat ()] — the [getMethod]
+    test; the optional [ret] also checks the result type. *)
+
+val invoke_opt :
+  Tpbs_types.Registry.t -> Obvent.t -> string -> Tpbs_serial.Value.t option
+(** Dynamic invocation: [None] when the method is missing — no
+    exception, matching reflective filters' "absent means no match"
+    reading. *)
+
+val structural_filter :
+  Tpbs_types.Registry.t ->
+  meth:string ->
+  (Tpbs_serial.Value.t -> bool) ->
+  Obvent.t ->
+  bool
+(** The paper's §5.5.1 idiom as a predicate: "any obvent type which
+    implements [meth] could be captured by this filter"; obvents
+    without the method don't match. Use with
+    {!Tpbs_core.Fspec.closure}. *)
+
+val fields_of : Obvent.t -> (string * Tpbs_serial.Value.kind) list
+(** Shallow structural description (a self-describing-message view of
+    the obvent, cf. [OPSS93]). *)

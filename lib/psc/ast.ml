@@ -1,0 +1,112 @@
+module Expr_syntax = Tpbs_filter.Expr
+module Vtype = Tpbs_types.Vtype
+
+type pexpr = Expr of Expr_syntax.t | New of string * pexpr list
+
+type stmt =
+  | Publish of pexpr
+  | Subscribe of subscribe_stmt
+  | Activate of string * int option
+  | Deactivate of string
+  | Set_single of string
+  | Set_multi of string * int
+  | Let of let_stmt
+  | Print of pexpr
+  | If of pexpr * stmt list * stmt list
+
+and subscribe_stmt = {
+  sub_var : string;
+  param_type : string;
+  formal : string;
+  filter : Expr_syntax.t;
+  handler : stmt list;
+}
+
+and let_stmt = {
+  let_typ : string option;
+  let_var : string;
+  let_value : pexpr;
+}
+
+type decl =
+  | Interface of {
+      iname : string;
+      iextends : string list;
+      imethods : (string * string) list;
+    }
+  | Class of {
+      cname : string;
+      cextends : string option;
+      cimplements : string list;
+      cattrs : (string * string) list;
+    }
+  | Process of { pname : string; body : stmt list }
+
+type program = decl list
+
+let vtype_of_name = function
+  | "" -> None
+  | "boolean" -> Some Vtype.Tbool
+  | "int" | "long" | "short" | "byte" -> Some Vtype.Tint
+  | "float" | "double" -> Some Vtype.Tfloat
+  | "String" -> Some Vtype.Tstring
+  | name -> Some (Vtype.Tobject name)
+
+let rec pp_pexpr ppf = function
+  | Expr e -> Expr_syntax.pp ppf e
+  | New (cls, args) ->
+      Fmt.pf ppf "new %s(%a)" cls Fmt.(list ~sep:(any ", ") pp_pexpr) args
+
+let rec pp_stmt ppf = function
+  | Publish e -> Fmt.pf ppf "publish %a;" pp_pexpr e
+  | Subscribe s ->
+      Fmt.pf ppf "Subscription %s = subscribe (%s %s) { %a } {@[<v 2>%a@]};"
+        s.sub_var s.param_type s.formal Expr_syntax.pp s.filter
+        Fmt.(list ~sep:sp pp_stmt)
+        s.handler
+  | Activate (v, None) -> Fmt.pf ppf "%s.activate();" v
+  | Activate (v, Some id) -> Fmt.pf ppf "%s.activate(%d);" v id
+  | Deactivate v -> Fmt.pf ppf "%s.deactivate();" v
+  | Set_single v -> Fmt.pf ppf "%s.setSingleThreading();" v
+  | Set_multi (v, n) -> Fmt.pf ppf "%s.setMultiThreading(%d);" v n
+  | Let { let_typ; let_var; let_value } ->
+      Fmt.pf ppf "final %s %s = %a;"
+        (Option.value ~default:"var" let_typ)
+        let_var pp_pexpr let_value
+  | Print e -> Fmt.pf ppf "print(%a);" pp_pexpr e
+  | If (cond, then_, []) ->
+      Fmt.pf ppf "if (%a) {@[<v 2>%a@]}" pp_pexpr cond
+        Fmt.(list ~sep:sp pp_stmt)
+        then_
+  | If (cond, then_, else_) ->
+      Fmt.pf ppf "if (%a) {@[<v 2>%a@]} else {@[<v 2>%a@]}" pp_pexpr cond
+        Fmt.(list ~sep:sp pp_stmt)
+        then_
+        Fmt.(list ~sep:sp pp_stmt)
+        else_
+
+let pp_decl ppf = function
+  | Interface { iname; iextends; imethods } ->
+      Fmt.pf ppf "interface %s%s {@[<v 2>%a@]}" iname
+        (match iextends with
+        | [] -> ""
+        | es -> " extends " ^ String.concat ", " es)
+        Fmt.(
+          list ~sep:sp (fun ppf (m, t) -> Fmt.pf ppf "%s %s();" t m))
+        imethods
+  | Class { cname; cextends; cimplements; cattrs } ->
+      Fmt.pf ppf "class %s%s%s {@[<v 2>%a@]}" cname
+        (match cextends with None -> "" | Some s -> " extends " ^ s)
+        (match cimplements with
+        | [] -> ""
+        | is -> " implements " ^ String.concat ", " is)
+        Fmt.(
+          list ~sep:sp (fun ppf (t, a) -> Fmt.pf ppf "%s %s;" t a))
+        cattrs
+  | Process { pname; body } ->
+      Fmt.pf ppf "process %s {@[<v 2>%a@]}" pname
+        Fmt.(list ~sep:sp pp_stmt)
+        body
+
+let pp_program ppf program =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@,@,") pp_decl) program

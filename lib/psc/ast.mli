@@ -1,0 +1,71 @@
+(** Abstract syntax of Java_ps — the Java extension of §3, reduced to
+    the fragment the paper's examples exercise: obvent type
+    declarations, and process blocks containing the [publish]
+    statement (§3.2, a new {i StatementWithoutTrailingSubstatement})
+    and the [subscribe] expression (§3.3, a new
+    {i PrimaryNoNewArray}), plus the subscription-management calls of
+    §3.4. *)
+
+type pexpr =
+  | Expr of Tpbs_filter.Expr.t
+      (** ordinary expression; [Var x] refers to a process-local
+          binding, [Arg] to the enclosing handler's formal argument *)
+  | New of string * pexpr list
+      (** [new C(e1, ..., en)]: obvent construction, arguments in
+          declared attribute order (inherited attributes first) *)
+
+type stmt =
+  | Publish of pexpr  (** [publish e;] *)
+  | Subscribe of subscribe_stmt
+      (** [Subscription s = subscribe (T t) { filter } { handler };] *)
+  | Activate of string * int option
+      (** [s.activate();] / [s.activate(id);] *)
+  | Deactivate of string  (** [s.deactivate();] *)
+  | Set_single of string  (** [s.setSingleThreading();] *)
+  | Set_multi of string * int  (** [s.setMultiThreading(n);] *)
+  | Let of let_stmt  (** [final T x = e;] — captured final variables *)
+  | Print of pexpr  (** [print(e);] — observable output for tests *)
+  | If of pexpr * stmt list * stmt list
+      (** [if (e) { ... } else { ... }]; the else branch may be empty *)
+
+and subscribe_stmt = {
+  sub_var : string;  (** the subscription handle variable *)
+  param_type : string;  (** the subscribed obvent type [T] *)
+  formal : string;  (** the formal argument [t] *)
+  filter : Tpbs_filter.Expr.t;  (** first block: boolean filter *)
+  handler : stmt list;  (** second block: the notifiable's code *)
+}
+
+and let_stmt = {
+  let_typ : string option;  (** declared type name, as written *)
+  let_var : string;
+  let_value : pexpr;
+}
+
+type decl =
+  | Interface of {
+      iname : string;
+      iextends : string list;
+      imethods : (string * string) list;  (** method name, result type name *)
+    }
+  | Class of {
+      cname : string;
+      cextends : string option;
+      cimplements : string list;
+      cattrs : (string * string) list;  (** type name, attribute name *)
+    }
+  | Process of { pname : string; body : stmt list }
+      (** [process P { ... }] — one address space; the distribution
+          boundary Java leaves implicit is explicit in the mini
+          language so one source file can script a whole deployment *)
+
+type program = decl list
+
+val vtype_of_name : string -> Tpbs_types.Vtype.t option
+(** Map a surface type name ([boolean], [int], [long], [float],
+    [double], [String], or a class/interface name) to a value type.
+    [None] only for the empty string. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_decl : Format.formatter -> decl -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,322 @@
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Expr = Tpbs_filter.Expr
+module Typecheck = Tpbs_filter.Typecheck
+module Mobility = Tpbs_filter.Mobility
+module Rfilter = Tpbs_filter.Rfilter
+
+exception Compile_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Compile_error s)) fmt
+
+type filter_class =
+  | Remote_filter of Rfilter.t
+  | Mobile_tree
+  | Local_filter of Mobility.reason list
+
+type sub_plan = {
+  sp_process : string;
+  sp_var : string;
+  sp_param : string;
+  sp_formal : string;
+  sp_filter : Expr.t;
+  sp_class : filter_class;
+  sp_captured : (string * Vtype.t) list;
+}
+
+type adapter = { ad_type : string; ad_is_class : bool }
+
+type t = {
+  registry : Registry.t;
+  program : Ast.program;
+  adapters : adapter list;
+  sub_plans : sub_plan list;
+  publish_types : (string * string) list;
+}
+
+(* --- phase 1: type declarations --------------------------------------- *)
+
+let vtype_of_name reg pos name =
+  match Ast.vtype_of_name name with
+  | Some (Vtype.Tobject n) ->
+      if not (Registry.exists reg n) then err "%s: unknown type %s" pos n;
+      Vtype.Tobject n
+  | Some t -> t
+  | None -> err "%s: empty type name" pos
+
+let declare_types reg program =
+  List.iter
+    (fun decl ->
+      match (decl : Ast.decl) with
+      | Ast.Interface { iname; iextends; imethods } -> (
+          let methods =
+            List.map
+              (fun (m, ret) -> m, vtype_of_name reg ("interface " ^ iname) ret)
+              imethods
+          in
+          try Registry.declare_interface reg ~name:iname ~extends:iextends
+                ~methods ()
+          with Registry.Type_error msg -> err "%s" msg)
+      | Ast.Class { cname; cextends; cimplements; cattrs } -> (
+          let attrs =
+            List.map
+              (fun (tname, attr) ->
+                attr, vtype_of_name reg ("class " ^ cname) tname)
+              cattrs
+          in
+          try
+            Registry.declare_class reg ~name:cname ?extends:cextends
+              ~implements:cimplements ~attrs ()
+          with Registry.Type_error msg -> err "%s" msg)
+      | Ast.Process _ -> ())
+    program
+
+(* --- phase 2: statement typing ------------------------------------------ *)
+
+(* Environment of one process block (or handler): values and
+   subscription handles live in separate namespaces, like Java locals
+   vs. [Subscription] variables. *)
+type binding = Bval of Vtype.t | Bsub
+
+type env = { vars : (string * binding) list; formal : (string * string) option }
+(* [formal]: (identifier, obvent type) of the enclosing handler. *)
+
+let value_vars env =
+  List.filter_map
+    (fun (x, b) -> match b with Bval t -> Some (x, t) | Bsub -> None)
+    env.vars
+
+let assignable reg ~from ~into =
+  Vtype.equal from into
+  || (match from, into with
+     | Vtype.Tint, Vtype.Tfloat -> true  (* numeric widening *)
+     | Vtype.Tobject a, Vtype.Tobject b -> Registry.subtype reg a b
+     | _, _ -> false)
+
+let rec infer_pexpr reg env (e : Ast.pexpr) : Vtype.t =
+  match e with
+  | Ast.Expr expr -> (
+      let param =
+        match env.formal with Some (_, t) -> t | None -> "Obvent"
+      in
+      match Typecheck.infer reg ~param ~vars:(value_vars env) expr with
+      | t -> t
+      | exception Typecheck.Ill_typed terr ->
+          err "%a" Typecheck.pp_error terr)
+  | Ast.New (cls, args) ->
+      if not (Registry.exists reg cls) then err "new %s: unknown class" cls;
+      if not (Registry.instantiable reg cls) then
+        err "new %s: interfaces cannot be instantiated" cls;
+      let attrs = Registry.attrs_of reg cls in
+      if List.length attrs <> List.length args then
+        err "new %s: expected %d arguments, got %d" cls (List.length attrs)
+          (List.length args);
+      List.iter2
+        (fun (attr, ty) arg ->
+          let actual = infer_pexpr reg env arg in
+          if not (assignable reg ~from:actual ~into:ty) then
+            err "new %s: attribute %s expects %a, got %a" cls attr Vtype.pp ty
+              Vtype.pp actual)
+        attrs args;
+      Vtype.Tobject cls
+
+let lookup_sub env var =
+  match List.assoc_opt var env.vars with
+  | Some Bsub -> ()
+  | Some (Bval t) ->
+      err "%s has type %a, not Subscription" var Vtype.pp t
+  | None -> err "unknown subscription variable %s" var
+
+type acc = {
+  mutable plans : sub_plan list;
+  mutable pubs : (string * string) list;
+}
+
+let rec check_stmt reg acc ~process env (stmt : Ast.stmt) : env =
+  match stmt with
+  | Ast.Publish e ->
+      let t = infer_pexpr reg env e in
+      (match t with
+      | Vtype.Tobject cls when Registry.is_obvent_type reg cls ->
+          acc.pubs <- (process, cls) :: acc.pubs
+      | _ -> err "publish: expression of type %a is not an Obvent" Vtype.pp t);
+      env
+  | Ast.Print e ->
+      ignore (infer_pexpr reg env e);
+      env
+  | Ast.If (cond, then_, else_) ->
+      let tc = infer_pexpr reg env cond in
+      if not (Vtype.equal tc Vtype.Tbool) then
+        err "if condition has type %a, expected boolean" Vtype.pp tc;
+      (* Bindings made inside a branch do not escape it. *)
+      ignore (check_stmts reg acc ~process env then_);
+      ignore (check_stmts reg acc ~process env else_);
+      env
+  | Ast.Let { let_typ; let_var; let_value } ->
+      let actual = infer_pexpr reg env let_value in
+      let declared =
+        match let_typ with
+        | None -> actual
+        | Some tname ->
+            let ty = vtype_of_name reg ("declaration of " ^ let_var) tname in
+            if not (assignable reg ~from:actual ~into:ty) then
+              err "%s: cannot assign %a to %a" let_var Vtype.pp actual
+                Vtype.pp ty;
+            ty
+      in
+      { env with vars = (let_var, Bval declared) :: env.vars }
+  | Ast.Activate (v, _) | Ast.Deactivate v | Ast.Set_single v ->
+      lookup_sub env v;
+      env
+  | Ast.Set_multi (v, n) ->
+      lookup_sub env v;
+      if n <= 0 then err "%s.setMultiThreading(%d): positive count required" v n;
+      env
+  | Ast.Subscribe sub ->
+      let param = sub.param_type in
+      if not (Registry.exists reg param) then
+        err "subscribe (%s %s): unknown type" param sub.formal;
+      if not (Registry.is_obvent_type reg param) then
+        err "subscribe (%s %s): %s does not widen to Obvent" param sub.formal
+          param;
+      let captured_names = Expr.vars sub.filter in
+      let vars = value_vars env in
+      (match Typecheck.check_filter reg ~param ~vars sub.filter with
+      | () -> ()
+      | exception Typecheck.Ill_typed terr ->
+          err "filter of %s: %a" sub.sub_var Typecheck.pp_error terr);
+      let captured =
+        List.map
+          (fun x ->
+            match List.assoc_opt x vars with
+            | Some t -> x, t
+            | None -> assert false (* check_filter would have failed *))
+          captured_names
+      in
+      let sp_class =
+        match Mobility.classify reg ~param ~vars sub.filter with
+        | Mobility.Local_only reasons -> Local_filter reasons
+        | Mobility.Mobile -> (
+            (* The captured values are not known at compile time, so
+               lifting with an empty environment only succeeds for
+               variable-free filters; variable-bearing mobile filters
+               are lifted at subscription time by the engine. Here we
+               lift with placeholder bindings to classify the shape. *)
+            let placeholder_env =
+              List.map
+                (fun (x, t) ->
+                  ( x,
+                    match (t : Vtype.t) with
+                    | Tbool -> Tpbs_serial.Value.Bool false
+                    | Tint -> Tpbs_serial.Value.Int 0
+                    | Tfloat -> Tpbs_serial.Value.Float 0.
+                    | Tstring -> Tpbs_serial.Value.Str ""
+                    | Tlist _ | Tobject _ | Tremote _ ->
+                        Tpbs_serial.Value.Null ))
+                captured
+            in
+            match Rfilter.of_expr ~env:placeholder_env ~param sub.filter with
+            | Some rf -> Remote_filter rf
+            | None -> Mobile_tree)
+      in
+      (* The handler sees the formal argument and the enclosing final
+         variables; the subscription variable itself is visible inside
+         the handler (self-deactivation, §3.4.2). *)
+      let handler_env =
+        {
+          vars = (sub.sub_var, Bsub) :: env.vars;
+          formal = Some (sub.formal, param);
+        }
+      in
+      ignore (check_stmts reg acc ~process handler_env sub.handler);
+      acc.plans <-
+        {
+          sp_process = process;
+          sp_var = sub.sub_var;
+          sp_param = param;
+          sp_formal = sub.formal;
+          sp_filter = sub.filter;
+          sp_class;
+          sp_captured = captured;
+        }
+        :: acc.plans;
+      { env with vars = (sub.sub_var, Bsub) :: env.vars }
+
+and check_stmts reg acc ~process env stmts =
+  List.fold_left (fun env stmt -> check_stmt reg acc ~process env stmt) env
+    stmts
+
+(* --- driver ------------------------------------------------------------- *)
+
+let compile program =
+  let reg = Registry.create () in
+  declare_types reg program;
+  let acc = { plans = []; pubs = [] } in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun decl ->
+      match (decl : Ast.decl) with
+      | Ast.Process { pname; body } ->
+          if Hashtbl.mem seen pname then err "duplicate process %s" pname;
+          Hashtbl.add seen pname ();
+          ignore
+            (check_stmts reg acc ~process:pname
+               { vars = []; formal = None }
+               body)
+      | Ast.Interface _ | Ast.Class _ -> ())
+    program;
+  let adapters =
+    List.filter_map
+      (fun decl ->
+        match (decl : Ast.decl) with
+        | Ast.Interface { iname; _ } when Registry.is_obvent_type reg iname ->
+            Some { ad_type = iname; ad_is_class = false }
+        | Ast.Class { cname; _ } when Registry.is_obvent_type reg cname ->
+            Some { ad_type = cname; ad_is_class = true }
+        | Ast.Interface _ | Ast.Class _ | Ast.Process _ -> None)
+      program
+  in
+  {
+    registry = reg;
+    program;
+    adapters;
+    sub_plans = List.rev acc.plans;
+    publish_types = List.rev acc.pubs;
+  }
+
+let compile_string src = compile (Pparser.program_of_string src)
+
+let pp_filter_class ~captured ppf = function
+  | Remote_filter rf ->
+      if captured = [] then
+        Fmt.pf ppf "RemoteFilter %a" Rfilter.pp_formula rf.Rfilter.formula
+      else
+        (* The constants come from final variables bound at
+           subscription time; the plan only records the shape. *)
+        Fmt.pf ppf "RemoteFilter (lifted at subscription time; captures %s)"
+          (String.concat ", " (List.map fst captured))
+  | Mobile_tree -> Fmt.string ppf "mobile expression tree"
+  | Local_filter reasons ->
+      Fmt.pf ppf "LocalFilter (%a)"
+        Fmt.(list ~sep:(any "; ") Mobility.pp_reason)
+        reasons
+
+let pp_plan ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      Fmt.pf ppf "generated %sAdapter { subscribe%s }@,"
+        a.ad_type
+        (if a.ad_is_class then "; publish" else ""))
+    t.adapters;
+  List.iter
+    (fun sp ->
+      Fmt.pf ppf "%s: Subscription %s on %s -> %a@," sp.sp_process sp.sp_var
+        sp.sp_param
+        (pp_filter_class ~captured:sp.sp_captured)
+        sp.sp_class)
+    t.sub_plans;
+  List.iter
+    (fun (proc, cls) -> Fmt.pf ppf "%s: publish %s via %sAdapter@," proc cls cls)
+    t.publish_types;
+  Fmt.pf ppf "@]"

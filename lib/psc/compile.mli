@@ -1,0 +1,64 @@
+(** The psc precompiler proper (§4): typecheck a Java_ps program and
+    plan its translation.
+
+    Mirroring the paper's pipeline, compilation (1) registers the
+    program's obvent types, (2) typechecks every statement — so type
+    errors in filters, handlers and publish statements are compile
+    errors, LP1 — and (3) produces the {e adapter plan}: one typed
+    adapter per obvent type (the [TAdapter] of Fig. 6), and for every
+    subscription the classification of its filter — lifted to a
+    [RemoteFilter] (invocation/evaluation trees, mobile) or kept as a
+    [LocalFilter] (applied at the subscriber), per §4.4.3. *)
+
+exception Compile_error of string
+
+(** How one subscription's filter compiles (§4.4.3). *)
+type filter_class =
+  | Remote_filter of Tpbs_filter.Rfilter.t
+      (** conforming: shipped to filtering hosts and factorable *)
+  | Mobile_tree
+      (** mobile but not in atom normal form: shipped as an
+          expression tree, interpreted remotely, not factorable *)
+  | Local_filter of Tpbs_filter.Mobility.reason list
+      (** violates §3.3.4: applied at the subscriber *)
+
+type sub_plan = {
+  sp_process : string;
+  sp_var : string;
+  sp_param : string;  (** subscribed type *)
+  sp_formal : string;
+  sp_filter : Tpbs_filter.Expr.t;
+  sp_class : filter_class;
+  sp_captured : (string * Tpbs_types.Vtype.t) list;
+      (** final variables the closure captures, with their types *)
+}
+
+type adapter = {
+  ad_type : string;
+  ad_is_class : bool;  (** classes also get a [publish] entry (Fig. 6) *)
+}
+
+type t = {
+  registry : Tpbs_types.Registry.t;  (** builtins + program types *)
+  program : Ast.program;
+  adapters : adapter list;  (** one per declared obvent type *)
+  sub_plans : sub_plan list;
+  publish_types : (string * string) list;
+      (** (process, static type) of each publish statement *)
+}
+
+val compile : Ast.program -> t
+(** @raise Compile_error on any type or scoping error. *)
+
+val declare_types : Tpbs_types.Registry.t -> Ast.program -> unit
+(** Phase 1 only: register the program's interface/class declarations
+    (used by {!Edl} to read schemas).
+    @raise Compile_error on invalid declarations. *)
+
+val compile_string : string -> t
+(** Parse then compile.
+    @raise Pparser.Parse_error / @raise Compile_error *)
+
+val pp_plan : Format.formatter -> t -> unit
+(** Human-readable compile report (the analogue of listing the
+    generated adapter classes). *)

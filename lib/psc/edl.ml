@@ -1,0 +1,114 @@
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+
+let builtin_names =
+  (* Everything Registry.create preloads. *)
+  Registry.all_types (Registry.create ())
+
+let is_builtin name = List.mem name builtin_names
+
+let surface_type : Vtype.t -> string = function
+  | Tbool -> "boolean"
+  | Tint -> "int"
+  | Tfloat -> "double"
+  | Tstring -> "String"
+  | Tobject n -> n
+  | Tremote n ->
+      (* The paper's caveat (§5.6): an EDL cannot by itself carry
+         behaviour — and a remote reference is behaviour. *)
+      invalid_arg
+        ("Edl.export: remote-reference attribute of interface " ^ n
+       ^ " is not expressible in the schema")
+  | Tlist _ -> invalid_arg "Edl.export: list attributes are not expressible"
+
+(* Topological order: supertypes first. Declaration order in the
+   registry is lost, so sort by dependency. *)
+let topo_sort reg names =
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit name =
+    if (not (Hashtbl.mem visited name)) && not (is_builtin name) then begin
+      Hashtbl.add visited name ();
+      let decl = Registry.find reg name in
+      List.iter visit decl.Registry.supers;
+      out := name :: !out
+    end
+  in
+  List.iter visit names;
+  List.rev !out
+
+let render_decl reg buf name =
+  let decl = Registry.find reg name in
+  match decl.Registry.kind with
+  | Registry.Interface ->
+      Buffer.add_string buf ("interface " ^ name);
+      (match decl.Registry.supers with
+      | [] -> ()
+      | supers ->
+          Buffer.add_string buf (" extends " ^ String.concat ", " supers));
+      Buffer.add_string buf " {\n";
+      List.iter
+        (fun (m : Registry.meth) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s();\n" (surface_type m.Registry.ret)
+               m.Registry.mname))
+        decl.Registry.methods;
+      Buffer.add_string buf "}\n\n"
+  | Registry.Class ->
+      let extends, implements =
+        List.partition (fun s -> Registry.is_class reg s) decl.Registry.supers
+      in
+      Buffer.add_string buf ("class " ^ name);
+      (match extends with
+      | [ super ] -> Buffer.add_string buf (" extends " ^ super)
+      | [] -> ()
+      | _ -> assert false (* single inheritance by construction *));
+      (match implements with
+      | [] -> ()
+      | is -> Buffer.add_string buf (" implements " ^ String.concat ", " is));
+      Buffer.add_string buf " {\n";
+      List.iter
+        (fun (attr, ty) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %s;\n" (surface_type ty) attr))
+        decl.Registry.attrs;
+      Buffer.add_string buf "}\n\n"
+
+let export reg =
+  let buf = Buffer.create 1024 in
+  let names =
+    List.filter (fun n -> not (is_builtin n)) (Registry.all_types reg)
+  in
+  List.iter (render_decl reg buf) (topo_sort reg names);
+  Buffer.contents buf
+
+let import_into reg schema =
+  let program = Pparser.program_of_string schema in
+  List.iter
+    (fun decl ->
+      match (decl : Ast.decl) with
+      | Ast.Process { pname; _ } ->
+          raise
+            (Compile.Compile_error
+               ("EDL schemas contain only type declarations; found process "
+              ^ pname))
+      | Ast.Interface _ | Ast.Class _ -> ())
+    program;
+  Compile.declare_types reg program
+
+let import schema =
+  let reg = Registry.create () in
+  import_into reg schema;
+  reg
+
+let equivalent a b =
+  let names_a = Registry.all_types a and names_b = Registry.all_types b in
+  names_a = names_b
+  && List.for_all
+       (fun x ->
+         List.for_all
+           (fun y -> Registry.subtype a x y = Registry.subtype b x y)
+           names_a
+         && Registry.attrs_of a x = Registry.attrs_of b x
+         && Registry.is_class a x = Registry.is_class b x)
+       names_a

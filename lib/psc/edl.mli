@@ -1,0 +1,37 @@
+(** Event description language (§5.6 "Language Integration vs
+    Interoperability").
+
+    The paper observes that interoperable publish/subscribe systems
+    describe event types in a neutral EDL (the CEA's ODL, Objective
+    Linda's OIL, XML, …) and that the [java.pubsub] types "can be seen
+    as a Java mapping" of such a language. This module is that
+    exchange format: a registry's application-defined obvent types
+    export to a textual schema — the Java_ps declaration syntax
+    itself, so the precompiler's parser doubles as the EDL reader —
+    and import reconstructs an equivalent lattice on another node or
+    in another run.
+
+    Methods-as-code (the paper's caveat that an EDL cannot carry
+    behaviour by itself) need no special handling here because obvent
+    methods are derived getters: the schema fully determines them. *)
+
+val export : Tpbs_types.Registry.t -> string
+(** Render every non-builtin type of the registry as Java_ps
+    declarations, supertypes before subtypes.
+    @raise Invalid_argument for attributes an EDL cannot express —
+    remote references and lists (the paper's caveat that a definition
+    language "can not by itself provide for interoperability" when
+    events encompass code). *)
+
+val import : string -> Tpbs_types.Registry.t
+(** Parse declarations into a fresh registry (builtins included).
+    @raise Compile.Compile_error / @raise Pparser.Parse_error on
+    invalid schemas. *)
+
+val import_into : Tpbs_types.Registry.t -> string -> unit
+(** Add the schema's types to an existing registry.
+    @raise Compile.Compile_error on conflicts. *)
+
+val equivalent : Tpbs_types.Registry.t -> Tpbs_types.Registry.t -> bool
+(** Same type names, same subtype relation, same attributes — the
+    roundtrip invariant ([import (export r)] is equivalent to [r]). *)

@@ -1,0 +1,45 @@
+(** Execute a compiled Java_ps program on the publish/subscribe engine
+    inside the simulator: every [process] block becomes an address
+    space on its own node; its statements run at simulation start, in
+    program order; handlers run as obvents arrive.
+
+    This closes the loop the paper describes: source with [publish] /
+    [subscribe] primitives → precompiled adapter calls → DACE-style
+    dissemination — observable through the program's [print]
+    statements. *)
+
+type output = {
+  time : Tpbs_sim.Engine.time;
+  process : string;
+  text : string;
+}
+
+type result = {
+  trace : output list;  (** chronological print output *)
+  stats : Tpbs_core.Pubsub.Domain.stats;
+  compiled : Compile.t;
+}
+
+exception Runtime_error of string
+
+val run :
+  ?seed:int ->
+  ?net_config:Tpbs_sim.Net.config ->
+  ?horizon:Tpbs_sim.Engine.time ->
+  ?broker:bool ->
+  Compile.t ->
+  result
+(** [broker] (default false) adds a dedicated filtering-host node and
+    routes plain-unreliable classes through it. [horizon] bounds
+    virtual time (default: run to quiescence). *)
+
+val run_string :
+  ?seed:int ->
+  ?net_config:Tpbs_sim.Net.config ->
+  ?horizon:Tpbs_sim.Engine.time ->
+  ?broker:bool ->
+  string ->
+  result
+(** Parse, compile, run. *)
+
+val pp_trace : Format.formatter -> output list -> unit

@@ -1,0 +1,265 @@
+module L = Tpbs_filter.Lexer
+module Eparser = Tpbs_filter.Parser
+
+exception Parse_error = Eparser.Parse_error
+
+let fail s fmt =
+  let pos = L.peek_pos s in
+  Fmt.kstr (fun msg -> raise (Parse_error (pos, msg))) fmt
+
+let expect s tok =
+  let got = L.next s in
+  if got <> tok then
+    fail s "expected %a, found %a" L.pp_token tok L.pp_token got
+
+let expect_ident s =
+  match L.next s with
+  | L.Ident name -> name
+  | tok -> fail s "expected an identifier, found %a" L.pp_token tok
+
+let expect_keyword s kw =
+  match L.next s with
+  | L.Ident name when name = kw -> ()
+  | tok -> fail s "expected '%s', found %a" kw L.pp_token tok
+
+(* [no_formal] is an identifier no source program can contain, so that
+   Arg never resolves outside a handler. *)
+let no_formal = "$none"
+
+let rec ident_list s =
+  let name = expect_ident s in
+  match L.peek s with
+  | L.Comma ->
+      ignore (L.next s);
+      name :: ident_list s
+  | _ -> [ name ]
+
+let rec parse_pexpr s ~param : Ast.pexpr =
+  match L.peek s with
+  | L.Ident "new" ->
+      ignore (L.next s);
+      let cls = expect_ident s in
+      expect s L.Lparen;
+      let args =
+        if L.peek s = L.Rparen then []
+        else begin
+          let rec loop () =
+            let e = parse_pexpr s ~param in
+            match L.peek s with
+            | L.Comma ->
+                ignore (L.next s);
+                e :: loop ()
+            | _ -> [ e ]
+          in
+          loop ()
+        end
+      in
+      expect s L.Rparen;
+      Ast.New (cls, args)
+  | _ -> Ast.Expr (Eparser.parse_expr s ~param)
+
+(* Filter block: '{' [return] expr [;] '}'. *)
+let parse_filter_block s ~param =
+  expect s L.Lbrace;
+  (match L.peek s with
+  | L.Ident "return" -> ignore (L.next s)
+  | _ -> ());
+  let e = Eparser.parse_expr s ~param in
+  (match L.peek s with L.Semi -> ignore (L.next s) | _ -> ());
+  expect s L.Rbrace;
+  e
+
+let rec parse_stmt s ~param : Ast.stmt =
+  match L.peek s with
+  | L.Ident "publish" ->
+      ignore (L.next s);
+      let e = parse_pexpr s ~param in
+      expect s L.Semi;
+      Ast.Publish e
+  | L.Ident "print" ->
+      ignore (L.next s);
+      expect s L.Lparen;
+      let e = parse_pexpr s ~param in
+      expect s L.Rparen;
+      expect s L.Semi;
+      Ast.Print e
+  | L.Ident "Subscription" -> parse_subscribe s ~param
+  | L.Ident "if" ->
+      ignore (L.next s);
+      expect s L.Lparen;
+      let cond = parse_pexpr s ~param in
+      expect s L.Rparen;
+      expect s L.Lbrace;
+      let then_ = parse_stmts s ~param ~stop:L.Rbrace in
+      expect s L.Rbrace;
+      let else_ =
+        match L.peek s with
+        | L.Ident "else" ->
+            ignore (L.next s);
+            expect s L.Lbrace;
+            let else_ = parse_stmts s ~param ~stop:L.Rbrace in
+            expect s L.Rbrace;
+            else_
+        | _ -> []
+      in
+      Ast.If (cond, then_, else_)
+  | L.Ident "final" ->
+      ignore (L.next s);
+      parse_let s ~param
+  | L.Ident _ -> (
+      (* Either a handle method call [x.m(...);] or a typed local
+         declaration [T x = e;]. Decide on the second token. *)
+      let saved = L.save s in
+      let _name = expect_ident s in
+      match L.peek s with
+      | L.Dot ->
+          L.restore s saved;
+          parse_handle_call s
+      | L.Ident _ ->
+          L.restore s saved;
+          parse_let s ~param
+      | tok -> fail s "unexpected %a in statement" L.pp_token tok)
+  | tok -> fail s "expected a statement, found %a" L.pp_token tok
+
+and parse_let s ~param =
+  let typ = expect_ident s in
+  let var = expect_ident s in
+  expect s (L.Op "=");
+  let value = parse_pexpr s ~param in
+  expect s L.Semi;
+  Ast.Let { let_typ = Some typ; let_var = var; let_value = value }
+
+and parse_handle_call s =
+  let var = expect_ident s in
+  expect s L.Dot;
+  let meth = expect_ident s in
+  expect s L.Lparen;
+  let stmt =
+    match meth, L.peek s with
+    | "activate", L.Rparen -> Ast.Activate (var, None)
+    | "activate", L.Int_lit id ->
+        ignore (L.next s);
+        Ast.Activate (var, Some id)
+    | "deactivate", L.Rparen -> Ast.Deactivate var
+    | "setSingleThreading", L.Rparen -> Ast.Set_single var
+    | "setMultiThreading", L.Int_lit n ->
+        ignore (L.next s);
+        Ast.Set_multi (var, n)
+    | _, _ -> fail s "unknown subscription method %s" meth
+  in
+  expect s L.Rparen;
+  expect s L.Semi;
+  stmt
+
+and parse_subscribe s ~param =
+  ignore param;
+  expect_keyword s "Subscription";
+  let sub_var = expect_ident s in
+  expect s (L.Op "=");
+  expect_keyword s "subscribe";
+  expect s L.Lparen;
+  let param_type = expect_ident s in
+  let formal = expect_ident s in
+  expect s L.Rparen;
+  let filter = parse_filter_block s ~param:formal in
+  expect s L.Lbrace;
+  let handler = parse_stmts s ~param:formal ~stop:L.Rbrace in
+  expect s L.Rbrace;
+  expect s L.Semi;
+  Ast.Subscribe { sub_var; param_type; formal; filter; handler }
+
+and parse_stmts s ~param ~stop =
+  if L.peek s = stop || L.at_eof s then []
+  else
+    let stmt = parse_stmt s ~param in
+    stmt :: parse_stmts s ~param ~stop
+
+let parse_interface s =
+  expect_keyword s "interface";
+  let iname = expect_ident s in
+  let iextends =
+    match L.peek s with
+    | L.Ident "extends" ->
+        ignore (L.next s);
+        ident_list s
+    | _ -> []
+  in
+  expect s L.Lbrace;
+  let rec methods () =
+    match L.peek s with
+    | L.Rbrace -> []
+    | _ ->
+        let ret = expect_ident s in
+        let mname = expect_ident s in
+        expect s L.Lparen;
+        expect s L.Rparen;
+        expect s L.Semi;
+        (mname, ret) :: methods ()
+  in
+  let imethods = methods () in
+  expect s L.Rbrace;
+  Ast.Interface { iname; iextends; imethods }
+
+let parse_class s =
+  expect_keyword s "class";
+  let cname = expect_ident s in
+  let cextends =
+    match L.peek s with
+    | L.Ident "extends" ->
+        ignore (L.next s);
+        Some (expect_ident s)
+    | _ -> None
+  in
+  let cimplements =
+    match L.peek s with
+    | L.Ident "implements" ->
+        ignore (L.next s);
+        ident_list s
+    | _ -> []
+  in
+  expect s L.Lbrace;
+  let rec attrs () =
+    match L.peek s with
+    | L.Rbrace -> []
+    | _ ->
+        let typ = expect_ident s in
+        let attr = expect_ident s in
+        expect s L.Semi;
+        (typ, attr) :: attrs ()
+  in
+  let cattrs = attrs () in
+  expect s L.Rbrace;
+  Ast.Class { cname; cextends; cimplements; cattrs }
+
+let parse_process s =
+  expect_keyword s "process";
+  let pname = expect_ident s in
+  expect s L.Lbrace;
+  let body = parse_stmts s ~param:no_formal ~stop:L.Rbrace in
+  expect s L.Rbrace;
+  Ast.Process { pname; body }
+
+let parse_decl s =
+  match L.peek s with
+  | L.Ident "interface" -> parse_interface s
+  | L.Ident "class" -> parse_class s
+  | L.Ident "process" -> parse_process s
+  | tok ->
+      fail s "expected 'interface', 'class' or 'process', found %a" L.pp_token
+        tok
+
+let program_of_string src =
+  let s = L.stream_of_string src in
+  let rec loop () =
+    if L.at_eof s then []
+    else
+      let decl = parse_decl s in
+      decl :: loop ()
+  in
+  loop ()
+
+let stmt_of_string ?(param = no_formal) src =
+  let s = L.stream_of_string src in
+  let stmt = parse_stmt s ~param in
+  if not (L.at_eof s) then fail s "trailing input after statement";
+  stmt

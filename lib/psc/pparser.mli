@@ -1,0 +1,14 @@
+(** Parser for Java_ps programs. The same token stream and expression
+    grammar as the filter parser ({!Tpbs_filter.Lexer},
+    {!Tpbs_filter.Parser}) — the paper's point that filters "promote
+    the use of the native language syntax" — extended with type and
+    process declarations and the new statement forms of §3.2–3.4. *)
+
+exception Parse_error of Tpbs_filter.Lexer.pos * string
+
+val program_of_string : string -> Ast.program
+(** @raise Parse_error / @raise Tpbs_filter.Lexer.Lex_error *)
+
+val stmt_of_string : ?param:string -> string -> Ast.stmt
+(** Parse one statement (used by tests). [param] is the formal
+    argument in scope, if any. *)

@@ -1,0 +1,33 @@
+module Value = Tpbs_serial.Value
+
+type t = { reference : Value.t; bindings : (string, Value.t) Hashtbl.t }
+
+let host runtime =
+  let bindings = Hashtbl.create 16 in
+  let handler ~meth ~args : Value.t =
+    match meth, (args : Value.t list) with
+    | "bind", [ Str name; reference ] ->
+        if Hashtbl.mem bindings name then
+          raise (Rmi.App_error ("already bound: " ^ name));
+        Hashtbl.replace bindings name reference;
+        Null
+    | "lookup", [ Str name ] -> (
+        match Hashtbl.find_opt bindings name with
+        | Some reference -> reference
+        | None -> raise (Rmi.App_error ("not bound: " ^ name)))
+    | "unbind", [ Str name ] ->
+        Hashtbl.remove bindings name;
+        Null
+    | _ -> raise (Rmi.App_error ("no such method: " ^ meth))
+  in
+  { reference = Rmi.export runtime ~iface:"RmiRegistry" handler; bindings }
+
+let reference t = t.reference
+
+let bind runtime ~registry ~name reference ~k =
+  Rmi.invoke runtime registry ~meth:"bind" ~args:[ Str name; reference ]
+    ~k:(fun result ->
+      match result with Ok _ -> k (Ok ()) | Error e -> k (Error e))
+
+let lookup runtime ~registry ~name ~k =
+  Rmi.invoke runtime registry ~meth:"lookup" ~args:[ Str name ] ~k

@@ -1,0 +1,32 @@
+(** A name service for bootstrap lookups, in the role of the RMI
+    registry: well-known node, string names bound to remote
+    references. Implemented as an ordinary exported object, so lookups
+    and bindings are themselves remote invocations. *)
+
+type t
+
+val host : Rmi.runtime -> t
+(** Export the registry object on this runtime's node. *)
+
+val reference : t -> Tpbs_serial.Value.t
+(** The registry's own remote reference (to hand to clients
+    out-of-band, like the host:port every RMI client knows). *)
+
+val bind :
+  Rmi.runtime ->
+  registry:Tpbs_serial.Value.t ->
+  name:string ->
+  Tpbs_serial.Value.t ->
+  k:((unit, Rmi.error) result -> unit) ->
+  unit
+(** Bind a name remotely. Rebinding an existing name fails with
+    [Remote_exception]. *)
+
+val lookup :
+  Rmi.runtime ->
+  registry:Tpbs_serial.Value.t ->
+  name:string ->
+  k:((Tpbs_serial.Value.t, Rmi.error) result -> unit) ->
+  unit
+(** Look a name up remotely; unknown names fail with
+    [Remote_exception]. *)

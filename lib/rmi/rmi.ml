@@ -1,0 +1,223 @@
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+type dgc_mode = Strict | Lease of int
+
+type error = Timeout | Unknown_object | Remote_exception of string | Bad_reply
+
+exception App_error of string
+
+let pp_error ppf = function
+  | Timeout -> Fmt.string ppf "timeout"
+  | Unknown_object -> Fmt.string ppf "unknown object"
+  | Remote_exception msg -> Fmt.pf ppf "remote exception: %s" msg
+  | Bad_reply -> Fmt.string ppf "bad reply"
+
+type exported = {
+  iface : string;
+  handler : meth:string -> args:Value.t list -> Value.t;
+  holders : (Net.node_id, Tpbs_sim.Engine.time) Hashtbl.t;
+      (* proxy holder -> last lease renewal (0 under Strict) *)
+}
+
+type runtime = {
+  net : Net.t;
+  me : Net.node_id;
+  dgc : dgc_mode;
+  call_timeout : int;
+  exported : (int, exported) Hashtbl.t;
+  mutable next_oid : int;
+  mutable next_req : int;
+  pending : (int, (Value.t, error) result -> unit) Hashtbl.t;
+  proxies : (Net.node_id * int, unit) Hashtbl.t;  (* references we hold *)
+}
+
+let req_port = "rmi:req"
+let rsp_port = "rmi:rsp"
+let dgc_port = "rmi:dgc"
+
+let me t = t.me
+let now t = Tpbs_sim.Engine.now (Net.engine t.net)
+
+(* --- host side: requests ------------------------------------------- *)
+
+let reply t ~dst ~req_id body =
+  Net.send t.net ~src:t.me ~dst ~port:rsp_port
+    (Codec.encode (List (Int req_id :: body)))
+
+let on_request t src bytes =
+  match Codec.decode bytes with
+  | List [ Int req_id; Int oid; Str meth; List args ] -> (
+      match Hashtbl.find_opt t.exported oid with
+      | None -> reply t ~dst:src ~req_id [ Str "unknown" ]
+      | Some obj -> (
+          match obj.handler ~meth ~args with
+          | result -> reply t ~dst:src ~req_id [ Str "ok"; result ]
+          | exception App_error msg ->
+              reply t ~dst:src ~req_id [ Str "err"; Str msg ]))
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let on_response t _src bytes =
+  match Codec.decode bytes with
+  | List (Int req_id :: body) -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | None -> () (* late reply after timeout *)
+      | Some k ->
+          Hashtbl.remove t.pending req_id;
+          let result =
+            match body with
+            | [ Str "ok"; v ] -> Ok v
+            | [ Str "err"; Str msg ] -> Error (Remote_exception msg)
+            | [ Str "unknown" ] -> Error Unknown_object
+            | _ -> Error Bad_reply
+          in
+          k result)
+  | _ | (exception Codec.Decode_error _) -> ()
+
+(* --- DGC messages ---------------------------------------------------- *)
+
+let on_dgc t src bytes =
+  match Codec.decode bytes with
+  | List [ Str verb; Int oid ] -> (
+      match Hashtbl.find_opt t.exported oid with
+      | None -> ()
+      | Some obj -> (
+          match verb with
+          | "ref" | "renew" -> Hashtbl.replace obj.holders src (now t)
+          | "unref" -> Hashtbl.remove obj.holders src
+          | _ -> ()))
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let run_dgc t =
+  match t.dgc with
+  | Strict -> ()
+  | Lease horizon ->
+      let cutoff = now t - horizon in
+      Hashtbl.iter
+        (fun _ obj ->
+          let stale =
+            Hashtbl.fold
+              (fun holder stamp acc ->
+                if stamp < cutoff then holder :: acc else acc)
+              obj.holders []
+          in
+          List.iter (Hashtbl.remove obj.holders) stale)
+        t.exported
+
+let rec arm_dgc_timer t period =
+  Net.schedule_on t.net t.me ~delay:period (fun () ->
+      run_dgc t;
+      arm_dgc_timer t period)
+
+let attach ?(dgc = Strict) ?(call_timeout = 50_000) net ~me =
+  let t =
+    {
+      net;
+      me;
+      dgc;
+      call_timeout;
+      exported = Hashtbl.create 16;
+      next_oid = 0;
+      next_req = 0;
+      pending = Hashtbl.create 16;
+      proxies = Hashtbl.create 16;
+    }
+  in
+  Net.set_handler net me ~port:req_port (fun src bytes -> on_request t src bytes);
+  Net.set_handler net me ~port:rsp_port (fun src bytes -> on_response t src bytes);
+  Net.set_handler net me ~port:dgc_port (fun src bytes -> on_dgc t src bytes);
+  (match dgc with
+  | Lease horizon -> arm_dgc_timer t (max 1 (horizon / 2))
+  | Strict -> ());
+  t
+
+(* --- export ------------------------------------------------------------ *)
+
+let export t ~iface handler =
+  let oid = t.next_oid in
+  t.next_oid <- oid + 1;
+  Hashtbl.replace t.exported oid
+    { iface; handler; holders = Hashtbl.create 8 };
+  Value.Remote { iface; node_id = t.me; object_id = oid }
+
+let as_remote = function
+  | Value.Remote r -> Some r
+  | Value.Null | Bool _ | Int _ | Float _ | Str _ | List _ | Obj _ -> None
+
+let unexport t ref_value =
+  match as_remote ref_value with
+  | Some r when r.node_id = t.me -> Hashtbl.remove t.exported r.object_id
+  | Some _ | None -> ()
+
+(* --- invoke ------------------------------------------------------------- *)
+
+let invoke t ref_value ~meth ~args ~k =
+  match as_remote ref_value with
+  | None -> k (Error Bad_reply)
+  | Some r ->
+      let req_id = t.next_req in
+      t.next_req <- req_id + 1;
+      Hashtbl.replace t.pending req_id k;
+      Net.send t.net ~src:t.me ~dst:r.node_id ~port:req_port
+        (Codec.encode
+           (List [ Int req_id; Int r.object_id; Str meth; List args ]));
+      Net.schedule_on t.net t.me ~delay:t.call_timeout (fun () ->
+          match Hashtbl.find_opt t.pending req_id with
+          | None -> ()
+          | Some k ->
+              Hashtbl.remove t.pending req_id;
+              k (Error Timeout))
+
+(* --- proxy registration -------------------------------------------------- *)
+
+let send_dgc t ~dst verb oid =
+  Net.send t.net ~src:t.me ~dst ~port:dgc_port
+    (Codec.encode (List [ Str verb; Int oid ]))
+
+let rec renew_loop t (r : Value.remote) period =
+  Net.schedule_on t.net t.me ~delay:period (fun () ->
+      if Hashtbl.mem t.proxies (r.node_id, r.object_id) then begin
+        send_dgc t ~dst:r.node_id "renew" r.object_id;
+        renew_loop t r period
+      end)
+
+let adopt_proxy t ref_value =
+  match as_remote ref_value with
+  | None -> ()
+  | Some r ->
+      let key = r.node_id, r.object_id in
+      if not (Hashtbl.mem t.proxies key) then begin
+        Hashtbl.replace t.proxies key ();
+        send_dgc t ~dst:r.node_id "ref" r.object_id;
+        match t.dgc with
+        | Lease horizon -> renew_loop t r (max 1 (horizon / 2))
+        | Strict -> ()
+      end
+
+let release_proxy t ref_value =
+  match as_remote ref_value with
+  | None -> ()
+  | Some r ->
+      let key = r.node_id, r.object_id in
+      if Hashtbl.mem t.proxies key then begin
+        Hashtbl.remove t.proxies key;
+        send_dgc t ~dst:r.node_id "unref" r.object_id
+      end
+
+(* --- host-side accounting -------------------------------------------------- *)
+
+let pinned t =
+  Hashtbl.fold
+    (fun _ obj acc -> if Hashtbl.length obj.holders > 0 then acc + 1 else acc)
+    t.exported 0
+
+let collectable t =
+  Hashtbl.fold
+    (fun _ obj acc -> if Hashtbl.length obj.holders = 0 then acc + 1 else acc)
+    t.exported 0
+
+let holder_count t =
+  Hashtbl.fold (fun _ obj acc -> acc + Hashtbl.length obj.holders) t.exported 0
+
+let exported_count t = Hashtbl.length t.exported

@@ -1,0 +1,99 @@
+(** Mini-RMI: remote method invocation over the simulated network —
+    the synchronous complement the paper combines with
+    publish/subscribe (§5.4 "Hand in Hand": obvents carry references
+    to remote objects; subscribers invoke them).
+
+    Bound objects (§2.1.1) are exported from their address space and
+    never leave it; what travels is a {!Tpbs_serial.Value.Remote}
+    reference. Deserializing such a reference creates a {e proxy},
+    which participates in distributed garbage collection:
+
+    - [Strict] DGC is Java-RMI-like reference counting: the object is
+      collectable only when every proxy has been explicitly released.
+      A crashed proxy holder therefore pins the object forever — the
+      caveat of §5.4.2, reproduced by experiment E8.
+    - [Lease n] is the "weaker RMI" of [CNH99]: proxies renew a lease
+      every [n/2] ticks; the host expires silent proxies after [n],
+      so a crashed subscriber's reference eventually dies. *)
+
+type runtime
+(** Per-address-space RMI state. *)
+
+type dgc_mode = Strict | Lease of int
+
+type error =
+  | Timeout
+  | Unknown_object
+  | Remote_exception of string
+  | Bad_reply
+
+exception App_error of string
+(** Raised by an exported object's handler to signal an
+    application-level failure to the caller. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val attach :
+  ?dgc:dgc_mode ->
+  ?call_timeout:int ->
+  Tpbs_sim.Net.t ->
+  me:Tpbs_sim.Net.node_id ->
+  runtime
+(** Install the RMI endpoint on a node. [call_timeout] defaults to
+    50000 ticks; [dgc] to [Strict]. *)
+
+val me : runtime -> Tpbs_sim.Net.node_id
+
+val export :
+  runtime ->
+  iface:string ->
+  (meth:string -> args:Tpbs_serial.Value.t list -> Tpbs_serial.Value.t) ->
+  Tpbs_serial.Value.t
+(** Export a bound object; returns the [Remote] reference value to
+    embed in obvents or bind in the {!Nameserver}. The handler runs in
+    the hosting address space; raising {!App_error} propagates to the
+    caller as [Remote_exception]. *)
+
+val unexport : runtime -> Tpbs_serial.Value.t -> unit
+(** Withdraw an exported object (subsequent calls fail with
+    [Unknown_object]). *)
+
+val invoke :
+  runtime ->
+  Tpbs_serial.Value.t ->
+  meth:string ->
+  args:Tpbs_serial.Value.t list ->
+  k:((Tpbs_serial.Value.t, error) result -> unit) ->
+  unit
+(** Asynchronous remote call; [k] fires exactly once, with [Timeout]
+    if no reply arrives in time. The reference must be a [Remote]
+    value (otherwise [k (Error Bad_reply)] immediately). *)
+
+(** {1 Distributed garbage collection} *)
+
+val adopt_proxy : runtime -> Tpbs_serial.Value.t -> unit
+(** Declare that this address space now holds a proxy for the
+    reference (deserialization of an obvent containing it does this,
+    via the engine). Registers with the host's DGC; under [Lease],
+    starts renewing. Idempotent per (runtime, reference). *)
+
+val release_proxy : runtime -> Tpbs_serial.Value.t -> unit
+(** Drop the proxy: decrement the host-side count / stop renewing. *)
+
+val pinned : runtime -> int
+(** Host side: number of exported objects with at least one live
+    remote reference (these cannot be collected). *)
+
+val collectable : runtime -> int
+(** Host side: exported objects whose reference count has dropped to
+    zero (a local GC could reclaim them). *)
+
+val run_dgc : runtime -> unit
+(** Host side: expire stale leases now (no-op under [Strict]). Called
+    automatically on a timer under [Lease]. *)
+
+val holder_count : runtime -> int
+(** Host side: total live (object, holder) registrations — "how many
+    proxies point here". *)
+
+val exported_count : runtime -> int

@@ -1,0 +1,129 @@
+exception Decode_error of string
+
+(* One tag byte per constructor. Kept stable: this is the wire format. *)
+let tag_null = 0
+let tag_false = 1
+let tag_true = 2
+let tag_int = 3
+let tag_float = 4
+let tag_str = 5
+let tag_list = 6
+let tag_obj = 7
+let tag_remote = 8
+
+let rec encode_into w (v : Value.t) =
+  let open Wire.Writer in
+  match v with
+  | Null -> byte w tag_null
+  | Bool false -> byte w tag_false
+  | Bool true -> byte w tag_true
+  | Int i ->
+      byte w tag_int;
+      zigzag w i
+  | Float f ->
+      byte w tag_float;
+      f64 w f
+  | Str s ->
+      byte w tag_str;
+      string w s
+  | List vs ->
+      byte w tag_list;
+      varint w (List.length vs);
+      List.iter (encode_into w) vs
+  | Obj o ->
+      byte w tag_obj;
+      string w o.cls;
+      varint w (List.length o.fields);
+      List.iter
+        (fun (name, v) ->
+          string w name;
+          encode_into w v)
+        o.fields
+  | Remote r ->
+      byte w tag_remote;
+      string w r.iface;
+      varint w r.node_id;
+      varint w r.object_id
+
+let encode v =
+  let w = Wire.Writer.create () in
+  encode_into w v;
+  Wire.Writer.contents w
+
+let rec decode_prefix r : Value.t =
+  let open Wire.Reader in
+  let tag = byte r in
+  if tag = tag_null then Null
+  else if tag = tag_false then Bool false
+  else if tag = tag_true then Bool true
+  else if tag = tag_int then Int (zigzag r)
+  else if tag = tag_float then Float (f64 r)
+  else if tag = tag_str then Str (string r)
+  else if tag = tag_list then begin
+    let n = varint r in
+    let rec loop k acc =
+      if k = 0 then List.rev acc else loop (k - 1) (decode_prefix r :: acc)
+    in
+    List (loop n [])
+  end
+  else if tag = tag_obj then begin
+    let cls = string r in
+    let n = varint r in
+    let rec loop k acc =
+      if k = 0 then List.rev acc
+      else
+        let name = string r in
+        let v = decode_prefix r in
+        loop (k - 1) ((name, v) :: acc)
+    in
+    Obj { cls; fields = loop n [] }
+  end
+  else if tag = tag_remote then begin
+    let iface = string r in
+    let node_id = varint r in
+    let object_id = varint r in
+    Remote { iface; node_id; object_id }
+  end
+  else raise (Decode_error (Printf.sprintf "unknown tag %d" tag))
+
+let decode s =
+  let r = Wire.Reader.of_string s in
+  match decode_prefix r with
+  | v ->
+      if not (Wire.Reader.at_end r) then
+        raise (Decode_error "trailing bytes after value");
+      v
+  | exception Wire.Truncated what ->
+      raise (Decode_error ("truncated: " ^ what))
+  | exception Wire.Malformed what ->
+      raise (Decode_error ("malformed: " ^ what))
+
+let decode_prefix r =
+  try decode_prefix r with
+  | Wire.Truncated what -> raise (Decode_error ("truncated: " ^ what))
+  | Wire.Malformed what -> raise (Decode_error ("malformed: " ^ what))
+
+let clone v = decode (encode v)
+let encoded_size v = String.length (encode v)
+
+let frame payload =
+  let w = Wire.Writer.create ~capacity:(String.length payload + 10) () in
+  Wire.Writer.varint w (String.length payload);
+  Wire.Writer.raw w payload;
+  let crc = Wire.crc32 payload in
+  Wire.Writer.varint w (Int32.to_int (Int32.logand crc 0xFFFFFFFFl) land 0xFFFFFFFF);
+  Wire.Writer.contents w
+
+let unframe s =
+  let r = Wire.Reader.of_string s in
+  try
+    let n = Wire.Reader.varint r in
+    let payload = Wire.Reader.raw r n in
+    let crc = Wire.Reader.varint r in
+    let expect = Int32.to_int (Int32.logand (Wire.crc32 payload) 0xFFFFFFFFl) land 0xFFFFFFFF in
+    if crc <> expect then raise (Decode_error "frame checksum mismatch");
+    if not (Wire.Reader.at_end r) then raise (Decode_error "frame trailing bytes");
+    payload
+  with
+  | Wire.Truncated what -> raise (Decode_error ("frame truncated: " ^ what))
+  | Wire.Malformed what -> raise (Decode_error ("frame malformed: " ^ what))

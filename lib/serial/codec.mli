@@ -1,0 +1,37 @@
+(** Binary codec for {!Value.t}: the "default serialization mechanism"
+    (LM1) that turns obvents and their nested unbound objects into
+    wire bytes and back.
+
+    A round trip always allocates fresh structure, which is exactly
+    how the paper obtains obvent uniqueness: each subscriber
+    deserializes its own clone of the published obvent (§2.1.2). *)
+
+exception Decode_error of string
+
+val encode : Value.t -> string
+(** Serialize a value to a self-delimiting byte string. *)
+
+val decode : string -> Value.t
+(** Inverse of {!encode}.
+    @raise Decode_error on malformed or truncated input. *)
+
+val decode_prefix : Wire.Reader.t -> Value.t
+(** Decode one value from the current position of a reader, leaving
+    the reader positioned after it (for framed transports). *)
+
+val encode_into : Wire.Writer.t -> Value.t -> unit
+
+val clone : Value.t -> Value.t
+(** Deep copy through the codec: structurally equal, physically
+    fresh. *)
+
+val encoded_size : Value.t -> int
+(** Number of bytes {!encode} would produce. *)
+
+val frame : string -> string
+(** Wrap a payload into a checksummed length-prefixed frame, as used
+    by the simulated transport. *)
+
+val unframe : string -> string
+(** Inverse of {!frame}.
+    @raise Decode_error if the length or checksum is wrong. *)

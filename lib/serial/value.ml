@@ -1,0 +1,132 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of obj
+  | Remote of remote
+
+and obj = { cls : string; fields : (string * t) list }
+and remote = { iface : string; node_id : int; object_id : int }
+
+type kind =
+  | Knull
+  | Kbool
+  | Kint
+  | Kfloat
+  | Kstring
+  | Klist
+  | Kobj of string
+  | Kremote of string
+
+let kind = function
+  | Null -> Knull
+  | Bool _ -> Kbool
+  | Int _ -> Kint
+  | Float _ -> Kfloat
+  | Str _ -> Kstring
+  | List _ -> Klist
+  | Obj o -> Kobj o.cls
+  | Remote r -> Kremote r.iface
+
+let kind_name = function
+  | Knull -> "null"
+  | Kbool -> "bool"
+  | Kint -> "int"
+  | Kfloat -> "float"
+  | Kstring -> "string"
+  | Klist -> "list"
+  | Kobj c -> "object " ^ c
+  | Kremote i -> "remote " ^ i
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys -> List.equal equal xs ys
+  | Obj x, Obj y ->
+      String.equal x.cls y.cls
+      && List.equal
+           (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && equal v1 v2)
+           x.fields y.fields
+  | Remote x, Remote y ->
+      String.equal x.iface y.iface
+      && x.node_id = y.node_id
+      && x.object_id = y.object_id
+  | (Null | Bool _ | Int _ | Float _ | Str _ | List _ | Obj _ | Remote _), _
+    -> false
+
+let constructor_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+  | List _ -> 5
+  | Obj _ -> 6
+  | Remote _ -> 7
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Int64.compare (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Str x, Str y -> String.compare x y
+  | List xs, List ys -> List.compare compare xs ys
+  | Obj x, Obj y ->
+      let c = String.compare x.cls y.cls in
+      if c <> 0 then c
+      else
+        List.compare
+          (fun (n1, v1) (n2, v2) ->
+            let c = String.compare n1 n2 in
+            if c <> 0 then c else compare v1 v2)
+          x.fields y.fields
+  | Remote x, Remote y ->
+      let c = String.compare x.iface y.iface in
+      if c <> 0 then c
+      else
+        let c = Int.compare x.node_id y.node_id in
+        if c <> 0 then c else Int.compare x.object_id y.object_id
+  | _, _ -> Int.compare (constructor_rank a) (constructor_rank b)
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "%S" s
+  | List vs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any "; ") pp) vs
+  | Obj o ->
+      let pp_field ppf (n, v) = Fmt.pf ppf "%s=%a" n pp v in
+      Fmt.pf ppf "%s{%a}" o.cls Fmt.(list ~sep:(any "; ") pp_field) o.fields
+  | Remote r -> Fmt.pf ppf "remote<%s@@%d/%d>" r.iface r.node_id r.object_id
+
+let to_string v = Fmt.str "%a" pp v
+
+let obj cls fields = Obj { cls; fields }
+
+let field v name =
+  match v with
+  | Obj o -> List.assoc_opt name o.fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ | Remote _ -> None
+
+let rec fold f acc v =
+  let acc = f acc v in
+  match v with
+  | Null | Bool _ | Int _ | Float _ | Str _ | Remote _ -> acc
+  | List vs -> List.fold_left (fold f) acc vs
+  | Obj o -> List.fold_left (fun acc (_, v) -> fold f acc v) acc o.fields
+
+let weight v = fold (fun n _ -> n + 1) 0 v
+
+let rec depth = function
+  | Null | Bool _ | Int _ | Float _ | Str _ | Remote _ -> 1
+  | List vs -> 1 + List.fold_left (fun d v -> max d (depth v)) 0 vs
+  | Obj o -> 1 + List.fold_left (fun d (_, v) -> max d (depth v)) 0 o.fields

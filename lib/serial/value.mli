@@ -1,0 +1,65 @@
+(** Dynamic values: the representation of {e unbound objects} (§2.1.1
+    of the paper) — locality-independent data that can be serialized
+    and transferred to another address space. Obvents carry their
+    attributes as values of this type; values can nest further unbound
+    objects, and can embed references to remote (bound) objects, which
+    is what lets publish/subscribe and RMI work hand in hand (§5.4). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of obj  (** nested application-defined unbound object *)
+  | Remote of remote
+      (** serialized reference to a bound object exported via RMI *)
+
+and obj = { cls : string;  (** nominal class in the type registry *)
+            fields : (string * t) list }
+
+and remote = { iface : string;  (** remote interface name *)
+               node_id : int;   (** hosting address space *)
+               object_id : int  (** export id within that space *) }
+
+(** Coarse classification of a value, used for dynamic checks. *)
+type kind =
+  | Knull
+  | Kbool
+  | Kint
+  | Kfloat
+  | Kstring
+  | Klist
+  | Kobj of string
+  | Kremote of string
+
+val kind : t -> kind
+val kind_name : kind -> string
+
+val equal : t -> t -> bool
+(** Structural equality ([Float] compared bitwise so that [nan] equals
+    itself, making equality reflexive — needed for dedup tables). *)
+
+val compare : t -> t -> int
+(** Total structural order consistent with {!equal}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val obj : string -> (string * t) list -> t
+(** [obj cls fields] builds a nested object value. *)
+
+val field : t -> string -> t option
+(** [field v name] projects a field out of an [Obj]; [None] if [v] is
+    not an object or lacks the field. *)
+
+val weight : t -> int
+(** Structural size: number of constructors, a proxy for "bytes on the
+    wire" used by workload generators. *)
+
+val depth : t -> int
+(** Maximum nesting depth. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over a value and all its descendants. *)

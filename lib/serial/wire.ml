@@ -1,0 +1,163 @@
+exception Truncated of string
+exception Malformed of string
+
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create ?(capacity = 64) () =
+    { buf = Bytes.create (max 1 capacity); len = 0 }
+
+  let length w = w.len
+
+  let ensure w n =
+    let needed = w.len + n in
+    if needed > Bytes.length w.buf then begin
+      let cap = ref (Bytes.length w.buf * 2) in
+      while !cap < needed do cap := !cap * 2 done;
+      let fresh = Bytes.create !cap in
+      Bytes.blit w.buf 0 fresh 0 w.len;
+      w.buf <- fresh
+    end
+
+  let byte w b =
+    ensure w 1;
+    Bytes.unsafe_set w.buf w.len (Char.chr (b land 0xff));
+    w.len <- w.len + 1
+
+  let varint w n =
+    if n < 0 then invalid_arg "Wire.Writer.varint: negative";
+    let rec loop n =
+      if n < 0x80 then byte w n
+      else begin
+        byte w (n land 0x7f lor 0x80);
+        loop (n lsr 7)
+      end
+    in
+    loop n
+
+  (* LEB128 of an int whose bit pattern is interpreted as unsigned:
+     uses logical shifts so that "negative" patterns (top bit set)
+     terminate. *)
+  let uvarint w n =
+    let rec loop n =
+      if n >= 0 && n < 0x80 then byte w n
+      else begin
+        byte w (n land 0x7f lor 0x80);
+        loop (n lsr 7)
+      end
+    in
+    loop n
+
+  let zigzag w n =
+    (* Map signed to unsigned: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ... *)
+    uvarint w ((n lsl 1) lxor (n asr 62))
+
+  let f64 w x =
+    ensure w 8;
+    let bits = Int64.bits_of_float x in
+    for i = 0 to 7 do
+      let shift = 8 * i in
+      let b = Int64.to_int (Int64.shift_right_logical bits shift) land 0xff in
+      Bytes.unsafe_set w.buf (w.len + i) (Char.chr b)
+    done;
+    w.len <- w.len + 8
+
+  let bool w b = byte w (if b then 1 else 0)
+
+  let raw w s =
+    let n = String.length s in
+    ensure w n;
+    Bytes.blit_string s 0 w.buf w.len n;
+    w.len <- w.len + n
+
+  let string w s =
+    varint w (String.length s);
+    raw w s
+
+  let contents w = Bytes.sub_string w.buf 0 w.len
+end
+
+module Reader = struct
+  type t = { src : string; mutable off : int }
+
+  let of_string s = { src = s; off = 0 }
+  let pos r = r.off
+  let remaining r = String.length r.src - r.off
+  let at_end r = remaining r = 0
+
+  let need r n what =
+    if remaining r < n then raise (Truncated what)
+
+  let byte r =
+    need r 1 "byte";
+    let b = Char.code (String.unsafe_get r.src r.off) in
+    r.off <- r.off + 1;
+    b
+
+  let varint r =
+    let rec loop acc shift =
+      if shift > 62 then raise (Malformed "varint too long");
+      let b = byte r in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else loop acc (shift + 7)
+    in
+    loop 0 0
+
+  let zigzag r =
+    let u = varint r in
+    (u lsr 1) lxor (- (u land 1))
+
+  let f64 r =
+    need r 8 "f64";
+    let bits = ref 0L in
+    for i = 7 downto 0 do
+      let b = Char.code (String.unsafe_get r.src (r.off + i)) in
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int b)
+    done;
+    r.off <- r.off + 8;
+    Int64.float_of_bits !bits
+
+  let bool r =
+    match byte r with
+    | 0 -> false
+    | 1 -> true
+    | b -> raise (Malformed (Printf.sprintf "bool tag %d" b))
+
+  let raw r n =
+    if n < 0 then raise (Malformed "negative length");
+    need r n "raw";
+    let s = String.sub r.src r.off n in
+    r.off <- r.off + n;
+    s
+
+  let string r =
+    let n = varint r in
+    raw r n
+end
+
+let crc_table =
+  lazy
+    (let table = Array.make 256 0l in
+     for i = 0 to 255 do
+       let c = ref (Int32.of_int i) in
+       for _ = 0 to 7 do
+         c :=
+           if Int32.logand !c 1l <> 0l then
+             Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else Int32.shift_right_logical !c 1
+       done;
+       table.(i) <- !c
+     done;
+     table)
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl

@@ -1,0 +1,77 @@
+(** Low-level wire format: growable write buffers and bounds-checked
+    readers, with variable-length integer encodings.
+
+    This is the byte-level substrate of the default serialization
+    mechanism (LM1 in the paper): obvents are turned into conveyable
+    low-level messages through this module. *)
+
+(** {1 Errors} *)
+
+exception Truncated of string
+(** Raised by readers when the input ends before a complete datum. *)
+
+exception Malformed of string
+(** Raised by readers on structurally invalid input (e.g. an
+    overlong varint or a bad tag). *)
+
+(** {1 Writers} *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty buffer. [capacity] is an initial size hint. *)
+
+  val length : t -> int
+  (** Number of bytes written so far. *)
+
+  val byte : t -> int -> unit
+  (** Append one byte; the argument is masked to 8 bits. *)
+
+  val varint : t -> int -> unit
+  (** LEB128 encoding of a non-negative integer. Negative arguments
+      are rejected with [Invalid_argument]. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed integer via zigzag + LEB128. *)
+
+  val f64 : t -> float -> unit
+  (** IEEE 754 double, little endian. *)
+
+  val bool : t -> bool -> unit
+
+  val string : t -> string -> unit
+  (** Length-prefixed byte string. *)
+
+  val raw : t -> string -> unit
+  (** Append bytes with no length prefix. *)
+
+  val contents : t -> string
+  (** Snapshot of everything written so far. *)
+end
+
+(** {1 Readers} *)
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  (** Reader positioned at the start of [s]. *)
+
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+
+  val byte : t -> int
+  val varint : t -> int
+  val zigzag : t -> int
+  val f64 : t -> float
+  val bool : t -> bool
+  val string : t -> string
+  val raw : t -> int -> string
+  (** [raw r n] reads exactly [n] bytes. *)
+end
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE) checksum, used to guard message frames in the
+    simulated transport. *)

@@ -1,0 +1,18 @@
+(** Small numeric summaries used by the experiment harness: online
+    mean/min/max plus percentiles over recorded samples. *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val min : t -> float
+val max : t -> float
+val percentile : t -> float -> float
+(** [percentile t 0.99] — nearest-rank percentile; 0 when empty. *)
+
+val stddev : t -> float
+val pp : Format.formatter -> t -> unit

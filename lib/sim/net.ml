@@ -1,0 +1,168 @@
+type node_id = int
+
+type config = { latency : int; jitter : int; loss : float }
+
+let default_config = { latency = 1000; jitter = 200; loss = 0.0 }
+
+type node = {
+  mutable alive : bool;
+  mutable incarnation : int;
+  handlers : (string, node_id -> string -> unit) Hashtbl.t;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_crash : int;
+  dropped_partition : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  mutable nodes : node array;
+  mutable n : int;
+  mutable groups : int array option;  (* node -> partition group, -1 free *)
+  rng : Rng.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_crash : int;
+  mutable dropped_partition : int;
+  mutable bytes_sent : int;
+  mutable bytes_delivered : int;
+}
+
+let create ?(config = default_config) engine =
+  {
+    engine;
+    config;
+    nodes = [||];
+    n = 0;
+    groups = None;
+    rng = Rng.split (Engine.rng engine);
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_crash = 0;
+    dropped_partition = 0;
+    bytes_sent = 0;
+    bytes_delivered = 0;
+  }
+
+let engine t = t.engine
+let node_count t = t.n
+
+let add_node t =
+  let node = { alive = true; incarnation = 0; handlers = Hashtbl.create 4 } in
+  if t.n = Array.length t.nodes then begin
+    let fresh =
+      Array.make (max 8 (2 * t.n))
+        { alive = false; incarnation = 0; handlers = Hashtbl.create 0 }
+    in
+    Array.blit t.nodes 0 fresh 0 t.n;
+    t.nodes <- fresh
+  end;
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let get t id =
+  if id < 0 || id >= t.n then invalid_arg "Net: unknown node id";
+  t.nodes.(id)
+
+let alive t id = (get t id).alive
+
+let crash t id =
+  let node = get t id in
+  node.alive <- false
+
+let recover t id =
+  let node = get t id in
+  if not node.alive then begin
+    node.alive <- true;
+    node.incarnation <- node.incarnation + 1
+  end
+
+let incarnation t id = (get t id).incarnation
+
+let set_handler t id ~port handler =
+  Hashtbl.replace (get t id).handlers port handler
+
+let partition t groups =
+  let assignment = Array.make t.n (-1) in
+  List.iteri
+    (fun gi members -> List.iter (fun id -> assignment.(id) <- gi) members)
+    groups;
+  t.groups <- Some assignment
+
+let heal t = t.groups <- None
+
+let reachable t a b =
+  match t.groups with
+  | None -> true
+  | Some assignment ->
+      let ga = if a < Array.length assignment then assignment.(a) else -1
+      and gb = if b < Array.length assignment then assignment.(b) else -1 in
+      ga = gb || (ga = -1 && gb = -1)
+
+let schedule_on t id ~delay f =
+  let node = get t id in
+  let inc = node.incarnation in
+  Engine.schedule t.engine ~delay (fun () ->
+      if node.alive && node.incarnation = inc then f ())
+
+let send t ~src ~dst ~port payload =
+  let source = get t src and target = get t dst in
+  ignore target;
+  if not source.alive then ()
+  else begin
+    t.sent <- t.sent + 1;
+    t.bytes_sent <- t.bytes_sent + String.length payload;
+    if t.config.loss > 0. && Rng.bool t.rng t.config.loss then
+      t.dropped_loss <- t.dropped_loss + 1
+    else begin
+      let delay =
+        if src = dst then 1
+        else
+          t.config.latency
+          + (if t.config.jitter > 0 then Rng.int t.rng (2 * t.config.jitter) - t.config.jitter
+             else 0)
+      in
+      Engine.schedule t.engine ~delay:(max 1 delay) (fun () ->
+          let node = get t dst in
+          if not node.alive then t.dropped_crash <- t.dropped_crash + 1
+          else if not (reachable t src dst) then
+            t.dropped_partition <- t.dropped_partition + 1
+          else
+            match Hashtbl.find_opt node.handlers port with
+            | None -> ()
+            | Some handler ->
+                t.delivered <- t.delivered + 1;
+                t.bytes_delivered <- t.bytes_delivered + String.length payload;
+                handler src payload)
+    end
+  end
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped_loss = t.dropped_loss;
+    dropped_crash = t.dropped_crash;
+    dropped_partition = t.dropped_partition;
+    bytes_sent = t.bytes_sent;
+    bytes_delivered = t.bytes_delivered;
+  }
+
+let reset_stats t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped_loss <- 0;
+  t.dropped_crash <- 0;
+  t.dropped_partition <- 0;
+  t.bytes_sent <- 0;
+  t.bytes_delivered <- 0

@@ -1,0 +1,82 @@
+(** Simulated message-passing network: the stand-in for the real
+    deployment the paper's DACE architecture runs on.
+
+    Nodes model address spaces (the paper's processes). Messages are
+    opaque byte strings — everything that crosses a node boundary has
+    been through the serialization substrate, which is how the obvent
+    uniqueness rules fall out naturally. Links impose latency with
+    jitter, can drop messages, nodes can crash and recover, and the
+    network can be partitioned — the failure modes the delivery
+    semantics of §3.1.2 are defined against. *)
+
+type node_id = int
+
+type config = {
+  latency : int;  (** base one-way delay, ticks *)
+  jitter : int;  (** uniform ±jitter added per message *)
+  loss : float;  (** iid message-loss probability *)
+}
+
+val default_config : config
+(** 1000-tick latency, ±200 jitter, no loss. *)
+
+type t
+
+val create : ?config:config -> Engine.t -> t
+val engine : t -> Engine.t
+
+val add_node : t -> node_id
+(** Allocate the next node id. Nodes start alive with no handlers. *)
+
+val node_count : t -> int
+
+val set_handler : t -> node_id -> port:string -> (node_id -> string -> unit) -> unit
+(** Install the receive handler for a protocol [port]. The handler is
+    called as [handler src payload] at delivery time. Installing a
+    handler on a port replaces the previous one. *)
+
+val send : t -> src:node_id -> dst:node_id -> port:string -> string -> unit
+(** Fire-and-forget. The message is silently dropped when the source
+    or destination is crashed at send/delivery time, when the pair is
+    partitioned at delivery time, or when the loss model says so.
+    Self-sends are delivered with a minimal local delay. *)
+
+val alive : t -> node_id -> bool
+val crash : t -> node_id -> unit
+(** In-flight messages to the node are lost; its timers stop firing
+    (see {!schedule_on}). *)
+
+val recover : t -> node_id -> unit
+(** The node is reachable again with a fresh incarnation: timers from
+    before the crash stay dead. *)
+
+val incarnation : t -> node_id -> int
+
+val partition : t -> node_id list list -> unit
+(** Install a partition: messages flow only within a group. Nodes
+    absent from every group communicate freely with each other. *)
+
+val heal : t -> unit
+(** Remove any partition. *)
+
+val reachable : t -> node_id -> node_id -> bool
+
+val schedule_on : t -> node_id -> delay:int -> (unit -> unit) -> unit
+(** A node-local timer: fires only if the node is alive {e and} has
+    not been through a crash/recover cycle since the timer was set
+    (protocol state from a previous incarnation must not leak). *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_crash : int;
+  dropped_partition : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

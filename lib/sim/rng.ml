@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let split t =
+  let s = next_int64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Drop two top bits so the result fits OCaml's 63-bit non-negative
+     range. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 significant bits, as in standard doubles. *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t p = float t 1.0 < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if n <= 0 then []
+  else begin
+    let all = Array.init n (fun i -> i) in
+    shuffle t all;
+    Array.to_list (Array.sub all 0 (min k n))
+  end
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  -.mean *. log (1.0 -. (u *. 0.999999))

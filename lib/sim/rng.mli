@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the simulator — link latency jitter,
+    message loss, gossip fanout targets, workload generation — draws
+    from one of these generators, so an experiment with a fixed seed
+    is reproducible bit for bit. *)
+
+type t
+
+val create : int -> t
+(** Generator seeded deterministically from the integer. *)
+
+val split : t -> t
+(** Derive an independent generator (for a node or a workload), so
+    adding draws in one component does not perturb another. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] — uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] — [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] — [k] distinct naturals below
+    [n] (all of them if [k >= n]), in random order. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] — exponentially distributed arrival gaps for
+    Poisson workloads. *)

@@ -1,0 +1,17 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 64
+let put t k v = Hashtbl.replace t k v
+let get t k = Hashtbl.find_opt t k
+let delete t k = Hashtbl.remove t k
+
+let keys_with_prefix t prefix =
+  let n = String.length prefix in
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.length k >= n && String.sub k 0 n = prefix then k :: acc
+      else acc)
+    t []
+  |> List.sort String.compare
+
+let size t = Hashtbl.length t

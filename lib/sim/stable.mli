@@ -1,0 +1,15 @@
+(** Node-local stable storage: a key–value store that survives node
+    crashes (the model of a disk). Certified obvent delivery (§3.1.2)
+    and durable subscription identities (§3.4.1: [activate(long id)])
+    are built on this. *)
+
+type t
+
+val create : unit -> t
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+val delete : t -> string -> unit
+val keys_with_prefix : t -> string -> string list
+(** Sorted. *)
+
+val size : t -> int

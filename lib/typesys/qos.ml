@@ -1,0 +1,85 @@
+type order = No_order | Fifo | Causal | Total | Causal_total
+
+type profile = {
+  reliable : bool;
+  certified : bool;
+  order : order;
+  prioritary : bool;
+  timely : bool;
+}
+
+type conflict = Timely_dropped | Priority_dropped
+
+let unreliable =
+  { reliable = false; certified = false; order = No_order;
+    prioritary = false; timely = false }
+
+let order_requires_reliability = function
+  | No_order -> false
+  | Fifo | Causal | Total | Causal_total -> true
+
+let resolve p =
+  let conflicts = ref [] in
+  let reliable =
+    p.reliable || p.certified || order_requires_reliability p.order
+  in
+  let timely =
+    if p.timely && reliable then begin
+      conflicts := Timely_dropped :: !conflicts;
+      false
+    end
+    else p.timely
+  in
+  let prioritary =
+    if p.prioritary && p.order <> No_order then begin
+      conflicts := Priority_dropped :: !conflicts;
+      false
+    end
+    else p.prioritary
+  in
+  { p with reliable; timely; prioritary }, List.rev !conflicts
+
+let of_type reg tname =
+  let has itf = Registry.subtype reg tname itf in
+  let causal = has "CausalOrder" in
+  let total = has "TotalOrder" in
+  let order =
+    match causal, total with
+    | true, true -> Causal_total
+    | true, false -> Causal
+    | false, true -> Total
+    | false, false -> if has "FIFOOrder" then Fifo else No_order
+  in
+  resolve
+    {
+      reliable = has "Reliable";
+      certified = has "Certified";
+      order;
+      prioritary = has "Prioritary";
+      timely = has "Timely";
+    }
+
+let pp_order ppf = function
+  | No_order -> Fmt.string ppf "none"
+  | Fifo -> Fmt.string ppf "fifo"
+  | Causal -> Fmt.string ppf "causal"
+  | Total -> Fmt.string ppf "total"
+  | Causal_total -> Fmt.string ppf "causal+total"
+
+let pp ppf p =
+  Fmt.pf ppf "{reliable=%b; certified=%b; order=%a; prio=%b; timely=%b}"
+    p.reliable p.certified pp_order p.order p.prioritary p.timely
+
+let equal a b =
+  a.reliable = b.reliable && a.certified = b.certified && a.order = b.order
+  && a.prioritary = b.prioritary && a.timely = b.timely
+
+let strength p =
+  (if p.reliable then 10 else 0)
+  + (if p.certified then 20 else 0)
+  + (match p.order with
+    | No_order -> 0
+    | Fifo -> 3
+    | Causal -> 5
+    | Total -> 7
+    | Causal_total -> 9)

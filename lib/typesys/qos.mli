@@ -1,0 +1,43 @@
+(** Composable obvent semantics (§3.1.2–3.1.3, Fig. 4).
+
+    A type expresses its quality of service by subtyping marker
+    interfaces; semantics compose through multiple subtyping (LM2).
+    Some combinations contradict each other, and the paper fixes a
+    precedence: reliability is stronger than timeliness, and any
+    ordering is stronger than priorities. Resolution reports which
+    semantics were dropped so the application can be warned. *)
+
+type order = No_order | Fifo | Causal | Total | Causal_total
+    (** Delivery-order requirement. [Causal] implies FIFO (subtype
+        relation); [Causal_total] arises from subtyping both
+        [CausalOrder] and [TotalOrder]. *)
+
+type profile = {
+  reliable : bool;  (** at-least "up for long enough" delivery *)
+  certified : bool;  (** survives subscriber disconnection (implies reliable) *)
+  order : order;
+  prioritary : bool;  (** effective only when [order = No_order] *)
+  timely : bool;  (** effective only when not [reliable] *)
+}
+
+type conflict =
+  | Timely_dropped  (** Reliable ∧ Timely: reliability wins (Fig. 4) *)
+  | Priority_dropped  (** ordered ∧ Prioritary: order wins (Fig. 4) *)
+
+val unreliable : profile
+(** The default semantics: best-effort, unordered (§3.1.2). *)
+
+val of_type : Registry.t -> string -> profile * conflict list
+(** [of_type reg t] reads the marker interfaces among [t]'s
+    supertypes and resolves contradictions. *)
+
+val resolve : profile -> profile * conflict list
+(** Apply the Fig. 4 precedence to a raw profile. *)
+
+val order_requires_reliability : order -> bool
+val pp : Format.formatter -> profile -> unit
+val equal : profile -> profile -> bool
+val strength : profile -> int
+(** Monotone numeric measure used by benches: higher means stronger
+    guarantees (and, empirically, more protocol cost — experiment
+    E2). *)

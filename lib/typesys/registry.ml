@@ -1,0 +1,284 @@
+type kind = Interface | Class
+type meth = { mname : string; ret : Vtype.t }
+
+type decl = {
+  name : string;
+  kind : kind;
+  supers : string list;
+  attrs : (string * Vtype.t) list;
+  methods : meth list;
+}
+
+exception Type_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type t = {
+  mutable decls : decl Smap.t;
+  mutable ancestors : Sset.t Smap.t;  (* cache: name -> all supertypes incl self *)
+  mutable dirty : bool;
+}
+
+let getter_name attr =
+  if attr = "" then invalid_arg "Registry.getter_name: empty attribute";
+  "get" ^ String.capitalize_ascii attr
+
+let find reg name =
+  match Smap.find_opt name reg.decls with
+  | Some d -> d
+  | None -> err "unknown type %s" name
+
+let exists reg name = Smap.mem name reg.decls
+
+let is_class reg name =
+  match Smap.find_opt name reg.decls with
+  | Some d -> d.kind = Class
+  | None -> false
+
+let is_interface reg name =
+  match Smap.find_opt name reg.decls with
+  | Some d -> d.kind = Interface
+  | None -> false
+
+(* Rebuild the transitive-closure cache bottom-up. Declarations are
+   acyclic by construction (supers must already exist). *)
+let rebuild reg =
+  let rec ancestors_of name acc_map =
+    match Smap.find_opt name acc_map with
+    | Some set -> set, acc_map
+    | None ->
+        let d = find reg name in
+        let set, acc_map =
+          List.fold_left
+            (fun (set, acc_map) super ->
+              let sup_set, acc_map = ancestors_of super acc_map in
+              Sset.union set sup_set, acc_map)
+            (Sset.singleton name, acc_map)
+            d.supers
+        in
+        set, Smap.add name set acc_map
+  in
+  let cache =
+    Smap.fold
+      (fun name _ acc_map -> snd (ancestors_of name acc_map))
+      reg.decls Smap.empty
+  in
+  reg.ancestors <- cache;
+  reg.dirty <- false
+
+let ancestors reg name =
+  if reg.dirty then rebuild reg;
+  match Smap.find_opt name reg.ancestors with
+  | Some set -> set
+  | None -> err "unknown type %s" name
+
+let subtype reg a b = Sset.mem b (ancestors reg a)
+let supertypes reg name = Sset.elements (ancestors reg name)
+
+let subtypes reg name =
+  let _ = ancestors reg name in
+  Smap.fold
+    (fun candidate _ acc ->
+      if Sset.mem name (ancestors reg candidate) then candidate :: acc else acc)
+    reg.decls []
+
+let builtin_obvent = "Obvent"
+let is_obvent_type reg name = exists reg name && subtype reg name builtin_obvent
+
+let methods_of reg name =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun super ->
+      let d = find reg super in
+      List.filter
+        (fun m ->
+          if Hashtbl.mem seen m.mname then false
+          else begin
+            Hashtbl.add seen m.mname ();
+            true
+          end)
+        d.methods)
+    (supertypes reg name)
+
+let method_ret reg name m =
+  let rec search = function
+    | [] -> None
+    | super :: rest ->
+        let d = find reg super in
+        (match List.find_opt (fun meth -> meth.mname = m) d.methods with
+        | Some meth -> Some meth.ret
+        | None -> search rest)
+  in
+  search (supertypes reg name)
+
+let attrs_of reg name =
+  (* Inherited first: walk the single-inheritance class chain upwards. *)
+  let rec chain acc name =
+    let d = find reg name in
+    if d.kind <> Class then acc
+    else
+      let parent =
+        List.find_opt (fun s -> (find reg s).kind = Class) d.supers
+      in
+      let acc = d.attrs :: acc in
+      match parent with None -> acc | Some p -> chain acc p
+  in
+  if not (is_class reg name) then [] else List.concat (chain [] name)
+
+let check_method_conflicts reg ~name ~supers own_methods =
+  (* Within the new type, every visible method name must resolve to a
+     single return type. *)
+  let tbl = Hashtbl.create 16 in
+  let add src (m : meth) =
+    match Hashtbl.find_opt tbl m.mname with
+    | Some (ret, src0) when not (Vtype.equal ret m.ret) ->
+        err "type %s: method %s has conflicting types %a (%s) and %a (%s)"
+          name m.mname Vtype.pp ret src0 Vtype.pp m.ret src
+    | Some _ -> ()
+    | None -> Hashtbl.add tbl m.mname (m.ret, src)
+  in
+  List.iter (add name) own_methods;
+  List.iter
+    (fun super -> List.iter (add super) (methods_of reg super))
+    supers
+
+let insert reg d =
+  reg.decls <- Smap.add d.name d reg.decls;
+  reg.dirty <- true
+
+let check_fresh reg name =
+  if name = "" then err "empty type name";
+  if exists reg name then err "type %s already declared" name
+
+let declare_interface reg ~name ?(extends = []) ?(methods = []) () =
+  check_fresh reg name;
+  List.iter
+    (fun super ->
+      if not (exists reg super) then err "interface %s: unknown supertype %s" name super;
+      if is_class reg super then
+        err "interface %s: cannot extend class %s" name super)
+    extends;
+  let methods = List.map (fun (mname, ret) -> { mname; ret }) methods in
+  check_method_conflicts reg ~name ~supers:extends methods;
+  insert reg
+    { name; kind = Interface; supers = extends; attrs = []; methods }
+
+let declare_class reg ~name ?extends ?(implements = []) ?(attrs = []) () =
+  check_fresh reg name;
+  (match extends with
+  | Some super ->
+      if not (exists reg super) then err "class %s: unknown superclass %s" name super;
+      if not (is_class reg super) then
+        err "class %s: extends %s which is not a class" name super
+  | None -> ());
+  List.iter
+    (fun itf ->
+      if not (exists reg itf) then err "class %s: unknown interface %s" name itf;
+      if not (is_interface reg itf) then
+        err "class %s: implements %s which is not an interface" name itf)
+    implements;
+  let supers = (match extends with Some s -> [ s ] | None -> []) @ implements in
+  (* Attribute shadowing with a different type is an error. *)
+  let inherited_attrs =
+    match extends with Some s -> attrs_of reg s | None -> []
+  in
+  List.iter
+    (fun (a, ty) ->
+      match List.assoc_opt a inherited_attrs with
+      | Some ty' when not (Vtype.equal ty ty') ->
+          err "class %s: attribute %s : %a shadows inherited %s : %a" name a
+            Vtype.pp ty a Vtype.pp ty'
+      | Some _ | None -> ())
+    attrs;
+  let own_getters =
+    List.map (fun (a, ty) -> { mname = getter_name a; ret = ty }) attrs
+  in
+  check_method_conflicts reg ~name ~supers own_getters;
+  (* Every interface method must be implemented by some (possibly
+     inherited) getter. Only the superclass chain provides
+     implementations; the interfaces themselves only declare. *)
+  let visible =
+    own_getters
+    @ (match extends with Some s -> methods_of reg s | None -> [])
+  in
+  List.iter
+    (fun itf ->
+      List.iter
+        (fun (m : meth) ->
+          match List.find_opt (fun g -> g.mname = m.mname) visible with
+          | Some g when Vtype.equal g.ret m.ret -> ()
+          | Some g ->
+              err "class %s: method %s : %a does not match interface %s's %a"
+                name m.mname Vtype.pp g.ret itf Vtype.pp m.ret
+          | None ->
+              err "class %s: does not implement %s.%s" name itf m.mname)
+        (methods_of reg itf))
+    implements;
+  insert reg { name; kind = Class; supers; attrs; methods = own_getters }
+
+let instantiable reg name = is_class reg name
+
+let rec conforms reg (v : Tpbs_serial.Value.t) tname =
+  match v with
+  | Null -> is_class reg tname || is_interface reg tname
+  | Obj o ->
+      exists reg o.cls && is_class reg o.cls
+      && subtype reg o.cls tname
+      && List.for_all
+           (fun (attr, ty) ->
+             match List.assoc_opt attr o.fields with
+             | None -> false
+             | Some fv -> conforms_vtype reg fv ty)
+           (attrs_of reg o.cls)
+  | Bool _ | Int _ | Float _ | Str _ | List _ | Remote _ -> false
+
+and conforms_vtype reg (v : Tpbs_serial.Value.t) (ty : Vtype.t) =
+  match ty, v with
+  | Tobject cls, (Obj _ | Null) -> conforms reg v cls
+  | Tremote _, (Remote _ | Null) -> true
+  | Tlist elt, List vs -> List.for_all (fun x -> conforms_vtype reg x elt) vs
+  | Tlist _, Null -> true
+  | (Tbool | Tint | Tfloat | Tstring), _ -> Vtype.accepts ty v
+  | (Tobject _ | Tremote _ | Tlist _), _ -> false
+
+let all_types reg = List.sort String.compare (List.map fst (Smap.bindings reg.decls))
+
+let obvent_classes reg =
+  List.filter
+    (fun name -> is_class reg name && is_obvent_type reg name)
+    (all_types reg)
+
+let create () =
+  let reg = { decls = Smap.empty; ancestors = Smap.empty; dirty = true } in
+  (* The java.pubsub lattice (Fig. 3). *)
+  declare_interface reg ~name:"Obvent" ();
+  declare_interface reg ~name:"Reliable" ~extends:[ "Obvent" ] ();
+  declare_interface reg ~name:"Certified" ~extends:[ "Reliable" ] ();
+  declare_interface reg ~name:"TotalOrder" ~extends:[ "Reliable" ] ();
+  declare_interface reg ~name:"FIFOOrder" ~extends:[ "Reliable" ] ();
+  declare_interface reg ~name:"CausalOrder" ~extends:[ "FIFOOrder" ] ();
+  declare_interface reg ~name:"Timely" ~extends:[ "Obvent" ]
+    ~methods:[ "getTimeToLive", Vtype.Tint; "getBirth", Vtype.Tint ]
+    ();
+  declare_interface reg ~name:"Prioritary" ~extends:[ "Obvent" ]
+    ~methods:[ "getPriority", Vtype.Tint ]
+    ();
+  (* DACE's reflexive control channel (§4.2): protocol messages —
+     subscription and unsubscription requests — are obvents
+     themselves, on their own dissemination channel. *)
+  declare_interface reg ~name:"MetaObvent" ~extends:[ "Obvent" ] ();
+  declare_class reg ~name:"SubscriptionActivated" ~implements:[ "MetaObvent" ]
+    ~attrs:
+      [ "subscriptionId", Vtype.Tint; "nodeId", Vtype.Tint;
+        "subscribedType", Vtype.Tstring ]
+    ();
+  declare_class reg ~name:"SubscriptionDeactivated"
+    ~implements:[ "MetaObvent" ]
+    ~attrs:
+      [ "subscriptionId", Vtype.Tint; "nodeId", Vtype.Tint;
+        "subscribedType", Vtype.Tstring ]
+    ();
+  reg

@@ -1,0 +1,56 @@
+type t =
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tlist of t
+  | Tobject of string
+  | Tremote of string
+
+let rec equal a b =
+  match a, b with
+  | Tbool, Tbool | Tint, Tint | Tfloat, Tfloat | Tstring, Tstring -> true
+  | Tlist x, Tlist y -> equal x y
+  | Tobject x, Tobject y -> String.equal x y
+  | Tremote x, Tremote y -> String.equal x y
+  | (Tbool | Tint | Tfloat | Tstring | Tlist _ | Tobject _ | Tremote _), _ ->
+      false
+
+let rec pp ppf = function
+  | Tbool -> Fmt.string ppf "bool"
+  | Tint -> Fmt.string ppf "int"
+  | Tfloat -> Fmt.string ppf "float"
+  | Tstring -> Fmt.string ppf "string"
+  | Tlist t -> Fmt.pf ppf "list<%a>" pp t
+  | Tobject n -> Fmt.string ppf n
+  | Tremote n -> Fmt.pf ppf "remote<%s>" n
+
+let to_string t = Fmt.str "%a" pp t
+
+let is_primitive = function
+  | Tbool | Tint | Tfloat | Tstring -> true
+  | Tlist _ | Tobject _ | Tremote _ -> false
+
+let of_kind (k : Tpbs_serial.Value.kind) =
+  match k with
+  | Knull -> None
+  | Kbool -> Some Tbool
+  | Kint -> Some Tint
+  | Kfloat -> Some Tfloat
+  | Kstring -> Some Tstring
+  | Klist -> None
+  | Kobj c -> Some (Tobject c)
+  | Kremote i -> Some (Tremote i)
+
+let rec accepts t (v : Tpbs_serial.Value.t) =
+  match t, v with
+  | Tbool, Bool _ -> true
+  | Tint, Int _ -> true
+  | Tfloat, Float _ -> true
+  | Tstring, (Str _ | Null) -> true
+  | Tlist elt, List vs -> List.for_all (accepts elt) vs
+  | Tlist _, Null -> true
+  | Tobject _, (Obj _ | Null) -> true
+  | Tremote _, (Remote _ | Null) -> true
+  | (Tbool | Tint | Tfloat | Tstring | Tlist _ | Tobject _ | Tremote _), _ ->
+      false

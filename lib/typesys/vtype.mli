@@ -1,0 +1,33 @@
+(** Value types: the static types of obvent attributes and getter
+    results, mirroring the Java types a filter may touch (§3.3.4
+    restricts filter variables to primitives, their object
+    counterparts, strings — we additionally type nested unbound
+    objects and remote references). *)
+
+type t =
+  | Tbool
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tlist of t
+  | Tobject of string  (** nominal class or interface in the registry *)
+  | Tremote of string  (** remote (bound object) interface *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val is_primitive : t -> bool
+(** [true] for bool/int/float/string — the types a mobile filter may
+    bind in local variables (§3.3.4). *)
+
+val of_kind : Tpbs_serial.Value.kind -> t option
+(** Best-effort static type of a runtime value kind. [None] for
+    [Knull] and empty-list kinds where no type can be inferred. *)
+
+val accepts : t -> Tpbs_serial.Value.t -> bool
+(** Shallow dynamic conformance check of a runtime value against a
+    static type. Any object (resp. remote) value conforms shallowly to
+    any [Tobject] (resp. [Tremote]) type — nominal subtype conformance
+    is the registry's business. [Null] is accepted at object, remote,
+    list and string types (Java reference-type semantics). *)

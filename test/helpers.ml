@@ -1,0 +1,128 @@
+(* Shared fixtures and QCheck generators for the test suites. *)
+
+module Value = Tpbs_serial.Value
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Obvent = Tpbs_obvent.Obvent
+module Expr = Tpbs_filter.Expr
+
+(* --- the stock-trade registry from the paper's running example --- *)
+
+let stock_registry () =
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"StockObvent" ~implements:[ "Obvent" ]
+    ~attrs:
+      [ "company", Vtype.Tstring; "price", Vtype.Tfloat; "amount", Vtype.Tint ]
+    ();
+  Registry.declare_class reg ~name:"StockQuote" ~extends:"StockObvent" ();
+  Registry.declare_class reg ~name:"StockRequest" ~extends:"StockObvent" ();
+  Registry.declare_class reg ~name:"SpotPrice" ~extends:"StockRequest" ();
+  Registry.declare_class reg ~name:"MarketPrice" ~extends:"StockRequest" ();
+  reg
+
+let quote reg ?(company = "Telco Mobiles") ?(price = 80.) ?(amount = 10) () =
+  Obvent.make reg "StockQuote"
+    [ "company", Value.Str company; "price", Value.Float price;
+      "amount", Value.Int amount ]
+
+(* --- generators ---------------------------------------------------- *)
+
+let companies =
+  [| "Telco Mobiles"; "Telco Fixnet"; "Acme Corp"; "Banka"; "Octopus";
+     "Telco Cloud"; "Initech"; "Globex" |]
+
+let gen_company = QCheck.Gen.oneofa companies
+
+let gen_quote reg =
+  QCheck.Gen.map3
+    (fun company price amount ->
+      quote reg ~company ~price:(float_of_int price /. 2.) ~amount ())
+    gen_company
+    QCheck.Gen.(int_range 0 400)
+    QCheck.Gen.(int_range 1 1000)
+
+(* Arbitrary serializable values, depth-bounded. *)
+let gen_value =
+  let open QCheck.Gen in
+  sized_size (int_range 0 4)
+  @@ fix (fun self depth ->
+         let leaf =
+           oneof
+             [ return Value.Null;
+               map (fun b -> Value.Bool b) bool;
+               map (fun i -> Value.Int i) int;
+               map (fun f -> Value.Float f) float;
+               map (fun s -> Value.Str s) string_small;
+               map
+                 (fun (a, b) ->
+                   Value.Remote { iface = "I"; node_id = a; object_id = b })
+                 (pair small_nat small_nat) ]
+         in
+         if depth = 0 then leaf
+         else
+           frequency
+             [ 4, leaf;
+               1, map (fun vs -> Value.List vs) (list_size (int_range 0 4) (self (depth - 1)));
+               1,
+               map
+                 (fun fields ->
+                   Value.Obj
+                     { cls = "C";
+                       fields =
+                         List.mapi (fun i v -> Printf.sprintf "f%d" i, v) fields })
+                 (list_size (int_range 0 4) (self (depth - 1))) ])
+
+let arb_value = QCheck.make ~print:Value.to_string gen_value
+
+(* Random well-typed filter expressions over StockQuote. *)
+let gen_stock_expr =
+  let open QCheck.Gen in
+  let price = Expr.getter [ "getPrice" ] in
+  let amount = Expr.getter [ "getAmount" ] in
+  let company = Expr.getter [ "getCompany" ] in
+  let cmp_num field =
+    oneofl Expr.[ Lt; Le; Gt; Ge; Eq; Ne ] >>= fun op ->
+    int_range 0 250 >>= fun k ->
+    oneofl
+      [ Expr.Binop (op, field, Expr.float (float_of_int k));
+        Expr.Binop (op, field, Expr.int k) ]
+  in
+  let atom =
+    frequency
+      [ 3, cmp_num price;
+        2,
+        ( oneofl Expr.[ Lt; Le; Gt; Ge; Eq; Ne ] >>= fun op ->
+          int_range 0 1200 >>= fun k ->
+          return (Expr.Binop (op, amount, Expr.int k)) );
+        2,
+        ( gen_company >>= fun c ->
+          oneofl
+            [ Expr.Binop (Eq, company, Expr.str c);
+              Expr.Binop (Contains, company, Expr.str (String.sub c 0 3));
+              Expr.Binop (Starts_with, company, Expr.str (String.sub c 0 5));
+              Expr.Binop
+                (Ne, Expr.Binop (Index_of, company, Expr.str "Telco"),
+                 Expr.int (-1)) ] );
+        1, map (fun b -> Expr.bool b) bool ]
+  in
+  sized_size (int_range 0 3)
+  @@ fix (fun self depth ->
+         if depth = 0 then atom
+         else
+           frequency
+             [ 3, atom;
+               2,
+               map2 (fun a b -> Expr.Binop (And, a, b)) (self (depth - 1))
+                 (self (depth - 1));
+               2,
+               map2 (fun a b -> Expr.Binop (Or, a, b)) (self (depth - 1))
+                 (self (depth - 1));
+               1, map (fun e -> Expr.Unop (Not, e)) (self (depth - 1)) ])
+
+let arb_stock_expr = QCheck.make ~print:Expr.to_string gen_stock_expr
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+
+let expr_testable = Alcotest.testable Expr.pp Expr.equal
+
+let qsuite name tests = name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests

@@ -1,0 +1,276 @@
+(* The design alternatives of §5: reflection-based untyped filters
+   (§5.5.1), structural/tuple publishing (§5.5.2), and the fork-style
+   subscription (§5.1). *)
+
+open Helpers
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Reflect = Tpbs_obvent.Reflect
+module Pubsub = Tpbs_core.Pubsub
+module Fspec = Tpbs_core.Fspec
+module Structural = Tpbs_core.Structural
+module Fork = Tpbs_core.Fork
+module Domain = Pubsub.Domain
+module Process = Pubsub.Process
+module Subscription = Pubsub.Subscription
+
+let setup ?(n = 3) () =
+  let reg = stock_registry () in
+  (* An unrelated obvent class that also happens to have getPrice —
+     the structural-equivalence scenario of §5.5.1. *)
+  Registry.declare_class reg ~name:"AuctionBid" ~implements:[ "Obvent" ]
+    ~attrs:[ "item", Vtype.Tstring; "price", Vtype.Tfloat ]
+    ();
+  let engine = Engine.create ~seed:42 () in
+  let net = Net.create engine in
+  let domain = Domain.create reg net in
+  let procs = Array.init n (fun _ -> Process.create domain (Net.add_node net)) in
+  reg, engine, domain, procs
+
+(* --- reflection (§5.5.1) -------------------------------------------- *)
+
+let test_reflect_introspection () =
+  let reg, _, _, _ = setup () in
+  let q = quote reg ~price:150. () in
+  Alcotest.(check string) "getClass" "StockQuote" (Reflect.class_name q);
+  Alcotest.(check bool) "has getPrice" true
+    (Reflect.has_method reg q "getPrice" ());
+  Alcotest.(check bool) "has getPrice : float" true
+    (Reflect.has_method reg q "getPrice" ~ret:Vtype.Tfloat ());
+  Alcotest.(check bool) "getPrice is not a string" false
+    (Reflect.has_method reg q "getPrice" ~ret:Vtype.Tstring ());
+  Alcotest.(check bool) "no getVolume" false
+    (Reflect.has_method reg q "getVolume" ());
+  Alcotest.(check (option value_testable)) "dynamic invoke"
+    (Some (Value.Float 150.))
+    (Reflect.invoke_opt reg q "getPrice");
+  Alcotest.(check (option value_testable)) "dynamic invoke missing" None
+    (Reflect.invoke_opt reg q "getVolume");
+  Alcotest.(check int) "three getters visible" 3
+    (List.length (Reflect.methods reg q));
+  Alcotest.(check bool) "fields_of lists kinds" true
+    (List.mem ("price", Value.Kfloat) (Reflect.fields_of q))
+
+let test_reflect_untyped_filter_crosses_types () =
+  (* Subscribe to Obvent with the paper's getPrice()==150 reflective
+     filter: both StockQuote and the unrelated AuctionBid match. *)
+  let reg, engine, _, procs = setup () in
+  let got = ref [] in
+  let filter =
+    Fspec.closure
+      (Reflect.structural_filter reg ~meth:"getPrice" (fun v ->
+           Value.equal v (Value.Float 150.)))
+  in
+  let s =
+    Process.subscribe procs.(1) ~param:"Obvent" ~filter (fun o ->
+        got := Obvent.cls o :: !got)
+  in
+  Subscription.activate s;
+  Process.publish procs.(0) (quote reg ~price:150. ());
+  Process.publish procs.(0) (quote reg ~price:80. ());
+  Process.publish procs.(0)
+    (Obvent.make reg "AuctionBid"
+       [ "item", Value.Str "painting"; "price", Value.Float 150. ]);
+  Engine.run engine;
+  Alcotest.(check (list string)) "both types captured structurally"
+    [ "AuctionBid"; "StockQuote" ]
+    (List.sort String.compare !got)
+
+(* --- structural / tuple publishing (§5.5.2) --------------------------- *)
+
+let test_structural_basic () =
+  let _, engine, _, procs = setup () in
+  let endpoints = Array.map Structural.attach procs in
+  let got = ref [] in
+  let _sub =
+    Structural.subscribe endpoints.(1)
+      [ Structural.Kind Value.Kstring; Structural.Kind Value.Kfloat;
+        Structural.Any ]
+      ~filter:(fun tuple ->
+        match tuple with
+        | [ _; Value.Float p; _ ] -> p < 100.
+        | _ -> false)
+      (fun tuple -> got := tuple :: !got)
+  in
+  Structural.publish endpoints.(0)
+    [ Value.Str "Telco"; Value.Float 80.; Value.Int 10 ];
+  Structural.publish endpoints.(0)
+    [ Value.Str "Telco"; Value.Float 150.; Value.Int 10 ];
+  (* Wrong arity: ignored. *)
+  Structural.publish endpoints.(0) [ Value.Str "Telco" ];
+  (* Wrong kind in second position: ignored. *)
+  Structural.publish endpoints.(0)
+    [ Value.Str "Telco"; Value.Str "cheap"; Value.Int 10 ];
+  Engine.run engine;
+  Alcotest.(check int) "exactly the cheap well-shaped tuple" 1
+    (List.length !got)
+
+let test_structural_exact_and_cancel () =
+  let _, engine, _, procs = setup () in
+  let endpoints = Array.map Structural.attach procs in
+  let count = ref 0 in
+  let sub =
+    Structural.subscribe endpoints.(2)
+      [ Structural.Exact (Value.Str "Telco"); Structural.Any ]
+      (fun _ -> incr count)
+  in
+  Structural.publish endpoints.(0) [ Value.Str "Telco"; Value.Int 1 ];
+  Structural.publish endpoints.(0) [ Value.Str "Acme"; Value.Int 2 ];
+  Engine.run engine;
+  Alcotest.(check int) "exact match only" 1 !count;
+  Alcotest.(check int) "delivered counter" 1 (Structural.delivered sub);
+  Structural.cancel endpoints.(2) sub;
+  Structural.publish endpoints.(0) [ Value.Str "Telco"; Value.Int 3 ];
+  Engine.run engine;
+  Alcotest.(check int) "cancelled" 1 !count
+
+let test_structural_copies_are_fresh () =
+  (* Tuples are decoded per subscription: mutating-by-identity is
+     impossible, mirroring obvent uniqueness. *)
+  let _, engine, _, procs = setup () in
+  let endpoints = Array.map Structural.attach procs in
+  let seen = ref [] in
+  let sub1 =
+    Structural.subscribe endpoints.(1) [ Structural.Any ] (fun tu ->
+        seen := ("a", tu) :: !seen)
+  and sub2 =
+    Structural.subscribe endpoints.(1) [ Structural.Any ] (fun tu ->
+        seen := ("b", tu) :: !seen)
+  in
+  ignore sub1;
+  ignore sub2;
+  Structural.publish endpoints.(0) [ Value.obj "C" [ "x", Value.Int 1 ] ];
+  Engine.run engine;
+  match !seen with
+  | [ (_, [ Value.Obj o1 ]); (_, [ Value.Obj o2 ]) ] ->
+      Alcotest.(check bool) "physically distinct" true (not (o1 == o2))
+  | _ -> Alcotest.fail "expected two single-object tuples"
+
+(* --- listener/callback alternative (§5.2) ------------------------------ *)
+
+let test_listener_registration () =
+  let reg, engine, _, procs = setup () in
+  let seen = ref [] in
+  let n = { Tpbs_core.Listener.notify = (fun o -> seen := Obvent.cls o :: !seen) } in
+  (* One notifiable registered for two related types: delivered once
+     per registration (§5.2.2's question, answered). *)
+  let r1 = Tpbs_core.Listener.register procs.(1) ~param:"StockQuote" n in
+  let r2 = Tpbs_core.Listener.register procs.(1) ~param:"StockObvent" n in
+  Process.publish procs.(0) (quote reg ());
+  Engine.run engine;
+  Alcotest.(check int) "once per registration" 2 (List.length !seen);
+  Tpbs_core.Listener.unregister r1;
+  Process.publish procs.(0) (quote reg ());
+  Engine.run engine;
+  Alcotest.(check int) "one registration left" 3 (List.length !seen);
+  (match Tpbs_core.Listener.unregister r1 with
+  | exception Tpbs_core.Errors.Cannot_unsubscribe _ -> ()
+  | () -> Alcotest.fail "double unregister accepted");
+  Tpbs_core.Listener.unregister r2
+
+let test_listener_dispatch_by_class () =
+  let reg, engine, _, procs = setup () in
+  let quotes = ref 0 and bids = ref 0 and other = ref 0 in
+  let n =
+    Tpbs_core.Listener.dispatch_by_class
+      [ "StockQuote", (fun _ -> incr quotes); "AuctionBid", (fun _ -> incr bids) ]
+      ~default:(fun _ -> incr other)
+  in
+  let _r = Tpbs_core.Listener.register procs.(1) ~param:"Obvent" n in
+  Process.publish procs.(0) (quote reg ());
+  Process.publish procs.(0)
+    (Obvent.make reg "AuctionBid"
+       [ "item", Value.Str "vase"; "price", Value.Float 3. ]);
+  Process.publish procs.(0)
+    (Obvent.make reg "SpotPrice"
+       [ "company", Value.Str "T"; "price", Value.Float 1.;
+         "amount", Value.Int 1 ]);
+  Engine.run engine;
+  Alcotest.(check (list int)) "hand-written dispatch routed" [ 1; 1; 1 ]
+    [ !quotes; !bids; !other ]
+
+(* --- fork-style subscription (§5.1) ------------------------------------ *)
+
+let test_fork_continue_and_cancel () =
+  let reg, engine, _, procs = setup () in
+  let got = ref 0 in
+  (* Take exactly two quotes, then cancel from inside — no handle ever
+     escapes. *)
+  Fork.subscribe procs.(1) ~param:"StockQuote" (fun _ ->
+      incr got;
+      if !got >= 2 then Fork.Cancel else Fork.Continue);
+  for _ = 1 to 5 do
+    Process.publish procs.(0) (quote reg ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "cancelled after the second event" 2 !got
+
+let test_fork_with_filter () =
+  let reg, engine, _, procs = setup () in
+  let got = ref 0 in
+  Fork.subscribe procs.(1) ~param:"StockQuote"
+    ~filter:(Fspec.of_source ~param:"q" "q.getPrice() < 100")
+    (fun _ ->
+      incr got;
+      Fork.Continue);
+  Process.publish procs.(0) (quote reg ~price:80. ());
+  Process.publish procs.(0) (quote reg ~price:200. ());
+  Engine.run engine;
+  Alcotest.(check int) "filter applies" 1 !got
+
+let prop_structural_matches_reference =
+  (* Structural.matches against a straightforward reference. *)
+  let gen_value =
+    QCheck.Gen.(
+      oneof
+        [ map (fun i -> Value.Int i) (int_range 0 5);
+          map (fun f -> Value.Float f) (float_bound_exclusive 5.);
+          map (fun s -> Value.Str s) (oneofl [ "a"; "b" ]) ])
+  in
+  let gen_pattern =
+    QCheck.Gen.(
+      oneof
+        [ return Structural.Any;
+          map (fun v -> Structural.Exact v) gen_value;
+          map (fun v -> Structural.Kind (Value.kind v)) gen_value ])
+  in
+  QCheck.Test.make ~name:"structural pattern matching reference" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 4) gen_pattern)
+           (list_size (int_range 0 4) gen_value)))
+    (fun (patterns, tuple) ->
+      let reference =
+        List.length patterns = List.length tuple
+        && List.for_all2
+             (fun p v ->
+               match p with
+               | Structural.Any -> true
+               | Structural.Kind k -> Value.kind v = k
+               | Structural.Exact e -> Value.equal e v)
+             patterns tuple
+      in
+      Structural.matches patterns tuple = reference)
+
+let suite =
+  ( "alternatives",
+    [ Alcotest.test_case "reflect: introspection (§5.5.1)" `Quick
+        test_reflect_introspection;
+      Alcotest.test_case "reflect: untyped filter crosses types" `Quick
+        test_reflect_untyped_filter_crosses_types;
+      Alcotest.test_case "structural: kinds + client filter (§5.5.2)" `Quick
+        test_structural_basic;
+      Alcotest.test_case "structural: exact patterns + cancel" `Quick
+        test_structural_exact_and_cancel;
+      Alcotest.test_case "structural: fresh copies per subscription" `Quick
+        test_structural_copies_are_fresh;
+      Alcotest.test_case "listener: registrations (§5.2)" `Quick
+        test_listener_registration;
+      Alcotest.test_case "listener: dispatch by class (§5.2.2)" `Quick
+        test_listener_dispatch_by_class;
+      Alcotest.test_case "fork: cancel from inside (§5.1)" `Quick
+        test_fork_continue_and_cancel;
+      Alcotest.test_case "fork: with filter" `Quick test_fork_with_filter ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_structural_matches_reference ]
+  )

@@ -1,0 +1,256 @@
+module Value = Tpbs_serial.Value
+module Topics = Tpbs_baselines.Topics
+module Contentps = Tpbs_baselines.Contentps
+module Tuplespace = Tpbs_baselines.Tuplespace
+
+(* --- topics ----------------------------------------------------------- *)
+
+let test_topics_exact_and_hierarchy () =
+  let t = Topics.create () in
+  Topics.subscribe t ~topic:"stocks" 1;
+  Topics.subscribe t ~topic:"stocks/telco" 2;
+  Topics.subscribe t ~topic:"news" 3;
+  Alcotest.(check (list int)) "publish to subtopic reaches ancestor" [ 1; 2 ]
+    (Topics.publish t ~topic:"stocks/telco");
+  Alcotest.(check (list int)) "publish to parent misses child" [ 1 ]
+    (Topics.publish t ~topic:"stocks");
+  Alcotest.(check (list int)) "deeper descendant" [ 1; 2 ]
+    (Topics.publish t ~topic:"stocks/telco/mobiles");
+  Alcotest.(check (list int)) "unrelated" [ 3 ] (Topics.publish t ~topic:"news")
+
+let test_topics_wildcard () =
+  let t = Topics.create () in
+  Topics.subscribe t ~topic:"stocks/*" 1;
+  Alcotest.(check (list int)) "one level below matches" [ 1 ]
+    (Topics.publish t ~topic:"stocks/telco");
+  Alcotest.(check (list int)) "two levels below misses" []
+    (Topics.publish t ~topic:"stocks/telco/mobiles");
+  Alcotest.(check (list int)) "the node itself misses" []
+    (Topics.publish t ~topic:"stocks")
+
+let test_topics_unsubscribe () =
+  let t = Topics.create () in
+  Topics.subscribe t ~topic:"a/b" 1;
+  Topics.subscribe t ~topic:"a/b" 2;
+  Topics.unsubscribe t ~topic:"a/b" 1;
+  Alcotest.(check (list int)) "only remaining" [ 2 ]
+    (Topics.publish t ~topic:"a/b");
+  Alcotest.(check int) "subscriber count" 1 (Topics.subscriber_count t);
+  Topics.unsubscribe t ~topic:"never/there" 9 (* no-op *)
+
+(* --- content-based ------------------------------------------------------ *)
+
+let quote_event company price amount : Contentps.event =
+  [ "company", Value.Str company; "price", Value.Float price;
+    "amount", Value.Int amount ]
+
+let test_content_matching () =
+  let t = Contentps.create () in
+  Contentps.subscribe t 1
+    [ { attr = "price"; op = Contentps.Lt; const = Value.Float 100. } ];
+  Contentps.subscribe t 2
+    [ { attr = "company"; op = Contentps.Prefix; const = Value.Str "Telco" };
+      { attr = "price"; op = Contentps.Lt; const = Value.Float 100. } ];
+  Contentps.subscribe t 3
+    [ { attr = "company"; op = Contentps.Contains; const = Value.Str "Acme" } ];
+  Alcotest.(check (list int)) "cheap telco matches 1 and 2" [ 1; 2 ]
+    (Contentps.matches t (quote_event "Telco Mobiles" 80. 10));
+  Alcotest.(check (list int)) "expensive telco matches none of the cheap" []
+    (Contentps.matches t (quote_event "Telco Mobiles" 150. 10));
+  Alcotest.(check (list int)) "acme" [ 1; 3 ]
+    (Contentps.matches t (quote_event "Acme Corp" 10. 1))
+
+let test_content_missing_attribute_is_false () =
+  let t = Contentps.create () in
+  Contentps.subscribe t 1
+    [ { attr = "volume"; op = Contentps.Gt; const = Value.Int 0 } ];
+  Alcotest.(check (list int)) "missing attr no match" []
+    (Contentps.matches t (quote_event "X" 1. 1))
+
+let test_content_empty_conjunction_matches_all () =
+  let t = Contentps.create () in
+  Contentps.subscribe t 7 [];
+  Alcotest.(check (list int)) "empty matches" [ 7 ]
+    (Contentps.matches t (quote_event "X" 1. 1))
+
+let test_content_unsubscribe_and_numeric_promotion () =
+  let t = Contentps.create () in
+  Contentps.subscribe t 1
+    [ { attr = "price"; op = Contentps.Eq; const = Value.Int 80 } ];
+  Alcotest.(check (list int)) "int constant matches float attr" [ 1 ]
+    (Contentps.matches t (quote_event "X" 80. 1));
+  Contentps.unsubscribe t 1;
+  Alcotest.(check (list int)) "gone" []
+    (Contentps.matches t (quote_event "X" 80. 1))
+
+let prop_content_index_agrees_with_naive =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 0 10)
+           (map3
+              (fun attr opn k ->
+                let op =
+                  match opn mod 6 with
+                  | 0 -> Contentps.Eq | 1 -> Contentps.Ne | 2 -> Contentps.Lt
+                  | 3 -> Contentps.Le | 4 -> Contentps.Gt | _ -> Contentps.Ge
+                in
+                [ { Contentps.attr; op; const = Value.Int k } ])
+              (oneofl [ "a"; "b"; "c" ])
+              small_nat (int_range 0 20)))
+        (list_size (int_range 0 3)
+           (pair (oneofl [ "a"; "b"; "c"; "d" ]) (int_range 0 20))))
+  in
+  QCheck.Test.make ~name:"content index agrees with naive evaluation"
+    ~count:300 (QCheck.make gen)
+    (fun (subs, ev) ->
+      let event = List.map (fun (a, k) -> a, Value.Int k) ev in
+      (* Deduplicate event attributes (assoc semantics). *)
+      let event =
+        List.fold_left
+          (fun acc (a, v) -> if List.mem_assoc a acc then acc else (a, v) :: acc)
+          [] event
+      in
+      let t = Contentps.create () in
+      List.iteri (fun i cs -> Contentps.subscribe t i cs) subs;
+      let expected =
+        List.mapi (fun i cs -> i, Contentps.matches_naive cs event) subs
+        |> List.filter snd |> List.map fst
+      in
+      Contentps.matches t event = expected)
+
+(* --- tuple space ---------------------------------------------------------- *)
+
+let stock_tuple company price amount : Tuplespace.tuple =
+  [ Value.Str company; Value.Float price; Value.Int amount ]
+
+let test_tuplespace_out_read_take () =
+  let ts = Tuplespace.create () in
+  Tuplespace.out ts (stock_tuple "Telco" 80. 10);
+  Tuplespace.out ts (stock_tuple "Acme" 50. 5);
+  let template =
+    [ Tuplespace.Exact (Value.Str "Telco"); Tuplespace.Formal Value.Kfloat;
+      Tuplespace.Wildcard ]
+  in
+  (match Tuplespace.try_read ts template with
+  | Some [ Value.Str "Telco"; _; _ ] -> ()
+  | _ -> Alcotest.fail "read failed");
+  Alcotest.(check int) "read leaves tuple" 2 (Tuplespace.size ts);
+  (match Tuplespace.try_take ts template with
+  | Some _ -> ()
+  | None -> Alcotest.fail "take failed");
+  Alcotest.(check int) "take removes tuple" 1 (Tuplespace.size ts);
+  Alcotest.(check bool) "no more telco" true
+    (Tuplespace.try_read ts template = None)
+
+let test_tuplespace_formal_types () =
+  let ts = Tuplespace.create () in
+  Tuplespace.out ts [ Value.Int 1; Value.Str "x" ];
+  Alcotest.(check bool) "kind mismatch" true
+    (Tuplespace.try_read ts [ Tuplespace.Formal Value.Kfloat; Tuplespace.Wildcard ]
+    = None);
+  Alcotest.(check bool) "arity mismatch" true
+    (Tuplespace.try_read ts [ Tuplespace.Wildcard ] = None)
+
+let test_tuplespace_blocking () =
+  let ts = Tuplespace.create () in
+  let got = ref [] in
+  let template = [ Tuplespace.Formal Value.Kint ] in
+  Tuplespace.take ts template ~k:(fun tu -> got := ("a", tu) :: !got);
+  Tuplespace.take ts template ~k:(fun tu -> got := ("b", tu) :: !got);
+  Alcotest.(check int) "two blocked" 2 (Tuplespace.pending ts);
+  Tuplespace.out ts [ Value.Int 1 ];
+  (* First blocked take wins; the second stays blocked. *)
+  Alcotest.(check (list (pair string (list Helpers.value_testable))))
+    "first take served" [ "a", [ Value.Int 1 ] ] (List.rev !got);
+  Alcotest.(check int) "space empty (consumed)" 0 (Tuplespace.size ts);
+  Tuplespace.out ts [ Value.Int 2 ];
+  Alcotest.(check int) "second served" 2 (List.length !got);
+  Alcotest.(check int) "no more pending" 0 (Tuplespace.pending ts)
+
+let test_tuplespace_read_does_not_consume () =
+  let ts = Tuplespace.create () in
+  let reads = ref 0 in
+  Tuplespace.read ts [ Tuplespace.Wildcard ] ~k:(fun _ -> incr reads);
+  Tuplespace.read ts [ Tuplespace.Wildcard ] ~k:(fun _ -> incr reads);
+  Tuplespace.out ts [ Value.Int 9 ];
+  Alcotest.(check int) "both reads served" 2 !reads;
+  Alcotest.(check int) "tuple stays" 1 (Tuplespace.size ts)
+
+let test_tuplespace_notify () =
+  let ts = Tuplespace.create () in
+  let seen = ref 0 in
+  Tuplespace.out ts [ Value.Int 0 ];
+  let id = Tuplespace.notify ts [ Tuplespace.Formal Value.Kint ] (fun _ -> incr seen) in
+  Alcotest.(check int) "pre-existing tuples invisible" 0 !seen;
+  Tuplespace.out ts [ Value.Int 1 ];
+  Tuplespace.out ts [ Value.Str "no" ];
+  Tuplespace.out ts [ Value.Int 2 ];
+  Alcotest.(check int) "two notifications" 2 !seen;
+  Tuplespace.cancel_notify ts id;
+  Tuplespace.out ts [ Value.Int 3 ];
+  Alcotest.(check int) "cancelled" 2 !seen
+
+(* Reference topic matcher: explicit semantics to check the trie
+   against. *)
+let reference_topic_match ~pattern ~topic =
+  let segs = Topics.parse topic in
+  let psegs = Topics.parse pattern in
+  match List.rev psegs with
+  | "*" :: rev_prefix ->
+      let prefix = List.rev rev_prefix in
+      List.length segs = List.length prefix + 1
+      && List.for_all2 ( = ) prefix
+           (List.filteri (fun i _ -> i < List.length prefix) segs)
+  | _ ->
+      let rec is_prefix a b =
+        match a, b with
+        | [], _ -> true
+        | x :: xs, y :: ys -> x = y && is_prefix xs ys
+        | _, [] -> false
+      in
+      is_prefix psegs segs
+
+let prop_topics_match_reference =
+  let seg = QCheck.Gen.oneofl [ "a"; "b"; "c" ] in
+  let gen_topic = QCheck.Gen.(map (String.concat "/") (list_size (int_range 1 4) seg)) in
+  let gen_pattern =
+    QCheck.Gen.(
+      map2
+        (fun t wild -> if wild then t ^ "/*" else t)
+        gen_topic bool)
+  in
+  QCheck.Test.make ~name:"topic trie agrees with reference semantics"
+    ~count:400
+    (QCheck.make QCheck.Gen.(pair gen_pattern gen_topic))
+    (fun (pattern, topic) ->
+      let t = Topics.create () in
+      Topics.subscribe t ~topic:pattern 0;
+      let via_trie = Topics.publish t ~topic <> [] in
+      via_trie = reference_topic_match ~pattern ~topic)
+
+let suite =
+  ( "baselines",
+    [ Alcotest.test_case "topics: hierarchy containment" `Quick
+        test_topics_exact_and_hierarchy;
+      Alcotest.test_case "topics: one-level wildcard" `Quick
+        test_topics_wildcard;
+      Alcotest.test_case "topics: unsubscribe" `Quick test_topics_unsubscribe;
+      Alcotest.test_case "content: matching" `Quick test_content_matching;
+      Alcotest.test_case "content: missing attribute" `Quick
+        test_content_missing_attribute_is_false;
+      Alcotest.test_case "content: empty conjunction" `Quick
+        test_content_empty_conjunction_matches_all;
+      Alcotest.test_case "content: unsubscribe + promotion" `Quick
+        test_content_unsubscribe_and_numeric_promotion;
+      Alcotest.test_case "tuplespace: out/read/take" `Quick
+        test_tuplespace_out_read_take;
+      Alcotest.test_case "tuplespace: typed formals" `Quick
+        test_tuplespace_formal_types;
+      Alcotest.test_case "tuplespace: blocking take" `Quick
+        test_tuplespace_blocking;
+      Alcotest.test_case "tuplespace: blocking read" `Quick
+        test_tuplespace_read_does_not_consume;
+      Alcotest.test_case "tuplespace: notify" `Quick test_tuplespace_notify ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_content_index_agrees_with_naive; prop_topics_match_reference ] )

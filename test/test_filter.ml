@@ -1,0 +1,628 @@
+open Helpers
+module Typecheck = Tpbs_filter.Typecheck
+module Mobility = Tpbs_filter.Mobility
+module Rfilter = Tpbs_filter.Rfilter
+module Factored = Tpbs_filter.Factored
+module Subsume = Tpbs_filter.Subsume
+module Parser = Tpbs_filter.Parser
+
+(* The paper's running example filter:
+   q.getPrice() < 100 && q.getCompany().indexOf("Telco") != -1 *)
+let telco_filter =
+  Expr.(
+    getter [ "getPrice" ] <. float 100.
+    &&& Binop
+          (Ne, Binop (Index_of, getter [ "getCompany" ], str "Telco"), int (-1)))
+
+(* --- evaluation ----------------------------------------------------- *)
+
+let test_eval_paper_example () =
+  let reg = stock_registry () in
+  let yes = quote reg ~company:"Telco Mobiles" ~price:80. () in
+  let no_price = quote reg ~company:"Telco Mobiles" ~price:150. () in
+  let no_company = quote reg ~company:"Acme" ~price:80. () in
+  Alcotest.(check bool) "matches" true
+    (Expr.eval_bool reg ~env:[] ~arg:yes telco_filter);
+  Alcotest.(check bool) "price too high" false
+    (Expr.eval_bool reg ~env:[] ~arg:no_price telco_filter);
+  Alcotest.(check bool) "wrong company" false
+    (Expr.eval_bool reg ~env:[] ~arg:no_company telco_filter)
+
+let test_eval_vars () =
+  let reg = stock_registry () in
+  let q = quote reg ~price:80. () in
+  let e = Expr.(getter [ "getPrice" ] <. Var "limit") in
+  Alcotest.(check bool) "captured variable" true
+    (Expr.eval_bool reg ~env:[ "limit", Value.Float 100. ] ~arg:q e);
+  Alcotest.(check bool) "tighter limit" false
+    (Expr.eval_bool reg ~env:[ "limit", Value.Float 50. ] ~arg:q e);
+  match Expr.eval_bool reg ~env:[] ~arg:q e with
+  | exception Expr.Eval_error _ -> ()
+  | _ -> Alcotest.fail "unbound variable should raise"
+
+let test_eval_numeric_promotion () =
+  let reg = stock_registry () in
+  let q = quote reg ~price:80. ~amount:10 () in
+  Alcotest.(check bool) "int literal against float getter" true
+    (Expr.eval_bool reg ~env:[] ~arg:q Expr.(getter [ "getPrice" ] =. int 80));
+  Alcotest.(check bool) "arithmetic mixing" true
+    (Expr.eval_bool reg ~env:[] ~arg:q
+       Expr.(
+         Binop (Mul, getter [ "getPrice" ], getter [ "getAmount" ])
+         >. float 799.))
+
+let test_eval_division_by_zero () =
+  let reg = stock_registry () in
+  let q = quote reg () in
+  match
+    Expr.eval reg ~env:[] ~arg:q
+      Expr.(Binop (Div, getter [ "getAmount" ], int 0))
+  with
+  | exception Expr.Eval_error _ -> ()
+  | _ -> Alcotest.fail "division by zero should raise"
+
+let test_eval_short_circuit () =
+  let reg = stock_registry () in
+  let q = quote reg () in
+  (* The right operand would raise, but && short-circuits. *)
+  let e =
+    Expr.(
+      bool false &&& Binop (Div, int 1, int 0) =. int 1)
+  in
+  Alcotest.(check bool) "short circuit and" false
+    (Expr.eval_bool reg ~env:[] ~arg:q e);
+  let e =
+    Expr.(bool true ||| (Binop (Div, int 1, int 0) =. int 1))
+  in
+  Alcotest.(check bool) "short circuit or" true
+    (Expr.eval_bool reg ~env:[] ~arg:q e)
+
+let test_eval_string_ops () =
+  let reg = stock_registry () in
+  let q = quote reg ~company:"Telco Mobiles" () in
+  let company = Expr.getter [ "getCompany" ] in
+  Alcotest.check value_testable "indexOf found" (Value.Int 6)
+    (Expr.eval reg ~env:[] ~arg:q
+       Expr.(Binop (Index_of, company, str "Mobiles")));
+  Alcotest.check value_testable "indexOf missing" (Value.Int (-1))
+    (Expr.eval reg ~env:[] ~arg:q Expr.(Binop (Index_of, company, str "zzz")));
+  Alcotest.check value_testable "length" (Value.Int 13)
+    (Expr.eval reg ~env:[] ~arg:q Expr.(Unop (Length, company)));
+  Alcotest.check value_testable "startsWith" (Value.Bool true)
+    (Expr.eval reg ~env:[] ~arg:q
+       Expr.(Binop (Starts_with, company, str "Telco")))
+
+let test_getter_paths () =
+  let paths = Expr.getter_paths telco_filter in
+  Alcotest.(check int) "two distinct paths" 2 (List.length paths);
+  Alcotest.(check bool) "getPrice path present" true
+    (List.mem [ "getPrice" ] paths);
+  Alcotest.(check bool) "getCompany path present" true
+    (List.mem [ "getCompany" ] paths)
+
+(* --- typechecking --------------------------------------------------- *)
+
+let check_ill_typed name reg ?(vars = []) ~param e =
+  match Typecheck.check_filter reg ~param ~vars e with
+  | () -> Alcotest.fail (name ^ ": expected Ill_typed")
+  | exception Typecheck.Ill_typed _ -> ()
+
+let test_typecheck_ok () =
+  let reg = stock_registry () in
+  Typecheck.check_filter reg ~param:"StockQuote" ~vars:[] telco_filter;
+  Typecheck.check_filter reg ~param:"StockQuote"
+    ~vars:[ "limit", Vtype.Tfloat ]
+    Expr.(getter [ "getPrice" ] <. Var "limit")
+
+let test_typecheck_errors () =
+  let reg = stock_registry () in
+  check_ill_typed "unknown method" reg ~param:"StockQuote"
+    Expr.(getter [ "getNope" ] =. int 1);
+  check_ill_typed "non-boolean filter" reg ~param:"StockQuote"
+    (Expr.getter [ "getPrice" ]);
+  check_ill_typed "string < int" reg ~param:"StockQuote"
+    Expr.(getter [ "getCompany" ] <. int 3);
+  check_ill_typed "unbound var" reg ~param:"StockQuote"
+    Expr.(Var "limit" <. int 3);
+  check_ill_typed "arith on bool" reg ~param:"StockQuote"
+    Expr.(Binop (Add, bool true, int 1) =. int 2);
+  check_ill_typed "param not an obvent type" reg ~param:"NopeType"
+    (Expr.bool true);
+  (* Subscribing to an interface and using a subtype-only method. *)
+  check_ill_typed "method of subtype not visible on supertype" reg
+    ~param:"Obvent"
+    Expr.(getter [ "getPrice" ] <. int 3)
+
+let test_typecheck_supertype_methods_visible () =
+  let reg = stock_registry () in
+  (* getCompany is declared on StockObvent, usable on SpotPrice. *)
+  Typecheck.check_filter reg ~param:"SpotPrice" ~vars:[]
+    Expr.(Binop (Eq, getter [ "getCompany" ], str "X"))
+
+let test_typecheck_interface_param () =
+  let reg = stock_registry () in
+  (* Subscribing to the abstract type StockObvent (Fig. 1). *)
+  Typecheck.check_filter reg ~param:"StockObvent" ~vars:[]
+    Expr.(getter [ "getPrice" ] <. float 100.)
+
+(* --- mobility -------------------------------------------------------- *)
+
+let test_mobility_mobile () =
+  let reg = stock_registry () in
+  Alcotest.(check bool) "paper filter is mobile" true
+    (Mobility.classify reg ~param:"StockQuote" ~vars:[] telco_filter
+    = Mobility.Mobile)
+
+let test_mobility_nonprimitive_var () =
+  let reg = stock_registry () in
+  let verdict =
+    Mobility.classify reg ~param:"StockQuote"
+      ~vars:[ "template", Vtype.Tobject "StockQuote" ]
+      Expr.(Var "template" =. getter [ "getCompany" ])
+  in
+  match verdict with
+  | Mobility.Local_only [ Mobility.Nonprimitive_variable ("template", _) ] -> ()
+  | _ -> Alcotest.fail "expected non-primitive variable reason"
+
+let test_mobility_remote_value () =
+  let reg = stock_registry () in
+  Registry.declare_class reg ~name:"LinkedQuote" ~extends:"StockQuote"
+    ~attrs:[ "market", Vtype.Tremote "StockMarket" ]
+    ();
+  let verdict =
+    Mobility.classify reg ~param:"LinkedQuote" ~vars:[]
+      Expr.(Unop (Is_null, getter [ "getMarket" ]))
+  in
+  match verdict with
+  | Mobility.Local_only (Mobility.Remote_value _ :: _) -> ()
+  | _ -> Alcotest.fail "expected remote-value reason"
+
+(* --- remote filters (invocation/evaluation trees) ------------------- *)
+
+let test_rfilter_normalization () =
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" telco_filter with
+  | None -> Alcotest.fail "paper filter should normalize"
+  | Some rf ->
+      Alcotest.(check int) "two invocation paths" 2 (Array.length rf.paths);
+      (match rf.formula with
+      | Rfilter.And [ Atom a; Atom b ] ->
+          Alcotest.(check bool) "price atom" true
+            (a.path = [ "getPrice" ] && a.cmp = Rfilter.Clt);
+          Alcotest.(check bool) "indexOf became contains" true
+            (b.path = [ "getCompany" ] && b.cmp = Rfilter.Ccontains)
+      | f ->
+          Alcotest.failf "unexpected formula %a" Rfilter.pp_formula f)
+
+let test_rfilter_env_substitution () =
+  let e = Expr.(getter [ "getPrice" ] <. Var "limit") in
+  match
+    Rfilter.of_expr ~env:[ "limit", Value.Float 100. ] ~param:"StockQuote" e
+  with
+  | Some rf ->
+      (match rf.formula with
+      | Rfilter.Atom { const = Value.Float 100.; _ } -> ()
+      | f -> Alcotest.failf "expected substituted constant, got %a"
+               Rfilter.pp_formula f)
+  | None -> Alcotest.fail "should normalize with bound variable"
+
+let test_rfilter_unnormalizable () =
+  (* Arithmetic between two paths has no atom form. *)
+  let e =
+    Expr.(
+      Binop (Mul, getter [ "getPrice" ], getter [ "getAmount" ]) >. float 100.)
+  in
+  Alcotest.(check bool) "not normalizable" true
+    (Rfilter.of_expr ~env:[] ~param:"StockQuote" e = None)
+
+let test_rfilter_always_true () =
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" (Expr.bool true) with
+  | Some rf -> Alcotest.(check bool) "always true" true (Rfilter.always_true rf)
+  | None -> Alcotest.fail "true should normalize"
+
+let test_rfilter_wire_roundtrip () =
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" telco_filter with
+  | None -> Alcotest.fail "should normalize"
+  | Some rf -> (
+      let v = Rfilter.to_value rf in
+      (* Through the codec, as a subscription message would travel. *)
+      let v' = Tpbs_serial.Codec.decode (Tpbs_serial.Codec.encode v) in
+      match Rfilter.of_value v' with
+      | Some rf' ->
+          Alcotest.(check bool) "same formula" true
+            (rf.formula = rf'.formula && rf.param = rf'.param)
+      | None -> Alcotest.fail "wire roundtrip failed")
+
+let test_rfilter_of_value_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Rfilter.of_value (Value.Int 3) = None);
+  Alcotest.(check bool) "bad op code rejected" true
+    (Rfilter.of_value
+       (Value.List
+          [ Str "StockQuote";
+            List [ Str "atom"; List [ List []; Int 99; Null ] ] ])
+    = None)
+
+let prop_rfilter_matches_direct_eval =
+  QCheck.Test.make
+    ~name:"rfilter evaluation agrees with direct expression evaluation"
+    ~count:500
+    (QCheck.make
+       ~print:(fun (e, _) -> Expr.to_string e)
+       QCheck.Gen.(pair gen_stock_expr (gen_quote (stock_registry ()))))
+    (fun (e, q) ->
+      let reg = stock_registry () in
+      match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+      | None -> QCheck.assume_fail ()
+      | Some rf -> (
+          match Expr.eval_bool reg ~env:[] ~arg:q e with
+          | direct -> Rfilter.matches_obvent rf q = direct
+          | exception Expr.Eval_error _ -> true))
+
+let prop_rfilter_to_expr_roundtrip =
+  QCheck.Test.make ~name:"to_expr of a remote filter evaluates identically"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (e, _) -> Expr.to_string e)
+       QCheck.Gen.(pair gen_stock_expr (gen_quote (stock_registry ()))))
+    (fun (e, q) ->
+      let reg = stock_registry () in
+      match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+      | None -> QCheck.assume_fail ()
+      | Some rf ->
+          let back = Rfilter.to_expr rf in
+          (match Expr.eval_bool reg ~env:[] ~arg:q back with
+          | b -> b = Rfilter.matches_obvent rf q
+          | exception Expr.Eval_error _ -> false))
+
+(* --- factored compound filters -------------------------------------- *)
+
+let add_filters factored exprs =
+  List.iteri
+    (fun i e ->
+      match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+      | Some rf -> Factored.add factored ~id:i rf
+      | None -> ())
+    exprs
+
+let test_factored_basic () =
+  let reg = stock_registry () in
+  let f = Factored.create () in
+  let cheap = Expr.(getter [ "getPrice" ] <. float 100.) in
+  let telco =
+    Expr.(Binop (Contains, getter [ "getCompany" ], str "Telco"))
+  in
+  let both = Expr.(cheap &&& telco) in
+  add_filters f [ cheap; telco; both ];
+  let q = quote reg ~company:"Telco Mobiles" ~price:80. () in
+  Alcotest.(check (list int)) "all three match" [ 0; 1; 2 ]
+    (Factored.matches_obvent f q);
+  let q = quote reg ~company:"Acme" ~price:80. () in
+  Alcotest.(check (list int)) "only cheap" [ 0 ] (Factored.matches_obvent f q);
+  let q = quote reg ~company:"Telco Mobiles" ~price:200. () in
+  Alcotest.(check (list int)) "only telco" [ 1 ] (Factored.matches_obvent f q)
+
+let test_factored_sharing () =
+  let f = Factored.create () in
+  (* 100 identical subscriptions: one unique atom. *)
+  let e = Expr.(getter [ "getPrice" ] <. float 100.) in
+  List.iteri
+    (fun i e ->
+      match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+      | Some rf -> Factored.add f ~id:i rf
+      | None -> Alcotest.fail "normalizes")
+    (List.init 100 (fun _ -> e));
+  let s = Factored.stats f in
+  Alcotest.(check int) "subscriptions" 100 s.Factored.subscriptions;
+  Alcotest.(check int) "unique atoms" 1 s.Factored.unique_atoms;
+  Alcotest.(check int) "unique paths" 1 s.Factored.unique_paths;
+  Alcotest.(check int) "total atoms" 100 s.Factored.total_atoms;
+  Alcotest.(check bool) "high redundancy" true (Factored.redundancy f > 0.98)
+
+let test_factored_remove () =
+  let reg = stock_registry () in
+  let f = Factored.create () in
+  add_filters f
+    [ Expr.(getter [ "getPrice" ] <. float 100.);
+      Expr.(getter [ "getPrice" ] <. float 200.) ];
+  Factored.remove f ~id:0;
+  let q = quote reg ~price:50. () in
+  Alcotest.(check (list int)) "only remaining" [ 1 ]
+    (Factored.matches_obvent f q);
+  Alcotest.(check bool) "id 0 gone" false (Factored.is_registered f ~id:0);
+  Factored.remove f ~id:42 (* unknown: ignored *)
+
+let test_factored_duplicate_id_rejected () =
+  let f = Factored.create () in
+  let rf =
+    Option.get
+      (Rfilter.of_expr ~env:[] ~param:"StockQuote" (Expr.bool true))
+  in
+  Factored.add f ~id:1 rf;
+  match Factored.add f ~id:1 rf with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate id accepted"
+
+let prop_factored_agrees_with_individual =
+  QCheck.Test.make
+    ~name:"factored matching = per-filter rfilter evaluation" ~count:200
+    (QCheck.make
+       ~print:(fun (es, _) ->
+         String.concat " ; " (List.map Expr.to_string es))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 0 25) gen_stock_expr)
+           (gen_quote (stock_registry ()))))
+    (fun (es, q) ->
+      let rfs =
+        List.filter_map (Rfilter.of_expr ~env:[] ~param:"StockQuote") es
+      in
+      let f = Factored.create () in
+      List.iteri (fun i rf -> Factored.add f ~id:i rf) rfs;
+      let expected =
+        List.filteri (fun _ _ -> true) rfs
+        |> List.mapi (fun i rf -> i, Rfilter.matches_obvent rf q)
+        |> List.filter snd |> List.map fst
+      in
+      Factored.matches_obvent f q = expected)
+
+let prop_factored_remove_consistent =
+  QCheck.Test.make ~name:"factored remove leaves remaining filters intact"
+    ~count:100
+    (QCheck.make
+       ~print:(fun (es, _) -> String.concat ";" (List.map Expr.to_string es))
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 2 12) gen_stock_expr)
+           (gen_quote (stock_registry ()))))
+    (fun (es, q) ->
+      let rfs =
+        List.filter_map (Rfilter.of_expr ~env:[] ~param:"StockQuote") es
+      in
+      QCheck.assume (List.length rfs >= 2);
+      let f = Factored.create () in
+      List.iteri (fun i rf -> Factored.add f ~id:i rf) rfs;
+      Factored.remove f ~id:0;
+      let expected =
+        List.mapi (fun i rf -> i, Rfilter.matches_obvent rf q) rfs
+        |> List.filter (fun (i, m) -> i <> 0 && m)
+        |> List.map fst
+      in
+      Factored.matches_obvent f q = expected)
+
+(* --- subsumption ----------------------------------------------------- *)
+
+let rf_of e = Option.get (Rfilter.of_expr ~env:[] ~param:"StockQuote" e)
+
+let test_subsume_examples () =
+  let lt50 = rf_of Expr.(getter [ "getPrice" ] <. float 50.) in
+  let lt100 = rf_of Expr.(getter [ "getPrice" ] <. float 100.) in
+  let telco = rf_of Expr.(Binop (Contains, getter [ "getCompany" ], str "Telco")) in
+  let telco_mob =
+    rf_of Expr.(Binop (Eq, getter [ "getCompany" ], str "Telco Mobiles"))
+  in
+  let both = rf_of Expr.(getter [ "getPrice" ] <. float 50.
+                         &&& Binop (Contains, getter [ "getCompany" ], str "Telco"))
+  in
+  Alcotest.(check bool) "<50 implies <100" true (Subsume.implies lt50 lt100);
+  Alcotest.(check bool) "<100 does not imply <50" false
+    (Subsume.implies lt100 lt50);
+  Alcotest.(check bool) "== Telco Mobiles implies contains Telco" true
+    (Subsume.implies telco_mob telco);
+  Alcotest.(check bool) "conjunction implies each conjunct" true
+    (Subsume.implies both lt100 && Subsume.implies both telco);
+  Alcotest.(check bool) "everything implies true" true
+    (Subsume.implies lt50 (rf_of (Expr.bool true)));
+  Alcotest.(check bool) "different paths unrelated" false
+    (Subsume.implies lt50 telco);
+  Alcotest.(check bool) "equivalent to itself" true
+    (Subsume.equivalent lt50 lt50)
+
+let test_count_covered () =
+  let filters =
+    [ rf_of Expr.(getter [ "getPrice" ] <. float 50.);
+      rf_of Expr.(getter [ "getPrice" ] <. float 100.);
+      rf_of Expr.(Binop (Contains, getter [ "getCompany" ], str "Telco")) ]
+  in
+  (* <50 is covered by <100. *)
+  Alcotest.(check int) "one covered" 1 (Subsume.count_covered filters)
+
+let prop_subsume_sound =
+  QCheck.Test.make
+    ~name:"implies is sound: a matches ⇒ b matches" ~count:400
+    (QCheck.make
+       ~print:(fun (a, b, _) ->
+         Expr.to_string a ^ " => " ^ Expr.to_string b)
+       QCheck.Gen.(
+         triple gen_stock_expr gen_stock_expr (gen_quote (stock_registry ()))))
+    (fun (ea, eb, q) ->
+      match
+        ( Rfilter.of_expr ~env:[] ~param:"StockQuote" ea,
+          Rfilter.of_expr ~env:[] ~param:"StockQuote" eb )
+      with
+      | Some a, Some b ->
+          (not (Subsume.implies a b))
+          || (not (Rfilter.matches_obvent a q))
+          || Rfilter.matches_obvent b q
+      | _ -> QCheck.assume_fail ())
+
+let test_typecheck_string_plus () =
+  let reg = stock_registry () in
+  (* Java's overloaded +. *)
+  Typecheck.check_filter reg ~param:"StockQuote" ~vars:[]
+    Expr.(
+      Binop
+        ( Eq,
+          Binop (Add, str "a", getter [ "getCompany" ]),
+          str "aTelco Mobiles" ));
+  check_ill_typed "string + int" reg ~param:"StockQuote"
+    Expr.(Binop (Eq, Binop (Add, str "a", int 1), str "a1"))
+
+let test_factored_readd_after_remove () =
+  let f = Factored.create () in
+  let rf = rf_of Expr.(getter [ "getPrice" ] <. float 50.) in
+  Factored.add f ~id:7 rf;
+  Factored.remove f ~id:7;
+  Factored.add f ~id:7 rf;
+  let reg = stock_registry () in
+  let q = quote reg ~price:10. () in
+  Alcotest.(check (list int)) "re-added id matches" [ 7 ]
+    (Factored.matches_obvent f q)
+
+let test_subsume_equality_implies_range () =
+  let eq50 = rf_of Expr.(getter [ "getPrice" ] =. float 50.) in
+  let lt100 = rf_of Expr.(getter [ "getPrice" ] <. float 100.) in
+  let ge10 = rf_of Expr.(getter [ "getPrice" ] >=. float 10.) in
+  Alcotest.(check bool) "==50 implies <100" true (Subsume.implies eq50 lt100);
+  Alcotest.(check bool) "==50 implies >=10" true (Subsume.implies eq50 ge10);
+  Alcotest.(check bool) "<100 does not imply ==50" false
+    (Subsume.implies lt100 eq50)
+
+(* --- parser ----------------------------------------------------------- *)
+
+let test_parse_paper_filter () =
+  let e =
+    Parser.expr_of_string ~param:"q"
+      "q.getPrice() < 100 && q.getCompany().indexOf(\"Telco\") != -1"
+  in
+  let reg = stock_registry () in
+  Typecheck.check_filter reg ~param:"StockQuote" ~vars:[] e;
+  let yes = quote reg ~company:"Telco Mobiles" ~price:80. () in
+  Alcotest.(check bool) "parsed filter matches" true
+    (Expr.eval_bool reg ~env:[] ~arg:yes e)
+
+let test_parse_precedence () =
+  let e = Parser.expr_of_string ~param:"q" "1 + 2 * 3 == 7" in
+  let reg = stock_registry () in
+  Alcotest.(check bool) "precedence" true
+    (Expr.eval_bool reg ~env:[] ~arg:(quote reg ()) e);
+  let e = Parser.expr_of_string ~param:"q" "(1 + 2) * 3 == 9" in
+  Alcotest.(check bool) "parens" true
+    (Expr.eval_bool reg ~env:[] ~arg:(quote reg ()) e)
+
+let test_parse_methods () =
+  let cases =
+    [ "q.getCompany().contains(\"Telco\")";
+      "q.getCompany().startsWith(\"Tel\")";
+      "q.getCompany().length() > 2";
+      "q.getCompany().equals(\"Telco Mobiles\")";
+      "!(q.getPrice() >= 100.5) || false" ]
+  in
+  let reg = stock_registry () in
+  List.iter
+    (fun src ->
+      let e = Parser.expr_of_string ~param:"q" src in
+      Typecheck.check_filter reg ~param:"StockQuote" ~vars:[] e;
+      Alcotest.(check bool) src true
+        (Expr.eval_bool reg ~env:[] ~arg:(quote reg ()) e))
+    cases
+
+let test_parse_comments_and_vars () =
+  let e =
+    Parser.expr_of_string ~param:"q"
+      "/* limit check */ q.getPrice() < limit // final var"
+  in
+  Alcotest.(check (list string)) "captured var" [ "limit" ] (Expr.vars e)
+
+let test_parse_negative_literal_folds () =
+  (* Regression: [-1] must parse as a constant so that the
+     indexOf-idiom normalizes (§4.4.3). *)
+  let e = Parser.expr_of_string ~param:"q" "q.getCompany().indexOf(\"T\") != -1" in
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+  | Some rf -> (
+      match rf.Rfilter.formula with
+      | Rfilter.Atom { cmp = Rfilter.Ccontains; _ } -> ()
+      | f -> Alcotest.failf "expected contains atom, got %a" Rfilter.pp_formula f)
+  | None -> Alcotest.fail "idiom did not normalize"
+
+let test_parse_errors () =
+  let bad = [ "q.getPrice() <"; "q.getPrice( < 3"; "\"unterminated"; "&& q"; "q.3" ] in
+  List.iter
+    (fun src ->
+      match Parser.expr_of_string ~param:"q" src with
+      | exception (Parser.Parse_error _ | Tpbs_filter.Lexer.Lex_error _) -> ()
+      | _ -> Alcotest.fail ("accepted bad input: " ^ src))
+    bad
+
+let prop_parse_pp_roundtrip =
+  QCheck.Test.make ~name:"printing then parsing preserves evaluation"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (e, _) -> Expr.to_string e)
+       QCheck.Gen.(pair gen_stock_expr (gen_quote (stock_registry ()))))
+    (fun (e, q) ->
+      let reg = stock_registry () in
+      let printed = Expr.to_string e in
+      match Parser.expr_of_string ~param:"$arg" printed with
+      | parsed -> (
+          match
+            ( Expr.eval_bool reg ~env:[] ~arg:q e,
+              Expr.eval_bool reg ~env:[] ~arg:q parsed )
+          with
+          | a, b -> a = b
+          | exception Expr.Eval_error _ -> true)
+      | exception _ -> false)
+
+let suite =
+  ( "filter",
+    [ Alcotest.test_case "paper example filter" `Quick test_eval_paper_example;
+      Alcotest.test_case "captured variables" `Quick test_eval_vars;
+      Alcotest.test_case "numeric promotion" `Quick
+        test_eval_numeric_promotion;
+      Alcotest.test_case "division by zero raises" `Quick
+        test_eval_division_by_zero;
+      Alcotest.test_case "short-circuit evaluation" `Quick
+        test_eval_short_circuit;
+      Alcotest.test_case "string operations" `Quick test_eval_string_ops;
+      Alcotest.test_case "invocation paths" `Quick test_getter_paths;
+      Alcotest.test_case "typecheck accepts valid filters" `Quick
+        test_typecheck_ok;
+      Alcotest.test_case "typecheck rejects invalid filters" `Quick
+        test_typecheck_errors;
+      Alcotest.test_case "supertype methods visible" `Quick
+        test_typecheck_supertype_methods_visible;
+      Alcotest.test_case "subscribe to abstract type" `Quick
+        test_typecheck_interface_param;
+      Alcotest.test_case "mobility: conforming filter" `Quick
+        test_mobility_mobile;
+      Alcotest.test_case "mobility: non-primitive variable" `Quick
+        test_mobility_nonprimitive_var;
+      Alcotest.test_case "mobility: remote value" `Quick
+        test_mobility_remote_value;
+      Alcotest.test_case "rfilter: normalization" `Quick
+        test_rfilter_normalization;
+      Alcotest.test_case "rfilter: env substitution" `Quick
+        test_rfilter_env_substitution;
+      Alcotest.test_case "rfilter: unnormalizable shapes" `Quick
+        test_rfilter_unnormalizable;
+      Alcotest.test_case "rfilter: always-true idiom" `Quick
+        test_rfilter_always_true;
+      Alcotest.test_case "rfilter: wire roundtrip" `Quick
+        test_rfilter_wire_roundtrip;
+      Alcotest.test_case "rfilter: of_value rejects garbage" `Quick
+        test_rfilter_of_value_garbage;
+      Alcotest.test_case "factored: basic matching" `Quick test_factored_basic;
+      Alcotest.test_case "factored: atom sharing" `Quick test_factored_sharing;
+      Alcotest.test_case "factored: removal" `Quick test_factored_remove;
+      Alcotest.test_case "factored: duplicate id rejected" `Quick
+        test_factored_duplicate_id_rejected;
+      Alcotest.test_case "subsume: examples" `Quick test_subsume_examples;
+      Alcotest.test_case "subsume: equality implies range" `Quick
+        test_subsume_equality_implies_range;
+      Alcotest.test_case "typecheck: string + overload" `Quick
+        test_typecheck_string_plus;
+      Alcotest.test_case "factored: re-add after remove" `Quick
+        test_factored_readd_after_remove;
+      Alcotest.test_case "parser: negative literal folding" `Quick
+        test_parse_negative_literal_folds;
+      Alcotest.test_case "subsume: count covered" `Quick test_count_covered;
+      Alcotest.test_case "parser: paper filter" `Quick test_parse_paper_filter;
+      Alcotest.test_case "parser: precedence" `Quick test_parse_precedence;
+      Alcotest.test_case "parser: library methods" `Quick test_parse_methods;
+      Alcotest.test_case "parser: comments and variables" `Quick
+        test_parse_comments_and_vars;
+      Alcotest.test_case "parser: errors" `Quick test_parse_errors ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_rfilter_matches_direct_eval; prop_rfilter_to_expr_roundtrip;
+          prop_factored_agrees_with_individual;
+          prop_factored_remove_consistent; prop_subsume_sound;
+          prop_parse_pp_roundtrip ] )

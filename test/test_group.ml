@@ -1,0 +1,746 @@
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Stable = Tpbs_sim.Stable
+module Membership = Tpbs_group.Membership
+module Vclock = Tpbs_group.Vclock
+module Best_effort = Tpbs_group.Best_effort
+module Rbcast = Tpbs_group.Rbcast
+module Fifo = Tpbs_group.Fifo
+module Causal = Tpbs_group.Causal
+module Total = Tpbs_group.Total
+module Certified = Tpbs_group.Certified
+module Gossip = Tpbs_group.Gossip
+
+(* A little harness: n nodes, per-node delivery logs. *)
+type 'p world = {
+  engine : Engine.t;
+  net : Net.t;
+  group : Membership.t;
+  nodes : Net.node_id array;
+  logs : (Net.node_id * string) list ref array;  (* (origin, payload) *)
+  protos : 'p array;
+}
+
+let make_world ?(n = 5) ?(config = Net.default_config) ?(seed = 42) attach =
+  let engine = Engine.create ~seed () in
+  let net = Net.create ~config engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let logs = Array.init n (fun _ -> ref []) in
+  let protos =
+    Array.mapi
+      (fun i me ->
+        attach group ~me ~deliver:(fun ~origin payload ->
+            logs.(i) := (origin, payload) :: !(logs.(i))))
+      nodes
+  in
+  { engine; net; group; nodes; logs; protos }
+
+let log w i = List.rev !(w.logs.(i))
+let payloads w i = List.map snd (log w i)
+
+(* --- vector clocks --------------------------------------------------- *)
+
+let test_vclock_ops () =
+  let a = Vclock.create 3 and b = Vclock.create 3 in
+  Vclock.tick a 0;
+  Vclock.tick a 0;
+  Vclock.tick b 1;
+  Alcotest.(check bool) "concurrent" true (Vclock.relate a b = Vclock.Concurrent);
+  let c = Vclock.copy a in
+  Vclock.merge c b;
+  Alcotest.(check bool) "a before merge" true (Vclock.relate a c = Vclock.Before);
+  Alcotest.(check bool) "b before merge" true (Vclock.relate b c = Vclock.Before);
+  Alcotest.(check bool) "equal to self" true (Vclock.relate c c = Vclock.Equal);
+  Alcotest.(check int) "entries" 2 (Vclock.get c 0)
+
+let test_vclock_deliverable () =
+  let local = Vclock.create 3 in
+  let m = Vclock.create 3 in
+  Vclock.tick m 1;
+  Alcotest.(check bool) "first message from 1" true
+    (Vclock.deliverable m ~sender:1 ~local);
+  Vclock.tick m 1;
+  Alcotest.(check bool) "gap not deliverable" false
+    (Vclock.deliverable m ~sender:1 ~local);
+  let dep = Vclock.create 3 in
+  Vclock.tick dep 1;
+  Vclock.tick dep 0;
+  Alcotest.(check bool) "unseen dependency blocks" false
+    (Vclock.deliverable dep ~sender:0 ~local)
+
+let test_vclock_wire () =
+  let a = Vclock.create 4 in
+  Vclock.tick a 2;
+  Vclock.tick a 0;
+  match Vclock.of_value (Vclock.to_value a) with
+  | Some b -> Alcotest.(check bool) "roundtrip" true (Vclock.equal a b)
+  | None -> Alcotest.fail "roundtrip failed"
+
+(* --- membership ------------------------------------------------------- *)
+
+let test_membership () =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let ids = List.init 4 (fun _ -> Net.add_node net) in
+  let g = Membership.create net ids in
+  Alcotest.(check int) "size" 4 (Membership.size g);
+  Alcotest.(check int) "rank of first" 0 (Membership.rank g (List.nth ids 0));
+  Alcotest.(check bool) "member" true (Membership.is_member g (List.nth ids 2));
+  Alcotest.(check int) "others excludes self" 3
+    (List.length (Membership.others g (List.nth ids 1)));
+  match Membership.create net [ List.nth ids 0; List.nth ids 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate members accepted"
+
+(* --- best effort ------------------------------------------------------ *)
+
+let test_best_effort_all_deliver () =
+  let w =
+    make_world ~n:5 (fun g ~me ~deliver ->
+        Best_effort.attach g ~me ~name:"t" ~deliver)
+  in
+  Best_effort.bcast w.protos.(0) "hello";
+  Engine.run w.engine;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d" i)
+        [ "hello" ] (payloads w i))
+    w.nodes
+
+let test_best_effort_lossy () =
+  let w =
+    make_world ~n:10
+      ~config:{ Net.default_config with loss = 0.4 }
+      (fun g ~me ~deliver -> Best_effort.attach g ~me ~name:"t" ~deliver)
+  in
+  for i = 1 to 20 do
+    Best_effort.bcast w.protos.(0) (string_of_int i)
+  done;
+  Engine.run w.engine;
+  let total = Array.fold_left (fun acc l -> acc + List.length !l) 0 w.logs in
+  (* 200 potential non-self deliveries (9 receivers x 20) + 20 self;
+     with 40% loss roughly 128 survive on receivers. Self-sends are
+     also subject to loss in this model? They go through the same
+     path; allow a broad band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "some but not all delivered (%d)" total)
+    true
+    (total > 60 && total < 195)
+
+(* --- reliable broadcast ----------------------------------------------- *)
+
+let test_rbcast_all_deliver_once () =
+  let w =
+    make_world ~n:6 (fun g ~me ~deliver ->
+        Rbcast.attach g ~me ~name:"t" ~deliver)
+  in
+  Rbcast.bcast w.protos.(2) "m1";
+  Rbcast.bcast w.protos.(3) "m2";
+  Engine.run w.engine;
+  Array.iteri
+    (fun i _ ->
+      let got = List.sort String.compare (payloads w i) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d exactly once" i)
+        [ "m1"; "m2" ] got)
+    w.nodes;
+  Alcotest.(check bool) "flooding suppressed duplicates" true
+    (Rbcast.duplicates_suppressed w.protos.(0) > 0)
+
+let test_rbcast_masks_loss () =
+  (* With 30% iid loss, flooding n=8 gives each node ~7 chances. *)
+  let w =
+    make_world ~n:8 ~seed:7
+      ~config:{ Net.default_config with loss = 0.3 }
+      (fun g ~me ~deliver -> Rbcast.attach g ~me ~name:"t" ~deliver)
+  in
+  for i = 1 to 10 do
+    Rbcast.bcast w.protos.(i mod 8) (string_of_int i)
+  done;
+  Engine.run w.engine;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d got all 10" i)
+        10
+        (List.length (payloads w i)))
+    w.nodes
+
+let test_rbcast_survives_publisher_crash_after_first_send () =
+  let w =
+    make_world ~n:5 (fun g ~me ~deliver ->
+        Rbcast.attach g ~me ~name:"t" ~deliver)
+  in
+  Rbcast.bcast w.protos.(0) "will-survive";
+  (* Publisher dies immediately after the sends are queued. *)
+  Net.crash w.net w.nodes.(0);
+  Engine.run w.engine;
+  for i = 1 to 4 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "node %d" i)
+      [ "will-survive" ] (payloads w i)
+  done
+
+(* --- fifo -------------------------------------------------------------- *)
+
+let test_fifo_publisher_order () =
+  let w =
+    make_world ~n:4
+      ~config:{ Net.default_config with jitter = 900 }
+      (fun g ~me ~deliver -> Fifo.attach g ~me ~name:"t" ~deliver)
+  in
+  for i = 1 to 20 do
+    Fifo.bcast w.protos.(0) (string_of_int i)
+  done;
+  Engine.run w.engine;
+  let expect = List.init 20 (fun i -> string_of_int (i + 1)) in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d in publication order" i)
+        expect (payloads w i))
+    w.nodes
+
+let test_fifo_interleaved_publishers () =
+  let w =
+    make_world ~n:4
+      ~config:{ Net.default_config with jitter = 900 }
+      (fun g ~me ~deliver -> Fifo.attach g ~me ~name:"t" ~deliver)
+  in
+  for i = 1 to 10 do
+    Fifo.bcast w.protos.(0) ("a" ^ string_of_int i);
+    Fifo.bcast w.protos.(1) ("b" ^ string_of_int i)
+  done;
+  Engine.run w.engine;
+  (* Per-origin subsequences must be in order on every node. *)
+  Array.iteri
+    (fun i _ ->
+      let deliveries = log w i in
+      let from_a =
+        List.filter_map
+          (fun (o, p) -> if o = w.nodes.(0) then Some p else None)
+          deliveries
+      and from_b =
+        List.filter_map
+          (fun (o, p) -> if o = w.nodes.(1) then Some p else None)
+          deliveries
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d: a-stream ordered" i)
+        (List.init 10 (fun k -> "a" ^ string_of_int (k + 1)))
+        from_a;
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d: b-stream ordered" i)
+        (List.init 10 (fun k -> "b" ^ string_of_int (k + 1)))
+        from_b)
+    w.nodes
+
+(* --- causal ------------------------------------------------------------- *)
+
+let test_causal_happens_before () =
+  (* Node 1 publishes "reply" only after delivering "question". No
+     node may deliver the reply first, whatever the jitter. *)
+  let replied = ref false in
+  let engine = Engine.create ~seed:5 () in
+  let net = Net.create ~config:{ Net.default_config with jitter = 950 } engine in
+  let nodes = Array.init 5 (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let logs = Array.init 5 (fun _ -> ref []) in
+  let protos = Array.make 5 None in
+  Array.iteri
+    (fun i me ->
+      let deliver ~origin:_ payload =
+        logs.(i) := payload :: !(logs.(i));
+        if i = 1 && payload = "question" && not !replied then begin
+          replied := true;
+          match protos.(1) with
+          | Some p -> Causal.bcast p "reply"
+          | None -> ()
+        end
+      in
+      protos.(i) <- Some (Causal.attach group ~me ~name:"t" ~deliver))
+    nodes;
+  (match protos.(0) with
+  | Some p -> Causal.bcast p "question"
+  | None -> ());
+  Engine.run engine;
+  Array.iteri
+    (fun i l ->
+      match List.rev !l with
+      | [ "question"; "reply" ] -> ()
+      | other ->
+          Alcotest.failf "node %d delivered %a" i
+            Fmt.(Dump.list string)
+            other)
+    logs
+
+let test_causal_implies_fifo () =
+  let w =
+    make_world ~n:4
+      ~config:{ Net.default_config with jitter = 900 }
+      (fun g ~me ~deliver -> Causal.attach g ~me ~name:"t" ~deliver)
+  in
+  for i = 1 to 15 do
+    Causal.bcast w.protos.(2) (string_of_int i)
+  done;
+  Engine.run w.engine;
+  let expect = List.init 15 (fun i -> string_of_int (i + 1)) in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d fifo via causal" i)
+        expect (payloads w i))
+    w.nodes
+
+(* --- total -------------------------------------------------------------- *)
+
+let test_total_agreement () =
+  let w =
+    make_world ~n:5
+      ~config:{ Net.default_config with jitter = 900 }
+      (fun g ~me ~deliver -> Total.attach g ~me ~name:"t" ~deliver)
+  in
+  (* Concurrent publishers racing. *)
+  for i = 1 to 10 do
+    Total.bcast w.protos.(i mod 5) (Printf.sprintf "m%d" i)
+  done;
+  Engine.run w.engine;
+  let reference = payloads w 0 in
+  Alcotest.(check int) "all messages" 10 (List.length reference);
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d agrees with node 0" i)
+        reference (payloads w i))
+    w.nodes
+
+let test_total_causal_agreement_and_causality () =
+  let engine = Engine.create ~seed:3 () in
+  let net = Net.create ~config:{ Net.default_config with jitter = 900 } engine in
+  let nodes = Array.init 4 (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let logs = Array.init 4 (fun _ -> ref []) in
+  let protos = Array.make 4 None in
+  let replied = ref false in
+  Array.iteri
+    (fun i me ->
+      let deliver ~origin:_ payload =
+        logs.(i) := payload :: !(logs.(i));
+        if i = 2 && payload = "cause" && not !replied then begin
+          replied := true;
+          match protos.(2) with
+          | Some p -> Total.bcast p "effect"
+          | None -> ()
+        end
+      in
+      protos.(i) <- Some (Total.attach ~causal:true group ~me ~name:"t" ~deliver))
+    nodes;
+  (match protos.(1) with Some p -> Total.bcast p "cause" | None -> ());
+  Engine.run engine;
+  let reference = List.rev !(logs.(0)) in
+  Alcotest.(check (list string)) "causal total order" [ "cause"; "effect" ]
+    reference;
+  Array.iteri
+    (fun i l ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d agrees" i)
+        reference (List.rev !l))
+    logs
+
+(* --- certified ----------------------------------------------------------- *)
+
+let test_certified_basic () =
+  let stores = Array.init 4 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:4 (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~deliver ())
+  in
+  Certified.bcast w.protos.(0) "c1";
+  Certified.bcast w.protos.(0) "c2";
+  Engine.run w.engine;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d" i)
+        [ "c1"; "c2" ] (payloads w i))
+    w.nodes;
+  Alcotest.(check int) "all acked" 0 (Certified.unacked w.protos.(0));
+  Alcotest.(check int) "log retained" 2 (Certified.log_size w.protos.(0))
+
+let test_certified_retransmits_through_loss () =
+  let stores = Array.init 4 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:4 ~seed:13
+      ~config:{ Net.default_config with loss = 0.4 }
+      (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~retry_period:3000 ~deliver ())
+  in
+  for i = 1 to 5 do
+    Certified.bcast w.protos.(0) (string_of_int i)
+  done;
+  Engine.run ~until:2_000_000 w.engine;
+  let expect = List.init 5 (fun i -> string_of_int (i + 1)) in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "node %d eventually got all" i)
+        expect (payloads w i))
+    w.nodes
+
+let test_certified_subscriber_crash_recovery () =
+  (* The defining scenario (§3.1.2): a subscriber crashes, obvents are
+     published while it is down, it recovers and still delivers them. *)
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~deliver ())
+  in
+  Certified.bcast w.protos.(0) "before";
+  Engine.run w.engine;
+  Net.crash w.net w.nodes.(2);
+  Certified.bcast w.protos.(0) "during1";
+  Certified.bcast w.protos.(0) "during2";
+  Engine.run ~until:(Engine.now w.engine + 30_000) w.engine;
+  Net.recover w.net w.nodes.(2);
+  Certified.resume w.protos.(2);
+  Engine.run ~until:(Engine.now w.engine + 200_000) w.engine;
+  Alcotest.(check (list string)) "recovered subscriber delivered everything"
+    [ "before"; "during1"; "during2" ]
+    (payloads w 2);
+  Alcotest.(check int) "publisher satisfied" 0 (Certified.unacked w.protos.(0))
+
+let test_certified_publisher_crash_recovery () =
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 ~seed:21
+      ~config:{ Net.default_config with loss = 0.95 }
+      (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~retry_period:2000 ~deliver ())
+  in
+  (* Publish into a near-black-hole network, then crash: the durable
+     log must let the recovered publisher finish the job. *)
+  Certified.bcast w.protos.(0) "precious";
+  Net.crash w.net w.nodes.(0);
+  Engine.run ~until:(Engine.now w.engine + 10_000) w.engine;
+  (* Heal the network and bring the publisher back. *)
+  let w_net = w.net in
+  ignore w_net;
+  Net.recover w.net w.nodes.(0);
+  (* Loss stays at 95%, but retransmission is persistent. *)
+  Certified.resume w.protos.(0);
+  Engine.run ~until:(Engine.now w.engine + 3_000_000) w.engine;
+  for i = 1 to 2 do
+    Alcotest.(check (list string))
+      (Printf.sprintf "node %d" i)
+      [ "precious" ] (payloads w i)
+  done
+
+(* --- gossip ---------------------------------------------------------------- *)
+
+let gossip_world ?(pull = true) ~n ~fanout ~seed ~loss () =
+  let engine = Engine.create ~seed () in
+  let net = Net.create ~config:{ Net.default_config with loss } engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let counts = Array.make n 0 in
+  let rng = Tpbs_sim.Rng.create (seed + 1) in
+  let protos =
+    Array.mapi
+      (fun i me ->
+        (* Seed views: a handful of random contacts. *)
+        let seed_view =
+          List.map
+            (fun k -> nodes.(k))
+            (Tpbs_sim.Rng.sample_without_replacement rng 4 n)
+        in
+        Gossip.attach
+          ~config:{ Gossip.default_config with fanout; pull }
+          group ~me ~name:"t" ~seed_view
+          ~deliver:(fun ~origin:_ _ -> counts.(i) <- counts.(i) + 1))
+      nodes
+  in
+  engine, protos, counts
+
+let test_gossip_high_fanout_reaches_almost_all () =
+  let engine, protos, counts = gossip_world ~n:60 ~fanout:5 ~seed:17 ~loss:0.05 () in
+  for i = 1 to 5 do
+    Gossip.bcast protos.(i) (Printf.sprintf "e%d" i)
+  done;
+  Engine.run ~until:200_000 engine;
+  Array.iter (fun p -> Gossip.stop p) protos;
+  Engine.run engine;
+  let total = Array.fold_left ( + ) 0 counts in
+  let ratio = float_of_int total /. float_of_int (60 * 5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery ratio %.2f >= 0.95" ratio)
+    true (ratio >= 0.95)
+
+let test_gossip_fanout_matters () =
+  let ratio_for fanout =
+    let engine, protos, counts =
+      gossip_world ~n:80 ~fanout ~seed:29 ~loss:0.3 ()
+    in
+    for i = 1 to 5 do
+      Gossip.bcast protos.(i) (Printf.sprintf "e%d" i)
+    done;
+    Engine.run ~until:60_000 engine;
+    Array.iter Gossip.stop protos;
+    Engine.run engine;
+    float_of_int (Array.fold_left ( + ) 0 counts) /. float_of_int (80 * 5)
+  in
+  let low = ratio_for 1 and high = ratio_for 6 in
+  (* The pull mechanism lets even fanout 1 catch up eventually, so the
+     margin at a fixed horizon is modest — but must be positive. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fanout 6 (%.2f) beats fanout 1 (%.2f)" high low)
+    true
+    (high > low +. 0.03)
+
+let test_gossip_pull_improves_delivery () =
+  (* The lpbcast id-digest/retrieve mechanism recovers pushes lost to
+     the network; disabling it must not improve delivery. *)
+  let ratio ~pull =
+    let engine, protos, counts =
+      gossip_world ~pull ~n:60 ~fanout:2 ~seed:23 ~loss:0.35 ()
+    in
+    for i = 1 to 5 do
+      Gossip.bcast protos.(i) (Printf.sprintf "e%d" i)
+    done;
+    Engine.run ~until:100_000 engine;
+    Array.iter Gossip.stop protos;
+    Engine.run engine;
+    float_of_int (Array.fold_left ( + ) 0 counts) /. float_of_int (60 * 5)
+  in
+  let with_pull = ratio ~pull:true and without = ratio ~pull:false in
+  Alcotest.(check bool)
+    (Printf.sprintf "pull (%.2f) >= push-only (%.2f)" with_pull without)
+    true
+    (with_pull >= without)
+
+let test_gossip_bounded_state () =
+  let engine, protos, _ = gossip_world ~n:30 ~fanout:3 ~seed:31 ~loss:0. () in
+  for i = 0 to 29 do
+    Gossip.bcast protos.(i) (Printf.sprintf "e%d" i)
+  done;
+  Engine.run ~until:100_000 engine;
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "view bounded" true
+        (List.length (Gossip.view p) <= Gossip.default_config.Gossip.view_size))
+    protos;
+  Array.iter Gossip.stop protos;
+  Engine.run engine
+
+(* --- property-style protocol tests ------------------------------------ *)
+
+let prop_total_prefix_agreement () =
+  (* Under loss and jitter, all nodes that deliver agree on a single
+     total order: each node's delivery sequence is a prefix-closed
+     subsequence of the longest one, in identical order. *)
+  List.iter
+    (fun seed ->
+      let w =
+        make_world ~n:6 ~seed
+          ~config:{ latency = 800; jitter = 700; loss = 0.1 }
+          (fun g ~me ~deliver -> Total.attach g ~me ~name:"pt" ~deliver)
+      in
+      for i = 1 to 25 do
+        Total.bcast w.protos.(i mod 6) (Printf.sprintf "m%d" i)
+      done;
+      Engine.run ~until:5_000_000 w.engine;
+      let sequences = Array.to_list (Array.mapi (fun i _ -> payloads w i) w.nodes) in
+      let longest =
+        List.fold_left
+          (fun acc s -> if List.length s > List.length acc then s else acc)
+          [] sequences
+      in
+      List.iteri
+        (fun i s ->
+          let rec is_prefix a b =
+            match a, b with
+            | [], _ -> true
+            | x :: xs, y :: ys when x = y -> is_prefix xs ys
+            | _ -> false
+          in
+          if not (is_prefix s longest) then
+            Alcotest.failf "seed %d node %d: order disagrees" seed i)
+        sequences)
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_causal_chain () =
+  (* A three-link causal chain across different nodes: every node must
+     deliver links in chain order, for several seeds. *)
+  List.iter
+    (fun seed ->
+      let engine = Engine.create ~seed () in
+      let net =
+        Net.create ~config:{ Net.default_config with jitter = 950 } engine
+      in
+      let nodes = Array.init 5 (fun _ -> Net.add_node net) in
+      let group = Membership.create net (Array.to_list nodes) in
+      let logs = Array.init 5 (fun _ -> ref []) in
+      let protos = Array.make 5 None in
+      Array.iteri
+        (fun i me ->
+          let deliver ~origin:_ payload =
+            logs.(i) := payload :: !(logs.(i));
+            (match i, payload with
+            | 1, "link0" -> (
+                match protos.(1) with
+                | Some p -> Causal.bcast p "link1"
+                | None -> ())
+            | 2, "link1" -> (
+                match protos.(2) with
+                | Some p -> Causal.bcast p "link2"
+                | None -> ())
+            | _ -> ())
+          in
+          protos.(i) <- Some (Causal.attach group ~me ~name:"pc" ~deliver))
+        nodes;
+      (match protos.(0) with Some p -> Causal.bcast p "link0" | None -> ());
+      Engine.run engine;
+      Array.iteri
+        (fun i l ->
+          let seq = List.rev !l in
+          let pos x =
+            let rec go k = function
+              | [] -> -1
+              | y :: _ when y = x -> k
+              | _ :: rest -> go (k + 1) rest
+            in
+            go 0 seq
+          in
+          if not (pos "link0" < pos "link1" && pos "link1" < pos "link2") then
+            Alcotest.failf "seed %d node %d: causal chain broken (%s)" seed i
+              (String.concat "," seq))
+        logs)
+    [ 11; 12; 13; 14 ]
+
+let prop_certified_random_crashes () =
+  (* Failure injection: random subscriber crash/recovery windows while
+     a publisher streams certified messages; after recovery + resume,
+     everyone has delivered everything, in per-publisher order. *)
+  List.iter
+    (fun seed ->
+      let stores = Array.init 4 (fun _ -> Stable.create ()) in
+      let idx = ref 0 in
+      let w =
+        make_world ~n:4 ~seed
+          ~config:{ Net.default_config with loss = 0.1 }
+          (fun g ~me ~deliver ->
+            let storage = stores.(!idx) in
+            incr idx;
+            Certified.attach g ~me ~name:"pcr" ~storage ~retry_period:3000
+              ~deliver ())
+      in
+      let rng = Tpbs_sim.Rng.create (seed * 7) in
+      (* Publisher 0 streams; nodes 1..3 crash and recover at random
+         times inside the stream window. *)
+      for i = 1 to 12 do
+        Engine.schedule w.engine ~delay:(i * 4000) (fun () ->
+            Certified.bcast w.protos.(0) (Printf.sprintf "c%d" i))
+      done;
+      for node = 1 to 3 do
+        let down_at = 2000 + Tpbs_sim.Rng.int rng 40_000 in
+        let up_after = 5_000 + Tpbs_sim.Rng.int rng 30_000 in
+        Engine.schedule w.engine ~delay:down_at (fun () ->
+            Net.crash w.net w.nodes.(node));
+        Engine.schedule w.engine ~delay:(down_at + up_after) (fun () ->
+            Net.recover w.net w.nodes.(node);
+            Certified.resume w.protos.(node))
+      done;
+      Engine.run ~until:3_000_000 w.engine;
+      let expect = List.init 12 (fun i -> Printf.sprintf "c%d" (i + 1)) in
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed %d node %d delivered all in order" seed i)
+            expect (payloads w i))
+        w.nodes)
+    [ 21; 22; 23 ]
+
+let prop_fifo_under_loss () =
+  (* Flooding redundancy masks iid loss with high probability once the
+     group is large enough (n-1 independent copies per message). *)
+  List.iter
+    (fun seed ->
+      let w =
+        make_world ~n:6 ~seed
+          ~config:{ latency = 800; jitter = 700; loss = 0.15 }
+          (fun g ~me ~deliver -> Fifo.attach g ~me ~name:"pf" ~deliver)
+      in
+      for i = 1 to 15 do
+        Fifo.bcast w.protos.(0) (string_of_int i)
+      done;
+      Engine.run w.engine;
+      let expect = List.init 15 (fun i -> string_of_int (i + 1)) in
+      Array.iteri
+        (fun i _ ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "seed %d node %d fifo+loss" seed i)
+            expect (payloads w i))
+        w.nodes)
+    [ 31; 32; 33 ]
+
+let suite =
+  ( "group",
+    [ Alcotest.test_case "vclock: ops" `Quick test_vclock_ops;
+      Alcotest.test_case "vclock: CBCAST condition" `Quick
+        test_vclock_deliverable;
+      Alcotest.test_case "vclock: wire roundtrip" `Quick test_vclock_wire;
+      Alcotest.test_case "membership" `Quick test_membership;
+      Alcotest.test_case "best-effort: all deliver" `Quick
+        test_best_effort_all_deliver;
+      Alcotest.test_case "best-effort: lossy" `Quick test_best_effort_lossy;
+      Alcotest.test_case "rbcast: exactly-once delivery" `Quick
+        test_rbcast_all_deliver_once;
+      Alcotest.test_case "rbcast: masks loss" `Quick test_rbcast_masks_loss;
+      Alcotest.test_case "rbcast: publisher crash" `Quick
+        test_rbcast_survives_publisher_crash_after_first_send;
+      Alcotest.test_case "fifo: publisher order" `Quick
+        test_fifo_publisher_order;
+      Alcotest.test_case "fifo: interleaved publishers" `Quick
+        test_fifo_interleaved_publishers;
+      Alcotest.test_case "causal: happens-before respected" `Quick
+        test_causal_happens_before;
+      Alcotest.test_case "causal: implies fifo" `Quick test_causal_implies_fifo;
+      Alcotest.test_case "total: agreement" `Quick test_total_agreement;
+      Alcotest.test_case "total+causal: agreement and causality" `Quick
+        test_total_causal_agreement_and_causality;
+      Alcotest.test_case "certified: basic" `Quick test_certified_basic;
+      Alcotest.test_case "certified: retransmits through loss" `Quick
+        test_certified_retransmits_through_loss;
+      Alcotest.test_case "certified: subscriber crash recovery" `Quick
+        test_certified_subscriber_crash_recovery;
+      Alcotest.test_case "certified: publisher crash recovery" `Quick
+        test_certified_publisher_crash_recovery;
+      Alcotest.test_case "gossip: high fanout reaches almost all" `Quick
+        test_gossip_high_fanout_reaches_almost_all;
+      Alcotest.test_case "gossip: fanout matters" `Quick
+        test_gossip_fanout_matters;
+      Alcotest.test_case "gossip: pull improves delivery" `Quick
+        test_gossip_pull_improves_delivery;
+      Alcotest.test_case "gossip: bounded state" `Quick
+        test_gossip_bounded_state;
+      Alcotest.test_case "property: total-order prefix agreement" `Quick
+        prop_total_prefix_agreement;
+      Alcotest.test_case "property: causal chains across nodes" `Quick
+        prop_causal_chain;
+      Alcotest.test_case "property: certified with random crashes" `Quick
+        prop_certified_random_crashes;
+      Alcotest.test_case "property: fifo under loss" `Quick
+        prop_fifo_under_loss ] )

@@ -1,0 +1,167 @@
+open Helpers
+
+let check_raises_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_obvent")
+  | exception Obvent.Invalid_obvent _ -> ()
+
+let test_make_and_getters () =
+  let reg = stock_registry () in
+  let q = quote reg () in
+  Alcotest.(check string) "class" "StockQuote" (Obvent.cls q);
+  Alcotest.check value_testable "company" (Value.Str "Telco Mobiles")
+    (Obvent.get q "company");
+  Alcotest.check value_testable "getPrice()" (Value.Float 80.)
+    (Obvent.invoke reg q "getPrice");
+  Alcotest.check value_testable "getAmount()" (Value.Int 10)
+    (Obvent.invoke reg q "getAmount")
+
+let test_field_order_normalized () =
+  let reg = stock_registry () in
+  let a =
+    Obvent.make reg "StockQuote"
+      [ "amount", Value.Int 1; "price", Value.Float 2.; "company", Value.Str "X" ]
+  and b =
+    Obvent.make reg "StockQuote"
+      [ "company", Value.Str "X"; "price", Value.Float 2.; "amount", Value.Int 1 ]
+  in
+  Alcotest.(check bool) "same content regardless of field order" true
+    (Obvent.equal_content a b)
+
+let test_validation_errors () =
+  let reg = stock_registry () in
+  check_raises_invalid "unknown class" (fun () ->
+      Obvent.make reg "Nope" []);
+  check_raises_invalid "interface not instantiable" (fun () ->
+      Obvent.make reg "Obvent" []);
+  check_raises_invalid "missing attribute" (fun () ->
+      Obvent.make reg "StockQuote" [ "company", Value.Str "X" ]);
+  check_raises_invalid "mistyped attribute" (fun () ->
+      Obvent.make reg "StockQuote"
+        [ "company", Value.Str "X"; "price", Value.Str "80";
+          "amount", Value.Int 1 ]);
+  check_raises_invalid "extra field" (fun () ->
+      Obvent.make reg "StockQuote"
+        [ "company", Value.Str "X"; "price", Value.Float 1.;
+          "amount", Value.Int 1; "extra", Value.Int 0 ]);
+  let reg2 = Registry.create () in
+  Registry.declare_class reg2 ~name:"Plain" ~attrs:[] ();
+  check_raises_invalid "not an obvent type" (fun () ->
+      ignore (Obvent.make reg2 "Plain" []))
+
+let test_serialization_roundtrip () =
+  let reg = stock_registry () in
+  let q = quote reg ~company:"Acme" ~price:12.5 ~amount:3 () in
+  let q' = Obvent.deserialize reg (Obvent.serialize q) in
+  Alcotest.(check bool) "content preserved" true (Obvent.equal_content q q');
+  Alcotest.(check bool) "fresh uid" true (Obvent.uid q <> Obvent.uid q')
+
+let test_clone_uniqueness () =
+  (* Obvent Local Uniqueness (§2.1.2): each notifiable gets its own copy. *)
+  let reg = stock_registry () in
+  let original = quote reg () in
+  let copy1 = Obvent.clone reg original in
+  let copy2 = Obvent.clone reg original in
+  Alcotest.(check bool) "distinct uids" true
+    (Obvent.uid copy1 <> Obvent.uid copy2
+    && Obvent.uid copy1 <> Obvent.uid original);
+  Alcotest.(check bool) "equal content" true (Obvent.equal_content copy1 copy2)
+
+let test_instance_of () =
+  let reg = stock_registry () in
+  let spot =
+    Obvent.make reg "SpotPrice"
+      [ "company", Value.Str "T"; "price", Value.Float 1.; "amount", Value.Int 1 ]
+  in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) ("instance of " ^ t) true
+        (Obvent.instance_of reg spot t))
+    [ "SpotPrice"; "StockRequest"; "StockObvent"; "Obvent" ];
+  Alcotest.(check bool) "not a quote" false
+    (Obvent.instance_of reg spot "StockQuote")
+
+let test_invoke_rejects_unknown () =
+  let reg = stock_registry () in
+  let q = quote reg () in
+  check_raises_invalid "unknown method" (fun () ->
+      Obvent.invoke reg q "getNope")
+
+let test_deserialize_rejects_garbage () =
+  let reg = stock_registry () in
+  check_raises_invalid "garbage bytes" (fun () ->
+      Obvent.deserialize reg "\xff\xff");
+  (* A well-formed value that is not a conforming obvent. *)
+  check_raises_invalid "non-obvent value" (fun () ->
+      Obvent.deserialize reg (Tpbs_serial.Codec.encode (Value.Int 3)));
+  check_raises_invalid "unknown class payload" (fun () ->
+      Obvent.deserialize reg
+        (Tpbs_serial.Codec.encode (Value.obj "Mystery" [])))
+
+let test_qos_helpers () =
+  let reg = stock_registry () in
+  Registry.declare_class reg ~name:"UrgentQuote" ~extends:"StockQuote"
+    ~implements:[ "Prioritary"; "Timely" ]
+    ~attrs:
+      [ "priority", Vtype.Tint; "timeToLive", Vtype.Tint; "birth", Vtype.Tint ]
+    ();
+  let u =
+    Obvent.make reg "UrgentQuote"
+      [ "company", Value.Str "T"; "price", Value.Float 1.;
+        "amount", Value.Int 1; "priority", Value.Int 7;
+        "timeToLive", Value.Int 500; "birth", Value.Int 42 ]
+  in
+  Alcotest.(check int) "priority" 7 (Obvent.priority reg u);
+  Alcotest.(check (option int)) "ttl" (Some 500) (Obvent.time_to_live reg u);
+  Alcotest.(check (option int)) "birth" (Some 42) (Obvent.birth reg u);
+  let q = quote reg () in
+  Alcotest.(check int) "default priority" 0 (Obvent.priority reg q);
+  Alcotest.(check (option int)) "no ttl" None (Obvent.time_to_live reg q)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~name:"obvent serialize/deserialize preserves content"
+    ~count:300
+    (QCheck.make (gen_quote (stock_registry ())))
+    (fun q ->
+      let reg = stock_registry () in
+      let q' = Obvent.deserialize reg (Obvent.serialize q) in
+      Obvent.equal_content q q' && Obvent.uid q <> Obvent.uid q')
+
+let prop_conforms_iff_deserializable =
+  QCheck.Test.make
+    ~name:"registry conformance <=> obvent adoption succeeds" ~count:200
+    Helpers.arb_value
+    (fun v ->
+      let reg = stock_registry () in
+      let conforming =
+        match v with
+        | Value.Obj o ->
+            Registry.exists reg o.cls && Registry.conforms reg v o.cls
+            && Registry.is_obvent_type reg o.cls
+        | _ -> false
+      in
+      let adopted =
+        match Obvent.of_value reg v with
+        | _ -> true
+        | exception Obvent.Invalid_obvent _ -> false
+      in
+      conforming = adopted)
+
+let suite =
+  ( "obvent",
+    [ Alcotest.test_case "make and getters" `Quick test_make_and_getters;
+      Alcotest.test_case "field order normalized" `Quick
+        test_field_order_normalized;
+      Alcotest.test_case "validation errors" `Quick test_validation_errors;
+      Alcotest.test_case "serialization roundtrip" `Quick
+        test_serialization_roundtrip;
+      Alcotest.test_case "clone uniqueness (§2.1.2)" `Quick
+        test_clone_uniqueness;
+      Alcotest.test_case "instance_of over hierarchy" `Quick test_instance_of;
+      Alcotest.test_case "invoke rejects unknown methods" `Quick
+        test_invoke_rejects_unknown;
+      Alcotest.test_case "deserialize rejects garbage" `Quick
+        test_deserialize_rejects_garbage;
+      Alcotest.test_case "qos helper getters" `Quick test_qos_helpers ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_serialize_roundtrip; prop_conforms_iff_deserializable ] )

@@ -1,0 +1,451 @@
+module Pparser = Tpbs_psc.Pparser
+module Ast = Tpbs_psc.Ast
+module Compile = Tpbs_psc.Compile
+module Interp = Tpbs_psc.Interp
+module Registry = Tpbs_types.Registry
+module Rfilter = Tpbs_filter.Rfilter
+
+(* The paper's stock example, §2.3.3 / Fig. 2, as a Java_ps program. *)
+let stock_program =
+  {|
+interface StockObvent extends Obvent {
+  String getCompany();
+  double getPrice();
+  int getAmount();
+}
+
+class StockObventImpl implements StockObvent {
+  String company;
+  double price;
+  int amount;
+}
+
+class StockQuote extends StockObventImpl {}
+
+process market {
+  publish new StockQuote("Telco Mobiles", 80, 10);
+  publish new StockQuote("Acme Corp", 120, 3);
+  publish new StockQuote("Telco Fixnet", 150, 5);
+}
+
+process broker {
+  Subscription s = subscribe (StockQuote q) {
+    return q.getPrice() < 100 && q.getCompany().indexOf("Telco") != -1;
+  } {
+    print("Got offer: " + q.getCompany());
+  };
+  s.activate();
+}
+|}
+
+let test_parse_program () =
+  let program = Pparser.program_of_string stock_program in
+  Alcotest.(check int) "five declarations" 5 (List.length program);
+  match List.nth program 4 with
+  | Ast.Process { pname = "broker"; body } -> (
+      match body with
+      | [ Ast.Subscribe sub; Ast.Activate ("s", None) ] ->
+          Alcotest.(check string) "param type" "StockQuote" sub.Ast.param_type;
+          Alcotest.(check string) "formal" "q" sub.Ast.formal;
+          Alcotest.(check int) "one handler stmt" 1 (List.length sub.Ast.handler)
+      | _ -> Alcotest.fail "unexpected broker body")
+  | _ -> Alcotest.fail "expected broker process"
+
+let test_parse_roundtrip_via_pp () =
+  let program = Pparser.program_of_string stock_program in
+  let printed = Fmt.str "%a" Ast.pp_program program in
+  let reparsed = Pparser.program_of_string printed in
+  Alcotest.(check int) "same number of declarations" (List.length program)
+    (List.length reparsed)
+
+let test_compile_report () =
+  let compiled = Compile.compile_string stock_program in
+  (* Adapters for the interface and both classes (all obvent types). *)
+  Alcotest.(check int) "three adapters" 3
+    (List.length compiled.Compile.adapters);
+  (match compiled.Compile.sub_plans with
+  | [ sp ] -> (
+      Alcotest.(check string) "subscription in broker" "broker"
+        sp.Compile.sp_process;
+      match sp.Compile.sp_class with
+      | Compile.Remote_filter rf ->
+          Alcotest.(check int) "two invocation paths" 2
+            (Array.length rf.Rfilter.paths)
+      | _ -> Alcotest.fail "paper filter should lift to a RemoteFilter")
+  | _ -> Alcotest.fail "expected one subscription plan");
+  Alcotest.(check int) "three publishes" 3
+    (List.length compiled.Compile.publish_types);
+  (* The report pretty-prints without raising. *)
+  let report = Fmt.str "%a" Compile.pp_plan compiled in
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let found = ref false in
+    (try
+       for i = 0 to hn - nn do
+         if String.sub hay i nn = needle then begin
+           found := true;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !found
+  in
+  Alcotest.(check bool) "report mentions StockQuoteAdapter" true
+    (contains report "StockQuoteAdapter")
+
+let test_run_stock_program () =
+  let result = Interp.run_string ~seed:7 stock_program in
+  let texts = List.map (fun o -> o.Interp.text) result.Interp.trace in
+  Alcotest.(check (list string)) "only the matching quote printed"
+    [ "Got offer: Telco Mobiles" ] texts;
+  Alcotest.(check int) "three published" 3
+    result.Interp.stats.Tpbs_core.Pubsub.Domain.published
+
+let test_compile_errors () =
+  let reject src =
+    match Compile.compile_string src with
+    | exception Compile.Compile_error _ -> ()
+    | _ -> Alcotest.failf "accepted bad program: %s" src
+  in
+  (* Ill-typed filter: price is a double, compared to a string. *)
+  reject
+    {|
+class Q implements Obvent { double price; }
+process p {
+  Subscription s = subscribe (Q q) { q.getPrice() < "cheap" } {};
+}
+|};
+  (* Unknown type in subscription. *)
+  reject {| process p { Subscription s = subscribe (Mystery m) { true } {}; } |};
+  (* Publishing a non-obvent. *)
+  reject {| process p { publish 42; } |};
+  (* Unknown method on the formal. *)
+  reject
+    {|
+class Q implements Obvent { double price; }
+process p { Subscription s = subscribe (Q q) { q.getVolume() > 1 } {}; }
+|};
+  (* Subscription methods on a non-subscription variable. *)
+  reject
+    {|
+class Q implements Obvent { double price; }
+process p { final int x = 3; x.activate(); }
+|};
+  (* Constructor arity mismatch. *)
+  reject
+    {|
+class Q implements Obvent { double price; }
+process p { publish new Q(1, 2); }
+|};
+  (* Duplicate process names. *)
+  reject {| process p {} process p {} |}
+
+let test_captured_finals () =
+  let src =
+    {|
+class Q implements Obvent { double price; }
+process pub {
+  publish new Q(10);
+  publish new Q(99);
+}
+process sub {
+  final double limit = 50;
+  Subscription s = subscribe (Q q) { q.getPrice() < limit } {
+    print("cheap");
+  };
+  s.activate();
+}
+|}
+  in
+  let result = Interp.run_string src in
+  Alcotest.(check int) "only the cheap quote" 1
+    (List.length result.Interp.trace)
+
+let test_handler_publishes () =
+  (* A handler that republishes: the obvent-to-obvent flow of §5.3. *)
+  let src =
+    {|
+class Request implements Obvent { String what; }
+class Response implements Obvent { String what; }
+process server {
+  Subscription s = subscribe (Request r) { true } {
+    publish new Response(r.getWhat());
+  };
+  s.activate();
+}
+process client {
+  Subscription s = subscribe (Response r) { true } {
+    print("answered: " + r.getWhat());
+  };
+  s.activate();
+  publish new Request("job");
+}
+|}
+  in
+  let result = Interp.run_string src in
+  let texts = List.map (fun o -> o.Interp.text) result.Interp.trace in
+  Alcotest.(check (list string)) "request answered" [ "answered: job" ] texts
+
+let test_self_deactivation () =
+  (* §3.4.2: a subscription can cancel itself from inside its handler. *)
+  let src =
+    {|
+class Ping implements Obvent { int n; }
+process pub {
+  publish new Ping(1);
+  publish new Ping(2);
+  publish new Ping(3);
+}
+process sub {
+  Subscription s = subscribe (Ping p) { true } {
+    print("got one");
+    s.deactivate();
+  };
+  s.activate();
+}
+|}
+  in
+  let result = Interp.run_string ~seed:3 src in
+  Alcotest.(check int) "only the first delivery" 1
+    (List.length result.Interp.trace)
+
+let test_durable_activation_syntax () =
+  let src =
+    {|
+class CQ implements Certified { int n; }
+process pub { publish new CQ(7); }
+process sub {
+  Subscription s = subscribe (CQ q) { true } { print("certified"); };
+  s.activate(42);
+}
+|}
+  in
+  let result = Interp.run_string src in
+  Alcotest.(check int) "delivered over certified channel" 1
+    (List.length result.Interp.trace)
+
+let test_local_filter_classification () =
+  (* A filter observing an object-typed captured variable must be kept
+     local (§3.3.4). We cannot express that via `final` of object type
+     in the mini language easily — instead use a variable-free filter
+     known to be non-liftable: arithmetic between two paths. *)
+  let src =
+    {|
+class Q implements Obvent { double price; int amount; }
+process p {
+  Subscription s = subscribe (Q q) { q.getPrice() * q.getAmount() > 100 } {};
+}
+|}
+  in
+  let compiled = Compile.compile_string src in
+  match compiled.Compile.sub_plans with
+  | [ sp ] -> (
+      match sp.Compile.sp_class with
+      | Compile.Mobile_tree -> ()
+      | _ -> Alcotest.fail "expected mobile expression tree")
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_broker_run () =
+  let result = Interp.run_string ~broker:true stock_program in
+  let texts = List.map (fun o -> o.Interp.text) result.Interp.trace in
+  Alcotest.(check (list string)) "same behaviour through the broker"
+    [ "Got offer: Telco Mobiles" ] texts;
+  Alcotest.(check bool) "events transited the broker" true
+    (result.Interp.stats.Tpbs_core.Pubsub.Domain.broker_events = 3)
+
+let test_if_statements () =
+  let src =
+    {|
+class Q implements Obvent { String company; double price; }
+process market {
+  publish new Q("Telco", 80);
+  publish new Q("Acme", 80);
+}
+process desk {
+  Subscription s = subscribe (Q q) { true } {
+    if (q.getCompany().startsWith("Telco")) {
+      print("telco: " + q.getCompany());
+    } else {
+      print("other: " + q.getCompany());
+    }
+    if (q.getPrice() < 100) { print("cheap"); }
+  };
+  s.activate();
+}
+|}
+  in
+  let result = Interp.run_string ~seed:2 src in
+  let texts =
+    List.sort String.compare (List.map (fun o -> o.Interp.text) result.Interp.trace)
+  in
+  Alcotest.(check (list string)) "branches taken correctly"
+    [ "cheap"; "cheap"; "other: Acme"; "telco: Telco" ]
+    texts
+
+let test_if_requires_boolean () =
+  match
+    Compile.compile_string
+      {|
+class Q implements Obvent { double price; }
+process p { if (3) { print("no"); } }
+|}
+  with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "non-boolean if condition accepted"
+
+let test_if_bindings_do_not_escape () =
+  match
+    Compile.compile_string
+      {|
+class Q implements Obvent { double price; }
+process p {
+  if (true) { final int x = 1; }
+  print(x);
+}
+|}
+  with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "branch-local binding escaped"
+
+let test_thread_policy_statements () =
+  let src =
+    {|
+class Job implements Obvent { int n; }
+process pub {
+  publish new Job(1);
+  publish new Job(2);
+  publish new Job(3);
+}
+process worker {
+  Subscription s = subscribe (Job j) { true } { print("job"); };
+  s.setSingleThreading();
+  s.activate();
+  Subscription m = subscribe (Job j) { true } { print("job2"); };
+  m.setMultiThreading(2);
+  m.activate();
+}
+|}
+  in
+  let result = Interp.run_string src in
+  Alcotest.(check int) "both subscriptions delivered everything" 6
+    (List.length result.Interp.trace)
+
+let test_if_pp_roundtrip () =
+  let src =
+    {|
+class Q implements Obvent { double price; }
+process p {
+  if (true) { print("a"); } else { print("b"); }
+  Subscription s = subscribe (Q q) { q.getPrice() < 10 } {
+    if (q.getPrice() < 5) { print("tiny"); }
+  };
+  s.activate();
+}
+|}
+  in
+  let program = Pparser.program_of_string src in
+  let printed = Fmt.str "%a" Tpbs_psc.Ast.pp_program program in
+  let reparsed = Pparser.program_of_string printed in
+  (* Reprinting the reparsed program must be a fixpoint. *)
+  Alcotest.(check string) "pp/parse/pp fixpoint" printed
+    (Fmt.str "%a" Tpbs_psc.Ast.pp_program reparsed)
+
+let test_parse_error_positions () =
+  match Pparser.program_of_string "process p { publish ; }" with
+  | exception Pparser.Parse_error (pos, _) ->
+      Alcotest.(check int) "error on line 1" 1 pos.Tpbs_filter.Lexer.line
+  | _ -> Alcotest.fail "bad program accepted"
+
+let test_empty_program () =
+  Alcotest.(check int) "empty program compiles" 0
+    (List.length (Compile.compile_string "").Compile.sub_plans)
+
+module Edl = Tpbs_psc.Edl
+
+let test_edl_roundtrip () =
+  (* §5.6: export the stock lattice as an EDL schema, import on a
+     "different node", get an equivalent registry. *)
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"StockObvent" ~implements:[ "Obvent" ]
+    ~attrs:
+      [ "company", Tpbs_types.Vtype.Tstring; "price", Tpbs_types.Vtype.Tfloat;
+        "amount", Tpbs_types.Vtype.Tint ]
+    ();
+  Registry.declare_class reg ~name:"StockQuote" ~extends:"StockObvent" ();
+  Registry.declare_interface reg ~name:"Urgent"
+    ~extends:[ "Prioritary"; "Timely" ]
+    ();
+  Registry.declare_class reg ~name:"UrgentQuote" ~extends:"StockQuote"
+    ~implements:[ "Urgent" ]
+    ~attrs:
+      [ "priority", Tpbs_types.Vtype.Tint;
+        "timeToLive", Tpbs_types.Vtype.Tint; "birth", Tpbs_types.Vtype.Tint ]
+    ();
+  let schema = Edl.export reg in
+  let imported = Edl.import schema in
+  Alcotest.(check bool) "equivalent after roundtrip" true
+    (Edl.equivalent reg imported);
+  (* Double roundtrip is a fixpoint. *)
+  Alcotest.(check string) "schema fixpoint" schema (Edl.export imported)
+
+let test_edl_rejects_remote_attributes () =
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"LinkedQuote" ~implements:[ "Obvent" ]
+    ~attrs:[ "market", Tpbs_types.Vtype.Tremote "StockMarket" ]
+    ();
+  match Edl.export reg with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "remote attribute exported"
+
+let test_edl_rejects_processes () =
+  match Edl.import "process p { }" with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "EDL accepted a process block"
+
+let test_edl_import_into_conflicts () =
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"Q" ~implements:[ "Obvent" ] ();
+  match Edl.import_into reg "class Q implements Obvent { }" with
+  | exception Compile.Compile_error _ -> ()
+  | _ -> Alcotest.fail "conflicting import accepted"
+
+let suite =
+  ( "psc",
+    [ Alcotest.test_case "parse the stock program" `Quick test_parse_program;
+      Alcotest.test_case "pp/parse roundtrip" `Quick
+        test_parse_roundtrip_via_pp;
+      Alcotest.test_case "compile report (adapters, Fig. 6)" `Quick
+        test_compile_report;
+      Alcotest.test_case "run the paper's example (§2.3.3)" `Quick
+        test_run_stock_program;
+      Alcotest.test_case "compile-time errors (LP1)" `Quick
+        test_compile_errors;
+      Alcotest.test_case "captured final variables" `Quick
+        test_captured_finals;
+      Alcotest.test_case "handler republishes (§5.3)" `Quick
+        test_handler_publishes;
+      Alcotest.test_case "self-deactivation (§3.4.2)" `Quick
+        test_self_deactivation;
+      Alcotest.test_case "durable activation syntax (§3.4.1)" `Quick
+        test_durable_activation_syntax;
+      Alcotest.test_case "filter classification (§4.4.3)" `Quick
+        test_local_filter_classification;
+      Alcotest.test_case "run through the broker" `Quick test_broker_run;
+      Alcotest.test_case "if statements" `Quick test_if_statements;
+      Alcotest.test_case "if requires boolean" `Quick test_if_requires_boolean;
+      Alcotest.test_case "if bindings scoped" `Quick
+        test_if_bindings_do_not_escape;
+      Alcotest.test_case "thread policy statements" `Quick
+        test_thread_policy_statements;
+      Alcotest.test_case "if pp fixpoint" `Quick test_if_pp_roundtrip;
+      Alcotest.test_case "parse error positions" `Quick
+        test_parse_error_positions;
+      Alcotest.test_case "empty program" `Quick test_empty_program;
+      Alcotest.test_case "EDL: schema roundtrip (§5.6)" `Quick
+        test_edl_roundtrip;
+      Alcotest.test_case "EDL: rejects process blocks" `Quick
+        test_edl_rejects_processes;
+      Alcotest.test_case "EDL: rejects remote attributes" `Quick
+        test_edl_rejects_remote_attributes;
+      Alcotest.test_case "EDL: import conflicts" `Quick
+        test_edl_import_into_conflicts ] )

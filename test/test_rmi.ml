@@ -1,0 +1,187 @@
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Value = Tpbs_serial.Value
+module Rmi = Tpbs_rmi.Rmi
+module Nameserver = Tpbs_rmi.Nameserver
+
+let setup ?dgc ?call_timeout ?(n = 3) () =
+  let engine = Engine.create ~seed:42 () in
+  let net = Net.create engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let runtimes =
+    Array.map (fun me -> Rmi.attach ?dgc ?call_timeout net ~me) nodes
+  in
+  engine, net, nodes, runtimes
+
+let echo_handler ~meth ~args : Value.t =
+  match meth, args with
+  | "echo", [ v ] -> v
+  | "add", [ Value.Int a; Value.Int b ] -> Value.Int (a + b)
+  | "boom", _ -> raise (Rmi.App_error "kaboom")
+  | _ -> raise (Rmi.App_error ("no such method " ^ meth))
+
+let test_invoke_roundtrip () =
+  let engine, _net, _nodes, rts = setup () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  let result = ref None in
+  Rmi.invoke rts.(1) obj ~meth:"add" ~args:[ Value.Int 2; Value.Int 40 ]
+    ~k:(fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Ok (Value.Int 42)) -> ()
+  | other ->
+      Alcotest.failf "unexpected result %a"
+        Fmt.(
+          Dump.option (fun ppf -> function
+            | Ok v -> Fmt.pf ppf "Ok %a" Value.pp v
+            | Error e -> Fmt.pf ppf "Error %a" Rmi.pp_error e))
+        other
+
+let test_remote_exception () =
+  let engine, _net, _nodes, rts = setup () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  let result = ref None in
+  Rmi.invoke rts.(1) obj ~meth:"boom" ~args:[] ~k:(fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Error (Rmi.Remote_exception "kaboom")) -> ()
+  | _ -> Alcotest.fail "expected remote exception"
+
+let test_unknown_object () =
+  let engine, _net, _nodes, rts = setup () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  Rmi.unexport rts.(0) obj;
+  let result = ref None in
+  Rmi.invoke rts.(1) obj ~meth:"echo" ~args:[ Value.Null ]
+    ~k:(fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Error Rmi.Unknown_object) -> ()
+  | _ -> Alcotest.fail "expected unknown object"
+
+let test_timeout_on_crashed_host () =
+  let engine, net, nodes, rts = setup ~call_timeout:10_000 () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  Net.crash net nodes.(0);
+  let result = ref None in
+  Rmi.invoke rts.(1) obj ~meth:"echo" ~args:[ Value.Int 1 ]
+    ~k:(fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Error Rmi.Timeout) -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let test_invoke_non_remote () =
+  let engine, _net, _nodes, rts = setup () in
+  let result = ref None in
+  Rmi.invoke rts.(0) (Value.Int 3) ~meth:"echo" ~args:[]
+    ~k:(fun r -> result := Some r);
+  Engine.run engine;
+  match !result with
+  | Some (Error Rmi.Bad_reply) -> ()
+  | _ -> Alcotest.fail "expected bad reply for non-remote reference"
+
+let test_nameserver () =
+  let engine, _net, _nodes, rts = setup () in
+  let ns = Nameserver.host rts.(0) in
+  let registry = Nameserver.reference ns in
+  let obj = Rmi.export rts.(1) ~iface:"StockMarket" echo_handler in
+  let bound = ref false and looked = ref None and dup = ref None in
+  Nameserver.bind rts.(1) ~registry ~name:"market" obj ~k:(fun r ->
+      bound := r = Ok ();
+      (* Duplicate bind must fail. *)
+      Nameserver.bind rts.(1) ~registry ~name:"market" obj ~k:(fun r ->
+          dup := Some r);
+      Nameserver.lookup rts.(2) ~registry ~name:"market" ~k:(fun r ->
+          looked := Some r));
+  Engine.run engine;
+  Alcotest.(check bool) "bound" true !bound;
+  (match !dup with
+  | Some (Error (Rmi.Remote_exception _)) -> ()
+  | _ -> Alcotest.fail "duplicate bind accepted");
+  (match !looked with
+  | Some (Ok v) ->
+      Alcotest.(check bool) "lookup returns the reference" true
+        (Value.equal v obj)
+  | _ -> Alcotest.fail "lookup failed");
+  let missing = ref None in
+  Nameserver.lookup rts.(2) ~registry ~name:"nope" ~k:(fun r ->
+      missing := Some r);
+  Engine.run engine;
+  match !missing with
+  | Some (Error (Rmi.Remote_exception _)) -> ()
+  | _ -> Alcotest.fail "unknown name should fail"
+
+let test_dgc_strict_counts () =
+  let engine, _net, _nodes, rts = setup () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  Alcotest.(check int) "initially collectable" 1 (Rmi.collectable rts.(0));
+  Rmi.adopt_proxy rts.(1) obj;
+  Rmi.adopt_proxy rts.(1) obj;
+  (* idempotent *)
+  Rmi.adopt_proxy rts.(2) obj;
+  Engine.run engine;
+  Alcotest.(check int) "pinned by two holders" 1 (Rmi.pinned rts.(0));
+  Rmi.release_proxy rts.(1) obj;
+  Engine.run engine;
+  Alcotest.(check int) "still pinned by one" 1 (Rmi.pinned rts.(0));
+  Rmi.release_proxy rts.(2) obj;
+  Engine.run engine;
+  Alcotest.(check int) "collectable after all released" 1
+    (Rmi.collectable rts.(0));
+  Alcotest.(check int) "nothing pinned" 0 (Rmi.pinned rts.(0))
+
+let test_dgc_strict_crashed_holder_pins_forever () =
+  (* The §5.4.2 caveat: a crashed subscriber's proxy is never
+     released, so the remote object can never be collected. *)
+  let engine, net, nodes, rts = setup () in
+  let obj = Rmi.export rts.(0) ~iface:"StockMarket" echo_handler in
+  Rmi.adopt_proxy rts.(1) obj;
+  Engine.run engine;
+  Net.crash net nodes.(1);
+  (* An arbitrarily long time passes. *)
+  Engine.schedule engine ~delay:10_000_000 (fun () -> ());
+  Engine.run engine;
+  Rmi.run_dgc rts.(0);
+  Alcotest.(check int) "object pinned forever under strict DGC" 1
+    (Rmi.pinned rts.(0))
+
+let test_dgc_lease_reclaims_after_crash () =
+  let engine, net, nodes, _ = setup () in
+  (* Re-attach with lease mode. *)
+  ignore nodes;
+  let net2 = net in
+  let rts =
+    Array.map
+      (fun me -> Rmi.attach ~dgc:(Rmi.Lease 20_000) net2 ~me)
+      nodes
+  in
+  let obj = Rmi.export rts.(0) ~iface:"StockMarket" echo_handler in
+  Rmi.adopt_proxy rts.(1) obj;
+  Engine.run ~until:(Engine.now engine + 50_000) engine;
+  Alcotest.(check int) "pinned while holder alive and renewing" 1
+    (Rmi.pinned rts.(0));
+  Net.crash net nodes.(1);
+  Engine.run ~until:(Engine.now engine + 100_000) engine;
+  Alcotest.(check int) "lease expired after holder crash" 1
+    (Rmi.collectable rts.(0));
+  (* Stop the DGC timers so the suite terminates. *)
+  Net.crash net nodes.(0);
+  Net.crash net nodes.(2);
+  Engine.run engine
+
+let suite =
+  ( "rmi",
+    [ Alcotest.test_case "invoke roundtrip" `Quick test_invoke_roundtrip;
+      Alcotest.test_case "remote exception" `Quick test_remote_exception;
+      Alcotest.test_case "unknown object" `Quick test_unknown_object;
+      Alcotest.test_case "timeout on crashed host" `Quick
+        test_timeout_on_crashed_host;
+      Alcotest.test_case "invoke on non-remote value" `Quick
+        test_invoke_non_remote;
+      Alcotest.test_case "nameserver bind/lookup" `Quick test_nameserver;
+      Alcotest.test_case "dgc strict: counts" `Quick test_dgc_strict_counts;
+      Alcotest.test_case "dgc strict: crashed holder pins (§5.4.2)" `Quick
+        test_dgc_strict_crashed_holder_pins_forever;
+      Alcotest.test_case "dgc lease: reclaims after crash" `Quick
+        test_dgc_lease_reclaims_after_crash ] )

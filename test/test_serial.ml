@@ -1,0 +1,185 @@
+open Helpers
+module Wire = Tpbs_serial.Wire
+module Codec = Tpbs_serial.Codec
+
+let test_varint_examples () =
+  List.iter
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" n) n (Wire.Reader.varint r))
+    [ 0; 1; 127; 128; 300; 16384; 1 lsl 30; max_int ]
+
+let test_varint_negative_rejected () =
+  let w = Wire.Writer.create () in
+  Alcotest.check_raises "negative varint"
+    (Invalid_argument "Wire.Writer.varint: negative") (fun () ->
+      Wire.Writer.varint w (-1))
+
+let test_zigzag_examples () =
+  List.iter
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.zigzag w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Alcotest.(check int) (Printf.sprintf "zigzag %d" n) n (Wire.Reader.zigzag r))
+    [ 0; -1; 1; -64; 64; min_int / 2; max_int / 2 ]
+
+let test_mixed_stream () =
+  let w = Wire.Writer.create () in
+  Wire.Writer.bool w true;
+  Wire.Writer.string w "hello";
+  Wire.Writer.f64 w 3.25;
+  Wire.Writer.zigzag w (-42);
+  let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+  Alcotest.(check bool) "bool" true (Wire.Reader.bool r);
+  Alcotest.(check string) "string" "hello" (Wire.Reader.string r);
+  Alcotest.(check (float 0.)) "f64" 3.25 (Wire.Reader.f64 r);
+  Alcotest.(check int) "zigzag" (-42) (Wire.Reader.zigzag r);
+  Alcotest.(check bool) "at_end" true (Wire.Reader.at_end r)
+
+let test_truncated_read () =
+  let r = Wire.Reader.of_string "\x05ab" in
+  Alcotest.check_raises "truncated string" (Wire.Truncated "raw") (fun () ->
+      ignore (Wire.Reader.string r))
+
+let test_varint_overlong_rejected () =
+  (* Ten continuation bytes exceed a 63-bit integer. *)
+  let r = Wire.Reader.of_string "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01" in
+  match Wire.Reader.varint r with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "overlong varint accepted"
+
+let test_crc32_known () =
+  (* Standard check value for "123456789". *)
+  Alcotest.(check int32) "crc32" 0xCBF43926l (Wire.crc32 "123456789");
+  Alcotest.(check int32) "crc32 empty" 0l (Wire.crc32 "")
+
+let test_roundtrip_examples () =
+  let samples : Tpbs_serial.Value.t list =
+    [ Null; Bool true; Bool false; Int 0; Int (-1); Int max_int;
+      Float 3.1415; Float nan; Float infinity; Str ""; Str "héllo\nworld";
+      List []; List [ Int 1; Str "a"; Null ];
+      Value.obj "StockQuote"
+        [ "company", Str "Telco"; "price", Float 80.; "amount", Int 10 ];
+      Remote { iface = "StockMarket"; node_id = 3; object_id = 17 };
+      List [ Value.obj "A" [ "x", List [ Value.obj "B" [] ] ] ] ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.check value_testable (Value.to_string v) v
+        (Codec.decode (Codec.encode v)))
+    samples
+
+let test_decode_garbage () =
+  Alcotest.check_raises "unknown tag" (Codec.Decode_error "unknown tag 200")
+    (fun () -> ignore (Codec.decode "\xc8"));
+  (match Codec.decode "" with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "empty input should fail");
+  match Codec.decode (Codec.encode (Int 5) ^ "x") with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes should fail"
+
+let test_clone_fresh () =
+  let v =
+    Value.obj "StockQuote" [ "company", Value.Str "Telco"; "xs", List [ Int 1 ] ]
+  in
+  let c = Codec.clone v in
+  Alcotest.check value_testable "clone equal" v c;
+  (match v, c with
+  | Obj a, Obj b -> Alcotest.(check bool) "physically fresh" false (a == b)
+  | _ -> Alcotest.fail "expected objects")
+
+let test_frame_roundtrip () =
+  let payload = Codec.encode (Value.obj "X" [ "a", Int 1 ]) in
+  Alcotest.(check string) "unframe . frame" payload
+    (Codec.unframe (Codec.frame payload))
+
+let test_frame_corruption () =
+  let f = Bytes.of_string (Codec.frame "hello world") in
+  Bytes.set f 3 'X';
+  match Codec.unframe (Bytes.to_string f) with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "corrupted frame accepted"
+
+let test_deep_nesting () =
+  let rec nest n v =
+    if n = 0 then v else nest (n - 1) (Value.List [ v ])
+  in
+  let deep = nest 200 (Value.Int 7) in
+  Alcotest.check value_testable "deep roundtrip" deep
+    (Codec.decode (Codec.encode deep));
+  Alcotest.(check int) "depth" 201 (Value.depth deep);
+  Alcotest.(check int) "weight" 201 (Value.weight deep)
+
+let test_value_weight_and_field () =
+  let v =
+    Value.obj "Q"
+      [ "a", Value.Int 1; "b", Value.List [ Value.Int 2; Value.Int 3 ] ]
+  in
+  Alcotest.(check int) "weight counts nodes" 5 (Value.weight v);
+  Alcotest.(check (option value_testable)) "field access" (Some (Value.Int 1))
+    (Value.field v "a");
+  Alcotest.(check (option value_testable)) "missing field" None
+    (Value.field v "z");
+  Alcotest.(check (option value_testable)) "field on non-object" None
+    (Value.field (Value.Int 3) "a")
+
+let test_unframe_length_lies () =
+  (* A frame whose length prefix exceeds the available bytes. *)
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w 1000;
+  Wire.Writer.raw w "short";
+  match Codec.unframe (Wire.Writer.contents w) with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "lying length accepted"
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip" ~count:500 arb_value (fun v ->
+      Value.equal v (Codec.decode (Codec.encode v)))
+
+let prop_encoded_size =
+  QCheck.Test.make ~name:"encoded_size = length of encode" ~count:200 arb_value
+    (fun v -> Codec.encoded_size v = String.length (Codec.encode v))
+
+let prop_frame =
+  QCheck.Test.make ~name:"frame roundtrip" ~count:200
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s -> String.equal s (Codec.unframe (Codec.frame s)))
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"Value.compare reflexive & consistent with equal"
+    ~count:300
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      Value.compare a a = 0
+      && Value.equal a b = (Value.compare a b = 0))
+
+let suite =
+  ( "serial",
+    [ Alcotest.test_case "varint examples" `Quick test_varint_examples;
+      Alcotest.test_case "varint rejects negatives" `Quick
+        test_varint_negative_rejected;
+      Alcotest.test_case "zigzag examples" `Quick test_zigzag_examples;
+      Alcotest.test_case "mixed wire stream" `Quick test_mixed_stream;
+      Alcotest.test_case "truncated read raises" `Quick test_truncated_read;
+      Alcotest.test_case "crc32 known vector" `Quick test_crc32_known;
+      Alcotest.test_case "overlong varint rejected" `Quick
+        test_varint_overlong_rejected;
+      Alcotest.test_case "codec roundtrip examples" `Quick
+        test_roundtrip_examples;
+      Alcotest.test_case "decode rejects garbage" `Quick test_decode_garbage;
+      Alcotest.test_case "clone is fresh" `Quick test_clone_fresh;
+      Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+      Alcotest.test_case "frame detects corruption" `Quick
+        test_frame_corruption;
+      Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+      Alcotest.test_case "value weight/field" `Quick
+        test_value_weight_and_field;
+      Alcotest.test_case "unframe rejects lying length" `Quick
+        test_unframe_length_lies ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_roundtrip; prop_encoded_size; prop_frame; prop_compare_reflexive ]
+  )
