@@ -18,6 +18,7 @@ module Registry = Tpbs_types.Registry
 module Value = Tpbs_serial.Value
 module Obvent = Tpbs_obvent.Obvent
 module Rng = Tpbs_sim.Rng
+module Routing = Tpbs_core.Routing
 module Topics = Tpbs_baselines.Topics
 module Contentps = Tpbs_baselines.Contentps
 
@@ -44,8 +45,8 @@ let run () =
   let rng = Rng.create 2025 in
   Workload.table_header
     "E1  type-based routing vs topics vs flat content (per-event match cost)"
-    [ "subs"; "type-based(us)"; "topics(us)"; "content(us)";
-      "matches/evt(type)"; "matches/evt(topic)" ];
+    [ "subs"; "type-based(us)"; "linear-scan(us)"; "topics(us)";
+      "content(us)"; "matches/evt(type)"; "matches/evt(topic)" ];
   List.iter
     (fun n ->
       (* Subscription populations with identical intent. *)
@@ -81,6 +82,17 @@ let run () =
       let events =
         Array.init 200 (fun _ -> Workload.random_event reg rng ())
       in
+      (* (a) the engine's dispatch: per-concrete-class routing index —
+         one hash lookup per event once the class has been seen. *)
+      let route = Routing.create reg in
+      let build cls =
+        let targets = ref [] in
+        for i = Array.length sub_types - 1 downto 0 do
+          if Registry.subtype reg cls sub_types.(i) then
+            targets := i :: !targets
+        done;
+        !targets
+      in
       let type_matches = ref 0 in
       let t_type =
         Workload.time_per_op ~runs:50 (fun () ->
@@ -88,12 +100,26 @@ let run () =
             Array.iter
               (fun event ->
                 let cls = Obvent.cls event in
+                type_matches :=
+                  !type_matches + List.length (Routing.find route cls ~build))
+              events)
+      in
+      (* (a') reference: the pre-index linear scan, one subtype
+         question per subscription per event. *)
+      let scan_matches = ref 0 in
+      let t_scan =
+        Workload.time_per_op ~runs:50 (fun () ->
+            scan_matches := 0;
+            Array.iter
+              (fun event ->
+                let cls = Obvent.cls event in
                 Array.iter
                   (fun tname ->
-                    if Registry.subtype reg cls tname then incr type_matches)
+                    if Registry.subtype reg cls tname then incr scan_matches)
                   sub_types)
               events)
       in
+      assert (!type_matches = !scan_matches);
       let topic_matches = ref 0 in
       let t_topic =
         Workload.time_per_op ~runs:50 (fun () ->
@@ -116,8 +142,9 @@ let run () =
               events)
       in
       let per_event seconds = seconds /. 200. *. 1e6 in
-      Fmt.pr "%5d  %14.3f  %10.3f  %11.3f  %17.1f  %18.1f@." n
-        (per_event t_type) (per_event t_topic) (per_event t_content)
+      Fmt.pr "%5d  %14.3f  %15.3f  %10.3f  %11.3f  %17.1f  %18.1f@." n
+        (per_event t_type) (per_event t_scan) (per_event t_topic)
+        (per_event t_content)
         (float_of_int !type_matches /. 200.)
         (float_of_int !topic_matches /. 200.))
     [ 10; 100; 1000; 5000 ];

@@ -120,10 +120,19 @@ let run_broker_scaling ~brokers =
       (fun acc st -> max acc st.Tpbs_filter.Factored.events_matched)
       0 per_broker
   in
+  let routes = Pubsub.per_broker_routing_stats domain in
+  let route_lookups =
+    List.fold_left (fun acc st -> acc + st.Tpbs_core.Routing.lookups) 0 routes
+  in
+  let route_builds =
+    List.fold_left (fun acc st -> acc + st.Tpbs_core.Routing.builds) 0 routes
+  in
   ( float_of_int (Net.stats net).Net.sent /. 100.,
     max_owned,
     max_events,
-    !delivered )
+    !delivered,
+    route_builds,
+    route_lookups )
 
 (* Third table: subscription-aware (targeted) dissemination vs plain
    broadcast, varying how many of the nodes are interested. *)
@@ -171,14 +180,14 @@ let run () =
   Workload.table_header
     "E4b  scaling the filtering hosts (40 subscribers, 100 events)"
     [ "brokers"; "msgs/evt"; "max subs/host"; "max match-work/host";
-      "deliveries" ];
+      "deliveries"; "route builds/lookups" ];
   List.iter
     (fun brokers ->
-      let msgs, max_owned, max_events, delivered =
+      let msgs, max_owned, max_events, delivered, builds, lookups =
         run_broker_scaling ~brokers
       in
-      Fmt.pr "%7d  %8.1f  %13d  %19d  %10d@." brokers msgs max_owned
-        max_events delivered)
+      Fmt.pr "%7d  %8.1f  %13d  %19d  %10d  %11d/%d@." brokers msgs max_owned
+        max_events delivered builds lookups)
     [ 1; 2; 4 ];
   Workload.table_header
     "E4c  subscription-aware (targeted) vs broadcast dissemination (50 nodes)"

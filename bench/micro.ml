@@ -12,6 +12,7 @@ module Rfilter = Tpbs_filter.Rfilter
 module Factored = Tpbs_filter.Factored
 module Vclock = Tpbs_group.Vclock
 module Rng = Tpbs_sim.Rng
+module Routing = Tpbs_core.Routing
 module Topics = Tpbs_baselines.Topics
 
 let tests () =
@@ -42,6 +43,22 @@ let tests () =
       ~topic:(Printf.sprintf "stocks/s%d" (i mod 50))
       i
   done;
+  let sub_params =
+    Array.init 1000 (fun _ ->
+        Rng.pick rng
+          [| "Obvent"; "StockObvent"; "StockRequest"; "StockQuote";
+             "SpotPrice"; "MarketPrice" |])
+  in
+  let route = Routing.create reg in
+  let route_build cls =
+    let targets = ref [] in
+    for i = Array.length sub_params - 1 downto 0 do
+      if Registry.subtype reg cls sub_params.(i) then targets := i :: !targets
+    done;
+    !targets
+  in
+  ignore (Routing.find route "SpotPrice" ~build:route_build);
+  let route_cold = Routing.create reg in
   [ Test.make ~name:"codec: encode obvent"
       (Staged.stage (fun () -> ignore (Codec.encode value)));
     Test.make ~name:"codec: decode obvent"
@@ -63,6 +80,13 @@ let tests () =
       (Staged.stage (fun () ->
            let c = Vclock.copy vc1 in
            Vclock.merge c vc2));
+    Test.make ~name:"routing: index lookup (1000 subs)"
+      (Staged.stage (fun () ->
+           ignore (Routing.find route "SpotPrice" ~build:route_build)));
+    Test.make ~name:"routing: entry build (1000 subs)"
+      (Staged.stage (fun () ->
+           Routing.clear route_cold;
+           ignore (Routing.find route_cold "SpotPrice" ~build:route_build)));
     Test.make ~name:"topics: match (1000 subs)"
       (Staged.stage (fun () -> ignore (Topics.publish topics ~topic:"stocks/s7")))
   ]

@@ -64,6 +64,8 @@ and process = {
   cert_storage : Stable.t;
   channels : (string, proto) Hashtbl.t;
   mutable subs : subscription list;
+  route : subscription Routing.t;
+      (* concrete class -> active subscriptions it routes to *)
   mutable txq : tx_entry list;
   mutable tx_armed : bool;
   mutable tx_next_seq : int;
@@ -84,6 +86,8 @@ and broker_state = {
   b_process : process;
   factored : Factored.t;
   broker_subs : (int, broker_sub) Hashtbl.t;
+  b_route : (int * broker_sub) Routing.t;
+      (* concrete class -> broker subscriptions it routes to *)
 }
 
 and domain = {
@@ -91,10 +95,10 @@ and domain = {
   net : Net.t;
   tx_interval : int;
   rng : Rng.t;
-  mutable processes : process list;  (* creation order *)
+  mutable processes : process list;  (* newest first; see processes_in_order *)
   channel_meta : (string, channel_meta) Hashtbl.t;
   gossip_overrides : (string, Gossip.config) Hashtbl.t;
-  mutable brokers : broker_state list;  (* filtering hosts, in designation order *)
+  mutable brokers : broker_state list;  (* newest first; see brokers_in_order *)
   mutable meta_enabled : bool;
   mutable targeted : bool;  (* subscription-aware best-effort dissemination *)
   mutable next_sid : int;
@@ -108,6 +112,12 @@ and domain = {
   mutable broker_events : int;
   mutable control_messages : int;
 }
+
+(* Registration prepends (constant-time); every ordered consumer goes
+   through these accessors, which restore creation/designation
+   order. *)
+let processes_in_order d = List.rev d.processes
+let brokers_in_order d = List.rev d.brokers
 
 (* --- envelopes ------------------------------------------------------- *)
 
@@ -159,7 +169,7 @@ module Domain = struct
   let registry d = d.registry
   let net d = d.net
   let engine d = Net.engine d.net
-  let nodes d = List.map (fun p -> p.node) d.processes
+  let nodes d = List.rev_map (fun p -> p.node) d.processes
 
   let enable_meta d = d.meta_enabled <- true
 
@@ -230,24 +240,20 @@ let stale d meta obvent =
   | Some birth, Some ttl -> now_of d > birth + ttl
   | _, _ -> false
 
-let deliver_to_subscription p meta ~publish_time ~obvent_bytes s =
+let deliver_clone p ~publish_time s obvent =
   let d = p.dom in
-  (* Each notifiable deserializes its own clone: Obvent Local
-     Uniqueness, §2.1.2. *)
-  match Obvent.deserialize d.registry obvent_bytes with
-  | exception Obvent.Invalid_obvent _ -> d.decode_errors <- d.decode_errors + 1
-  | obvent ->
-      if stale d meta obvent then d.expired <- d.expired + 1
-      else if Fspec.matches d.registry s.filter obvent then begin
-        s.delivered <- s.delivered + 1;
-        d.deliveries <- d.deliveries + 1;
-        Metric.record d.latency (float_of_int (now_of d - publish_time));
-        (* §5.4.2: a delivered copy containing remote references
-           creates proxies in the subscriber's address space. *)
-        adopt_proxies p obvent;
-        Dispatch.submit s.dispatch obvent
-      end
-      else d.filtered_out <- d.filtered_out + 1
+  s.delivered <- s.delivered + 1;
+  d.deliveries <- d.deliveries + 1;
+  Metric.record d.latency (float_of_int (now_of d - publish_time));
+  (* §5.4.2: a delivered copy containing remote references
+     creates proxies in the subscriber's address space. *)
+  adopt_proxies p obvent;
+  Dispatch.submit s.dispatch obvent
+
+let routed_subscriptions p cls =
+  Routing.find p.route cls ~build:(fun cls ->
+      let reg = p.dom.registry in
+      List.filter (fun s -> s.active && Registry.subtype reg cls s.param) p.subs)
 
 (* Learn interest from control traffic: every process sees the meta
    channel (it is broadcast) and updates its local routing view. *)
@@ -265,18 +271,54 @@ let learn_interest p cls obvent_bytes =
             else Hashtbl.remove p.interest (node, param)
         | _, _ -> ())
 
+(* Delivery hot path: one routing-index lookup and ONE gating
+   deserialization per event. Staleness (Timely) and filters are
+   evaluated on that single decode; only actual deliveries pay the
+   per-notifiable clone §2.1.2 mandates. The gating instance itself
+   serves as the first clone — it is a fresh deserialization,
+   physically distinct from every other copy in the system. *)
 let on_event p cls envelope =
   let d = p.dom in
   match decode_envelope envelope with
   | None -> d.decode_errors <- d.decode_errors + 1
-  | Some (publish_time, obvent_bytes) ->
+  | Some (publish_time, obvent_bytes) -> (
       learn_interest p cls obvent_bytes;
-      let meta = Hashtbl.find d.channel_meta cls in
-      List.iter
-        (fun s ->
-          if s.active && Registry.subtype d.registry cls s.param then
-            deliver_to_subscription p meta ~publish_time ~obvent_bytes s)
-        p.subs
+      match Hashtbl.find_opt d.channel_meta cls with
+      | None ->
+          (* Delivery raced channel registration: count the miss, do
+             not abort the simulation. *)
+          d.decode_errors <- d.decode_errors + 1
+      | Some meta -> (
+          match routed_subscriptions p cls with
+          | [] -> ()
+          | subs -> (
+              match Obvent.deserialize d.registry obvent_bytes with
+              | exception Obvent.Invalid_obvent _ ->
+                  d.decode_errors <- d.decode_errors + 1
+              | gate ->
+                  if stale d meta gate then
+                    (* Once per event, not once per matching
+                       subscription. *)
+                    d.expired <- d.expired + 1
+                  else
+                    let matched =
+                      List.filter
+                        (fun s ->
+                          if Fspec.matches d.registry s.filter gate then true
+                          else begin
+                            d.filtered_out <- d.filtered_out + 1;
+                            false
+                          end)
+                        subs
+                    in
+                    List.iteri
+                      (fun i s ->
+                        let clone =
+                          if i = 0 then gate
+                          else Obvent.deserialize d.registry obvent_bytes
+                        in
+                        deliver_clone p ~publish_time s clone)
+                      matched)))
 
 (* --- channels ------------------------------------------------------------ *)
 
@@ -326,15 +368,15 @@ let ensure_channel d cls =
   | None ->
       let profile = fst (Qos.of_type d.registry cls) in
       let members =
-        Membership.create d.net
-          (List.rev_map (fun p -> p.node) d.processes |> List.rev)
+        Membership.create d.net (List.rev_map (fun p -> p.node) d.processes)
       in
       let meta =
         { profile; members;
           gossip_config = Hashtbl.find_opt d.gossip_overrides cls }
       in
       Hashtbl.replace d.channel_meta cls meta;
-      List.iter (fun p -> attach_channel p cls meta) d.processes;
+      (* Creation order: attach order feeds per-process RNG draws. *)
+      List.iter (fun p -> attach_channel p cls meta) (processes_in_order d);
       meta
 
 (* --- transmission ----------------------------------------------------------- *)
@@ -373,7 +415,7 @@ let transmit p cls envelope =
         (fun b ->
           Net.send p.dom.net ~src:p.node ~dst:b.b_process.node ~port:pub_port
             (encode_routed ~cls envelope))
-        p.dom.brokers
+        (brokers_in_order p.dom)
 
 (* Egress queue for Prioritary/Timely traffic: one message per drain
    slot; higher priority overtakes, later-born timely obvents are
@@ -420,6 +462,19 @@ and arm_tx p =
 
 (* --- broker ------------------------------------------------------------------ *)
 
+(* Broker subscriptions whose param is a supertype of [cls], sid
+   ascending — memoized per concrete class, like the process-side
+   index. *)
+let broker_route d b cls =
+  Routing.find b.b_route cls ~build:(fun cls ->
+      Hashtbl.fold
+        (fun sid sub acc ->
+          if Registry.subtype d.registry cls sub.b_param then
+            (sid, sub) :: acc
+          else acc)
+        b.broker_subs []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+
 let broker_on_publish d b bytes =
   match decode_routed bytes with
   | None -> d.decode_errors <- d.decode_errors + 1
@@ -427,31 +482,32 @@ let broker_on_publish d b bytes =
       d.broker_events <- d.broker_events + 1;
       match decode_envelope envelope with
       | None -> d.decode_errors <- d.decode_errors + 1
-      | Some (_, obvent_bytes) ->
-          let value =
-            match Codec.decode obvent_bytes with
-            | v -> Some v
-            | exception Codec.Decode_error _ -> None
-          in
-          (* Factored matching once per event. *)
-          let matched_ids =
-            match value with
-            | Some v -> Factored.matches b.factored v
-            | None -> []
-          in
-          let matched_nodes = Hashtbl.create 8 in
-          Hashtbl.iter
-            (fun sid sub ->
-              if Registry.subtype d.registry cls sub.b_param then
-                if sub.b_always || List.mem sid matched_ids then
-                  Hashtbl.replace matched_nodes sub.b_node ())
-            b.broker_subs;
-          Hashtbl.iter
-            (fun node () ->
-              d.broker_forwards <- d.broker_forwards + 1;
-              Net.send d.net ~src:b.b_process.node ~dst:node ~port:del_port
-                (encode_routed ~cls envelope))
-            matched_nodes)
+      | Some (_, obvent_bytes) -> (
+          match broker_route d b cls with
+          | [] -> ()
+          | routed ->
+              (* Factored matching once per event, only when the class
+                 routes somewhere; O(1) set membership per routed
+                 subscription. *)
+              let matched_ids =
+                match Codec.decode obvent_bytes with
+                | v -> Factored.matches_set b.factored v
+                | exception Codec.Decode_error _ -> Hashtbl.create 1
+              in
+              let sent = Hashtbl.create 8 in
+              List.iter
+                (fun (sid, sub) ->
+                  if
+                    (sub.b_always || Hashtbl.mem matched_ids sid)
+                    && not (Hashtbl.mem sent sub.b_node)
+                  then begin
+                    Hashtbl.replace sent sub.b_node ();
+                    d.broker_forwards <- d.broker_forwards + 1;
+                    Net.send d.net ~src:b.b_process.node ~dst:sub.b_node
+                      ~port:del_port
+                      (encode_routed ~cls envelope)
+                  end)
+                routed))
 
 let broker_on_ctl d b bytes =
   match Codec.decode bytes with
@@ -467,15 +523,19 @@ let broker_on_ctl d b bytes =
       if not (Hashtbl.mem b.broker_subs sid) then begin
         Hashtbl.replace b.broker_subs sid
           { b_node = node; b_param = param; b_always = always };
+        Routing.invalidate b.b_route ~param;
         match rfilter with
         | Some rf -> Factored.add b.factored ~id:sid rf
         | None -> ()
       end
-  | List [ Str "unsub"; Int sid ] ->
-      if Hashtbl.mem b.broker_subs sid then begin
-        Hashtbl.remove b.broker_subs sid;
-        Factored.remove b.factored ~id:sid
-      end
+  | List [ Str "unsub"; Int sid ] -> (
+      match Hashtbl.find_opt b.broker_subs sid with
+      | None -> ()
+      | Some sub ->
+          Hashtbl.remove b.broker_subs sid;
+          Routing.remove b.b_route ~param:sub.b_param (fun (sid', _) ->
+              sid' = sid);
+          Factored.remove b.factored ~id:sid)
   | _ | (exception Codec.Decode_error _) -> d.decode_errors <- d.decode_errors + 1
 
 (* --- the reflexive meta channel (§4.2) ----------------------------------------- *)
@@ -519,7 +579,7 @@ module Subscription = struct
     Dispatch.set_policy s.dispatch Dispatch.Class_serial
 
   let broker_of d node =
-    match d.brokers with
+    match brokers_in_order d with
     | [] -> None
     | brokers ->
         (* Subscriptions are gathered per filtering host by subscriber
@@ -561,6 +621,7 @@ module Subscription = struct
       Errors.cannot_subscribe "subscription %d is already activated" s.sid;
     ensure_channels s;
     s.active <- true;
+    Routing.invalidate s.sub_process.route ~param:s.param;
     send_ctl s `Sub;
     emit_meta s.sub_process ~cls:"SubscriptionActivated" ~sid:s.sid
       ~param:s.param
@@ -579,6 +640,7 @@ module Subscription = struct
     s.durable <- Some id;
     ensure_channels s;
     s.active <- true;
+    Routing.invalidate p.route ~param:s.param;
     send_ctl s `Sub;
     emit_meta p ~cls:"SubscriptionActivated" ~sid:s.sid ~param:s.param
 
@@ -586,6 +648,8 @@ module Subscription = struct
     if not s.active then
       Errors.cannot_unsubscribe "subscription %d is not activated" s.sid;
     s.active <- false;
+    Routing.remove s.sub_process.route ~param:s.param (fun x ->
+        x.sid = s.sid);
     send_ctl s `Unsub;
     emit_meta s.sub_process ~cls:"SubscriptionDeactivated" ~sid:s.sid
       ~param:s.param
@@ -599,6 +663,7 @@ module Process = struct
   let node p = p.node
   let domain p = p.dom
   let subscriptions p = List.rev p.subs
+  let routing_stats p = Routing.stats p.route
 
   let create d ?storage ?rmi node =
     if List.exists (fun p -> p.node = node) d.processes then
@@ -615,19 +680,20 @@ module Process = struct
           (match storage with Some s -> s | None -> Stable.create ());
         channels = Hashtbl.create 8;
         subs = [];
+        route = Routing.create d.registry;
         txq = [];
         tx_armed = false;
         tx_next_seq = 0;
         interest = Hashtbl.create 16;
       }
     in
-    (* Broker deliveries can arrive on any process. *)
+    (* Broker deliveries can arrive on any process; on_event itself
+       handles a delivery that races channel registration. *)
     Net.set_handler d.net node ~port:del_port (fun _src bytes ->
         match decode_routed bytes with
-        | Some (cls, envelope) ->
-            if Hashtbl.mem d.channel_meta cls then on_event p cls envelope
+        | Some (cls, envelope) -> on_event p cls envelope
         | None -> d.decode_errors <- d.decode_errors + 1);
-    d.processes <- d.processes @ [ p ];
+    d.processes <- p :: d.processes;
     p
 
   let var_types env =
@@ -745,9 +811,10 @@ let add_broker d p =
     invalid_arg "add_broker: node is already a filtering host";
   let b =
     { b_process = p; factored = Factored.create ();
-      broker_subs = Hashtbl.create 32 }
+      broker_subs = Hashtbl.create 32;
+      b_route = Routing.create d.registry }
   in
-  d.brokers <- d.brokers @ [ b ];
+  d.brokers <- b :: d.brokers;
   Net.set_handler d.net p.node ~port:pub_port (fun _src bytes ->
       broker_on_publish d b bytes);
   Net.set_handler d.net p.node ~port:ctl_port (fun _src bytes ->
@@ -756,9 +823,12 @@ let add_broker d p =
 let make_broker = add_broker
 
 let broker_filter_stats d =
-  match d.brokers with
+  match brokers_in_order d with
   | [] -> None
   | b :: _ -> Some (Factored.stats b.factored)
 
 let per_broker_filter_stats d =
-  List.map (fun b -> Factored.stats b.factored) d.brokers
+  List.map (fun b -> Factored.stats b.factored) (brokers_in_order d)
+
+let per_broker_routing_stats d =
+  List.map (fun b -> Routing.stats b.b_route) (brokers_in_order d)

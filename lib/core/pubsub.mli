@@ -76,8 +76,14 @@ module Domain : sig
     published : int;
     deliveries : int;  (** handler submissions across all subscriptions *)
     filtered_out : int;
-    expired : int;  (** timely obvents dropped as stale *)
+    expired : int;
+        (** timely obvents dropped as stale — counted once per stale
+            event at a receiving process (not once per matching
+            subscription), plus once per entry expiring in the egress
+            queue *)
     decode_errors : int;
+        (** undecodable envelopes/obvents, and deliveries that raced
+            channel registration (dropped, not fatal) *)
     broker_forwards : int;  (** node-level forwards made by the broker *)
     broker_events : int;  (** events that transited the broker *)
     control_messages : int;  (** subscription (un)registrations sent *)
@@ -163,6 +169,13 @@ module Process : sig
       process's active subscriptions with the broker. *)
 
   val subscriptions : t -> Subscription.t list
+
+  val routing_stats : t -> Routing.stats
+  (** This process's per-class routing-index counters (see
+      {!Routing.stats}): cached classes, cumulative lookups, entry
+      builds. Deliveries cost one lookup each; builds only happen on
+      first sight of a class, after an activation touching it, or
+      after a late type declaration. *)
 end
 
 val add_broker : Domain.t -> Process.t -> unit
@@ -182,4 +195,8 @@ val broker_filter_stats : Domain.t -> Tpbs_filter.Factored.stats option
 
 val per_broker_filter_stats : Domain.t -> Tpbs_filter.Factored.stats list
 (** Compound-filter statistics of every filtering host, in designation
+    order. *)
+
+val per_broker_routing_stats : Domain.t -> Routing.stats list
+(** Routing-index statistics of every filtering host, in designation
     order. *)

@@ -1,0 +1,68 @@
+module Registry = Tpbs_types.Registry
+
+type 'a t = {
+  reg : Registry.t;
+  entries : (string, 'a list) Hashtbl.t;
+      (* concrete obvent class -> targets whose subscribed type is a
+         supertype, in the holder's canonical order *)
+  mutable gen : int;  (* registry generation the cache was built against *)
+  mutable lookups : int;
+  mutable builds : int;
+}
+
+let create reg =
+  {
+    reg;
+    entries = Hashtbl.create 16;
+    gen = Registry.generation reg;
+    lookups = 0;
+    builds = 0;
+  }
+
+(* Late type declarations (the registry moved) invalidate everything:
+   a new class may slot under any subscribed type, and a cached entry
+   keyed by it would otherwise stay silently empty. *)
+let validate t =
+  let g = Registry.generation t.reg in
+  if g <> t.gen then begin
+    Hashtbl.reset t.entries;
+    t.gen <- g
+  end
+
+let find t cls ~build =
+  validate t;
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.entries cls with
+  | Some targets -> targets
+  | None ->
+      t.builds <- t.builds + 1;
+      let targets = build cls in
+      Hashtbl.replace t.entries cls targets;
+      targets
+
+let invalidate t ~param =
+  validate t;
+  let affected =
+    Hashtbl.fold
+      (fun cls _ acc ->
+        if Registry.subtype t.reg cls param then cls :: acc else acc)
+      t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) affected
+
+let remove t ~param pred =
+  validate t;
+  Hashtbl.filter_map_inplace
+    (fun cls targets ->
+      if Registry.subtype t.reg cls param then
+        Some (List.filter (fun x -> not (pred x)) targets)
+      else Some targets)
+    t.entries
+
+let clear t = Hashtbl.reset t.entries
+
+type stats = { classes : int; lookups : int; builds : int }
+
+let stats t =
+  { classes = Hashtbl.length t.entries; lookups = t.lookups;
+    builds = t.builds }

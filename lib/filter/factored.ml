@@ -269,7 +269,7 @@ let lower_bound arr pred =
   done;
   !lo
 
-let matches t (root : Value.t) =
+let matches_set t (root : Value.t) =
   t.events_matched <- t.events_matched + 1;
   Bytes.fill t.truth 0 (Bytes.length t.truth) '\000';
   let set_true id = Bytes.unsafe_set t.truth id '\001' in
@@ -332,7 +332,7 @@ let matches t (root : Value.t) =
      generation-stamped flat counters, no per-event clearing. *)
   t.generation <- t.generation + 1;
   let generation = t.generation in
-  let matched = ref [] in
+  let matched = Hashtbl.create 16 in
   List.iter
     (fun aid ->
       match Hashtbl.find_opt t.conj_index aid with
@@ -346,7 +346,7 @@ let matches t (root : Value.t) =
               in
               t.stamps.(slot) <- generation;
               t.counters.(slot) <- c;
-              if c = size then matched := t.slot_id.(slot) :: !matched)
+              if c = size then Hashtbl.replace matched t.slot_id.(slot) ())
             !subs)
     !true_atoms;
   (* Empty conjunctions (True filters) never enter the counting index;
@@ -361,9 +361,13 @@ let matches t (root : Value.t) =
     | T_or fs -> List.exists eval_t fs
   in
   Hashtbl.iter
-    (fun sid f -> if eval_t f then matched := sid :: !matched)
+    (fun sid f -> if eval_t f then Hashtbl.replace matched sid ())
     t.tree_subs;
-  List.sort_uniq Int.compare !matched
+  matched
+
+let matches t root =
+  List.sort Int.compare
+    (Hashtbl.fold (fun sid () acc -> sid :: acc) (matches_set t root) [])
 
 let matches_obvent t o = matches t (Obvent.to_value o)
 

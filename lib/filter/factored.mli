@@ -30,9 +30,15 @@ val remove : t -> id:int -> unit
 
 val is_registered : t -> id:int -> bool
 
+val matches_set : t -> Tpbs_serial.Value.t -> (int, unit) Hashtbl.t
+(** Ids of all registered filters satisfied by the event, as a hash
+    set — the broker's delivery loop needs O(1) membership per
+    subscription, not a list scan. Agrees with {!Rfilter.eval} filter
+    by filter. The table is freshly allocated per call and owned by
+    the caller. *)
+
 val matches : t -> Tpbs_serial.Value.t -> int list
-(** Ids of all registered filters satisfied by the event, ascending.
-    Agrees with {!Rfilter.eval} filter by filter. *)
+(** {!matches_set} as a sorted list, ascending. *)
 
 val matches_obvent : t -> Tpbs_obvent.Obvent.t -> int list
 

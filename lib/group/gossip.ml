@@ -35,7 +35,14 @@ type t = {
   archive : (Net.node_id * int, event) Hashtbl.t;
       (* recently seen events kept for pull-retrieval (lpbcast's
          event-id digests); retired after 4x rounds_ttl rounds *)
-  seen : (Net.node_id * int, unit) Hashtbl.t;
+  seen : (Net.node_id * int, int ref) Hashtbl.t;
+      (* event-id -> rounds since last mentioned; duplicate
+         suppression. Every push or digest mention resets the clock;
+         an id retires after 12x rounds_ttl silent rounds —
+         comfortably past the archive horizon (4x), so an id is only
+         forgotten once nothing in the epidemic still offers it. The
+         table stays bounded by throughput x horizon instead of run
+         length *)
   mutable next_seq : int;
   mutable delivered : int;
   mutable running : bool;
@@ -97,15 +104,19 @@ let truncate_buffer t =
       (List.filter (fun e -> e.age <= t.config.rounds_ttl) t.buffer)
 
 let accept_event t e =
-  if not (Hashtbl.mem t.seen e.id) then begin
-    Hashtbl.add t.seen e.id ();
-    let fresh = { e with age = 0 } in
-    t.buffer <- fresh :: t.buffer;
-    Hashtbl.replace t.archive e.id fresh;
-    truncate_buffer t;
-    t.delivered <- t.delivered + 1;
-    t.deliver ~origin:e.origin e.payload
-  end
+  match Hashtbl.find_opt t.seen e.id with
+  | Some age ->
+      (* Still circulating somewhere: restart the retirement clock so
+         a slow epidemic cannot re-admit the event as fresh. *)
+      age := 0
+  | None ->
+      Hashtbl.add t.seen e.id (ref 0);
+      let fresh = { e with age = 0 } in
+      t.buffer <- fresh :: t.buffer;
+      Hashtbl.replace t.archive e.id fresh;
+      truncate_buffer t;
+      t.delivered <- t.delivered + 1;
+      t.deliver ~origin:e.origin e.payload
 
 let on_gossip t src bytes =
   match decode_gossip bytes with
@@ -114,10 +125,19 @@ let on_gossip t src bytes =
       t.view <- view_sample @ t.view;
       truncate_view t;
       List.iter (accept_event t) events;
-      (* lpbcast pull: ask the gossiper for events we only know by id. *)
+      (* lpbcast pull: ask the gossiper for events we only know by id.
+         Digest mentions of known ids restart their retirement clock
+         (the event evidently still lives in someone's archive). *)
       let missing =
         if t.config.pull then
-          List.filter (fun id -> not (Hashtbl.mem t.seen id)) digest
+          List.filter
+            (fun id ->
+              match Hashtbl.find_opt t.seen id with
+              | Some age ->
+                  age := 0;
+                  false
+              | None -> true)
+            digest
         else []
       in
       if missing <> [] && src <> t.me then
@@ -151,10 +171,21 @@ let retire_archive t =
   in
   List.iter (Hashtbl.remove t.archive) stale
 
+let retire_seen t =
+  let horizon = 12 * t.config.rounds_ttl in
+  let stale =
+    Hashtbl.fold
+      (fun id age acc -> if !age > horizon then id :: acc else acc)
+      t.seen []
+  in
+  List.iter (Hashtbl.remove t.seen) stale
+
 let round t =
   if t.running then begin
     Hashtbl.iter (fun _ e -> e.age <- e.age + 1) t.archive;
     retire_archive t;
+    Hashtbl.iter (fun _ age -> incr age) t.seen;
+    retire_seen t;
     let fresh = List.filter (fun e -> e.age <= t.config.rounds_ttl) t.buffer in
     truncate_buffer t;
     if t.view <> [] then begin
@@ -220,4 +251,5 @@ let bcast t payload =
 
 let view t = t.view
 let delivered_count t = t.delivered
+let seen_size t = Hashtbl.length t.seen
 let stop t = t.running <- false

@@ -43,5 +43,13 @@ val attach :
 val bcast : t -> string -> unit
 val view : t -> Tpbs_sim.Net.node_id list
 val delivered_count : t -> int
+
+val seen_size : t -> int
+(** Live entries in the duplicate-suppression table. Bounded: ids
+    retire 12x [rounds_ttl] rounds after first sight (well past the
+    archive's 4x horizon, so retiring cannot cause re-delivery), which
+    makes per-node state O(view + buffer + recent ids) instead of
+    growing with the whole run's event count. *)
+
 val stop : t -> unit
 (** Stop gossiping (the node leaves the epidemic). *)

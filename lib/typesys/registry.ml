@@ -20,6 +20,7 @@ type t = {
   mutable decls : decl Smap.t;
   mutable ancestors : Sset.t Smap.t;  (* cache: name -> all supertypes incl self *)
   mutable dirty : bool;
+  mutable generation : int;  (* bumped on every declaration *)
 }
 
 let getter_name attr =
@@ -77,6 +78,8 @@ let ancestors reg name =
 
 let subtype reg a b = Sset.mem b (ancestors reg a)
 let supertypes reg name = Sset.elements (ancestors reg name)
+let iter_supertypes reg name f = Sset.iter f (ancestors reg name)
+let generation reg = reg.generation
 
 let subtypes reg name =
   let _ = ancestors reg name in
@@ -147,7 +150,8 @@ let check_method_conflicts reg ~name ~supers own_methods =
 
 let insert reg d =
   reg.decls <- Smap.add d.name d reg.decls;
-  reg.dirty <- true
+  reg.dirty <- true;
+  reg.generation <- reg.generation + 1
 
 let check_fresh reg name =
   if name = "" then err "empty type name";
@@ -252,7 +256,10 @@ let obvent_classes reg =
     (all_types reg)
 
 let create () =
-  let reg = { decls = Smap.empty; ancestors = Smap.empty; dirty = true } in
+  let reg =
+    { decls = Smap.empty; ancestors = Smap.empty; dirty = true;
+      generation = 0 }
+  in
   (* The java.pubsub lattice (Fig. 3). *)
   declare_interface reg ~name:"Obvent" ();
   declare_interface reg ~name:"Reliable" ~extends:[ "Obvent" ] ();

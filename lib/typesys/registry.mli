@@ -86,6 +86,19 @@ val supertypes : t -> string -> string list
 (** All supertypes including the type itself, in no particular
     order. *)
 
+val iter_supertypes : t -> string -> (string -> unit) -> unit
+(** Iterate the subtype closure of a type — every supertype including
+    the type itself — without allocating an intermediate list. This is
+    the hot-path form used by the delivery routing index to fan a
+    concrete obvent class out to the subscribed types it conforms
+    to. *)
+
+val generation : t -> int
+(** Monotonic counter bumped by every successful declaration. Caches
+    derived from the lattice (e.g. per-class routing indexes) record
+    the generation they were built against and invalidate themselves
+    when it moves, so late type declarations stay correct. *)
+
 val subtypes : t -> string -> string list
 (** All currently declared subtypes including the type itself. *)
 

@@ -545,6 +545,46 @@ let test_gossip_bounded_state () =
   Array.iter Gossip.stop protos;
   Engine.run engine
 
+let test_gossip_seen_bounded_long_run () =
+  (* The duplicate-suppression table must not grow with run length:
+     ids retire 12x rounds_ttl rounds after first sight. A long stream
+     keeps only the recent horizon in memory — and retiring must not
+     re-admit an id (counts stay <= one delivery per event). *)
+  let n = 20 and events = 300 in
+  let engine, protos, counts =
+    gossip_world ~n ~fanout:3 ~seed:1023 ~loss:0.2 ()
+  in
+  for i = 0 to events - 1 do
+    Engine.schedule engine ~delay:(i * 2000) (fun () ->
+        Gossip.bcast protos.(i mod n) (Printf.sprintf "e%d" i))
+  done;
+  Engine.run ~until:800_000 engine;
+  Array.iter Gossip.stop protos;
+  Engine.run engine;
+  (* Horizon: 12 * ttl 5 = 60 rounds of 2000 ticks = one event per
+     round here, so ~60 live ids + slack; 300 would mean unbounded. *)
+  Array.iter
+    (fun p ->
+      let size = Gossip.seen_size p in
+      Alcotest.(check bool)
+        (Printf.sprintf "seen table bounded (%d <= 150)" size)
+        true (size <= 150))
+    protos;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d: no duplicate deliveries (%d <= %d)" i c
+           events)
+        true (c <= events))
+    counts;
+  let ratio =
+    float_of_int (Array.fold_left ( + ) 0 counts)
+    /. float_of_int (n * events)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery ratio %.2f >= 0.85" ratio)
+    true (ratio >= 0.85)
+
 (* --- property-style protocol tests ------------------------------------ *)
 
 let prop_total_prefix_agreement () =
@@ -736,6 +776,8 @@ let suite =
         test_gossip_pull_improves_delivery;
       Alcotest.test_case "gossip: bounded state" `Quick
         test_gossip_bounded_state;
+      Alcotest.test_case "gossip: seen table bounded on long runs" `Quick
+        test_gossip_seen_bounded_long_run;
       Alcotest.test_case "property: total-order prefix agreement" `Quick
         prop_total_prefix_agreement;
       Alcotest.test_case "property: causal chains across nodes" `Quick
