@@ -14,11 +14,16 @@ module Net = Tpbs_sim.Net
 module Metric = Tpbs_sim.Metric
 module Pubsub = Tpbs_core.Pubsub
 module Rng = Tpbs_sim.Rng
+module Trace = Tpbs_trace.Trace
 
 let nodes = 8
 let events = 60
 
 let run_rung cls =
+  (* Fresh ambient registry per rung: certified retransmits and total
+     holdback peaks are read back per class, not accumulated. *)
+  let tr = Trace.create () in
+  Trace.set_ambient tr;
   let reg = Workload.registry () in
   let engine = Engine.create ~seed:4242 () in
   let net =
@@ -48,17 +53,20 @@ let run_rung cls =
     float_of_int s.Net.bytes_sent /. float_of_int events,
     ratio,
     Metric.mean latency,
-    Metric.percentile latency 0.99 )
+    Metric.percentile latency 0.99,
+    Trace.Counter.value (Trace.counter tr "group.certified.retransmits"),
+    Trace.Gauge.peak (Trace.gauge tr "group.total.holdback") )
 
 let run () =
   Workload.table_header
     "E2  delivery-semantics cost ladder (8 nodes, 5% loss, jitter)"
     [ "class"; "msgs/event"; "bytes/event"; "delivery"; "lat-mean";
-      "lat-p99" ];
+      "lat-p99"; "cert-rtx"; "holdback-pk" ];
   List.iter
     (fun cls ->
-      let msgs, bytes, ratio, mean, p99 = run_rung cls in
-      Fmt.pr "%-15s %10.1f  %11.0f  %7.1f%%  %8.0f  %8.0f@." cls msgs bytes
-        (100. *. ratio) mean p99)
+      let msgs, bytes, ratio, mean, p99, rtx, holdback = run_rung cls in
+      Fmt.pr "%-15s %10.1f  %11.0f  %7.1f%%  %8.0f  %8.0f  %8d  %11d@." cls
+        msgs bytes (100. *. ratio) mean p99 rtx holdback)
     [ "StockQuote"; "ReliableQuote"; "FifoQuote"; "CausalQuote"; "TotalQuote";
-      "CertifiedQuote" ]
+      "CertifiedQuote" ];
+  Trace.set_ambient (Trace.create ())

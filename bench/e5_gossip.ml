@@ -11,11 +11,16 @@ module Membership = Tpbs_group.Membership
 module Gossip = Tpbs_group.Gossip
 module Rbcast = Tpbs_group.Rbcast
 module Rng = Tpbs_sim.Rng
+module Trace = Tpbs_trace.Trace
 
 let events = 5
 let loss = 0.2
 
 let run_gossip ~n ~fanout =
+  (* Fresh ambient registry per rung so gauge peaks don't bleed
+     between configurations. *)
+  let tr = Trace.create () in
+  Trace.set_ambient tr;
   let engine = Engine.create ~seed:(1000 + n + fanout) () in
   let net = Net.create ~config:{ Net.default_config with loss } engine in
   let nodes = Array.init n (fun _ -> Net.add_node net) in
@@ -41,8 +46,13 @@ let run_gossip ~n ~fanout =
   Array.iter Gossip.stop protos;
   Engine.run engine;
   let s = Net.stats net in
+  (* Every node sets the shared gauge to its own buffer size, so the
+     peak is the largest per-node digest buffer seen during the run —
+     the protocol's memory footprint. *)
+  let seen_peak = Trace.Gauge.peak (Trace.gauge tr "group.gossip.seen") in
   ( float_of_int !count /. float_of_int (n * events),
-    float_of_int s.Net.sent /. float_of_int events )
+    float_of_int s.Net.sent /. float_of_int events,
+    seen_peak )
 
 let run_flooding ~n =
   let engine = Engine.create ~seed:(2000 + n) () in
@@ -69,15 +79,17 @@ let run () =
   Workload.table_header
     (Printf.sprintf "E5  gossip delivery ratio vs fanout and size (%.0f%% loss)"
        (100. *. loss))
-    [ "nodes"; "fanout"; "delivery"; "msgs/event" ];
+    [ "nodes"; "fanout"; "delivery"; "msgs/event"; "seen-peak" ];
   List.iter
     (fun n ->
       List.iter
         (fun fanout ->
-          let ratio, msgs = run_gossip ~n ~fanout in
-          Fmt.pr "%5d  %6d  %7.1f%%  %10.0f@." n fanout (100. *. ratio) msgs)
+          let ratio, msgs, seen_peak = run_gossip ~n ~fanout in
+          Fmt.pr "%5d  %6d  %7.1f%%  %10.0f  %9d@." n fanout (100. *. ratio)
+            msgs seen_peak)
         [ 1; 2; 3; 4; 6 ];
       let ratio, msgs = run_flooding ~n in
-      Fmt.pr "%5d  %6s  %7.1f%%  %10.0f   (reliable flooding reference)@." n
-        "flood" (100. *. ratio) msgs)
-    [ 25; 50; 100; 200 ]
+      Fmt.pr "%5d  %6s  %7.1f%%  %10.0f  %9s   (reliable flooding reference)@."
+        n "flood" (100. *. ratio) msgs "-")
+    [ 25; 50; 100; 200 ];
+  Trace.set_ambient (Trace.create ())

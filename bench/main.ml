@@ -7,7 +7,8 @@ let experiments =
   [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
     "e4", E4_remote_filtering.run; "e5", E5_gossip.run; "e6", E6_rmi.run;
     "e7", E7_paradigms.run; "e8", E8_dgc.run; "e9", E9_threading.run;
-    "e10", E10_psc.run; "ablations", A1_ablations.run; "micro", Micro.run ]
+    "e10", E10_psc.run; "ablations", A1_ablations.run; "micro", Micro.run;
+    "obs", Obs.run ]
 
 let () =
   let requested =

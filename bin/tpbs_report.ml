@@ -1,0 +1,48 @@
+(* Summarize (or validate with --check) a JSONL trace/metrics file
+   produced by the tpbs_trace exporter. Reads stdin when no file (or
+   "-") is given. *)
+
+let usage () =
+  prerr_endline "usage: tpbs_report [--check] [FILE|-]";
+  exit 2
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let () =
+  let check_mode = ref false in
+  let file = ref None in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--check" -> check_mode := true
+        | "-" -> file := None
+        | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+        | _ -> file := Some arg)
+    Sys.argv;
+  let lines =
+    match !file with
+    | None -> read_lines stdin
+    | Some path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "tpbs_report: no such file: %s\n" path;
+          exit 2
+        end;
+        let ic = open_in path in
+        let lines = read_lines ic in
+        close_in ic;
+        lines
+  in
+  match Tpbs_trace.Report.check lines with
+  | Error (lineno, msg) ->
+      Printf.eprintf "tpbs_report: line %d: %s\n" lineno msg;
+      exit 1
+  | Ok n ->
+      if !check_mode then Printf.printf "ok: %d valid lines\n" n
+      else print_string (Tpbs_trace.Report.summarize lines)

@@ -21,6 +21,7 @@ module Rfilter = Tpbs_filter.Rfilter
 module Mobility = Tpbs_filter.Mobility
 module Factored = Tpbs_filter.Factored
 module Typecheck = Tpbs_filter.Typecheck
+module Trace = Tpbs_trace.Trace
 
 let pub_port = "psb:pub"
 let ctl_port = "psb:ctl"
@@ -90,6 +91,21 @@ and broker_state = {
       (* concrete class -> broker subscriptions it routes to *)
 }
 
+(* Observability handles captured once at Domain.create: counters are
+   always-on plain int bumps; trace events additionally check
+   [Trace.emitting] so the disabled path costs one load+branch. *)
+and obs = {
+  tr : Trace.t;
+  c_published : Trace.Counter.t;
+  c_routed : Trace.Counter.t;
+  c_deliveries : Trace.Counter.t;
+  c_filtered : Trace.Counter.t;
+  c_expired : Trace.Counter.t;
+  c_cloned : Trace.Counter.t;
+  c_decode_errors : Trace.Counter.t;
+  c_broker_forwards : Trace.Counter.t;
+}
+
 and domain = {
   registry : Registry.t;
   net : Net.t;
@@ -102,6 +118,8 @@ and domain = {
   mutable meta_enabled : bool;
   mutable targeted : bool;  (* subscription-aware best-effort dissemination *)
   mutable next_sid : int;
+  mutable next_eid : int;  (* per-domain publish sequence for event ids *)
+  obs : obs;
   latency : Metric.t;
   mutable published : int;
   mutable deliveries : int;
@@ -121,13 +139,17 @@ let brokers_in_order d = List.rev d.brokers
 
 (* --- envelopes ------------------------------------------------------- *)
 
-let encode_envelope ~publish_time obvent_bytes =
-  Codec.encode (List [ Int publish_time; Str obvent_bytes ])
+(* The envelope carries the event id (origin node, per-domain publish
+   seq) so every hop of an event's life — publish, route, filter,
+   deliver, expire — can be correlated across nodes in the trace. *)
+let encode_envelope ~publish_time ~eid:(origin, eseq) obvent_bytes =
+  Codec.encode
+    (List [ Int publish_time; Int origin; Int eseq; Str obvent_bytes ])
 
 let decode_envelope bytes =
   match Codec.decode bytes with
-  | List [ Int publish_time; Str obvent_bytes ] ->
-      Some (publish_time, obvent_bytes)
+  | List [ Int publish_time; Int origin; Int eseq; Str obvent_bytes ] ->
+      Some (publish_time, (origin, eseq), obvent_bytes)
   | _ | (exception Codec.Decode_error _) -> None
 
 let encode_routed ~cls envelope = Codec.encode (List [ Str cls; Str envelope ])
@@ -143,7 +165,8 @@ module Domain = struct
   type t = domain
 
   let create ?(tx_interval = 200) registry net =
-    {
+    let d =
+      {
       registry;
       net;
       tx_interval;
@@ -155,6 +178,20 @@ module Domain = struct
       meta_enabled = false;
       targeted = false;
       next_sid = 0;
+      next_eid = 0;
+      obs =
+        (let tr = Trace.ambient () in
+         {
+           tr;
+           c_published = Trace.counter tr "core.published";
+           c_routed = Trace.counter tr "core.routed";
+           c_deliveries = Trace.counter tr "core.deliveries";
+           c_filtered = Trace.counter tr "core.filtered_out";
+           c_expired = Trace.counter tr "core.expired";
+           c_cloned = Trace.counter tr "core.cloned";
+           c_decode_errors = Trace.counter tr "core.decode_errors";
+           c_broker_forwards = Trace.counter tr "core.broker_forwards";
+         });
       latency = Metric.create ();
       published = 0;
       deliveries = 0;
@@ -164,7 +201,10 @@ module Domain = struct
       broker_forwards = 0;
       broker_events = 0;
       control_messages = 0;
-    }
+      }
+    in
+    Trace.register_histogram d.obs.tr "core.latency" d.latency;
+    d
 
   let registry d = d.registry
   let net d = d.net
@@ -240,11 +280,15 @@ let stale d meta obvent =
   | Some birth, Some ttl -> now_of d > birth + ttl
   | _, _ -> false
 
-let deliver_clone p ~publish_time s obvent =
+let deliver_clone p ~publish_time ~eid s obvent =
   let d = p.dom in
   s.delivered <- s.delivered + 1;
   d.deliveries <- d.deliveries + 1;
+  Trace.Counter.incr d.obs.c_deliveries;
   Metric.record d.latency (float_of_int (now_of d - publish_time));
+  if Trace.emitting d.obs.tr then
+    Trace.emit d.obs.tr ~layer:"core" ~kind:"deliver" ~node:p.node ~id:eid
+      ~data:[ ("sid", Trace.I s.sid) ] ();
   (* §5.4.2: a delivered copy containing remote references
      creates proxies in the subscriber's address space. *)
   adopt_proxies p obvent;
@@ -279,45 +323,76 @@ let learn_interest p cls obvent_bytes =
    physically distinct from every other copy in the system. *)
 let on_event p cls envelope =
   let d = p.dom in
+  let decode_error () =
+    d.decode_errors <- d.decode_errors + 1;
+    Trace.Counter.incr d.obs.c_decode_errors;
+    if Trace.emitting d.obs.tr then
+      Trace.emit d.obs.tr ~layer:"core" ~kind:"decode_error" ~node:p.node
+        ~data:[ ("cls", Trace.S cls) ] ()
+  in
   match decode_envelope envelope with
-  | None -> d.decode_errors <- d.decode_errors + 1
-  | Some (publish_time, obvent_bytes) -> (
+  | None -> decode_error ()
+  | Some (publish_time, eid, obvent_bytes) -> (
       learn_interest p cls obvent_bytes;
       match Hashtbl.find_opt d.channel_meta cls with
       | None ->
           (* Delivery raced channel registration: count the miss, do
              not abort the simulation. *)
-          d.decode_errors <- d.decode_errors + 1
+          decode_error ()
       | Some meta -> (
           match routed_subscriptions p cls with
           | [] -> ()
           | subs -> (
+              Trace.Counter.incr d.obs.c_routed;
+              if Trace.emitting d.obs.tr then
+                Trace.emit d.obs.tr ~layer:"core" ~kind:"route" ~node:p.node
+                  ~id:eid
+                  ~data:
+                    [ ("cls", Trace.S cls);
+                      ("targets", Trace.I (List.length subs)) ]
+                  ();
               match Obvent.deserialize d.registry obvent_bytes with
-              | exception Obvent.Invalid_obvent _ ->
-                  d.decode_errors <- d.decode_errors + 1
+              | exception Obvent.Invalid_obvent _ -> decode_error ()
               | gate ->
-                  if stale d meta gate then
+                  Trace.Counter.incr d.obs.c_cloned;
+                  if stale d meta gate then begin
                     (* Once per event, not once per matching
                        subscription. *)
-                    d.expired <- d.expired + 1
+                    d.expired <- d.expired + 1;
+                    Trace.Counter.incr d.obs.c_expired;
+                    if Trace.emitting d.obs.tr then
+                      Trace.emit d.obs.tr ~layer:"core" ~kind:"expire"
+                        ~node:p.node ~id:eid ()
+                  end
                   else
+                    let dropped = ref 0 in
                     let matched =
                       List.filter
                         (fun s ->
                           if Fspec.matches d.registry s.filter gate then true
                           else begin
                             d.filtered_out <- d.filtered_out + 1;
+                            Trace.Counter.incr d.obs.c_filtered;
+                            incr dropped;
                             false
                           end)
                         subs
                     in
+                    if !dropped > 0 && Trace.emitting d.obs.tr then
+                      Trace.emit d.obs.tr ~layer:"core" ~kind:"filter_drop"
+                        ~node:p.node ~id:eid
+                        ~data:[ ("dropped", Trace.I !dropped) ]
+                        ();
                     List.iteri
                       (fun i s ->
                         let clone =
                           if i = 0 then gate
-                          else Obvent.deserialize d.registry obvent_bytes
+                          else begin
+                            Trace.Counter.incr d.obs.c_cloned;
+                            Obvent.deserialize d.registry obvent_bytes
+                          end
                         in
-                        deliver_clone p ~publish_time s clone)
+                        deliver_clone p ~publish_time ~eid s clone)
                       matched)))
 
 (* --- channels ------------------------------------------------------------ *)
@@ -434,6 +509,11 @@ let rec drain_tx p =
       p.txq
   in
   d.expired <- d.expired + List.length dead;
+  Trace.Counter.add d.obs.c_expired (List.length dead);
+  if dead <> [] && Trace.emitting d.obs.tr then
+    Trace.emit d.obs.tr ~layer:"core" ~kind:"expire_tx" ~node:p.node
+      ~data:[ ("count", Trace.I (List.length dead)) ]
+      ();
   p.txq <- fresh;
   match fresh with
   | [] -> ()
@@ -477,12 +557,16 @@ let broker_route d b cls =
 
 let broker_on_publish d b bytes =
   match decode_routed bytes with
-  | None -> d.decode_errors <- d.decode_errors + 1
+  | None ->
+      d.decode_errors <- d.decode_errors + 1;
+      Trace.Counter.incr d.obs.c_decode_errors
   | Some (cls, envelope) -> (
       d.broker_events <- d.broker_events + 1;
       match decode_envelope envelope with
-      | None -> d.decode_errors <- d.decode_errors + 1
-      | Some (_, obvent_bytes) -> (
+      | None ->
+          d.decode_errors <- d.decode_errors + 1;
+          Trace.Counter.incr d.obs.c_decode_errors
+      | Some (_, eid, obvent_bytes) -> (
           match broker_route d b cls with
           | [] -> ()
           | routed ->
@@ -503,6 +587,12 @@ let broker_on_publish d b bytes =
                   then begin
                     Hashtbl.replace sent sub.b_node ();
                     d.broker_forwards <- d.broker_forwards + 1;
+                    Trace.Counter.incr d.obs.c_broker_forwards;
+                    if Trace.emitting d.obs.tr then
+                      Trace.emit d.obs.tr ~layer:"broker" ~kind:"forward"
+                        ~node:b.b_process.node ~id:eid
+                        ~data:[ ("dst", Trace.I sub.b_node) ]
+                        ();
                     Net.send d.net ~src:b.b_process.node ~dst:sub.b_node
                       ~port:del_port
                       (encode_routed ~cls envelope)
@@ -536,7 +626,9 @@ let broker_on_ctl d b bytes =
           Routing.remove b.b_route ~param:sub.b_param (fun (sid', _) ->
               sid' = sid);
           Factored.remove b.factored ~id:sid)
-  | _ | (exception Codec.Decode_error _) -> d.decode_errors <- d.decode_errors + 1
+  | _ | (exception Codec.Decode_error _) ->
+      d.decode_errors <- d.decode_errors + 1;
+      Trace.Counter.incr d.obs.c_decode_errors
 
 (* --- the reflexive meta channel (§4.2) ----------------------------------------- *)
 
@@ -764,8 +856,14 @@ module Process = struct
     let cls = Obvent.cls obvent in
     let meta = ensure_channel d cls in
     d.published <- d.published + 1;
+    Trace.Counter.incr d.obs.c_published;
+    let eid = p.node, d.next_eid in
+    d.next_eid <- d.next_eid + 1;
+    if Trace.emitting d.obs.tr then
+      Trace.emit d.obs.tr ~layer:"core" ~kind:"publish" ~node:p.node ~id:eid
+        ~data:[ ("cls", Trace.S cls) ] ();
     let envelope =
-      encode_envelope ~publish_time:(now_of d) (Obvent.serialize obvent)
+      encode_envelope ~publish_time:(now_of d) ~eid (Obvent.serialize obvent)
     in
     if meta.profile.Qos.prioritary || meta.profile.Qos.timely then begin
       let entry =

@@ -1,4 +1,5 @@
 module Registry = Tpbs_types.Registry
+module Trace = Tpbs_trace.Trace
 
 type 'a t = {
   reg : Registry.t;
@@ -8,15 +9,20 @@ type 'a t = {
   mutable gen : int;  (* registry generation the cache was built against *)
   mutable lookups : int;
   mutable builds : int;
+  c_lookups : Trace.Counter.t;  (* aggregated across indices *)
+  c_builds : Trace.Counter.t;
 }
 
 let create reg =
+  let tr = Trace.ambient () in
   {
     reg;
     entries = Hashtbl.create 16;
     gen = Registry.generation reg;
     lookups = 0;
     builds = 0;
+    c_lookups = Trace.counter tr "core.routing.lookups";
+    c_builds = Trace.counter tr "core.routing.builds";
   }
 
 (* Late type declarations (the registry moved) invalidate everything:
@@ -32,10 +38,12 @@ let validate t =
 let find t cls ~build =
   validate t;
   t.lookups <- t.lookups + 1;
+  Trace.Counter.incr t.c_lookups;
   match Hashtbl.find_opt t.entries cls with
   | Some targets -> targets
   | None ->
       t.builds <- t.builds + 1;
+      Trace.Counter.incr t.c_builds;
       let targets = build cls in
       Hashtbl.replace t.entries cls targets;
       targets

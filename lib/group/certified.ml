@@ -1,7 +1,20 @@
 module Net = Tpbs_sim.Net
+module Engine = Tpbs_sim.Engine
 module Stable = Tpbs_sim.Stable
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
+
+(* Retransmission state per logged message. A member that never acks
+   (e.g. permanently crashed) must not be flooded every retry_period
+   forever: each unanswered attempt doubles the retry delay up to
+   [max_backoff] x retry_period. The durable log is untouched — a
+   recovering member still pulls everything via sync. *)
+type waiting_entry = {
+  missing : (Net.node_id, unit) Hashtbl.t;
+  mutable attempts : int;
+  mutable next_retry : int;  (* absolute engine time of the next resend *)
+}
 
 type t = {
   group : Membership.t;
@@ -9,18 +22,23 @@ type t = {
   name : string;
   storage : Stable.t;
   retry_period : int;
+  max_backoff : int;  (* cap on the retry-delay multiplier *)
   data_port : string;
   ack_port : string;
   sync_port : string;
   (* publisher side (in-memory; rebuilt pessimistically on resume) *)
   mutable next_seq : int;
-  waiting : (int, (Net.node_id, unit) Hashtbl.t) Hashtbl.t;
-      (* seq -> members that have not acked *)
+  waiting : (int, waiting_entry) Hashtbl.t;
+      (* seq -> members that have not acked, plus retry bookkeeping *)
   (* subscriber side *)
   expected : (Net.node_id, int) Hashtbl.t;  (* mirror of durable frontier *)
   parked : (Net.node_id * int, string) Hashtbl.t;
   deliver : origin:Net.node_id -> string -> unit;
   mutable timer_armed : bool;
+  mutable rtx : int;  (* total data retransmissions by this instance *)
+  c_retransmits : Trace.Counter.t;
+  c_rounds : Trace.Counter.t;
+  g_unacked : Trace.Gauge.t;
 }
 
 let log_key t seq = Printf.sprintf "cert:%s:log:%d" t.name seq
@@ -64,14 +82,35 @@ let advance_frontier t origin e =
 
 (* --- retransmission ------------------------------------------------- *)
 
+let update_unacked t =
+  Trace.Gauge.set t.g_unacked
+    (Hashtbl.fold
+       (fun _ e acc -> acc + Hashtbl.length e.missing)
+       t.waiting 0)
+
 let retransmit_round t =
+  let now = Engine.now (Net.engine (net t)) in
+  let resent = ref false in
   Hashtbl.iter
-    (fun seq missing ->
-      match Stable.get t.storage (log_key t seq) with
-      | None -> ()
-      | Some payload ->
-          Hashtbl.iter (fun dst () -> send_data t ~dst ~seq payload) missing)
-    t.waiting
+    (fun seq e ->
+      if e.next_retry <= now then
+        match Stable.get t.storage (log_key t seq) with
+        | None -> ()
+        | Some payload ->
+            Hashtbl.iter
+              (fun dst () ->
+                send_data t ~dst ~seq payload;
+                t.rtx <- t.rtx + 1;
+                Trace.Counter.incr t.c_retransmits)
+              e.missing;
+            if Hashtbl.length e.missing > 0 then resent := true;
+            e.attempts <- e.attempts + 1;
+            let mult =
+              Stdlib.min t.max_backoff (1 lsl Stdlib.min 30 e.attempts)
+            in
+            e.next_retry <- now + (t.retry_period * mult))
+    t.waiting;
+  if !resent then Trace.Counter.incr t.c_rounds
 
 let rec arm_timer t =
   if not t.timer_armed then begin
@@ -113,9 +152,10 @@ let on_ack t src bytes =
   | Int seq -> (
       match Hashtbl.find_opt t.waiting seq with
       | None -> ()
-      | Some missing ->
-          Hashtbl.remove missing src;
-          if Hashtbl.length missing = 0 then Hashtbl.remove t.waiting seq)
+      | Some e ->
+          Hashtbl.remove e.missing src;
+          if Hashtbl.length e.missing = 0 then Hashtbl.remove t.waiting seq;
+          update_unacked t)
   | _ | (exception Codec.Decode_error _) -> ()
 
 let on_sync t src bytes =
@@ -139,7 +179,10 @@ let request_sync t =
           (Codec.encode (Int (expected_of t dst))))
     (Membership.members t.group)
 
-let attach group ~me ~name ~storage ?(retry_period = 5000) ~deliver () =
+let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
+    ~deliver () =
+  if max_backoff < 1 then invalid_arg "Certified.attach: max_backoff < 1";
+  let tr = Trace.ambient () in
   let t =
     {
       group;
@@ -147,6 +190,7 @@ let attach group ~me ~name ~storage ?(retry_period = 5000) ~deliver () =
       name;
       storage;
       retry_period;
+      max_backoff;
       data_port = "cert:" ^ name;
       ack_port = "cert-ack:" ^ name;
       sync_port = "cert-sync:" ^ name;
@@ -159,6 +203,10 @@ let attach group ~me ~name ~storage ?(retry_period = 5000) ~deliver () =
       parked = Hashtbl.create 16;
       deliver;
       timer_armed = false;
+      rtx = 0;
+      c_retransmits = Trace.counter tr "group.certified.retransmits";
+      c_rounds = Trace.counter tr "group.certified.retransmit_rounds";
+      g_unacked = Trace.gauge tr "group.certified.unacked";
     }
   in
   let n = net t in
@@ -178,12 +226,19 @@ let bcast t payload =
   Array.iter
     (fun dst -> if dst <> t.me then Hashtbl.replace missing dst ())
     (Membership.members t.group);
-  if Hashtbl.length missing > 0 then Hashtbl.replace t.waiting seq missing;
+  if Hashtbl.length missing > 0 then
+    Hashtbl.replace t.waiting seq
+      {
+        missing;
+        attempts = 0;
+        next_retry = Engine.now (Net.engine (net t)) + t.retry_period;
+      };
   (* Local delivery goes through the same frontier bookkeeping. *)
   on_data t (encode_data ~origin:t.me ~seq payload);
   Array.iter
     (fun dst -> if dst <> t.me then send_data t ~dst ~seq payload)
     (Membership.members t.group);
+  update_unacked t;
   arm_timer t
 
 let resume t =
@@ -200,9 +255,12 @@ let resume t =
       Array.iter
         (fun dst -> if dst <> t.me then Hashtbl.replace missing dst ())
         (Membership.members t.group);
-      if Hashtbl.length missing > 0 then Hashtbl.replace t.waiting seq missing
+      if Hashtbl.length missing > 0 then
+        Hashtbl.replace t.waiting seq
+          { missing; attempts = 0; next_retry = 0 }
     end
   done;
+  update_unacked t;
   if Hashtbl.length t.waiting > 0 then begin
     retransmit_round t;
     arm_timer t
@@ -210,7 +268,9 @@ let resume t =
   request_sync t
 
 let unacked t =
-  Hashtbl.fold (fun _ missing acc -> acc + Hashtbl.length missing) t.waiting 0
+  Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.missing) t.waiting 0
+
+let retransmits t = t.rtx
 
 let log_size t =
   List.length (Stable.keys_with_prefix t.storage (Printf.sprintf "cert:%s:log:" t.name))

@@ -21,10 +21,15 @@ val attach :
   name:string ->
   storage:Tpbs_sim.Stable.t ->
   ?retry_period:int ->
+  ?max_backoff:int ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   unit ->
   t
-(** [retry_period] defaults to 5000 ticks. *)
+(** [retry_period] defaults to 5000 ticks. Unanswered retransmissions
+    back off exponentially per message: the delay doubles after each
+    attempt up to [max_backoff] x [retry_period] (default cap 8x), so
+    a permanently crashed member costs bounded steady-state traffic
+    instead of a resend every period forever. *)
 
 val bcast : t -> string -> unit
 (** Logs durably, then broadcasts; keeps retransmitting to members
@@ -41,3 +46,7 @@ val unacked : t -> int
 
 val log_size : t -> int
 (** Messages retained in the durable publisher log. *)
+
+val retransmits : t -> int
+(** Total data retransmissions sent by this instance (excludes the
+    initial broadcast and sync replies). *)

@@ -2,6 +2,7 @@ module Net = Tpbs_sim.Net
 module Rng = Tpbs_sim.Rng
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
 
 type config = {
   fanout : int;
@@ -47,6 +48,10 @@ type t = {
   mutable delivered : int;
   mutable running : bool;
   deliver : origin:Net.node_id -> string -> unit;
+  c_rounds : Trace.Counter.t;
+  c_sends : Trace.Counter.t;
+  g_seen : Trace.Gauge.t;
+  g_archive : Trace.Gauge.t;
 }
 
 let event_to_value e : Value.t =
@@ -182,10 +187,13 @@ let retire_seen t =
 
 let round t =
   if t.running then begin
+    Trace.Counter.incr t.c_rounds;
     Hashtbl.iter (fun _ e -> e.age <- e.age + 1) t.archive;
     retire_archive t;
     Hashtbl.iter (fun _ age -> incr age) t.seen;
     retire_seen t;
+    Trace.Gauge.set t.g_seen (Hashtbl.length t.seen);
+    Trace.Gauge.set t.g_archive (Hashtbl.length t.archive);
     let fresh = List.filter (fun e -> e.age <= t.config.rounds_ttl) t.buffer in
     truncate_buffer t;
     if t.view <> [] then begin
@@ -200,6 +208,7 @@ let round t =
         let k = min t.config.fanout (Array.length targets) in
         let bytes = encode_gossip t fresh digest in
         for i = 0 to k - 1 do
+          Trace.Counter.incr t.c_sends;
           Net.send (Membership.net t.group) ~src:t.me ~dst:targets.(i)
             ~port:t.port bytes
         done
@@ -216,6 +225,7 @@ let rec arm t =
 
 let attach ?(config = default_config) group ~me ~name ~seed_view ~deliver =
   let net = Membership.net group in
+  let tr = Trace.ambient () in
   let t =
     {
       group;
@@ -232,6 +242,10 @@ let attach ?(config = default_config) group ~me ~name ~seed_view ~deliver =
       delivered = 0;
       running = true;
       deliver;
+      c_rounds = Trace.counter tr "group.gossip.rounds";
+      c_sends = Trace.counter tr "group.gossip.sends";
+      g_seen = Trace.gauge tr "group.gossip.seen";
+      g_archive = Trace.gauge tr "group.gossip.archive";
     }
   in
   truncate_view t;

@@ -1,6 +1,7 @@
 module Net = Tpbs_sim.Net
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
 
 type pending_pub = {
   origin : Net.node_id;
@@ -8,6 +9,18 @@ type pending_pub = {
   pub_seq : int;
   vc : Vclock.t;
   payload : string;
+}
+
+(* Duplicate-submit suppression at the sequencer. Publisher pub_seqs
+   are contiguous per origin, so instead of remembering every
+   (origin, pub_seq) ever sequenced (which grows with run length) we
+   keep a per-origin frontier — everything below it has been
+   sequenced — plus the small out-of-order residue above it. The
+   residue drains back into the frontier as gaps fill, so the table is
+   bounded by in-flight reordering, not history. *)
+type frontier = {
+  mutable next : int;  (* all pub_seq < next already sequenced *)
+  pending : (int, unit) Hashtbl.t;  (* sequenced, but >= next *)
 }
 
 type t = {
@@ -25,9 +38,13 @@ type t = {
   mutable retry_armed : bool;
   (* sequencer side *)
   mutable next_global : int;
-  seq_seen : (Net.node_id * int, unit) Hashtbl.t;
+  seq_seen : (Net.node_id, frontier) Hashtbl.t;
+  mutable seq_seen_entries : int;  (* total out-of-order residue size *)
   mutable seq_parked : pending_pub list;  (* causal holdback at the sequencer *)
   seq_vc : Vclock.t;
+  g_seq_seen : Trace.Gauge.t;
+  g_holdback : Trace.Gauge.t;
+  c_duplicates : Trace.Counter.t;
   (* subscriber side *)
   mutable next_deliver : int;
   parked : (int, Net.node_id * string) Hashtbl.t;
@@ -74,12 +91,35 @@ let rec sequencer_drain t =
         sequencer_drain t
   end
 
+let seq_seen_size t = t.seq_seen_entries
+
+let frontier_of t origin =
+  match Hashtbl.find_opt t.seq_seen origin with
+  | Some f -> f
+  | None ->
+      let f = { next = 0; pending = Hashtbl.create 8 } in
+      Hashtbl.add t.seq_seen origin f;
+      f
+
+let mark_seen t f pub_seq =
+  Hashtbl.add f.pending pub_seq ();
+  t.seq_seen_entries <- t.seq_seen_entries + 1;
+  while Hashtbl.mem f.pending f.next do
+    Hashtbl.remove f.pending f.next;
+    t.seq_seen_entries <- t.seq_seen_entries - 1;
+    f.next <- f.next + 1
+  done;
+  Trace.Gauge.set t.g_seq_seen t.seq_seen_entries
+
 let on_submit t bytes =
   match decode_submit bytes with
   | None -> ()
   | Some (origin, pub_seq, vc, payload) -> (
-      if not (Hashtbl.mem t.seq_seen (origin, pub_seq)) then begin
-        Hashtbl.add t.seq_seen (origin, pub_seq) ();
+      let f = frontier_of t origin in
+      if pub_seq < f.next || Hashtbl.mem f.pending pub_seq then
+        Trace.Counter.incr t.c_duplicates
+      else begin
+        mark_seen t f pub_seq;
         match Membership.rank t.group origin with
         | rank ->
             let p = { origin; rank; pub_seq; vc; payload } in
@@ -130,7 +170,8 @@ let on_sequenced t ~tag payload =
       if n >= t.next_deliver then begin
         Hashtbl.replace t.parked n (origin, payload);
         subscriber_drain t
-      end
+      end;
+      Trace.Gauge.set t.g_holdback (Hashtbl.length t.parked + List.length t.seq_parked)
   | _ -> ()
 
 let attach ?(causal = false) group ~me ~name ~deliver =
@@ -142,6 +183,7 @@ let attach ?(causal = false) group ~me ~name ~deliver =
     Rbcast.attach group ~me ~name:("total:" ^ name)
       ~deliver:(fun ~origin:_ _ -> ())
   in
+  let tr = Trace.ambient () in
   let t =
     {
       group;
@@ -156,9 +198,13 @@ let attach ?(causal = false) group ~me ~name ~deliver =
       unsequenced = Hashtbl.create 8;
       retry_armed = false;
       next_global = 0;
-      seq_seen = Hashtbl.create 64;
+      seq_seen = Hashtbl.create 8;
+      seq_seen_entries = 0;
       seq_parked = [];
       seq_vc = Vclock.create (Membership.size group);
+      g_seq_seen = Trace.gauge tr "group.total.seq_seen";
+      g_holdback = Trace.gauge tr "group.total.holdback";
+      c_duplicates = Trace.counter tr "group.total.duplicate_submits";
       next_deliver = 0;
       parked = Hashtbl.create 32;
       deliver;

@@ -25,3 +25,9 @@ val bcast : t -> string -> unit
 val sequencer : t -> Tpbs_sim.Net.node_id
 val is_sequencer : t -> bool
 val holdback_size : t -> int
+
+val seq_seen_size : t -> int
+(** Size of the sequencer's duplicate-suppression residue: the
+    out-of-order submissions above each origin's contiguous frontier.
+    Bounded by in-flight reordering (not run length) — see the
+    [frontier] comment in the implementation. *)

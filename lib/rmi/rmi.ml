@@ -1,6 +1,7 @@
 module Net = Tpbs_sim.Net
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
 
 type dgc_mode = Strict | Lease of int
 
@@ -30,7 +31,17 @@ type runtime = {
   mutable next_oid : int;
   mutable next_req : int;
   pending : (int, (Value.t, error) result -> unit) Hashtbl.t;
-  proxies : (Net.node_id * int, unit) Hashtbl.t;  (* references we hold *)
+  proxies : (Net.node_id * int, int) Hashtbl.t;
+      (* references we hold -> adoption epoch. A renew loop only
+         survives while the table still maps its key to the epoch it
+         was started under, so release + re-adopt retires the old loop
+         instead of leaking it alongside the new one. *)
+  mutable proxy_epoch : int;
+  mutable renew_loops : int;  (* live renew timers, for the leak test *)
+  c_calls : Trace.Counter.t;
+  c_timeouts : Trace.Counter.t;
+  c_renews : Trace.Counter.t;
+  g_pinned : Trace.Gauge.t;
 }
 
 let req_port = "rmi:req"
@@ -90,6 +101,10 @@ let on_dgc t src bytes =
   | _ | (exception Codec.Decode_error _) -> ()
 
 let run_dgc t =
+  Trace.Gauge.set t.g_pinned
+    (Hashtbl.fold
+       (fun _ obj acc -> if Hashtbl.length obj.holders > 0 then acc + 1 else acc)
+       t.exported 0);
   match t.dgc with
   | Strict -> ()
   | Lease horizon ->
@@ -111,6 +126,7 @@ let rec arm_dgc_timer t period =
       arm_dgc_timer t period)
 
 let attach ?(dgc = Strict) ?(call_timeout = 50_000) net ~me =
+  let tr = Trace.ambient () in
   let t =
     {
       net;
@@ -122,6 +138,12 @@ let attach ?(dgc = Strict) ?(call_timeout = 50_000) net ~me =
       next_req = 0;
       pending = Hashtbl.create 16;
       proxies = Hashtbl.create 16;
+      proxy_epoch = 0;
+      renew_loops = 0;
+      c_calls = Trace.counter tr "rmi.calls";
+      c_timeouts = Trace.counter tr "rmi.timeouts";
+      c_renews = Trace.counter tr "rmi.renews";
+      g_pinned = Trace.gauge tr "rmi.pinned";
     }
   in
   Net.set_handler net me ~port:req_port (fun src bytes -> on_request t src bytes);
@@ -158,6 +180,7 @@ let invoke t ref_value ~meth ~args ~k =
   | Some r ->
       let req_id = t.next_req in
       t.next_req <- req_id + 1;
+      Trace.Counter.incr t.c_calls;
       Hashtbl.replace t.pending req_id k;
       Net.send t.net ~src:t.me ~dst:r.node_id ~port:req_port
         (Codec.encode
@@ -167,6 +190,7 @@ let invoke t ref_value ~meth ~args ~k =
           | None -> ()
           | Some k ->
               Hashtbl.remove t.pending req_id;
+              Trace.Counter.incr t.c_timeouts;
               k (Error Timeout))
 
 (* --- proxy registration -------------------------------------------------- *)
@@ -175,12 +199,17 @@ let send_dgc t ~dst verb oid =
   Net.send t.net ~src:t.me ~dst ~port:dgc_port
     (Codec.encode (List [ Str verb; Int oid ]))
 
-let rec renew_loop t (r : Value.remote) period =
+let rec renew_loop t (r : Value.remote) period ~epoch =
   Net.schedule_on t.net t.me ~delay:period (fun () ->
-      if Hashtbl.mem t.proxies (r.node_id, r.object_id) then begin
+      (* Only the loop whose epoch still owns the key keeps running;
+         a stale loop from before a release/re-adopt cycle dies here. *)
+      if Hashtbl.find_opt t.proxies (r.node_id, r.object_id) = Some epoch
+      then begin
         send_dgc t ~dst:r.node_id "renew" r.object_id;
-        renew_loop t r period
-      end)
+        Trace.Counter.incr t.c_renews;
+        renew_loop t r period ~epoch
+      end
+      else t.renew_loops <- t.renew_loops - 1)
 
 let adopt_proxy t ref_value =
   match as_remote ref_value with
@@ -188,10 +217,14 @@ let adopt_proxy t ref_value =
   | Some r ->
       let key = r.node_id, r.object_id in
       if not (Hashtbl.mem t.proxies key) then begin
-        Hashtbl.replace t.proxies key ();
+        t.proxy_epoch <- t.proxy_epoch + 1;
+        let epoch = t.proxy_epoch in
+        Hashtbl.replace t.proxies key epoch;
         send_dgc t ~dst:r.node_id "ref" r.object_id;
         match t.dgc with
-        | Lease horizon -> renew_loop t r (max 1 (horizon / 2))
+        | Lease horizon ->
+            t.renew_loops <- t.renew_loops + 1;
+            renew_loop t r (max 1 (horizon / 2)) ~epoch
         | Strict -> ()
       end
 
@@ -221,3 +254,4 @@ let holder_count t =
   Hashtbl.fold (fun _ obj acc -> acc + Hashtbl.length obj.holders) t.exported 0
 
 let exported_count t = Hashtbl.length t.exported
+let renew_loops t = t.renew_loops

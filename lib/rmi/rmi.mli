@@ -80,6 +80,11 @@ val adopt_proxy : runtime -> Tpbs_serial.Value.t -> unit
 val release_proxy : runtime -> Tpbs_serial.Value.t -> unit
 (** Drop the proxy: decrement the host-side count / stop renewing. *)
 
+val renew_loops : runtime -> int
+(** Client side: live lease-renewal timers. Stays at the number of
+    currently adopted proxies (each release/re-adopt cycle retires the
+    old loop at its next tick rather than leaking it). *)
+
 val pinned : runtime -> int
 (** Host side: number of exported objects with at least one live
     remote reference (these cannot be collected). *)

@@ -1,7 +1,9 @@
 (** Small numeric summaries used by the experiment harness: online
-    mean/min/max plus percentiles over recorded samples. *)
+    mean/min/max plus percentiles over recorded samples. The
+    implementation lives in [Tpbs_trace.Histogram]; the equality is
+    exposed so histograms can be registered with a trace registry. *)
 
-type t
+type t = Tpbs_trace.Histogram.t
 
 val create : unit -> t
 val record : t -> float -> unit

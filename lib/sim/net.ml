@@ -20,6 +20,8 @@ type stats = {
   bytes_delivered : int;
 }
 
+module Trace = Tpbs_trace.Trace
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -34,9 +36,16 @@ type t = {
   mutable dropped_partition : int;
   mutable bytes_sent : int;
   mutable bytes_delivered : int;
+  tr : Trace.t;
+  c_sent : Trace.Counter.t;
+  c_delivered : Trace.Counter.t;
+  c_drop_loss : Trace.Counter.t;
+  c_drop_crash : Trace.Counter.t;
+  c_drop_partition : Trace.Counter.t;
 }
 
 let create ?(config = default_config) engine =
+  let tr = Trace.ambient () in
   {
     engine;
     config;
@@ -51,6 +60,12 @@ let create ?(config = default_config) engine =
     dropped_partition = 0;
     bytes_sent = 0;
     bytes_delivered = 0;
+    tr;
+    c_sent = Trace.counter tr "net.sent";
+    c_delivered = Trace.counter tr "net.delivered";
+    c_drop_loss = Trace.counter tr "net.dropped_loss";
+    c_drop_crash = Trace.counter tr "net.dropped_crash";
+    c_drop_partition = Trace.counter tr "net.dropped_partition";
   }
 
 let engine t = t.engine
@@ -115,6 +130,13 @@ let schedule_on t id ~delay f =
   Engine.schedule t.engine ~delay (fun () ->
       if node.alive && node.incarnation = inc then f ())
 
+(* Per-port accounting is opt-in ([Trace.set_detailed]): it costs a
+   hashtable lookup per packet, which the micro-benchmarks must not
+   pay by default. *)
+let port_count t ~port ~suffix =
+  if Trace.detailed t.tr then
+    Trace.Counter.incr (Trace.counter t.tr ("net.port." ^ port ^ "." ^ suffix))
+
 let send t ~src ~dst ~port payload =
   let source = get t src and target = get t dst in
   ignore target;
@@ -122,8 +144,16 @@ let send t ~src ~dst ~port payload =
   else begin
     t.sent <- t.sent + 1;
     t.bytes_sent <- t.bytes_sent + String.length payload;
-    if t.config.loss > 0. && Rng.bool t.rng t.config.loss then
-      t.dropped_loss <- t.dropped_loss + 1
+    Trace.Counter.incr t.c_sent;
+    port_count t ~port ~suffix:"sent";
+    if t.config.loss > 0. && Rng.bool t.rng t.config.loss then begin
+      t.dropped_loss <- t.dropped_loss + 1;
+      Trace.Counter.incr t.c_drop_loss;
+      port_count t ~port ~suffix:"dropped";
+      if Trace.emitting t.tr then
+        Trace.emit t.tr ~layer:"net" ~kind:"drop_loss" ~node:dst
+          ~data:[ ("port", Trace.S port) ] ()
+    end
     else begin
       let delay =
         if src = dst then 1
@@ -134,15 +164,29 @@ let send t ~src ~dst ~port payload =
       in
       Engine.schedule t.engine ~delay:(max 1 delay) (fun () ->
           let node = get t dst in
-          if not node.alive then t.dropped_crash <- t.dropped_crash + 1
-          else if not (reachable t src dst) then
-            t.dropped_partition <- t.dropped_partition + 1
+          if not node.alive then begin
+            t.dropped_crash <- t.dropped_crash + 1;
+            Trace.Counter.incr t.c_drop_crash;
+            port_count t ~port ~suffix:"dropped";
+            if Trace.emitting t.tr then
+              Trace.emit t.tr ~layer:"net" ~kind:"drop_crash" ~node:dst
+                ~data:[ ("port", Trace.S port) ] ()
+          end
+          else if not (reachable t src dst) then begin
+            t.dropped_partition <- t.dropped_partition + 1;
+            Trace.Counter.incr t.c_drop_partition;
+            port_count t ~port ~suffix:"dropped";
+            if Trace.emitting t.tr then
+              Trace.emit t.tr ~layer:"net" ~kind:"drop_partition" ~node:dst
+                ~data:[ ("port", Trace.S port) ] ()
+          end
           else
             match Hashtbl.find_opt node.handlers port with
             | None -> ()
             | Some handler ->
                 t.delivered <- t.delivered + 1;
                 t.bytes_delivered <- t.bytes_delivered + String.length payload;
+                Trace.Counter.incr t.c_delivered;
                 handler src payload)
     end
   end

@@ -1,0 +1,19 @@
+(** Minimal JSON parser — just enough to validate and summarize the
+    trace exporter's JSONL output without an external dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Parse one complete JSON value; trailing garbage is an error. *)
+
+val member : string -> json -> json option
+(** Field lookup on objects; [None] otherwise. *)
+
+val to_string : json -> string option
+val to_num : json -> float option

@@ -1,0 +1,14 @@
+(** Validation and summarization of exported JSONL traces — the logic
+    behind [bin/tpbs_report], kept in the library so it is testable. *)
+
+val check : string list -> (int, int * string) result
+(** Validate each line as a well-formed trace/metric record.
+    [Ok n] = n valid lines; [Error (lineno, msg)] on the first bad line
+    (1-based). Every line must be a JSON object carrying either
+    ["metric"] (with ["name"]) or an event shape (["t"], ["layer"],
+    ["kind"]). *)
+
+val summarize : string list -> string
+(** Human-readable summary: event counts per (layer, kind), counters,
+    gauges, histograms, and the covered time range. Assumes lines that
+    passed [check]; silently skips malformed ones. *)

@@ -1,0 +1,190 @@
+module Counter = struct
+  type t = { name : string; mutable count : int }
+
+  let incr t = t.count <- t.count + 1
+  let add t n = t.count <- t.count + n
+  let value t = t.count
+  let name t = t.name
+end
+
+module Gauge = struct
+  type t = { name : string; mutable level : int; mutable peak : int }
+
+  let set t v =
+    t.level <- v;
+    if v > t.peak then t.peak <- v
+
+  let value t = t.level
+  let peak t = t.peak
+  let name t = t.name
+end
+
+type t = {
+  mutable clock : unit -> int;
+  counters : (string, Counter.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  mutable sink : Buffer.t option;
+  mutable detailed : bool;
+}
+
+let create ?(clock = fun () -> 0) () =
+  {
+    clock;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 16;
+    sink = None;
+    detailed = false;
+  }
+
+let set_clock t clock = t.clock <- clock
+
+let ambient_registry = ref (create ())
+let ambient () = !ambient_registry
+let set_ambient t = ambient_registry := t
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { Counter.name; count = 0 } in
+      Hashtbl.add t.counters name c;
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+      let g = { Gauge.name; level = 0; peak = 0 } in
+      Hashtbl.add t.gauges name g;
+      g
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.create () in
+      Hashtbl.add t.histograms name h;
+      h
+
+let register_histogram t name h = Hashtbl.replace t.histograms name h
+let set_sink t sink = t.sink <- sink
+let emitting t = t.sink <> None
+let set_detailed t d = t.detailed <- d
+let detailed t = t.detailed
+
+type field = I of int | S of string | F of float
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_float buf x =
+  (* %.12g is precise enough for our summaries and never prints the
+     locale-dependent forms JSON forbids. *)
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" x)
+  else Buffer.add_string buf (Printf.sprintf "%.12g" x)
+
+let emit t ~layer ~kind ?node ?id ?(data = []) () =
+  match t.sink with
+  | None -> ()
+  | Some buf ->
+      Buffer.add_string buf "{\"t\":";
+      Buffer.add_string buf (string_of_int (t.clock ()));
+      Buffer.add_string buf ",\"layer\":\"";
+      escape_into buf layer;
+      Buffer.add_string buf "\",\"kind\":\"";
+      escape_into buf kind;
+      Buffer.add_char buf '"';
+      (match node with
+      | Some n ->
+          Buffer.add_string buf ",\"node\":";
+          Buffer.add_string buf (string_of_int n)
+      | None -> ());
+      (match id with
+      | Some (origin, seq) ->
+          Buffer.add_string buf ",\"id\":\"";
+          Buffer.add_string buf (string_of_int origin);
+          Buffer.add_char buf ':';
+          Buffer.add_string buf (string_of_int seq);
+          Buffer.add_char buf '"'
+      | None -> ());
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf ",\"";
+          escape_into buf k;
+          Buffer.add_string buf "\":";
+          match v with
+          | I i -> Buffer.add_string buf (string_of_int i)
+          | F x -> add_float buf x
+          | S s ->
+              Buffer.add_char buf '"';
+              escape_into buf s;
+              Buffer.add_char buf '"')
+        data;
+      Buffer.add_string buf "}\n"
+
+let sorted_names tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let metrics_to_jsonl t buf =
+  List.iter
+    (fun name ->
+      let c = Hashtbl.find t.counters name in
+      Buffer.add_string buf "{\"metric\":\"counter\",\"name\":\"";
+      escape_into buf name;
+      Buffer.add_string buf "\",\"value\":";
+      Buffer.add_string buf (string_of_int (Counter.value c));
+      Buffer.add_string buf "}\n")
+    (sorted_names t.counters);
+  List.iter
+    (fun name ->
+      let g = Hashtbl.find t.gauges name in
+      Buffer.add_string buf "{\"metric\":\"gauge\",\"name\":\"";
+      escape_into buf name;
+      Buffer.add_string buf "\",\"level\":";
+      Buffer.add_string buf (string_of_int (Gauge.value g));
+      Buffer.add_string buf ",\"peak\":";
+      Buffer.add_string buf (string_of_int (Gauge.peak g));
+      Buffer.add_string buf "}\n")
+    (sorted_names t.gauges);
+  List.iter
+    (fun name ->
+      let h = Hashtbl.find t.histograms name in
+      Buffer.add_string buf "{\"metric\":\"histogram\",\"name\":\"";
+      escape_into buf name;
+      Buffer.add_string buf "\",\"count\":";
+      Buffer.add_string buf (string_of_int (Histogram.count h));
+      Buffer.add_string buf ",\"mean\":";
+      add_float buf (Histogram.mean h);
+      Buffer.add_string buf ",\"p50\":";
+      add_float buf (Histogram.percentile h 0.50);
+      Buffer.add_string buf ",\"p99\":";
+      add_float buf (Histogram.percentile h 0.99);
+      Buffer.add_string buf ",\"max\":";
+      add_float buf (Histogram.max h);
+      Buffer.add_string buf ",\"stddev\":";
+      add_float buf (Histogram.stddev h);
+      Buffer.add_string buf "}\n")
+    (sorted_names t.histograms)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.Counter.count <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.Gauge.level <- 0;
+      g.Gauge.peak <- 0)
+    t.gauges;
+  Hashtbl.iter (fun _ h -> Histogram.clear h) t.histograms

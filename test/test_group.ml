@@ -736,6 +736,149 @@ let prop_fifo_under_loss () =
         w.nodes)
     [ 31; 32; 33 ]
 
+(* --- total: bounded duplicate suppression ------------------------------ *)
+
+let test_total_seq_seen_bounded_long_run () =
+  (* A lossy submit link makes publishers retransmit, so the sequencer
+     sees plenty of duplicate submissions. The old implementation kept
+     one (origin, pub_seq) entry per message forever; the frontier
+     replacement must stay at the out-of-order residue (near zero once
+     everything is sequenced) while still suppressing every
+     duplicate. *)
+  let events = 300 in
+  let w =
+    make_world ~n:4 ~seed:77
+      ~config:{ latency = 800; jitter = 600; loss = 0.25 }
+      (fun g ~me ~deliver -> Total.attach g ~me ~name:"tb" ~deliver)
+  in
+  for i = 0 to events - 1 do
+    Engine.schedule w.engine ~delay:(i * 1500) (fun () ->
+        Total.bcast w.protos.(1 + (i mod 3)) (Printf.sprintf "m%d" i))
+  done;
+  Engine.run ~until:3_000_000 w.engine;
+  let residue = Total.seq_seen_size w.protos.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "seq_seen residue bounded (%d <= 32, not %d)" residue
+       events)
+    true (residue <= 32);
+  (* Duplicates suppressed: exactly-once delivery, same agreed order
+     everywhere. *)
+  let reference = payloads w 0 in
+  Alcotest.(check int) "all messages sequenced once" events
+    (List.length reference);
+  Alcotest.(check int) "no duplicates"
+    (List.length (List.sort_uniq String.compare reference))
+    (List.length reference);
+  (* The sequenced stream has no gap recovery, so other nodes may be
+     stuck behind a lost flood; what total order guarantees is that
+     every node's delivery sequence is a prefix of the agreed order. *)
+  let rec is_prefix a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: xs, y :: ys when x = y -> is_prefix xs ys
+    | _ -> false
+  in
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d delivers a prefix of the agreed order" i)
+        true
+        (is_prefix (payloads w i) reference))
+    w.nodes
+
+let prop_total_seq_seen_bounded =
+  QCheck.Test.make ~count:8 ~name:"total: seq_seen bounded under retry churn"
+    QCheck.(
+      triple (int_range 1 10_000) (int_range 0 35) (int_range 40 120))
+    (fun (seed, loss_pct, events) ->
+      let w =
+        make_world ~n:3 ~seed
+          ~config:
+            { latency = 700; jitter = 500;
+              loss = float_of_int loss_pct /. 100. }
+          (fun g ~me ~deliver -> Total.attach g ~me ~name:"tq" ~deliver)
+      in
+      for i = 0 to events - 1 do
+        Engine.schedule w.engine ~delay:(i * 1200) (fun () ->
+            Total.bcast w.protos.(i mod 3) (Printf.sprintf "q%d" i))
+      done;
+      Engine.run ~until:2_500_000 w.engine;
+      let residue = Total.seq_seen_size w.protos.(0) in
+      let seen = payloads w 0 in
+      residue <= 32
+      && List.length seen = events
+      && List.length (List.sort_uniq String.compare seen) = events)
+
+(* --- certified: retransmission backoff ---------------------------------- *)
+
+let test_certified_backoff_to_crashed_member () =
+  (* One member never comes back. The publisher must keep the message
+     in its durable log (certified semantics) but throttle resends:
+     exponential backoff up to 8x retry_period means ~100p of run time
+     costs ~16 resends, not ~100. *)
+  let period = 1000 in
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 ~seed:11 ~config:{ latency = 100; jitter = 0; loss = 0. }
+      (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"cb" ~storage ~retry_period:period
+          ~deliver ())
+  in
+  Net.crash w.net w.nodes.(2);
+  Certified.bcast w.protos.(0) "hello";
+  (* Early window: the exponential ramp (resends at ~1p, 3p, 7p, 15p,
+     then every 8p) gives ~15 resends in the first 100 periods. *)
+  Engine.run ~until:(100 * period) w.engine;
+  let early = Certified.retransmits w.protos.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ramp bounded (4 <= %d <= 30)" early)
+    true
+    (early >= 4 && early <= 30);
+  (* Steady state: capped at one resend per 8 periods. *)
+  Engine.run ~until:(300 * period) w.engine;
+  let late = Certified.retransmits w.protos.(0) in
+  let rate_window = late - early in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state rate capped (%d resends / 200 periods <= 35)"
+       rate_window)
+    true
+    (rate_window >= 10 && rate_window <= 35);
+  (* The live member still got it, exactly once; only the crashed one
+     is outstanding. *)
+  Alcotest.(check (list string)) "live member delivered" [ "hello" ]
+    (payloads w 1);
+  Alcotest.(check int) "only crashed member unacked" 1
+    (Certified.unacked w.protos.(0));
+  Alcotest.(check int) "log retained for recovery" 1
+    (Certified.log_size w.protos.(0))
+
+let test_certified_backoff_resets_on_recovery () =
+  (* After the crashed member recovers and resumes, sync fills it in
+     and the publisher's waiting set empties. *)
+  let period = 1000 in
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 ~seed:13 ~config:{ latency = 100; jitter = 0; loss = 0. }
+      (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"cr" ~storage ~retry_period:period
+          ~deliver ())
+  in
+  Net.crash w.net w.nodes.(2);
+  Certified.bcast w.protos.(0) "payload";
+  Engine.run ~until:(50 * period) w.engine;
+  Net.recover w.net w.nodes.(2);
+  Certified.resume w.protos.(2);
+  Engine.run ~until:(200 * period) w.engine;
+  Alcotest.(check (list string)) "recovered member delivered" [ "payload" ]
+    (payloads w 2);
+  Alcotest.(check int) "nothing outstanding" 0 (Certified.unacked w.protos.(0))
+
 let suite =
   ( "group",
     [ Alcotest.test_case "vclock: ops" `Quick test_vclock_ops;
@@ -785,4 +928,11 @@ let suite =
       Alcotest.test_case "property: certified with random crashes" `Quick
         prop_certified_random_crashes;
       Alcotest.test_case "property: fifo under loss" `Quick
-        prop_fifo_under_loss ] )
+        prop_fifo_under_loss;
+      Alcotest.test_case "total: seq_seen bounded on long runs" `Quick
+        test_total_seq_seen_bounded_long_run;
+      Alcotest.test_case "certified: backoff to crashed member" `Quick
+        test_certified_backoff_to_crashed_member;
+      Alcotest.test_case "certified: backoff clears on recovery" `Quick
+        test_certified_backoff_resets_on_recovery ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_total_seq_seen_bounded ] )

@@ -3,6 +3,7 @@ module Net = Tpbs_sim.Net
 module Value = Tpbs_serial.Value
 module Rmi = Tpbs_rmi.Rmi
 module Nameserver = Tpbs_rmi.Nameserver
+module Trace = Tpbs_trace.Trace
 
 let setup ?dgc ?call_timeout ?(n = 3) () =
   let engine = Engine.create ~seed:42 () in
@@ -170,6 +171,45 @@ let test_dgc_lease_reclaims_after_crash () =
   Net.crash net nodes.(2);
   Engine.run engine
 
+let test_lease_single_renew_loop_after_churn () =
+  (* Regression: each adopt used to spawn a renew timer that release
+     never cancelled, so release/re-adopt churn accumulated timers and
+     multiplied renewal traffic (and a "released" proxy kept pinning
+     its object remotely). The epoch check must leave exactly one live
+     loop renewing at the normal rate. *)
+  let tr = Trace.create () in
+  Trace.set_ambient tr;
+  let engine, net, nodes, rts = setup ~dgc:(Rmi.Lease 20_000) () in
+  let obj = Rmi.export rts.(0) ~iface:"Echo" echo_handler in
+  (* Five release/re-adopt cycles, ending adopted: six loops spawned,
+     five of them stale. *)
+  for i = 0 to 4 do
+    Engine.schedule engine ~delay:(i * 3_000) (fun () ->
+        Rmi.adopt_proxy rts.(1) obj);
+    Engine.schedule engine
+      ~delay:((i * 3_000) + 1_500)
+      (fun () -> Rmi.release_proxy rts.(1) obj)
+  done;
+  Engine.schedule engine ~delay:15_000 (fun () -> Rmi.adopt_proxy rts.(1) obj);
+  Engine.run ~until:100_000 engine;
+  Alcotest.(check int) "stale renew loops died" 1 (Rmi.renew_loops rts.(1));
+  (* Renewal traffic over [100k, 200k] with a 10k renew period: one
+     surviving loop sends ~10, the leaky version ~60. *)
+  let c = Trace.counter tr "rmi.renews" in
+  let before = Trace.Counter.value c in
+  Engine.run ~until:200_000 engine;
+  let window = Trace.Counter.value c - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "renew rate matches one loop (8 <= %d <= 14)" window)
+    true
+    (window >= 8 && window <= 14);
+  Alcotest.(check int) "object still pinned by final adopt" 1
+    (Rmi.pinned rts.(0));
+  Trace.set_ambient (Trace.create ());
+  (* Stop the DGC/renew timers so the suite terminates. *)
+  Array.iter (fun node -> Net.crash net node) nodes;
+  Engine.run engine
+
 let suite =
   ( "rmi",
     [ Alcotest.test_case "invoke roundtrip" `Quick test_invoke_roundtrip;
@@ -184,4 +224,6 @@ let suite =
       Alcotest.test_case "dgc strict: crashed holder pins (§5.4.2)" `Quick
         test_dgc_strict_crashed_holder_pins_forever;
       Alcotest.test_case "dgc lease: reclaims after crash" `Quick
-        test_dgc_lease_reclaims_after_crash ] )
+        test_dgc_lease_reclaims_after_crash;
+      Alcotest.test_case "dgc lease: one renew loop after churn" `Quick
+        test_lease_single_renew_loop_after_churn ] )

@@ -149,6 +149,54 @@ let prop_frame =
     QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
     (fun s -> String.equal s (Codec.unframe (Codec.frame s)))
 
+(* Boundary-biased generators: random draws almost never hit the
+   encoding's interesting seams (7-bit group boundaries, the sign
+   pivot of zigzag, min_int whose negation overflows), so mix explicit
+   boundary values into the distribution. *)
+let varint_boundary_gen =
+  QCheck.Gen.(
+    let boundaries =
+      oneofl
+        (List.filter
+           (fun n -> n >= 0)  (* 1 lsl 62 wraps to min_int on 64-bit *)
+           ([ 0; 1; 127; 128; 255; 256; max_int; max_int - 1 ]
+           @ List.concat_map
+               (fun k -> [ (1 lsl k) - 1; 1 lsl k; (1 lsl k) + 1 ])
+               [ 7; 14; 21; 28; 31; 32; 35; 42; 49; 56; 61; 62 ]))
+    in
+    oneof [ boundaries; map abs (int_range 0 max_int) ])
+
+let zigzag_boundary_gen =
+  QCheck.Gen.(
+    let boundaries =
+      oneofl
+        ([ 0; 1; -1; 63; 64; -64; -65; min_int; min_int + 1; max_int;
+           max_int - 1 ]
+        @ List.concat_map
+            (fun k ->
+              [ (1 lsl k) - 1; 1 lsl k; - (1 lsl k); - (1 lsl k) - 1 ])
+            [ 6; 13; 20; 27; 31; 34; 41; 48; 55; 61; 62 ])
+    in
+    oneof [ boundaries; int ])
+
+let prop_varint_boundary_roundtrip =
+  QCheck.Test.make ~name:"varint boundary roundtrip" ~count:500
+    (QCheck.make ~print:string_of_int varint_boundary_gen)
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.varint w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Wire.Reader.varint r = n && Wire.Reader.remaining r = 0)
+
+let prop_zigzag_boundary_roundtrip =
+  QCheck.Test.make ~name:"zigzag boundary roundtrip (incl. min_int)" ~count:500
+    (QCheck.make ~print:string_of_int zigzag_boundary_gen)
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.zigzag w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Wire.Reader.zigzag r = n && Wire.Reader.remaining r = 0)
+
 let prop_compare_reflexive =
   QCheck.Test.make ~name:"Value.compare reflexive & consistent with equal"
     ~count:300
@@ -181,5 +229,7 @@ let suite =
       Alcotest.test_case "unframe rejects lying length" `Quick
         test_unframe_length_lies ]
     @ List.map QCheck_alcotest.to_alcotest
-        [ prop_roundtrip; prop_encoded_size; prop_frame; prop_compare_reflexive ]
+        [ prop_roundtrip; prop_encoded_size; prop_frame;
+          prop_varint_boundary_roundtrip; prop_zigzag_boundary_roundtrip;
+          prop_compare_reflexive ]
   )
