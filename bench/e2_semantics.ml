@@ -2,7 +2,9 @@
    §3.1.2).
 
    One class per rung (plain, Reliable, FIFO, Causal, Total,
-   Certified) on an 8-node deployment with loss and jitter. For each:
+   Certified, plus the composed lattice points Certified+FIFO,
+   Certified+Total and Causal+Total) on an 8-node deployment with
+   loss and jitter. For each:
    network messages and bytes per published obvent, delivery ratio,
    and delivery latency. The paper's qualitative claim — stronger
    semantics cost more — should appear as a monotone ladder, with
@@ -68,5 +70,5 @@ let run () =
       Fmt.pr "%-15s %10.1f  %11.0f  %7.1f%%  %8.0f  %8.0f  %8d  %11d@." cls
         msgs bytes (100. *. ratio) mean p99 rtx holdback)
     [ "StockQuote"; "ReliableQuote"; "FifoQuote"; "CausalQuote"; "TotalQuote";
-      "CertifiedQuote" ];
+      "CertifiedQuote"; "CertFifoQuote"; "CertTotalQuote"; "CausalTotalQuote" ];
   Trace.set_ambient (Trace.create ())

@@ -29,12 +29,16 @@ let registry () =
   Registry.declare_class reg ~name:"SpotPrice" ~extends:"StockRequest" ();
   Registry.declare_class reg ~name:"MarketPrice" ~extends:"StockRequest" ();
   List.iter
-    (fun (name, itf) ->
+    (fun (name, itfs) ->
       Registry.declare_class reg ~name ~extends:"StockQuote"
-        ~implements:[ itf ] ())
-    [ "ReliableQuote", "Reliable"; "FifoQuote", "FIFOOrder";
-      "CausalQuote", "CausalOrder"; "TotalQuote", "TotalOrder";
-      "CertifiedQuote", "Certified" ];
+        ~implements:itfs ())
+    [ "ReliableQuote", [ "Reliable" ]; "FifoQuote", [ "FIFOOrder" ];
+      "CausalQuote", [ "CausalOrder" ]; "TotalQuote", [ "TotalOrder" ];
+      "CertifiedQuote", [ "Certified" ];
+      (* Composed lattice points (multiple subtyping, Fig. 3/4). *)
+      "CertFifoQuote", [ "Certified"; "FIFOOrder" ];
+      "CertTotalQuote", [ "Certified"; "TotalOrder" ];
+      "CausalTotalQuote", [ "CausalOrder"; "TotalOrder" ] ];
   reg
 
 let leaf_classes = [| "StockQuote"; "SpotPrice"; "MarketPrice" |]

@@ -10,13 +10,9 @@ module Stable = Tpbs_sim.Stable
 module Metric = Tpbs_sim.Metric
 module Rng = Tpbs_sim.Rng
 module Membership = Tpbs_group.Membership
-module Best_effort = Tpbs_group.Best_effort
-module Rbcast = Tpbs_group.Rbcast
-module Fifo = Tpbs_group.Fifo
-module Causal = Tpbs_group.Causal
-module Total = Tpbs_group.Total
-module Certified = Tpbs_group.Certified
 module Gossip = Tpbs_group.Gossip
+module Layer = Tpbs_group.Layer
+module Stack = Tpbs_group.Stack
 module Rfilter = Tpbs_filter.Rfilter
 module Mobility = Tpbs_filter.Mobility
 module Factored = Tpbs_filter.Factored
@@ -26,16 +22,6 @@ module Trace = Tpbs_trace.Trace
 let pub_port = "psb:pub"
 let ctl_port = "psb:ctl"
 let del_port = "psb:del"
-
-type proto =
-  | P_best of Best_effort.t
-  | P_rel of Rbcast.t
-  | P_fifo of Fifo.t
-  | P_causal of Causal.t
-  | P_total of Total.t
-  | P_cert of Certified.t
-  | P_gossip of Gossip.t
-  | P_broker  (* plain unreliable, routed through the filtering host *)
 
 type tx_entry = {
   tx_cls : string;
@@ -63,7 +49,7 @@ and process = {
   node : Net.node_id;
   rmi : Tpbs_rmi.Rmi.runtime option;
   cert_storage : Stable.t;
-  channels : (string, proto) Hashtbl.t;
+  channels : (string, Stack.t) Hashtbl.t;
   mutable subs : subscription list;
   route : subscription Routing.t;
       (* concrete class -> active subscriptions it routes to *)
@@ -104,6 +90,7 @@ and obs = {
   c_cloned : Trace.Counter.t;
   c_decode_errors : Trace.Counter.t;
   c_broker_forwards : Trace.Counter.t;
+  c_qos_conflicts : Trace.Counter.t;
 }
 
 and domain = {
@@ -129,6 +116,7 @@ and domain = {
   mutable broker_forwards : int;
   mutable broker_events : int;
   mutable control_messages : int;
+  mutable qos_conflicts : int;
 }
 
 (* Registration prepends (constant-time); every ordered consumer goes
@@ -191,6 +179,7 @@ module Domain = struct
            c_cloned = Trace.counter tr "core.cloned";
            c_decode_errors = Trace.counter tr "core.decode_errors";
            c_broker_forwards = Trace.counter tr "core.broker_forwards";
+           c_qos_conflicts = Trace.counter tr "core.qos_conflicts";
          });
       latency = Metric.create ();
       published = 0;
@@ -201,6 +190,7 @@ module Domain = struct
       broker_forwards = 0;
       broker_events = 0;
       control_messages = 0;
+      qos_conflicts = 0;
       }
     in
     Trace.register_histogram d.obs.tr "core.latency" d.latency;
@@ -231,6 +221,7 @@ module Domain = struct
     broker_forwards : int;
     broker_events : int;
     control_messages : int;
+    qos_conflicts : int;
   }
 
   let stats (d : t) =
@@ -243,6 +234,7 @@ module Domain = struct
       broker_forwards = d.broker_forwards;
       broker_events = d.broker_events;
       control_messages = d.control_messages;
+      qos_conflicts = d.qos_conflicts;
     }
 
   let latency d = d.latency
@@ -255,7 +247,8 @@ module Domain = struct
     d.decode_errors <- 0;
     d.broker_forwards <- 0;
     d.broker_events <- 0;
-    d.control_messages <- 0
+    d.control_messages <- 0;
+    d.qos_conflicts <- 0
 end
 
 let now_of d = Engine.now (Net.engine d.net)
@@ -397,51 +390,68 @@ let on_event p cls envelope =
 
 (* --- channels ------------------------------------------------------------ *)
 
+(* Events published on a broker-routed channel go publisher →
+   filtering host(s); the hosts forward to matching subscribers on
+   [del_port], outside the stack — hence the dropped upcall. *)
+let broker_transport p cls =
+  Layer.make ~name:"transport:broker"
+    ~send:(fun ?self:_ ?except:_ envelope ->
+      List.iter
+        (fun b ->
+          Net.send p.dom.net ~src:p.node ~dst:b.b_process.node ~port:pub_port
+            (encode_routed ~cls envelope))
+        (brokers_in_order p.dom))
+    ~set_deliver:(fun _ -> ())
+    ()
+
 let attach_channel p cls (meta : channel_meta) =
   if not (Hashtbl.mem p.channels cls) then begin
     let deliver ~origin:_ envelope = on_event p cls envelope in
-    let proto =
+    let profile = meta.profile in
+    let transport =
       match meta.gossip_config with
-      | Some config ->
+      | Some config when not profile.Qos.certified ->
           let n = Membership.size meta.members in
           let contacts =
             List.map
               (fun k -> (Membership.members meta.members).(k))
               (Rng.sample_without_replacement p.dom.rng (min 4 n) n)
           in
-          P_gossip
-            (Gossip.attach ~config meta.members ~me:p.node ~name:cls
-               ~seed_view:contacts ~deliver)
-      | None -> (
-          let profile = meta.profile in
-          if profile.Qos.certified then
-            P_cert
-              (Certified.attach meta.members ~me:p.node ~name:cls
-                 ~storage:p.cert_storage ~deliver ())
-          else
-            match profile.Qos.order with
-            | Qos.Total -> P_total (Total.attach meta.members ~me:p.node ~name:cls ~deliver)
-            | Qos.Causal_total ->
-                P_total
-                  (Total.attach ~causal:true meta.members ~me:p.node ~name:cls
-                     ~deliver)
-            | Qos.Causal -> P_causal (Causal.attach meta.members ~me:p.node ~name:cls ~deliver)
-            | Qos.Fifo -> P_fifo (Fifo.attach meta.members ~me:p.node ~name:cls ~deliver)
-            | Qos.No_order ->
-                if profile.Qos.reliable then
-                  P_rel (Rbcast.attach meta.members ~me:p.node ~name:cls ~deliver)
-                else if p.dom.brokers <> [] then P_broker
-                else
-                  P_best (Best_effort.attach meta.members ~me:p.node ~name:cls ~deliver))
+          Stack.Gossip_net (config, contacts)
+      | Some _ | None ->
+          if
+            (not profile.Qos.certified) && (not profile.Qos.reliable)
+            && profile.Qos.order = Qos.No_order
+            && p.dom.brokers <> []
+          then Stack.Custom (broker_transport p cls)
+          else Stack.Best
     in
-    Hashtbl.replace p.channels cls proto
+    let stack =
+      Stack.assemble profile ~transport ~storage:p.cert_storage
+        ~group:meta.members ~me:p.node ~name:cls ~deliver ()
+    in
+    Hashtbl.replace p.channels cls stack
   end
 
 let ensure_channel d cls =
   match Hashtbl.find_opt d.channel_meta cls with
   | Some meta -> meta
   | None ->
-      let profile = fst (Qos.of_type d.registry cls) in
+      let profile, conflicts = Qos.of_type d.registry cls in
+      (* Fig. 4 precedence dropped a requested semantics: surface it
+         instead of silently resolving (once per class, at channel
+         creation). *)
+      List.iter
+        (fun c ->
+          d.qos_conflicts <- d.qos_conflicts + 1;
+          Trace.Counter.incr d.obs.c_qos_conflicts;
+          if Trace.emitting d.obs.tr then
+            Trace.emit d.obs.tr ~layer:"core" ~kind:"qos_conflict"
+              ~data:
+                [ ("cls", Trace.S cls);
+                  ("dropped", Trace.S (Qos.conflict_label c)) ]
+              ())
+        conflicts;
       let members =
         Membership.create d.net (List.rev_map (fun p -> p.node) d.processes)
       in
@@ -459,38 +469,26 @@ let ensure_channel d cls =
 let transmit p cls envelope =
   let meta = ensure_channel p.dom cls in
   attach_channel p cls meta;
-  match Hashtbl.find p.channels cls with
-  | P_best b ->
+  let stack = Hashtbl.find p.channels cls in
+  match Stack.targeted stack with
+  | Some send_to
+    when p.dom.targeted
+         && not (Registry.subtype p.dom.registry cls "MetaObvent") ->
       (* Subscription-aware dissemination: address only the nodes this
          process believes are interested (learned eventually from the
-         meta channel). Control traffic itself stays broadcast. *)
-      if p.dom.targeted && not (Registry.subtype p.dom.registry cls "MetaObvent")
-      then begin
-        let targets = Hashtbl.create 8 in
-        Hashtbl.iter
-          (fun (node, param) () ->
-            if Registry.subtype p.dom.registry cls param then
-              Hashtbl.replace targets node ())
-          p.interest;
-        Hashtbl.iter (fun node () -> Best_effort.send_to b ~dst:node envelope)
-          targets
-      end
-      else Best_effort.bcast b envelope
-  | P_rel r -> Rbcast.bcast r envelope
-  | P_fifo f -> Fifo.bcast f envelope
-  | P_causal c -> Causal.bcast c envelope
-  | P_total t -> Total.bcast t envelope
-  | P_cert c -> Certified.bcast c envelope
-  | P_gossip g -> Gossip.bcast g envelope
-  | P_broker ->
-      (* One copy per filtering host: each broker owns the compound
-         filter of the subscriptions assigned to it and forwards to
-         its own matching subscribers. *)
-      List.iter
-        (fun b ->
-          Net.send p.dom.net ~src:p.node ~dst:b.b_process.node ~port:pub_port
-            (encode_routed ~cls envelope))
-        (brokers_in_order p.dom)
+         meta channel), in node order so traces do not depend on
+         hashtable iteration. Control traffic itself stays
+         broadcast. *)
+      let targets = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun (node, param) () ->
+          if Registry.subtype p.dom.registry cls param then
+            Hashtbl.replace targets node ())
+        p.interest;
+      Hashtbl.fold (fun node () acc -> node :: acc) targets []
+      |> List.sort Int.compare
+      |> List.iter (fun node -> send_to ~dst:node envelope)
+  | Some _ | None -> Stack.bcast stack envelope
 
 (* Egress queue for Prioritary/Timely traffic: one message per drain
    slot; higher priority overtakes, later-born timely obvents are
@@ -884,10 +882,7 @@ module Process = struct
 
   let resume p =
     p.tx_armed <- false;
-    Hashtbl.iter
-      (fun _ proto ->
-        match proto with P_cert c -> Certified.resume c | _ -> ())
-      p.channels;
+    Hashtbl.iter (fun _ stack -> Stack.resume stack) p.channels;
     List.iter (fun s -> if s.active then Subscription.send_ctl s `Sub) p.subs;
     arm_tx p
 end

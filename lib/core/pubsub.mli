@@ -4,14 +4,14 @@
 
     One {!Domain} spans a simulated deployment: it owns the type
     registry and maps every obvent class to a dissemination channel (a
-    DACE {e multicast class}, §4.2) whose protocol is chosen from the
-    class's QoS profile (Fig. 3/4):
-
-    - unreliable → best-effort datagrams (or broker routing, below)
-    - reliable → flooding reliable broadcast
-    - FIFO / causal / total / causal+total → the corresponding
-      ordered broadcast
-    - certified → logged, acknowledged, crash-surviving delivery
+    DACE {e multicast class}, §4.2). The channel's protocol is not a
+    fixed pick: {!Tpbs_group.Stack.assemble} composes a layer stack
+    from the class's resolved QoS profile — bottom transport
+    (best-effort datagrams, gossip, broker routing, or the certified
+    durable log), a shared reliability layer, and an independent
+    ordering layer — so every lattice point of Fig. 3/4, including
+    composites like [Certified ∧ TotalOrder], gets the semantics its
+    markers promise.
 
     Transmission semantics ride on top: [Prioritary] and [Timely]
     obvents pass through a rate-limited egress queue where higher
@@ -87,6 +87,10 @@ module Domain : sig
     broker_forwards : int;  (** node-level forwards made by the broker *)
     broker_events : int;  (** events that transited the broker *)
     control_messages : int;  (** subscription (un)registrations sent *)
+    qos_conflicts : int;
+        (** semantics dropped by Fig. 4 precedence when a class's
+            profile was resolved at channel creation (each also emits
+            a [core.qos_conflict] trace event) *)
   }
 
   val stats : t -> stats
@@ -164,8 +168,9 @@ module Process : sig
       @raise Errors.Cannot_publish if the hosting node is crashed. *)
 
   val resume : t -> unit
-  (** After the hosting node recovers from a crash: re-arm certified
-      channels (retransmissions + catch-up sync) and re-register the
+  (** After the hosting node recovers from a crash: run every channel
+      stack's resume hooks bottom-up (certified retransmissions +
+      catch-up sync, ordering-layer retry timers) and re-register the
       process's active subscriptions with the broker. *)
 
   val subscriptions : t -> Subscription.t list

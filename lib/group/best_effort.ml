@@ -4,21 +4,31 @@ type t = {
   group : Membership.t;
   me : Net.node_id;
   port : string;
+  mutable deliver : origin:Net.node_id -> string -> unit;
 }
 
 let attach group ~me ~name ~deliver =
   let port = "be:" ^ name in
+  let t = { group; me; port; deliver } in
   Net.set_handler (Membership.net group) me ~port (fun src payload ->
-      deliver ~origin:src payload);
-  { group; me; port }
+      t.deliver ~origin:src payload);
+  t
 
-let bcast t payload =
+let bcast ?(self = true) ?except t payload =
   let net = Membership.net t.group in
   Array.iter
-    (fun dst -> Net.send net ~src:t.me ~dst ~port:t.port payload)
+    (fun dst ->
+      if (self || dst <> t.me) && Some dst <> except then
+        Net.send net ~src:t.me ~dst ~port:t.port payload)
     (Membership.members t.group)
 
 let send_to t ~dst payload =
   Net.send (Membership.net t.group) ~src:t.me ~dst ~port:t.port payload
 
 let me t = t.me
+
+let layer t =
+  Layer.make ~name:"transport:best"
+    ~send:(fun ?self ?except payload -> bcast ?self ?except t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ()

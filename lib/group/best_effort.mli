@@ -16,11 +16,18 @@ val attach :
 (** Install this member's endpoint for channel [name]. [deliver] is
     invoked once per received broadcast payload. *)
 
-val bcast : t -> string -> unit
-(** Send to every group member (including self). *)
+val bcast : ?self:bool -> ?except:Tpbs_sim.Net.node_id -> t -> string -> unit
+(** Send to every group member — including the local one by default
+    ([?self]); a reliability layer stacked on top passes [~self:false]
+    (it delivers locally itself) and [~except] (a flood relay skips
+    the member it received from). *)
 
 val send_to : t -> dst:Tpbs_sim.Net.node_id -> string -> unit
 (** Unicast on the channel's port — used by subscription-aware
     dissemination to address only interested members. *)
 
 val me : t -> Tpbs_sim.Net.node_id
+
+val layer : t -> Layer.t
+(** This endpoint as the stack's bottom transport
+    (["transport:best"]). *)

@@ -1,55 +1,66 @@
 module Net = Tpbs_sim.Net
-module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
 
-type pending = { origin : Net.node_id; sender_rank : int; vc : Vclock.t; payload : string }
+type pending = {
+  origin : Net.node_id;
+  sender_rank : int;
+  vc : Vclock.t;
+  payload : string;
+}
 
 type t = {
   group : Membership.t;
-  rb : Rbcast.t;
   me : Net.node_id;
+  below : Layer.t;
   local : Vclock.t;
-  mutable parked : pending list;
-  deliver : origin:Net.node_id -> string -> unit;
+  park : pending Seqspace.Park.t;
+  mutable deliver : origin:Net.node_id -> string -> unit;
+  g_holdback : Trace.Gauge.t;
 }
 
-let rec drain t =
-  let deliverable, still =
-    List.partition
-      (fun p -> Vclock.deliverable p.vc ~sender:p.sender_rank ~local:t.local)
-      t.parked
-  in
-  t.parked <- still;
-  match deliverable with
-  | [] -> ()
-  | ps ->
-      List.iter
-        (fun p ->
-          Vclock.merge t.local p.vc;
-          t.deliver ~origin:p.origin p.payload)
-        ps;
-      drain t
+let encode ~vc payload = Codec.encode (List [ Vclock.to_value vc; Str payload ])
 
-let on_receive t ~origin ~tag payload =
-  match Vclock.of_value tag with
+let decode bytes =
+  match Codec.decode bytes with
+  | List [ vcv; Str payload ] -> (
+      match Vclock.of_value vcv with
+      | Some vc -> Some (vc, payload)
+      | None -> None)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let drain t =
+  Seqspace.Park.drain t.park
+    ~ready:(fun p ->
+      Vclock.deliverable p.vc ~sender:p.sender_rank ~local:t.local)
+    ~deliver:(fun p ->
+      Vclock.merge t.local p.vc;
+      t.deliver ~origin:p.origin p.payload)
+
+let on_receive t ~origin bytes =
+  match decode bytes with
   | None -> ()
-  | Some vc -> (
+  | Some (vc, payload) -> (
       match Membership.rank t.group origin with
       | sender_rank ->
-          t.parked <- { origin; sender_rank; vc; payload } :: t.parked;
-          drain t
+          Seqspace.Park.add t.park { origin; sender_rank; vc; payload };
+          drain t;
+          Trace.Gauge.set t.g_holdback (Seqspace.Park.size t.park)
       | exception Not_found -> ())
 
-let attach group ~me ~name ~deliver =
-  let rb =
-    Rbcast.attach group ~me ~name:("causal:" ^ name)
-      ~deliver:(fun ~origin:_ _ -> ())
-  in
+let create group ~me below =
   let t =
-    { group; rb; me; local = Vclock.create (Membership.size group);
-      parked = []; deliver }
+    {
+      group;
+      me;
+      below;
+      local = Vclock.create (Membership.size group);
+      park = Seqspace.Park.create ();
+      deliver = Layer.null_deliver;
+      g_holdback = Trace.gauge (Trace.ambient ()) "group.causal.holdback";
+    }
   in
-  Rbcast.set_tagged_deliver rb (fun ~origin ~tag payload ->
-      on_receive t ~origin ~tag payload);
+  Layer.set_deliver below (fun ~origin bytes -> on_receive t ~origin bytes);
   t
 
 let bcast t payload =
@@ -59,7 +70,23 @@ let bcast t payload =
      holdback path as everyone else's. *)
   let vc = Vclock.copy t.local in
   Vclock.tick vc rank;
-  Rbcast.bcast_tagged t.rb ~tag:(Vclock.to_value vc) payload
+  Layer.send t.below (encode ~vc payload)
 
 let clock t = Vclock.copy t.local
-let holdback_size t = List.length t.parked
+let holdback_size t = Seqspace.Park.size t.park
+
+let layer t =
+  Layer.make ~name:"order:causal"
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~stats:(fun () -> [ ("causal.holdback", holdback_size t) ])
+    ()
+
+let attach group ~me ~name ~deliver =
+  let rb =
+    Rbcast.attach group ~me ~name:("causal:" ^ name)
+      ~deliver:Layer.null_deliver
+  in
+  let t = create group ~me (Rbcast.layer rb) in
+  t.deliver <- deliver;
+  t

@@ -1,13 +1,20 @@
 (** Causally ordered broadcast (§3.1.2 "Causally ordered"): delivery
     respects Lamport's happens-before over publish events — if a
     member publishes [o2] after delivering [o1], no member delivers
-    [o2] before [o1]. Implemented as CBCAST over {!Rbcast}: each
+    [o2] before [o1]. Implemented as a CBCAST sequencing layer: each
     message carries the publisher's vector clock and receivers hold
-    back until the clock condition allows delivery. Causal order
-    implies FIFO order (the subtype relation in Fig. 3 is a theorem
-    here, exercised by the tests). *)
+    back ({!Seqspace.Park}) until the clock condition allows delivery.
+    Causal order implies FIFO order (the subtype relation in Fig. 3 is
+    a theorem here, exercised by the tests). *)
 
 type t
+
+val create : Membership.t -> me:Tpbs_sim.Net.node_id -> Layer.t -> t
+(** Stack causal sequencing on a lower layer (normally
+    {!Rbcast.layer}). *)
+
+val layer : t -> Layer.t
+(** This endpoint as a stackable layer (["order:causal"]). *)
 
 val attach :
   Membership.t ->
@@ -15,8 +22,10 @@ val attach :
   name:string ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   t
+(** Convenience: best-effort + reliability + causal in one step. *)
 
 val bcast : t -> string -> unit
+
 val clock : t -> Vclock.t
 (** Snapshot of the local vector clock. *)
 

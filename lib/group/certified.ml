@@ -1,7 +1,6 @@
 module Net = Tpbs_sim.Net
 module Engine = Tpbs_sim.Engine
 module Stable = Tpbs_sim.Stable
-module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
 module Trace = Tpbs_trace.Trace
 
@@ -30,10 +29,9 @@ type t = {
   mutable next_seq : int;
   waiting : (int, waiting_entry) Hashtbl.t;
       (* seq -> members that have not acked, plus retry bookkeeping *)
-  (* subscriber side *)
-  expected : (Net.node_id, int) Hashtbl.t;  (* mirror of durable frontier *)
-  parked : (Net.node_id * int, string) Hashtbl.t;
-  deliver : origin:Net.node_id -> string -> unit;
+  (* subscriber side: holdback over the durable per-publisher frontier *)
+  order : string Seqspace.Order.t;
+  mutable deliver : origin:Net.node_id -> string -> unit;
   mutable timer_armed : bool;
   mutable rtx : int;  (* total data retransmissions by this instance *)
   c_retransmits : Trace.Counter.t;
@@ -43,7 +41,8 @@ type t = {
 
 let log_key t seq = Printf.sprintf "cert:%s:log:%d" t.name seq
 let next_key t = Printf.sprintf "cert:%s:next" t.name
-let frontier_key t origin = Printf.sprintf "cert:%s:exp:%d" t.name origin
+
+let frontier_key name origin = Printf.sprintf "cert:%s:exp:%d" name origin
 
 let encode_data ~origin ~seq payload =
   Codec.encode (List [ Int origin; Int seq; Str payload ])
@@ -62,23 +61,6 @@ let send_data t ~dst ~seq payload =
 let send_ack t ~dst ~seq =
   Net.send (net t) ~src:t.me ~dst ~port:t.ack_port
     (Codec.encode (Int seq))
-
-(* --- durable frontier ---------------------------------------------- *)
-
-let expected_of t origin =
-  match Hashtbl.find_opt t.expected origin with
-  | Some e -> e
-  | None -> (
-      match Stable.get t.storage (frontier_key t origin) with
-      | Some s ->
-          let e = int_of_string s in
-          Hashtbl.replace t.expected origin e;
-          e
-      | None -> 0)
-
-let advance_frontier t origin e =
-  Hashtbl.replace t.expected origin e;
-  Stable.put t.storage (frontier_key t origin) (string_of_int e)
 
 (* --- retransmission ------------------------------------------------- *)
 
@@ -125,27 +107,18 @@ let rec arm_timer t =
 
 (* --- receive paths --------------------------------------------------- *)
 
-let rec drain t origin =
-  let e = expected_of t origin in
-  match Hashtbl.find_opt t.parked (origin, e) with
-  | None -> ()
-  | Some payload ->
-      Hashtbl.remove t.parked (origin, e);
-      advance_frontier t origin (e + 1);
-      t.deliver ~origin payload;
-      drain t origin
-
 let on_data t bytes =
   match decode_data bytes with
   | None -> ()
-  | Some (origin, seq, payload) ->
+  | Some (origin, seq, payload) -> (
       (* Always (re-)ack: the publisher may have lost our ack. *)
       send_ack t ~dst:origin ~seq;
-      let e = expected_of t origin in
-      if seq >= e then begin
-        Hashtbl.replace t.parked (origin, seq) payload;
-        drain t origin
-      end
+      (* The frontier is persisted before delivery (the Order's
+         persist hook), so a crash inside the application callback
+         cannot cause re-delivery after sync. *)
+      match Seqspace.Order.submit t.order ~origin ~seq payload with
+      | `Duplicate -> ()
+      | `Run run -> List.iter (fun p -> t.deliver ~origin p) run)
 
 let on_ack t src bytes =
   match Codec.decode bytes with
@@ -176,7 +149,7 @@ let request_sync t =
     (fun dst ->
       if dst <> t.me then
         Net.send (net t) ~src:t.me ~dst ~port:t.sync_port
-          (Codec.encode (Int (expected_of t dst))))
+          (Codec.encode (Int (Seqspace.Order.expected t.order ~origin:dst))))
     (Membership.members t.group)
 
 let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
@@ -199,8 +172,14 @@ let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
         | Some s -> int_of_string s
         | None -> 0);
       waiting = Hashtbl.create 16;
-      expected = Hashtbl.create 16;
-      parked = Hashtbl.create 16;
+      order =
+        Seqspace.Order.create
+          ~restore:(fun ~origin ->
+            Option.map int_of_string
+              (Stable.get storage (frontier_key name origin)))
+          ~persist:(fun ~origin ~next ->
+            Stable.put storage (frontier_key name origin) (string_of_int next))
+          ();
       deliver;
       timer_armed = false;
       rtx = 0;
@@ -274,3 +253,14 @@ let retransmits t = t.rtx
 
 let log_size t =
   List.length (Stable.keys_with_prefix t.storage (Printf.sprintf "cert:%s:log:" t.name))
+
+let layer t =
+  Layer.make ~name:"certified"
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~resume:(fun () -> resume t)
+    ~stats:(fun () ->
+      [ ("certified.unacked", unacked t);
+        ("certified.retransmits", retransmits t);
+        ("certified.holdback", Seqspace.Order.parked t.order) ])
+    ()

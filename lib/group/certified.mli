@@ -11,7 +11,9 @@
     (§3.4.1, [activate(long id)]).
 
     Delivery is per-publisher FIFO (gap detection needs consecutive
-    sequence numbers); cross-publisher order is unconstrained. *)
+    sequence numbers — so "Certified + FIFOOrder" needs no extra
+    layer); cross-publisher order is unconstrained unless an ordering
+    layer is stacked on {!layer}. *)
 
 type t
 
@@ -50,3 +52,9 @@ val log_size : t -> int
 val retransmits : t -> int
 (** Total data retransmissions sent by this instance (excludes the
     initial broadcast and sync replies). *)
+
+val layer : t -> Layer.t
+(** This endpoint as the stack's bottom transport (["certified"]):
+    durable, reliable, per-publisher FIFO. Its resume hook is
+    {!resume}, so {!Stack.resume} re-activates certification through
+    the stack. *)

@@ -1,54 +1,63 @@
 module Net = Tpbs_sim.Net
-module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Trace = Tpbs_trace.Trace
 
 type t = {
-  rb : Rbcast.t;
+  below : Layer.t;
   mutable next_send : int;
-  expected : (Net.node_id, int) Hashtbl.t;  (* next seq expected per origin *)
-  parked : (Net.node_id * int, string) Hashtbl.t;
-  deliver : origin:Net.node_id -> string -> unit;
+  order : string Seqspace.Order.t;
+  mutable deliver : origin:Net.node_id -> string -> unit;
+  g_holdback : Trace.Gauge.t;
 }
 
-let expected_of t origin =
-  Option.value ~default:0 (Hashtbl.find_opt t.expected origin)
+let encode ~seq payload = Codec.encode (List [ Int seq; Str payload ])
 
-let rec drain t origin =
-  let next = expected_of t origin in
-  match Hashtbl.find_opt t.parked (origin, next) with
+let decode bytes =
+  match Codec.decode bytes with
+  | List [ Int seq; Str payload ] -> Some (seq, payload)
+  | _ | (exception Codec.Decode_error _) -> None
+
+let on_receive t ~origin bytes =
+  match decode bytes with
   | None -> ()
-  | Some payload ->
-      Hashtbl.remove t.parked (origin, next);
-      Hashtbl.replace t.expected origin (next + 1);
-      t.deliver ~origin payload;
-      drain t origin
+  | Some (seq, payload) -> (
+      match Seqspace.Order.submit t.order ~origin ~seq payload with
+      | `Duplicate -> ()
+      | `Run run ->
+          List.iter (fun p -> t.deliver ~origin p) run;
+          Trace.Gauge.set t.g_holdback (Seqspace.Order.parked t.order))
 
-let on_receive t ~origin ~tag payload =
-  match (tag : Value.t) with
-  | Int seq ->
-      let next = expected_of t origin in
-      if seq < next then () (* stale duplicate *)
-      else begin
-        Hashtbl.replace t.parked (origin, seq) payload;
-        drain t origin
-      end
-  | _ -> ()
-
-let attach group ~me ~name ~deliver =
-  let rb =
-    Rbcast.attach group ~me ~name:("fifo:" ^ name)
-      ~deliver:(fun ~origin:_ _ -> ())
-  in
+let create below =
   let t =
-    { rb; next_send = 0; expected = Hashtbl.create 16;
-      parked = Hashtbl.create 16; deliver }
+    {
+      below;
+      next_send = 0;
+      order = Seqspace.Order.create ();
+      deliver = Layer.null_deliver;
+      g_holdback = Trace.gauge (Trace.ambient ()) "group.fifo.holdback";
+    }
   in
-  Rbcast.set_tagged_deliver rb (fun ~origin ~tag payload ->
-      on_receive t ~origin ~tag payload);
+  Layer.set_deliver below (fun ~origin bytes -> on_receive t ~origin bytes);
   t
 
 let bcast t payload =
   let seq = t.next_send in
   t.next_send <- seq + 1;
-  Rbcast.bcast_tagged t.rb ~tag:(Value.Int seq) payload
+  Layer.send t.below (encode ~seq payload)
 
-let holdback_size t = Hashtbl.length t.parked
+let holdback_size t = Seqspace.Order.parked t.order
+
+let layer t =
+  Layer.make ~name:"order:fifo"
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~stats:(fun () -> [ ("fifo.holdback", holdback_size t) ])
+    ()
+
+let attach group ~me ~name ~deliver =
+  let rb =
+    Rbcast.attach group ~me ~name:("fifo:" ^ name) ~deliver:Layer.null_deliver
+  in
+  let t = create (Rbcast.layer rb) in
+  t.deliver <- deliver;
+  t

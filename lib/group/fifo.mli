@@ -1,10 +1,19 @@
 (** FIFO-ordered broadcast (§3.1.2 "FIFO ordered"): obvents published
     through the same object are delivered to every matching
-    subscriber in publication order (publisher-side order). Layered
-    on {!Rbcast}: each publisher numbers its messages, receivers hold
-    back out-of-order ones. *)
+    subscriber in publication order (publisher-side order). A pure
+    sequencing layer: each publisher numbers its messages, receivers
+    release the contiguous run ({!Seqspace.Order}); reliability comes
+    from whatever the layer is stacked on. *)
 
 type t
+
+val create : Layer.t -> t
+(** Stack FIFO sequencing on a lower layer (normally {!Rbcast.layer},
+    but any transport with per-link loss works — delivery then simply
+    has gaps, never inversions). *)
+
+val layer : t -> Layer.t
+(** This endpoint as a stackable layer (["order:fifo"]). *)
 
 val attach :
   Membership.t ->
@@ -12,6 +21,7 @@ val attach :
   name:string ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   t
+(** Convenience: best-effort + reliability + FIFO in one step. *)
 
 val bcast : t -> string -> unit
 

@@ -47,7 +47,7 @@ type t = {
   mutable next_seq : int;
   mutable delivered : int;
   mutable running : bool;
-  deliver : origin:Net.node_id -> string -> unit;
+  mutable deliver : origin:Net.node_id -> string -> unit;
   c_rounds : Trace.Counter.t;
   c_sends : Trace.Counter.t;
   g_seen : Trace.Gauge.t;
@@ -267,3 +267,13 @@ let view t = t.view
 let delivered_count t = t.delivered
 let seen_size t = Hashtbl.length t.seen
 let stop t = t.running <- false
+
+let layer t =
+  (* An epidemic cannot address individual members or skip the local
+     one: the [self]/[except] flags are meaningless and ignored. *)
+  Layer.make ~name:"transport:gossip"
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~stats:(fun () ->
+      [ ("gossip.seen", seen_size t); ("gossip.view", List.length t.view) ])
+    ()

@@ -53,3 +53,11 @@ val seen_size : t -> int
 
 val stop : t -> unit
 (** Stop gossiping (the node leaves the epidemic). *)
+
+val layer : t -> Layer.t
+(** This endpoint as the stack's bottom transport
+    (["transport:gossip"]). Stacking an ordering layer on it yields
+    probabilistically-reliable ordered delivery: no inversions, but
+    gaps are possible — the flood-based reliability layer is
+    {e not} stacked over gossip (re-flooding every gossip delivery
+    would defeat the epidemic's O(fanout) per-round traffic). *)

@@ -1,0 +1,21 @@
+module Net = Tpbs_sim.Net
+
+type t = {
+  name : string;
+  send : ?self:bool -> ?except:Net.node_id -> string -> unit;
+  set_deliver : (origin:Net.node_id -> string -> unit) -> unit;
+  resume : unit -> unit;
+  stats : unit -> (string * int) list;
+}
+
+let null_deliver ~origin:_ _ = ()
+
+let make ~name ~send ~set_deliver ?(resume = fun () -> ())
+    ?(stats = fun () -> []) () =
+  { name; send; set_deliver; resume; stats }
+
+let name l = l.name
+let send l ?self ?except payload = l.send ?self ?except payload
+let set_deliver l f = l.set_deliver f
+let resume l = l.resume ()
+let stats l = l.stats ()

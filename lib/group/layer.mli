@@ -1,0 +1,52 @@
+(** The uniform seam between adjacent layers of a composable protocol
+    stack (Ensemble-style).
+
+    A layer endpoint exposes a {e downcall} ([send]: disseminate a
+    payload to the whole group) and an {e upcall} ([set_deliver]:
+    install the layer above as the receiver of payloads travelling
+    up). A stack is assembled bottom-up — transport first, then
+    reliability, then ordering — each layer wrapping its own header
+    around the payload it hands down and stripping it from payloads it
+    hands up, so layers compose without knowing each other's wire
+    formats (see {!Stack.assemble} for the assembly rules).
+
+    The contract of [send]: every group member, including the sender,
+    eventually delivers the payload at the same stack height — modulo
+    the stack's reliability. Where local delivery happens (via the
+    network loopback, or synchronously at the sending layer) is the
+    implementation's choice; the flags below let reliability layers
+    suppress redundant copies. *)
+
+type t
+
+val make :
+  name:string ->
+  send:(?self:bool -> ?except:Tpbs_sim.Net.node_id -> string -> unit) ->
+  set_deliver:((origin:Tpbs_sim.Net.node_id -> string -> unit) -> unit) ->
+  ?resume:(unit -> unit) ->
+  ?stats:(unit -> (string * int) list) ->
+  unit ->
+  t
+(** [name] identifies the layer in {!Stack.shape} (e.g.
+    ["transport:best"], ["rel"], ["order:fifo"]). [send ?self ?except]
+    disseminates: [self] (default [true]) includes the local member,
+    [except] skips one remote (a flood relay skipping the member it
+    received from). Transports that cannot address individual members
+    (gossip) ignore both flags. [resume] is the crash-recovery hook
+    (default no-op); [stats] exposes current gauge levels for
+    {!Tpbs_trace} and the benches (default none). *)
+
+val name : t -> string
+val send : t -> ?self:bool -> ?except:Tpbs_sim.Net.node_id -> string -> unit
+
+val set_deliver : t -> (origin:Tpbs_sim.Net.node_id -> string -> unit) -> unit
+(** Install the upcall. [origin] is the group member the payload
+    originated from at this layer's height (the immediate sender for a
+    plain transport; the original publisher above a reliability or
+    ordering layer). *)
+
+val resume : t -> unit
+val stats : t -> (string * int) list
+
+val null_deliver : origin:Tpbs_sim.Net.node_id -> string -> unit
+(** Discards — the initial upcall before {!set_deliver}. *)

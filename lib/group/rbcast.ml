@@ -1,83 +1,74 @@
 module Net = Tpbs_sim.Net
-module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
 
 type t = {
-  group : Membership.t;
   me : Net.node_id;
-  port : string;
+  below : Layer.t;
   mutable next_seq : int;
-  seen : (Net.node_id * int, unit) Hashtbl.t;
-  mutable deliver :
-    origin:Net.node_id -> tag:Value.t -> string -> unit;
-  mutable duplicates : int;
+  dedup : Seqspace.Dedup.t;
+  mutable deliver : origin:Net.node_id -> string -> unit;
 }
 
-let encode ~origin ~seq ~tag payload =
-  Codec.encode (List [ Int origin; Int seq; tag; Str payload ])
+let encode ~origin ~seq payload =
+  Codec.encode (List [ Int origin; Int seq; Str payload ])
 
 let decode bytes =
   match Codec.decode bytes with
-  | List [ Int origin; Int seq; tag; Str payload ] ->
-      Some (origin, seq, tag, payload)
+  | List [ Int origin; Int seq; Str payload ] -> Some (origin, seq, payload)
   | _ | (exception Codec.Decode_error _) -> None
 
-let relay t ~except bytes =
-  let net = Membership.net t.group in
-  Array.iter
-    (fun dst ->
-      if dst <> t.me && dst <> except then
-        Net.send net ~src:t.me ~dst ~port:t.port bytes)
-    (Membership.members t.group)
-
-let accept t src bytes =
+let on_receive t ~src bytes =
   match decode bytes with
   | None -> ()
-  | Some (origin, seq, tag, payload) ->
-      if Hashtbl.mem t.seen (origin, seq) then
-        t.duplicates <- t.duplicates + 1
-      else begin
-        Hashtbl.add t.seen (origin, seq) ();
-        (* Relay before delivering: if the application callback
-           crashes this node, the flood has already gone out. *)
-        relay t ~except:src bytes;
-        t.deliver ~origin ~tag payload
-      end
+  | Some (origin, seq, payload) -> (
+      match Seqspace.Dedup.witness t.dedup ~origin ~seq with
+      | `Duplicate -> ()
+      | `Fresh ->
+          (* Relay before delivering: if the application callback
+             crashes this node, the flood has already gone out. *)
+          Layer.send t.below ~self:false ~except:src bytes;
+          t.deliver ~origin payload)
 
-let attach group ~me ~name ~deliver =
-  let port = "rb:" ^ name in
+let create ~me below =
   let t =
     {
-      group;
       me;
-      port;
+      below;
       next_seq = 0;
-      seen = Hashtbl.create 256;
-      deliver = (fun ~origin ~tag:_ payload -> deliver ~origin payload);
-      duplicates = 0;
+      dedup = Seqspace.Dedup.create ();
+      deliver = Layer.null_deliver;
     }
   in
-  Net.set_handler (Membership.net group) me ~port (fun src payload ->
-      accept t src payload);
+  Layer.set_deliver below (fun ~origin bytes -> on_receive t ~src:origin bytes);
   t
 
-let set_tagged_deliver t f =
-  t.deliver <- (fun ~origin ~tag payload -> f ~origin ~tag payload)
-
-let bcast_tagged t ~tag payload =
+let bcast t payload =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let bytes = encode ~origin:t.me ~seq ~tag payload in
-  (* Mark as seen so our own flood-back is suppressed, then deliver
-     locally and send to everyone. *)
-  Hashtbl.add t.seen (t.me, seq) ();
-  let net = Membership.net t.group in
-  Array.iter
-    (fun dst ->
-      if dst <> t.me then Net.send net ~src:t.me ~dst ~port:t.port bytes)
-    (Membership.members t.group);
-  t.deliver ~origin:t.me ~tag payload
+  let bytes = encode ~origin:t.me ~seq payload in
+  (* Mark as seen so our own flood-back is suppressed, then send to
+     everyone else and deliver locally. *)
+  ignore (Seqspace.Dedup.witness t.dedup ~origin:t.me ~seq);
+  Layer.send t.below ~self:false bytes;
+  t.deliver ~origin:t.me payload
 
-let bcast t payload = bcast_tagged t ~tag:Value.Null payload
 let me t = t.me
-let duplicates_suppressed t = t.duplicates
+let duplicates_suppressed t = Seqspace.Dedup.duplicates t.dedup
+
+let layer t =
+  Layer.make ~name:"rel"
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~stats:(fun () ->
+      [ ("rel.dup_suppressed", Seqspace.Dedup.duplicates t.dedup);
+        ("rel.residue", Seqspace.Dedup.residue t.dedup) ])
+    ()
+
+let attach group ~me ~name ~deliver =
+  let be =
+    Best_effort.attach group ~me ~name:("rb:" ^ name)
+      ~deliver:Layer.null_deliver
+  in
+  let t = create ~me (Best_effort.layer be) in
+  t.deliver <- deliver;
+  t

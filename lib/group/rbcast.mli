@@ -1,18 +1,28 @@
 (** Reliable broadcast by eager flooding: on the first receipt of a
-    message, a member delivers it and relays it to every other member
-    before anything else.
+    message, a member relays it to every other member and then
+    delivers it.
 
     This provides the paper's "Reliable" delivery (§3.1.2): if any
     correct member delivers, every correct member that stays up
     delivers too, even if the original publisher crashes mid-send —
     the classical Birman–Joseph reliable multicast [BJ87], traded for
-    O(n²) messages. The duplicate-suppression table also masks
-    moderate message loss because each member receives up to n copies.
+    O(n²) messages. The per-origin duplicate suppression
+    ({!Seqspace.Dedup}) also masks moderate message loss because each
+    member receives up to n copies.
 
-    Delivery is unordered; {!Fifo}, {!Causal} and {!Total} layer
-    orderings on top of the same flooding transport. *)
+    Delivery is unordered; {!Fifo}, {!Causal} and {!Total} stack
+    orderings on top through the {!Layer} seam. *)
 
 type t
+
+val create : me:Tpbs_sim.Net.node_id -> Layer.t -> t
+(** Stack the reliability layer on a bottom transport (normally
+    {!Best_effort.layer}). Installs itself as the transport's
+    deliverer. *)
+
+val layer : t -> Layer.t
+(** This endpoint as a stackable layer (["rel"]) for orderings
+    above. *)
 
 val attach :
   Membership.t ->
@@ -20,20 +30,11 @@ val attach :
   name:string ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   t
+(** Convenience: best-effort transport + reliability in one step. *)
 
 val bcast : t -> string -> unit
-
-val bcast_tagged : t -> tag:Tpbs_serial.Value.t -> string -> unit
-(** Broadcast with an extra protocol tag (used by the ordered layers
-    to piggyback sequence numbers or vector clocks). Plain {!bcast}
-    uses [Null]. The tag is passed to [deliver_tagged] if installed. *)
-
-val set_tagged_deliver :
-  t ->
-  (origin:Tpbs_sim.Net.node_id -> tag:Tpbs_serial.Value.t -> string -> unit) ->
-  unit
-
 val me : t -> Tpbs_sim.Net.node_id
+
 val duplicates_suppressed : t -> int
-(** How many redundant copies the dedup table absorbed — the cost of
-    flooding, reported by experiment E2. *)
+(** How many redundant copies the dedup frontier absorbed — the cost
+    of flooding, reported by experiment E2. *)

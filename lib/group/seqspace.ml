@@ -1,0 +1,121 @@
+(* One implementation of per-origin contiguous sequence tracking for
+   the whole protocol stack. Every layer that numbers messages per
+   origin — the flood's duplicate suppression, FIFO/total/certified
+   holdback, the sequencer's submit dedup — used to carry its own copy
+   of this machinery; they all reduce to a frontier (everything below
+   it handled) plus the out-of-order residue above it, so state is
+   bounded by in-flight reordering rather than run length. *)
+
+module Dedup = struct
+  type frontier = {
+    mutable next : int;  (* all seq < next already witnessed *)
+    pending : (int, unit) Hashtbl.t;  (* witnessed, but >= next *)
+  }
+
+  type t = {
+    origins : (int, frontier) Hashtbl.t;
+    mutable residue : int;  (* total out-of-order entries *)
+    mutable duplicates : int;
+  }
+
+  let create () = { origins = Hashtbl.create 16; residue = 0; duplicates = 0 }
+
+  let frontier_of t origin =
+    match Hashtbl.find_opt t.origins origin with
+    | Some f -> f
+    | None ->
+        let f = { next = 0; pending = Hashtbl.create 8 } in
+        Hashtbl.add t.origins origin f;
+        f
+
+  let witness t ~origin ~seq =
+    let f = frontier_of t origin in
+    if seq < f.next || Hashtbl.mem f.pending seq then begin
+      t.duplicates <- t.duplicates + 1;
+      `Duplicate
+    end
+    else begin
+      Hashtbl.add f.pending seq ();
+      t.residue <- t.residue + 1;
+      while Hashtbl.mem f.pending f.next do
+        Hashtbl.remove f.pending f.next;
+        t.residue <- t.residue - 1;
+        f.next <- f.next + 1
+      done;
+      `Fresh
+    end
+
+  let residue t = t.residue
+  let duplicates t = t.duplicates
+end
+
+module Order = struct
+  type 'a stream = {
+    mutable next : int;  (* all seq < next already delivered *)
+    parked : (int, 'a) Hashtbl.t;  (* held back, >= next *)
+  }
+
+  type 'a t = {
+    streams : (int, 'a stream) Hashtbl.t;
+    restore : origin:int -> int option;
+    persist : origin:int -> next:int -> unit;
+    mutable parked_total : int;
+  }
+
+  let create ?(restore = fun ~origin:_ -> None)
+      ?(persist = fun ~origin:_ ~next:_ -> ()) () =
+    { streams = Hashtbl.create 16; restore; persist; parked_total = 0 }
+
+  let stream_of t origin =
+    match Hashtbl.find_opt t.streams origin with
+    | Some s -> s
+    | None ->
+        let next = Option.value ~default:0 (t.restore ~origin) in
+        let s = { next; parked = Hashtbl.create 8 } in
+        Hashtbl.add t.streams origin s;
+        s
+
+  let expected t ~origin = (stream_of t origin).next
+
+  let submit t ~origin ~seq v =
+    let s = stream_of t origin in
+    if seq < s.next then `Duplicate
+    else begin
+      if not (Hashtbl.mem s.parked seq) then
+        t.parked_total <- t.parked_total + 1;
+      Hashtbl.replace s.parked seq v;
+      let run = ref [] in
+      while Hashtbl.mem s.parked s.next do
+        run := Hashtbl.find s.parked s.next :: !run;
+        Hashtbl.remove s.parked s.next;
+        t.parked_total <- t.parked_total - 1;
+        s.next <- s.next + 1
+      done;
+      let run = List.rev !run in
+      (* Persist the frontier before the caller delivers the run:
+         certified delivery must survive a crash inside the
+         application callback without re-delivering. *)
+      if run <> [] then t.persist ~origin ~next:s.next;
+      `Run run
+    end
+
+  let parked t = t.parked_total
+end
+
+module Park = struct
+  type 'a t = { mutable held : 'a list }  (* newest first *)
+
+  let create () = { held = [] }
+  let add t v = t.held <- v :: t.held
+  let size t = List.length t.held
+
+  let rec drain t ~ready ~deliver =
+    let go, still = List.partition ready t.held in
+    t.held <- still;
+    match go with
+    | [] -> ()
+    | vs ->
+        List.iter deliver vs;
+        (* Delivery may have unblocked earlier-parked entries. *)
+        drain t ~ready ~deliver
+end

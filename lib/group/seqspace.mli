@@ -1,0 +1,73 @@
+(** Per-origin sequence-space bookkeeping, shared by every layer of
+    the protocol stack.
+
+    All the stack's guarantees ride on per-origin contiguous sequence
+    numbers; what differs per layer is only what happens at the
+    frontier. Three views of the same structure:
+
+    - {!Dedup} — "have I seen (origin, seq) before?" for the flood's
+      duplicate suppression and the sequencer's submit dedup;
+    - {!Order} — holdback delivery: park out-of-order payloads,
+      release the contiguous run when a gap fills (FIFO, total-order
+      subscribers, certified);
+    - {!Park} — predicate holdback for orderings that are not
+      sequence-contiguous (vector-clock deliverability).
+
+    In every case state is a frontier plus the out-of-order residue
+    above it, so memory is bounded by in-flight reordering, not run
+    length. *)
+
+module Dedup : sig
+  type t
+
+  val create : unit -> t
+
+  val witness : t -> origin:int -> seq:int -> [ `Fresh | `Duplicate ]
+  (** First sighting of [(origin, seq)] is [`Fresh]; any later one is
+      [`Duplicate]. *)
+
+  val residue : t -> int
+  (** Current out-of-order entries above the frontiers (a gauge). *)
+
+  val duplicates : t -> int
+  (** Total [`Duplicate] verdicts (a counter). *)
+end
+
+module Order : sig
+  type 'a t
+
+  val create :
+    ?restore:(origin:int -> int option) ->
+    ?persist:(origin:int -> next:int -> unit) ->
+    unit ->
+    'a t
+  (** [restore] seeds an origin's frontier on first sight (certified
+      reads it from stable storage; default [None] = 0). [persist] is
+      called with the advanced frontier {e before} {!submit} returns a
+      non-empty run, so a durable layer commits progress ahead of
+      application delivery. *)
+
+  val expected : 'a t -> origin:int -> int
+  (** The next in-order sequence number for [origin]. *)
+
+  val submit : 'a t -> origin:int -> seq:int -> 'a -> [ `Duplicate | `Run of 'a list ]
+  (** [`Duplicate] if [seq] is below the frontier (already released).
+      Otherwise parks the value and returns the contiguous run now
+      releasable in sequence order ([`Run []] when a gap remains). *)
+
+  val parked : 'a t -> int
+  (** Values currently held back across all origins (a gauge). *)
+end
+
+module Park : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val add : 'a t -> 'a -> unit
+  val size : 'a t -> int
+
+  val drain : 'a t -> ready:('a -> bool) -> deliver:('a -> unit) -> unit
+  (** Repeatedly release every held entry satisfying [ready] (newest
+      first, as parked) until a fixpoint — delivery typically advances
+      the state [ready] consults. *)
+end

@@ -1,5 +1,4 @@
 module Net = Tpbs_sim.Net
-module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
 module Trace = Tpbs_trace.Trace
 
@@ -11,24 +10,12 @@ type pending_pub = {
   payload : string;
 }
 
-(* Duplicate-submit suppression at the sequencer. Publisher pub_seqs
-   are contiguous per origin, so instead of remembering every
-   (origin, pub_seq) ever sequenced (which grows with run length) we
-   keep a per-origin frontier — everything below it has been
-   sequenced — plus the small out-of-order residue above it. The
-   residue drains back into the frontier as gaps fill, so the table is
-   bounded by in-flight reordering, not history. *)
-type frontier = {
-  mutable next : int;  (* all pub_seq < next already sequenced *)
-  pending : (int, unit) Hashtbl.t;  (* sequenced, but >= next *)
-}
-
 type t = {
   group : Membership.t;
   me : Net.node_id;
   sequencer : Net.node_id;
   submit_port : string;
-  rb : Rbcast.t;
+  below : Layer.t;
   causal : bool;
   retry_period : int;
   (* publisher side *)
@@ -38,17 +25,15 @@ type t = {
   mutable retry_armed : bool;
   (* sequencer side *)
   mutable next_global : int;
-  seq_seen : (Net.node_id, frontier) Hashtbl.t;
-  mutable seq_seen_entries : int;  (* total out-of-order residue size *)
-  mutable seq_parked : pending_pub list;  (* causal holdback at the sequencer *)
+  seq_seen : Seqspace.Dedup.t;  (* duplicate-submit suppression *)
+  seq_parked : pending_pub Seqspace.Park.t;  (* causal holdback *)
   seq_vc : Vclock.t;
   g_seq_seen : Trace.Gauge.t;
   g_holdback : Trace.Gauge.t;
   c_duplicates : Trace.Counter.t;
-  (* subscriber side *)
-  mutable next_deliver : int;
-  parked : (int, Net.node_id * string) Hashtbl.t;
-  deliver : origin:Net.node_id -> string -> unit;
+  (* subscriber side: one global sequence = one pseudo-origin stream *)
+  order : (Net.node_id * string) Seqspace.Order.t;
+  mutable deliver : origin:Net.node_id -> string -> unit;
 }
 
 let encode_submit ~origin ~pub_seq ~vc payload =
@@ -62,83 +47,52 @@ let decode_submit bytes =
       | None -> None)
   | _ | (exception Codec.Decode_error _) -> None
 
-(* Sequencer: assign the next global number and flood. The tag
-   carries (global seq, publisher, publisher's sequence, clock). *)
+let encode_sequenced ~n ~origin ~pub_seq ~vc payload =
+  Codec.encode
+    (List [ Int n; Int origin; Int pub_seq; Vclock.to_value vc; Str payload ])
+
+let decode_sequenced bytes =
+  match Codec.decode bytes with
+  | List [ Int n; Int origin; Int pub_seq; vcv; Str payload ] ->
+      Some (n, origin, pub_seq, vcv, payload)
+  | _ | (exception Codec.Decode_error _) -> None
+
+(* Sequencer: assign the next global number and hand the message down
+   — the layer below (reliable flood, or the certified log for
+   Certified+Total) disseminates the agreed order. *)
 let sequence_out t (p : pending_pub) =
   let n = t.next_global in
   t.next_global <- n + 1;
-  Rbcast.bcast_tagged t.rb
-    ~tag:(List [ Int n; Int p.origin; Int p.pub_seq; Vclock.to_value p.vc ])
-    p.payload
+  Layer.send t.below
+    (encode_sequenced ~n ~origin:p.origin ~pub_seq:p.pub_seq ~vc:p.vc p.payload)
 
-let rec sequencer_drain t =
-  if not t.causal then ()
-  else begin
-    let ready, still =
-      List.partition
-        (fun p -> Vclock.deliverable p.vc ~sender:p.rank ~local:t.seq_vc)
-        t.seq_parked
-    in
-    t.seq_parked <- still;
-    match ready with
-    | [] -> ()
-    | ps ->
-        List.iter
-          (fun p ->
-            Vclock.merge t.seq_vc p.vc;
-            sequence_out t p)
-          ps;
-        sequencer_drain t
-  end
+let sequencer_drain t =
+  if t.causal then
+    Seqspace.Park.drain t.seq_parked
+      ~ready:(fun p -> Vclock.deliverable p.vc ~sender:p.rank ~local:t.seq_vc)
+      ~deliver:(fun p ->
+        Vclock.merge t.seq_vc p.vc;
+        sequence_out t p)
 
-let seq_seen_size t = t.seq_seen_entries
-
-let frontier_of t origin =
-  match Hashtbl.find_opt t.seq_seen origin with
-  | Some f -> f
-  | None ->
-      let f = { next = 0; pending = Hashtbl.create 8 } in
-      Hashtbl.add t.seq_seen origin f;
-      f
-
-let mark_seen t f pub_seq =
-  Hashtbl.add f.pending pub_seq ();
-  t.seq_seen_entries <- t.seq_seen_entries + 1;
-  while Hashtbl.mem f.pending f.next do
-    Hashtbl.remove f.pending f.next;
-    t.seq_seen_entries <- t.seq_seen_entries - 1;
-    f.next <- f.next + 1
-  done;
-  Trace.Gauge.set t.g_seq_seen t.seq_seen_entries
+let seq_seen_size t = Seqspace.Dedup.residue t.seq_seen
 
 let on_submit t bytes =
   match decode_submit bytes with
   | None -> ()
   | Some (origin, pub_seq, vc, payload) -> (
-      let f = frontier_of t origin in
-      if pub_seq < f.next || Hashtbl.mem f.pending pub_seq then
-        Trace.Counter.incr t.c_duplicates
-      else begin
-        mark_seen t f pub_seq;
-        match Membership.rank t.group origin with
-        | rank ->
-            let p = { origin; rank; pub_seq; vc; payload } in
-            if t.causal then begin
-              t.seq_parked <- p :: t.seq_parked;
-              sequencer_drain t
-            end
-            else sequence_out t p
-        | exception Not_found -> ()
-      end)
-
-let rec subscriber_drain t =
-  match Hashtbl.find_opt t.parked t.next_deliver with
-  | None -> ()
-  | Some (origin, payload) ->
-      Hashtbl.remove t.parked t.next_deliver;
-      t.next_deliver <- t.next_deliver + 1;
-      t.deliver ~origin payload;
-      subscriber_drain t
+      match Seqspace.Dedup.witness t.seq_seen ~origin ~seq:pub_seq with
+      | `Duplicate -> Trace.Counter.incr t.c_duplicates
+      | `Fresh -> (
+          Trace.Gauge.set t.g_seq_seen (Seqspace.Dedup.residue t.seq_seen);
+          match Membership.rank t.group origin with
+          | rank ->
+              let p = { origin; rank; pub_seq; vc; payload } in
+              if t.causal then begin
+                Seqspace.Park.add t.seq_parked p;
+                sequencer_drain t
+              end
+              else sequence_out t p
+          | exception Not_found -> ()))
 
 (* Publisher: retransmit unsequenced submissions until we see them
    come back in the agreed order (tolerates a lossy submit link). *)
@@ -158,31 +112,28 @@ let rec arm_retry t =
         end)
   end
 
-let on_sequenced t ~tag payload =
-  match (tag : Value.t) with
-  | List [ Int n; Int origin; Int pub_seq; vcv ] ->
+let on_sequenced t bytes =
+  match decode_sequenced bytes with
+  | None -> ()
+  | Some (n, origin, pub_seq, vcv, payload) ->
       if origin = t.me then Hashtbl.remove t.unsequenced pub_seq;
       (* Happens-before through delivery: merging the publisher's
          clock here makes a subsequent local publish causally after
          this message. *)
       if t.causal then
         Option.iter (Vclock.merge t.local_vc) (Vclock.of_value vcv);
-      if n >= t.next_deliver then begin
-        Hashtbl.replace t.parked n (origin, payload);
-        subscriber_drain t
-      end;
-      Trace.Gauge.set t.g_holdback (Hashtbl.length t.parked + List.length t.seq_parked)
-  | _ -> ()
+      (* The agreed order is one stream: pseudo-origin 0, global seq. *)
+      (match Seqspace.Order.submit t.order ~origin:0 ~seq:n (origin, payload) with
+      | `Duplicate -> ()
+      | `Run run -> List.iter (fun (o, p) -> t.deliver ~origin:o p) run);
+      Trace.Gauge.set t.g_holdback
+        (Seqspace.Order.parked t.order + Seqspace.Park.size t.seq_parked)
 
-let attach ?(causal = false) group ~me ~name ~deliver =
+let create ?(causal = false) group ~me ~name below =
   let members = Membership.members group in
-  if Array.length members = 0 then invalid_arg "Total.attach: empty group";
+  if Array.length members = 0 then invalid_arg "Total.create: empty group";
   let sequencer = members.(0) in
   let submit_port = "total-submit:" ^ name in
-  let rb =
-    Rbcast.attach group ~me ~name:("total:" ^ name)
-      ~deliver:(fun ~origin:_ _ -> ())
-  in
   let tr = Trace.ambient () in
   let t =
     {
@@ -190,7 +141,7 @@ let attach ?(causal = false) group ~me ~name ~deliver =
       me;
       sequencer;
       submit_port;
-      rb;
+      below;
       causal;
       retry_period = 5000;
       local_vc = Vclock.create (Membership.size group);
@@ -198,20 +149,17 @@ let attach ?(causal = false) group ~me ~name ~deliver =
       unsequenced = Hashtbl.create 8;
       retry_armed = false;
       next_global = 0;
-      seq_seen = Hashtbl.create 8;
-      seq_seen_entries = 0;
-      seq_parked = [];
+      seq_seen = Seqspace.Dedup.create ();
+      seq_parked = Seqspace.Park.create ();
       seq_vc = Vclock.create (Membership.size group);
       g_seq_seen = Trace.gauge tr "group.total.seq_seen";
       g_holdback = Trace.gauge tr "group.total.holdback";
       c_duplicates = Trace.counter tr "group.total.duplicate_submits";
-      next_deliver = 0;
-      parked = Hashtbl.create 32;
-      deliver;
+      order = Seqspace.Order.create ();
+      deliver = Layer.null_deliver;
     }
   in
-  Rbcast.set_tagged_deliver rb (fun ~origin:_ ~tag payload ->
-      on_sequenced t ~tag payload);
+  Layer.set_deliver below (fun ~origin:_ bytes -> on_sequenced t bytes);
   if me = sequencer then
     Net.set_handler (Membership.net group) me ~port:submit_port
       (fun _src bytes -> on_submit t bytes);
@@ -234,6 +182,34 @@ let bcast t payload =
     ~port:t.submit_port bytes;
   arm_retry t
 
+(* Timers die with a crash; state does not. Re-arming the submit
+   retry on resume lets a recovered publisher finish getting its
+   in-flight publications sequenced. *)
+let resume t =
+  t.retry_armed <- false;
+  arm_retry t
+
 let sequencer t = t.sequencer
 let is_sequencer t = t.me = t.sequencer
-let holdback_size t = Hashtbl.length t.parked + List.length t.seq_parked
+
+let holdback_size t =
+  Seqspace.Order.parked t.order + Seqspace.Park.size t.seq_parked
+
+let layer t =
+  Layer.make
+    ~name:(if t.causal then "order:causal+total" else "order:total")
+    ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
+    ~set_deliver:(fun f -> t.deliver <- f)
+    ~resume:(fun () -> resume t)
+    ~stats:(fun () ->
+      [ ("total.holdback", holdback_size t);
+        ("total.seq_seen", seq_seen_size t) ])
+    ()
+
+let attach ?causal group ~me ~name ~deliver =
+  let rb =
+    Rbcast.attach group ~me ~name:("total:" ^ name) ~deliver:Layer.null_deliver
+  in
+  let t = create ?causal group ~me ~name (Rbcast.layer rb) in
+  t.deliver <- deliver;
+  t

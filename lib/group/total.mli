@@ -3,15 +3,34 @@
 
     Implemented with a fixed sequencer (the group's first member):
     publishers unicast to the sequencer, which assigns global sequence
-    numbers and reliably broadcasts; members deliver in sequence-number
-    order with a holdback queue.
+    numbers and hands the message to the layer below for
+    dissemination; members deliver in sequence-number order with a
+    holdback queue ({!Seqspace.Order} over the single agreed stream).
 
     With [~causal:true] the sequencer first runs the CBCAST holdback
     on incoming publications, so the agreed order is additionally
     causal — the composition "CausalOrder + TotalOrder" obtained in
-    the paper by multiple subtyping (Fig. 3/4). *)
+    the paper by multiple subtyping (Fig. 3/4). Stacked over
+    {!Certified.layer} it yields "Certified + TotalOrder": the agreed
+    sequence is disseminated through the durable log. *)
 
 type t
+
+val create :
+  ?causal:bool ->
+  Membership.t ->
+  me:Tpbs_sim.Net.node_id ->
+  name:string ->
+  Layer.t ->
+  t
+(** Stack total-order sequencing on a lower layer. [name] scopes the
+    sequencer's submit port.
+    @raise Invalid_argument on an empty group. *)
+
+val layer : t -> Layer.t
+(** This endpoint as a stackable layer (["order:total"] or
+    ["order:causal+total"]). Its resume hook re-arms the publisher's
+    submit-retry timer after a crash. *)
 
 val attach :
   ?causal:bool ->
@@ -20,14 +39,20 @@ val attach :
   name:string ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   t
+(** Convenience: best-effort + reliability + total order in one
+    step. *)
 
 val bcast : t -> string -> unit
 val sequencer : t -> Tpbs_sim.Net.node_id
 val is_sequencer : t -> bool
 val holdback_size : t -> int
 
+val resume : t -> unit
+(** Re-arm the submit-retry timer after the hosting node recovers
+    (timers do not survive crashes; the unsequenced table does). *)
+
 val seq_seen_size : t -> int
 (** Size of the sequencer's duplicate-suppression residue: the
     out-of-order submissions above each origin's contiguous frontier.
-    Bounded by in-flight reordering (not run length) — see the
-    [frontier] comment in the implementation. *)
+    Bounded by in-flight reordering (not run length) — see
+    {!Seqspace.Dedup}. *)

@@ -74,12 +74,6 @@ let equal a b =
   a.reliable = b.reliable && a.certified = b.certified && a.order = b.order
   && a.prioritary = b.prioritary && a.timely = b.timely
 
-let strength p =
-  (if p.reliable then 10 else 0)
-  + (if p.certified then 20 else 0)
-  + (match p.order with
-    | No_order -> 0
-    | Fifo -> 3
-    | Causal -> 5
-    | Total -> 7
-    | Causal_total -> 9)
+let conflict_label = function
+  | Timely_dropped -> "timely"
+  | Priority_dropped -> "priority"

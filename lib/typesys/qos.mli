@@ -37,7 +37,8 @@ val resolve : profile -> profile * conflict list
 val order_requires_reliability : order -> bool
 val pp : Format.formatter -> profile -> unit
 val equal : profile -> profile -> bool
-val strength : profile -> int
-(** Monotone numeric measure used by benches: higher means stronger
-    guarantees (and, empirically, more protocol cost — experiment
-    E2). *)
+
+val conflict_label : conflict -> string
+(** Short name of the semantics dropped by a conflict ("timely",
+    "priority") — the payload of the engine's [core.qos_conflict]
+    trace events. *)

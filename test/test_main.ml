@@ -2,7 +2,7 @@ let () =
   Alcotest.run "tpbs"
     [ Test_serial.suite; Test_typesys.suite; Test_obvent.suite;
       Test_filter.suite; Test_sim.suite; Test_trace.suite; Test_group.suite;
-      Test_rmi.suite;
+      Test_stack.suite; Test_rmi.suite;
       Test_core.suite; Test_routing.suite; Test_baselines.suite;
       Test_psc.suite;
       Test_alternatives.suite ]

@@ -1,0 +1,548 @@
+(* The QoS composition matrix (Fig. 3/4): every reachable lattice
+   point maps to a layer stack, and each assembled stack delivers the
+   semantics its markers promise — including the composed points
+   (Certified+FIFO, Certified+Total, Causal+Total) the old one-pick
+   dispatch silently weakened. *)
+
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Stable = Tpbs_sim.Stable
+module Qos = Tpbs_types.Qos
+module Registry = Tpbs_types.Registry
+module Membership = Tpbs_group.Membership
+module Layer = Tpbs_group.Layer
+module Seqspace = Tpbs_group.Seqspace
+module Stack = Tpbs_group.Stack
+module Gossip = Tpbs_group.Gossip
+module Pubsub = Tpbs_core.Pubsub
+module Value = Tpbs_serial.Value
+module Obvent = Tpbs_obvent.Obvent
+module Vtype = Tpbs_types.Vtype
+
+let profile ?(reliable = false) ?(certified = false) ?(order = Qos.No_order)
+    () =
+  fst
+    (Qos.resolve
+       { Qos.reliable; certified; order; prioritary = false; timely = false })
+
+(* --- harness: n member stacks over one simulated net ----------------- *)
+
+type world = {
+  engine : Engine.t;
+  net : Net.t;
+  group : Membership.t;
+  nodes : Net.node_id array;
+  logs : (Net.node_id * string) list ref array;
+  stacks : Stack.t array;
+}
+
+let make_world ?(n = 4) ?(config = Net.default_config) ?(seed = 7) ?transport
+    prof =
+  let engine = Engine.create ~seed () in
+  let net = Net.create ~config engine in
+  let nodes = Array.init n (fun _ -> Net.add_node net) in
+  let group = Membership.create net (Array.to_list nodes) in
+  let logs = Array.init n (fun _ -> ref []) in
+  let stacks =
+    Array.mapi
+      (fun i me ->
+        let transport =
+          match transport with None -> Stack.Best | Some f -> f ~me
+        in
+        Stack.assemble prof ~transport ~storage:(Stable.create ()) ~group ~me
+          ~name:"t"
+          ~deliver:(fun ~origin payload ->
+            logs.(i) := (origin, payload) :: !(logs.(i)))
+          ())
+      nodes
+  in
+  { engine; net; group; nodes; logs; stacks }
+
+let log w i = List.rev !(w.logs.(i))
+let payloads w i = List.map snd (log w i)
+
+let from_origin w i origin =
+  List.filter_map
+    (fun (o, p) -> if o = origin then Some p else None)
+    (log w i)
+
+(* --- stack shapes ------------------------------------------------------ *)
+
+let shape_of ?transport prof =
+  let w = make_world ~n:3 ?transport prof in
+  Stack.shape w.stacks.(0)
+
+let check_shape name prof expected =
+  Alcotest.(check (list string)) name expected (shape_of prof)
+
+let test_shape_matrix () =
+  check_shape "plain" (profile ()) [ "transport:best" ];
+  check_shape "reliable" (profile ~reliable:true ()) [ "rel"; "transport:best" ];
+  check_shape "fifo"
+    (profile ~order:Qos.Fifo ())
+    [ "order:fifo"; "rel"; "transport:best" ];
+  check_shape "causal"
+    (profile ~order:Qos.Causal ())
+    [ "order:causal"; "rel"; "transport:best" ];
+  check_shape "total"
+    (profile ~order:Qos.Total ())
+    [ "order:total"; "rel"; "transport:best" ];
+  check_shape "causal+total"
+    (profile ~order:Qos.Causal_total ())
+    [ "order:causal+total"; "rel"; "transport:best" ];
+  check_shape "certified" (profile ~certified:true ()) [ "certified" ];
+  (* Certified delivery is already per-publisher contiguous: FIFO is
+     subsumed, not dropped. *)
+  check_shape "certified+fifo"
+    (profile ~certified:true ~order:Qos.Fifo ())
+    [ "certified" ];
+  check_shape "certified+causal"
+    (profile ~certified:true ~order:Qos.Causal ())
+    [ "order:causal"; "certified" ];
+  check_shape "certified+total"
+    (profile ~certified:true ~order:Qos.Total ())
+    [ "order:total"; "certified" ];
+  check_shape "certified+causal+total"
+    (profile ~certified:true ~order:Qos.Causal_total ())
+    [ "order:causal+total"; "certified" ]
+
+let gossip_transport ~me:_ = Stack.Gossip_net (Gossip.default_config, [])
+
+let test_shape_gossip () =
+  let shape prof = shape_of ~transport:gossip_transport prof in
+  Alcotest.(check (list string))
+    "plain over gossip" [ "transport:gossip" ]
+    (shape (profile ()));
+  (* The epidemic's redundancy substitutes for the flood layer. *)
+  Alcotest.(check (list string))
+    "fifo over gossip"
+    [ "order:fifo"; "transport:gossip" ]
+    (shape (profile ~order:Qos.Fifo ()));
+  Alcotest.(check (list string))
+    "total over gossip"
+    [ "order:total"; "transport:gossip" ]
+    (shape (profile ~order:Qos.Total ()));
+  (* Certified needs unicast acks/sync: it displaces the gossip
+     override. *)
+  Alcotest.(check (list string))
+    "certified displaces gossip" [ "certified" ]
+    (shape (profile ~certified:true ()))
+
+let test_shape_from_registry () =
+  let reg = Registry.create () in
+  List.iter
+    (fun (name, itfs) ->
+      Registry.declare_class reg ~name ~implements:("Obvent" :: itfs) ())
+    [ ("Plain", []); ("CF", [ "Certified"; "FIFOOrder" ]);
+      ("CT", [ "Certified"; "TotalOrder" ]);
+      ("CCT", [ "Certified"; "CausalOrder"; "TotalOrder" ]);
+      ("CaT", [ "CausalOrder"; "TotalOrder" ]) ];
+  let shape cls = shape_of (fst (Qos.of_type reg cls)) in
+  Alcotest.(check (list string)) "Plain" [ "transport:best" ] (shape "Plain");
+  Alcotest.(check (list string)) "Certified+FIFO" [ "certified" ] (shape "CF");
+  Alcotest.(check (list string))
+    "Certified+Total"
+    [ "order:total"; "certified" ]
+    (shape "CT");
+  Alcotest.(check (list string))
+    "Certified+Causal+Total"
+    [ "order:causal+total"; "certified" ]
+    (shape "CCT");
+  Alcotest.(check (list string))
+    "Causal+Total"
+    [ "order:causal+total"; "rel"; "transport:best" ]
+    (shape "CaT")
+
+let test_targeted_only_plain () =
+  let has_targeted prof =
+    let w = make_world ~n:3 prof in
+    Stack.targeted w.stacks.(0) <> None
+  in
+  Alcotest.(check bool) "plain best-effort is targetable" true
+    (has_targeted (profile ()));
+  Alcotest.(check bool) "reliable is not" false
+    (has_targeted (profile ~reliable:true ()));
+  Alcotest.(check bool) "certified is not" false
+    (has_targeted (profile ~certified:true ()));
+  Alcotest.(check bool) "ordered is not" false
+    (has_targeted (profile ~order:Qos.Fifo ()))
+
+(* --- delivered-semantics invariants, one per lattice point ------------ *)
+
+(* Schedule [k] publishes from each of [pubs], interleaved. *)
+let publish_interleaved w ~pubs ~k =
+  List.iter
+    (fun p ->
+      for i = 0 to k - 1 do
+        Engine.schedule w.engine ~delay:(100 * ((i * List.length pubs) + p))
+          (fun () ->
+            Stack.bcast w.stacks.(p) (Printf.sprintf "p%d-%d" p i))
+      done)
+    pubs
+
+let expect_seq p k = List.init k (fun i -> Printf.sprintf "p%d-%d" p i)
+
+let test_cert_fifo_loss () =
+  (* Certified+FIFO under 30% loss: every member delivers every
+     message of every publisher, in publication order. *)
+  let w =
+    make_world ~n:4
+      ~config:{ Net.default_config with loss = 0.3 }
+      (profile ~certified:true ~order:Qos.Fifo ())
+  in
+  publish_interleaved w ~pubs:[ 0; 1 ] ~k:10;
+  Engine.run ~until:3_000_000 w.engine;
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun p ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "node %d, publisher %d: ordered and complete" i p)
+            (expect_seq p 10)
+            (from_origin w i w.nodes.(p)))
+        [ 0; 1 ])
+    w.nodes
+
+let test_cert_fifo_crash_resume () =
+  (* Gap recovery: a subscriber misses messages while down, recovers,
+     and Stack.resume re-activates certification — the gap fills and
+     order is preserved (never m3 before m1). *)
+  let w = make_world ~n:3 (profile ~certified:true ~order:Qos.Fifo ()) in
+  for i = 0 to 2 do
+    Engine.schedule w.engine ~delay:(100 * i) (fun () ->
+        Stack.bcast w.stacks.(0) (Printf.sprintf "p0-%d" i))
+  done;
+  Engine.run ~until:20_000 w.engine;
+  Net.crash w.net w.nodes.(1);
+  for i = 3 to 5 do
+    Engine.schedule w.engine ~delay:(100 * i) (fun () ->
+        Stack.bcast w.stacks.(0) (Printf.sprintf "p0-%d" i))
+  done;
+  Engine.run ~until:(Engine.now w.engine + 30_000) w.engine;
+  Net.recover w.net w.nodes.(1);
+  Stack.resume w.stacks.(1);
+  Engine.run ~until:(Engine.now w.engine + 400_000) w.engine;
+  Alcotest.(check (list string))
+    "recovered subscriber: complete, ordered, no duplicates"
+    (expect_seq 0 6)
+    (from_origin w 1 w.nodes.(0));
+  Alcotest.(check (list string))
+    "up subscriber: complete and ordered" (expect_seq 0 6)
+    (from_origin w 2 w.nodes.(0))
+
+let test_cert_total_loss () =
+  (* Certified+Total under loss: all members deliver the full agreed
+     sequence — identical everywhere, nothing missing (plain Total
+     only promises a common prefix under loss; certification closes
+     the gaps). *)
+  let w =
+    make_world ~n:4
+      ~config:{ Net.default_config with loss = 0.25 }
+      (profile ~certified:true ~order:Qos.Total ())
+  in
+  publish_interleaved w ~pubs:[ 1; 2 ] ~k:8;
+  Engine.run ~until:3_000_000 w.engine;
+  let reference = log w 0 in
+  Alcotest.(check int) "all 16 delivered" 16 (List.length reference);
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "node %d agrees with node 0" i)
+        reference (log w i))
+    w.nodes
+
+let test_cert_total_crash_resume () =
+  let w = make_world ~n:3 (profile ~certified:true ~order:Qos.Total ()) in
+  publish_interleaved w ~pubs:[ 0; 2 ] ~k:3;
+  Engine.run ~until:20_000 w.engine;
+  Net.crash w.net w.nodes.(2);
+  for i = 3 to 5 do
+    Engine.schedule w.engine ~delay:(100 * i) (fun () ->
+        Stack.bcast w.stacks.(0) (Printf.sprintf "p0-%d" i))
+  done;
+  Engine.run ~until:(Engine.now w.engine + 30_000) w.engine;
+  Net.recover w.net w.nodes.(2);
+  Stack.resume w.stacks.(2);
+  Engine.run ~until:(Engine.now w.engine + 400_000) w.engine;
+  let reference = log w 0 in
+  Alcotest.(check int) "all 9 delivered" 9 (List.length reference);
+  Alcotest.(check (list (pair int string)))
+    "recovered member converges to the agreed sequence" reference (log w 2)
+
+let test_causal_total_stack () =
+  (* Cause and effect through the composed stack: node 1 publishes its
+     effect only after delivering node 0's cause; everyone must
+     deliver cause before effect, in one agreed order. *)
+  let w = make_world ~n:3 (profile ~order:Qos.Causal_total ()) in
+  let fired = ref false in
+  Engine.schedule w.engine ~delay:0 (fun () -> Stack.bcast w.stacks.(0) "cause");
+  (* React from a poll: publish the effect right after the cause
+     arrives at node 1. *)
+  let rec poll () =
+    if (not !fired) && List.mem "cause" (payloads w 1) then begin
+      fired := true;
+      Stack.bcast w.stacks.(1) "effect"
+    end
+    else if not !fired then Engine.schedule w.engine ~delay:500 poll
+  in
+  Engine.schedule w.engine ~delay:100 poll;
+  Engine.run ~until:1_000_000 w.engine;
+  let reference = log w 0 in
+  Alcotest.(check (list string)) "cause precedes effect" [ "cause"; "effect" ]
+    (payloads w 0);
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "node %d shares the agreed order" i)
+        reference (log w i))
+    w.nodes
+
+let test_gossip_fifo_prefix () =
+  (* FIFO over the epidemic transport: delivery may have gaps
+     (probabilistic reliability) but never inversions — each member's
+     per-publisher view is a prefix-free ordered subsequence; with
+     pull enabled on a healthy net it is in fact complete. *)
+  let seed_all ~me:_ =
+    Stack.Gossip_net
+      ({ Gossip.default_config with period = 500 }, [ 0; 1; 2; 3; 4 ])
+  in
+  let w =
+    make_world ~n:5
+      ~config:{ Net.default_config with loss = 0.1 }
+      ~transport:seed_all
+      (profile ~order:Qos.Fifo ())
+  in
+  publish_interleaved w ~pubs:[ 0; 1 ] ~k:8;
+  Engine.run ~until:600_000 w.engine;
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun p ->
+          let seen = from_origin w i w.nodes.(p) in
+          let expected = expect_seq p 8 in
+          (* ordered subsequence of the published stream *)
+          let rec is_subseq xs ys =
+            match xs, ys with
+            | [], _ -> true
+            | _, [] -> false
+            | x :: xs', y :: ys' ->
+                if x = y then is_subseq xs' ys' else is_subseq xs ys'
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d, publisher %d: no inversions" i p)
+            true (is_subseq seen expected);
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d, publisher %d: epidemic reached it" i p)
+            true
+            (List.length seen >= 6))
+        [ 0; 1 ])
+    w.nodes
+
+(* --- property: assembly invariants over the whole lattice -------------- *)
+
+let arb_profile =
+  let open QCheck in
+  let order =
+    Gen.oneofl
+      [ Qos.No_order; Qos.Fifo; Qos.Causal; Qos.Total; Qos.Causal_total ]
+  in
+  make
+    ~print:(fun p -> Fmt.str "%a" Qos.pp p)
+    Gen.(
+      map3
+        (fun reliable certified order ->
+          fst
+            (Qos.resolve
+               { Qos.reliable; certified; order; prioritary = false;
+                 timely = false }))
+        bool bool order)
+
+let prop_shape_invariants () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:100 ~name:"stack shape invariants" arb_profile
+       (fun prof ->
+         let w = make_world ~n:3 prof in
+         let shape = Stack.shape w.stacks.(0) in
+         let top = List.hd shape in
+         let bottom = List.nth shape (List.length shape - 1) in
+         (* certified profiles put the durable log at the bottom *)
+         (if prof.Qos.certified then bottom = "certified"
+          else bottom = "transport:best")
+         (* an order marker puts a sequencing layer on top — except
+            FIFO over certified, which the bottom subsumes *)
+         && (match prof.Qos.order with
+            | Qos.No_order -> not (String.length top >= 6 && String.sub top 0 6 = "order:")
+            | Qos.Fifo ->
+                if prof.Qos.certified then top = "certified"
+                else top = "order:fifo"
+            | Qos.Causal -> top = "order:causal"
+            | Qos.Total -> top = "order:total"
+            | Qos.Causal_total -> top = "order:causal+total")
+         (* the shared flood layer appears iff reliable-but-not-certified *)
+         && List.mem "rel" shape
+            = (prof.Qos.reliable && not prof.Qos.certified)
+         (* targeted unicast is only sound on the bare transport *)
+         && (Stack.targeted w.stacks.(0) <> None) = (shape = [ "transport:best" ])))
+
+(* --- the one shared frontier component --------------------------------- *)
+
+let test_seqspace_order () =
+  let persisted = ref [] in
+  let o =
+    Seqspace.Order.create
+      ~persist:(fun ~origin ~next -> persisted := (origin, next) :: !persisted)
+      ()
+  in
+  Alcotest.(check int) "fresh expected" 0 (Seqspace.Order.expected o ~origin:9);
+  (match Seqspace.Order.submit o ~origin:9 ~seq:2 "c" with
+  | `Run [] -> ()
+  | _ -> Alcotest.fail "out-of-order must park");
+  Alcotest.(check int) "parked" 1 (Seqspace.Order.parked o);
+  (match Seqspace.Order.submit o ~origin:9 ~seq:0 "a" with
+  | `Run [ "a" ] -> ()
+  | _ -> Alcotest.fail "frontier releases the contiguous run");
+  (match Seqspace.Order.submit o ~origin:9 ~seq:1 "b" with
+  | `Run [ "b"; "c" ] -> ()
+  | _ -> Alcotest.fail "gap fill releases the parked tail");
+  (match Seqspace.Order.submit o ~origin:9 ~seq:1 "b" with
+  | `Duplicate -> ()
+  | _ -> Alcotest.fail "below-frontier resubmit is a duplicate");
+  Alcotest.(check int) "nothing parked" 0 (Seqspace.Order.parked o);
+  (* persist ran before each released run, with the advanced frontier *)
+  Alcotest.(check (list (pair int int)))
+    "persisted frontiers" [ (9, 3); (9, 1) ] !persisted
+
+let test_seqspace_dedup () =
+  let d = Seqspace.Dedup.create () in
+  let fresh origin seq =
+    Seqspace.Dedup.witness d ~origin ~seq = `Fresh
+  in
+  Alcotest.(check bool) "first" true (fresh 1 0);
+  Alcotest.(check bool) "out of order" true (fresh 1 2);
+  Alcotest.(check int) "residue above frontier" 1 (Seqspace.Dedup.residue d);
+  Alcotest.(check bool) "replay" false (fresh 1 2);
+  Alcotest.(check bool) "gap fill" true (fresh 1 1);
+  Alcotest.(check int) "residue drains" 0 (Seqspace.Dedup.residue d);
+  Alcotest.(check bool) "below frontier" false (fresh 1 0);
+  Alcotest.(check int) "duplicates counted" 2 (Seqspace.Dedup.duplicates d)
+
+(* --- end-to-end: composed classes through the engine ------------------- *)
+
+let composed_registry () =
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"StockQuote" ~implements:[ "Obvent" ]
+    ~attrs:[ "company", Vtype.Tstring; "price", Vtype.Tfloat ]
+    ();
+  Registry.declare_class reg ~name:"CertFifoQuote" ~extends:"StockQuote"
+    ~implements:[ "Certified"; "FIFOOrder" ] ();
+  Registry.declare_class reg ~name:"CertTotalQuote" ~extends:"StockQuote"
+    ~implements:[ "Certified"; "TotalOrder" ] ();
+  Registry.declare_class reg ~name:"LateQuote" ~extends:"StockQuote"
+    ~implements:[ "Reliable"; "Timely" ]
+    ~attrs:[ "birth", Vtype.Tint; "timeToLive", Vtype.Tint ] ();
+  reg
+
+let quote reg cls price =
+  Obvent.make reg cls
+    [ "company", Value.Str "Acme"; "price", Value.Float price ]
+
+let late_quote reg engine price =
+  Obvent.make reg "LateQuote"
+    [ "company", Value.Str "Acme"; "price", Value.Float price;
+      "birth", Value.Int (Engine.now engine);
+      "timeToLive", Value.Int 1_000_000 ]
+
+let test_pubsub_cert_fifo_crash () =
+  (* Through the whole engine: a CertFifoQuote subscriber crashes,
+     misses publishes, recovers via Process.resume — and still sees
+     every quote in publication order. *)
+  let reg = composed_registry () in
+  let engine = Engine.create ~seed:11 () in
+  let net = Net.create engine in
+  let domain = Pubsub.Domain.create reg net in
+  let procs =
+    Array.init 3 (fun _ -> Pubsub.Process.create domain (Net.add_node net))
+  in
+  let prices = ref [] in
+  let s =
+    Pubsub.Process.subscribe procs.(2) ~param:"CertFifoQuote" (fun o ->
+        match Obvent.get o "price" with
+        | Value.Float f -> prices := f :: !prices
+        | _ -> ())
+  in
+  Pubsub.Subscription.activate s;
+  for i = 0 to 2 do
+    Engine.schedule engine ~delay:(100 * i) (fun () ->
+        Pubsub.Process.publish procs.(0)
+          (quote reg "CertFifoQuote" (float_of_int i)))
+  done;
+  Engine.run ~until:20_000 engine;
+  Net.crash net (Pubsub.Process.node procs.(2));
+  for i = 3 to 5 do
+    Engine.schedule engine ~delay:(100 * i) (fun () ->
+        Pubsub.Process.publish procs.(0)
+          (quote reg "CertFifoQuote" (float_of_int i)))
+  done;
+  Engine.run ~until:(Engine.now engine + 30_000) engine;
+  Net.recover net (Pubsub.Process.node procs.(2));
+  Pubsub.Process.resume procs.(2);
+  Engine.run ~until:(Engine.now engine + 400_000) engine;
+  Alcotest.(check (list (float 0.001)))
+    "every quote, in publication order" [ 0.; 1.; 2.; 3.; 4.; 5. ]
+    (List.rev !prices)
+
+let test_pubsub_qos_conflict_surfaced () =
+  (* Reliable ∧ Timely contradict; Fig. 4 precedence drops Timely —
+     and the engine now reports it instead of discarding it. *)
+  let reg = composed_registry () in
+  let engine = Engine.create ~seed:3 () in
+  let net = Net.create engine in
+  let domain = Pubsub.Domain.create reg net in
+  let procs =
+    Array.init 2 (fun _ -> Pubsub.Process.create domain (Net.add_node net))
+  in
+  let s =
+    Pubsub.Process.subscribe procs.(1) ~param:"LateQuote" (fun _ -> ())
+  in
+  Pubsub.Subscription.activate s;
+  Pubsub.Process.publish procs.(0) (late_quote reg engine 1.);
+  Engine.run engine;
+  let stats = Pubsub.Domain.stats domain in
+  Alcotest.(check int) "one conflict surfaced" 1
+    stats.Pubsub.Domain.qos_conflicts;
+  (* Re-publishing on the existing channel does not re-count. *)
+  Pubsub.Process.publish procs.(0) (late_quote reg engine 2.);
+  Engine.run engine;
+  Alcotest.(check int) "counted once per class" 1
+    (Pubsub.Domain.stats domain).Pubsub.Domain.qos_conflicts
+
+let suite =
+  ( "stack",
+    [
+      Alcotest.test_case "shape: QoS lattice matrix" `Quick test_shape_matrix;
+      Alcotest.test_case "shape: gossip transport" `Quick test_shape_gossip;
+      Alcotest.test_case "shape: from registry markers" `Quick
+        test_shape_from_registry;
+      Alcotest.test_case "targeted unicast only on bare transport" `Quick
+        test_targeted_only_plain;
+      Alcotest.test_case "certified+fifo under loss" `Quick test_cert_fifo_loss;
+      Alcotest.test_case "certified+fifo gap recovery after crash" `Quick
+        test_cert_fifo_crash_resume;
+      Alcotest.test_case "certified+total agreement under loss" `Quick
+        test_cert_total_loss;
+      Alcotest.test_case "certified+total crash recovery" `Quick
+        test_cert_total_crash_resume;
+      Alcotest.test_case "causal+total stack orders cause before effect"
+        `Quick test_causal_total_stack;
+      Alcotest.test_case "fifo over gossip: no inversions" `Quick
+        test_gossip_fifo_prefix;
+      Alcotest.test_case "property: shape invariants" `Quick
+        prop_shape_invariants;
+      Alcotest.test_case "seqspace: order frontier + persist hooks" `Quick
+        test_seqspace_order;
+      Alcotest.test_case "seqspace: dedup frontier" `Quick test_seqspace_dedup;
+      Alcotest.test_case "pubsub: certified+fifo crash/resume end-to-end"
+        `Quick test_pubsub_cert_fifo_crash;
+      Alcotest.test_case "pubsub: qos conflicts surfaced" `Quick
+        test_pubsub_qos_conflict_surfaced;
+    ] )
