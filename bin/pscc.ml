@@ -6,6 +6,7 @@
 module Compile = Tpbs_psc.Compile
 module Interp = Tpbs_psc.Interp
 module Pparser = Tpbs_psc.Pparser
+module Lint = Tpbs_analysis.Lint
 
 let read_file path =
   let ic = open_in_bin path in
@@ -14,16 +15,26 @@ let read_file path =
   close_in ic;
   s
 
+(* [Error msgs] carries every collected compile error (not just the
+   first); parse/lex failures are necessarily singular. Exit code 2 is
+   reserved for these hard errors, 1 for --werror'd lint warnings. *)
 let load path =
-  match Compile.compile_string (read_file path) with
-  | compiled -> Ok compiled
-  | exception Compile.Compile_error msg -> Error ("compile error: " ^ msg)
+  match Pparser.program_of_string (read_file path) with
+  | program -> (
+      match Compile.compile_result program with
+      | Ok compiled -> Ok compiled
+      | Error msgs ->
+          Error (List.map (fun m -> "compile error: " ^ m) msgs))
   | exception Pparser.Parse_error (pos, msg) ->
       Error
-        (Fmt.str "parse error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg)
+        [ Fmt.str "parse error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg ]
   | exception Tpbs_filter.Lexer.Lex_error (pos, msg) ->
-      Error (Fmt.str "lex error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg)
-  | exception Sys_error msg -> Error msg
+      Error [ Fmt.str "lex error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg ]
+  | exception Sys_error msg -> Error [ msg ]
+
+let report_errors msgs =
+  List.iter (fun m -> Fmt.epr "%s@." m) msgs;
+  2
 
 open Cmdliner
 
@@ -40,13 +51,51 @@ let check_cmd =
           (List.length compiled.Compile.sub_plans)
           (List.length compiled.Compile.publish_types);
         0
-    | Error msg ->
-        Fmt.epr "%s@." msg;
-        1
+    | Error msgs -> report_errors msgs
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Typecheck a Java_ps program (LP1).")
+    (Cmd.info "check"
+       ~doc:
+         "Typecheck a Java_ps program (LP1). All compile errors are \
+          reported in one run; exits 2 when any is found.")
     Term.(const run $ file_arg)
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ "pretty", `Pretty; "json", `Json ]) `Pretty
+    & info [ "format" ]
+        ~doc:"Report format: $(b,pretty) (default) or $(b,json).")
+
+let werror_arg =
+  Arg.(
+    value & flag
+    & info [ "werror" ]
+        ~doc:"Treat warnings as errors: exit 1 when any finding is reported.")
+
+let lint_cmd =
+  let run file format werror =
+    match load file with
+    | Error msgs -> report_errors msgs
+    | Ok compiled ->
+        let diags = Lint.analyze compiled in
+        (match format with
+        | `Json -> print_string (Lint.to_json diags)
+        | `Pretty ->
+            if diags = [] then Fmt.pr "%s: clean — no lint findings@." file
+            else Fmt.pr "%a" Lint.pp_report diags);
+        Lint.exit_code ~werror diags
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a Java_ps program: unsatisfiable/tautological \
+          filters (abstract interpretation over the filter language), \
+          possible division by zero, dead publishes and dead subscriptions \
+          (connectivity over the subtype lattice), mobility/factoring \
+          degradation (§4.4.3), and compile-time QoS conflicts (Fig. 4). \
+          Diagnostic codes TP001–TP008 are stable; see DESIGN.md §9.")
+    Term.(const run $ file_arg $ format_arg $ werror_arg)
 
 let plan_cmd =
   let run file =
@@ -54,9 +103,7 @@ let plan_cmd =
     | Ok compiled ->
         Fmt.pr "%a@." Compile.pp_plan compiled;
         0
-    | Error msg ->
-        Fmt.epr "%s@." msg;
-        1
+    | Error msgs -> report_errors msgs
   in
   Cmd.v
     (Cmd.info "plan"
@@ -95,9 +142,7 @@ let run_cmd =
           s.Tpbs_core.Pubsub.Domain.filtered_out
           s.Tpbs_core.Pubsub.Domain.expired;
         0
-    | Error msg ->
-        Fmt.epr "%s@." msg;
-        1
+    | Error msgs -> report_errors msgs
   in
   Cmd.v
     (Cmd.info "run"
@@ -110,9 +155,7 @@ let edl_cmd =
     | Ok compiled ->
         Fmt.pr "%s" (Tpbs_psc.Edl.export compiled.Compile.registry);
         0
-    | Error msg ->
-        Fmt.epr "%s@." msg;
-        1
+    | Error msgs -> report_errors msgs
   in
   Cmd.v
     (Cmd.info "edl"
@@ -125,4 +168,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "pscc" ~version:"1.0.0" ~doc)
-          [ check_cmd; plan_cmd; run_cmd; edl_cmd ]))
+          [ check_cmd; lint_cmd; plan_cmd; run_cmd; edl_cmd ]))

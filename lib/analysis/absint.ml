@@ -1,0 +1,212 @@
+module Value = Tpbs_serial.Value
+module Vtype = Tpbs_types.Vtype
+module Registry = Tpbs_types.Registry
+module Expr = Tpbs_filter.Expr
+module Rfilter = Tpbs_filter.Rfilter
+module Subsume = Tpbs_filter.Subsume
+
+(* --- path schemas ------------------------------------------------------- *)
+
+let path_type reg ~param path =
+  let rec walk cls = function
+    | [] -> None
+    | [ m ] -> Registry.method_ret reg cls m
+    | m :: rest -> (
+        match Registry.method_ret reg cls m with
+        | Some (Vtype.Tobject next) -> walk next rest
+        | Some _ | None -> None)
+  in
+  match path with [] -> None | _ -> walk param path
+
+(* A path is reliable when evaluating it on any conforming obvent
+   always yields a present value of a primitive numeric/bool type:
+   length-1 getters on int/float/bool attributes. Longer paths cross
+   object-typed attributes that may be [Null], and strings may be
+   [Null] too (Java reference semantics) — either makes
+   [Rfilter.eval_atom] collapse to [false], so tautology reasoning
+   must not see through them. *)
+let reliable_path reg ~param path =
+  match path with
+  | [ _ ] -> (
+      match path_type reg ~param path with
+      | Some (Vtype.Tint | Vtype.Tfloat | Vtype.Tbool) -> true
+      | Some _ | None -> false)
+  | _ -> false
+
+(* --- atom-level verdicts from declared types ----------------------------- *)
+
+(* [true] when the atom can never hold on a conforming obvent: the
+   declared type of its path cannot produce a value the comparison
+   accepts. An ordering comparison against a numeric constant only
+   holds for numeric values; contains/startsWith only for strings.
+   [Cne] is never "never": on a kind mismatch it is always true. *)
+let atom_never reg ~param (a : Rfilter.atom) =
+  match path_type reg ~param a.path with
+  | None -> false (* unknown method: the typechecker already rejected *)
+  | Some ty -> (
+      match a.cmp with
+      | Clt | Cle | Cgt | Cge -> (
+          match ty, a.const with
+          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
+          | Tstring, Value.Str _ -> false
+          | _, _ -> true)
+      | Ccontains | Cprefix -> (
+          match ty, a.const with
+          | Vtype.Tstring, Value.Str _ -> false
+          | _, _ -> true)
+      | Ceq -> (
+          match ty, a.const with
+          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
+          | Tbool, Value.Bool _ -> false
+          | Tstring, (Value.Str _ | Value.Null) -> false
+          | (Tobject _ | Tremote _ | Tlist _), _ -> false
+          | (Tint | Tfloat | Tbool | Tstring), _ -> true)
+      | Cne -> false)
+
+(* Replace statically-false atoms by [False] so the satisfiability
+   check sees them. *)
+let rec prune_never reg ~param (f : Rfilter.formula) : Rfilter.formula =
+  match f with
+  | Atom a when atom_never reg ~param a -> False
+  | Not f -> Not (prune_never reg ~param f)
+  | And fs -> And (List.map (prune_never reg ~param) fs)
+  | Or fs -> Or (List.map (prune_never reg ~param) fs)
+  | (True | False | Atom _) as f -> f
+
+(* Complement of an atom, exact on values the path is guaranteed to
+   produce. Only claimed for ordering/equality against numeric
+   constants on reliable numeric paths: there the extracted value is
+   always a present number, so e.g. [¬(p < c)] is exactly [p >= c].
+   Anywhere else a missing/null/mistyped value falsifies both the atom
+   and its would-be complement, and no complement exists. *)
+let complement_atom reg ~param (a : Rfilter.atom) : Rfilter.atom option =
+  let numeric_const =
+    match a.const with Value.Int _ | Value.Float _ -> true | _ -> false
+  in
+  let numeric_path =
+    match path_type reg ~param a.path with
+    | Some (Vtype.Tint | Vtype.Tfloat) -> true
+    | Some _ | None -> false
+  in
+  if not (numeric_const && numeric_path && reliable_path reg ~param a.path)
+  then None
+  else
+    let flip cmp : Rfilter.cmp =
+      match (cmp : Rfilter.cmp) with
+      | Clt -> Cge
+      | Cle -> Cgt
+      | Cgt -> Cle
+      | Cge -> Clt
+      | Ceq -> Cne
+      | Cne -> Ceq
+      | Ccontains | Cprefix -> assert false
+    in
+    match a.cmp with
+    | Clt | Cle | Cgt | Cge | Ceq | Cne -> Some { a with cmp = flip a.cmp }
+    | Ccontains | Cprefix -> None
+
+(* Negation normal form of [¬f], using atom complements where exact. *)
+let rec neg reg ~param (f : Rfilter.formula) : Rfilter.formula =
+  match f with
+  | True -> False
+  | False -> True
+  | Not g -> g
+  | And fs -> Or (List.map (neg reg ~param) fs)
+  | Or fs -> And (List.map (neg reg ~param) fs)
+  | Atom a -> (
+      match complement_atom reg ~param a with
+      | Some a' -> Atom a'
+      | None -> Not (Atom a))
+
+(* --- filter verdicts ----------------------------------------------------- *)
+
+type verdict = Unsat | Tautology | Sat
+
+let filter_verdict reg ~param (rf : Rfilter.t) =
+  let f = prune_never reg ~param rf.formula in
+  if Subsume.unsat_formula f then Unsat
+  else if Subsume.unsat_formula (neg reg ~param f) then Tautology
+  else Sat
+
+let contradictory_conjuncts reg ~param (rf : Rfilter.t) =
+  let acc = ref [] in
+  let rec walk (f : Rfilter.formula) =
+    match f with
+    | And _ as f ->
+        if Subsume.unsat_formula (prune_never reg ~param f) then
+          acc := f :: !acc
+        else begin
+          match f with
+          | And fs -> List.iter walk fs
+          | _ -> ()
+        end
+    | Or fs -> List.iter walk fs
+    | Not g -> walk g
+    | True | False | Atom _ -> ()
+  in
+  walk rf.formula;
+  List.rev !acc
+
+(* --- interval domain over Expr.t ---------------------------------------- *)
+
+(* Just enough of an interval/constant/null-ness domain to reason
+   about divisors: [Aconst] tracks exact values (null-ness included),
+   [Anum] a numeric range. Getters and captured variables are [Atop] —
+   we do not warn about what we cannot bound. *)
+type aval = Aconst of Value.t | Anum of float * float | Atop
+
+type div_risk = { divisor : Expr.t; definite : bool }
+
+let to_interval = function
+  | Aconst (Value.Int i) -> Some (float_of_int i, float_of_int i)
+  | Aconst (Value.Float f) -> Some (f, f)
+  | Anum (lo, hi) -> Some (lo, hi)
+  | Aconst _ | Atop -> None
+
+let div_risks (e : Expr.t) : div_risk list =
+  let risks = ref [] in
+  let note divisor bv =
+    match bv with
+    | Aconst (Value.Int 0) | Aconst (Value.Float 0.) ->
+        risks := { divisor; definite = true } :: !risks
+    | _ -> (
+        match to_interval bv with
+        | Some (lo, hi) when lo <= 0. && 0. <= hi ->
+            risks := { divisor; definite = false } :: !risks
+        | Some _ | None -> ())
+  in
+  let rec go (e : Expr.t) : aval =
+    match e with
+    | Const v -> Aconst v
+    | Arg | Var _ | Invoke (_, _) ->
+        (match e with Invoke (recv, _) -> ignore (go recv) | _ -> ());
+        Atop
+    | Unop (op, e1) -> (
+        let v = go e1 in
+        match op, v with
+        | Expr.Neg, Anum (lo, hi) -> Anum (-.hi, -.lo)
+        | Expr.Neg, Aconst (Value.Int i) -> Aconst (Value.Int (-i))
+        | Expr.Neg, Aconst (Value.Float f) -> Aconst (Value.Float (-.f))
+        | Expr.Length, _ -> Anum (0., infinity)
+        | _, _ -> Atop)
+    | Binop (op, a, b) -> (
+        let av = go a in
+        let bv = go b in
+        (match op with Expr.Div | Expr.Mod -> note b bv | _ -> ());
+        match op, to_interval av, to_interval bv with
+        | Expr.Add, Some (al, ah), Some (bl, bh) -> Anum (al +. bl, ah +. bh)
+        | Expr.Sub, Some (al, ah), Some (bl, bh) -> Anum (al -. bh, ah -. bl)
+        | Expr.Mul, Some (al, ah), Some (bl, bh) ->
+            let ps = [ al *. bl; al *. bh; ah *. bl; ah *. bh ] in
+            Anum
+              ( List.fold_left min infinity ps,
+                List.fold_left max neg_infinity ps )
+        | Expr.Mod, _, Some (bl, bh)
+          when Float.is_finite bl && Float.is_finite bh ->
+            (* |x mod k| < |k| whatever x is. *)
+            let m = Float.max (Float.abs bl) (Float.abs bh) in
+            Anum (-.m, m)
+        | _, _, _ -> Atop)
+  in
+  ignore (go e);
+  List.rev !risks

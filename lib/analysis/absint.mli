@@ -1,0 +1,65 @@
+(** Abstract interpretation of filter code (lint pass 1).
+
+    Everything here is sound-but-incomplete in the usual sense: a
+    verdict other than {!Sat} is a guarantee, {!Sat} means "unknown".
+    Soundness leans on two facts about the runtime: filters are
+    evaluated through {!Tpbs_filter.Rfilter.eval}, which is total and
+    two-valued (an atom over a missing/null/mistyped path is plain
+    [false]); and obvents are validated against their declared schema
+    at construction, so the {!Tpbs_types.Registry} types of getter
+    paths constrain the values a filter can observe. *)
+
+val path_type :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  string list ->
+  Tpbs_types.Vtype.t option
+(** Declared result type of a getter path on the subscribed type,
+    following the registry schema through object-typed attributes. *)
+
+val reliable_path :
+  Tpbs_types.Registry.t -> param:string -> string list -> bool
+(** Paths guaranteed to produce a present primitive value on every
+    conforming obvent: length-1 getters of int/float/bool type.
+    String and object attributes may be [Null] (Java reference
+    semantics), and nested paths may cross a null — atoms on such
+    paths can be falsified by absence, so only reliable paths admit
+    exact atom complements. *)
+
+(** Verdict on a lifted filter, over all conforming obvent values. *)
+type verdict =
+  | Unsat  (** never matches: the subscription is dead *)
+  | Tautology  (** always matches: a pure type-based subscription *)
+  | Sat  (** anything else (the normal case) *)
+
+val filter_verdict :
+  Tpbs_types.Registry.t -> param:string -> Tpbs_filter.Rfilter.t -> verdict
+(** Combines registry-aware atom verdicts (kind mismatches like a
+    numeric bound on a string getter) with {!Tpbs_filter.Subsume}'s
+    conjunction satisfiability; tautology is unsatisfiability of the
+    negation-normal-form complement, built with exact atom complements
+    on {!reliable_path}s only. *)
+
+val contradictory_conjuncts :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  Tpbs_filter.Rfilter.t ->
+  Tpbs_filter.Rfilter.formula list
+(** Maximal sub-conjunctions that are themselves unsatisfiable — dead
+    branches of a filter that is satisfiable as a whole (e.g. one arm
+    of a disjunction with crossed bounds). *)
+
+type div_risk = {
+  divisor : Tpbs_filter.Expr.t;
+  definite : bool;
+      (** [true]: the divisor is the constant zero; [false]: its
+          abstract interval merely contains zero (e.g. [x mod 3], or a
+          string length) *)
+}
+
+val div_risks : Tpbs_filter.Expr.t -> div_risk list
+(** Division/modulo sites at risk of dividing by zero, found with a
+    small interval domain over the expression (getters and captured
+    variables are unbounded, and unbounded divisors are not reported —
+    the analysis only speaks when it can bound the divisor). A raising
+    filter never matches, so these are delivery bugs, not crashes. *)

@@ -1,0 +1,277 @@
+module Registry = Tpbs_types.Registry
+module Qos = Tpbs_types.Qos
+module Expr = Tpbs_filter.Expr
+module Rfilter = Tpbs_filter.Rfilter
+module Mobility = Tpbs_filter.Mobility
+module Compile = Tpbs_psc.Compile
+
+type severity = Warning | Error
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  where : string;
+  message : string;
+  hint : string option;
+}
+
+let diag ?hint code severity where message =
+  { code; severity; where; message; hint }
+
+(* --- pass 1: filter abstract interpretation ----------------------------- *)
+
+(* Verdicts on the lifted formula are only sound when the filter
+   captures no variables: variable-bearing filters are classified with
+   placeholder bindings (see Compile), and the real constants arrive
+   at subscription time — where Pubsub runs the same check on the
+   actually-lifted filter. *)
+let filter_pass reg (sp : Compile.sub_plan) =
+  let where = sp.sp_process ^ "/" ^ sp.sp_var in
+  let verdicts =
+    match sp.sp_class with
+    | Compile.Remote_filter rf when sp.sp_captured = [] -> (
+        match Absint.filter_verdict reg ~param:sp.sp_param rf with
+        | Absint.Unsat ->
+            [ diag "TP001" Warning where
+                (Fmt.str
+                   "filter of subscription %s can never match (%a): the \
+                    subscription is dead"
+                   sp.sp_var Rfilter.pp_formula rf.Rfilter.formula)
+                ~hint:"remove the subscription or fix the contradictory bounds"
+            ]
+        | Absint.Tautology ->
+            (* [subscribe (T t) { return true; }] is the paper's
+               subscribe-to-all idiom, not a mistake. *)
+            if Expr.equal sp.sp_filter (Expr.bool true) then []
+            else
+              [ diag "TP002" Warning where
+                  (Fmt.str
+                     "filter of subscription %s always matches (%a): \
+                      equivalent to a pure type-based subscription on %s"
+                     sp.sp_var Rfilter.pp_formula rf.Rfilter.formula
+                     sp.sp_param)
+                  ~hint:
+                    "write the subscribe-to-all idiom { return true; } to \
+                     make the intent explicit"
+              ]
+        | Absint.Sat ->
+            List.map
+              (fun f ->
+                diag "TP003" Warning where
+                  (Fmt.str
+                     "conjunction %a inside the filter of %s can never \
+                      hold: that branch is dead"
+                     Rfilter.pp_formula f sp.sp_var))
+              (Absint.contradictory_conjuncts reg ~param:sp.sp_param rf))
+    | _ -> []
+  in
+  let divisions =
+    List.map
+      (fun (r : Absint.div_risk) ->
+        diag "TP004" Warning where
+          (if r.definite then
+             Fmt.str
+               "filter of %s divides by the constant zero (%a): the filter \
+                raises and never matches"
+               sp.sp_var Expr.pp r.divisor
+           else
+             Fmt.str "filter of %s may divide by zero: the divisor %a can \
+                      be 0"
+               sp.sp_var Expr.pp r.divisor)
+          ~hint:"guard the division with a non-zero check")
+      (Absint.div_risks sp.sp_filter)
+  in
+  verdicts @ divisions
+
+(* --- pass 2: pub/sub connectivity over the subtype lattice --------------- *)
+
+let connectivity_pass (c : Compile.t) =
+  let reg = c.registry in
+  let covered_by_sub cls =
+    List.exists
+      (fun (sp : Compile.sub_plan) -> Registry.subtype reg cls sp.sp_param)
+      c.sub_plans
+  in
+  let covered_by_pub param =
+    List.exists
+      (fun (_, cls) -> Registry.subtype reg cls param)
+      c.publish_types
+  in
+  let seen = Hashtbl.create 8 in
+  let dead_publishes =
+    List.filter_map
+      (fun (_, cls) ->
+        if Hashtbl.mem seen cls then None
+        else begin
+          Hashtbl.add seen cls ();
+          if covered_by_sub cls then None
+          else
+            let procs =
+              List.sort_uniq String.compare
+                (List.filter_map
+                   (fun (p, c) -> if String.equal c cls then Some p else None)
+                   c.publish_types)
+            in
+            Some
+              (diag "TP005" Warning ("publish " ^ cls)
+                 (Fmt.str
+                    "publish %s (process %s) can never be received: no \
+                     subscription covers %s or any of its supertypes"
+                    cls
+                    (String.concat ", " procs)
+                    cls)
+                 ~hint:"add a subscription or drop the publish")
+        end)
+      c.publish_types
+  in
+  let dead_subscriptions =
+    List.filter_map
+      (fun (sp : Compile.sub_plan) ->
+        if covered_by_pub sp.sp_param then None
+        else
+          Some
+            (diag "TP006" Warning
+               (sp.sp_process ^ "/" ^ sp.sp_var)
+               (Fmt.str
+                  "subscription %s to %s: no publish statement produces %s \
+                   or a subtype, so the handler can never run"
+                  sp.sp_var sp.sp_param sp.sp_param)
+               ~hint:"add a publish or drop the subscription"))
+      c.sub_plans
+  in
+  dead_publishes @ dead_subscriptions
+
+(* --- pass 3: mobility / factoring degradation ---------------------------- *)
+
+let mobility_pass (sp : Compile.sub_plan) =
+  let where = sp.sp_process ^ "/" ^ sp.sp_var in
+  match sp.sp_class with
+  | Compile.Remote_filter _ -> []
+  | Compile.Mobile_tree ->
+      [ diag "TP007" Warning where
+          (Fmt.str
+             "filter of %s is mobile but not in atom normal form: it ships \
+              as an interpreted expression tree and cannot be factored with \
+              other filters"
+             sp.sp_var)
+          ~hint:
+            "rewrite the filter as a boolean combination of \
+             getter-vs-constant comparisons"
+      ]
+  | Compile.Local_filter reasons ->
+      [ diag "TP007" Warning where
+          (Fmt.str
+             "filter of %s cannot leave the subscriber (%a): every %s event \
+              travels to the subscriber node to be filtered there"
+             sp.sp_var
+             Fmt.(list ~sep:(any "; ") Mobility.pp_reason)
+             reasons sp.sp_param)
+          ~hint:
+            "capture only primitive final variables and avoid remote \
+             references in filters"
+      ]
+
+(* --- pass 4: compile-time QoS conflicts ---------------------------------- *)
+
+let qos_pass reg (ad : Compile.adapter) =
+  let _, conflicts = Qos.of_type reg ad.ad_type in
+  List.map
+    (fun conflict ->
+      let explanation =
+        match conflict with
+        | Qos.Timely_dropped ->
+            "reliability is stronger than timeliness (Fig. 4)"
+        | Qos.Priority_dropped ->
+            "delivery order is stronger than priorities (Fig. 4)"
+      in
+      diag "TP008" Warning ad.ad_type
+        (Fmt.str
+           "QoS conflict on %s: %s semantics are dropped at runtime \
+            because %s"
+           ad.ad_type
+           (Qos.conflict_label conflict)
+           explanation)
+        ~hint:"remove one of the conflicting marker interfaces")
+    conflicts
+
+(* --- driver -------------------------------------------------------------- *)
+
+let compare_diag a b =
+  let c = String.compare a.code b.code in
+  if c <> 0 then c
+  else
+    let c = String.compare a.where b.where in
+    if c <> 0 then c else String.compare a.message b.message
+
+let analyze (c : Compile.t) : diagnostic list =
+  let reg = c.registry in
+  List.sort compare_diag
+    (List.concat
+       [ List.concat_map (filter_pass reg) c.sub_plans;
+         connectivity_pass c;
+         List.concat_map mobility_pass c.sub_plans;
+         List.concat_map (qos_pass reg) c.adapters ])
+
+let has_error diags = List.exists (fun d -> d.severity = Error) diags
+
+let exit_code ~werror diags =
+  if has_error diags then 2 else if werror && diags <> [] then 1 else 0
+
+(* --- output -------------------------------------------------------------- *)
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s %s %s: %s" d.code (severity_name d.severity) d.where
+    d.message;
+  match d.hint with
+  | Some h -> Fmt.pf ppf "@,  hint: %s" h
+  | None -> ()
+
+let pp_report ppf diags =
+  Fmt.pf ppf "@[<v>%a@,%d finding%s@]@."
+    Fmt.(list ~sep:(any "@,") pp_diagnostic)
+    diags (List.length diags)
+    (if List.length diags = 1 then "" else "s")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json diags =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  {";
+      let field ?(last = false) k v =
+        Buffer.add_string buf
+          (Printf.sprintf "\n    \"%s\": \"%s\"%s" k (json_escape v)
+             (if last then "" else ","))
+      in
+      field "code" d.code;
+      field "severity" (severity_name d.severity);
+      field "where" d.where;
+      (match d.hint with
+      | Some h ->
+          field "message" d.message;
+          field ~last:true "hint" h
+      | None -> field ~last:true "message" d.message);
+      Buffer.add_string buf "\n  }")
+    diags;
+  if diags <> [] then Buffer.add_string buf "\n";
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf

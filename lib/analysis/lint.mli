@@ -1,0 +1,59 @@
+(** Whole-program static analysis over a compiled Java_ps program —
+    the passes behind [pscc lint] (LP1: catch errors in deferred
+    filter code before a subscription ever sees an event).
+
+    Diagnostic codes are stable:
+
+    - [TP001] — unsatisfiable filter: the subscription is dead
+    - [TP002] — tautological filter: equivalent to a pure type-based
+      subscription (the literal [{ return true; }] idiom is exempt)
+    - [TP003] — contradictory conjunction inside a satisfiable filter
+      (a dead branch of a disjunction)
+    - [TP004] — possible division by zero in a filter ([definite]
+      when the divisor is the constant zero)
+    - [TP005] — dead publish: no subscription covers the published
+      type or any of its supertypes
+    - [TP006] — dead subscription: no publish produces the subscribed
+      type or a subtype
+    - [TP007] — mobility/factoring degradation: the filter demotes
+      from [RemoteFilter] to a mobile expression tree or to local
+      evaluation (§4.4.3), with the precise reason and a rewrite hint
+    - [TP008] — QoS conflict on a declared obvent type: the Fig. 4
+      precedence will silently drop semantics at runtime
+
+    All findings are warnings; errors are reserved for compile
+    failures (reported by [pscc] itself via {!Tpbs_psc.Compile.compile_result}). *)
+
+type severity = Warning | Error
+
+val severity_name : severity -> string
+
+type diagnostic = {
+  code : string;  (** stable code, [TP001]..[TP008] *)
+  severity : severity;
+  where : string;
+      (** program location: ["process/subscription_var"], ["publish
+          Cls"], or a type name *)
+  message : string;
+  hint : string option;  (** suggested rewrite, when one exists *)
+}
+
+val analyze : Tpbs_psc.Compile.t -> diagnostic list
+(** Run all passes. The result is deterministically sorted by
+    (code, where, message). Verdicts on variable-capturing filters are
+    skipped (their constants only exist at subscription time; the
+    engine re-checks the actually-lifted filter and prunes it there —
+    see [Pubsub]). *)
+
+val has_error : diagnostic list -> bool
+
+val exit_code : werror:bool -> diagnostic list -> int
+(** [0] clean; [1] warnings present and [werror]; [2] errors. *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val pp_report : Format.formatter -> diagnostic list -> unit
+
+val to_json : diagnostic list -> string
+(** Stable machine-readable report: a JSON array of objects with
+    [code], [severity], [where], [message] and (when present) [hint]
+    fields, in {!analyze} order. *)

@@ -14,6 +14,8 @@ module Gossip = Tpbs_group.Gossip
 module Layer = Tpbs_group.Layer
 module Stack = Tpbs_group.Stack
 module Rfilter = Tpbs_filter.Rfilter
+module Fexpr = Tpbs_filter.Expr
+module Subsume = Tpbs_filter.Subsume
 module Mobility = Tpbs_filter.Mobility
 module Factored = Tpbs_filter.Factored
 module Typecheck = Tpbs_filter.Typecheck
@@ -38,6 +40,10 @@ type subscription = {
   param : string;
   filter : Fspec.t;
   rfilter : Rfilter.t option;  (* liftable + mobile: goes to the broker *)
+  pruned : bool;
+      (* lifted filter proven unsatisfiable at subscribe time: kept
+         out of the routing index and never registered with filtering
+         hosts — no event can ever match it *)
   dispatch : Dispatch.t;
   mutable active : bool;
   mutable durable : int option;
@@ -91,6 +97,7 @@ and obs = {
   c_decode_errors : Trace.Counter.t;
   c_broker_forwards : Trace.Counter.t;
   c_qos_conflicts : Trace.Counter.t;
+  c_filters_pruned : Trace.Counter.t;
 }
 
 and domain = {
@@ -117,6 +124,7 @@ and domain = {
   mutable broker_events : int;
   mutable control_messages : int;
   mutable qos_conflicts : int;
+  mutable filters_pruned : int;
 }
 
 (* Registration prepends (constant-time); every ordered consumer goes
@@ -180,6 +188,7 @@ module Domain = struct
            c_decode_errors = Trace.counter tr "core.decode_errors";
            c_broker_forwards = Trace.counter tr "core.broker_forwards";
            c_qos_conflicts = Trace.counter tr "core.qos_conflicts";
+           c_filters_pruned = Trace.counter tr "core.filters_pruned";
          });
       latency = Metric.create ();
       published = 0;
@@ -191,6 +200,7 @@ module Domain = struct
       broker_events = 0;
       control_messages = 0;
       qos_conflicts = 0;
+      filters_pruned = 0;
       }
     in
     Trace.register_histogram d.obs.tr "core.latency" d.latency;
@@ -222,6 +232,7 @@ module Domain = struct
     broker_events : int;
     control_messages : int;
     qos_conflicts : int;
+    filters_pruned : int;
   }
 
   let stats (d : t) =
@@ -235,6 +246,7 @@ module Domain = struct
       broker_events = d.broker_events;
       control_messages = d.control_messages;
       qos_conflicts = d.qos_conflicts;
+      filters_pruned = d.filters_pruned;
     }
 
   let latency d = d.latency
@@ -248,7 +260,8 @@ module Domain = struct
     d.broker_forwards <- 0;
     d.broker_events <- 0;
     d.control_messages <- 0;
-    d.qos_conflicts <- 0
+    d.qos_conflicts <- 0;
+    d.filters_pruned <- 0
 end
 
 let now_of d = Engine.now (Net.engine d.net)
@@ -290,7 +303,9 @@ let deliver_clone p ~publish_time ~eid s obvent =
 let routed_subscriptions p cls =
   Routing.find p.route cls ~build:(fun cls ->
       let reg = p.dom.registry in
-      List.filter (fun s -> s.active && Registry.subtype reg cls s.param) p.subs)
+      List.filter
+        (fun s -> s.active && (not s.pruned) && Registry.subtype reg cls s.param)
+        p.subs)
 
 (* Learn interest from control traffic: every process sees the meta
    channel (it is broadcast) and updates its local routing view. *)
@@ -657,6 +672,7 @@ module Subscription = struct
   let id s = s.sid
   let subscribed_type s = s.param
   let is_active s = s.active
+  let is_pruned s = s.pruned
   let durable_id s = s.durable
   let delivered s = s.delivered
   let dispatch_stats s = Dispatch.stats s.dispatch
@@ -679,6 +695,10 @@ module Subscription = struct
   let send_ctl s verb =
     let p = s.sub_process in
     let d = p.dom in
+    (* A pruned subscription matches nothing: never ship its filter to
+       a filtering host (§3.3.3 migration saved entirely). *)
+    if s.pruned then ()
+    else
     match broker_of d p.node with
     | None -> ()
     | Some b ->
@@ -816,9 +836,19 @@ module Process = struct
           | exception Typecheck.Ill_typed err ->
               Errors.cannot_subscribe "ill-typed filter: %a" Typecheck.pp_error
                 err);
+          (* Same normalization as the psc compiler: folding redundant
+             boolean structure lets more filters lift to atom form. *)
+          let e = Fexpr.simplify e in
           match Mobility.classify d.registry ~param ~vars e with
           | Mobility.Local_only _ -> None
           | Mobility.Mobile -> Rfilter.of_expr ~env ~param e)
+    in
+    (* Static analysis feeding the engine: with the subscription-time
+       bindings substituted in, an unsatisfiable verdict is sound even
+       for variable-capturing filters — skip the routing index and the
+       filtering hosts for such a subscription entirely. *)
+    let pruned =
+      match rfilter with Some rf -> Subsume.unsat rf | None -> false
     in
     let profile = fst (Qos.of_type d.registry param) in
     let default_policy =
@@ -836,6 +866,7 @@ module Process = struct
         param;
         filter;
         rfilter;
+        pruned;
         dispatch =
           Dispatch.create (Net.engine d.net) ~service_time default_policy
             handler;
@@ -844,6 +875,13 @@ module Process = struct
         delivered = 0;
       }
     in
+    if pruned then begin
+      d.filters_pruned <- d.filters_pruned + 1;
+      Trace.Counter.incr d.obs.c_filters_pruned;
+      if Trace.emitting d.obs.tr then
+        Trace.emit d.obs.tr ~layer:"core" ~kind:"filter_pruned" ~node:p.node
+          ~data:[ ("sid", Trace.I sid); ("param", Trace.S param) ] ()
+    end;
     p.subs <- s :: p.subs;
     s
 

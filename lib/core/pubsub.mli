@@ -91,6 +91,12 @@ module Domain : sig
         (** semantics dropped by Fig. 4 precedence when a class's
             profile was resolved at channel creation (each also emits
             a [core.qos_conflict] trace event) *)
+    filters_pruned : int;
+        (** subscriptions whose lifted filter was proven unsatisfiable
+            at subscribe time ({!Tpbs_filter.Subsume.unsat}): they are
+            kept out of the routing index and never registered with
+            filtering hosts, so the delivery path never evaluates them
+            (each also emits a [core.filter_pruned] trace event) *)
   }
 
   val stats : t -> stats
@@ -118,6 +124,12 @@ module Subscription : sig
   (** @raise Errors.Cannot_unsubscribe if not activated. *)
 
   val is_active : t -> bool
+
+  val is_pruned : t -> bool
+  (** The lifted filter was proven unsatisfiable at subscribe time;
+      the subscription behaves normally but can never match, and the
+      engine skips it on the delivery path. *)
+
   val id : t -> int
   val subscribed_type : t -> string
   val durable_id : t -> int option

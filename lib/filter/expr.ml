@@ -266,6 +266,77 @@ and value_eq (a : Value.t) (b : Value.t) =
 
 let eval_bool reg ~env ?arg e = as_bool (eval reg ~env ?arg e)
 
+(* --- simplification ---------------------------------------------------- *)
+
+(* Fold a constant-operand operation with the evaluator's own
+   semantics. [None] when evaluation would raise — [1 / 0] must stay
+   unfolded so the runtime error survives simplification. *)
+let fold_unop op (v : Value.t) : Value.t option =
+  match
+    match op, v with
+    | Not, v -> Value.Bool (not (as_bool v))
+    | Neg, Int i -> Value.Int (-i)
+    | Neg, Float f -> Value.Float (-.f)
+    | Neg, v -> fail "cannot negate %a" Value.pp v
+    | Length, Str s -> Value.Int (String.length s)
+    | Length, List vs -> Value.Int (List.length vs)
+    | Length, v -> fail "length of %a" Value.pp v
+    | Is_null, Null -> Value.Bool true
+    | Is_null, _ -> Value.Bool false
+  with
+  | v -> Some v
+  | exception Eval_error _ -> None
+
+let fold_binop op (a : Value.t) (b : Value.t) : Value.t option =
+  match
+    match op with
+    | And -> if as_bool a then b else Value.Bool false
+    | Or -> if as_bool a then Value.Bool true else b
+    | Eq -> Value.Bool (value_eq a b)
+    | Ne -> Value.Bool (not (value_eq a b))
+    | Concat | Index_of | Contains | Starts_with -> str_binop op a b
+    | Add | Sub | Mul | Div | Mod | Lt | Le | Gt | Ge -> num_binop op a b
+  with
+  | v -> Some v
+  | exception Eval_error _ -> None
+
+(* The boolean-identity rules ([e && true] -> [e], [!!e] -> [e]) are
+   exact only when [e] evaluates to a boolean; filter bodies are
+   typechecked before they reach here, so that holds. Short-circuit
+   rules ([false && e] -> [false]) never look at the discarded operand,
+   mirroring the evaluator, so they are exact unconditionally. *)
+let rec simplify e =
+  match e with
+  | Const _ | Arg | Var _ -> e
+  | Invoke (recv, m) -> Invoke (simplify recv, m)
+  | Unop (op, e1) -> (
+      match op, simplify e1 with
+      | op, Const v -> (
+          match fold_unop op v with
+          | Some v -> Const v
+          | None -> Unop (op, Const v))
+      | Not, Unop (Not, inner) -> inner
+      | op, e1' -> Unop (op, e1'))
+  | Binop (And, a, b) -> (
+      match simplify a, simplify b with
+      | Const (Bool true), b' -> b'
+      | (Const (Bool false) as f), _ -> f
+      | a', Const (Bool true) -> a'
+      | a', b' -> Binop (And, a', b'))
+  | Binop (Or, a, b) -> (
+      match simplify a, simplify b with
+      | Const (Bool false), b' -> b'
+      | (Const (Bool true) as t), _ -> t
+      | a', Const (Bool false) -> a'
+      | a', b' -> Binop (Or, a', b'))
+  | Binop (op, a, b) -> (
+      match simplify a, simplify b with
+      | Const x, Const y -> (
+          match fold_binop op x y with
+          | Some v -> Const v
+          | None -> Binop (op, Const x, Const y))
+      | a', b' -> Binop (op, a', b'))
+
 let int i = Const (Value.Int i)
 let float f = Const (Value.Float f)
 let str s = Const (Value.Str s)

@@ -71,6 +71,17 @@ val eval_bool :
 (** Evaluate a (typechecked) filter body to its boolean verdict.
     @raise Eval_error if the result is not a boolean. *)
 
+val simplify : t -> t
+(** Semantics-preserving constant folding and boolean identity
+    elimination: [x && true] and [x && (1 < 2)] become [x], [50 + 50]
+    becomes [100], [!(!b)] becomes [b]. On typechecked expressions the
+    result {!eval}s exactly like the original, including raising
+    behaviour — operations that would raise ([1 / 0], null derefs) are
+    left unfolded so the runtime error survives. The psc compiler and
+    the engine run this before {!Rfilter.of_expr} so filters with
+    redundant boolean structure still lift to atom normal form and
+    stay factorable (§4.4.3) instead of demoting to a mobile tree. *)
+
 (** {1 Convenient constructors} *)
 
 val int : int -> t

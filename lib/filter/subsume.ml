@@ -11,16 +11,25 @@ type path_info = {
   mutable contains : string list;  (* value contains each *)
   mutable prefix : string option;  (* longest known prefix *)
   mutable unsupported : bool;  (* an atom we cannot reason about *)
+  mutable impossible : bool;  (* atoms that directly contradict *)
 }
 
 let fresh_info () =
   { lo = None; hi = None; eq = None; ne = []; contains = [];
-    prefix = None; unsupported = false }
+    prefix = None; unsupported = false; impossible = false }
 
 let as_float : Value.t -> float option = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f
   | _ -> None
+
+(* Equality with numeric promotion, mirroring [Rfilter.eval_atom]'s
+   comparison semantics ([p == 5] and [p == 5.0] accept the same
+   values). *)
+let veq (a : Value.t) (b : Value.t) =
+  match a, b with
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | _ -> Value.equal a b
 
 let tighten_lo info b =
   match info.lo with
@@ -58,6 +67,9 @@ let is_prefix ~prefix s =
 let absorb info (a : Rfilter.atom) =
   match a.cmp with
   | Ceq -> (
+      (match info.eq with
+      | Some e when not (veq e a.const) -> info.impossible <- true
+      | _ -> ());
       info.eq <- Some a.const;
       match as_float a.const with
       | Some f ->
@@ -91,11 +103,13 @@ let absorb info (a : Rfilter.atom) =
           match info.prefix with
           | None -> info.prefix <- Some s
           | Some p ->
-              (* Keep the longer prefix if compatible; otherwise the
-                 conjunction is unsatisfiable, which still soundly
-                 implies everything, but we stay conservative. *)
+              (* Keep the longer prefix if compatible; two incompatible
+                 prefixes can never both hold. *)
               if is_prefix ~prefix:p s then info.prefix <- Some s
-              else if not (is_prefix ~prefix:s p) then info.unsupported <- true)
+              else if not (is_prefix ~prefix:s p) then begin
+                info.unsupported <- true;
+                info.impossible <- true
+              end)
       | _ -> info.unsupported <- true)
 
 let knowledge atoms =
@@ -174,6 +188,98 @@ let entails (info : path_info) (b : Rfilter.atom) =
           | Some (Str s) -> is_prefix ~prefix:needle s
           | _ -> false)
       | _ -> false)
+
+(* --- satisfiability ---------------------------------------------------- *)
+
+let bound_crossing info =
+  match info.lo, info.hi with
+  | Some lo, Some hi ->
+      lo.value > hi.value
+      || (lo.value = hi.value && not (lo.inclusive && hi.inclusive))
+  | _ -> false
+
+let is_num : Value.t -> bool = function
+  | Int _ | Float _ -> true
+  | _ -> false
+
+(* Can no value satisfy every atom recorded about this path?
+
+   Kind arguments: a numeric bound atom only holds for numeric values
+   (absorb records bounds for numeric constants only, and
+   [eval_atom]'s ordering comparison against a numeric constant fails
+   on everything else), while contains/prefix atoms only hold for
+   strings — so both kinds together are contradictory. *)
+let info_unsat info =
+  let has_bounds = info.lo <> None || info.hi <> None in
+  let has_str = info.contains <> [] || info.prefix <> None in
+  info.impossible
+  || bound_crossing info
+  || (has_bounds && has_str)
+  || (match info.eq with
+     | None -> false
+     | Some e -> (
+         (has_bounds && not (is_num e))
+         || (has_str
+            &&
+            match e with
+            | Value.Str s ->
+                List.exists
+                  (fun needle -> not (is_substring ~needle s))
+                  info.contains
+                || (match info.prefix with
+                   | Some p -> not (is_prefix ~prefix:p s)
+                   | None -> false)
+            | _ -> true)
+         || List.exists (veq e) info.ne))
+
+type know = (string list, path_info) Hashtbl.t
+
+let contradictory (know : know) =
+  Hashtbl.fold (fun _ info acc -> acc || info_unsat info) know false
+
+let entailed (know : know) (b : Rfilter.atom) =
+  match Hashtbl.find_opt know b.path with
+  | None -> false
+  | Some info -> (not info.unsupported) && entails info b
+
+(* [unsat f] — [true] guarantees no obvent value satisfies [f] under
+   [Rfilter.eval]; [valid f] — [true] guarantees every value does.
+   Both lean on [eval_formula] being total and two-valued (an atom
+   over a missing/null/mistyped path is plain [false]), which makes
+   the [Not] cases exact. Conjunctions combine per-path knowledge of
+   the positive atoms; a negative conjunct [Not (Atom b)] entailed by
+   that knowledge is a contradiction too. *)
+let rec unsat_formula (f : Rfilter.formula) =
+  match f with
+  | False -> true
+  | True | Atom _ -> false
+  | Not f -> valid_formula f
+  | Or fs -> List.for_all unsat_formula fs
+  | And fs ->
+      List.exists unsat_formula fs
+      ||
+      let pos =
+        List.filter_map
+          (function Rfilter.Atom a -> Some a | _ -> None)
+          fs
+      in
+      let know = knowledge pos in
+      contradictory know
+      || List.exists
+           (function
+             | Rfilter.Not (Atom b) -> entailed know b
+             | _ -> false)
+           fs
+
+and valid_formula (f : Rfilter.formula) =
+  match f with
+  | True -> true
+  | False | Atom _ -> false
+  | Not f -> unsat_formula f
+  | And fs -> List.for_all valid_formula fs
+  | Or fs -> List.exists valid_formula fs
+
+let unsat (t : Rfilter.t) = unsat_formula t.formula
 
 let implies a b =
   if not (String.equal a.Rfilter.param b.Rfilter.param) then false

@@ -17,3 +17,32 @@ val equivalent : Rfilter.t -> Rfilter.t -> bool
 val count_covered : Rfilter.t list -> int
 (** Number of filters in the list implied by some {e other} filter of
     the list — a redundancy measure reported by experiment E3. *)
+
+(** {1 Satisfiability}
+
+    Sound, incomplete satisfiability/validity checks over whole
+    formulas, shared by the static analyzer ([pscc lint]) and the
+    engine (which skips registering and shipping provably-false
+    filters). Soundness rests on {!Rfilter.eval} being total and
+    two-valued — an atom over a missing/null/mistyped path is plain
+    [false] — so [Not] dualizes exactly. *)
+
+val unsat_formula : Rfilter.formula -> bool
+(** [true] guarantees no obvent value satisfies the formula.
+    [false] means "unknown". Conjunctions are checked by combining
+    per-path knowledge: crossed bounds ([p < 10 && p > 20]),
+    conflicting equalities, an equality listed as a disequality,
+    numeric bounds coexisting with string conditions on one path,
+    incompatible prefixes, and negative conjuncts entailed by the
+    positive ones. *)
+
+val valid_formula : Rfilter.formula -> bool
+(** [true] guarantees every value satisfies the formula (dual of
+    {!unsat_formula}); [false] means "unknown". Note that atoms are
+    never valid by themselves: a missing or null path falsifies any
+    atom, so validity only arises from boolean structure. *)
+
+val unsat : Rfilter.t -> bool
+(** {!unsat_formula} on a lifted remote filter. The engine consults
+    this at subscribe time to prune dead subscriptions from the
+    delivery path. *)

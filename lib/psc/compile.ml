@@ -179,12 +179,17 @@ let rec check_stmt reg acc ~process env (stmt : Ast.stmt) : env =
       if not (Registry.is_obvent_type reg param) then
         err "subscribe (%s %s): %s does not widen to Obvent" param sub.formal
           param;
-      let captured_names = Expr.vars sub.filter in
       let vars = value_vars env in
       (match Typecheck.check_filter reg ~param ~vars sub.filter with
       | () -> ()
       | exception Typecheck.Ill_typed terr ->
           err "filter of %s: %a" sub.sub_var Typecheck.pp_error terr);
+      (* Simplify after typechecking: redundant boolean structure
+         ([...&& true], [< 50 + 50]) folds away so more filters lift
+         to atom normal form, and variables a fold eliminates no
+         longer count as captured (nor block mobility). *)
+      let filter = Expr.simplify sub.filter in
+      let captured_names = Expr.vars filter in
       let captured =
         List.map
           (fun x ->
@@ -194,7 +199,7 @@ let rec check_stmt reg acc ~process env (stmt : Ast.stmt) : env =
           captured_names
       in
       let sp_class =
-        match Mobility.classify reg ~param ~vars sub.filter with
+        match Mobility.classify reg ~param ~vars filter with
         | Mobility.Local_only reasons -> Local_filter reasons
         | Mobility.Mobile -> (
             (* The captured values are not known at compile time, so
@@ -215,7 +220,7 @@ let rec check_stmt reg acc ~process env (stmt : Ast.stmt) : env =
                         Tpbs_serial.Value.Null ))
                 captured
             in
-            match Rfilter.of_expr ~env:placeholder_env ~param sub.filter with
+            match Rfilter.of_expr ~env:placeholder_env ~param filter with
             | Some rf -> Remote_filter rf
             | None -> Mobile_tree)
       in
@@ -235,7 +240,7 @@ let rec check_stmt reg acc ~process env (stmt : Ast.stmt) : env =
           sp_var = sub.sub_var;
           sp_param = param;
           sp_formal = sub.formal;
-          sp_filter = sub.filter;
+          sp_filter = filter;
           sp_class;
           sp_captured = captured;
         }
@@ -248,41 +253,62 @@ and check_stmts reg acc ~process env stmts =
 
 (* --- driver ------------------------------------------------------------- *)
 
-let compile program =
+(* Collect one error per offending declaration instead of stopping at
+   the first, so [pscc check]/[pscc lint] can report every broken
+   declaration in one run. A failed type declaration can cascade into
+   errors in later processes that use the type; the first message is
+   always the root cause (declarations are visited in program
+   order). *)
+let compile_result program =
   let reg = Registry.create () in
-  declare_types reg program;
+  let errors = ref [] in
+  let collect f = try f () with Compile_error msg -> errors := msg :: !errors in
+  List.iter (fun decl -> collect (fun () -> declare_types reg [ decl ])) program;
   let acc = { plans = []; pubs = [] } in
   let seen = Hashtbl.create 8 in
   List.iter
     (fun decl ->
       match (decl : Ast.decl) with
       | Ast.Process { pname; body } ->
-          if Hashtbl.mem seen pname then err "duplicate process %s" pname;
-          Hashtbl.add seen pname ();
-          ignore
-            (check_stmts reg acc ~process:pname
-               { vars = []; formal = None }
-               body)
+          collect (fun () ->
+              if Hashtbl.mem seen pname then err "duplicate process %s" pname;
+              Hashtbl.add seen pname ();
+              ignore
+                (check_stmts reg acc ~process:pname
+                   { vars = []; formal = None }
+                   body))
       | Ast.Interface _ | Ast.Class _ -> ())
     program;
   let adapters =
     List.filter_map
       (fun decl ->
         match (decl : Ast.decl) with
-        | Ast.Interface { iname; _ } when Registry.is_obvent_type reg iname ->
+        | Ast.Interface { iname; _ }
+          when Registry.exists reg iname && Registry.is_obvent_type reg iname ->
             Some { ad_type = iname; ad_is_class = false }
-        | Ast.Class { cname; _ } when Registry.is_obvent_type reg cname ->
+        | Ast.Class { cname; _ }
+          when Registry.exists reg cname && Registry.is_obvent_type reg cname ->
             Some { ad_type = cname; ad_is_class = true }
         | Ast.Interface _ | Ast.Class _ | Ast.Process _ -> None)
       program
   in
-  {
-    registry = reg;
-    program;
-    adapters;
-    sub_plans = List.rev acc.plans;
-    publish_types = List.rev acc.pubs;
-  }
+  match List.rev !errors with
+  | [] ->
+      Ok
+        {
+          registry = reg;
+          program;
+          adapters;
+          sub_plans = List.rev acc.plans;
+          publish_types = List.rev acc.pubs;
+        }
+  | errs -> Error errs
+
+let compile program =
+  match compile_result program with
+  | Ok t -> t
+  | Error (msg :: _) -> raise (Compile_error msg)
+  | Error [] -> assert false
 
 let compile_string src = compile (Pparser.program_of_string src)
 

@@ -50,6 +50,12 @@ type t = {
 val compile : Ast.program -> t
 (** @raise Compile_error on any type or scoping error. *)
 
+val compile_result : Ast.program -> (t, string list) result
+(** Like {!compile}, but collects one error per offending declaration
+    instead of stopping at the first, so [pscc check]/[pscc lint] can
+    report every broken declaration in one run. The first message is
+    always the error {!compile} would have raised. *)
+
 val declare_types : Tpbs_types.Registry.t -> Ast.program -> unit
 (** Phase 1 only: register the program's interface/class declarations
     (used by {!Edl} to read schemas).

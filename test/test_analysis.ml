@@ -1,0 +1,479 @@
+(* Static analyzer (lib/analysis) + the satellites riding with it:
+   Expr.simplify, Subsume satisfiability, engine-side pruning of
+   provably-false filters, and the golden lint report over
+   examples/lint_demo.javaps. *)
+
+open Helpers
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Rfilter = Tpbs_filter.Rfilter
+module Subsume = Tpbs_filter.Subsume
+module Absint = Tpbs_analysis.Absint
+module Lint = Tpbs_analysis.Lint
+module Compile = Tpbs_psc.Compile
+module Pubsub = Tpbs_core.Pubsub
+module Fspec = Tpbs_core.Fspec
+module Domain = Pubsub.Domain
+module Process = Pubsub.Process
+module Subscription = Pubsub.Subscription
+
+let price = Expr.getter [ "getPrice" ]
+let amount = Expr.getter [ "getAmount" ]
+let company = Expr.getter [ "getCompany" ]
+
+let lift e =
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" e with
+  | Some rf -> rf
+  | None -> Alcotest.failf "expected liftable filter: %a" Expr.pp e
+
+(* --- Expr.simplify ---------------------------------------------------- *)
+
+let test_simplify_folds () =
+  let open Expr in
+  Alcotest.check expr_testable "constant arithmetic folds"
+    (price <. float 100.)
+    (simplify (price <. Binop (Add, float 50., float 50.)));
+  Alcotest.check expr_testable "x && true -> x"
+    (price <. int 10)
+    (simplify (price <. int 10 &&& bool true));
+  Alcotest.check expr_testable "true && x -> x"
+    (price <. int 10)
+    (simplify (bool true &&& (price <. int 10)));
+  Alcotest.check expr_testable "false && x -> false (short-circuit)"
+    (bool false)
+    (simplify (bool false &&& (price <. int 10)));
+  Alcotest.check expr_testable "x || false -> x"
+    (amount >. int 5)
+    (simplify (amount >. int 5 ||| bool false));
+  Alcotest.check expr_testable "true || x -> true"
+    (bool true)
+    (simplify (bool true ||| (price <. int 10)));
+  Alcotest.check expr_testable "double negation"
+    (price <. int 10)
+    (simplify (Unop (Not, Unop (Not, price <. int 10))));
+  Alcotest.check expr_testable "constant comparison folds"
+    (bool true)
+    (simplify (Binop (Lt, int 1, int 2)))
+
+let test_simplify_keeps_raising () =
+  let open Expr in
+  let div0 = Binop (Div, int 1, int 0) in
+  Alcotest.check expr_testable "1/0 stays unfolded" div0 (simplify div0);
+  (* x && false must NOT fold to false: x may raise, and the evaluator
+     sees x first. *)
+  let raising = Binop (Div, int 1, int 0) =. int 1 &&& bool false in
+  Alcotest.check expr_testable "raising && false stays" raising
+    (simplify raising)
+
+(* Richer generator than gen_stock_expr: arithmetic (incl. division
+   and modulo by possibly-zero subexpressions) below comparisons, so
+   the preservation property also covers raising evaluations. *)
+let gen_arith_cmp =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ return price; return amount;
+        map Expr.int (int_range (-3) 3);
+        map (fun i -> Expr.float (float_of_int i)) (int_range (-3) 3) ]
+  in
+  let num =
+    fix (fun self depth ->
+        if depth = 0 then leaf
+        else
+          let sub = self (depth - 1) in
+          frequency
+            [ 3, leaf;
+              2, map2 (fun a b -> Expr.Binop (Add, a, b)) sub sub;
+              2, map2 (fun a b -> Expr.Binop (Mul, a, b)) sub sub;
+              1, map2 (fun a b -> Expr.Binop (Sub, a, b)) sub sub;
+              1, map2 (fun a b -> Expr.Binop (Div, a, b)) sub sub;
+              1, map2 (fun a b -> Expr.Binop (Mod, a, b)) sub sub;
+              1, map (fun a -> Expr.Unop (Neg, a)) sub ])
+  in
+  int_range 0 2 >>= fun d1 ->
+  int_range 0 2 >>= fun d2 ->
+  num d1 >>= fun a ->
+  num d2 >>= fun b ->
+  oneofl Expr.[ Lt; Le; Gt; Ge; Eq; Ne ] >>= fun op ->
+  return (Expr.Binop (op, a, b))
+
+let gen_arith_expr =
+  let open QCheck.Gen in
+  sized_size (int_range 0 2)
+  @@ fix (fun self depth ->
+         if depth = 0 then gen_arith_cmp
+         else
+           let sub = self (depth - 1) in
+           frequency
+             [ 3, gen_arith_cmp;
+               2, map2 (fun a b -> Expr.Binop (And, a, b)) sub sub;
+               2, map2 (fun a b -> Expr.Binop (Or, a, b)) sub sub;
+               1, map (fun e -> Expr.Unop (Not, e)) sub ])
+
+let arb_arith_expr = QCheck.make ~print:Expr.to_string gen_arith_expr
+
+let simplify_preserves_eval arb =
+  QCheck.Test.make ~count:500 ~name:"simplify preserves eval" arb (fun e ->
+      let reg = stock_registry () in
+      let args =
+        [ quote reg ();
+          quote reg ~price:5. ~amount:0 ();
+          quote reg ~price:200. ~amount:1000 ~company:"Acme Corp" ();
+          quote reg ~price:0. ~amount:3 ~company:"" () ]
+      in
+      let run e arg =
+        match Expr.eval reg ~env:[] ~arg e with
+        | v -> Ok v
+        | exception Expr.Eval_error _ -> Error ()
+      in
+      let e' = Expr.simplify e in
+      List.for_all
+        (fun arg ->
+          match run e arg, run e' arg with
+          | Ok a, Ok b -> Value.equal a b
+          | Error (), Error () -> true
+          | Ok _, Error () | Error (), Ok _ -> false)
+        args)
+
+(* --- Subsume satisfiability ------------------------------------------- *)
+
+let test_unsat_bounds () =
+  let open Expr in
+  Alcotest.(check bool)
+    "crossed bounds" true
+    (Subsume.unsat (lift (price <. float 10. &&& (price >. float 20.))));
+  Alcotest.(check bool)
+    "touching strict bound" true
+    (Subsume.unsat (lift (price <. float 10. &&& (price >=. float 10.))));
+  Alcotest.(check bool)
+    "satisfiable band" false
+    (Subsume.unsat (lift (price >. float 10. &&& (price <. float 20.))));
+  Alcotest.(check bool)
+    "closed singleton is satisfiable" false
+    (Subsume.unsat (lift (price <=. float 10. &&& (price >=. float 10.))))
+
+let test_unsat_eq_ne () =
+  let open Expr in
+  Alcotest.(check bool)
+    "eq conflicts with ne" true
+    (Subsume.unsat (lift (price =. int 5 &&& (price <>. int 5))));
+  Alcotest.(check bool)
+    "promoted eq/ne conflict" true
+    (Subsume.unsat (lift (price =. int 5 &&& (price <>. float 5.))));
+  Alcotest.(check bool)
+    "two different eq" true
+    (Subsume.unsat (lift (price =. int 5 &&& (price =. int 6))));
+  Alcotest.(check bool)
+    "promoted equal eqs are satisfiable" false
+    (Subsume.unsat (lift (price =. int 5 &&& (price =. float 5.))));
+  Alcotest.(check bool)
+    "string eq vs contains" true
+    (Subsume.unsat
+       (lift
+          (Binop (Contains, company, str "xyz") &&& (company =. str "Acme"))))
+
+let test_unsat_structure () =
+  let open Expr in
+  Alcotest.(check bool)
+    "dead arm does not kill the disjunction" false
+    (Subsume.unsat
+       (lift (price <. float 10. &&& (price >. float 20.) ||| (amount >. int 5))));
+  Alcotest.(check bool)
+    "all arms dead" true
+    (Subsume.unsat
+       (lift
+          (price <. float 10. &&& (price >. float 20.)
+          ||| (amount >. int 5 &&& (amount <. int 2)))));
+  (* Negative conjunct entailed by the positives. *)
+  Alcotest.(check bool)
+    "entailed negation" true
+    (Subsume.unsat
+       (lift (price <. float 10. &&& Unop (Not, price <. float 50.))))
+
+(* --- Absint verdicts --------------------------------------------------- *)
+
+let test_verdicts () =
+  let reg = stock_registry () in
+  let verdict e = Absint.filter_verdict reg ~param:"StockQuote" (lift e) in
+  let open Expr in
+  Alcotest.(check bool)
+    "contradiction is Unsat" true
+    (verdict (price <. float 10. &&& (price >. float 20.)) = Absint.Unsat);
+  Alcotest.(check bool)
+    "overlapping disjunction is Tautology" true
+    (verdict (price <. float 100. ||| (price >=. float 50.))
+    = Absint.Tautology);
+  Alcotest.(check bool)
+    "exact complement split is Tautology" true
+    (verdict (price <. float 100. ||| (price >=. float 100.))
+    = Absint.Tautology);
+  (* getCompany is a String: it can be null, both atoms then evaluate
+     false, so the split is NOT a tautology. *)
+  Alcotest.(check bool)
+    "nullable string split is not a tautology" true
+    (verdict (company =. str "A" ||| (company <>. str "A")) = Absint.Sat);
+  Alcotest.(check bool)
+    "normal filter is Sat" true
+    (verdict (price <. float 100.) = Absint.Sat)
+
+let test_kind_mismatch_atom () =
+  let reg = stock_registry () in
+  (* A numeric bound on the string-typed getCompany can never hold;
+     built directly (the typechecker would reject the source form). *)
+  let rf = lift Expr.(company >. int 10) in
+  Alcotest.(check bool)
+    "numeric bound on string path is Unsat" true
+    (Absint.filter_verdict reg ~param:"StockQuote" rf = Absint.Unsat)
+
+let test_contradictory_conjuncts () =
+  let reg = stock_registry () in
+  let open Expr in
+  let rf =
+    lift (price <. float 10. &&& (price >. float 20.) ||| (amount >. int 5))
+  in
+  Alcotest.(check int)
+    "one dead conjunction" 1
+    (List.length (Absint.contradictory_conjuncts reg ~param:"StockQuote" rf));
+  Alcotest.(check bool)
+    "whole filter still Sat" true
+    (Absint.filter_verdict reg ~param:"StockQuote" rf = Absint.Sat)
+
+let test_div_risks () =
+  let open Expr in
+  (match Absint.div_risks (Binop (Div, amount, int 0) =. int 1) with
+  | [ r ] -> Alcotest.(check bool) "constant zero is definite" true r.definite
+  | rs -> Alcotest.failf "expected 1 risk, got %d" (List.length rs));
+  (match
+     Absint.div_risks (Binop (Div, int 100, Binop (Mod, amount, int 3)) >. int 2)
+   with
+  | [ r ] ->
+      Alcotest.(check bool) "mod interval contains zero" false r.definite
+  | rs -> Alcotest.failf "expected 1 risk, got %d" (List.length rs));
+  Alcotest.(check int)
+    "unbounded divisor is not reported" 0
+    (List.length (Absint.div_risks (Binop (Div, price, amount) >. int 1)))
+
+(* --- Compile integration ---------------------------------------------- *)
+
+let test_simplify_lifts_in_compile () =
+  let src =
+    {|
+      class Quote implements Obvent { double price; }
+      process p {
+        Subscription s = subscribe (Quote q) {
+          return q.getPrice() < 50 + 50 && true;
+        } { print("x"); };
+        s.activate();
+      }
+    |}
+  in
+  let c = Compile.compile_string src in
+  match c.Compile.sub_plans with
+  | [ sp ] -> (
+      match sp.Compile.sp_class with
+      | Compile.Remote_filter rf ->
+          Alcotest.(check string)
+            "folded to a single atom" "getPrice < 100"
+            (Fmt.str "%a" Rfilter.pp_formula rf.Rfilter.formula)
+      | _ -> Alcotest.fail "expected Remote_filter after simplification")
+  | _ -> Alcotest.fail "expected exactly one sub plan"
+
+let test_compile_result_collects () =
+  let src =
+    {|
+      class Broken extends Nonexistent {}
+      process a { publish new Missing("x"); }
+      process b { publish new AlsoMissing("y"); }
+    |}
+  in
+  match Compile.compile_result (Tpbs_psc.Pparser.program_of_string src) with
+  | Ok _ -> Alcotest.fail "expected compile errors"
+  | Error msgs ->
+      Alcotest.(check int) "all three errors collected" 3 (List.length msgs);
+      (* compile (raising form) reports exactly the first collected
+         error. *)
+      let first =
+        match Compile.compile (Tpbs_psc.Pparser.program_of_string src) with
+        | exception Compile.Compile_error m -> m
+        | _ -> Alcotest.fail "compile should raise"
+      in
+      Alcotest.(check string) "raise = first" (List.hd msgs) first
+
+(* --- golden lint report ------------------------------------------------ *)
+
+(* cwd is _build/default/test under [dune runtest] but the project
+   root under [dune exec]. *)
+let example name =
+  List.find Sys.file_exists [ "../examples/" ^ name; "examples/" ^ name ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_lint_demo_golden () =
+  let c = Compile.compile_string (read_file (example "lint_demo.javaps")) in
+  let got = Lint.to_json (Lint.analyze c) in
+  let expected = read_file (example "lint_demo.expected.json") in
+  Alcotest.(check string) "golden JSON report" expected got;
+  let codes =
+    List.sort_uniq String.compare
+      (List.map (fun d -> d.Lint.code) (Lint.analyze c))
+  in
+  Alcotest.(check (list string))
+    "all six diagnostic classes"
+    [ "TP001"; "TP002"; "TP005"; "TP006"; "TP007"; "TP008" ]
+    codes
+
+let test_lint_stock_clean () =
+  let c = Compile.compile_string (read_file (example "stock.javaps")) in
+  Alcotest.(check int) "stock.javaps lints clean" 0
+    (List.length (Lint.analyze c));
+  Alcotest.(check int) "exit code 0 even with werror" 0
+    (Lint.exit_code ~werror:true [])
+
+(* --- engine-side pruning ------------------------------------------------ *)
+
+(* Two worlds, same seed and same event stream: world A subscribes
+   with Tree filters (the engine prunes the provably-false ones),
+   world B with semantically-identical opaque closures (never pruned,
+   evaluated per event). Delivered counts must agree subscription by
+   subscription. *)
+let filters () =
+  let open Expr in
+  [ price <. float 100.;
+    price <. float 10. &&& (price >. float 20.);  (* unsat *)
+    amount >. int 5 &&& (amount <. int 2);  (* unsat *)
+    company =. str "Acme Corp";
+    price >=. float 50. &&& (price <=. float 90.) ]
+
+let run_world ~seed ~as_closure ~with_broker () =
+  let reg = stock_registry () in
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine in
+  let domain = Domain.create reg net in
+  let n = 4 in
+  let procs = Array.init n (fun _ -> Process.create domain (Net.add_node net)) in
+  let broker_proc =
+    if with_broker then Some (Process.create domain (Net.add_node net))
+    else None
+  in
+  (match broker_proc with
+  | Some b -> Pubsub.add_broker domain b
+  | None -> ());
+  let subs =
+    List.mapi
+      (fun i e ->
+        let filter =
+          if as_closure then
+            Fspec.closure (fun o ->
+                match Expr.eval_bool reg ~env:[] ~arg:o e with
+                | b -> b
+                | exception Expr.Eval_error _ -> false)
+          else Fspec.tree e
+        in
+        let s =
+          Process.subscribe
+            procs.(1 + (i mod (n - 1)))
+            ~param:"StockQuote" ~filter
+            (fun _ -> ())
+        in
+        Subscription.activate s;
+        s)
+      (filters ())
+  in
+  Engine.run engine;
+  let prices = [ 5.; 15.; 55.; 80.; 95.; 120.; 200. ] in
+  List.iteri
+    (fun i p ->
+      let company = if i mod 2 = 0 then "Acme Corp" else "Telco Mobiles" in
+      Pubsub.Process.publish procs.(0) (quote reg ~price:p ~company ()))
+    (prices @ prices);
+  Engine.run engine;
+  List.map Subscription.delivered subs, Domain.stats domain, subs
+
+let test_pruned_delivery_equivalence () =
+  List.iter
+    (fun with_broker ->
+      List.iter
+        (fun seed ->
+          let tree_del, tree_stats, tree_subs =
+            run_world ~seed ~as_closure:false ~with_broker ()
+          in
+          let clos_del, clos_stats, _ =
+            run_world ~seed ~as_closure:true ~with_broker ()
+          in
+          Alcotest.(check (list int))
+            (Fmt.str "per-subscription deliveries (seed %d, broker %b)" seed
+               with_broker)
+            clos_del tree_del;
+          Alcotest.(check int)
+            "two filters pruned in the tree world" 2
+            tree_stats.Domain.filters_pruned;
+          Alcotest.(check int)
+            "closures are never pruned" 0 clos_stats.Domain.filters_pruned;
+          Alcotest.(check (list bool))
+            "pruned flags match the contradictory filters"
+            [ false; true; true; false; false ]
+            (List.map Subscription.is_pruned tree_subs))
+        [ 7; 42 ])
+    [ false; true ]
+
+let test_pruning_skips_broker_registration () =
+  (* The pruned subscription must not even register with the filtering
+     host: compare control traffic against a world where the same
+     filter is satisfiable. *)
+  let control ~e =
+    let reg = stock_registry () in
+    let engine = Engine.create ~seed:3 () in
+    let net = Net.create engine in
+    let domain = Domain.create reg net in
+    let p0 = Process.create domain (Net.add_node net) in
+    let pb = Process.create domain (Net.add_node net) in
+    Pubsub.add_broker domain pb;
+    let s =
+      Process.subscribe p0 ~param:"StockQuote" ~filter:(Fspec.tree e)
+        (fun _ -> ())
+    in
+    Subscription.activate s;
+    Engine.run engine;
+    (Domain.stats domain).Domain.control_messages
+  in
+  let open Expr in
+  let sat = control ~e:(price <. float 100.) in
+  let unsat = control ~e:(price <. float 10. &&& (price >. float 20.)) in
+  Alcotest.(check bool) "sat filter registers" true (sat > 0);
+  Alcotest.(check int) "pruned filter sends no control message" 0 unsat
+
+let suite =
+  ( "analysis",
+    [ Alcotest.test_case "simplify: folds" `Quick test_simplify_folds;
+      Alcotest.test_case "simplify: raising preserved" `Quick
+        test_simplify_keeps_raising;
+      Alcotest.test_case "subsume: unsat bounds" `Quick test_unsat_bounds;
+      Alcotest.test_case "subsume: unsat eq/ne" `Quick test_unsat_eq_ne;
+      Alcotest.test_case "subsume: formula structure" `Quick
+        test_unsat_structure;
+      Alcotest.test_case "absint: verdicts" `Quick test_verdicts;
+      Alcotest.test_case "absint: kind mismatch" `Quick
+        test_kind_mismatch_atom;
+      Alcotest.test_case "absint: contradictory conjuncts" `Quick
+        test_contradictory_conjuncts;
+      Alcotest.test_case "absint: division by zero" `Quick test_div_risks;
+      Alcotest.test_case "compile: simplify lifts" `Quick
+        test_simplify_lifts_in_compile;
+      Alcotest.test_case "compile: collects all errors" `Quick
+        test_compile_result_collects;
+      Alcotest.test_case "lint: golden report" `Quick test_lint_demo_golden;
+      Alcotest.test_case "lint: stock.javaps clean" `Quick
+        test_lint_stock_clean;
+      Alcotest.test_case "pubsub: pruned delivery equivalence" `Quick
+        test_pruned_delivery_equivalence;
+      Alcotest.test_case "pubsub: pruning skips broker" `Quick
+        test_pruning_skips_broker_registration ]
+    @ List.map
+        (QCheck_alcotest.to_alcotest ~long:false)
+        [ simplify_preserves_eval arb_stock_expr;
+          simplify_preserves_eval arb_arith_expr ] )
