@@ -8,8 +8,11 @@
    A2: why reliable broadcast floods: delivery ratio of one direct
        send per member vs flooding relays, across loss rates.
    A3: lpbcast's pull (id digests + retrieval) on vs off.
-   A4: the price of obvent uniqueness: per-subscription deserialization
-       (the §2.1.2 guarantee) vs a hypothetical shared decode. *)
+   A4: the price of obvent uniqueness: eager per-subscription
+       deserialization (the pre-COW §2.1.2 implementation) vs
+       copy-on-write views (the delivery path's current strategy,
+       with and without subscriber writes) vs a hypothetical shared
+       decode with no isolation at all. *)
 
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
@@ -211,20 +214,46 @@ let a3 () =
 
 let a4 () =
   Workload.table_header
-    "A4  obvent uniqueness: per-subscription decode vs shared decode"
-    [ "subs/node"; "unique(us/evt)"; "shared(us/evt)"; "overhead" ];
+    "A4  obvent uniqueness: eager decode / cow views / cow+write / shared"
+    [ "subs/node"; "eager(us/evt)"; "cow(us/evt)"; "cow+write(us/evt)";
+      "shared(us/evt)"; "eager/shared"; "cow/shared" ];
+  Workload.json_table ~key:"a4"
+    ~cols:
+      [ "subs"; "eager_us"; "cow_us"; "cow_write_us"; "shared_us";
+        "eager_over_shared"; "cow_over_shared" ];
   let reg = Workload.registry () in
   let rng = Rng.create 3 in
   let event = Workload.random_event reg rng ~cls:"StockQuote" () in
   let bytes = Obvent.serialize event in
   List.iter
     (fun n ->
-      let t_unique =
+      (* The §2.1.2 guarantee paid eagerly: one full deserialization
+         per subscription (the EagerClone fallback path). *)
+      let t_eager =
         Workload.time_per_op ~runs:2000 (fun () ->
             for _ = 1 to n do
               ignore (Obvent.deserialize reg bytes)
             done)
       in
+      (* The delivery path today: one gating decode, n-1 O(1) views. *)
+      let t_cow =
+        Workload.time_per_op ~runs:2000 (fun () ->
+            let gate = Obvent.deserialize reg bytes in
+            for _ = 2 to n do
+              ignore (Obvent.view gate)
+            done)
+      in
+      (* Worst case for COW: every subscriber mutates its clone, so
+         every view pays the write barrier and a spine rebuild. *)
+      let t_cow_write =
+        Workload.time_per_op ~runs:2000 (fun () ->
+            let gate = Obvent.deserialize reg bytes in
+            for _ = 2 to n do
+              let v = Obvent.view gate in
+              Obvent.set reg v "price" (Value.Float 1.)
+            done)
+      in
+      (* No isolation at all: the lower bound COW chases. *)
       let t_shared =
         Workload.time_per_op ~runs:2000 (fun () ->
             let shared = Obvent.deserialize reg bytes in
@@ -232,9 +261,15 @@ let a4 () =
               ignore (Obvent.cls shared)
             done)
       in
-      Fmt.pr "%9d  %14.2f  %14.2f  %7.1fx@." n (t_unique *. 1e6)
-        (t_shared *. 1e6)
-        (t_unique /. Float.max 1e-9 t_shared))
+      let eager_ratio = t_eager /. Float.max 1e-9 t_shared in
+      let cow_ratio = t_cow /. Float.max 1e-9 t_shared in
+      Fmt.pr "%9d  %13.2f  %11.2f  %17.2f  %14.2f  %11.1fx  %9.1fx@." n
+        (t_eager *. 1e6) (t_cow *. 1e6) (t_cow_write *. 1e6)
+        (t_shared *. 1e6) eager_ratio cow_ratio;
+      Workload.json_row ~key:"a4"
+        [ J_int n; J_float (t_eager *. 1e6); J_float (t_cow *. 1e6);
+          J_float (t_cow_write *. 1e6); J_float (t_shared *. 1e6);
+          J_float eager_ratio; J_float cow_ratio ])
     [ 1; 4; 16; 64 ]
 
 let run () =

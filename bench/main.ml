@@ -1,20 +1,73 @@
 (* Experiment harness: regenerates every table of EXPERIMENTS.md.
 
-   dune exec bench/main.exe            -- run everything
-   dune exec bench/main.exe -- e3 e5   -- selected experiments *)
+   dune exec bench/main.exe                    -- run everything
+   dune exec bench/main.exe -- e3 e5           -- selected experiments
+   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_5.json
+   dune exec bench/main.exe -- --guard-a4 3.0 a4
+                                               -- CI perf smoke: fail if the
+                                                  COW arm at 64 subs/node
+                                                  exceeds 3x the shared arm *)
 
 let experiments =
   [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
     "e4", E4_remote_filtering.run; "e5", E5_gossip.run; "e6", E6_rmi.run;
     "e7", E7_paradigms.run; "e8", E8_dgc.run; "e9", E9_threading.run;
-    "e10", E10_psc.run; "ablations", A1_ablations.run; "micro", Micro.run;
-    "obs", Obs.run ]
+    "e10", E10_psc.run; "ablations", A1_ablations.run;
+    "a4", A1_ablations.a4; "micro", Micro.run; "obs", Obs.run ]
+
+let json_path = "BENCH_5.json"
+
+let guard_a4 limit =
+  match Workload.json_find "a4" with
+  | None ->
+      Fmt.epr "--guard-a4: experiment a4 was not run@.";
+      exit 1
+  | Some (_, rows) -> (
+      let ratio_at_64 =
+        List.find_map
+          (function
+            | Workload.J_int 64 :: _ as row -> (
+                match List.nth_opt row 6 with
+                | Some (Workload.J_float r) -> Some r
+                | _ -> None)
+            | _ -> None)
+          rows
+      in
+      match ratio_at_64 with
+      | None ->
+          Fmt.epr "--guard-a4: no 64-subs row in the a4 table@.";
+          exit 1
+      | Some r when r > limit ->
+          Fmt.epr
+            "--guard-a4: cow/shared at 64 subs/node is %.2fx, above the \
+             %.2fx budget@."
+            r limit;
+          exit 1
+      | Some r ->
+          Fmt.pr "a4 guard: cow/shared at 64 subs/node = %.2fx (budget \
+                  %.2fx)@."
+            r limit)
 
 let () =
+  let rec parse json guard names = function
+    | [] -> json, guard, List.rev names
+    | "--json" :: rest -> parse true guard names rest
+    | "--guard-a4" :: limit :: rest -> (
+        match float_of_string_opt limit with
+        | Some l -> parse json (Some l) names rest
+        | None ->
+            Fmt.epr "--guard-a4 expects a ratio, got %s@." limit;
+            exit 1)
+    | [ "--guard-a4" ] ->
+        Fmt.epr "--guard-a4 expects a ratio@.";
+        exit 1
+    | name :: rest -> parse json guard (name :: names) rest
+  in
+  let json, guard, requested =
+    parse false None [] (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match requested with [] -> List.map fst experiments | names -> names
   in
   List.iter
     (fun name ->
@@ -24,4 +77,6 @@ let () =
           Fmt.epr "unknown experiment %s (known: %s)@." name
             (String.concat ", " (List.map fst experiments));
           exit 1)
-    requested
+    requested;
+  if json then Workload.write_json json_path;
+  Option.iter guard_a4 guard

@@ -59,12 +59,24 @@ let tests () =
   in
   ignore (Routing.find route "SpotPrice" ~build:route_build);
   let route_cold = Routing.create reg in
+  let cursor = Tpbs_serial.Cursor.of_string bytes in
   [ Test.make ~name:"codec: encode obvent"
       (Staged.stage (fun () -> ignore (Codec.encode value)));
     Test.make ~name:"codec: decode obvent"
       (Staged.stage (fun () -> ignore (Codec.decode bytes)));
     Test.make ~name:"obvent: clone (serialize+deserialize)"
       (Staged.stage (fun () -> ignore (Obvent.clone reg event)));
+    Test.make ~name:"obvent: cow view clone"
+      (Staged.stage (fun () -> ignore (Obvent.view event)));
+    Test.make ~name:"obvent: cow view + first write"
+      (Staged.stage (fun () ->
+           let v = Obvent.view event in
+           Obvent.set reg v "price" (Value.Float 1.)));
+    Test.make ~name:"cursor: class-id peek"
+      (Staged.stage (fun () -> ignore (Tpbs_serial.Cursor.class_id cursor)));
+    Test.make ~name:"cursor: lazy projection (1 field)"
+      (Staged.stage (fun () ->
+           ignore (Tpbs_serial.Cursor.project cursor [ "price" ])));
     Test.make ~name:"registry: subtype check"
       (Staged.stage (fun () ->
            ignore (Registry.subtype reg "SpotPrice" "Obvent")));
@@ -87,6 +99,11 @@ let tests () =
       (Staged.stage (fun () ->
            Routing.clear route_cold;
            ignore (Routing.find route_cold "SpotPrice" ~build:route_build)));
+    Test.make ~name:"routing: incremental add+remove (1000 subs)"
+      (Staged.stage (fun () ->
+           (* Paired so the warm entry's size is steady across runs. *)
+           Routing.add route ~param:"StockRequest" ~compare:Int.compare 1000;
+           Routing.remove route ~param:"StockRequest" (fun i -> i = 1000)));
     Test.make ~name:"topics: match (1000 subs)"
       (Staged.stage (fun () -> ignore (Topics.publish topics ~topic:"stocks/s7")))
   ]
@@ -109,6 +126,7 @@ let run () =
   in
   let results = Analyze.merge ols instances results in
   (* Print estimates sorted by name. *)
+  Workload.json_table ~key:"micro" ~cols:[ "name"; "ns_per_op" ];
   (match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
   | None -> Fmt.pr "(no results)@."
   | Some tbl ->
@@ -116,5 +134,8 @@ let run () =
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       |> List.iter (fun (name, ols) ->
              match Analyze.OLS.estimates ols with
-             | Some [ est ] -> Fmt.pr "%-45s %12.1f@." name est
+             | Some [ est ] ->
+                 Fmt.pr "%-45s %12.1f@." name est;
+                 Workload.json_row ~key:"micro"
+                   [ J_str name; J_float est ]
              | _ -> Fmt.pr "%-45s %12s@." name "n/a"))

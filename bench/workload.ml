@@ -110,3 +110,77 @@ let time_per_op f ~runs =
     f ()
   done;
   (Sys.time () -. t0) /. float_of_int runs
+
+(* --- machine-readable table collection ------------------------------- *)
+
+(* Experiments register their tables here as they print them; the
+   harness dumps the collection to BENCH_<n>.json on --json and the CI
+   perf guard reads it back. Collection is always on — it is a few
+   lists per run. *)
+
+type cell = J_int of int | J_float of float | J_str of string
+
+let json_tables : (string, string list * cell list list ref) Hashtbl.t =
+  Hashtbl.create 8
+
+let json_order : string list ref = ref []
+
+let json_table ~key ~cols =
+  if not (Hashtbl.mem json_tables key) then
+    json_order := !json_order @ [ key ];
+  Hashtbl.replace json_tables key (cols, ref [])
+
+let json_row ~key row =
+  match Hashtbl.find_opt json_tables key with
+  | None -> invalid_arg ("json_row: unregistered table " ^ key)
+  | Some (_, rows) -> rows := row :: !rows
+
+let json_find key =
+  Option.map
+    (fun (cols, rows) -> cols, List.rev !rows)
+    (Hashtbl.find_opt json_tables key)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cell_to_json = function
+  | J_int i -> string_of_int i
+  | J_float f ->
+      if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  | J_str s -> "\"" ^ json_escape s ^ "\""
+
+let write_json path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{";
+  List.iteri
+    (fun ti key ->
+      let cols, rows = Option.get (json_find key) in
+      if ti > 0 then out ",";
+      out "\n  \"%s\": {\n    \"columns\": [%s],\n    \"rows\": ["
+        (json_escape key)
+        (String.concat ", "
+           (List.map (fun c -> "\"" ^ json_escape c ^ "\"") cols));
+      List.iteri
+        (fun ri row ->
+          if ri > 0 then out ",";
+          out "\n      [%s]"
+            (String.concat ", " (List.map cell_to_json row)))
+        rows;
+      out "\n    ]\n  }")
+    !json_order;
+  out "\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d tables)@." path (List.length !json_order)

@@ -4,6 +4,7 @@ module Vtype = Tpbs_types.Vtype
 module Obvent = Tpbs_obvent.Obvent
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Cursor = Tpbs_serial.Cursor
 module Net = Tpbs_sim.Net
 module Engine = Tpbs_sim.Engine
 module Stable = Tpbs_sim.Stable
@@ -279,12 +280,24 @@ let adopt_proxies p obvent =
           | _ -> ())
         () (Obvent.to_value obvent)
 
-let stale d meta obvent =
+(* Timely staleness decided by lazy field projection over the encoded
+   payload: two cursor probes instead of a full decode, so an expired
+   event costs zero materializations on this node. A payload the
+   cursor cannot navigate is simply not stale here — the gating decode
+   downstream will account the malformation. *)
+let stale_lazy d meta cursor =
   meta.profile.Qos.timely
   &&
-  match Obvent.birth d.registry obvent, Obvent.time_to_live d.registry obvent with
-  | Some birth, Some ttl -> now_of d > birth + ttl
+  match
+    match Cursor.class_id cursor with
+    | Some cls when Registry.subtype d.registry cls "Timely" ->
+        ( Cursor.project cursor [ "birth" ],
+          Cursor.project cursor [ "timeToLive" ] )
+    | Some _ | None -> None, None
+  with
+  | Some (Value.Int birth), Some (Value.Int ttl) -> now_of d > birth + ttl
   | _, _ -> false
+  | exception Codec.Decode_error _ -> false
 
 let deliver_clone p ~publish_time ~eid s obvent =
   let d = p.dom in
@@ -323,12 +336,18 @@ let learn_interest p cls obvent_bytes =
             else Hashtbl.remove p.interest (node, param)
         | _, _ -> ())
 
-(* Delivery hot path: one routing-index lookup and ONE gating
-   deserialization per event. Staleness (Timely) and filters are
-   evaluated on that single decode; only actual deliveries pay the
-   per-notifiable clone §2.1.2 mandates. The gating instance itself
-   serves as the first clone — it is a fresh deserialization,
-   physically distinct from every other copy in the system. *)
+(* Delivery hot path: one routing-index lookup and at most ONE decode
+   per event, however many subscribers match. Staleness (Timely) is
+   settled by lazy projection before any decode; filters are evaluated
+   on the single gating decode; each further matching subscriber then
+   receives a copy-on-write view of the gate — fresh uid, field spine
+   physically shared, so the per-notifiable clone §2.1.2 mandates
+   costs O(1) instead of a serialize+deserialize round trip. Isolation
+   holds because a write through any copy rebinds that copy's spine,
+   never a sibling's. Classes marked EagerClone opt out of sharing and
+   fall back to one deserialization per subscriber, reusing the
+   envelope's already-encoded bytes (serialize once, decode N
+   times). *)
 let on_event p cls envelope =
   let d = p.dom in
   let decode_error () =
@@ -359,20 +378,20 @@ let on_event p cls envelope =
                     [ ("cls", Trace.S cls);
                       ("targets", Trace.I (List.length subs)) ]
                   ();
-              match Obvent.deserialize d.registry obvent_bytes with
-              | exception Obvent.Invalid_obvent _ -> decode_error ()
-              | gate ->
-                  Trace.Counter.incr d.obs.c_cloned;
-                  if stale d meta gate then begin
-                    (* Once per event, not once per matching
-                       subscription. *)
-                    d.expired <- d.expired + 1;
-                    Trace.Counter.incr d.obs.c_expired;
-                    if Trace.emitting d.obs.tr then
-                      Trace.emit d.obs.tr ~layer:"core" ~kind:"expire"
-                        ~node:p.node ~id:eid ()
-                  end
-                  else
+              if stale_lazy d meta (Cursor.of_string obvent_bytes) then begin
+                (* Once per event, not once per matching subscription —
+                   and without ever materializing the obvent. *)
+                d.expired <- d.expired + 1;
+                Trace.Counter.incr d.obs.c_expired;
+                if Trace.emitting d.obs.tr then
+                  Trace.emit d.obs.tr ~layer:"core" ~kind:"expire"
+                    ~node:p.node ~id:eid ()
+              end
+              else
+                match Obvent.deserialize d.registry obvent_bytes with
+                | exception Obvent.Invalid_obvent _ -> decode_error ()
+                | gate ->
+                    Trace.Counter.incr d.obs.c_cloned;
                     let dropped = ref 0 in
                     let matched =
                       List.filter
@@ -391,17 +410,33 @@ let on_event p cls envelope =
                         ~node:p.node ~id:eid
                         ~data:[ ("dropped", Trace.I !dropped) ]
                         ();
-                    List.iteri
-                      (fun i s ->
-                        let clone =
-                          if i = 0 then gate
-                          else begin
-                            Trace.Counter.incr d.obs.c_cloned;
-                            Obvent.deserialize d.registry obvent_bytes
-                          end
-                        in
+                    let eager =
+                      Registry.subtype d.registry (Obvent.cls gate)
+                        "EagerClone"
+                    in
+                    (* Every clone is minted before any delivery runs:
+                       dispatch may invoke a handler synchronously, and
+                       a view must snapshot the gate's spine before any
+                       subscriber gets a chance to write through it. *)
+                    let clones =
+                      List.mapi
+                        (fun i s ->
+                          let clone =
+                            if i = 0 then gate
+                            else begin
+                              Trace.Counter.incr d.obs.c_cloned;
+                              if eager then
+                                Obvent.deserialize d.registry obvent_bytes
+                              else Obvent.view gate
+                            end
+                          in
+                          s, clone)
+                        matched
+                    in
+                    List.iter
+                      (fun (s, clone) ->
                         deliver_clone p ~publish_time ~eid s clone)
-                      matched)))
+                      clones)))
 
 (* --- channels ------------------------------------------------------------ *)
 
@@ -585,10 +620,33 @@ let broker_on_publish d b bytes =
           | routed ->
               (* Factored matching once per event, only when the class
                  routes somewhere; O(1) set membership per routed
-                 subscription. *)
+                 subscription. The compound filter reads the event only
+                 through lazy cursor projections — one skip-navigation
+                 per unique getter path — so the filtering host decides
+                 match or drop without ever materializing the full
+                 obvent. Mirrors Rfilter.eval_path: getter names map to
+                 attributes, navigation descends through objects only.
+                 A payload the cursor cannot navigate matches nothing,
+                 exactly as a failed full decode used to. *)
+              let cursor = Cursor.of_string obvent_bytes in
+              let resolve path =
+                let rec to_attrs = function
+                  | [] -> Some []
+                  | m :: rest -> (
+                      match Obvent.attr_of_getter m with
+                      | None -> None
+                      | Some a -> (
+                          match to_attrs rest with
+                          | None -> None
+                          | Some tl -> Some (a :: tl)))
+                in
+                match to_attrs path with
+                | None -> None
+                | Some attrs -> Cursor.project cursor attrs
+              in
               let matched_ids =
-                match Codec.decode obvent_bytes with
-                | v -> Factored.matches_set b.factored v
+                match Factored.matches_set_resolve b.factored resolve with
+                | ids -> ids
                 | exception Codec.Decode_error _ -> Hashtbl.create 1
               in
               let sent = Hashtbl.create 8 in
@@ -624,9 +682,12 @@ let broker_on_ctl d b bytes =
             | None -> true, None)
       in
       if not (Hashtbl.mem b.broker_subs sid) then begin
-        Hashtbl.replace b.broker_subs sid
-          { b_node = node; b_param = param; b_always = always };
-        Routing.invalidate b.b_route ~param;
+        let sub = { b_node = node; b_param = param; b_always = always } in
+        Hashtbl.replace b.broker_subs sid sub;
+        (* Broker entries are kept sid-ascending; splice in place. *)
+        Routing.add b.b_route ~param
+          ~compare:(fun (s1, _) (s2, _) -> Int.compare s1 s2)
+          (sid, sub);
         match rfilter with
         | Some rf -> Factored.add b.factored ~id:sid rf
         | None -> ()
@@ -726,12 +787,23 @@ module Subscription = struct
          (fun cls -> Registry.subtype d.registry cls s.param)
          (Registry.obvent_classes d.registry))
 
+  (* Incremental routing-index maintenance: splice the activated
+     subscription into every warm entry instead of dropping them for a
+     full rebuild. Entries mirror [p.subs] order — newest (highest
+     sid) first — so the insert compares sids descending. A pruned
+     subscription never routes and never enters the index. *)
+  let route_in s =
+    if not s.pruned then
+      Routing.add s.sub_process.route ~param:s.param
+        ~compare:(fun a b -> Int.compare b.sid a.sid)
+        s
+
   let activate s =
     if s.active then
       Errors.cannot_subscribe "subscription %d is already activated" s.sid;
     ensure_channels s;
     s.active <- true;
-    Routing.invalidate s.sub_process.route ~param:s.param;
+    route_in s;
     send_ctl s `Sub;
     emit_meta s.sub_process ~cls:"SubscriptionActivated" ~sid:s.sid
       ~param:s.param
@@ -750,7 +822,7 @@ module Subscription = struct
     s.durable <- Some id;
     ensure_channels s;
     s.active <- true;
-    Routing.invalidate p.route ~param:s.param;
+    route_in s;
     send_ctl s `Sub;
     emit_meta p ~cls:"SubscriptionActivated" ~sid:s.sid ~param:s.param
 

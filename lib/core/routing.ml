@@ -58,6 +58,25 @@ let invalidate t ~param =
   in
   List.iter (Hashtbl.remove t.entries) affected
 
+(* Sorted insertion keeping the holder's canonical order: the element
+   goes before the first target it compares below. Activation order
+   and creation order can differ (deactivate/reactivate churn), so a
+   plain prepend would diverge from what a rebuild produces. *)
+let rec insert_sorted compare x = function
+  | [] -> [ x ]
+  | y :: rest as targets ->
+      if compare x y <= 0 then x :: targets
+      else y :: insert_sorted compare x rest
+
+let add t ~param ~compare x =
+  validate t;
+  Hashtbl.filter_map_inplace
+    (fun cls targets ->
+      if Registry.subtype t.reg cls param then
+        Some (insert_sorted compare x targets)
+      else Some targets)
+    t.entries
+
 let remove t ~param pred =
   validate t;
   Hashtbl.filter_map_inplace

@@ -17,9 +17,11 @@
     - the index records the {!Tpbs_types.Registry.generation} it was
       built against and resets itself when the lattice grows, so a
       class declared after traffic started still routes correctly;
-    - activations call {!invalidate} (affected entries rebuild lazily,
-      preserving the holder's canonical order) and deactivations call
-      {!remove} (cheap in-place deletion). *)
+    - activations call {!add} (the new target is spliced into every
+      affected cached entry in place, at its canonical position) and
+      deactivations call {!remove} (cheap in-place deletion);
+    - {!invalidate} remains the big-hammer fallback: it drops affected
+      entries so they rebuild lazily on the next event. *)
 
 type 'a t
 
@@ -32,8 +34,18 @@ val find : 'a t -> string -> build:(string -> 'a list) -> 'a list
 
 val invalidate : 'a t -> param:string -> unit
 (** Drop every cached entry whose class is a subtype of [param]; those
-    classes rebuild on their next event. Call when a subscription to
-    [param] becomes active. *)
+    classes rebuild on their next event. The coarse alternative to
+    {!add} when incremental maintenance is not possible (e.g. the
+    caller cannot name the target being introduced). *)
+
+val add : 'a t -> param:string -> compare:('a -> 'a -> int) -> 'a -> unit
+(** [add t ~param ~compare x] splices target [x] into every cached
+    entry whose class is a subtype of [param], at the position
+    [compare] dictates (entries are kept in the holder's canonical
+    order, so the result must equal what a full rebuild would
+    produce). O(affected entries × entry length), no rebuild — the
+    routing index stays warm across subscription churn. Call when a
+    subscription to [param] becomes active. *)
 
 val remove : 'a t -> param:string -> ('a -> bool) -> unit
 (** Remove targets satisfying the predicate from every cached entry

@@ -269,7 +269,7 @@ let lower_bound arr pred =
   done;
   !lo
 
-let matches_set t (root : Value.t) =
+let matches_set_resolve t resolve =
   t.events_matched <- t.events_matched + 1;
   Bytes.fill t.truth 0 (Bytes.length t.truth) '\000';
   let set_true id = Bytes.unsafe_set t.truth id '\001' in
@@ -283,7 +283,7 @@ let matches_set t (root : Value.t) =
     (fun pidx ->
       if pidx.dirty then rebuild_sorted pidx;
       t.path_evals <- t.path_evals + 1;
-      match Rfilter.eval_path root pidx.path with
+      match (resolve pidx.path : Value.t option) with
       | None ->
           (* Missing path: every condition on it is false, including
              the Cne ones (three-valued collapse, cf. Rfilter). *)
@@ -364,6 +364,9 @@ let matches_set t (root : Value.t) =
     (fun sid f -> if eval_t f then Hashtbl.replace matched sid ())
     t.tree_subs;
   matched
+
+let matches_set t (root : Value.t) =
+  matches_set_resolve t (Rfilter.eval_path root)
 
 let matches t root =
   List.sort Int.compare

@@ -37,6 +37,17 @@ val matches_set : t -> Tpbs_serial.Value.t -> (int, unit) Hashtbl.t
     by filter. The table is freshly allocated per call and owned by
     the caller. *)
 
+val matches_set_resolve :
+  t -> (string list -> Tpbs_serial.Value.t option) -> (int, unit) Hashtbl.t
+(** {!matches_set} generalized over the event representation: the
+    resolver maps a getter path to the value it reaches ([None] when
+    the path leaves the structure). The compound filter touches the
+    event {e only} through unique-path resolutions, so a broker can
+    pass a {!Tpbs_serial.Cursor} projection and never materialize the
+    full obvent — [matches_set t root] is exactly
+    [matches_set_resolve t (Rfilter.eval_path root)]. Exceptions from
+    the resolver propagate; index bookkeeping stays consistent. *)
+
 val matches : t -> Tpbs_serial.Value.t -> int list
 (** {!matches_set} as a sorted list, ascending. *)
 

@@ -3,7 +3,20 @@ module Codec = Tpbs_serial.Codec
 module Registry = Tpbs_types.Registry
 module Qos = Tpbs_types.Qos
 
-type t = { uid : int; cls : string; fields : (string * Value.t) list }
+(* Copy-on-write representation: [fields] is an immutable assoc list
+   that may be physically shared with other obvents (a decode shared
+   by every co-located subscriber's view). The isolation guarantee
+   (§2.1.2) survives sharing because a write never mutates the list —
+   {!set} rebinds [fields] to a fresh spine, so every other holder of
+   the old spine is untouched. [owned] is the write barrier's memory:
+   it records whether this obvent has already paid for a private
+   spine, and feeds the materialization accounting. *)
+type t = {
+  uid : int;
+  cls : string;
+  mutable fields : (string * Value.t) list;
+  mutable owned : bool;
+}
 
 exception Invalid_obvent of string
 
@@ -15,9 +28,19 @@ let fresh_uid () =
   incr counter;
   !counter
 
+(* COW accounting (process-global, like the uid counter): how many
+   lightweight views were minted and how many of them materialized a
+   private copy on first write. *)
+type cow_stats = { views : int; materializations : int }
+
+let views_created = ref 0
+let materialized = ref 0
+let cow_stats () = { views = !views_created; materializations = !materialized }
+
 let uid o = o.uid
 let cls o = o.cls
 let fields o = o.fields
+let is_view o = not o.owned
 
 let validate reg cls fields =
   if not (Registry.exists reg cls) then err "unknown class %s" cls;
@@ -46,16 +69,51 @@ let validate reg cls fields =
 
 let make reg cls fields =
   let fields = validate reg cls fields in
-  { uid = fresh_uid (); cls; fields }
+  { uid = fresh_uid (); cls; fields; owned = true }
 
 let get o attr =
   match List.assoc_opt attr o.fields with
   | Some v -> v
   | None -> err "obvent %s has no attribute %s" o.cls attr
 
+(* A lightweight clone: fresh identity, field spine shared with the
+   source. O(1) — no bytes are copied, no validation re-runs (the
+   source was validated when it was made or adopted). *)
+let view o =
+  incr views_created;
+  { uid = fresh_uid (); cls = o.cls; fields = o.fields; owned = false }
+
+(* The write barrier: before the first mutation through a view, charge
+   it for a private copy. With immutable field spines "materializing"
+   is only an accounting event — the actual privatization happens in
+   [set], which rebuilds the spine instead of mutating it — but it is
+   the observable moment the copy-on-write contract gets exercised. *)
+let materialize o =
+  if not o.owned then begin
+    o.owned <- true;
+    incr materialized
+  end
+
+let set reg o attr v =
+  (match List.assoc_opt attr (Registry.attrs_of reg o.cls) with
+  | None -> err "class %s has no attribute %s" o.cls attr
+  | Some ty ->
+      if not (Registry.conforms_vtype reg v ty) then
+        err "class %s: attribute %s = %a does not conform to %a" o.cls attr
+          Value.pp v Tpbs_types.Vtype.pp ty);
+  materialize o;
+  o.fields <-
+    List.map (fun (n, old) -> n, if String.equal n attr then v else old) o.fields
+
 let attr_of_getter m =
   let n = String.length m in
   if n > 3 && String.sub m 0 3 = "get" then
+    Some (String.uncapitalize_ascii (String.sub m 3 (n - 3)))
+  else None
+
+let attr_of_setter m =
+  let n = String.length m in
+  if n > 3 && String.sub m 0 3 = "set" then
     Some (String.uncapitalize_ascii (String.sub m 3 (n - 3)))
   else None
 
@@ -67,6 +125,14 @@ let invoke reg o m =
       | Some attr -> get o attr
       | None -> err "method %s is not a getter" m)
 
+(* The generated setter path ("setPrice" etc.): the paper's obvent
+   classes are plain objects with mutators; every mutator funnels
+   through {!set} and therefore through the write barrier. *)
+let invoke_setter reg o m v =
+  match attr_of_setter m with
+  | Some attr -> set reg o attr v
+  | None -> err "method %s is not a setter" m
+
 let to_value o : Value.t = Obj { cls = o.cls; fields = o.fields }
 
 let of_value reg (v : Value.t) =
@@ -76,7 +142,7 @@ let of_value reg (v : Value.t) =
         err "value does not conform to class %s" o.cls;
       if not (Registry.is_obvent_type reg o.cls) then
         err "class %s does not widen to Obvent" o.cls;
-      { uid = fresh_uid (); cls = o.cls; fields = o.fields }
+      { uid = fresh_uid (); cls = o.cls; fields = o.fields; owned = true }
   | Null | Bool _ | Int _ | Float _ | Str _ | List _ | Remote _ ->
       err "value is not an object"
 

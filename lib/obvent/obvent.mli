@@ -40,6 +40,44 @@ val get : t -> string -> Tpbs_serial.Value.t
 (** Attribute access by name.
     @raise Invalid_obvent if absent. *)
 
+val view : t -> t
+(** A copy-on-write clone: fresh identity (§2.1.2), field structure
+    physically shared with the source. O(1). The share is unobservable
+    through the API: a {!set} on either side rebinds that side's
+    private spine, never the other's. This is what the delivery path
+    hands each co-located subscriber instead of a full
+    serialize+deserialize round trip. *)
+
+val is_view : t -> bool
+(** True while the obvent still shares its field spine (no write has
+    materialized a private copy). Accounting introspection only. *)
+
+val set : Tpbs_types.Registry.t -> t -> string -> Tpbs_serial.Value.t -> unit
+(** [set reg o attr v] mutates attribute [attr]. Runs the
+    copy-on-write write barrier first: a shared (view) obvent
+    materializes its private copy, so the write is never visible to
+    the publisher or to any other subscriber's clone.
+    @raise Invalid_obvent if [attr] is not declared by the obvent's
+    class or [v] does not conform to its declared type. *)
+
+val invoke_setter :
+  Tpbs_types.Registry.t -> t -> string -> Tpbs_serial.Value.t -> unit
+(** [invoke_setter reg o "setPrice" v] — the generated mutator path;
+    resolves the attribute from the setter name and delegates to
+    {!set}.
+    @raise Invalid_obvent if the name is not setter-shaped or the
+    attribute is unknown/mistyped. *)
+
+val attr_of_setter : string -> string option
+(** [attr_of_setter "setPrice"] is [Some "price"]; [None] when the
+    name does not follow the setter convention. *)
+
+type cow_stats = { views : int; materializations : int }
+
+val cow_stats : unit -> cow_stats
+(** Process-global copy-on-write accounting: views minted by {!view}
+    and how many of them materialized a private copy on first write. *)
+
 val invoke : Tpbs_types.Registry.t -> t -> string -> Tpbs_serial.Value.t
 (** [invoke reg o "getPrice"] — call a getter. This is the only
     method-invocation form filters may use (§3.3.4).

@@ -103,6 +103,55 @@ let decode_prefix r =
   | Wire.Truncated what -> raise (Decode_error ("truncated: " ^ what))
   | Wire.Malformed what -> raise (Decode_error ("malformed: " ^ what))
 
+(* --- lazy navigation (see Cursor) ----------------------------------- *)
+
+(* Advance past one encoded value without materializing it: no
+   allocation beyond reader bookkeeping, the substrate of lazy
+   field-projection decode. *)
+let rec skip_prefix r =
+  let open Wire.Reader in
+  let tag = byte r in
+  if tag = tag_null || tag = tag_false || tag = tag_true then ()
+  else if tag = tag_int then ignore (varint r)
+  else if tag = tag_float then skip r 8
+  else if tag = tag_str then skip_string r
+  else if tag = tag_list then begin
+    let n = varint r in
+    for _ = 1 to n do
+      skip_prefix r
+    done
+  end
+  else if tag = tag_obj then begin
+    skip_string r;
+    let n = varint r in
+    for _ = 1 to n do
+      skip_string r;
+      skip_prefix r
+    done
+  end
+  else if tag = tag_remote then begin
+    skip_string r;
+    ignore (varint r);
+    ignore (varint r)
+  end
+  else raise (Decode_error (Printf.sprintf "unknown tag %d" tag))
+
+let skip_prefix r =
+  try skip_prefix r with
+  | Wire.Truncated what -> raise (Decode_error ("truncated: " ^ what))
+  | Wire.Malformed what -> raise (Decode_error ("malformed: " ^ what))
+
+(* If the value at the reader is an object, consume its tag, class id
+   and field count, leaving the reader at the first field name. *)
+let obj_header r =
+  let tag = Wire.Reader.byte r in
+  if tag = tag_obj then begin
+    let cls = Wire.Reader.string r in
+    let n = Wire.Reader.varint r in
+    Some (cls, n)
+  end
+  else None
+
 let clone v = decode (encode v)
 let encoded_size v = String.length (encode v)
 

@@ -21,6 +21,18 @@ val decode_prefix : Wire.Reader.t -> Value.t
 
 val encode_into : Wire.Writer.t -> Value.t -> unit
 
+val skip_prefix : Wire.Reader.t -> unit
+(** Advance the reader past one encoded value without materializing
+    it. Allocation-free; the substrate of {!Cursor} projections.
+    @raise Decode_error on malformed or truncated input. *)
+
+val obj_header : Wire.Reader.t -> (string * int) option
+(** If the value at the reader's position is an object, consume its
+    tag, class id and field count and return them, leaving the reader
+    at the first field name. [None] (with the tag consumed) for any
+    other constructor.
+    @raise Wire.Truncated on short input. *)
+
 val clone : Value.t -> Value.t
 (** Deep copy through the codec: structurally equal, physically
     fresh. *)

@@ -1,0 +1,66 @@
+module Trace = Tpbs_trace.Trace
+
+type t = { bytes : string }
+
+(* Ambient-registry counters, re-resolved when the ambient trace
+   registry is swapped (benches and tests do this between runs). *)
+let cached = ref None
+
+let counters () =
+  let tr = Trace.ambient () in
+  match !cached with
+  | Some (tr', lazy_c, full_c) when tr' == tr -> lazy_c, full_c
+  | Some _ | None ->
+      let lazy_c = Trace.counter tr "serial.lazy_decodes" in
+      let full_c = Trace.counter tr "serial.cursor_full_decodes" in
+      cached := Some (tr, lazy_c, full_c);
+      lazy_c, full_c
+
+let lazy_decodes () = Trace.Counter.value (fst (counters ()))
+let full_decodes () = Trace.Counter.value (snd (counters ()))
+
+let of_string bytes = { bytes }
+let bytes t = t.bytes
+
+let wrap f =
+  try f () with
+  | Wire.Truncated what -> raise (Codec.Decode_error ("truncated: " ^ what))
+  | Wire.Malformed what -> raise (Codec.Decode_error ("malformed: " ^ what))
+
+let class_id t =
+  wrap (fun () ->
+      let r = Wire.Reader.of_string t.bytes in
+      match Codec.obj_header r with
+      | Some (cls, _) -> Some cls
+      | None -> None)
+
+(* Walk one attribute chain, decoding only the terminal value: at each
+   object along the path, field names are compared in place and the
+   values of non-matching fields are skipped, never built. *)
+let rec seek r attrs =
+  match attrs with
+  | [] -> Some (Codec.decode_prefix r)
+  | attr :: rest -> (
+      match Codec.obj_header r with
+      | None -> None
+      | Some (_, n) ->
+          let rec fields k =
+            if k = 0 then None
+            else begin
+              let name = Wire.Reader.string r in
+              if String.equal name attr then seek r rest
+              else begin
+                Codec.skip_prefix r;
+                fields (k - 1)
+              end
+            end
+          in
+          fields n)
+
+let project t attrs =
+  Trace.Counter.incr (fst (counters ()));
+  wrap (fun () -> seek (Wire.Reader.of_string t.bytes) attrs)
+
+let to_value t =
+  Trace.Counter.incr (snd (counters ()));
+  Codec.decode t.bytes

@@ -1,0 +1,48 @@
+(** Lazy field-projection decode: a cursor view over an encoded value
+    that answers routing and filtering questions without materializing
+    the full structure.
+
+    A broker host mostly {e drops} events: its compound filter touches
+    a handful of attribute paths, and at low selectivity decoding the
+    whole obvent first is almost entirely wasted work. A cursor peeks
+    the class id for routing ({!class_id}) and decodes only the paths
+    a remote filter actually evaluates ({!project}); everything else
+    is skipped in place over the wire bytes (see
+    {!Codec.skip_prefix}).
+
+    Every {!project} bumps the ambient [serial.lazy_decodes] trace
+    counter and every {!to_value} bumps [serial.cursor_full_decodes],
+    so "the broker never fully decoded a dropped event" is a checkable
+    property, not a hope. *)
+
+type t
+
+val of_string : string -> t
+(** View over one encoded value. O(1): no bytes are inspected yet. *)
+
+val bytes : t -> string
+(** The underlying encoded bytes, unchanged. *)
+
+val class_id : t -> string option
+(** The class id of the encoded object, decoding only the header.
+    [None] when the value is not an object.
+    @raise Codec.Decode_error on malformed or truncated input. *)
+
+val project : t -> string list -> Value.t option
+(** [project t attrs] decodes the value at the attribute chain
+    [attrs] (field names, outermost first), skipping every sibling
+    field. [None] when the chain leaves the encoded structure (a
+    missing field, or a step into a non-object) — the same answer a
+    full decode followed by path navigation would give.
+    @raise Codec.Decode_error on malformed or truncated input. *)
+
+val to_value : t -> Value.t
+(** Full decode fallback (counted separately: this is the case lazy
+    projection exists to avoid).
+    @raise Codec.Decode_error on malformed or truncated input. *)
+
+val lazy_decodes : unit -> int
+(** Value of the ambient [serial.lazy_decodes] counter. *)
+
+val full_decodes : unit -> int
+(** Value of the ambient [serial.cursor_full_decodes] counter. *)

@@ -133,6 +133,15 @@ module Reader = struct
   let string r =
     let n = varint r in
     raw r n
+
+  let skip r n =
+    if n < 0 then raise (Malformed "negative length");
+    need r n "skip";
+    r.off <- r.off + n
+
+  let skip_string r =
+    let n = varint r in
+    skip r n
 end
 
 let crc_table =

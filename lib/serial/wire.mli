@@ -70,6 +70,12 @@ module Reader : sig
   val string : t -> string
   val raw : t -> int -> string
   (** [raw r n] reads exactly [n] bytes. *)
+
+  val skip : t -> int -> unit
+  (** [skip r n] advances past [n] bytes without materializing them. *)
+
+  val skip_string : t -> unit
+  (** Advance past one length-prefixed byte string, allocation-free. *)
 end
 
 val crc32 : string -> int32

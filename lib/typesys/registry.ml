@@ -273,6 +273,13 @@ let create () =
   declare_interface reg ~name:"Prioritary" ~extends:[ "Obvent" ]
     ~methods:[ "getPriority", Vtype.Tint ]
     ();
+  (* Opt-out of copy-on-write clone sharing: classes implementing
+     EagerClone get one private deserialization of the envelope bytes
+     per subscriber instead of lightweight views over a shared decode
+     (the §2.1.2 guarantee holds either way; this marker exists for
+     applications that want physically disjoint structure, e.g. to
+     bound worst-case sharing lifetimes). *)
+  declare_interface reg ~name:"EagerClone" ~extends:[ "Obvent" ] ();
   (* DACE's reflexive control channel (§4.2): protocol messages —
      subscription and unsubscription requests — are obvents
      themselves, on their own dissemination channel. *)

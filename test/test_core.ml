@@ -501,6 +501,84 @@ let test_broker_unsubscribe_stops_forwarding () =
   Alcotest.(check int) "no forwards after unsubscribe" 0
     (Domain.stats domain).Domain.broker_forwards
 
+let test_broker_drop_zero_decodes () =
+  (* The zero-copy regression guard: a filtering host evaluating a
+     selective remote filter against a NON-matching event must decide
+     the drop purely by lazy projection — at least one cursor
+     projection, zero full decodes, zero clones anywhere. *)
+  let reg, engine, _net, domain, procs = setup ~n:3 () in
+  Pubsub.make_broker domain procs.(2);
+  let got = ref [] in
+  let s =
+    Process.subscribe procs.(1) ~param:"StockQuote"
+      ~filter:(Fspec.of_source ~param:"q" "q.getPrice() < 50")
+      (collect_handler got)
+  in
+  Subscription.activate s;
+  Engine.run engine;
+  let module Cursor = Tpbs_serial.Cursor in
+  let module Trace = Tpbs_trace.Trace in
+  let cloned = Trace.counter (Trace.ambient ()) "core.cloned" in
+  let lazy0 = Cursor.lazy_decodes () in
+  let full0 = Cursor.full_decodes () in
+  let cloned0 = Trace.Counter.value cloned in
+  Domain.reset_stats domain;
+  Process.publish procs.(0) (quote_of reg "StockQuote" ~price:90. ());
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !got);
+  Alcotest.(check int) "nothing forwarded" 0
+    (Domain.stats domain).Domain.broker_forwards;
+  Alcotest.(check bool) "the drop was decided lazily" true
+    (Cursor.lazy_decodes () - lazy0 > 0);
+  Alcotest.(check int) "zero full decodes on the broker" 0
+    (Cursor.full_decodes () - full0);
+  Alcotest.(check int) "zero clones anywhere" 0
+    (Trace.Counter.value cloned - cloned0)
+
+let test_delivery_cow_isolation () =
+  (* Subscribers that mutate their delivered clone must never see each
+     other's writes, even though the delivery path hands out O(1)
+     copy-on-write views of one shared decode. *)
+  let reg, engine, _net, _domain, procs = setup ~n:2 () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    Subscription.activate
+      (Process.subscribe procs.(1) ~param:"StockQuote" (fun o ->
+           Obvent.set reg o "price" (Value.Float (float_of_int i));
+           got := (i, o) :: !got))
+  done;
+  Process.publish procs.(0) (quote_of reg "StockQuote" ~price:80. ());
+  Engine.run engine;
+  Alcotest.(check int) "three deliveries" 3 (List.length !got);
+  List.iter
+    (fun (i, o) ->
+      Alcotest.check value_testable
+        (Printf.sprintf "subscriber %d kept its own write" i)
+        (Value.Float (float_of_int i))
+        (Obvent.get o "price"))
+    !got
+
+let test_eager_clone_opt_out () =
+  (* A class implementing the EagerClone marker skips copy-on-write:
+     every subscriber gets its own full deserialization (of the same
+     envelope bytes). *)
+  let reg, engine, _net, _domain, procs = setup ~n:2 () in
+  Registry.declare_class reg ~name:"SnapQuote" ~extends:"StockQuote"
+    ~implements:[ "EagerClone" ] ();
+  let views_before = (Obvent.cow_stats ()).Obvent.views in
+  let got = ref [] in
+  for _ = 1 to 3 do
+    Subscription.activate
+      (Process.subscribe procs.(1) ~param:"SnapQuote" (collect_handler got))
+  done;
+  Process.publish procs.(0) (quote_of reg "SnapQuote" ());
+  Engine.run engine;
+  Alcotest.(check int) "three deliveries" 3 (List.length !got);
+  Alcotest.(check bool) "every clone is private" true
+    (List.for_all (fun o -> not (Obvent.is_view o)) !got);
+  Alcotest.(check int) "no views minted" 0
+    ((Obvent.cow_stats ()).Obvent.views - views_before)
+
 (* --- gossip channel ---------------------------------------------------------- *)
 
 let test_gossip_channel () =
@@ -1026,6 +1104,12 @@ let suite =
         test_broker_remote_filtering;
       Alcotest.test_case "broker: unsubscribe stops forwarding" `Quick
         test_broker_unsubscribe_stops_forwarding;
+      Alcotest.test_case "broker: non-match drops with zero decodes" `Quick
+        test_broker_drop_zero_decodes;
+      Alcotest.test_case "cow delivery isolation under subscriber writes"
+        `Quick test_delivery_cow_isolation;
+      Alcotest.test_case "EagerClone opts out of cow views" `Quick
+        test_eager_clone_opt_out;
       Alcotest.test_case "gossip channel" `Quick test_gossip_channel;
       Alcotest.test_case "RMI hand in hand (§5.4, Fig. 8)" `Quick
         test_rmi_proxies_adopted_and_pinned;

@@ -118,6 +118,101 @@ let test_qos_helpers () =
   Alcotest.(check int) "default priority" 0 (Obvent.priority reg q);
   Alcotest.(check (option int)) "no ttl" None (Obvent.time_to_live reg q)
 
+(* --- copy-on-write views (§2.1.2 without the decode) ----------------- *)
+
+let test_cow_view_identity () =
+  let reg = stock_registry () in
+  let src = quote reg () in
+  let v1 = Obvent.view src in
+  let v2 = Obvent.view src in
+  Alcotest.(check bool) "source is not a view" false (Obvent.is_view src);
+  Alcotest.(check bool) "views are views" true
+    (Obvent.is_view v1 && Obvent.is_view v2);
+  Alcotest.(check bool) "all uids distinct" true
+    (List.length
+       (List.sort_uniq Int.compare
+          (List.map Obvent.uid [ src; v1; v2 ]))
+    = 3);
+  Alcotest.(check bool) "content shared" true
+    (Obvent.equal_content src v1 && Obvent.equal_content v1 v2)
+
+let test_cow_mutation_isolation () =
+  let reg = stock_registry () in
+  let src = quote reg ~price:80. () in
+  let v1 = Obvent.view src in
+  let v2 = Obvent.view src in
+  Obvent.set reg v1 "price" (Value.Float 1.);
+  Alcotest.check value_testable "written view sees the write"
+    (Value.Float 1.) (Obvent.get v1 "price");
+  Alcotest.check value_testable "source untouched" (Value.Float 80.)
+    (Obvent.get src "price");
+  Alcotest.check value_testable "sibling view untouched" (Value.Float 80.)
+    (Obvent.get v2 "price");
+  Alcotest.(check bool) "write materialized the view" false
+    (Obvent.is_view v1);
+  Alcotest.(check bool) "sibling still shares" true (Obvent.is_view v2);
+  (* The other direction: a write through the source must not leak
+     into a still-shared view. *)
+  Obvent.set reg src "amount" (Value.Int 999);
+  Alcotest.check value_testable "view isolated from source write"
+    (Value.Int 10) (Obvent.get v2 "amount")
+
+let test_cow_setter_path () =
+  let reg = stock_registry () in
+  let v = Obvent.view (quote reg ()) in
+  Obvent.invoke_setter reg v "setPrice" (Value.Float 2.5);
+  Alcotest.check value_testable "setter wrote through" (Value.Float 2.5)
+    (Obvent.get v "price");
+  Alcotest.(check (option string)) "attr_of_setter" (Some "price")
+    (Obvent.attr_of_setter "setPrice");
+  Alcotest.(check (option string)) "not a setter" None
+    (Obvent.attr_of_setter "getPrice");
+  check_raises_invalid "unknown attribute" (fun () ->
+      Obvent.set reg v "nope" (Value.Int 1));
+  check_raises_invalid "mistyped write" (fun () ->
+      Obvent.set reg v "price" (Value.Str "cheap"));
+  check_raises_invalid "non-setter method" (fun () ->
+      Obvent.invoke_setter reg v "getPrice" (Value.Int 1))
+
+let test_cow_stats_accounting () =
+  let reg = stock_registry () in
+  let before = Obvent.cow_stats () in
+  let src = quote reg () in
+  let v1 = Obvent.view src in
+  let _v2 = Obvent.view src in
+  Obvent.set reg v1 "price" (Value.Float 3.);
+  Obvent.set reg v1 "price" (Value.Float 4.);  (* second write: no-op *)
+  let after = Obvent.cow_stats () in
+  Alcotest.(check int) "two views minted" 2 (after.views - before.views);
+  Alcotest.(check int) "one materialization" 1
+    (after.materializations - before.materializations)
+
+let prop_view_equiv_clone =
+  QCheck.Test.make
+    ~name:"cow view == round-trip clone (fresh identity, isolation)"
+    ~count:300
+    (QCheck.pair
+       (QCheck.make (gen_quote (stock_registry ())))
+       QCheck.(float_range 0. 500.))
+    (fun (q, new_price) ->
+      let reg = stock_registry () in
+      let v = Obvent.view q in
+      let c = Obvent.clone reg q in
+      (* Identical observable state, pairwise-distinct identity. *)
+      Obvent.equal_content v c
+      && Obvent.cls v = Obvent.cls c
+      && Obvent.uid v <> Obvent.uid q
+      && Obvent.uid v <> Obvent.uid c
+      &&
+      (* A write through the view behaves exactly like a write through
+         the round-trip clone: visible there, invisible everywhere
+         else. *)
+      let before = Obvent.get q "price" in
+      Obvent.set reg v "price" (Value.Float new_price);
+      Value.equal (Obvent.get v "price") (Value.Float new_price)
+      && Value.equal (Obvent.get q "price") before
+      && Value.equal (Obvent.get c "price") before)
+
 let prop_serialize_roundtrip =
   QCheck.Test.make ~name:"obvent serialize/deserialize preserves content"
     ~count:300
@@ -162,6 +257,14 @@ let suite =
         test_invoke_rejects_unknown;
       Alcotest.test_case "deserialize rejects garbage" `Quick
         test_deserialize_rejects_garbage;
-      Alcotest.test_case "qos helper getters" `Quick test_qos_helpers ]
+      Alcotest.test_case "qos helper getters" `Quick test_qos_helpers;
+      Alcotest.test_case "cow view identity" `Quick test_cow_view_identity;
+      Alcotest.test_case "cow mutation isolation (§2.1.2)" `Quick
+        test_cow_mutation_isolation;
+      Alcotest.test_case "cow setter path + validation" `Quick
+        test_cow_setter_path;
+      Alcotest.test_case "cow stats accounting" `Quick
+        test_cow_stats_accounting ]
     @ List.map QCheck_alcotest.to_alcotest
-        [ prop_serialize_roundtrip; prop_conforms_iff_deserializable ] )
+        [ prop_view_equiv_clone; prop_serialize_roundtrip;
+          prop_conforms_iff_deserializable ] )

@@ -68,7 +68,9 @@ let build_lattice spec =
   reg
 
 (* A model of exactly how the engine drives the index: targets are
-   subscription indices; activation invalidates, deactivation removes.
+   subscription indices; activation splices in incrementally (or, for
+   a target already active, falls back to the coarse invalidation —
+   both maintenance strategies must agree), deactivation removes.
    Whatever the operation sequence, find must agree with the oracle
    (the linear scan the index replaced). *)
 let index_matches_oracle =
@@ -103,10 +105,16 @@ let index_matches_oracle =
               let cls = Printf.sprintf "C%d" (j mod !n_classes) in
               Routing.find idx cls ~build = build cls
           | 1 ->
-              (* activate *)
+              (* activate: incremental splice, matching the oracle's
+                 ascending-index order; re-activating an already-active
+                 target exercises the invalidation fallback instead
+                 (splicing again would duplicate it) *)
               let i = j mod Array.length params in
-              active.(i) <- true;
-              Routing.invalidate idx ~param:params.(i);
+              if active.(i) then Routing.invalidate idx ~param:params.(i)
+              else begin
+                active.(i) <- true;
+                Routing.add idx ~param:params.(i) ~compare:Int.compare i
+              end;
               true
           | 2 ->
               (* deactivate *)

@@ -136,6 +136,110 @@ let test_unframe_length_lies () =
   | exception Codec.Decode_error _ -> ()
   | _ -> Alcotest.fail "lying length accepted"
 
+(* --- lazy field projection (Cursor) ----------------------------------- *)
+
+module Cursor = Tpbs_serial.Cursor
+
+let test_cursor_class_id () =
+  let v =
+    Value.obj "StockQuote"
+      [ "company", Value.Str "Telco"; "price", Value.Float 80. ]
+  in
+  Alcotest.(check (option string)) "object class" (Some "StockQuote")
+    (Cursor.class_id (Cursor.of_string (Codec.encode v)));
+  Alcotest.(check (option string)) "non-object" None
+    (Cursor.class_id (Cursor.of_string (Codec.encode (Value.Int 3))))
+
+let test_cursor_projection_examples () =
+  let v =
+    Value.obj "Order"
+      [ "qty", Value.Int 4;
+        "item",
+        Value.obj "Item" [ "name", Value.Str "bolt"; "price", Value.Float 2. ] ]
+  in
+  let c = Cursor.of_string (Codec.encode v) in
+  Alcotest.(check (option value_testable)) "top-level field"
+    (Some (Value.Int 4))
+    (Cursor.project c [ "qty" ]);
+  Alcotest.(check (option value_testable)) "nested path"
+    (Some (Value.Float 2.))
+    (Cursor.project c [ "item"; "price" ]);
+  Alcotest.(check (option value_testable)) "whole subobject"
+    (Value.field v "item")
+    (Cursor.project c [ "item" ]);
+  Alcotest.(check (option value_testable)) "missing field" None
+    (Cursor.project c [ "nope" ]);
+  Alcotest.(check (option value_testable)) "path through a leaf" None
+    (Cursor.project c [ "qty"; "deeper" ])
+
+let test_cursor_malformed_raises () =
+  let check_raises what bytes =
+    match Cursor.project (Cursor.of_string bytes) [ "f" ] with
+    | exception Codec.Decode_error _ -> ()
+    | _ -> Alcotest.fail (what ^ ": expected Decode_error")
+  in
+  (* An unknown tag is "not an object": a projection misses without
+     raising, like eval_path on a non-object value. *)
+  Alcotest.(check (option value_testable)) "unknown tag projects to None"
+    None
+    (Cursor.project (Cursor.of_string "\xc8") [ "f" ]);
+  check_raises "empty input" "";
+  (* A valid prefix cut short inside a field value. *)
+  let whole = Codec.encode (Value.obj "C" [ "g", Value.Str "hello" ]) in
+  check_raises "truncated" (String.sub whole 0 (String.length whole - 2))
+
+let test_cursor_counters () =
+  let v = Value.obj "C" [ "f", Value.Int 1 ] in
+  let c = Cursor.of_string (Codec.encode v) in
+  let l0 = Cursor.lazy_decodes () and f0 = Cursor.full_decodes () in
+  ignore (Cursor.project c [ "f" ]);
+  ignore (Cursor.to_value c);
+  Alcotest.(check int) "projection counted lazy" 1
+    (Cursor.lazy_decodes () - l0);
+  Alcotest.(check int) "to_value counted full" 1
+    (Cursor.full_decodes () - f0)
+
+(* Oracle navigation over the in-memory value, mirroring what the
+   cursor does over the encoded bytes. *)
+let rec model_path (v : Value.t) = function
+  | [] -> Some v
+  | a :: rest -> (
+      match v with
+      | Value.Obj o -> (
+          match List.assoc_opt a o.fields with
+          | Some v' -> model_path v' rest
+          | None -> None)
+      | _ -> None)
+
+(* Every attribute path reachable in the value, plus a miss at each
+   object. Generated values are depth-bounded, so this is small. *)
+let rec all_paths (v : Value.t) =
+  [] ::
+  (match v with
+  | Value.Obj o ->
+      [ "missing#" ]
+      :: List.concat_map
+           (fun (n, v') -> List.map (fun p -> n :: p) (all_paths v'))
+           o.fields
+  | _ -> [ [ "missing#" ] ])
+
+let prop_cursor_agrees_with_decode =
+  QCheck.Test.make
+    ~name:"cursor projection = full-decode navigation, on every path"
+    ~count:300 arb_value
+    (fun v ->
+      let c = Cursor.of_string (Codec.encode v) in
+      Value.equal (Cursor.to_value c) v
+      && Cursor.class_id c
+         = (match v with Value.Obj o -> Some o.cls | _ -> None)
+      && List.for_all
+           (fun path ->
+             match Cursor.project c path, model_path v path with
+             | Some a, Some b -> Value.equal a b
+             | None, None -> true
+             | Some _, None | None, Some _ -> false)
+           (all_paths v))
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"codec roundtrip" ~count:500 arb_value (fun v ->
       Value.equal v (Codec.decode (Codec.encode v)))
@@ -227,9 +331,16 @@ let suite =
       Alcotest.test_case "value weight/field" `Quick
         test_value_weight_and_field;
       Alcotest.test_case "unframe rejects lying length" `Quick
-        test_unframe_length_lies ]
+        test_unframe_length_lies;
+      Alcotest.test_case "cursor class-id peek" `Quick test_cursor_class_id;
+      Alcotest.test_case "cursor projection examples" `Quick
+        test_cursor_projection_examples;
+      Alcotest.test_case "cursor rejects malformed input" `Quick
+        test_cursor_malformed_raises;
+      Alcotest.test_case "cursor decode counters" `Quick test_cursor_counters ]
     @ List.map QCheck_alcotest.to_alcotest
-        [ prop_roundtrip; prop_encoded_size; prop_frame;
+        [ prop_cursor_agrees_with_decode; prop_roundtrip; prop_encoded_size;
+          prop_frame;
           prop_varint_boundary_roundtrip; prop_zigzag_boundary_roundtrip;
           prop_compare_reflexive ]
   )
