@@ -1,0 +1,129 @@
+(* E11 — the durable segmented store: recovery-scan cost as the log
+   grows, and certified replay throughput.
+
+   Recovery is the latency a rebooting node pays before it can serve:
+   the scan re-reads every surviving segment, CRC-checks each record,
+   and rebuilds the in-memory index. It should be linear in surviving
+   bytes — and compaction is what keeps surviving bytes bounded, so we
+   report both the raw scan rate and the effect of merging first.
+
+   Replay is the read path of retained history (§3.4.1's durable
+   subscriptions taken further): a late subscriber asks every member
+   for its log from an offset and drains it through the certified
+   channel. We report end-to-end drain throughput in CPU terms plus
+   the virtual-time span of the catch-up. *)
+
+module Log = Tpbs_store.Log
+module Stable = Tpbs_sim.Stable
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Membership = Tpbs_group.Membership
+module Certified = Tpbs_group.Certified
+module Rng = Tpbs_sim.Rng
+
+let fresh_dir () =
+  let f = Filename.temp_file "tpbs_bench" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+(* One row: write [n] records (cert-style keys, 5% deletes, heavy
+   overwrite), close, re-open with a timer around the recovery scan. *)
+let recovery_row ~compact n =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let t = Log.open_ ~segment_bytes:(1 lsl 18) ~auto_compact:false ~dir () in
+  let rng = Rng.create 7 in
+  for i = 1 to n do
+    let k = Printf.sprintf "cert:q:log:%d" (Rng.int rng (max 1 (n / 2))) in
+    if Rng.bool rng 0.05 then Log.delete t k
+    else Log.put t k (Printf.sprintf "payload-%08d" i)
+  done;
+  if compact then Log.compact t;
+  let disk = (Log.stats t).Log.disk_bytes in
+  Log.close t;
+  let t0 = Sys.time () in
+  let t = Log.open_ ~segment_bytes:(1 lsl 18) ~auto_compact:false ~dir () in
+  let dt = Sys.time () -. t0 in
+  let st = Log.stats t in
+  Log.close t;
+  (disk, st.Log.segments, st.Log.recovered_records, dt)
+
+(* Certified replay drain: a 2-member group retains [n] acknowledged
+   messages; a fresh replay from offset 0 drains them all. *)
+let replay_row n =
+  let engine = Engine.create ~seed:11 () in
+  let net = Net.create engine in
+  let n0 = Net.add_node net in
+  let n1 = Net.add_node net in
+  let group = Membership.create net [ n0; n1 ] in
+  let pub =
+    Certified.attach group ~me:n0 ~name:"q" ~storage:(Stable.create ())
+      ~retain_acked:true
+      ~deliver:(fun ~origin:_ _ -> ())
+      ()
+  in
+  let sub =
+    Certified.attach group ~me:n1 ~name:"q" ~storage:(Stable.create ())
+      ~retain_acked:true
+      ~deliver:(fun ~origin:_ _ -> ())
+      ()
+  in
+  for i = 1 to n do
+    Engine.schedule engine ~delay:i (fun () ->
+        Certified.bcast pub (Printf.sprintf "payload-%08d" i))
+  done;
+  Engine.run ~until:10_000_000 engine;
+  let start_vt = Engine.now engine in
+  let got = ref 0 in
+  let done_vt = ref start_vt in
+  let t0 = Sys.time () in
+  Certified.replay sub ~from:0
+    ~on_complete:(fun () -> done_vt := Engine.now engine)
+    ~sink:(fun ~origin:_ ~seq:_ _ -> incr got)
+    ();
+  Engine.run ~until:100_000_000 engine;
+  let dt = Sys.time () -. t0 in
+  (!got, !done_vt - start_vt, dt)
+
+let run () =
+  Workload.table_header
+    "E11  recovery scan vs log size (256 KiB segments, 5% deletes)"
+    [ "records"; "disk(KiB)"; "segs"; "survivors"; "recover(ms)"; "MiB/s" ];
+  Workload.json_table ~key:"e11_recovery"
+    ~cols:
+      [ "records"; "compacted"; "disk_kib"; "segments"; "survivors";
+        "recover_ms"; "mib_per_s" ];
+  List.iter
+    (fun (n, compact) ->
+      let disk, segs, survivors, dt = recovery_row ~compact n in
+      let mibs = float_of_int disk /. 1048576. /. Float.max 1e-9 dt in
+      Fmt.pr "%7d%s  %9d  %4d  %9d  %11.2f  %6.0f@." n
+        (if compact then "*" else " ")
+        (disk / 1024) segs survivors (dt *. 1e3) mibs;
+      Workload.json_row ~key:"e11_recovery"
+        [ J_int n; J_int (if compact then 1 else 0); J_int (disk / 1024);
+          J_int segs; J_int survivors; J_float (dt *. 1e3); J_float mibs ])
+    [ 1_000, false; 5_000, false; 20_000, false; 50_000, false;
+      50_000, true ];
+  Fmt.pr "(* = merged to the base snapshot before reopening)@.";
+  Workload.table_header "E11  certified replay drain (2 members, retained log)"
+    [ "messages"; "replayed"; "vticks"; "cpu(ms)"; "kmsg/s" ];
+  Workload.json_table ~key:"e11_replay"
+    ~cols:[ "messages"; "replayed"; "vticks"; "cpu_ms"; "kmsg_per_s" ];
+  List.iter
+    (fun n ->
+      let got, vticks, dt = replay_row n in
+      let kms = float_of_int got /. 1e3 /. Float.max 1e-9 dt in
+      Fmt.pr "%8d  %8d  %7d  %8.2f  %7.0f@." n got vticks (dt *. 1e3) kms;
+      Workload.json_row ~key:"e11_replay"
+        [ J_int n; J_int got; J_int vticks; J_float (dt *. 1e3);
+          J_float kms ])
+    [ 500; 2_000; 8_000 ]

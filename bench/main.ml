@@ -2,7 +2,7 @@
 
    dune exec bench/main.exe                    -- run everything
    dune exec bench/main.exe -- e3 e5           -- selected experiments
-   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_5.json
+   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_6.json
    dune exec bench/main.exe -- --guard-a4 3.0 a4
                                                -- CI perf smoke: fail if the
                                                   COW arm at 64 subs/node
@@ -12,10 +12,11 @@ let experiments =
   [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
     "e4", E4_remote_filtering.run; "e5", E5_gossip.run; "e6", E6_rmi.run;
     "e7", E7_paradigms.run; "e8", E8_dgc.run; "e9", E9_threading.run;
-    "e10", E10_psc.run; "ablations", A1_ablations.run;
-    "a4", A1_ablations.a4; "micro", Micro.run; "obs", Obs.run ]
+    "e10", E10_psc.run; "e11", E11_store.run; "ablations", A1_ablations.run;
+    "a4", A1_ablations.a4; "micro", Micro.run; "obs", Obs.run;
+    "crash", Crash_smoke.run ]
 
-let json_path = "BENCH_5.json"
+let json_path = "BENCH_6.json"
 
 let guard_a4 limit =
   match Workload.json_find "a4" with

@@ -1,9 +1,11 @@
 (* Summarize (or validate with --check) a JSONL trace/metrics file
    produced by the tpbs_trace exporter. Reads stdin when no file (or
-   "-") is given. *)
+   "-") is given. --require NAME (repeatable) fails unless counter
+   NAME was exported with a positive value — CI smoke steps use it to
+   assert a scenario actually exercised a path. *)
 
 let usage () =
-  prerr_endline "usage: tpbs_report [--check] [FILE|-]";
+  prerr_endline "usage: tpbs_report [--check] [--require COUNTER]... [FILE|-]";
   exit 2
 
 let read_lines ic =
@@ -16,16 +18,28 @@ let read_lines ic =
 
 let () =
   let check_mode = ref false in
+  let required = ref [] in
   let file = ref None in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--check" -> check_mode := true
-        | "-" -> file := None
-        | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
-        | _ -> file := Some arg)
-    Sys.argv;
+  let rec parse = function
+    | [] -> ()
+    | "--check" :: rest ->
+        check_mode := true;
+        parse rest
+    | "--require" :: name :: rest ->
+        required := name :: !required;
+        parse rest
+    | [ "--require" ] ->
+        prerr_endline "tpbs_report: --require expects a counter name";
+        exit 2
+    | "-" :: rest ->
+        file := None;
+        parse rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | arg :: rest ->
+        file := Some arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let lines =
     match !file with
     | None -> read_lines stdin
@@ -44,5 +58,25 @@ let () =
       Printf.eprintf "tpbs_report: line %d: %s\n" lineno msg;
       exit 1
   | Ok n ->
+      let failed =
+        List.filter
+          (fun name ->
+            match Tpbs_trace.Report.counter_value lines name with
+            | Some v when v > 0 -> false
+            | _ -> true)
+          (List.rev !required)
+      in
+      List.iter
+        (fun name ->
+          Printf.eprintf "tpbs_report: required counter %s %s\n" name
+            (match Tpbs_trace.Report.counter_value lines name with
+            | None -> "was never exported"
+            | Some v -> Printf.sprintf "is %d, want > 0" v))
+        failed;
+      if failed <> [] then exit 1;
       if !check_mode then Printf.printf "ok: %d valid lines\n" n
-      else print_string (Tpbs_trace.Report.summarize lines)
+      else if !required = [] then
+        print_string (Tpbs_trace.Report.summarize lines)
+      else
+        Printf.printf "ok: %d required counters present\n"
+          (List.length !required)

@@ -12,6 +12,7 @@ module Metric = Tpbs_sim.Metric
 module Rng = Tpbs_sim.Rng
 module Membership = Tpbs_group.Membership
 module Gossip = Tpbs_group.Gossip
+module Certified = Tpbs_group.Certified
 module Layer = Tpbs_group.Layer
 module Stack = Tpbs_group.Stack
 module Rfilter = Tpbs_filter.Rfilter
@@ -72,6 +73,8 @@ and channel_meta = {
   profile : Qos.profile;
   members : Membership.t;
   gossip_config : Gossip.config option;
+  retain : bool;
+      (* keep acknowledged certified history for replay subscriptions *)
 }
 
 and broker_sub = { b_node : Net.node_id; b_param : string; b_always : bool }
@@ -99,6 +102,7 @@ and obs = {
   c_broker_forwards : Trace.Counter.t;
   c_qos_conflicts : Trace.Counter.t;
   c_filters_pruned : Trace.Counter.t;
+  c_replayed : Trace.Counter.t;
 }
 
 and domain = {
@@ -109,6 +113,7 @@ and domain = {
   mutable processes : process list;  (* newest first; see processes_in_order *)
   channel_meta : (string, channel_meta) Hashtbl.t;
   gossip_overrides : (string, Gossip.config) Hashtbl.t;
+  retain_overrides : (string, unit) Hashtbl.t;
   mutable brokers : broker_state list;  (* newest first; see brokers_in_order *)
   mutable meta_enabled : bool;
   mutable targeted : bool;  (* subscription-aware best-effort dissemination *)
@@ -126,6 +131,7 @@ and domain = {
   mutable control_messages : int;
   mutable qos_conflicts : int;
   mutable filters_pruned : int;
+  mutable replayed : int;
 }
 
 (* Registration prepends (constant-time); every ordered consumer goes
@@ -171,6 +177,7 @@ module Domain = struct
       processes = [];
       channel_meta = Hashtbl.create 16;
       gossip_overrides = Hashtbl.create 4;
+      retain_overrides = Hashtbl.create 4;
       brokers = [];
       meta_enabled = false;
       targeted = false;
@@ -190,6 +197,7 @@ module Domain = struct
            c_broker_forwards = Trace.counter tr "core.broker_forwards";
            c_qos_conflicts = Trace.counter tr "core.qos_conflicts";
            c_filters_pruned = Trace.counter tr "core.filters_pruned";
+           c_replayed = Trace.counter tr "core.replayed";
          });
       latency = Metric.create ();
       published = 0;
@@ -202,6 +210,7 @@ module Domain = struct
       control_messages = 0;
       qos_conflicts = 0;
       filters_pruned = 0;
+      replayed = 0;
       }
     in
     Trace.register_histogram d.obs.tr "core.latency" d.latency;
@@ -223,6 +232,11 @@ module Domain = struct
       invalid_arg "Domain.use_gossip: channel already opened";
     Hashtbl.replace d.gossip_overrides cls config
 
+  let retain_history d ~cls =
+    if Hashtbl.mem d.channel_meta cls then
+      invalid_arg "Domain.retain_history: channel already opened";
+    Hashtbl.replace d.retain_overrides cls ()
+
   type stats = {
     published : int;
     deliveries : int;
@@ -234,6 +248,7 @@ module Domain = struct
     control_messages : int;
     qos_conflicts : int;
     filters_pruned : int;
+    replayed : int;
   }
 
   let stats (d : t) =
@@ -248,6 +263,7 @@ module Domain = struct
       control_messages = d.control_messages;
       qos_conflicts = d.qos_conflicts;
       filters_pruned = d.filters_pruned;
+      replayed = d.replayed;
     }
 
   let latency d = d.latency
@@ -262,7 +278,8 @@ module Domain = struct
     d.broker_events <- 0;
     d.control_messages <- 0;
     d.qos_conflicts <- 0;
-    d.filters_pruned <- 0
+    d.filters_pruned <- 0;
+    d.replayed <- 0
 end
 
 let now_of d = Engine.now (Net.engine d.net)
@@ -438,6 +455,42 @@ let on_event p cls envelope =
                         deliver_clone p ~publish_time ~eid s clone)
                       clones)))
 
+(* Replay delivery: a replayed history envelope goes only to the
+   replay subscription that asked for it — every other subscriber on
+   this process already saw (or chose not to see) the event when it
+   was live. Filters apply as usual; staleness does not (replayed
+   history is by definition old). Counted as [replayed] separately
+   from live deliveries, and kept out of the latency histogram, which
+   measures the live path. *)
+let replay_event p s cls envelope =
+  let d = p.dom in
+  let decode_error () =
+    d.decode_errors <- d.decode_errors + 1;
+    Trace.Counter.incr d.obs.c_decode_errors
+  in
+  if s.active && not s.pruned then
+    match decode_envelope envelope with
+    | None -> decode_error ()
+    | Some (_publish_time, eid, obvent_bytes) -> (
+        match Obvent.deserialize d.registry obvent_bytes with
+        | exception Obvent.Invalid_obvent _ -> decode_error ()
+        | gate ->
+            if
+              Registry.subtype d.registry (Obvent.cls gate) s.param
+              && Fspec.matches d.registry s.filter gate
+            then begin
+              s.delivered <- s.delivered + 1;
+              d.replayed <- d.replayed + 1;
+              Trace.Counter.incr d.obs.c_replayed;
+              if Trace.emitting d.obs.tr then
+                Trace.emit d.obs.tr ~layer:"core" ~kind:"replay_deliver"
+                  ~node:p.node ~id:eid
+                  ~data:[ ("cls", Trace.S cls); ("sid", Trace.I s.sid) ]
+                  ();
+              adopt_proxies p gate;
+              Dispatch.submit s.dispatch gate
+            end)
+
 (* --- channels ------------------------------------------------------------ *)
 
 (* Events published on a broker-routed channel go publisher →
@@ -478,7 +531,8 @@ let attach_channel p cls (meta : channel_meta) =
     in
     let stack =
       Stack.assemble profile ~transport ~storage:p.cert_storage
-        ~group:meta.members ~me:p.node ~name:cls ~deliver ()
+        ~retain_acked:meta.retain ~group:meta.members ~me:p.node ~name:cls
+        ~deliver ()
     in
     Hashtbl.replace p.channels cls stack
   end
@@ -507,7 +561,8 @@ let ensure_channel d cls =
       in
       let meta =
         { profile; members;
-          gossip_config = Hashtbl.find_opt d.gossip_overrides cls }
+          gossip_config = Hashtbl.find_opt d.gossip_overrides cls;
+          retain = Hashtbl.mem d.retain_overrides cls }
       in
       Hashtbl.replace d.channel_meta cls meta;
       (* Creation order: attach order feeds per-process RNG draws. *)
@@ -825,6 +880,39 @@ module Subscription = struct
     route_in s;
     send_ctl s `Sub;
     emit_meta p ~cls:"SubscriptionActivated" ~sid:s.sid ~param:s.param
+
+  let activate_replay s ~from =
+    if s.active then
+      Errors.cannot_subscribe "subscription %d is already activated" s.sid;
+    if from < 0 then
+      Errors.cannot_subscribe "replay offset %d is negative" from;
+    ensure_channels s;
+    s.active <- true;
+    route_in s;
+    send_ctl s `Sub;
+    emit_meta s.sub_process ~cls:"SubscriptionActivated" ~sid:s.sid
+      ~param:s.param;
+    (* Catch-up-then-live: pull retained certified history from every
+       matching channel. History lands only on this subscription (the
+       rest of the process saw it live); anything at or past the live
+       frontier splices into ordinary certified delivery for
+       everyone. *)
+    let p = s.sub_process in
+    let d = p.dom in
+    List.iter
+      (fun cls ->
+        if Registry.subtype d.registry cls s.param then
+          match Hashtbl.find_opt p.channels cls with
+          | None -> ()
+          | Some stack -> (
+              match Stack.certified stack with
+              | None -> ()
+              | Some c ->
+                  Certified.replay c ~from
+                    ~sink:(fun ~origin:_ ~seq:_ envelope ->
+                      replay_event p s cls envelope)
+                    ()))
+      (Registry.obvent_classes d.registry)
 
   let deactivate s =
     if not s.active then

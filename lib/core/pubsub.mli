@@ -72,6 +72,13 @@ module Domain : sig
       plain best-effort — DACE's scalable end of the spectrum. Must be
       called before the first publish/subscribe touching the class. *)
 
+  val retain_history : t -> cls:string -> unit
+  (** Keep this certified class's fully-acknowledged log entries
+      instead of trimming them, so {!Subscription.activate_replay}
+      can serve the past back. Must be called before the first
+      publish/subscribe touching the class; a no-op for non-certified
+      profiles. *)
+
   type stats = {
     published : int;
     deliveries : int;  (** handler submissions across all subscriptions *)
@@ -97,6 +104,11 @@ module Domain : sig
             kept out of the routing index and never registered with
             filtering hosts, so the delivery path never evaluates them
             (each also emits a [core.filter_pruned] trace event) *)
+    replayed : int;
+        (** retained-history obvents delivered to replay
+            subscriptions — counted apart from [deliveries] and kept
+            out of the latency histogram (each also emits a
+            [core.replay_deliver] trace event) *)
   }
 
   val stats : t -> stats
@@ -119,6 +131,16 @@ module Subscription : sig
       @raise Errors.Cannot_subscribe if already activated, if the
       process has no stable storage, or if the id is already bound to
       a different subscribed type. *)
+
+  val activate_replay : t -> from:int -> unit
+  (** Activate and replay the retained certified past: every matching
+      channel with a certified bottom is asked for its log from
+      sequence [from] on (see {!Domain.retain_history}). History
+      arrives on this subscription only — filtered as usual, counted
+      as [replayed] — and anything past the live frontier splices
+      into ordinary delivery (catch-up-then-live).
+      @raise Errors.Cannot_subscribe if already activated or [from]
+      is negative. *)
 
   val deactivate : t -> unit
   (** @raise Errors.Cannot_unsubscribe if not activated. *)

@@ -7,12 +7,22 @@ module Trace = Tpbs_trace.Trace
 (* Retransmission state per logged message. A member that never acks
    (e.g. permanently crashed) must not be flooded every retry_period
    forever: each unanswered attempt doubles the retry delay up to
-   [max_backoff] x retry_period. The durable log is untouched — a
-   recovering member still pulls everything via sync. *)
+   [max_backoff] x retry_period. A recovering member still pulls
+   everything past its durable frontier via sync. *)
 type waiting_entry = {
   missing : (Net.node_id, unit) Hashtbl.t;
   mutable attempts : int;
   mutable next_retry : int;  (* absolute engine time of the next resend *)
+}
+
+type replay_state = {
+  sink : origin:Net.node_id -> seq:int -> string -> unit;
+  on_complete : unit -> unit;
+  buf : (Net.node_id, (int * string) list ref) Hashtbl.t;
+      (* per-origin records received so far, unordered *)
+  counts : (Net.node_id, int) Hashtbl.t;
+      (* per-origin served-record count from the end marker *)
+  mutable pending : int;  (* remote origins not yet flushed *)
 }
 
 type t = {
@@ -22,27 +32,69 @@ type t = {
   storage : Stable.t;
   retry_period : int;
   max_backoff : int;  (* cap on the retry-delay multiplier *)
+  retain_acked : bool;
   data_port : string;
   ack_port : string;
   sync_port : string;
+  replay_req_port : string;
+  replay_data_port : string;
   (* publisher side (in-memory; rebuilt pessimistically on resume) *)
   mutable next_seq : int;
+  mutable lwm : int;
+      (* low watermark: every seq below it is fully acked (durable) *)
+  acked : (int, unit) Hashtbl.t;  (* fully acked, >= lwm *)
   waiting : (int, waiting_entry) Hashtbl.t;
       (* seq -> members that have not acked, plus retry bookkeeping *)
   (* subscriber side: holdback over the durable per-publisher frontier *)
   order : string Seqspace.Order.t;
   mutable deliver : origin:Net.node_id -> string -> unit;
+  (* earliest-deadline retransmission timer *)
   mutable timer_armed : bool;
+  mutable timer_at : int;  (* absolute wakeup time, valid when armed *)
+  mutable timer_gen : int;  (* invalidates superseded wakeups *)
+  mutable wakeups : int;  (* timer firings that did work *)
+  (* replay subscriptions *)
+  mutable next_rid : int;
+  replays : (int, replay_state) Hashtbl.t;
+  mutable replayed : int;  (* history records handed to replay sinks *)
   mutable rtx : int;  (* total data retransmissions by this instance *)
+  state_errors : int ref;  (* malformed durable state treated as absent *)
+  tr : Trace.t;
   c_retransmits : Trace.Counter.t;
   c_rounds : Trace.Counter.t;
+  c_replayed : Trace.Counter.t;
+  c_trimmed : Trace.Counter.t;
   g_unacked : Trace.Gauge.t;
 }
 
 let log_key t seq = Printf.sprintf "cert:%s:log:%d" t.name seq
 let next_key t = Printf.sprintf "cert:%s:next" t.name
+let lwm_key t = Printf.sprintf "cert:%s:lwm" t.name
 
 let frontier_key name origin = Printf.sprintf "cert:%s:exp:%d" name origin
+
+(* Stable storage is outside the type system: a malformed value (bit
+   rot, a truncated write under a backend without CRCs, an operator
+   typo) must degrade to "state absent" — the protocol's pessimistic
+   paths handle absence — never to an uncaught [Failure] that takes
+   the node down on the recovery path of all places. *)
+let parse_stored ~tr ~errors ~group ~key = function
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> Some n
+      | _ ->
+          incr errors;
+          Trace.Counter.incr (Trace.counter tr "group.certified.state_errors");
+          if Trace.emitting tr then
+            Trace.emit tr ~layer:"certified" ~kind:"state_corrupt"
+              ~data:[ ("group", S group); ("key", S key); ("raw", S s) ]
+              ();
+          None)
+
+let read_stored t key =
+  parse_stored ~tr:t.tr ~errors:t.state_errors ~group:t.name ~key
+    (Stable.get t.storage key)
 
 let encode_data ~origin ~seq payload =
   Codec.encode (List [ Int origin; Int seq; Str payload ])
@@ -94,31 +146,86 @@ let retransmit_round t =
     t.waiting;
   if !resent then Trace.Counter.incr t.c_rounds
 
+let soonest_retry t =
+  Hashtbl.fold (fun _ e acc -> Stdlib.min acc e.next_retry) t.waiting max_int
+
+(* Wake exactly when the earliest [next_retry] falls due, not every
+   retry_period: once every entry has backed off, a fixed-period
+   timer is pure busy-polling (wake, scan, resend nothing, re-arm).
+   Arming an earlier deadline supersedes the pending wakeup via the
+   generation counter; the stale closure fires and does nothing. *)
 let rec arm_timer t =
-  if not t.timer_armed then begin
+  let at = soonest_retry t in
+  if at < max_int && ((not t.timer_armed) || at < t.timer_at) then begin
+    let now = Engine.now (Net.engine (net t)) in
     t.timer_armed <- true;
-    Net.schedule_on (net t) t.me ~delay:t.retry_period (fun () ->
-        t.timer_armed <- false;
-        if Hashtbl.length t.waiting > 0 then begin
-          retransmit_round t;
-          arm_timer t
+    t.timer_at <- at;
+    t.timer_gen <- t.timer_gen + 1;
+    let gen = t.timer_gen in
+    Net.schedule_on (net t) t.me ~delay:(Stdlib.max 1 (at - now)) (fun () ->
+        if t.timer_gen = gen then begin
+          t.timer_armed <- false;
+          t.wakeups <- t.wakeups + 1;
+          if Hashtbl.length t.waiting > 0 then begin
+            retransmit_round t;
+            arm_timer t
+          end
         end)
   end
 
+(* --- ack bookkeeping -------------------------------------------------- *)
+
+(* [seq] is acknowledged by every other member. Unless retention is on
+   (replay subscribers want history), the log entry can go: each acker
+   persisted its frontier past [seq] {e before} acking, so no future
+   sync request can ever ask for it again. The low watermark — the
+   contiguous fully-acked prefix — is persisted so resume re-arms
+   retransmission only for the suffix that might still be missing
+   somewhere. *)
+let mark_acked t seq =
+  Hashtbl.replace t.acked seq ();
+  if not t.retain_acked then begin
+    Stable.delete t.storage (log_key t seq);
+    Trace.Counter.incr t.c_trimmed
+  end;
+  let advanced = ref false in
+  let trimmed_gap t =
+    (* after trimming, an absent entry below next_seq was fully acked
+       in a previous incarnation; skip it *)
+    (not t.retain_acked)
+    && t.lwm < t.next_seq
+    && Stable.get t.storage (log_key t t.lwm) = None
+  in
+  while Hashtbl.mem t.acked t.lwm || trimmed_gap t do
+    Hashtbl.remove t.acked t.lwm;
+    t.lwm <- t.lwm + 1;
+    advanced := true
+  done;
+  if !advanced then Stable.put t.storage (lwm_key t) (string_of_int t.lwm)
+
 (* --- receive paths --------------------------------------------------- *)
+
+let ingest t ~origin ~seq payload =
+  (* The frontier is persisted inside [submit] before any delivery
+     (the Order's persist hook), so a crash inside the application
+     callback cannot cause re-delivery after sync. *)
+  (match Seqspace.Order.submit t.order ~origin ~seq payload with
+  | `Duplicate -> ()
+  | `Run run -> List.iter (fun p -> t.deliver ~origin p) run);
+  (* Ack only what the durable frontier now covers. The publisher
+     trims on ack, so an ack is a contract: "this message can never
+     be lost on my side again" — which holds exactly when the
+     persisted frontier is past [seq]. Parked (out-of-order) messages
+     are not acked; retransmission fills the gap below them first.
+     Covered duplicates are re-acked: the publisher may have lost the
+     original ack. *)
+  if seq < Seqspace.Order.expected t.order ~origin then
+    send_ack t ~dst:origin ~seq
 
 let on_data t bytes =
   match decode_data bytes with
   | None -> ()
-  | Some (origin, seq, payload) -> (
-      (* Always (re-)ack: the publisher may have lost our ack. *)
-      send_ack t ~dst:origin ~seq;
-      (* The frontier is persisted before delivery (the Order's
-         persist hook), so a crash inside the application callback
-         cannot cause re-delivery after sync. *)
-      match Seqspace.Order.submit t.order ~origin ~seq payload with
-      | `Duplicate -> ()
-      | `Run run -> List.iter (fun p -> t.deliver ~origin p) run)
+  | Some (origin, seq, payload) -> ingest t ~origin ~seq payload
 
 let on_ack t src bytes =
   match Codec.decode bytes with
@@ -127,12 +234,18 @@ let on_ack t src bytes =
       | None -> ()
       | Some e ->
           Hashtbl.remove e.missing src;
-          if Hashtbl.length e.missing = 0 then Hashtbl.remove t.waiting seq;
+          if Hashtbl.length e.missing = 0 then begin
+            Hashtbl.remove t.waiting seq;
+            mark_acked t seq
+          end;
           update_unacked t)
   | _ | (exception Codec.Decode_error _) -> ()
 
 let on_sync t src bytes =
-  (* A member recovered and asks for everything from [from_seq] on. *)
+  (* A member recovered and asks for everything from [from_seq] on.
+     Trimmed entries below [from_seq] are unreachable here by
+     construction: the requester acked them only after persisting its
+     frontier past them. *)
   match Codec.decode bytes with
   | Int from_seq ->
       for seq = from_seq to t.next_seq - 1 do
@@ -141,6 +254,125 @@ let on_sync t src bytes =
         | None -> ()
       done
   | _ | (exception Codec.Decode_error _) -> ()
+
+(* --- replay subscriptions --------------------------------------------- *)
+
+(* A replay subscriber asks every member for its retained history from
+   an offset. Each origin serves its own log — rid-tagged so multiple
+   replays can overlap — and closes with an end marker carrying the
+   count of records served, so the requester can flush an origin's
+   records in sequence order even when jitter reorders them (or
+   delivers the marker first). History below the live frontier goes to
+   the replay sink; records at or past it splice into the ordinary
+   certified path ("catch-up-then-live"). Under message loss a replay
+   is best-effort: a lost replay record stalls that origin's flush
+   (live delivery is unaffected). *)
+
+let serve_replay t ~dst ~rid ~from =
+  let served = ref 0 in
+  for seq = from to t.next_seq - 1 do
+    match Stable.get t.storage (log_key t seq) with
+    | Some payload ->
+        incr served;
+        Net.send (net t) ~src:t.me ~dst ~port:t.replay_data_port
+          (Codec.encode (List [ Int rid; Int seq; Str payload ]))
+    | None -> ()
+  done;
+  Net.send (net t) ~src:t.me ~dst ~port:t.replay_data_port
+    (Codec.encode (List [ Int rid; Int (-1); Int !served ]))
+
+let on_replay_req t src bytes =
+  match Codec.decode bytes with
+  | List [ Int rid; Int from ] when from >= 0 -> serve_replay t ~dst:src ~rid ~from
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let replay_to_sink t r ~origin ~seq payload =
+  r.sink ~origin ~seq payload;
+  t.replayed <- t.replayed + 1;
+  Trace.Counter.incr t.c_replayed
+
+let flush_origin_if_complete t rid r origin =
+  match Hashtbl.find_opt r.counts origin with
+  | None -> ()
+  | Some count ->
+      let records =
+        match Hashtbl.find_opt r.buf origin with Some l -> !l | None -> []
+      in
+      if List.length records >= count then begin
+        Hashtbl.remove r.buf origin;
+        Hashtbl.remove r.counts origin;
+        List.iter
+          (fun (seq, payload) ->
+            if seq < Seqspace.Order.expected t.order ~origin then
+              replay_to_sink t r ~origin ~seq payload
+            else ingest t ~origin ~seq payload)
+          (List.sort compare records);
+        r.pending <- r.pending - 1;
+        if r.pending = 0 then begin
+          Hashtbl.remove t.replays rid;
+          r.on_complete ()
+        end
+      end
+
+let on_replay_data t src bytes =
+  match Codec.decode bytes with
+  | List [ Int rid; Int seq; Str payload ] when seq >= 0 -> (
+      match Hashtbl.find_opt t.replays rid with
+      | None -> ()
+      | Some r ->
+          let buf =
+            match Hashtbl.find_opt r.buf src with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace r.buf src l;
+                l
+          in
+          buf := (seq, payload) :: !buf;
+          flush_origin_if_complete t rid r src)
+  | List [ Int rid; Int m; Int count ] when m = -1 && count >= 0 -> (
+      match Hashtbl.find_opt t.replays rid with
+      | None -> ()
+      | Some r ->
+          Hashtbl.replace r.counts src count;
+          flush_origin_if_complete t rid r src)
+  | _ | (exception Codec.Decode_error _) -> ()
+
+let replay t ~from ?(on_complete = fun () -> ()) ~sink () =
+  if from < 0 then invalid_arg "Certified.replay: from < 0";
+  (* Local history needs no network round trip. Everything in our own
+     log is below our own live frontier (local publications are
+     delivered at bcast time), so it all goes to the sink. *)
+  let local = { sink; on_complete; buf = Hashtbl.create 1; counts = Hashtbl.create 1; pending = 0 } in
+  for seq = from to t.next_seq - 1 do
+    match Stable.get t.storage (log_key t seq) with
+    | Some payload -> replay_to_sink t local ~origin:t.me ~seq payload
+    | None -> ()
+  done;
+  let others =
+    Array.to_list (Membership.members t.group)
+    |> List.filter (fun m -> m <> t.me)
+  in
+  match others with
+  | [] -> on_complete ()
+  | _ ->
+      let rid = t.next_rid in
+      t.next_rid <- rid + 1;
+      let r =
+        {
+          sink;
+          on_complete;
+          buf = Hashtbl.create 4;
+          counts = Hashtbl.create 4;
+          pending = List.length others;
+        }
+      in
+      Hashtbl.replace t.replays rid r;
+      List.iter
+        (fun dst ->
+          Net.send (net t) ~src:t.me ~dst ~port:t.replay_req_port
+            (Codec.encode (List [ Int rid; Int from ])))
+        others
 
 (* --- lifecycle -------------------------------------------------------- *)
 
@@ -153,9 +385,11 @@ let request_sync t =
     (Membership.members t.group)
 
 let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
-    ~deliver () =
+    ?(retain_acked = false) ~deliver () =
   if max_backoff < 1 then invalid_arg "Certified.attach: max_backoff < 1";
   let tr = Trace.ambient () in
+  let errors = ref 0 in
+  let parse key v = parse_stored ~tr ~errors ~group:name ~key v in
   let t =
     {
       group;
@@ -164,27 +398,44 @@ let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
       storage;
       retry_period;
       max_backoff;
+      retain_acked;
       data_port = "cert:" ^ name;
       ack_port = "cert-ack:" ^ name;
       sync_port = "cert-sync:" ^ name;
+      replay_req_port = "cert-rq:" ^ name;
+      replay_data_port = "cert-rd:" ^ name;
       next_seq =
-        (match Stable.get storage (Printf.sprintf "cert:%s:next" name) with
-        | Some s -> int_of_string s
-        | None -> 0);
+        Option.value ~default:0
+          (parse "next" (Stable.get storage (Printf.sprintf "cert:%s:next" name)));
+      lwm =
+        Option.value ~default:0
+          (parse "lwm" (Stable.get storage (Printf.sprintf "cert:%s:lwm" name)));
+      acked = Hashtbl.create 16;
       waiting = Hashtbl.create 16;
       order =
         Seqspace.Order.create
           ~restore:(fun ~origin ->
-            Option.map int_of_string
+            parse
+              (Printf.sprintf "exp:%d" origin)
               (Stable.get storage (frontier_key name origin)))
           ~persist:(fun ~origin ~next ->
             Stable.put storage (frontier_key name origin) (string_of_int next))
           ();
       deliver;
       timer_armed = false;
+      timer_at = max_int;
+      timer_gen = 0;
+      wakeups = 0;
+      next_rid = 0;
+      replays = Hashtbl.create 4;
+      replayed = 0;
       rtx = 0;
+      state_errors = errors;
+      tr;
       c_retransmits = Trace.counter tr "group.certified.retransmits";
       c_rounds = Trace.counter tr "group.certified.retransmit_rounds";
+      c_replayed = Trace.counter tr "group.certified.replayed";
+      c_trimmed = Trace.counter tr "group.certified.trimmed";
       g_unacked = Trace.gauge tr "group.certified.unacked";
     }
   in
@@ -192,6 +443,10 @@ let attach group ~me ~name ~storage ?(retry_period = 5000) ?(max_backoff = 8)
   Net.set_handler n me ~port:t.data_port (fun _src bytes -> on_data t bytes);
   Net.set_handler n me ~port:t.ack_port (fun src bytes -> on_ack t src bytes);
   Net.set_handler n me ~port:t.sync_port (fun src bytes -> on_sync t src bytes);
+  Net.set_handler n me ~port:t.replay_req_port (fun src bytes ->
+      on_replay_req t src bytes);
+  Net.set_handler n me ~port:t.replay_data_port (fun src bytes ->
+      on_replay_data t src bytes);
   t
 
 let bcast t payload =
@@ -211,7 +466,10 @@ let bcast t payload =
         missing;
         attempts = 0;
         next_retry = Engine.now (Net.engine (net t)) + t.retry_period;
-      };
+      }
+  else
+    (* a single-member group: certified the moment it is logged *)
+    mark_acked t seq;
   (* Local delivery goes through the same frontier bookkeeping. *)
   on_data t (encode_data ~origin:t.me ~seq payload);
   Array.iter
@@ -222,13 +480,17 @@ let bcast t payload =
 
 let resume t =
   t.timer_armed <- false;
-  (* Pessimistically assume nobody acked anything we logged. *)
+  t.timer_at <- max_int;
+  t.timer_gen <- t.timer_gen + 1;  (* orphan any pre-crash wakeups *)
+  (* Pessimistically assume nobody acked anything still in the log.
+     Everything below the durable low watermark was fully acked — and
+     trimmed, unless retention is on — so retransmission restarts only
+     from there. *)
   Hashtbl.reset t.waiting;
-  t.next_seq <-
-    (match Stable.get t.storage (next_key t) with
-    | Some s -> int_of_string s
-    | None -> 0);
-  for seq = 0 to t.next_seq - 1 do
+  Hashtbl.reset t.acked;
+  t.next_seq <- Option.value ~default:0 (read_stored t (next_key t));
+  t.lwm <- Option.value ~default:0 (read_stored t (lwm_key t));
+  for seq = t.lwm to t.next_seq - 1 do
     if Stable.get t.storage (log_key t seq) <> None then begin
       let missing = Hashtbl.create 8 in
       Array.iter
@@ -254,6 +516,12 @@ let retransmits t = t.rtx
 let log_size t =
   List.length (Stable.keys_with_prefix t.storage (Printf.sprintf "cert:%s:log:" t.name))
 
+let low_watermark t = t.lwm
+let duplicates t = Seqspace.Order.duplicates t.order
+let replayed t = t.replayed
+let state_errors t = !(t.state_errors)
+let timer_wakeups t = t.wakeups
+
 let layer t =
   Layer.make ~name:"certified"
     ~send:(fun ?self:_ ?except:_ payload -> bcast t payload)
@@ -262,5 +530,8 @@ let layer t =
     ~stats:(fun () ->
       [ ("certified.unacked", unacked t);
         ("certified.retransmits", retransmits t);
-        ("certified.holdback", Seqspace.Order.parked t.order) ])
+        ("certified.holdback", Seqspace.Order.parked t.order);
+        ("certified.log", log_size t);
+        ("certified.duplicates", duplicates t);
+        ("certified.replayed", replayed t) ])
     ()

@@ -4,8 +4,11 @@
 
     Publishers write every message to stable storage before sending
     and keep retransmitting until each group member acknowledges.
-    Subscribers record their per-publisher delivery frontier durably;
-    after a crash, {!resume} re-arms the protocol and asks every
+    Subscribers record their per-publisher delivery frontier durably
+    {e before} acknowledging — an ack therefore certifies "this
+    message can never be lost on my side again", which is what lets
+    the publisher trim fully-acknowledged entries from its log.
+    After a crash, {!resume} re-arms the protocol and asks every
     member for the messages published past the frontier — the
     mechanism behind re-activating a subscription by durable id
     (§3.4.1, [activate(long id)]).
@@ -13,7 +16,12 @@
     Delivery is per-publisher FIFO (gap detection needs consecutive
     sequence numbers — so "Certified + FIFOOrder" needs no extra
     layer); cross-publisher order is unconstrained unless an ordering
-    layer is stacked on {!layer}. *)
+    layer is stacked on {!layer}.
+
+    With [retain_acked] the log keeps acknowledged history, and
+    {!replay} serves it back: a replay subscription receives the
+    retained past through its sink and then splices into live
+    certified delivery (catch-up-then-live). *)
 
 type t
 
@@ -24,6 +32,7 @@ val attach :
   storage:Tpbs_sim.Stable.t ->
   ?retry_period:int ->
   ?max_backoff:int ->
+  ?retain_acked:bool ->
   deliver:(origin:Tpbs_sim.Net.node_id -> string -> unit) ->
   unit ->
   t
@@ -31,7 +40,13 @@ val attach :
     back off exponentially per message: the delay doubles after each
     attempt up to [max_backoff] x [retry_period] (default cap 8x), so
     a permanently crashed member costs bounded steady-state traffic
-    instead of a resend every period forever. *)
+    instead of a resend every period forever. [retain_acked] (default
+    false) keeps fully-acknowledged log entries for {!replay} instead
+    of trimming them.
+
+    Malformed durable state (an unparsable sequence number or
+    frontier) is treated as absent, counted in {!state_errors}, and
+    reported as a [state_corrupt] trace event — never raised. *)
 
 val bcast : t -> string -> unit
 (** Logs durably, then broadcasts; keeps retransmitting to members
@@ -39,9 +54,25 @@ val bcast : t -> string -> unit
 
 val resume : t -> unit
 (** Call after the hosting node recovers from a crash: restarts the
-    retransmission timer from the durable log and requests missed
-    messages from all members. (Timers do not survive crashes; state
-    on disk does.) *)
+    retransmission timer from the durable log — only past the
+    persisted low watermark — and requests missed messages from all
+    members. (Timers do not survive crashes; state on disk does.) *)
+
+val replay :
+  t ->
+  from:int ->
+  ?on_complete:(unit -> unit) ->
+  sink:(origin:Tpbs_sim.Net.node_id -> seq:int -> string -> unit) ->
+  unit ->
+  unit
+(** Ask every member for its retained log from sequence [from] on.
+    History below the live frontier arrives through [sink] (in
+    per-origin sequence order); anything at or past the frontier
+    splices into normal certified delivery. [on_complete] fires once
+    every member's history has been flushed. Requires publishers
+    attached with [retain_acked] to see trimmed history; under
+    message loss the replay of an origin may stall (best-effort —
+    live delivery is unaffected). *)
 
 val unacked : t -> int
 (** (message, member) pairs still awaiting acknowledgement. *)
@@ -49,9 +80,27 @@ val unacked : t -> int
 val log_size : t -> int
 (** Messages retained in the durable publisher log. *)
 
+val low_watermark : t -> int
+(** Every sequence number below this is fully acknowledged (and
+    trimmed unless [retain_acked]); persisted across crashes. *)
+
 val retransmits : t -> int
 (** Total data retransmissions sent by this instance (excludes the
     initial broadcast and sync replies). *)
+
+val duplicates : t -> int
+(** Retransmission echoes rejected by the subscriber-side frontier,
+    including re-submissions of still-parked sequence numbers. *)
+
+val replayed : t -> int
+(** History records handed to replay sinks by this instance. *)
+
+val state_errors : t -> int
+(** Malformed durable values encountered and treated as absent. *)
+
+val timer_wakeups : t -> int
+(** Retransmission-timer firings that did work — the timer wakes at
+    the earliest pending [next_retry], not every period. *)
 
 val layer : t -> Layer.t
 (** This endpoint as the stack's bottom transport (["certified"]):

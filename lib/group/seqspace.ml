@@ -60,11 +60,18 @@ module Order = struct
     restore : origin:int -> int option;
     persist : origin:int -> next:int -> unit;
     mutable parked_total : int;
+    mutable duplicates : int;
   }
 
   let create ?(restore = fun ~origin:_ -> None)
       ?(persist = fun ~origin:_ ~next:_ -> ()) () =
-    { streams = Hashtbl.create 16; restore; persist; parked_total = 0 }
+    {
+      streams = Hashtbl.create 16;
+      restore;
+      persist;
+      parked_total = 0;
+      duplicates = 0;
+    }
 
   let stream_of t origin =
     match Hashtbl.find_opt t.streams origin with
@@ -79,11 +86,17 @@ module Order = struct
 
   let submit t ~origin ~seq v =
     let s = stream_of t origin in
-    if seq < s.next then `Duplicate
+    (* A seq below the frontier was already released; a seq already
+       parked was already accepted. Both are retransmission echoes:
+       replacing a parked payload would let a late duplicate clobber
+       the copy awaiting release. *)
+    if seq < s.next || Hashtbl.mem s.parked seq then begin
+      t.duplicates <- t.duplicates + 1;
+      `Duplicate
+    end
     else begin
-      if not (Hashtbl.mem s.parked seq) then
-        t.parked_total <- t.parked_total + 1;
-      Hashtbl.replace s.parked seq v;
+      t.parked_total <- t.parked_total + 1;
+      Hashtbl.add s.parked seq v;
       let run = ref [] in
       while Hashtbl.mem s.parked s.next do
         run := Hashtbl.find s.parked s.next :: !run;
@@ -100,6 +113,7 @@ module Order = struct
     end
 
   let parked t = t.parked_total
+  let duplicates t = t.duplicates
 end
 
 module Park = struct

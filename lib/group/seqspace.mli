@@ -51,12 +51,18 @@ module Order : sig
   (** The next in-order sequence number for [origin]. *)
 
   val submit : 'a t -> origin:int -> seq:int -> 'a -> [ `Duplicate | `Run of 'a list ]
-  (** [`Duplicate] if [seq] is below the frontier (already released).
-      Otherwise parks the value and returns the contiguous run now
-      releasable in sequence order ([`Run []] when a gap remains). *)
+  (** [`Duplicate] if [seq] is below the frontier (already released)
+      {e or} already parked — a re-submitted in-flight seq never
+      replaces the payload awaiting release. Otherwise parks the value
+      and returns the contiguous run now releasable in sequence order
+      ([`Run []] when a gap remains). *)
 
   val parked : 'a t -> int
   (** Values currently held back across all origins (a gauge). *)
+
+  val duplicates : 'a t -> int
+  (** Total [`Duplicate] verdicts (a counter): retransmission echoes
+      below the frontier plus re-submissions of parked seqs. *)
 end
 
 module Park : sig

@@ -10,14 +10,15 @@ type transport =
 type t = {
   layers : Layer.t list;  (* top first *)
   targeted : (dst:Net.node_id -> string -> unit) option;
+  certified : Certified.t option;
 }
 
-let assemble (profile : Qos.profile) ?(transport = Best) ?storage ~group ~me
-    ~name ~deliver () =
+let assemble (profile : Qos.profile) ?(transport = Best) ?storage ?retain_acked
+    ~group ~me ~name ~deliver () =
   (* Bottom: the certified log is itself a (durable, reliable,
      per-publisher-FIFO) transport and needs unicast acks/sync, so it
      displaces any gossip override. Otherwise the chosen transport. *)
-  let bottom, targeted_send =
+  let bottom, targeted_send, certified =
     if profile.Qos.certified then begin
       let storage =
         match storage with
@@ -25,10 +26,10 @@ let assemble (profile : Qos.profile) ?(transport = Best) ?storage ~group ~me
         | None -> invalid_arg "Stack.assemble: certified profile needs storage"
       in
       let c =
-        Certified.attach group ~me ~name ~storage ~deliver:Layer.null_deliver
-          ()
+        Certified.attach group ~me ~name ~storage ?retain_acked
+          ~deliver:Layer.null_deliver ()
       in
-      Certified.layer c, None
+      Certified.layer c, None, Some c
     end
     else
       match transport with
@@ -37,14 +38,15 @@ let assemble (profile : Qos.profile) ?(transport = Best) ?storage ~group ~me
             Gossip.attach ~config group ~me ~name ~seed_view
               ~deliver:Layer.null_deliver
           in
-          Gossip.layer g, None
-      | Custom l -> l, None
+          Gossip.layer g, None, None
+      | Custom l -> l, None, None
       | Best ->
           let be =
             Best_effort.attach group ~me ~name ~deliver:Layer.null_deliver
           in
           ( Best_effort.layer be,
-            Some (fun ~dst payload -> Best_effort.send_to be ~dst payload) )
+            Some (fun ~dst payload -> Best_effort.send_to be ~dst payload),
+            None )
   in
   (* Reliability: one shared flood layer, only over the plain
      transport. Certified is already reliable; gossip's epidemic
@@ -80,10 +82,11 @@ let assemble (profile : Qos.profile) ?(transport = Best) ?storage ~group ~me
   (* Targeted unicast bypasses every layer above the transport, so it
      is only sound when the transport IS the whole stack. *)
   let targeted = if List.length layers = 1 then targeted_send else None in
-  { layers; targeted }
+  { layers; targeted; certified }
 
 let bcast t payload = Layer.send (List.hd t.layers) payload
 let targeted t = t.targeted
+let certified t = t.certified
 let shape t = List.map Layer.name t.layers
 
 (* Bottom-up, so a re-activated certification layer has re-requested

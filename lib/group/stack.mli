@@ -46,6 +46,7 @@ val assemble :
   Tpbs_types.Qos.profile ->
   ?transport:transport ->
   ?storage:Tpbs_sim.Stable.t ->
+  ?retain_acked:bool ->
   group:Membership.t ->
   me:Tpbs_sim.Net.node_id ->
   name:string ->
@@ -54,7 +55,9 @@ val assemble :
   t
 (** Build this member's endpoint of the stack for channel [name].
     [transport] (default {!Best}) picks the bottom for non-certified
-    profiles. [storage] backs the certified log/frontier.
+    profiles. [storage] backs the certified log/frontier;
+    [retain_acked] keeps acknowledged certified history for replay
+    subscriptions instead of trimming it.
     @raise Invalid_argument if the profile is certified and no
     [storage] is given. *)
 
@@ -66,6 +69,10 @@ val targeted : t -> (dst:Tpbs_sim.Net.node_id -> string -> unit) option
     when the stack is exactly the best-effort transport (any layer
     above would be cut out of the path), which is when
     subscription-aware targeted dissemination is sound. *)
+
+val certified : t -> Certified.t option
+(** The certified bottom, when the profile has one — the handle for
+    {!Certified.replay} (replay subscriptions) and log accounting. *)
 
 val resume : t -> unit
 (** Crash-recovery: run every layer's resume hook bottom-up

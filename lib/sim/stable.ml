@@ -1,17 +1,40 @@
-type t = (string, string) Hashtbl.t
+(* The stable-storage seam is a record of operations so the durable
+   backend is pluggable: the default is the original in-memory model
+   of a disk (pure-sim runs, no I/O), while lib/store wraps its
+   segmented on-disk log in the same interface for runs that must
+   survive a real process kill. *)
 
-let create () = Hashtbl.create 64
-let put t k v = Hashtbl.replace t k v
-let get t k = Hashtbl.find_opt t k
-let delete t k = Hashtbl.remove t k
+type t = {
+  put : string -> string -> unit;
+  get : string -> string option;
+  delete : string -> unit;
+  keys_with_prefix : string -> string list;
+  size : unit -> int;
+}
 
-let keys_with_prefix t prefix =
-  let n = String.length prefix in
-  Hashtbl.fold
-    (fun k _ acc ->
-      if String.length k >= n && String.sub k 0 n = prefix then k :: acc
-      else acc)
-    t []
-  |> List.sort String.compare
+let make ~put ~get ~delete ~keys_with_prefix ~size =
+  { put; get; delete; keys_with_prefix; size }
 
-let size t = Hashtbl.length t
+let create () =
+  let tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  {
+    put = Hashtbl.replace tbl;
+    get = Hashtbl.find_opt tbl;
+    delete = Hashtbl.remove tbl;
+    keys_with_prefix =
+      (fun prefix ->
+        let n = String.length prefix in
+        Hashtbl.fold
+          (fun k _ acc ->
+            if String.length k >= n && String.sub k 0 n = prefix then k :: acc
+            else acc)
+          tbl []
+        |> List.sort String.compare);
+    size = (fun () -> Hashtbl.length tbl);
+  }
+
+let put t k v = t.put k v
+let get t k = t.get k
+let delete t k = t.delete k
+let keys_with_prefix t prefix = t.keys_with_prefix prefix
+let size t = t.size ()

@@ -1,11 +1,31 @@
 (** Node-local stable storage: a key–value store that survives node
     crashes (the model of a disk). Certified obvent delivery (§3.1.2)
     and durable subscription identities (§3.4.1: [activate(long id)])
-    are built on this. *)
+    are built on this.
+
+    The type is a seam, not a data structure: {!create} gives the
+    in-memory backend (a model disk for pure-sim runs), while {!make}
+    lets a real durable backend — the segmented on-disk log in
+    [lib/store] — slot in behind the same five operations, so the
+    whole certified/pubsub stack exercises real durability without
+    changing a line. *)
 
 type t
 
 val create : unit -> t
+(** The in-memory backend: survives simulated node crashes, not
+    process death. *)
+
+val make :
+  put:(string -> string -> unit) ->
+  get:(string -> string option) ->
+  delete:(string -> unit) ->
+  keys_with_prefix:(string -> string list) ->
+  size:(unit -> int) ->
+  t
+(** Wrap an external backend. [keys_with_prefix] must return sorted
+    keys; [delete] of an absent key must be a no-op. *)
+
 val put : t -> string -> string -> unit
 val get : t -> string -> string option
 val delete : t -> string -> unit

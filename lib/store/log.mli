@@ -1,0 +1,88 @@
+(** A segmented, append-only, CRC-checked on-disk log exposing the
+    {!Tpbs_sim.Stable} key–value interface.
+
+    Every [put]/[delete] appends one {!Record}-framed record to the
+    active segment and flushes; the key→value map is held in memory
+    and rebuilt on {!open_} by replaying segments in ascending id
+    order. Segments seal at [segment_bytes] and rotate; sealed
+    segments whose records are all superseded are unlinked on the
+    spot, and merge {!compact}ion rewrites the remaining sealed state
+    into an atomic [base-<n>.log] snapshot that obsoletes every file
+    with id [<= n].
+
+    Recovery truncates the log at the first torn or corrupt record
+    and discards all later segments, so reopening after a crash at
+    any byte offset yields exactly the prefix of operations whose
+    records were completely on disk. *)
+
+exception Injected_crash
+(** Raised by the fault-injection hook ({!set_fault}) at the moment
+    the simulated power cut happens, and by every write after it. *)
+
+type t
+
+val open_ :
+  ?segment_bytes:int ->
+  ?compact_min_dead:int ->
+  ?auto_compact:bool ->
+  dir:string ->
+  unit ->
+  t
+(** Open (creating if needed) the log rooted at [dir], running the
+    recovery scan. [segment_bytes] (default 1 MiB) bounds the active
+    segment; [compact_min_dead] (default 64) and a ≥50% dead ratio
+    gate automatic merge compaction; [auto_compact:false] leaves
+    merging to explicit {!compact} calls. *)
+
+val put : t -> string -> string -> unit
+val get : t -> string -> string option
+
+val delete : t -> string -> unit
+(** Appends a tombstone; a no-op for absent keys. *)
+
+val keys_with_prefix : t -> string -> string list
+(** Sorted. *)
+
+val key_count : t -> int
+
+val compact : t -> unit
+(** Merge all sealed segments into a [base-<n>.log] snapshot. Crash
+    safe: the snapshot rename is the commit point and recovery drops
+    every file at or below the newest base id. *)
+
+val close : t -> unit
+(** Close the append channel. Only {!get}/{!keys_with_prefix} remain
+    usable. *)
+
+val stable : t -> Tpbs_sim.Stable.t
+(** The log behind the pluggable stable-storage seam, for wiring into
+    [Process.create ~storage]. *)
+
+(** {1 Fault injection} *)
+
+val set_fault : t -> after_bytes:int -> unit
+(** Simulate a power cut after [after_bytes] more bytes of appended
+    records: the write in flight when the budget runs out is cut
+    short on disk (the torn tail), {!Injected_crash} is raised, and
+    the store goes dead — every later write also raises. Reopen the
+    directory with {!open_} to exercise recovery. *)
+
+val is_dead : t -> bool
+
+(** {1 Accounting} *)
+
+type stats = {
+  keys : int;
+  segments : int;  (** files on disk: sealed + base + active *)
+  disk_bytes : int;
+  appends : int;
+  rotations : int;
+  compactions : int;
+  segments_dropped : int;
+  recovered_records : int;  (** records replayed by the last {!open_} *)
+  torn_bytes : int;  (** bytes truncated by recovery *)
+  corrupt_records : int;  (** CRC/decode rejects seen by recovery *)
+  tombstones : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,53 @@
+module Codec = Tpbs_serial.Codec
+module Wire = Tpbs_serial.Wire
+
+(* One durable log record:
+
+     [ payload length : u32 LE | crc32(payload) : u32 LE | payload ]
+
+   where the payload is the ordinary lib/serial encoding of
+   [List [Int op; Str key; Str value]]. The length prefix makes the
+   scan self-framing; the CRC makes every record independently
+   checkable, so a recovery scan can tell a torn tail (clean partial
+   write) from bit rot without trusting anything that follows. *)
+
+type op = Put | Delete
+
+let header_bytes = 8
+
+let frame ~op ~key ~value =
+  let payload =
+    Codec.encode
+      (List [ Int (match op with Put -> 0 | Delete -> 1); Str key; Str value ])
+  in
+  let n = String.length payload in
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Wire.crc32 payload);
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+type read_result =
+  | Record of op * string * string * int  (** decoded record, next offset *)
+  | End  (** clean end of the segment *)
+  | Torn  (** the segment ends inside a record: a partial final write *)
+  | Corrupt  (** framing intact but CRC or payload decoding failed *)
+
+let read buf off =
+  let len = String.length buf in
+  if off >= len then End
+  else if len - off < header_bytes then Torn
+  else
+    let n = Int32.to_int (String.get_int32_le buf off) in
+    let crc = String.get_int32_le buf (off + 4) in
+    if n < 0 || n > len - off - header_bytes then Torn
+    else
+      let payload = String.sub buf (off + header_bytes) n in
+      if Wire.crc32 payload <> crc then Corrupt
+      else
+        match Codec.decode payload with
+        | List [ Int o; Str key; Str value ] when o = 0 || o = 1 ->
+            Record
+              ((if o = 0 then Put else Delete), key, value,
+               off + header_bytes + n)
+        | _ | (exception Codec.Decode_error _) -> Corrupt

@@ -1,0 +1,21 @@
+(** Framing of individual durable-log records: CRC32-guarded,
+    length-prefixed envelopes around the lib/serial wire format. *)
+
+type op = Put | Delete
+
+val header_bytes : int
+(** Bytes of framing before the payload (length + CRC). *)
+
+val frame : op:op -> key:string -> value:string -> string
+(** The complete on-disk byte string for one record. *)
+
+type read_result =
+  | Record of op * string * string * int
+      (** [Record (op, key, value, next_offset)] *)
+  | End  (** clean end of the segment *)
+  | Torn  (** the segment ends inside a record: a partial final write *)
+  | Corrupt  (** framing intact but CRC or payload decoding failed *)
+
+val read : string -> int -> read_result
+(** [read buf off] decodes the record starting at [off]. Never
+    raises: every malformation maps to [Torn] or [Corrupt]. *)

@@ -127,3 +127,23 @@ let summarize lines =
       (sorted_by_name (fun (n, _, _, _) -> n) !histograms)
   end;
   Buffer.contents buf
+
+(* Counters are exported cumulatively; the last record for a name is
+   its final value. *)
+let counter_value lines name =
+  List.fold_left
+    (fun acc line ->
+      if String.trim line = "" then acc
+      else
+        match Jsonl.parse line with
+        | Error _ -> acc
+        | Ok json -> (
+            match
+              (Jsonl.member "metric" json, Jsonl.member "name" json)
+            with
+            | Some (Jsonl.Str "counter"), Some (Jsonl.Str n) when n = name -> (
+                match Jsonl.member "value" json with
+                | Some (Jsonl.Num v) -> Some (int_of_float v)
+                | _ -> acc)
+            | _ -> acc))
+    None lines

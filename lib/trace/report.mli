@@ -12,3 +12,9 @@ val summarize : string list -> string
 (** Human-readable summary: event counts per (layer, kind), counters,
     gauges, histograms, and the covered time range. Assumes lines that
     passed [check]; silently skips malformed ones. *)
+
+val counter_value : string list -> string -> int option
+(** Final exported value of counter [name], [None] if the trace never
+    exported it. Backs [tpbs_report --require NAME] — CI smoke steps
+    assert that a scenario actually exercised a path (e.g.
+    [store.recovered_records] after a crash/recovery run). *)

@@ -288,6 +288,66 @@ let test_certified_crash_recovery () =
     amounts;
   Engine.run engine
 
+let test_replay_subscription () =
+  (* Retained certified history + a late replay subscriber: it first
+     receives the past (replay), then splices into live delivery. *)
+  let reg, engine, _net, domain, procs = setup ~n:3 () in
+  Domain.retain_history domain ~cls:"CertifiedQuote";
+  let live = ref [] in
+  let s1 =
+    Process.subscribe procs.(1) ~param:"CertifiedQuote" (collect_handler live)
+  in
+  Subscription.activate s1;
+  for i = 1 to 3 do
+    Process.publish procs.(0) (quote_of reg "CertifiedQuote" ~amount:i ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "live subscriber saw the stream" 3 (List.length !live);
+  (* the late subscriber replays from the beginning *)
+  let late = ref [] in
+  let s2 =
+    Process.subscribe procs.(2) ~param:"CertifiedQuote" (collect_handler late)
+  in
+  Subscription.activate_replay s2 ~from:0;
+  Engine.run engine;
+  let amounts l = List.rev_map (fun o -> Obvent.get o "amount") !l in
+  Alcotest.(check (list value_testable)) "history replayed in order"
+    [ Value.Int 1; Value.Int 2; Value.Int 3 ]
+    (amounts late);
+  (* then live delivery continues for both *)
+  Process.publish procs.(0) (quote_of reg "CertifiedQuote" ~amount:4 ());
+  Engine.run engine;
+  Alcotest.(check (list value_testable)) "catch-up-then-live"
+    [ Value.Int 1; Value.Int 2; Value.Int 3; Value.Int 4 ]
+    (amounts late);
+  Alcotest.(check int) "replayed counted apart from deliveries" 3
+    (Domain.stats domain).Domain.replayed
+
+let test_replay_respects_filter () =
+  let reg, engine, _net, domain, procs = setup ~n:2 () in
+  Domain.retain_history domain ~cls:"CertifiedQuote";
+  let s0 = Process.subscribe procs.(0) ~param:"CertifiedQuote" (fun _ -> ()) in
+  Subscription.activate s0;
+  for i = 1 to 4 do
+    Process.publish procs.(0) (quote_of reg "CertifiedQuote" ~amount:i ())
+  done;
+  Engine.run engine;
+  let got = ref [] in
+  let s =
+    Process.subscribe procs.(1) ~param:"CertifiedQuote"
+      ~filter:
+        (Fspec.closure (fun o ->
+             match Obvent.get o "amount" with
+             | Value.Int a -> a > 2
+             | _ -> false))
+      (collect_handler got)
+  in
+  Subscription.activate_replay s ~from:0;
+  Engine.run engine;
+  Alcotest.(check (list value_testable)) "replayed history is filtered"
+    [ Value.Int 3; Value.Int 4 ]
+    (List.rev_map (fun o -> Obvent.get o "amount") !got)
+
 let test_durable_id_type_mismatch () =
   let _reg, _engine, _net, _domain, procs = setup ~n:2 () in
   let s1 = Process.subscribe procs.(0) ~param:"CertifiedQuote" (fun _ -> ()) in
@@ -1088,6 +1148,10 @@ let suite =
       Alcotest.test_case "fifo channel" `Quick test_fifo_channel;
       Alcotest.test_case "certified: crash recovery + durable id" `Quick
         test_certified_crash_recovery;
+      Alcotest.test_case "certified: replay subscription" `Quick
+        test_replay_subscription;
+      Alcotest.test_case "certified: replay respects filter" `Quick
+        test_replay_respects_filter;
       Alcotest.test_case "certified: durable id type mismatch" `Quick
         test_durable_id_type_mismatch;
       Alcotest.test_case "priority overtaking" `Quick test_priority_overtaking;

@@ -370,7 +370,106 @@ let test_certified_basic () =
         [ "c1"; "c2" ] (payloads w i))
     w.nodes;
   Alcotest.(check int) "all acked" 0 (Certified.unacked w.protos.(0));
-  Alcotest.(check int) "log retained" 2 (Certified.log_size w.protos.(0))
+  (* Fully-acked entries are trimmed: every ack certifies the
+     subscriber persisted its frontier first, so nothing can ask for
+     them again. *)
+  Alcotest.(check int) "log trimmed after full ack" 0
+    (Certified.log_size w.protos.(0));
+  Alcotest.(check int) "low watermark advanced" 2
+    (Certified.low_watermark w.protos.(0))
+
+let test_certified_retention_and_replay () =
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~retain_acked:true ~deliver ())
+  in
+  Certified.bcast w.protos.(0) "h1";
+  Certified.bcast w.protos.(0) "h2";
+  Certified.bcast w.protos.(1) "h3";
+  Engine.run w.engine;
+  Alcotest.(check int) "retention keeps acked history" 2
+    (Certified.log_size w.protos.(0));
+  Alcotest.(check int) "watermark still advances" 2
+    (Certified.low_watermark w.protos.(0));
+  (* A replay subscription on node 2 pulls the full history back. *)
+  let got = ref [] and done_ = ref false in
+  Certified.replay w.protos.(2) ~from:0
+    ~on_complete:(fun () -> done_ := true)
+    ~sink:(fun ~origin ~seq payload -> got := (origin, seq, payload) :: !got)
+    ();
+  Engine.run w.engine;
+  Alcotest.(check bool) "replay completed" true !done_;
+  let by_origin o =
+    List.rev !got
+    |> List.filter_map (fun (origin, seq, p) ->
+           if origin = w.nodes.(o) then Some (seq, p) else None)
+  in
+  Alcotest.(check (list (pair int string)))
+    "origin 0 history in order"
+    [ (0, "h1"); (1, "h2") ]
+    (by_origin 0);
+  Alcotest.(check (list (pair int string)))
+    "origin 1 history in order" [ (0, "h3") ] (by_origin 1);
+  Alcotest.(check int) "replayed counted" 3 (Certified.replayed w.protos.(2))
+
+let test_certified_malformed_state () =
+  (* Corrupt durable values must read as absent — counted, not
+     raised — on both the attach and the resume path. *)
+  let stores = Array.init 2 (fun _ -> Stable.create ()) in
+  Stable.put stores.(0) "cert:t:next" "garbage";
+  Stable.put stores.(0) "cert:t:lwm" "-3";
+  (* a corrupt subscriber frontier, read lazily on first data *)
+  Stable.put stores.(1) "cert:t:exp:0" "NaN";
+  let idx = ref 0 in
+  let w =
+    make_world ~n:2 (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~deliver ())
+  in
+  Alcotest.(check int) "corrupt next + lwm counted" 2
+    (Certified.state_errors w.protos.(0));
+  (* the protocol still works from scratch *)
+  Certified.bcast w.protos.(0) "m";
+  Engine.run w.engine;
+  Alcotest.(check (list string)) "delivery unaffected" [ "m" ] (payloads w 1);
+  Alcotest.(check int) "corrupt frontier counted on restore" 1
+    (Certified.state_errors w.protos.(1));
+  (* corrupt publisher state hit again on the resume path *)
+  Stable.put stores.(1) "cert:t:next" "1e9";
+  Certified.resume w.protos.(1);
+  Engine.run w.engine;
+  Alcotest.(check bool) "resume survived corrupt state" true
+    (Certified.state_errors w.protos.(1) >= 2)
+
+let test_certified_timer_earliest_deadline () =
+  (* One member stays crashed: after backoff settles at the cap, the
+     retransmission timer must wake at the next deadline, not spin
+     every retry_period. *)
+  let stores = Array.init 3 (fun _ -> Stable.create ()) in
+  let idx = ref 0 in
+  let w =
+    make_world ~n:3 (fun g ~me ~deliver ->
+        let storage = stores.(!idx) in
+        incr idx;
+        Certified.attach g ~me ~name:"t" ~storage ~retry_period:3000
+          ~max_backoff:8 ~deliver ())
+  in
+  Net.crash w.net w.nodes.(2);
+  Certified.bcast w.protos.(0) "m";
+  Engine.run ~until:500_000 w.engine;
+  Alcotest.(check bool) "still unacked" true (Certified.unacked w.protos.(0) > 0);
+  (* fixed-period polling would fire ~166 times in this window; the
+     earliest-deadline timer needs the backoff ramp plus one firing
+     per capped period (24k ticks), ~25 *)
+  let wakeups = Certified.timer_wakeups w.protos.(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "timer wakeups bounded (%d)" wakeups)
+    true (wakeups <= 40)
 
 let test_certified_retransmits_through_loss () =
   let stores = Array.init 4 (fun _ -> Stable.create ()) in
@@ -905,6 +1004,12 @@ let suite =
       Alcotest.test_case "total+causal: agreement and causality" `Quick
         test_total_causal_agreement_and_causality;
       Alcotest.test_case "certified: basic" `Quick test_certified_basic;
+      Alcotest.test_case "certified: retention + replay" `Quick
+        test_certified_retention_and_replay;
+      Alcotest.test_case "certified: malformed stable state" `Quick
+        test_certified_malformed_state;
+      Alcotest.test_case "certified: earliest-deadline timer" `Quick
+        test_certified_timer_earliest_deadline;
       Alcotest.test_case "certified: retransmits through loss" `Quick
         test_certified_retransmits_through_loss;
       Alcotest.test_case "certified: subscriber crash recovery" `Quick

@@ -4,5 +4,5 @@ let () =
       Test_filter.suite; Test_sim.suite; Test_trace.suite; Test_group.suite;
       Test_stack.suite; Test_rmi.suite;
       Test_core.suite; Test_routing.suite; Test_baselines.suite;
-      Test_psc.suite; Test_analysis.suite;
+      Test_psc.suite; Test_analysis.suite; Test_store.suite;
       Test_alternatives.suite ]

@@ -410,7 +410,26 @@ let test_seqspace_order () =
   Alcotest.(check int) "nothing parked" 0 (Seqspace.Order.parked o);
   (* persist ran before each released run, with the advanced frontier *)
   Alcotest.(check (list (pair int int)))
-    "persisted frontiers" [ (9, 3); (9, 1) ] !persisted
+    "persisted frontiers" [ (9, 3); (9, 1) ] !persisted;
+  Alcotest.(check int) "duplicates counted" 1 (Seqspace.Order.duplicates o)
+
+let test_seqspace_order_parked_resubmit () =
+  (* A retransmission echo of a still-parked seq must be rejected as a
+     duplicate — not silently replace the payload awaiting release and
+     masquerade as a fresh accept. *)
+  let o = Seqspace.Order.create () in
+  (match Seqspace.Order.submit o ~origin:1 ~seq:2 "first copy" with
+  | `Run [] -> ()
+  | _ -> Alcotest.fail "parks");
+  (match Seqspace.Order.submit o ~origin:1 ~seq:2 "late echo" with
+  | `Duplicate -> ()
+  | _ -> Alcotest.fail "parked resubmit must be a duplicate");
+  Alcotest.(check int) "counted" 1 (Seqspace.Order.duplicates o);
+  Alcotest.(check int) "still one parked" 1 (Seqspace.Order.parked o);
+  ignore (Seqspace.Order.submit o ~origin:1 ~seq:0 "a");
+  (match Seqspace.Order.submit o ~origin:1 ~seq:1 "b" with
+  | `Run [ "b"; "first copy" ] -> ()
+  | _ -> Alcotest.fail "the original parked payload is released")
 
 let test_seqspace_dedup () =
   let d = Seqspace.Dedup.create () in
@@ -540,6 +559,8 @@ let suite =
         prop_shape_invariants;
       Alcotest.test_case "seqspace: order frontier + persist hooks" `Quick
         test_seqspace_order;
+      Alcotest.test_case "seqspace: parked resubmit is duplicate" `Quick
+        test_seqspace_order_parked_resubmit;
       Alcotest.test_case "seqspace: dedup frontier" `Quick test_seqspace_dedup;
       Alcotest.test_case "pubsub: certified+fifo crash/resume end-to-end"
         `Quick test_pubsub_cert_fifo_crash;

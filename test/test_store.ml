@@ -1,0 +1,411 @@
+module Log = Tpbs_store.Log
+module Record = Tpbs_store.Record
+module Stable = Tpbs_sim.Stable
+
+(* --- scratch directories -------------------------------------------- *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "tpbs_store" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let contents t =
+  List.map (fun k -> (k, Option.get (Log.get t k))) (Log.keys_with_prefix t "")
+
+(* --- units ----------------------------------------------------------- *)
+
+let test_roundtrip_reopen () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~dir () in
+  Log.put t "a" "1";
+  Log.put t "b" "2";
+  Log.put t "a" "3";
+  Log.delete t "b";
+  Alcotest.(check (option string)) "overwrite" (Some "3") (Log.get t "a");
+  Alcotest.(check (option string)) "deleted" None (Log.get t "b");
+  Log.close t;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "state survives reopen" [ ("a", "3") ] (contents t);
+  Alcotest.(check int) "replayed all records" 4 (Log.stats t).recovered_records;
+  Log.close t
+
+let seg_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".log")
+  |> List.sort compare
+
+let test_crc_rejection () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~dir () in
+  Log.put t "a" "alpha";
+  Log.put t "b" "beta";
+  Log.put t "c" "gamma";
+  Log.close t;
+  (* flip one payload byte inside the middle record *)
+  let path = Filename.concat dir (List.hd (seg_files dir)) in
+  let ic = open_in_bin path in
+  let buf = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let rec_len = String.length (Record.frame ~op:Record.Put ~key:"a" ~value:"alpha") in
+  let off = rec_len + Record.header_bytes + 2 in
+  Bytes.set buf off (Char.chr (Char.code (Bytes.get buf off) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc buf;
+  close_out oc;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "prefix before the corrupt record survives" [ ("a", "alpha") ] (contents t);
+  let st = Log.stats t in
+  Alcotest.(check bool) "corruption counted" true (st.corrupt_records > 0);
+  Alcotest.(check bool) "tail truncated" true (st.torn_bytes > 0);
+  (* the log stays writable at the truncation point *)
+  Log.put t "d" "delta";
+  Log.close t;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "clean after repair" [ ("a", "alpha"); ("d", "delta") ] (contents t);
+  Alcotest.(check int) "no further corruption" 0 (Log.stats t).corrupt_records;
+  Log.close t
+
+let test_torn_tail_truncation () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~dir () in
+  Log.put t "a" "1";
+  Log.put t "b" "2";
+  Log.close t;
+  (* chop the final record mid-payload: a partial last write *)
+  let path = Filename.concat dir (List.hd (seg_files dir)) in
+  let ic = open_in_bin path in
+  let buf = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_substring oc buf 0 (String.length buf - 3);
+  close_out oc;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "torn tail dropped, prefix kept" [ ("a", "1") ] (contents t);
+  Alcotest.(check int) "torn, not corrupt" 0 (Log.stats t).corrupt_records;
+  Log.close t
+
+let test_rotation () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~segment_bytes:64 ~auto_compact:false ~dir () in
+  for i = 0 to 19 do
+    Log.put t (Printf.sprintf "k%02d" i) (String.make 10 'x')
+  done;
+  let st = Log.stats t in
+  Alcotest.(check bool) "rotated" true (st.rotations > 0);
+  Alcotest.(check bool) "several segment files" true (st.segments > 1);
+  Log.close t;
+  let t = Log.open_ ~segment_bytes:64 ~auto_compact:false ~dir () in
+  Alcotest.(check int) "all keys survive rotation + reopen" 20 (Log.key_count t);
+  Log.close t
+
+let test_compaction () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~segment_bytes:128 ~auto_compact:false ~dir () in
+  for round = 0 to 9 do
+    for i = 0 to 4 do
+      Log.put t (Printf.sprintf "k%d" i) (Printf.sprintf "v%d.%d" round i)
+    done
+  done;
+  Log.delete t "k4";
+  let before = (Log.stats t).disk_bytes in
+  Log.compact t;
+  let st = Log.stats t in
+  Alcotest.(check bool) "disk shrank" true (st.disk_bytes < before);
+  Alcotest.(check int) "compactions counted" 1 st.compactions;
+  Alcotest.(check bool) "base snapshot written" true
+    (List.exists (fun n -> String.length n >= 5 && String.sub n 0 5 = "base-")
+       (seg_files dir));
+  let expect =
+    [ ("k0", "v9.0"); ("k1", "v9.1"); ("k2", "v9.2"); ("k3", "v9.3") ]
+  in
+  Alcotest.(check (list (pair string string))) "merged state" expect (contents t);
+  Log.close t;
+  let t = Log.open_ ~segment_bytes:128 ~auto_compact:false ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "merged state survives reopen" expect (contents t);
+  Alcotest.(check (option string)) "delete survives merge" None (Log.get t "k4");
+  Log.close t
+
+let test_fast_drop_bounds_disk () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~segment_bytes:256 ~compact_min_dead:16 ~dir () in
+  (* a hot key overwritten forever: each sealed segment goes fully dead
+     and is unlinked on the spot, no merge needed *)
+  for i = 0 to 999 do
+    Log.put t "hot" (Printf.sprintf "%06d" i)
+  done;
+  let st = Log.stats t in
+  Alcotest.(check bool) "segments dropped" true (st.segments_dropped > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "disk bounded (%d bytes)" st.disk_bytes)
+    true
+    (st.disk_bytes < 2048);
+  Alcotest.(check (option string)) "latest wins" (Some "000999") (Log.get t "hot");
+  Log.close t
+
+let test_auto_compact_bounds_disk () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~segment_bytes:256 ~compact_min_dead:16 ~dir () in
+  (* cold keys pin every segment (no fast drop), hot overwrites pile up
+     dead records: only merge compaction can reclaim the space *)
+  for i = 0 to 99 do
+    Log.put t (Printf.sprintf "cold%03d" i) "c";
+    for _ = 1 to 3 do
+      Log.put t "hot" (Printf.sprintf "%06d" i)
+    done
+  done;
+  let st = Log.stats t in
+  Alcotest.(check bool) "compacted at least once" true (st.compactions > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "disk bounded (%d bytes)" st.disk_bytes)
+    true
+    (st.disk_bytes < 8192);
+  Alcotest.(check int) "all cold keys live" 101 (Log.key_count t);
+  Alcotest.(check (option string)) "latest wins" (Some "000099") (Log.get t "hot");
+  Log.close t
+
+let test_fault_injection_basic () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~dir () in
+  Log.put t "a" "1";
+  Log.set_fault t ~after_bytes:4;
+  (* the next record is cut short after 4 bytes: a torn tail on disk *)
+  Alcotest.check_raises "power cut" Log.Injected_crash (fun () ->
+      Log.put t "b" "2");
+  Alcotest.(check bool) "store is dead" true (Log.is_dead t);
+  Alcotest.check_raises "writes stay dead" Log.Injected_crash (fun () ->
+      Log.put t "c" "3");
+  Log.close t;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (list (pair string string)))
+    "recovery keeps the committed prefix only" [ ("a", "1") ] (contents t);
+  Alcotest.(check bool) "torn tail measured" true ((Log.stats t).torn_bytes > 0);
+  Log.close t
+
+let test_stable_adapter () =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~dir () in
+  let s = Log.stable t in
+  Stable.put s "cert:x:log:3" "m3";
+  Stable.put s "cert:x:log:1" "m1";
+  Stable.put s "cert:x:next" "4";
+  Alcotest.(check (list string))
+    "prefix scan, sorted"
+    [ "cert:x:log:1"; "cert:x:log:3" ]
+    (Stable.keys_with_prefix s "cert:x:log:");
+  Stable.delete s "cert:x:log:1";
+  Alcotest.(check int) "size tracks deletes" 2 (Stable.size s);
+  Log.close t;
+  let t = Log.open_ ~dir () in
+  Alcotest.(check (option string))
+    "survives reopen" (Some "m3")
+    (Stable.get (Log.stable t) "cert:x:log:3");
+  Log.close t
+
+(* --- crash-point recovery property ----------------------------------- *)
+
+(* Replay a random op sequence against both the on-disk log and an
+   in-memory oracle, with a power cut injected at an arbitrary byte
+   offset of the append stream. The oracle applies an op only when the
+   log accepted it without crashing, so after reopening, the recovered
+   state must equal the oracle exactly: the op whose record was torn
+   is dropped, everything before it is kept. *)
+let crash_point_prop (ops, cut, seg_bytes) =
+  with_dir @@ fun dir ->
+  let t = Log.open_ ~segment_bytes:seg_bytes ~compact_min_dead:8 ~dir () in
+  Log.set_fault t ~after_bytes:cut;
+  let oracle = Hashtbl.create 16 in
+  (try
+     List.iter
+       (fun (op, k, v) ->
+         (match op with
+         | `Put -> Log.put t k v
+         | `Delete -> Log.delete t k);
+         (* reached only if the write was fully durable *)
+         match op with
+         | `Put -> Hashtbl.replace oracle k v
+         | `Delete -> Hashtbl.remove oracle k)
+       ops
+   with Log.Injected_crash -> ());
+  Log.close t;
+  let t = Log.open_ ~segment_bytes:seg_bytes ~dir () in
+  let recovered = contents t in
+  Log.close t;
+  let expected =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) oracle []
+    |> List.sort compare
+  in
+  if recovered <> expected then
+    QCheck.Test.fail_reportf
+      "recovered state diverges from oracle at cut=%d:@ got %a@ want %a" cut
+      Fmt.(Dump.list (Dump.pair string string))
+      recovered
+      Fmt.(Dump.list (Dump.pair string string))
+      expected
+  else true
+
+let arb_crash_scenario =
+  let open QCheck in
+  let op =
+    Gen.(
+      map3
+        (fun d k v ->
+          ( (if d then `Delete else `Put),
+            Printf.sprintf "k%d" k,
+            Printf.sprintf "v%d" v ))
+        (Gen.map (fun n -> n = 0) (int_bound 4))
+        (int_bound 12) (int_bound 999))
+  in
+  make
+    ~print:(fun (ops, cut, sb) ->
+      Printf.sprintf "ops=%d cut=%d seg_bytes=%d" (List.length ops) cut sb)
+    Gen.(
+      triple
+        (list_size (int_range 1 60) op)
+        (int_bound 1200)
+        (Gen.map (fun n -> 64 + n) (int_bound 512)))
+
+let test_crash_point_recovery =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"crash-point recovery equals oracle"
+       arb_crash_scenario crash_point_prop)
+
+(* --- end-to-end: certified delivery across an injected power cut ----- *)
+
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Membership = Tpbs_group.Membership
+module Certified = Tpbs_group.Certified
+
+(* A publisher certifies [n_msgs] messages to a subscriber whose
+   frontier store is the on-disk log, rigged to lose power after
+   [budget] appended bytes. The cut lands at an arbitrary point of an
+   arbitrary record — possibly mid-write of the durable frontier.
+   After the crash the node reboots: the directory is re-opened (the
+   recovery scan truncates any torn tail), a fresh certification
+   endpoint re-attaches over the recovered store, and [resume]
+   requests sync. The subscriber must end up having delivered every
+   message exactly once, in order: the frontier is persisted before
+   delivery, so a torn frontier write means "not delivered yet"
+   (retransmission fills it in) and a committed one suppresses the
+   echo. *)
+let certified_crash_prop (n_msgs, budget, seed) =
+  with_dir @@ fun dir ->
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine in
+  let n0 = Net.add_node net in
+  let n1 = Net.add_node net in
+  let group = Membership.create net [ n0; n1 ] in
+  let pub =
+    Certified.attach group ~me:n0 ~name:"t" ~storage:(Stable.create ())
+      ~retry_period:2000
+      ~deliver:(fun ~origin:_ _ -> ())
+      ()
+  in
+  let delivered = ref [] in
+  let deliver ~origin:_ payload = delivered := payload :: !delivered in
+  let log = ref (Log.open_ ~segment_bytes:256 ~dir ()) in
+  Log.set_fault !log ~after_bytes:budget;
+  let sub =
+    ref
+      (Certified.attach group ~me:n1 ~name:"t" ~storage:(Log.stable !log)
+         ~retry_period:2000 ~deliver ())
+  in
+  for i = 1 to n_msgs do
+    Engine.schedule engine ~delay:(i * 1500) (fun () ->
+        Certified.bcast pub (Printf.sprintf "m%d" i))
+  done;
+  let crashes = ref 0 in
+  let rec drive () =
+    match Engine.run ~until:2_000_000 engine with
+    | () -> ()
+    | exception Log.Injected_crash ->
+        incr crashes;
+        (* The node dies with its store: in-flight traffic to the old
+           incarnation is dropped, node-local timers are invalidated. *)
+        Net.crash net n1;
+        Log.close !log;
+        (* Reboot: recovery scan over the same directory, then a fresh
+           endpoint over the surviving state. *)
+        log := Log.open_ ~segment_bytes:256 ~dir ();
+        Net.recover net n1;
+        sub :=
+          Certified.attach group ~me:n1 ~name:"t" ~storage:(Log.stable !log)
+            ~retry_period:2000 ~deliver ();
+        Certified.resume !sub;
+        drive ()
+  in
+  drive ();
+  Log.close !log;
+  let got = List.rev !delivered in
+  let want = List.init n_msgs (fun i -> Printf.sprintf "m%d" (i + 1)) in
+  if !crashes > 1 then
+    QCheck.Test.fail_reportf "single fault budget crashed %d times" !crashes
+  else if got <> want then
+    QCheck.Test.fail_reportf
+      "crash at byte %d: delivered %a, want %a (crashes=%d)" budget
+      Fmt.(Dump.list string)
+      got
+      Fmt.(Dump.list string)
+      want !crashes
+  else if Certified.low_watermark pub <> n_msgs then
+    QCheck.Test.fail_reportf "publisher watermark %d, want %d (frontier lost)"
+      (Certified.low_watermark pub)
+      n_msgs
+  else if Certified.log_size pub <> 0 then
+    QCheck.Test.fail_reportf "publisher retains %d entries after full ack"
+      (Certified.log_size pub)
+  else true
+
+let arb_certified_crash =
+  let open QCheck in
+  make
+    ~print:(fun (n, b, s) ->
+      Printf.sprintf "n_msgs=%d budget=%d seed=%d" n b s)
+    Gen.(
+      triple
+        (int_range 3 25)
+        (int_range 20 2500)
+        (int_range 0 9999))
+
+let test_certified_crash_recovery =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"certified delivery survives power cut at arbitrary byte"
+       arb_certified_crash certified_crash_prop)
+
+let suite =
+  ( "store",
+    [
+      Alcotest.test_case "roundtrip + reopen" `Quick test_roundtrip_reopen;
+      Alcotest.test_case "CRC rejection truncates at corruption" `Quick
+        test_crc_rejection;
+      Alcotest.test_case "torn tail truncation" `Quick test_torn_tail_truncation;
+      Alcotest.test_case "segment rotation" `Quick test_rotation;
+      Alcotest.test_case "merge compaction" `Quick test_compaction;
+      Alcotest.test_case "fast segment drop bounds disk" `Quick
+        test_fast_drop_bounds_disk;
+      Alcotest.test_case "auto-compaction bounds disk" `Quick
+        test_auto_compact_bounds_disk;
+      Alcotest.test_case "fault injection: torn write then recovery" `Quick
+        test_fault_injection_basic;
+      Alcotest.test_case "Stable adapter over the log" `Quick test_stable_adapter;
+      test_crash_point_recovery;
+      test_certified_crash_recovery;
+    ] )
