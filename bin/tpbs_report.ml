@@ -5,8 +5,36 @@
    assert a scenario actually exercised a path. *)
 
 let usage () =
-  prerr_endline "usage: tpbs_report [--check] [--require COUNTER]... [FILE|-]";
+  prerr_endline
+    "usage: tpbs_report [--check] [--require COUNTER]... \
+     [--require-le NAME:FIELD<=BOUND]... [FILE|-]";
   exit 2
+
+(* "soak.latency_us:p99<=500000" → (name, field, bound) *)
+let parse_require_le spec =
+  match String.index_opt spec ':' with
+  | None -> None
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let split_on sub =
+        let sl = String.length sub in
+        let rec go j =
+          if j + sl > String.length rest then None
+          else if String.sub rest j sl = sub then
+            Some
+              ( String.sub rest 0 j,
+                String.sub rest (j + sl) (String.length rest - j - sl) )
+          else go (j + 1)
+        in
+        go 0
+      in
+      match split_on "<=" with
+      | None -> None
+      | Some (field, bound) -> (
+          match float_of_string_opt (String.trim bound) with
+          | None -> None
+          | Some b -> Some (name, String.trim field, b)))
 
 let read_lines ic =
   let rec go acc =
@@ -19,6 +47,7 @@ let read_lines ic =
 let () =
   let check_mode = ref false in
   let required = ref [] in
+  let required_le = ref [] in
   let file = ref None in
   let rec parse = function
     | [] -> ()
@@ -30,6 +59,19 @@ let () =
         parse rest
     | [ "--require" ] ->
         prerr_endline "tpbs_report: --require expects a counter name";
+        exit 2
+    | "--require-le" :: spec :: rest -> (
+        match parse_require_le spec with
+        | Some r ->
+            required_le := r :: !required_le;
+            parse rest
+        | None ->
+            Printf.eprintf
+              "tpbs_report: bad --require-le spec %S (want NAME:FIELD<=BOUND)\n"
+              spec;
+            exit 2)
+    | [ "--require-le" ] ->
+        prerr_endline "tpbs_report: --require-le expects NAME:FIELD<=BOUND";
         exit 2
     | "-" :: rest ->
         file := None;
@@ -74,9 +116,26 @@ let () =
             | Some v -> Printf.sprintf "is %d, want > 0" v))
         failed;
       if failed <> [] then exit 1;
+      let failed_le =
+        List.filter
+          (fun (name, field, bound) ->
+            match Tpbs_trace.Report.metric_value lines name field with
+            | Some v when v <= bound -> false
+            | _ -> true)
+          (List.rev !required_le)
+      in
+      List.iter
+        (fun (name, field, bound) ->
+          Printf.eprintf "tpbs_report: SLO %s:%s %s (bound %g)\n" name field
+            (match Tpbs_trace.Report.metric_value lines name field with
+            | None -> "was never exported"
+            | Some v -> Printf.sprintf "is %g, want <= %g" v bound)
+            bound)
+        failed_le;
+      if failed_le <> [] then exit 1;
       if !check_mode then Printf.printf "ok: %d valid lines\n" n
-      else if !required = [] then
+      else if !required = [] && !required_le = [] then
         print_string (Tpbs_trace.Report.summarize lines)
       else
-        Printf.printf "ok: %d required counters present\n"
-          (List.length !required)
+        Printf.printf "ok: %d requirements satisfied\n"
+          (List.length !required + List.length !required_le)

@@ -27,6 +27,16 @@ let pub_port = "psb:pub"
 let ctl_port = "psb:ctl"
 let del_port = "psb:del"
 
+(* A remote broker endpoint: the function-record seam a real
+   transport connector (e.g. Tpbs_transport.Client over TCP) fills
+   in. lib/core stays socket-free; the connector owns framing,
+   credit, reconnection and certified retransmission. *)
+type remote = {
+  r_publish : cls:string -> string -> unit;
+  r_subscribe : sid:int -> param:string -> filter:Value.t -> unit;
+  r_unsubscribe : sid:int -> unit;
+}
+
 type tx_entry = {
   tx_cls : string;
   tx_envelope : string;
@@ -103,6 +113,7 @@ and obs = {
   c_qos_conflicts : Trace.Counter.t;
   c_filters_pruned : Trace.Counter.t;
   c_replayed : Trace.Counter.t;
+  c_channel_misses : Trace.Counter.t;
 }
 
 and domain = {
@@ -115,6 +126,9 @@ and domain = {
   gossip_overrides : (string, Gossip.config) Hashtbl.t;
   retain_overrides : (string, unit) Hashtbl.t;
   mutable brokers : broker_state list;  (* newest first; see brokers_in_order *)
+  mutable remote : remote option;
+      (* connected to an out-of-process broker: every channel bottoms
+         out in the remote transport, subscriptions register there *)
   mutable meta_enabled : bool;
   mutable targeted : bool;  (* subscription-aware best-effort dissemination *)
   mutable next_sid : int;
@@ -132,6 +146,7 @@ and domain = {
   mutable qos_conflicts : int;
   mutable filters_pruned : int;
   mutable replayed : int;
+  mutable channel_misses : int;
 }
 
 (* Registration prepends (constant-time); every ordered consumer goes
@@ -179,6 +194,7 @@ module Domain = struct
       gossip_overrides = Hashtbl.create 4;
       retain_overrides = Hashtbl.create 4;
       brokers = [];
+      remote = None;
       meta_enabled = false;
       targeted = false;
       next_sid = 0;
@@ -198,6 +214,7 @@ module Domain = struct
            c_qos_conflicts = Trace.counter tr "core.qos_conflicts";
            c_filters_pruned = Trace.counter tr "core.filters_pruned";
            c_replayed = Trace.counter tr "core.replayed";
+           c_channel_misses = Trace.counter tr "core.channel_misses";
          });
       latency = Metric.create ();
       published = 0;
@@ -211,6 +228,7 @@ module Domain = struct
       qos_conflicts = 0;
       filters_pruned = 0;
       replayed = 0;
+      channel_misses = 0;
       }
     in
     Trace.register_histogram d.obs.tr "core.latency" d.latency;
@@ -249,6 +267,7 @@ module Domain = struct
     qos_conflicts : int;
     filters_pruned : int;
     replayed : int;
+    channel_misses : int;
   }
 
   let stats (d : t) =
@@ -264,6 +283,7 @@ module Domain = struct
       qos_conflicts = d.qos_conflicts;
       filters_pruned = d.filters_pruned;
       replayed = d.replayed;
+      channel_misses = d.channel_misses;
     }
 
   let latency d = d.latency
@@ -279,7 +299,8 @@ module Domain = struct
     d.control_messages <- 0;
     d.qos_conflicts <- 0;
     d.filters_pruned <- 0;
-    d.replayed <- 0
+    d.replayed <- 0;
+    d.channel_misses <- 0
 end
 
 let now_of d = Engine.now (Net.engine d.net)
@@ -507,11 +528,33 @@ let broker_transport p cls =
     ~set_deliver:(fun _ -> ())
     ()
 
+(* Channels of a remotely-connected domain all bottom out here: the
+   connector ships the envelope to the broker, deliveries come back
+   through the injection function of [Remote.connect], outside the
+   stack. The TCP substrate is reliable and per-origin FIFO, and the
+   connector layers certified acks/retransmission on top, so the
+   stack above stays bare — QoS is provided by the transport, not
+   recomposed over it. *)
+let remote_transport r cls =
+  Layer.make ~name:"transport:remote"
+    ~send:(fun ?self:_ ?except:_ envelope -> r.r_publish ~cls envelope)
+    ~set_deliver:(fun _ -> ())
+    ()
+
 let attach_channel p cls (meta : channel_meta) =
   if not (Hashtbl.mem p.channels cls) then begin
     let deliver ~origin:_ envelope = on_event p cls envelope in
-    let profile = meta.profile in
+    let profile =
+      match p.dom.remote with
+      | Some _ ->
+          { meta.profile with
+            Qos.certified = false; reliable = false; order = Qos.No_order }
+      | None -> meta.profile
+    in
     let transport =
+      match p.dom.remote with
+      | Some r -> Stack.Custom (remote_transport r cls)
+      | None ->
       match meta.gossip_config with
       | Some config when not profile.Qos.certified ->
           let n = Membership.size meta.members in
@@ -574,7 +617,20 @@ let ensure_channel d cls =
 let transmit p cls envelope =
   let meta = ensure_channel p.dom cls in
   attach_channel p cls meta;
-  let stack = Hashtbl.find p.channels cls in
+  match Hashtbl.find_opt p.channels cls with
+  | None ->
+      (* The channel vanished between enqueue and drain (the egress
+         queue decouples publish from transmission, so a concurrent
+         unsubscribe/teardown can win the race). A bare [Not_found]
+         here used to kill the whole engine tick; skip the entry,
+         counted and traced like any other tolerated inconsistency. *)
+      let d = p.dom in
+      d.channel_misses <- d.channel_misses + 1;
+      Trace.Counter.incr d.obs.c_channel_misses;
+      if Trace.emitting d.obs.tr then
+        Trace.emit d.obs.tr ~layer:"core" ~kind:"channel_miss" ~node:p.node
+          ~data:[ ("cls", Trace.S cls) ] ()
+  | Some stack -> (
   match Stack.targeted stack with
   | Some send_to
     when p.dom.targeted
@@ -593,7 +649,7 @@ let transmit p cls envelope =
       Hashtbl.fold (fun node () acc -> node :: acc) targets []
       |> List.sort Int.compare
       |> List.iter (fun node -> send_to ~dst:node envelope)
-  | Some _ | None -> Stack.bcast stack envelope
+  | Some _ | None -> Stack.bcast stack envelope)
 
 (* Egress queue for Prioritary/Timely traffic: one message per drain
    slot; higher priority overtakes, later-born timely obvents are
@@ -815,6 +871,19 @@ module Subscription = struct
        a filtering host (§3.3.3 migration saved entirely). *)
     if s.pruned then ()
     else
+    match d.remote with
+    | Some r -> (
+        d.control_messages <- d.control_messages + 1;
+        match verb with
+        | `Sub ->
+            let filter =
+              match s.rfilter with
+              | Some rf -> Rfilter.to_value rf
+              | None -> Value.Null
+            in
+            r.r_subscribe ~sid:s.sid ~param:s.param ~filter
+        | `Unsub -> r.r_unsubscribe ~sid:s.sid)
+    | None ->
     match broker_of d p.node with
     | None -> ()
     | Some b ->
@@ -1094,6 +1163,29 @@ let () =
           (Obvent.make d.registry cls
              [ "subscriptionId", Value.Int sid; "nodeId", Value.Int p.node;
                "subscribedType", Value.Str param ])
+
+(* --- remote broker connection ---------------------------------------------------------- *)
+
+module Remote = struct
+  let decode_envelope = decode_envelope
+
+  type t = remote = {
+    r_publish : cls:string -> string -> unit;
+    r_subscribe : sid:int -> param:string -> filter:Value.t -> unit;
+    r_unsubscribe : sid:int -> unit;
+  }
+
+  let connect d p endpoint =
+    (match d.remote with
+    | Some _ -> invalid_arg "Remote.connect: domain is already connected"
+    | None -> ());
+    if not (p.dom == d) then
+      invalid_arg "Remote.connect: process belongs to another domain";
+    if Hashtbl.length d.channel_meta > 0 then
+      invalid_arg "Remote.connect: connect before opening channels";
+    d.remote <- Some endpoint;
+    fun ~cls envelope -> on_event p cls envelope
+end
 
 (* --- broker designation --------------------------------------------------------------- *)
 

@@ -109,6 +109,12 @@ module Domain : sig
             subscriptions — counted apart from [deliveries] and kept
             out of the latency histogram (each also emits a
             [core.replay_deliver] trace event) *)
+    channel_misses : int;
+        (** egress-queue entries whose channel was gone by drain time
+            (publish and transmission are decoupled for
+            priority/timely traffic, so teardown can win the race);
+            skipped, not fatal — also counted by [core.channel_misses]
+            and traced as [channel_miss] events *)
   }
 
   val stats : t -> stats
@@ -215,6 +221,51 @@ module Process : sig
       builds. Deliveries cost one lookup each; builds only happen on
       first sight of a class, after an activation touching it, or
       after a late type declaration. *)
+end
+
+(** Joining an out-of-process broker (e.g. [tpbsd] over TCP).
+
+    The endpoint is a record of plain functions, so lib/core never
+    depends on sockets: a transport connector
+    ({!Tpbs_transport.Client}) provides publish/subscribe/unsubscribe
+    upcalls and owns framing, write batching, credit-based
+    backpressure, reconnection and certified
+    retransmission/deduplication. Once connected, {e every} channel of
+    the domain bottoms out in the remote transport (events go to the
+    broker, which routes them to matching subscribers elsewhere), and
+    subscription (de)activations register with the broker instead of
+    an in-simulation filtering host. QoS across the wire is provided
+    by the transport itself — reliable, per-origin FIFO, exactly-once
+    under broker restarts — rather than recomposed from stack layers,
+    which assume the simulated net. *)
+module Remote : sig
+  val decode_envelope : string -> (int * (int * int) * string) option
+  (** [decode_envelope bytes] opens the event envelope the engine
+      ships on every channel: [(publish_time, (origin_node, eseq),
+      obvent_bytes)]. The out-of-process broker uses it to reach the
+      serialized obvent for cursor-projection filtering without
+      re-encoding anything. *)
+
+  type t = {
+    r_publish : cls:string -> string -> unit;
+        (** ship one encoded event envelope of class [cls] *)
+    r_subscribe :
+      sid:int -> param:string -> filter:Tpbs_serial.Value.t -> unit;
+        (** register subscription [sid] to type [param]; [filter] is a
+            lifted {!Tpbs_filter.Rfilter} as a value, or [Null] for
+            always-forward *)
+    r_unsubscribe : sid:int -> unit;
+  }
+
+  val connect :
+    Domain.t -> Process.t -> t -> (cls:string -> string -> unit)
+  (** Wire the domain to a remote broker through [endpoint] and return
+      the delivery injection: the connector calls it for every event
+      frame received from the broker, and it runs the ordinary local
+      delivery path (routing index, staleness, filters, COW clones)
+      on [p]. Call before any channel is opened.
+      @raise Invalid_argument if already connected, if the process
+      belongs to another domain, or if channels already exist. *)
 end
 
 val add_broker : Domain.t -> Process.t -> unit

@@ -112,7 +112,9 @@ let rec skip_prefix r =
   let open Wire.Reader in
   let tag = byte r in
   if tag = tag_null || tag = tag_false || tag = tag_true then ()
-  else if tag = tag_int then ignore (varint r)
+  (* Ints are zigzag-encoded: skip with the full-width 63-bit reader —
+     the non-negative [varint] would refuse a large zigzag pattern. *)
+  else if tag = tag_int then ignore (uvarint r)
   else if tag = tag_float then skip r 8
   else if tag = tag_str then skip_string r
   else if tag = tag_list then begin

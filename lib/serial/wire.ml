@@ -94,17 +94,37 @@ module Reader = struct
     r.off <- r.off + 1;
     b
 
+  (* The 9th byte sits at shift 56. A non-negative int has 62 usable
+     bits (bit 62 is the sign), so bits 0x40/0x80 there would either
+     flip the sign or continue into a 10th byte — both used to be
+     absorbed by [(b land 0x7f) lsl shift] dropping the overflowing
+     bits, which silently mis-decodes hostile input. Raise instead:
+     socket bytes are untrusted. *)
   let varint r =
     let rec loop acc shift =
-      if shift > 62 then raise (Malformed "varint too long");
       let b = byte r in
+      if shift = 56 && b land 0xc0 <> 0 then
+        raise (Malformed "varint overflow");
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else loop acc (shift + 7)
+    in
+    loop 0 0
+
+  (* Unsigned companion of {!Writer.uvarint}: the full 63-bit pattern
+     is legal (bit 62 set decodes to a "negative" int, which is what
+     zigzag wants back), but a 10th byte never is. *)
+  let uvarint r =
+    let rec loop acc shift =
+      let b = byte r in
+      if shift = 56 && b land 0x80 <> 0 then
+        raise (Malformed "varint overflow");
       let acc = acc lor ((b land 0x7f) lsl shift) in
       if b land 0x80 = 0 then acc else loop acc (shift + 7)
     in
     loop 0 0
 
   let zigzag r =
-    let u = varint r in
+    let u = uvarint r in
     (u lsr 1) lxor (- (u land 1))
 
   let f64 r =

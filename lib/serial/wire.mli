@@ -32,6 +32,10 @@ module Writer : sig
   (** LEB128 encoding of a non-negative integer. Negative arguments
       are rejected with [Invalid_argument]. *)
 
+  val uvarint : t -> int -> unit
+  (** LEB128 of an int whose 63-bit pattern is interpreted as
+      unsigned; terminates for "negative" patterns (top bit set). *)
+
   val zigzag : t -> int -> unit
   (** Signed integer via zigzag + LEB128. *)
 
@@ -63,7 +67,19 @@ module Reader : sig
   val at_end : t -> bool
 
   val byte : t -> int
+
   val varint : t -> int
+  (** Non-negative LEB128.
+      @raise Malformed ["varint overflow"] when the encoding carries
+      bits past bit 61 (which would flip the sign of a 63-bit int) or
+      continues into a 10th byte — hostile input, not a round trip of
+      {!Writer.varint}. *)
+
+  val uvarint : t -> int
+  (** Unsigned LEB128 over the full 63-bit pattern (inverse of
+      {!Writer.uvarint}); only a 10th continuation byte is rejected.
+      @raise Malformed ["varint overflow"] on a 10-byte encoding. *)
+
   val zigzag : t -> int
   val f64 : t -> float
   val bool : t -> bool

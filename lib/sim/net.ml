@@ -16,6 +16,7 @@ type stats = {
   dropped_loss : int;
   dropped_crash : int;
   dropped_partition : int;
+  dropped_no_handler : int;
   bytes_sent : int;
   bytes_delivered : int;
 }
@@ -34,6 +35,7 @@ type t = {
   mutable dropped_loss : int;
   mutable dropped_crash : int;
   mutable dropped_partition : int;
+  mutable dropped_no_handler : int;
   mutable bytes_sent : int;
   mutable bytes_delivered : int;
   tr : Trace.t;
@@ -42,6 +44,7 @@ type t = {
   c_drop_loss : Trace.Counter.t;
   c_drop_crash : Trace.Counter.t;
   c_drop_partition : Trace.Counter.t;
+  c_drop_no_handler : Trace.Counter.t;
 }
 
 let create ?(config = default_config) engine =
@@ -58,6 +61,7 @@ let create ?(config = default_config) engine =
     dropped_loss = 0;
     dropped_crash = 0;
     dropped_partition = 0;
+    dropped_no_handler = 0;
     bytes_sent = 0;
     bytes_delivered = 0;
     tr;
@@ -66,6 +70,7 @@ let create ?(config = default_config) engine =
     c_drop_loss = Trace.counter tr "net.dropped_loss";
     c_drop_crash = Trace.counter tr "net.dropped_crash";
     c_drop_partition = Trace.counter tr "net.dropped_partition";
+    c_drop_no_handler = Trace.counter tr "net.dropped_no_handler";
   }
 
 let engine t = t.engine
@@ -182,7 +187,18 @@ let send t ~src ~dst ~port payload =
           end
           else
             match Hashtbl.find_opt node.handlers port with
-            | None -> ()
+            | None ->
+                (* A live, reachable node with nothing bound on the
+                   port: without its own drop bucket, [sent] rises
+                   while neither [delivered] nor any [dropped_*] does,
+                   silently skewing delivery ratios. *)
+                t.dropped_no_handler <- t.dropped_no_handler + 1;
+                Trace.Counter.incr t.c_drop_no_handler;
+                port_count t ~port ~suffix:"dropped";
+                if Trace.emitting t.tr then
+                  Trace.emit t.tr ~layer:"net" ~kind:"drop_no_handler"
+                    ~node:dst
+                    ~data:[ ("port", Trace.S port) ] ()
             | Some handler ->
                 t.delivered <- t.delivered + 1;
                 t.bytes_delivered <- t.bytes_delivered + String.length payload;
@@ -198,6 +214,7 @@ let stats t =
     dropped_loss = t.dropped_loss;
     dropped_crash = t.dropped_crash;
     dropped_partition = t.dropped_partition;
+    dropped_no_handler = t.dropped_no_handler;
     bytes_sent = t.bytes_sent;
     bytes_delivered = t.bytes_delivered;
   }
@@ -208,5 +225,6 @@ let reset_stats t =
   t.dropped_loss <- 0;
   t.dropped_crash <- 0;
   t.dropped_partition <- 0;
+  t.dropped_no_handler <- 0;
   t.bytes_sent <- 0;
   t.bytes_delivered <- 0

@@ -74,6 +74,12 @@ type stats = {
   dropped_loss : int;
   dropped_crash : int;
   dropped_partition : int;
+  dropped_no_handler : int;
+      (** arrived at a live, reachable node with no handler bound on
+          the port (also counted by [net.dropped_no_handler]); every
+          sent message lands in exactly one bucket, so
+          [sent = delivered + dropped_loss + dropped_crash +
+           dropped_partition + dropped_no_handler] *)
   bytes_sent : int;
   bytes_delivered : int;
 }

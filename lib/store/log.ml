@@ -37,6 +37,7 @@ type t = {
   segment_bytes : int;
   compact_min_dead : int;
   auto_compact : bool;
+  fsync : bool;  (* fsync every record append *)
   index : (string, entry) Hashtbl.t;
   tombstones : (string, int) Hashtbl.t;
       (* absent key -> segment of its latest tombstone record *)
@@ -66,6 +67,7 @@ type t = {
   c_recovered : Trace.Counter.t;
   c_torn_bytes : Trace.Counter.t;
   c_crc_rejects : Trace.Counter.t;
+  c_fsyncs : Trace.Counter.t;
 }
 
 let seg_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.log" id)
@@ -92,6 +94,18 @@ let rec mkdir_p dir =
   end
 
 let remove_file path = try Sys.remove path with Sys_error _ -> ()
+
+(* fsync of the *directory* publishes a rename/creat/unlink: without
+   it the new name is only durable once the kernel happens to write
+   the directory block, so a power cut after [Sys.rename] could
+   resurface the pre-rename state. Directories cannot be fsynced on
+   every platform; failing to is no worse than before, so ignore. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
 
 let read_file path =
   let ic = open_in_bin path in
@@ -226,9 +240,18 @@ let compact t =
       (fun (k, e) ->
         output_string oc (Record.frame ~op:Record.Put ~key:k ~value:e.value))
       entries;
+    flush oc;
+    (* The snapshot's contents must be on disk before the rename can
+       commit to it, and the rename itself is only durable once the
+       directory entry is — fsync both, in that order. *)
+    Trace.Counter.incr t.c_fsyncs;
+    (try Unix.fsync (Unix.descr_of_out_channel oc)
+     with Unix.Unix_error _ -> ());
     close_out oc;
     let base = base_path t.dir base_id in
     Sys.rename tmp base;
+    Trace.Counter.incr t.c_fsyncs;
+    fsync_dir t.dir;
     List.iter
       (fun s ->
         (match Hashtbl.find_opt t.files s with
@@ -270,7 +293,12 @@ let maybe_compact t =
 
 (* --- the append path --------------------------------------------------- *)
 
-let append_bytes t s =
+(* [flush] only hands the bytes to the kernel: it makes a record
+   survive a *process* crash, not a power cut. The commit point of a
+   durable append is therefore flush + fsync; [sync] (defaulting to
+   the store-wide [t.fsync]) selects whether this append pays for the
+   full guarantee. *)
+let append_bytes ?sync t s =
   if t.dead then raise Injected_crash;
   let oc =
     match t.chan with
@@ -291,22 +319,27 @@ let append_bytes t s =
       flush oc
   | None ->
       output_string oc s;
-      flush oc);
+      flush oc;
+      if Option.value sync ~default:t.fsync then begin
+        Trace.Counter.incr t.c_fsyncs;
+        try Unix.fsync (Unix.descr_of_out_channel oc)
+        with Unix.Unix_error _ -> ()
+      end);
   t.active_bytes <- t.active_bytes + String.length s
 
-let put t key value =
-  append_bytes t (Record.frame ~op:Record.Put ~key ~value);
+let put ?sync t key value =
+  append_bytes ?sync t (Record.frame ~op:Record.Put ~key ~value);
   note_put t key value;
   t.appends <- t.appends + 1;
   Trace.Counter.incr t.c_appends;
   if t.active_bytes >= t.segment_bytes then rotate t;
   maybe_compact t
 
-let delete t key =
+let delete ?sync t key =
   (* Deleting an absent key appends nothing: there is no record to
      shadow. *)
   if Hashtbl.mem t.index key then begin
-    append_bytes t (Record.frame ~op:Record.Delete ~key ~value:"");
+    append_bytes ?sync t (Record.frame ~op:Record.Delete ~key ~value:"");
     note_delete t key;
     t.appends <- t.appends + 1;
     Trace.Counter.incr t.c_appends;
@@ -333,7 +366,7 @@ let key_count t = Hashtbl.length t.index
 (* --- recovery ----------------------------------------------------------- *)
 
 let open_ ?(segment_bytes = 1 lsl 20) ?(compact_min_dead = 64)
-    ?(auto_compact = true) ~dir () =
+    ?(auto_compact = true) ?(fsync = false) ~dir () =
   mkdir_p dir;
   let tr = Trace.ambient () in
   let t =
@@ -342,6 +375,7 @@ let open_ ?(segment_bytes = 1 lsl 20) ?(compact_min_dead = 64)
       segment_bytes;
       compact_min_dead;
       auto_compact;
+      fsync;
       index = Hashtbl.create 256;
       tombstones = Hashtbl.create 64;
       live = Hashtbl.create 16;
@@ -368,6 +402,7 @@ let open_ ?(segment_bytes = 1 lsl 20) ?(compact_min_dead = 64)
       c_recovered = Trace.counter tr "store.recovered_records";
       c_torn_bytes = Trace.counter tr "store.torn_bytes";
       c_crc_rejects = Trace.counter tr "store.crc_rejects";
+      c_fsyncs = Trace.counter tr "store.fsyncs";
     }
   in
   (* Inventory the directory. A leftover compact.tmp is an uncommitted
@@ -493,8 +528,15 @@ let is_dead t = t.dead
 
 (* --- exposure ------------------------------------------------------------- *)
 
-let stable t =
-  Stable.make ~put:(put t) ~get:(get t) ~delete:(delete t)
+(* Certified commit points go through this adapter, so the "survives
+   a power cut" claim is anchored here: [sync] defaults on, making
+   every record append fsync before the operation returns. Pass
+   ~sync:false only when the caller batches its own sync points. *)
+let stable ?(sync = true) t =
+  Stable.make
+    ~put:(fun k v -> put ~sync t k v)
+    ~get:(get t)
+    ~delete:(fun k -> delete ~sync t k)
     ~keys_with_prefix:(keys_with_prefix t)
     ~size:(fun () -> Hashtbl.length t.index)
 

@@ -25,6 +25,7 @@ val open_ :
   ?segment_bytes:int ->
   ?compact_min_dead:int ->
   ?auto_compact:bool ->
+  ?fsync:bool ->
   dir:string ->
   unit ->
   t
@@ -32,12 +33,19 @@ val open_ :
     recovery scan. [segment_bytes] (default 1 MiB) bounds the active
     segment; [compact_min_dead] (default 64) and a ≥50% dead ratio
     gate automatic merge compaction; [auto_compact:false] leaves
-    merging to explicit {!compact} calls. *)
+    merging to explicit {!compact} calls. [fsync] (default false)
+    makes every record append fsync before returning — without it an
+    append survives a process crash (the channel is flushed) but not
+    necessarily a power cut. Compaction always fsyncs its snapshot
+    and the directory around the commit rename, whatever [fsync]
+    says. *)
 
-val put : t -> string -> string -> unit
+val put : ?sync:bool -> t -> string -> string -> unit
+(** [sync] overrides the store-wide fsync policy for this append. *)
+
 val get : t -> string -> string option
 
-val delete : t -> string -> unit
+val delete : ?sync:bool -> t -> string -> unit
 (** Appends a tombstone; a no-op for absent keys. *)
 
 val keys_with_prefix : t -> string -> string list
@@ -54,9 +62,12 @@ val close : t -> unit
 (** Close the append channel. Only {!get}/{!keys_with_prefix} remain
     usable. *)
 
-val stable : t -> Tpbs_sim.Stable.t
+val stable : ?sync:bool -> t -> Tpbs_sim.Stable.t
 (** The log behind the pluggable stable-storage seam, for wiring into
-    [Process.create ~storage]. *)
+    [Process.create ~storage]. [sync] defaults {e on}: certified
+    commit points fsync record by record, so acknowledged state
+    survives a power cut, not just a process crash. Pass [~sync:false]
+    to fall back to flush-only appends. *)
 
 (** {1 Fault injection} *)
 

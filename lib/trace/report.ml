@@ -147,3 +147,25 @@ let counter_value lines name =
                 | _ -> acc)
             | _ -> acc))
     None lines
+
+(* Generic lookup for SLO gates: any metric kind, any numeric field
+   ("value" for counters, "level"/"peak" for gauges, "count"/"mean"/
+   "p50"/"p99"/"max"/"stddev" for histograms). Last record wins, as
+   above. *)
+let metric_value lines name field =
+  List.fold_left
+    (fun acc line ->
+      if String.trim line = "" then acc
+      else
+        match Jsonl.parse line with
+        | Error _ -> acc
+        | Ok json -> (
+            match
+              (Jsonl.member "metric" json, Jsonl.member "name" json)
+            with
+            | Some (Jsonl.Str _), Some (Jsonl.Str n) when n = name -> (
+                match Jsonl.member field json with
+                | Some (Jsonl.Num v) -> Some v
+                | _ -> acc)
+            | _ -> acc))
+    None lines

@@ -18,3 +18,11 @@ val counter_value : string list -> string -> int option
     exported it. Backs [tpbs_report --require NAME] — CI smoke steps
     assert that a scenario actually exercised a path (e.g.
     [store.recovered_records] after a crash/recovery run). *)
+
+val metric_value : string list -> string -> string -> float option
+(** [metric_value lines name field] — final exported numeric [field]
+    of metric [name], whatever its kind: [("value")] for counters,
+    [("level")]/[("peak")] for gauges, [("count")]/[("mean")]/
+    [("p50")]/[("p99")]/[("max")]/[("stddev")] for histograms. Backs
+    [tpbs_report --require-le NAME:FIELD<=BOUND] — the SLO gates of
+    the transport soak. *)

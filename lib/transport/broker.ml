@@ -1,0 +1,556 @@
+module Registry = Tpbs_types.Registry
+module Routing = Tpbs_core.Routing
+module Pubsub = Tpbs_core.Pubsub
+module Factored = Tpbs_filter.Factored
+module Rfilter = Tpbs_filter.Rfilter
+module Cursor = Tpbs_serial.Cursor
+module Value = Tpbs_serial.Value
+module Obvent = Tpbs_obvent.Obvent
+module Trace = Tpbs_trace.Trace
+
+(* The tpbsd broker engine — a library, so unit tests can run broker
+   and clients in one process over real sockets, and the soak harness
+   can fork broker children without an exec path.
+
+   It is the out-of-process twin of the in-simulation filtering host
+   (Pubsub.add_broker): the same Routing index memoizes type-based
+   fan-out per concrete class, the same Factored compound filter
+   decides matches through lazy cursor projections, and the registry
+   is grown dynamically from client Advertise messages instead of
+   being shared by construction.
+
+   Delivery and flow control: each session owns a bounded delivery
+   queue drained by the credits the client granted. Publish credits
+   are replenished only while every delivery queue sits below the low
+   watermark, so total queued events are bounded by the sum of
+   outstanding publish windows — backpressure propagates from the
+   slowest subscriber to every publisher.
+
+   Certified delivery across broker crashes: a [Pub] is acknowledged
+   (cumulatively) only after its [Deliver] frames have been fully
+   handed to the kernel for every matching subscriber session. If the
+   broker dies first, the publisher still holds the event unacked and
+   retransmits after reconnecting; subscriber-side per-origin monotone
+   sequence checks drop whatever was already seen. Within one broker
+   life, a per-client publish frontier suppresses re-routing of
+   retransmitted duplicates (they are re-acked, not re-delivered). *)
+
+type pubrec = {
+  pr_session : session;  (* publisher awaiting the ack *)
+  pr_pseq : int;
+  mutable pr_outstanding : int;  (* subscriber sessions not yet flushed *)
+}
+
+and session = {
+  s_conn : Conn.t;
+  mutable s_id : string;
+  mutable s_hello : bool;
+  mutable s_pub_credit_owed : int;  (* credits to return to this publisher *)
+  mutable s_deliver_credit : int;  (* credits the client granted us *)
+  s_q : (string * int * string * string * pubrec) Queue.t;
+      (* origin, pseq, cls, envelope, ack bookkeeping *)
+  mutable s_unflushed : pubrec list;
+      (* sent into s_conn but not yet drained to the kernel *)
+  mutable s_subs : int list;  (* broker-side sids owned *)
+  mutable s_acked : (int, unit) Hashtbl.t;  (* completed pseqs *)
+  mutable s_ack_frontier : int;  (* all ≤ this are complete *)
+  mutable s_ack_sent : int;  (* last cumulative ack shipped *)
+  mutable s_closing : bool;
+  mutable s_dropped : bool;
+  mutable s_window_granted : bool;  (* full publish window released *)
+}
+
+type bsub = { bs_session : session; bs_param : string; bs_always : bool }
+
+type config = {
+  pub_window : int;  (* publish credits granted per client *)
+  low_watermark : int;  (* queues below this ⇒ replenish pub credits *)
+  high_watermark : int;  (* owed credits at this ⇒ stop reading session *)
+  max_frame : int;
+  warmup_ms : int;
+      (* a freshly started broker grants zero publish credits for this
+         long, so after a crash every surviving subscriber gets a
+         chance to re-subscribe before publishers are allowed to
+         retransmit — otherwise an early retransmit routes to the
+         subset that reconnected first, gets acked, and is lost to the
+         late re-subscribers forever *)
+}
+
+let default_config =
+  {
+    pub_window = 64;
+    low_watermark = 32;
+    high_watermark = 256;
+    max_frame = Frame.default_max_frame;
+    warmup_ms = 750;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  port : int;
+  registry : Registry.t;
+  route : (int * bsub) Routing.t;
+  factored : Factored.t;
+  mutable sessions : session list;
+  bsubs : (int, int * bsub) Hashtbl.t;  (* client sid space is per-session *)
+  mutable next_bsid : int;
+  pub_frontier : (string, int) Hashtbl.t;  (* client id → routed frontier *)
+  t_started : float;
+  mutable stopped : bool;
+  (* observability *)
+  c_accepts : Trace.Counter.t;
+  c_pubs : Trace.Counter.t;
+  c_dup_pubs : Trace.Counter.t;
+  c_forwarded : Trace.Counter.t;
+  c_acked : Trace.Counter.t;
+  c_bad_frames : Trace.Counter.t;
+  c_bad_adverts : Trace.Counter.t;
+  c_disconnects : Trace.Counter.t;
+  g_sessions : Trace.Gauge.t;
+  g_qdepth : Trace.Gauge.t;
+  g_credit : Trace.Gauge.t;
+}
+
+let listen_socket ~host ~port =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  let addr = Unix.inet_addr_of_string host in
+  Unix.bind fd (ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let create ?(config = default_config) ?(host = "127.0.0.1") ?listen_fd
+    ~port () =
+  let listen_fd =
+    match listen_fd with
+    | Some fd -> fd
+    | None -> listen_socket ~host ~port
+  in
+  Unix.set_nonblock listen_fd;
+  let port =
+    match Unix.getsockname listen_fd with
+    | ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let tr = Trace.ambient () in
+  let registry = Registry.create () in
+  {
+    cfg = config;
+    listen_fd;
+    port;
+    registry;
+    route = Routing.create registry;
+    factored = Factored.create ();
+    sessions = [];
+    bsubs = Hashtbl.create 64;
+    next_bsid = 0;
+    pub_frontier = Hashtbl.create 16;
+    t_started = Unix.gettimeofday ();
+    stopped = false;
+    c_accepts = Trace.counter tr "tpbsd.accepts";
+    c_pubs = Trace.counter tr "tpbsd.pubs";
+    c_dup_pubs = Trace.counter tr "tpbsd.dup_pubs";
+    c_forwarded = Trace.counter tr "tpbsd.forwarded";
+    c_acked = Trace.counter tr "tpbsd.acked";
+    c_bad_frames = Trace.counter tr "tpbsd.bad_frames";
+    c_bad_adverts = Trace.counter tr "tpbsd.bad_adverts";
+    c_disconnects = Trace.counter tr "tpbsd.disconnects";
+    g_sessions = Trace.gauge tr "tpbsd.sessions";
+    g_qdepth = Trace.gauge tr "tpbsd.qdepth";
+    g_credit = Trace.gauge tr "tpbsd.credit_outstanding";
+  }
+
+let port t = t.port
+
+let warmed_up t =
+  Unix.gettimeofday () -. t.t_started
+  >= float_of_int t.cfg.warmup_ms /. 1000.
+
+(* --- type lattice from advertisements ------------------------------- *)
+
+let on_advertise t cls supers =
+  if not (Registry.exists t.registry cls) then begin
+    let known, missing = List.partition (Registry.exists t.registry) supers in
+    if missing <> [] then Trace.Counter.incr t.c_bad_adverts;
+    match Registry.declare_interface t.registry ~name:cls ~extends:known () with
+    | () -> ()
+    | exception Registry.Type_error _ -> Trace.Counter.incr t.c_bad_adverts
+  end
+
+(* --- subscriptions --------------------------------------------------- *)
+
+let on_sub t s ~sid ~param ~filter =
+  if not (Registry.exists t.registry param) then
+    (* a subscription to a type nobody advertised yet: declare it bare
+       so later advertisements can extend it *)
+    (try Registry.declare_interface t.registry ~name:param ()
+     with Registry.Type_error _ -> Trace.Counter.incr t.c_bad_adverts);
+  let always, rfilter =
+    match filter with
+    | Value.Null -> (true, None)
+    | v -> (
+        match Rfilter.of_value v with
+        | Some rf -> (false, Some rf)
+        | None -> (true, None))
+  in
+  let bsid = t.next_bsid in
+  t.next_bsid <- t.next_bsid + 1;
+  let sub = { bs_session = s; bs_param = param; bs_always = always } in
+  Hashtbl.replace t.bsubs bsid (sid, sub);
+  s.s_subs <- bsid :: s.s_subs;
+  Routing.add t.route ~param
+    ~compare:(fun (b1, _) (b2, _) -> Int.compare b1 b2)
+    (bsid, sub);
+  match rfilter with
+  | Some rf -> Factored.add t.factored ~id:bsid rf
+  | None -> ()
+
+let on_unsub t s ~sid =
+  let mine =
+    List.filter
+      (fun bsid ->
+        match Hashtbl.find_opt t.bsubs bsid with
+        | Some (sid', sub) -> sid' = sid && sub.bs_session == s
+        | None -> false)
+      s.s_subs
+  in
+  List.iter
+    (fun bsid ->
+      match Hashtbl.find_opt t.bsubs bsid with
+      | None -> ()
+      | Some (_, sub) ->
+          Hashtbl.remove t.bsubs bsid;
+          Routing.remove t.route ~param:sub.bs_param (fun (b, _) -> b = bsid);
+          Factored.remove t.factored ~id:bsid)
+    mine;
+  s.s_subs <- List.filter (fun b -> not (List.mem b mine)) s.s_subs
+
+(* --- publish routing -------------------------------------------------- *)
+
+let build_targets t cls =
+  Hashtbl.fold
+    (fun bsid (_, sub) acc ->
+      if Registry.subtype t.registry cls sub.bs_param then
+        (bsid, sub) :: acc
+      else acc)
+    t.bsubs []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Completion bookkeeping: pseq [n] of [s] is fully handled (all its
+   deliveries handed to the kernel, or it matched nobody). Cumulative
+   acks only advance over a contiguous prefix — completion can arrive
+   out of order when one subscriber drains faster than another. *)
+let complete_pub t s pseq =
+  Hashtbl.replace s.s_acked pseq ();
+  let advanced = ref false in
+  while Hashtbl.mem s.s_acked (s.s_ack_frontier + 1) do
+    Hashtbl.remove s.s_acked (s.s_ack_frontier + 1);
+    s.s_ack_frontier <- s.s_ack_frontier + 1;
+    advanced := true
+  done;
+  if !advanced then Trace.Counter.incr t.c_acked
+
+let pubrec_done t pr =
+  pr.pr_outstanding <- pr.pr_outstanding - 1;
+  if pr.pr_outstanding = 0 && not pr.pr_session.s_closing then
+    complete_pub t pr.pr_session pr.pr_pseq
+
+let on_pub t s ~pseq ~cls ~envelope =
+  Trace.Counter.incr t.c_pubs;
+  (* first pub of a (re)connected session pins the ack base *)
+  if s.s_ack_frontier = min_int then begin
+    s.s_ack_frontier <- pseq - 1;
+    s.s_ack_sent <- pseq - 1
+  end;
+  let frontier =
+    match Hashtbl.find_opt t.pub_frontier s.s_id with
+    | Some f -> f
+    | None -> min_int
+  in
+  if pseq <= frontier then begin
+    (* retransmitted duplicate: already routed in this broker life —
+       re-ack, never re-deliver *)
+    Trace.Counter.incr t.c_dup_pubs;
+    complete_pub t s pseq
+  end
+  else begin
+    Hashtbl.replace t.pub_frontier s.s_id pseq;
+    match Pubsub.Remote.decode_envelope envelope with
+    | None ->
+        Trace.Counter.incr t.c_bad_frames;
+        complete_pub t s pseq
+    | Some (_, _, obvent_bytes) -> (
+        match Routing.find t.route cls ~build:(build_targets t) with
+        | [] -> complete_pub t s pseq
+        | routed ->
+            (* Factored matching through lazy cursor projections, as on
+               the in-simulation filtering host: match or drop without
+               materializing the obvent. *)
+            let cursor = Cursor.of_string obvent_bytes in
+            let resolve path =
+              let rec to_attrs = function
+                | [] -> Some []
+                | m :: rest -> (
+                    match Obvent.attr_of_getter m with
+                    | None -> None
+                    | Some a -> (
+                        match to_attrs rest with
+                        | None -> None
+                        | Some tl -> Some (a :: tl)))
+              in
+              match to_attrs path with
+              | None -> None
+              | Some attrs -> Cursor.project cursor attrs
+            in
+            let matched =
+              match Factored.matches_set_resolve t.factored resolve with
+              | ids -> ids
+              | exception Tpbs_serial.Codec.Decode_error _ ->
+                  Hashtbl.create 1
+            in
+            (* one Deliver per session, even when several of its
+               subscriptions match *)
+            let targets = Hashtbl.create 8 in
+            List.iter
+              (fun (bsid, sub) ->
+                if
+                  (sub.bs_always || Hashtbl.mem matched bsid)
+                  && (not sub.bs_session.s_closing)
+                  && not (Hashtbl.mem targets bsid)
+                then begin
+                  let dup =
+                    Hashtbl.fold
+                      (fun _ s' any -> any || s' == sub.bs_session)
+                      targets false
+                  in
+                  if not dup then Hashtbl.replace targets bsid sub.bs_session
+                end)
+              routed;
+            let n = Hashtbl.length targets in
+            if n = 0 then complete_pub t s pseq
+            else begin
+              let pr = { pr_session = s; pr_pseq = pseq; pr_outstanding = n } in
+              Hashtbl.iter
+                (fun _ dst ->
+                  Queue.push (s.s_id, pseq, cls, envelope, pr) dst.s_q)
+                targets
+            end)
+  end
+
+(* --- per-session pump -------------------------------------------------- *)
+
+let qdepth_gauges t =
+  let worst = ref 0 in
+  List.iter
+    (fun s -> if Queue.length s.s_q > !worst then worst := Queue.length s.s_q)
+    t.sessions;
+  Trace.Gauge.set t.g_qdepth !worst;
+  !worst
+
+let pump_session t s =
+  if not s.s_closing then begin
+    (* drain the delivery queue into the connection, credit-gated *)
+    while s.s_deliver_credit > 0 && not (Queue.is_empty s.s_q) do
+      let origin, pseq, cls, envelope, pr = Queue.pop s.s_q in
+      Conn.send s.s_conn (Proto.Deliver { origin; pseq; cls; envelope });
+      Trace.Counter.incr t.c_forwarded;
+      s.s_deliver_credit <- s.s_deliver_credit - 1;
+      s.s_unflushed <- pr :: s.s_unflushed
+    done;
+    (* cumulative ack, if it advanced *)
+    if s.s_ack_frontier > s.s_ack_sent && s.s_ack_frontier <> min_int then begin
+      Conn.send s.s_conn (Proto.Pub_ack { pseq = s.s_ack_frontier });
+      s.s_ack_sent <- s.s_ack_frontier
+    end;
+    (* publish-credit replenishment only under low queue pressure *)
+    if s.s_pub_credit_owed > 0 then begin
+      let worst = qdepth_gauges t in
+      if worst < t.cfg.low_watermark then begin
+        Conn.send s.s_conn (Proto.Credit { n = s.s_pub_credit_owed });
+        s.s_pub_credit_owed <- 0
+      end
+    end;
+    match Conn.flush s.s_conn with
+    | `Ok ->
+        (* everything sent so far reached the kernel: deliveries are
+           now the network's problem, count them complete *)
+        let done_ = s.s_unflushed in
+        s.s_unflushed <- [];
+        List.iter (fun pr -> pubrec_done t pr) done_
+    | `Blocked -> ()
+    | `Closed _ -> s.s_closing <- true
+  end
+
+let drop_session t s reason =
+  if s.s_dropped then ()
+  else begin
+  s.s_dropped <- true;
+  s.s_closing <- true;
+  ignore reason;
+  Trace.Counter.incr t.c_disconnects;
+  (* its queued/unflushed deliveries will never happen; release the
+     publisher acks they were holding back *)
+  Queue.iter (fun (_, _, _, _, pr) -> pubrec_done t pr) s.s_q;
+  Queue.clear s.s_q;
+  let un = s.s_unflushed in
+  s.s_unflushed <- [];
+  List.iter (fun pr -> pubrec_done t pr) un;
+  (* drop its subscriptions *)
+  List.iter
+    (fun bsid ->
+      match Hashtbl.find_opt t.bsubs bsid with
+      | None -> ()
+      | Some (_, sub) ->
+          Hashtbl.remove t.bsubs bsid;
+          Routing.remove t.route ~param:sub.bs_param (fun (b, _) -> b = bsid);
+          Factored.remove t.factored ~id:bsid)
+    s.s_subs;
+  s.s_subs <- [];
+  Conn.close s.s_conn;
+  t.sessions <- List.filter (fun s' -> not (s' == s)) t.sessions;
+  Trace.Gauge.set t.g_sessions (List.length t.sessions)
+  end
+
+let on_msg t s (m : Proto.msg) =
+  match m with
+  | Hello { client; window } ->
+      s.s_id <- client;
+      s.s_hello <- true;
+      s.s_deliver_credit <- window;
+      (* during warmup the publish window opens at zero; the full
+         window follows as a Credit once the warmup has elapsed *)
+      let granted = if warmed_up t then t.cfg.pub_window else 0 in
+      s.s_window_granted <- granted > 0;
+      Conn.send s.s_conn (Proto.Welcome { window = granted });
+      Trace.Gauge.set t.g_credit
+        (List.fold_left
+           (fun acc s' -> acc + if s'.s_hello then t.cfg.pub_window else 0)
+           0 t.sessions)
+  | _ when not s.s_hello -> drop_session t s "message before hello"
+  | Welcome _ -> drop_session t s "unexpected welcome"
+  | Advertise { cls; supers } -> on_advertise t cls supers
+  | Sub { sid; param; filter } -> on_sub t s ~sid ~param ~filter
+  | Unsub { sid } -> on_unsub t s ~sid
+  | Pub { pseq; cls; envelope } -> on_pub t s ~pseq ~cls ~envelope
+  | Pub_ack _ -> ()  (* brokers do not publish *)
+  | Deliver _ -> drop_session t s "client sent deliver"
+  | Credit { n } -> s.s_deliver_credit <- s.s_deliver_credit + n
+  | Bye -> drop_session t s "bye"
+
+let accept_all t =
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+        Trace.Counter.incr t.c_accepts;
+        let s =
+          {
+            s_conn = Conn.create ~max_frame:t.cfg.max_frame fd;
+            s_id = "";
+            s_hello = false;
+            s_pub_credit_owed = 0;
+            s_deliver_credit = 0;
+            s_q = Queue.create ();
+            s_unflushed = [];
+            s_subs = [];
+            s_acked = Hashtbl.create 16;
+            s_ack_frontier = min_int;
+            s_ack_sent = min_int;
+            s_closing = false;
+            s_dropped = false;
+            s_window_granted = false;
+          }
+        in
+        t.sessions <- s :: t.sessions;
+        Trace.Gauge.set t.g_sessions (List.length t.sessions)
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+let read_session t s =
+  (* Per-session overrun gate: a conforming publisher never has more
+     than [pub_window] pubs in flight, so owed credits past the high
+     watermark mean the client is ignoring backpressure. Stop reading
+     it — the kernel socket buffer becomes the extension of our
+     window — while still reading everyone else (a global gate would
+     deadlock: subscribers could never deliver their Credit
+     replenishments). *)
+  let saturated = s.s_pub_credit_owed >= t.cfg.high_watermark in
+  if not saturated then begin
+    match Conn.recv s.s_conn with
+    | `Ok ->
+        let continue = ref true in
+        while !continue && not s.s_closing do
+          match Conn.pop s.s_conn with
+          | Conn.Msg m ->
+              (* every processed Pub owes the publisher a credit back *)
+              (match m with
+              | Proto.Pub _ ->
+                  s.s_pub_credit_owed <- s.s_pub_credit_owed + 1
+              | _ -> ());
+              on_msg t s m
+          | Conn.Nothing -> continue := false
+          | Conn.Bad reason ->
+              Trace.Counter.incr t.c_bad_frames;
+              drop_session t s reason;
+              continue := false
+        done
+    | `Blocked -> ()
+    | `Closed reason -> drop_session t s reason
+  end
+
+(* One engine turn: accept, read, route, pump, sweep. [timeout_ms < 0]
+   blocks until any fd is ready. *)
+let poll t ?(extra_fds = []) ~timeout_ms () =
+  if t.stopped then false
+  else begin
+    let rds =
+      t.listen_fd
+      :: List.map (fun s -> Conn.fd s.s_conn) t.sessions
+      @ extra_fds
+    in
+    let wrs =
+      List.filter_map
+        (fun s ->
+          if Conn.pending_bytes s.s_conn > 0 then Some (Conn.fd s.s_conn)
+          else None)
+        t.sessions
+    in
+    let timeout = float_of_int timeout_ms /. 1000. in
+    let rd, _, _ =
+      match Unix.select rds wrs [] timeout with
+      | r -> r
+      | exception Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.listen_fd rd then accept_all t;
+    (* release withheld publish windows once the warmup has elapsed *)
+    if warmed_up t then
+      List.iter
+        (fun s ->
+          if s.s_hello && not s.s_window_granted then begin
+            s.s_window_granted <- true;
+            Conn.send s.s_conn (Proto.Credit { n = t.cfg.pub_window })
+          end)
+        t.sessions;
+    List.iter
+      (fun s -> if List.mem (Conn.fd s.s_conn) rd then read_session t s)
+      t.sessions;
+    List.iter (fun s -> pump_session t s) t.sessions;
+    List.iter
+      (fun s -> if s.s_closing then drop_session t s "sweep")
+      (List.filter (fun s -> s.s_closing) t.sessions);
+    ignore (qdepth_gauges t);
+    List.exists (fun fd -> List.mem fd rd) extra_fds
+  end
+
+let stop ?(keep_listener = false) t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter (fun s -> drop_session t s "shutdown") t.sessions;
+    if not keep_listener then
+      try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+let session_count t = List.length t.sessions

@@ -1,0 +1,91 @@
+(** The [tpbsd] broker engine — the out-of-process twin of the
+    in-simulation filtering host ({!Tpbs_core.Pubsub.add_broker}),
+    serving real TCP clients.
+
+    A library rather than a daemon so unit tests can run broker and
+    clients in one process over real sockets (single-threaded,
+    non-blocking, driven by {!poll}), and the soak harness can fork
+    broker children without an exec path; [bin/tpbsd] is a thin CLI
+    shell around it.
+
+    Same routing machinery as the in-simulation host: a
+    {!Tpbs_core.Routing} index memoizes type-based fan-out per
+    concrete class, a {!Tpbs_filter.Factored} compound filter decides
+    matches through lazy cursor projections, and the type lattice
+    grows dynamically from client [Advertise] messages.
+
+    Flow control: per-session bounded delivery queues drained by
+    client-granted credits; publish credits are replenished only while
+    every queue sits below the low watermark, so broker-side queue
+    depth is bounded by the sum of outstanding publish windows and
+    backpressure propagates from the slowest subscriber to every
+    publisher. A session whose owed credits exceed the high watermark
+    (a publisher ignoring backpressure) simply stops being read.
+
+    Certified delivery across broker crashes: a [Pub] is acknowledged
+    only after its [Deliver] frames have been fully handed to the
+    kernel for every matching subscriber session; an unacknowledged
+    event survives in the publisher, which retransmits after
+    reconnecting, and subscribers deduplicate by per-origin sequence.
+    Within one broker life a per-client publish frontier re-acks
+    retransmitted duplicates without re-delivering them.
+
+    Metrics (ambient {!Tpbs_trace.Trace} registry): counters
+    [tpbsd.accepts], [tpbsd.pubs], [tpbsd.dup_pubs],
+    [tpbsd.forwarded], [tpbsd.acked], [tpbsd.bad_frames],
+    [tpbsd.bad_adverts], [tpbsd.disconnects]; gauges [tpbsd.sessions],
+    [tpbsd.qdepth] (worst queue, with peak), [tpbsd.credit_outstanding]. *)
+
+type t
+
+type config = {
+  pub_window : int;  (** publish credits granted per client *)
+  low_watermark : int;
+      (** all queues below this ⇒ owed publish credits are returned *)
+  high_watermark : int;
+      (** owed credits at this ⇒ the session stops being read *)
+  max_frame : int;
+  warmup_ms : int;
+      (** a freshly started broker grants zero publish credits for
+          this long (full windows follow as [Credit]), so after a
+          crash every surviving subscriber gets a chance to
+          re-subscribe before publishers may retransmit — an early
+          retransmit would route to whoever reconnected first, get
+          acknowledged, and be lost to the late re-subscribers *)
+}
+
+val default_config : config
+
+val listen_socket : host:string -> port:int -> Unix.file_descr
+(** Bind + listen (with [SO_REUSEADDR]); useful for pre-creating the
+    socket in a parent that forks broker incarnations, so restarts
+    reuse the very same listening fd. *)
+
+val create :
+  ?config:config ->
+  ?host:string ->
+  ?listen_fd:Unix.file_descr ->
+  port:int ->
+  unit ->
+  t
+(** Create a broker listening on [host:port] (default 127.0.0.1), or
+    adopt a pre-bound [listen_fd]. [port:0] picks an ephemeral port —
+    read it back with {!port}. *)
+
+val port : t -> int
+
+val poll : t -> ?extra_fds:Unix.file_descr list -> timeout_ms:int -> unit -> bool
+(** One engine turn: wait up to [timeout_ms] for readiness, accept new
+    clients, read and process frames, route publishes, pump delivery
+    queues and acknowledgements. [extra_fds] are watched for
+    readability alongside the sockets (e.g. a control pipe); the
+    return value is [true] iff one of them is readable. *)
+
+val stop : ?keep_listener:bool -> t -> unit
+(** Drop every session and close the listening socket.
+    [keep_listener] leaves the listening fd open — an in-process crash
+    simulation: a successor incarnation created with [~listen_fd]
+    adopts it, exactly like a forked broker child restarting on a
+    parent-owned socket. *)
+
+val session_count : t -> int

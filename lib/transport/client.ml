@@ -1,0 +1,351 @@
+module Pubsub = Tpbs_core.Pubsub
+module Registry = Tpbs_types.Registry
+module Value = Tpbs_serial.Value
+module Trace = Tpbs_trace.Trace
+
+(* The client side of the TCP transport: dials tpbsd, speaks the
+   {!Proto} protocol over framed non-blocking I/O, and exposes a
+   {!Pubsub.Remote} endpoint so an unmodified [Pubsub.Domain] joins
+   the remote broker — every channel bottoms out here instead of in
+   the simulated net.
+
+   The exactly-once half owned by this side:
+
+   - publishes get a contiguous per-client sequence and are held in
+     [unacked] until the broker's cumulative ack covers them; after a
+     reconnect, everything unacked is retransmitted (the broker either
+     never saw it, or re-acks it as a duplicate);
+   - deliveries carry (origin, pseq); anything not strictly above the
+     per-origin frontier is a duplicate from a pre-restart life and is
+     dropped, counted by [transport.dup_drops].
+
+   Flow control mirrors the broker: publishes spend broker-granted
+   credits (queueing locally when the window is shut), and the client
+   grants the broker a delivery window, replenished as the
+   application consumes. *)
+
+type sub = { sb_sid : int; sb_param : string; sb_filter : Value.t }
+
+type t = {
+  host : string;
+  tcp_port : int;
+  id : string;
+  window : int;  (* delivery credits we grant the broker *)
+  max_frame : int;
+  mutable conn : Conn.t option;
+  mutable pub_credit : int;
+  mutable next_pseq : int;
+  sendq : (int * string * string) Queue.t;  (* pseq, cls, envelope *)
+  unacked : (int * string * string) Queue.t;
+  mutable subs : sub list;  (* replayed on reconnect, newest first *)
+  advertised : (string, unit) Hashtbl.t;  (* this connection only *)
+  frontier : (string, int) Hashtbl.t;  (* origin → highest pseq seen *)
+  mutable consumed : int;  (* deliveries since the last credit grant *)
+  mutable registry : Registry.t option;
+  mutable inject : (cls:string -> string -> unit) option;
+  (* observability *)
+  c_pubs : Trace.Counter.t;
+  c_acked : Trace.Counter.t;
+  c_delivered : Trace.Counter.t;
+  c_dup_drops : Trace.Counter.t;
+  c_retransmits : Trace.Counter.t;
+  c_reconnects : Trace.Counter.t;
+  g_sendq : Trace.Gauge.t;
+  g_unacked : Trace.Gauge.t;
+  g_window : Trace.Gauge.t;
+}
+
+let connected t = t.conn <> None
+
+let gauges t =
+  Trace.Gauge.set t.g_sendq (Queue.length t.sendq);
+  Trace.Gauge.set t.g_unacked (Queue.length t.unacked);
+  Trace.Gauge.set t.g_window t.pub_credit
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      Conn.close c;
+      t.conn <- None;
+      t.pub_credit <- 0;
+      Hashtbl.reset t.advertised
+
+(* Advertise [cls] and (first) its supertype chain, so the broker can
+   insert it into its lattice — supers-first is the topological order
+   Advertise requires. Only once per connection per class. *)
+let ensure_advertised t conn cls =
+  let rec visit name =
+    if not (Hashtbl.mem t.advertised name) then begin
+      Hashtbl.replace t.advertised name ();
+      let supers =
+        match t.registry with
+        | None -> []
+        | Some reg -> (
+            match Registry.find reg name with
+            | decl -> decl.Registry.supers
+            | exception _ -> [])
+      in
+      List.iter visit supers;
+      Conn.send conn (Proto.Advertise { cls = name; supers })
+    end
+  in
+  visit cls
+
+let pump_send t =
+  match t.conn with
+  | None -> ()
+  | Some conn ->
+      while t.pub_credit > 0 && not (Queue.is_empty t.sendq) do
+        let pseq, cls, envelope = Queue.pop t.sendq in
+        ensure_advertised t conn cls;
+        Conn.send conn (Proto.Pub { pseq; cls; envelope });
+        Trace.Counter.incr t.c_pubs;
+        Queue.push (pseq, cls, envelope) t.unacked;
+        t.pub_credit <- t.pub_credit - 1
+      done;
+      gauges t
+
+let on_ack t pseq =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.unacked) do
+    let p, _, _ = Queue.peek t.unacked in
+    if p <= pseq then begin
+      ignore (Queue.pop t.unacked);
+      Trace.Counter.incr t.c_acked
+    end
+    else continue := false
+  done
+
+let on_deliver t ~origin ~pseq ~cls ~envelope =
+  let seen =
+    match Hashtbl.find_opt t.frontier origin with
+    | Some f -> pseq <= f
+    | None -> false
+  in
+  if seen then Trace.Counter.incr t.c_dup_drops
+  else begin
+    Hashtbl.replace t.frontier origin pseq;
+    Trace.Counter.incr t.c_delivered;
+    (match t.inject with
+    | Some inject -> inject ~cls envelope
+    | None -> ());
+    t.consumed <- t.consumed + 1;
+    if t.consumed >= max 1 (t.window / 2) then begin
+      (match t.conn with
+      | Some conn -> Conn.send conn (Proto.Credit { n = t.consumed })
+      | None -> ());
+      t.consumed <- 0
+    end
+  end
+
+let on_msg t (m : Proto.msg) =
+  match m with
+  | Proto.Welcome { window } -> t.pub_credit <- window
+  | Proto.Pub_ack { pseq } -> on_ack t pseq
+  | Proto.Credit { n } -> t.pub_credit <- t.pub_credit + n
+  | Proto.Deliver { origin; pseq; cls; envelope } ->
+      on_deliver t ~origin ~pseq ~cls ~envelope
+  | Proto.Bye -> drop_conn t
+  | Proto.Hello _ | Proto.Advertise _ | Proto.Sub _ | Proto.Unsub _
+  | Proto.Pub _ ->
+      ()
+
+let drain_incoming t conn =
+  let continue = ref true in
+  while !continue do
+    match Conn.pop conn with
+    | Conn.Msg m ->
+        on_msg t m;
+        if t.conn == None then continue := false
+    | Conn.Nothing -> continue := false
+    | Conn.Bad _ ->
+        drop_conn t;
+        continue := false
+  done
+
+(* One I/O turn. Returns [true] while the connection is up. *)
+let poll t ~timeout_ms =
+  match t.conn with
+  | None -> false
+  | Some conn -> (
+      let rds = [ Conn.fd conn ] in
+      let wrs = if Conn.pending_bytes conn > 0 then rds else [] in
+      let timeout = float_of_int timeout_ms /. 1000. in
+      (match Unix.select rds wrs [] timeout with
+      | rd, _, _ ->
+          if rd <> [] then begin
+            match Conn.recv conn with
+            | `Ok -> drain_incoming t conn
+            | `Blocked -> ()
+            | `Closed _ -> drop_conn t
+          end
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      match t.conn with
+      | None -> false
+      | Some conn -> (
+          pump_send t;
+          match Conn.flush conn with
+          | `Ok | `Blocked -> true
+          | `Closed _ ->
+              drop_conn t;
+              false))
+
+(* --- dialing ----------------------------------------------------------- *)
+
+let handshake t conn ~timeout_ms =
+  Conn.send conn (Proto.Hello { client = t.id; window = t.window });
+  ignore (Conn.flush conn);
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+  let ok = ref None in
+  while !ok = None && Unix.gettimeofday () < deadline do
+    (match Unix.select [ Conn.fd conn ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Conn.recv conn with
+        | `Ok -> (
+            match Conn.pop conn with
+            | Conn.Msg (Proto.Welcome { window }) ->
+                t.pub_credit <- window;
+                ok := Some true
+            | Conn.Msg _ | Conn.Nothing -> ()
+            | Conn.Bad _ -> ok := Some false)
+        | `Blocked -> ()
+        | `Closed _ -> ok := Some false)
+    | exception Unix.Unix_error (EINTR, _, _) -> ());
+    ignore (Conn.flush conn)
+  done;
+  !ok = Some true
+
+let dial t ~timeout_ms =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  match
+    Unix.connect fd
+      (ADDR_INET (Unix.inet_addr_of_string t.host, t.tcp_port))
+  with
+  | () ->
+      let conn = Conn.create ~max_frame:t.max_frame fd in
+      if handshake t conn ~timeout_ms then begin
+        t.conn <- Some conn;
+        true
+      end
+      else begin
+        Conn.close conn;
+        false
+      end
+  | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      false
+
+(* Re-establish state on a fresh connection: subscriptions first (so
+   nothing routed to us is missed), then retransmit everything the
+   dead broker never acknowledged, in order, ahead of new sends. *)
+let resync t =
+  match t.conn with
+  | None -> ()
+  | Some conn ->
+      List.iter
+        (fun sb ->
+          ensure_advertised t conn sb.sb_param;
+          Conn.send conn
+            (Proto.Sub
+               { sid = sb.sb_sid; param = sb.sb_param; filter = sb.sb_filter }))
+        (List.rev t.subs);
+      let retransmit = Queue.length t.unacked in
+      if retransmit > 0 then begin
+        Trace.Counter.add t.c_retransmits retransmit;
+        (* unacked (oldest first) go back to the head of the send
+           queue, before anything queued while disconnected *)
+        Queue.transfer t.sendq t.unacked;
+        Queue.transfer t.unacked t.sendq
+      end;
+      pump_send t;
+      ignore (Conn.flush conn)
+
+let reconnect ?(timeout_ms = 2000) t =
+  drop_conn t;
+  if dial t ~timeout_ms then begin
+    Trace.Counter.incr t.c_reconnects;
+    resync t;
+    true
+  end
+  else false
+
+let connect ?(window = 64) ?(max_frame = Frame.default_max_frame)
+    ?(timeout_ms = 2000) ~host ~port ~id () =
+  let tr = Trace.ambient () in
+  let t =
+    {
+      host;
+      tcp_port = port;
+      id;
+      window;
+      max_frame;
+      conn = None;
+      pub_credit = 0;
+      next_pseq = 0;
+      sendq = Queue.create ();
+      unacked = Queue.create ();
+      subs = [];
+      advertised = Hashtbl.create 16;
+      frontier = Hashtbl.create 16;
+      consumed = 0;
+      registry = None;
+      inject = None;
+      c_pubs = Trace.counter tr "transport.client_pubs";
+      c_acked = Trace.counter tr "transport.client_acked";
+      c_delivered = Trace.counter tr "transport.delivered";
+      c_dup_drops = Trace.counter tr "transport.dup_drops";
+      c_retransmits = Trace.counter tr "transport.retransmits";
+      c_reconnects = Trace.counter tr "transport.reconnects";
+      g_sendq = Trace.gauge tr "transport.sendq";
+      g_unacked = Trace.gauge tr "transport.unacked";
+      g_window = Trace.gauge tr "transport.window";
+    }
+  in
+  if dial t ~timeout_ms then Some t else None
+
+(* --- the Pubsub.Remote endpoint ----------------------------------------- *)
+
+let publish t ~cls envelope =
+  let pseq = t.next_pseq in
+  t.next_pseq <- t.next_pseq + 1;
+  Queue.push (pseq, cls, envelope) t.sendq;
+  pump_send t
+
+let subscribe t ~sid ~param ~filter =
+  t.subs <- { sb_sid = sid; sb_param = param; sb_filter = filter } :: t.subs;
+  match t.conn with
+  | None -> ()
+  | Some conn ->
+      ensure_advertised t conn param;
+      Conn.send conn (Proto.Sub { sid; param; filter })
+
+let unsubscribe t ~sid =
+  t.subs <- List.filter (fun sb -> sb.sb_sid <> sid) t.subs;
+  match t.conn with
+  | None -> ()
+  | Some conn -> Conn.send conn (Proto.Unsub { sid })
+
+let endpoint t =
+  {
+    Pubsub.Remote.r_publish = (fun ~cls envelope -> publish t ~cls envelope);
+    r_subscribe =
+      (fun ~sid ~param ~filter -> subscribe t ~sid ~param ~filter);
+    r_unsubscribe = (fun ~sid -> unsubscribe t ~sid);
+  }
+
+let attach t d p =
+  t.registry <- Some (Pubsub.Domain.registry d);
+  t.inject <- Some (Pubsub.Remote.connect d p (endpoint t))
+
+let unacked_count t = Queue.length t.unacked
+let queued_count t = Queue.length t.sendq + Queue.length t.unacked
+
+let close t =
+  (match t.conn with
+  | Some conn ->
+      Conn.send conn Proto.Bye;
+      ignore (Conn.flush conn)
+  | None -> ());
+  drop_conn t

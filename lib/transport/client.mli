@@ -1,0 +1,71 @@
+(** Client connector: joins a running [tpbsd] broker over TCP and
+    plugs into an unmodified {!Tpbs_core.Pubsub.Domain} through the
+    {!Tpbs_core.Pubsub.Remote} seam, so [publish] / [subscribe] on the
+    domain transparently route through the remote broker.
+
+    Owns the client half of the transport guarantees: contiguous
+    publish sequencing with retransmission of unacknowledged events
+    after a reconnect, per-origin monotone deduplication of
+    deliveries, credit-based flow control in both directions, and
+    (re-)advertisement of the type lattice and subscriptions on every
+    fresh connection.
+
+    Single-threaded and non-blocking: nothing happens outside
+    {!connect}, {!reconnect}, {!poll} and the publish/subscribe
+    upcalls.
+
+    Metrics (ambient {!Tpbs_trace.Trace} registry):
+    [transport.client_pubs], [transport.client_acked],
+    [transport.delivered], [transport.dup_drops],
+    [transport.retransmits], [transport.reconnects] counters;
+    [transport.sendq], [transport.unacked], [transport.window]
+    gauges. *)
+
+type t
+
+val connect :
+  ?window:int ->
+  ?max_frame:int ->
+  ?timeout_ms:int ->
+  host:string ->
+  port:int ->
+  id:string ->
+  unit ->
+  t option
+(** Dial and handshake. [id] must be unique among the broker's clients
+    and stable across reconnects (it keys publish deduplication).
+    [window] (default 64) is the delivery credit granted to the
+    broker. [None] if the broker is unreachable or the handshake times
+    out. *)
+
+val attach : t -> Tpbs_core.Pubsub.Domain.t -> Tpbs_core.Pubsub.Process.t -> unit
+(** Wire a domain through this connection
+    ({!Tpbs_core.Pubsub.Remote.connect}): call once, before any
+    channel is opened. *)
+
+val poll : t -> timeout_ms:int -> bool
+(** One I/O turn: wait up to [timeout_ms] for socket readiness, read
+    and dispatch deliveries/acks/credits, push queued publishes.
+    [false] when the connection is down — publishes queue locally
+    until {!reconnect} succeeds. *)
+
+val connected : t -> bool
+
+val reconnect : ?timeout_ms:int -> t -> bool
+(** One reconnection attempt. On success, re-advertises, re-subscribes
+    every live subscription, and retransmits all unacknowledged
+    publishes ahead of newer queued ones. *)
+
+val publish : t -> cls:string -> string -> unit
+(** Low-level publish (bypassing a domain): queue one encoded envelope
+    of class [cls]. Normally reached via {!attach}. *)
+
+val unacked_count : t -> int
+(** Publishes sent but not yet covered by a cumulative ack. *)
+
+val queued_count : t -> int
+(** Everything still owed to the broker: queued + unacked. *)
+
+val close : t -> unit
+(** Send [Bye] and drop the connection. Queued state survives, so a
+    later {!reconnect} resumes cleanly. *)

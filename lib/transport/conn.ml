@@ -1,0 +1,186 @@
+module Trace = Tpbs_trace.Trace
+
+(* One framed, non-blocking connection.
+
+   The write side batches: [send] only appends the encoded frame to an
+   in-memory buffer, and [flush] pushes as much as the kernel will
+   take in one [write]. A pump that sends a burst of small envelopes
+   and then flushes once coalesces them all into a single syscall (and
+   a single TCP segment, usually) — the batching factor shows up as
+   [transport.frames_sent] / [transport.write_syscalls].
+
+   The read side is symmetric: [recv] does one [read] into a scratch
+   buffer and feeds the incremental {!Frame.Decoder}; [pop] then
+   yields zero or more complete messages. Short and partial reads are
+   the decoder's normal diet. *)
+
+type verdict = [ `Ok | `Blocked | `Closed of string ]
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.Decoder.t;
+  wbuf : Buffer.t;  (* frames accumulating for the next write *)
+  mutable inflight : string;  (* partially written chunk *)
+  mutable inflight_off : int;
+  scratch : Bytes.t;
+  mutable closed : bool;
+  mutable frames_sent : int;
+  mutable frames_recv : int;
+  mutable bytes_sent : int;
+  mutable bytes_recv : int;
+  mutable write_syscalls : int;
+  mutable read_syscalls : int;
+}
+
+(* Shared ambient-registry counters: every connection in the process
+   feeds the same transport.* totals, re-resolved when tests swap the
+   ambient registry. *)
+let cached = ref None
+
+let counters () =
+  let tr = Trace.ambient () in
+  match !cached with
+  | Some (tr', c) when tr' == tr -> c
+  | _ ->
+      let c =
+        ( Trace.counter tr "transport.frames_sent",
+          Trace.counter tr "transport.frames_received",
+          Trace.counter tr "transport.bytes_sent",
+          Trace.counter tr "transport.bytes_received",
+          Trace.counter tr "transport.write_syscalls",
+          Trace.counter tr "transport.corrupt_frames" )
+      in
+      cached := Some (tr, c);
+      c
+
+let create ?max_frame fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  {
+    fd;
+    dec = Frame.Decoder.create ?max_frame ();
+    wbuf = Buffer.create 4096;
+    inflight = "";
+    inflight_off = 0;
+    scratch = Bytes.create 65536;
+    closed = false;
+    frames_sent = 0;
+    frames_recv = 0;
+    bytes_sent = 0;
+    bytes_recv = 0;
+    write_syscalls = 0;
+    read_syscalls = 0;
+  }
+
+let fd t = t.fd
+
+let pending_bytes t =
+  String.length t.inflight - t.inflight_off + Buffer.length t.wbuf
+
+let send t msg =
+  Buffer.add_string t.wbuf (Frame.frame (Proto.encode msg));
+  t.frames_sent <- t.frames_sent + 1;
+  let c_fs, _, _, _, _, _ = counters () in
+  Trace.Counter.incr c_fs
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Push pending bytes at the kernel until it blocks or we drain. *)
+let rec flush t : verdict =
+  if t.closed then `Closed "closed"
+  else if t.inflight_off < String.length t.inflight then begin
+    let len = String.length t.inflight - t.inflight_off in
+    match
+      Unix.write_substring t.fd t.inflight t.inflight_off len
+    with
+    | 0 -> `Blocked
+    | n ->
+        t.write_syscalls <- t.write_syscalls + 1;
+        t.bytes_sent <- t.bytes_sent + n;
+        let _, _, c_bs, _, c_ws, _ = counters () in
+        Trace.Counter.incr c_ws;
+        Trace.Counter.add c_bs n;
+        if n = len then begin
+          t.inflight <- "";
+          t.inflight_off <- 0;
+          flush t
+        end
+        else begin
+          t.inflight_off <- t.inflight_off + n;
+          `Blocked
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `Blocked
+    | exception Unix.Unix_error (e, _, _) ->
+        `Closed (Unix.error_message e)
+  end
+  else if Buffer.length t.wbuf > 0 then begin
+    t.inflight <- Buffer.contents t.wbuf;
+    t.inflight_off <- 0;
+    Buffer.clear t.wbuf;
+    flush t
+  end
+  else `Ok
+
+(* One read syscall; feed whatever arrived to the decoder. *)
+let recv t : verdict =
+  if t.closed then `Closed "closed"
+  else
+    match Unix.read t.fd t.scratch 0 (Bytes.length t.scratch) with
+    | 0 -> `Closed "eof"
+    | n ->
+        t.read_syscalls <- t.read_syscalls + 1;
+        t.bytes_recv <- t.bytes_recv + n;
+        let _, _, _, c_br, _, _ = counters () in
+        Trace.Counter.add c_br n;
+        Frame.Decoder.feed t.dec (Bytes.unsafe_to_string t.scratch) 0 n;
+        `Ok
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        `Blocked
+    | exception Unix.Unix_error (e, _, _) ->
+        `Closed (Unix.error_message e)
+
+type popped = Msg of Proto.msg | Nothing | Bad of string
+
+let pop t =
+  match Frame.Decoder.pop t.dec with
+  | Frame.Decoder.Await -> Nothing
+  | Frame.Decoder.Corrupt msg ->
+      let _, _, _, _, _, c_cf = counters () in
+      Trace.Counter.incr c_cf;
+      Bad msg
+  | Frame.Decoder.Frame payload -> (
+      match Proto.decode payload with
+      | Some m ->
+          t.frames_recv <- t.frames_recv + 1;
+          let _, c_fr, _, _, _, _ = counters () in
+          Trace.Counter.incr c_fr;
+          Msg m
+      | None ->
+          let _, _, _, _, _, c_cf = counters () in
+          Trace.Counter.incr c_cf;
+          Bad "undecodable message")
+
+type stats = {
+  frames_sent : int;
+  frames_received : int;
+  bytes_sent : int;
+  bytes_received : int;
+  write_syscalls : int;
+  read_syscalls : int;
+}
+
+let stats (t : t) =
+  {
+    frames_sent = t.frames_sent;
+    frames_received = t.frames_recv;
+    bytes_sent = t.bytes_sent;
+    bytes_received = t.bytes_recv;
+    write_syscalls = t.write_syscalls;
+    read_syscalls = t.read_syscalls;
+  }

@@ -1,0 +1,58 @@
+(** A non-blocking framed connection: {!Proto} messages over
+    {!Frame}s over a TCP socket.
+
+    Writes batch: {!send} only buffers; {!flush} coalesces everything
+    queued since the last flush into as few [write] syscalls as the
+    kernel allows, so a pump that sends a burst of small envelopes
+    pays one syscall for the lot (watch [transport.frames_sent] /
+    [transport.write_syscalls]). Reads tolerate arbitrarily short and
+    partial delivery — the incremental {!Frame.Decoder} does the
+    reassembly. *)
+
+type t
+
+type verdict = [ `Ok | `Blocked | `Closed of string ]
+
+val create : ?max_frame:int -> Unix.file_descr -> t
+(** Take ownership of [fd]: set non-blocking (and [TCP_NODELAY] when
+    applicable). *)
+
+val fd : t -> Unix.file_descr
+
+val send : t -> Proto.msg -> unit
+(** Queue a message. No I/O happens until {!flush}. *)
+
+val flush : t -> verdict
+(** Write queued bytes until drained ([`Ok]), the kernel blocks
+    ([`Blocked] — retry when the fd polls writable), or the peer is
+    gone ([`Closed]). *)
+
+val pending_bytes : t -> int
+
+val recv : t -> verdict
+(** One [read] syscall, feeding the frame decoder. [`Ok] means bytes
+    arrived — call {!pop} until [Nothing]. [`Closed "eof"] is orderly
+    shutdown. *)
+
+type popped =
+  | Msg of Proto.msg
+  | Nothing  (** need more bytes *)
+  | Bad of string
+      (** corrupt frame or undecodable message: fatal, close the
+          connection (also counted by [transport.corrupt_frames]) *)
+
+val pop : t -> popped
+
+val close : t -> unit
+(** Idempotent. *)
+
+type stats = {
+  frames_sent : int;
+  frames_received : int;
+  bytes_sent : int;
+  bytes_received : int;
+  write_syscalls : int;
+  read_syscalls : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,47 @@
+(** Length-prefixed, CRC-checked stream framing for the TCP transport.
+
+    Frames are [len u32 LE | crc32(payload) u32 LE | payload] — the
+    same shape as {!Tpbs_store.Record} gives durable log records — so
+    a byte stream becomes self-framing and every frame is
+    independently checkable. Unlike the on-disk scan there is no
+    resynchronization: within a TCP connection bytes never reorder, so
+    a bad length or CRC means the stream itself is damaged and the
+    connection must be torn down. *)
+
+val header_bytes : int
+val default_max_frame : int
+
+val frame : string -> string
+(** Wrap a payload in a frame header. *)
+
+(** Incremental, fd-free frame parser. Feed it whatever the socket
+    returned — a byte at a time if need be — and pop complete frames.
+    Corruption is sticky: once a frame is condemned, every later [pop]
+    reports the same verdict and fed bytes are discarded. *)
+module Decoder : sig
+  type t
+  type result = Frame of string | Await | Corrupt of string
+
+  val create : ?max_frame:int -> unit -> t
+  (** [max_frame] (default {!default_max_frame}) bounds the accepted
+      payload size; larger (or negative) length prefixes condemn the
+      stream. *)
+
+  val feed : t -> string -> int -> int -> unit
+  (** [feed t s off len] appends [s.[off .. off+len-1]].
+      @raise Invalid_argument on an out-of-bounds slice. *)
+
+  val feed_string : t -> string -> unit
+
+  val pop : t -> result
+  (** Extract the next complete frame: [Await] means feed more bytes,
+      [Corrupt] is fatal for the connection. *)
+
+  val buffered : t -> int
+  (** Unconsumed bytes currently held. *)
+
+  val frames : t -> int
+  (** Frames successfully decoded so far. *)
+
+  val is_dead : t -> bool
+end

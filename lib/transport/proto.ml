@@ -1,0 +1,104 @@
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+
+(* The broker protocol. One message per frame, encoded as an ordinary
+   [Value] through [Codec] — the transport speaks the same wire
+   dialect as everything else in the system, so a protocol trace can
+   be decoded with the stock tools.
+
+   Flow control is credit-based in both directions and counted in
+   messages, not bytes (envelopes are small and near-uniform):
+
+   - the broker grants the client [window] publish credits in
+     [Welcome] and replenishes with [Credit] as it drains its delivery
+     queues; a client with no credit queues locally, so broker-side
+     queue depth is bounded by the sum of granted windows;
+   - the client grants the broker delivery credits in [Hello] and
+     replenishes with [Credit] as its application consumes.
+
+   Exactly-once across broker restarts is the classic pairing:
+   publishers retransmit every unacknowledged [Pub] after reconnecting
+   (acks are cumulative), and subscribers drop any [Deliver] whose
+   per-origin sequence is not strictly increasing. *)
+
+type msg =
+  | Hello of { client : string; window : int }
+  | Welcome of { window : int }
+  | Advertise of { cls : string; supers : string list }
+  | Sub of { sid : int; param : string; filter : Value.t }
+  | Unsub of { sid : int }
+  | Pub of { pseq : int; cls : string; envelope : string }
+  | Pub_ack of { pseq : int }
+  | Deliver of { origin : string; pseq : int; cls : string; envelope : string }
+  | Credit of { n : int }
+  | Bye
+
+let to_value = function
+  | Hello { client; window } ->
+      Value.(List [ Str "hello"; Str client; Int window ])
+  | Welcome { window } -> Value.(List [ Str "welcome"; Int window ])
+  | Advertise { cls; supers } ->
+      Value.(
+        List [ Str "adv"; Str cls; List (List.map (fun s -> Str s) supers) ])
+  | Sub { sid; param; filter } ->
+      Value.(List [ Str "sub"; Int sid; Str param; filter ])
+  | Unsub { sid } -> Value.(List [ Str "unsub"; Int sid ])
+  | Pub { pseq; cls; envelope } ->
+      Value.(List [ Str "pub"; Int pseq; Str cls; Str envelope ])
+  | Pub_ack { pseq } -> Value.(List [ Str "ack"; Int pseq ])
+  | Deliver { origin; pseq; cls; envelope } ->
+      Value.(
+        List [ Str "dlv"; Str origin; Int pseq; Str cls; Str envelope ])
+  | Credit { n } -> Value.(List [ Str "credit"; Int n ])
+  | Bye -> Value.(List [ Str "bye" ])
+
+let of_value v =
+  match v with
+  | Value.List (Value.Str tag :: rest) -> (
+      match (tag, rest) with
+      | "hello", [ Value.Str client; Value.Int window ] ->
+          Some (Hello { client; window })
+      | "welcome", [ Value.Int window ] -> Some (Welcome { window })
+      | "adv", [ Value.Str cls; Value.List supers ] ->
+          let ok, supers =
+            List.fold_right
+              (fun s (ok, acc) ->
+                match s with
+                | Value.Str s -> (ok, s :: acc)
+                | _ -> (false, acc))
+              supers (true, [])
+          in
+          if ok then Some (Advertise { cls; supers }) else None
+      | "sub", [ Value.Int sid; Value.Str param; filter ] ->
+          Some (Sub { sid; param; filter })
+      | "unsub", [ Value.Int sid ] -> Some (Unsub { sid })
+      | "pub", [ Value.Int pseq; Value.Str cls; Value.Str envelope ] ->
+          Some (Pub { pseq; cls; envelope })
+      | "ack", [ Value.Int pseq ] -> Some (Pub_ack { pseq })
+      | ( "dlv",
+          [ Value.Str origin; Value.Int pseq; Value.Str cls;
+            Value.Str envelope ] ) ->
+          Some (Deliver { origin; pseq; cls; envelope })
+      | "credit", [ Value.Int n ] -> Some (Credit { n })
+      | "bye", [] -> Some Bye
+      | _ -> None)
+  | _ -> None
+
+let encode m = Codec.encode (to_value m)
+
+let decode s =
+  match Codec.decode s with
+  | v -> of_value v
+  | exception Codec.Decode_error _ -> None
+
+let tag = function
+  | Hello _ -> "hello"
+  | Welcome _ -> "welcome"
+  | Advertise _ -> "adv"
+  | Sub _ -> "sub"
+  | Unsub _ -> "unsub"
+  | Pub _ -> "pub"
+  | Pub_ack _ -> "ack"
+  | Deliver _ -> "dlv"
+  | Credit _ -> "credit"
+  | Bye -> "bye"

@@ -1,0 +1,41 @@
+(** The [tpbsd] broker protocol: one message per {!Frame}, encoded as
+    an ordinary {!Tpbs_serial.Value} so protocol traffic speaks the
+    same wire dialect as obvents themselves.
+
+    Sessions open with [Hello] (client id + delivery credits granted
+    to the broker) answered by [Welcome] (publish credits granted to
+    the client); both windows are replenished with [Credit]. [Pub]
+    acknowledgements are cumulative; exactly-once across broker
+    restarts pairs publisher retransmission of unacknowledged [Pub]s
+    with subscriber-side per-origin monotone sequence filtering. *)
+
+type msg =
+  | Hello of { client : string; window : int }
+      (** client → broker: identify; [window] delivery credits granted *)
+  | Welcome of { window : int }
+      (** broker → client: [window] publish credits granted *)
+  | Advertise of { cls : string; supers : string list }
+      (** declare an obvent class and its supertypes (topological
+          order: supers must already be known to the broker) *)
+  | Sub of { sid : int; param : string; filter : Tpbs_serial.Value.t }
+      (** register subscription [sid] to type [param]; [filter] is a
+          lifted {!Tpbs_filter.Rfilter} value or [Null] *)
+  | Unsub of { sid : int }
+  | Pub of { pseq : int; cls : string; envelope : string }
+      (** publish; [pseq] is the client's contiguous sequence *)
+  | Pub_ack of { pseq : int }  (** cumulative: acknowledges all ≤ pseq *)
+  | Deliver of { origin : string; pseq : int; cls : string; envelope : string }
+      (** broker → client: [origin] and [pseq] identify the event for
+          deduplication *)
+  | Credit of { n : int }  (** replenish the peer's send window *)
+  | Bye
+
+val encode : msg -> string
+val decode : string -> msg option
+(** [None] on undecodable bytes or an unknown message shape. *)
+
+val to_value : msg -> Tpbs_serial.Value.t
+val of_value : Tpbs_serial.Value.t -> msg option
+
+val tag : msg -> string
+(** Short wire tag, for trace events. *)

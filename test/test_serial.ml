@@ -51,6 +51,46 @@ let test_varint_overlong_rejected () =
   | exception Wire.Malformed _ -> ()
   | _ -> Alcotest.fail "overlong varint accepted"
 
+(* Regression: the reader used to accumulate bytes past the 63-bit
+   space with plain [lsl], silently dropping any bits above 62 — an
+   encoding of 2^62 would quietly decode as 0. Every encoding that
+   sets bits outside [0, 2^62) must now raise. *)
+let test_varint_overflow_rejected () =
+  List.iter
+    (fun (what, s) ->
+      let r = Wire.Reader.of_string s in
+      match Wire.Reader.varint r with
+      | exception Wire.Malformed "varint overflow" -> ()
+      | v -> Alcotest.failf "%s accepted as %d" what v)
+    [ ("2^62 (bit 62 set)", "\x80\x80\x80\x80\x80\x80\x80\x80\x40");
+      ("9th byte with high bits", "\xff\xff\xff\xff\xff\xff\xff\xff\x7f");
+      ("10-byte continuation", "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01") ]
+
+let test_varint_62bit_edge () =
+  (* max_int = 2^62 - 1 is the largest legal varint: exactly 9 bytes,
+     last byte 0x3f, and it round-trips. *)
+  let w = Wire.Writer.create () in
+  Wire.Writer.varint w max_int;
+  let s = Wire.Writer.contents w in
+  Alcotest.(check int) "9 bytes" 9 (String.length s);
+  Alcotest.(check char) "last byte" '\x3f' s.[8];
+  let r = Wire.Reader.of_string s in
+  Alcotest.(check int) "roundtrip" max_int (Wire.Reader.varint r)
+
+let test_uvarint_full_width () =
+  (* uvarint carries all 63 bits of the tagged-int pattern (zigzag of
+     negatives lands here), so -1 and min_int must survive where the
+     non-negative varint would refuse. *)
+  List.iter
+    (fun n ->
+      let w = Wire.Writer.create () in
+      Wire.Writer.uvarint w n;
+      let r = Wire.Reader.of_string (Wire.Writer.contents w) in
+      Alcotest.(check int)
+        (Printf.sprintf "uvarint %d" n)
+        n (Wire.Reader.uvarint r))
+    [ 0; 1; -1; min_int; max_int; min_int + 1 ]
+
 let test_crc32_known () =
   (* Standard check value for "123456789". *)
   Alcotest.(check int32) "crc32" 0xCBF43926l (Wire.crc32 "123456789");
@@ -309,6 +349,25 @@ let prop_compare_reflexive =
       Value.compare a a = 0
       && Value.equal a b = (Value.compare a b = 0))
 
+let prop_varint_overflow_always_rejected =
+  QCheck.Test.make ~count:200 ~name:"varint overflow encodings rejected"
+    QCheck.(pair (int_bound 0x3f) (int_bound 0x7f))
+    (fun (hi, extra) ->
+      (* Two families of bad encodings: eight continuation bytes then a
+         ninth carrying bit 62 or above, and ten-byte encodings (nine
+         continuations then a terminator). Both must raise. *)
+      let nine = String.make 8 '\x80' ^ String.make 1 (Char.chr (0x40 lor hi)) in
+      let ten =
+        String.make 9 (Char.chr (0x80 lor extra)) ^ String.make 1 (Char.chr extra)
+      in
+      List.for_all
+        (fun enc ->
+          let r = Wire.Reader.of_string enc in
+          match Wire.Reader.varint r with
+          | _ -> false
+          | exception Wire.Malformed _ -> true)
+        [ nine; ten ])
+
 let suite =
   ( "serial",
     [ Alcotest.test_case "varint examples" `Quick test_varint_examples;
@@ -320,6 +379,10 @@ let suite =
       Alcotest.test_case "crc32 known vector" `Quick test_crc32_known;
       Alcotest.test_case "overlong varint rejected" `Quick
         test_varint_overlong_rejected;
+      Alcotest.test_case "varint overflow rejected" `Quick
+        test_varint_overflow_rejected;
+      Alcotest.test_case "varint 62-bit edge" `Quick test_varint_62bit_edge;
+      Alcotest.test_case "uvarint full width" `Quick test_uvarint_full_width;
       Alcotest.test_case "codec roundtrip examples" `Quick
         test_roundtrip_examples;
       Alcotest.test_case "decode rejects garbage" `Quick test_decode_garbage;
@@ -342,5 +405,6 @@ let suite =
         [ prop_cursor_agrees_with_decode; prop_roundtrip; prop_encoded_size;
           prop_frame;
           prop_varint_boundary_roundtrip; prop_zigzag_boundary_roundtrip;
+          prop_varint_overflow_always_rejected;
           prop_compare_reflexive ]
   )

@@ -213,6 +213,36 @@ let test_partition_heal_in_flight () =
   Engine.run e;
   Alcotest.(check int) "healed at delivery: delivered" 1 !got
 
+let test_net_stats_balance () =
+  (* Regression: a message arriving at a live, reachable node with no
+     handler on the port used to vanish without a trace — [sent] never
+     balanced against the outcome buckets. Mix all four drop causes
+     with deliveries and check the books. *)
+  let e = Engine.create ~seed:3 () in
+  let net = Net.create ~config:{ Net.default_config with loss = 0.3 } e in
+  let a = Net.add_node net and b = Net.add_node net and c = Net.add_node net in
+  let got = ref 0 in
+  Net.set_handler net b ~port:"app" (fun _ _ -> incr got);
+  for _ = 1 to 50 do
+    Net.send net ~src:a ~dst:b ~port:"app" "handled"
+  done;
+  (* No handler bound anywhere on node [c], nor on this port of [b]. *)
+  for _ = 1 to 20 do
+    Net.send net ~src:a ~dst:c ~port:"app" "nobody home";
+    Net.send net ~src:a ~dst:b ~port:"other" "wrong port"
+  done;
+  Engine.run e;
+  Net.crash net c;
+  Net.send net ~src:a ~dst:c ~port:"app" "to the dead";
+  Engine.run e;
+  let s = Net.stats net in
+  Alcotest.(check bool) "no-handler drops counted" true
+    (s.Net.dropped_no_handler > 0);
+  Alcotest.(check int) "every send lands in exactly one bucket" s.Net.sent
+    (s.Net.delivered + s.Net.dropped_loss + s.Net.dropped_crash
+    + s.Net.dropped_partition + s.Net.dropped_no_handler);
+  Alcotest.(check int) "handled messages delivered" !got s.Net.delivered
+
 let test_rng_exponential_and_stddev () =
   let r = Rng.create 6 in
   let m = Metric.create () in
@@ -292,6 +322,7 @@ let suite =
       Alcotest.test_case "net: in-flight to crashed lost" `Quick
         test_net_in_flight_to_crashed_lost;
       Alcotest.test_case "net: partitions" `Quick test_net_partition;
+      Alcotest.test_case "net: stats balance" `Quick test_net_stats_balance;
       Alcotest.test_case "net: incarnation-guarded timers" `Quick
         test_schedule_on_incarnation;
       Alcotest.test_case "metric summaries" `Quick test_metric;

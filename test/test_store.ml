@@ -390,6 +390,37 @@ let test_certified_crash_recovery =
        ~name:"certified delivery survives power cut at arbitrary byte"
        arb_certified_crash certified_crash_prop)
 
+let test_fsync_policy () =
+  (* Regression: appends used to only flush the channel — good enough
+     for a process crash, not for a power cut. [store.fsyncs] counts
+     the actual fsync calls, so the policy is observable: off by
+     default on [open_], per-append override with [~sync], and the
+     [stable] seam defaults it ON (certified commit points must be
+     power-cut durable). *)
+  with_dir @@ fun dir ->
+  let module Trace = Tpbs_trace.Trace in
+  let tr = Trace.create () in
+  Trace.set_ambient tr;
+  let fsyncs () = Trace.Counter.value (Trace.counter tr "store.fsyncs") in
+  let t = Log.open_ ~dir () in
+  Log.put t "a" "1";
+  Alcotest.(check int) "flush-only by default" 0 (fsyncs ());
+  Log.put ~sync:true t "a" "2";
+  Alcotest.(check int) "explicit sync pays one fsync" 1 (fsyncs ());
+  let st = Log.stable t in
+  Stable.put st "k" "v";
+  Alcotest.(check int) "stable seam fsyncs by default" 2 (fsyncs ());
+  Stable.delete st "k";
+  Alcotest.(check int) "tombstones fsync too" 3 (fsyncs ());
+  let lazy_st = Log.stable ~sync:false t in
+  Stable.put lazy_st "k2" "v2";
+  Alcotest.(check int) "opt-out honoured" 3 (fsyncs ());
+  Log.close t;
+  let t = Log.open_ ~fsync:true ~dir () in
+  Log.put t "b" "3";
+  Alcotest.(check int) "store-wide policy applies to plain put" 4 (fsyncs ());
+  Log.close t
+
 let suite =
   ( "store",
     [
@@ -406,6 +437,7 @@ let suite =
       Alcotest.test_case "fault injection: torn write then recovery" `Quick
         test_fault_injection_basic;
       Alcotest.test_case "Stable adapter over the log" `Quick test_stable_adapter;
+      Alcotest.test_case "fsync policy observable" `Quick test_fsync_policy;
       test_crash_point_recovery;
       test_certified_crash_recovery;
     ] )

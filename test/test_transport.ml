@@ -1,0 +1,417 @@
+(* TCP transport: adversarial framing, protocol roundtrips, and
+   in-process broker/client end-to-end runs over real sockets. *)
+
+module Frame = Tpbs_transport.Frame
+module Proto = Tpbs_transport.Proto
+module Broker = Tpbs_transport.Broker
+module Client = Tpbs_transport.Client
+module Value = Tpbs_serial.Value
+module Codec = Tpbs_serial.Codec
+module Registry = Tpbs_types.Registry
+module Vtype = Tpbs_types.Vtype
+module Obvent = Tpbs_obvent.Obvent
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Pubsub = Tpbs_core.Pubsub
+module Trace = Tpbs_trace.Trace
+
+(* --- framing: the happy path ----------------------------------------- *)
+
+let pop_frame d =
+  match Frame.Decoder.pop d with
+  | Frame.Decoder.Frame s -> s
+  | Frame.Decoder.Await -> Alcotest.fail "expected a frame, got Await"
+  | Frame.Decoder.Corrupt why -> Alcotest.failf "expected a frame, got Corrupt %s" why
+
+let check_await d =
+  match Frame.Decoder.pop d with
+  | Frame.Decoder.Await -> ()
+  | Frame.Decoder.Frame s -> Alcotest.failf "expected Await, got %d-byte frame" (String.length s)
+  | Frame.Decoder.Corrupt why -> Alcotest.failf "expected Await, got Corrupt %s" why
+
+let check_corrupt d =
+  match Frame.Decoder.pop d with
+  | Frame.Decoder.Corrupt _ -> ()
+  | Frame.Decoder.Frame _ -> Alcotest.fail "expected Corrupt, got a frame"
+  | Frame.Decoder.Await -> Alcotest.fail "expected Corrupt, got Await"
+
+let test_frame_roundtrip () =
+  let d = Frame.Decoder.create () in
+  let payloads = [ ""; "x"; "hello world"; String.make 1000 '\xff' ] in
+  Frame.Decoder.feed_string d
+    (String.concat "" (List.map Frame.frame payloads));
+  List.iter
+    (fun p -> Alcotest.(check string) "payload" p (pop_frame d))
+    payloads;
+  check_await d;
+  Alcotest.(check int) "nothing buffered" 0 (Frame.Decoder.buffered d);
+  Alcotest.(check int) "four frames" 4 (Frame.Decoder.frames d)
+
+let test_frame_dribble () =
+  (* One byte per feed — every header and payload boundary is hit.
+     Pop after every byte: a frame must appear exactly when its last
+     byte lands, never before. *)
+  let d = Frame.Decoder.create () in
+  let stream = Frame.frame "dribbled" ^ Frame.frame "" in
+  let popped = ref [] in
+  String.iter
+    (fun c ->
+      Frame.Decoder.feed d (String.make 1 c) 0 1;
+      match Frame.Decoder.pop d with
+      | Frame.Decoder.Frame s -> popped := s :: !popped
+      | Frame.Decoder.Await -> ()
+      | Frame.Decoder.Corrupt why -> Alcotest.failf "corrupt: %s" why)
+    stream;
+  Alcotest.(check (list string)) "both frames, in order" [ "dribbled"; "" ]
+    (List.rev !popped);
+  check_await d;
+  Alcotest.(check int) "nothing buffered" 0 (Frame.Decoder.buffered d)
+
+let test_frame_all_split_points () =
+  (* Split the stream at every possible point into two feeds. *)
+  let stream = Frame.frame "left" ^ Frame.frame "right" in
+  for cut = 0 to String.length stream do
+    let d = Frame.Decoder.create () in
+    Frame.Decoder.feed d stream 0 cut;
+    Frame.Decoder.feed d stream cut (String.length stream - cut);
+    Alcotest.(check string) "left" "left" (pop_frame d);
+    Alcotest.(check string) "right" "right" (pop_frame d);
+    check_await d
+  done
+
+let test_frame_truncated_is_await () =
+  let d = Frame.Decoder.create () in
+  let f = Frame.frame "truncated tail" in
+  Frame.Decoder.feed d f 0 (String.length f - 3);
+  check_await d;
+  Alcotest.(check bool) "not dead" false (Frame.Decoder.is_dead d);
+  (* The rest arrives later: the frame completes. *)
+  Frame.Decoder.feed d f (String.length f - 3) 3;
+  Alcotest.(check string) "completes" "truncated tail" (pop_frame d)
+
+let test_frame_corrupt_crc_sticky () =
+  let d = Frame.Decoder.create () in
+  let f = Bytes.of_string (Frame.frame "good bytes" ^ Frame.frame "after") in
+  (* Flip one payload byte of the first frame. *)
+  Bytes.set f Frame.header_bytes
+    (Char.chr (Char.code (Bytes.get f Frame.header_bytes) lxor 0x01));
+  Frame.Decoder.feed_string d (Bytes.to_string f);
+  check_corrupt d;
+  Alcotest.(check bool) "dead" true (Frame.Decoder.is_dead d);
+  (* Sticky: the pristine second frame is gone with the stream, and
+     later feeds are discarded. *)
+  check_corrupt d;
+  Frame.Decoder.feed_string d (Frame.frame "too late");
+  check_corrupt d;
+  Alcotest.(check int) "no frames decoded" 0 (Frame.Decoder.frames d)
+
+let test_frame_oversize_and_negative_length () =
+  List.iter
+    (fun len ->
+      let d = Frame.Decoder.create ~max_frame:1024 () in
+      let hdr = Bytes.create Frame.header_bytes in
+      Bytes.set_int32_le hdr 0 len;
+      Bytes.set_int32_le hdr 4 0l;
+      Frame.Decoder.feed_string d (Bytes.to_string hdr);
+      check_corrupt d)
+    [ 2048l; Int32.max_int; -1l; Int32.min_int ]
+
+let test_frame_corrupt_length_of_valid_frame () =
+  (* A length prefix lying within bounds but pointing at the wrong
+     cut: the CRC refuses the mis-framed payload. *)
+  let d = Frame.Decoder.create () in
+  let f = Bytes.of_string (Frame.frame "abcdef" ^ Frame.frame "ghijkl") in
+  Bytes.set_int32_le f 0 4l;
+  Frame.Decoder.feed_string d (Bytes.to_string f);
+  check_corrupt d
+
+(* --- protocol roundtrips --------------------------------------------- *)
+
+let all_msgs : Proto.msg list =
+  [ Hello { client = "c-1"; window = 64 };
+    Welcome { window = 0 };
+    Advertise { cls = "StockQuote"; supers = [ "Obvent"; "StockObvent" ] };
+    Sub { sid = 3; param = "StockQuote"; filter = Value.Null };
+    Sub
+      { sid = 4;
+        param = "Alarm";
+        filter = Value.List [ Value.Str "and"; Value.Int 1 ] };
+    Unsub { sid = 3 };
+    Pub { pseq = 42; cls = "StockQuote"; envelope = "\x00\xffraw bytes" };
+    Pub_ack { pseq = 42 };
+    Deliver
+      { origin = "c-1"; pseq = 42; cls = "StockQuote"; envelope = "" };
+    Credit { n = 32 };
+    Bye ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun m ->
+      match Proto.decode (Proto.encode m) with
+      | Some m' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip %s" (Proto.tag m))
+            true (m = m')
+      | None -> Alcotest.failf "%s did not decode" (Proto.tag m))
+    all_msgs
+
+let test_proto_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Proto.decode s with
+      | None -> ()
+      | Some m -> Alcotest.failf "garbage decoded as %s" (Proto.tag m))
+    [ ""; "\xff\xff\xff"; Codec.encode (Value.Str "not a message");
+      Codec.encode (Value.List [ Value.Str "unknown-tag"; Value.Int 1 ]);
+      Codec.encode (Value.List [ Value.Str "pub"; Value.Str "wrong shape" ]) ]
+
+(* --- end-to-end over real sockets ------------------------------------ *)
+
+let test_registry () =
+  let reg = Registry.create () in
+  Registry.declare_class reg ~name:"TQuote" ~implements:[ "Obvent" ]
+    ~attrs:[ ("seq", Vtype.Tint); ("origin", Vtype.Tstring) ]
+    ();
+  reg
+
+type ctx = {
+  reg : Registry.t;
+  engine : Engine.t;
+  proc : Pubsub.Process.t;
+  client : Client.t;
+}
+
+let fresh_ctx ~id ~port =
+  let reg = test_registry () in
+  let engine = Engine.create ~seed:1 () in
+  let net = Net.create engine in
+  let domain = Pubsub.Domain.create reg net in
+  let proc = Pubsub.Process.create domain (Net.add_node net) in
+  match Client.connect ~host:"127.0.0.1" ~port ~id ~timeout_ms:2000 () with
+  | None -> Alcotest.failf "client %s cannot reach broker on port %d" id port
+  | Some client ->
+      Client.attach client domain proc;
+      { reg; engine; proc; client }
+
+(* The broker runs in a forked child (as under the real daemon and the
+   soak harness): [Client.connect]'s blocking handshake needs a live
+   peer. The parent keeps the pre-bound listening socket, so a crashed
+   incarnation can be replaced on the very same fd. A control pipe
+   gives the child a clean quit signal; SIGKILL gives it a crash. *)
+type broker_proc = { bpid : int; ctl : Unix.file_descr }
+
+let instant_config = { Broker.default_config with warmup_ms = 0 }
+
+let fork_broker ?(config = instant_config) ~listen_fd () =
+  let ctl_r, ctl_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close ctl_w;
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Trace.set_ambient (Trace.create ());
+      let b = Broker.create ~config ~listen_fd ~port:0 () in
+      (try
+         let quit = ref false in
+         while not !quit do
+           if Broker.poll b ~extra_fds:[ ctl_r ] ~timeout_ms:20 () then
+             quit := true
+         done
+       with _ -> ());
+      Broker.stop b;
+      Unix._exit 0
+  | pid ->
+      Unix.close ctl_r;
+      { bpid = pid; ctl = ctl_w }
+
+let quit_broker bp =
+  (try ignore (Unix.write_substring bp.ctl "q" 0 1)
+   with Unix.Unix_error _ -> ());
+  (try Unix.close bp.ctl with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] bp.bpid)
+
+let kill_broker bp =
+  Unix.kill bp.bpid Sys.sigkill;
+  (try Unix.close bp.ctl with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] bp.bpid)
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | _ -> Alcotest.fail "listening socket has no inet port"
+
+(* Drive the clients until [until ()] or timeout. *)
+let spin ~ctxs ~until ~for_ms () =
+  let deadline = Unix.gettimeofday () +. (float_of_int for_ms /. 1000.) in
+  while (not (until ())) && Unix.gettimeofday () < deadline do
+    List.iter
+      (fun c ->
+        ignore (Client.poll c.client ~timeout_ms:5);
+        Engine.run c.engine)
+      ctxs
+  done;
+  until ()
+
+let publish_quote ctx ~origin seq =
+  Pubsub.Process.publish ctx.proc
+    (Obvent.make ctx.reg "TQuote"
+       [ ("seq", Value.Int seq); ("origin", Value.Str origin) ]);
+  Engine.run ctx.engine
+
+(* Subscriber bookkeeping: collect (origin, seq), flag dups/reorders. *)
+let collector ctx =
+  let got = ref [] and dups = ref 0 and reorders = ref 0 in
+  let last = Hashtbl.create 4 in
+  let seen = Hashtbl.create 64 in
+  let handler ob =
+    match (Obvent.get ob "seq", Obvent.get ob "origin") with
+    | Value.Int seq, Value.Str origin ->
+        if Hashtbl.mem seen (origin, seq) then incr dups
+        else Hashtbl.replace seen (origin, seq) ();
+        (match Hashtbl.find_opt last origin with
+        | Some prev when seq <= prev -> incr reorders
+        | _ -> ());
+        Hashtbl.replace last origin seq;
+        got := (origin, seq) :: !got
+    | _ -> incr reorders
+  in
+  let sub = Pubsub.Process.subscribe ctx.proc ~param:"TQuote" handler in
+  Pubsub.Subscription.activate sub;
+  Engine.run ctx.engine;
+  ignore (Client.poll ctx.client ~timeout_ms:10);
+  (got, dups, reorders)
+
+let test_e2e_two_clients () =
+  Trace.set_ambient (Trace.create ());
+  let listen_fd = Broker.listen_socket ~host:"127.0.0.1" ~port:0 in
+  let port = bound_port listen_fd in
+  let bp = fork_broker ~listen_fd () in
+  Fun.protect ~finally:(fun () -> quit_broker bp; Unix.close listen_fd)
+  @@ fun () ->
+  let sub1 = fresh_ctx ~id:"sub1" ~port in
+  let sub2 = fresh_ctx ~id:"sub2" ~port in
+  let pub = fresh_ctx ~id:"pub" ~port in
+  let ctxs = [ sub1; sub2; pub ] in
+  let got1, dups1, re1 = collector sub1 in
+  let got2, dups2, re2 = collector sub2 in
+  ignore (spin ~ctxs ~until:(fun () -> false) ~for_ms:100 ());
+  let n = 30 in
+  for i = 0 to n - 1 do
+    publish_quote pub ~origin:"pub" i
+  done;
+  let all_in () = List.length !got1 = n && List.length !got2 = n in
+  Alcotest.(check bool) "both subscribers got every event" true
+    (spin ~ctxs ~until:all_in ~for_ms:10000 ());
+  Alcotest.(check int) "no dups" 0 (!dups1 + !dups2);
+  Alcotest.(check int) "no reorders" 0 (!re1 + !re2);
+  Alcotest.(check (list (pair string int))) "in publish order"
+    (List.init n (fun i -> ("pub", i)))
+    (List.rev !got1);
+  List.iter (fun c -> Client.close c.client) ctxs
+
+let test_e2e_broker_restart_exactly_once () =
+  (* The certified-delivery claim: SIGKILL-style broker death between
+     two batches, a successor adopts the same listening socket, the
+     subscriber re-subscribes, the publisher retransmits whatever was
+     unacknowledged — every event arrives exactly once, in order. *)
+  Trace.set_ambient (Trace.create ());
+  let listen_fd = Broker.listen_socket ~host:"127.0.0.1" ~port:0 in
+  let port = bound_port listen_fd in
+  let bp1 = fork_broker ~listen_fd () in
+  let sub = fresh_ctx ~id:"sub" ~port in
+  let pub = fresh_ctx ~id:"pub" ~port in
+  let ctxs = [ sub; pub ] in
+  let got, dups, reorders = collector sub in
+  let n1 = 10 and n2 = 10 in
+  for i = 0 to n1 - 1 do
+    publish_quote pub ~origin:"pub" i
+  done;
+  ignore (spin ~ctxs ~until:(fun () -> List.length !got = n1) ~for_ms:5000 ());
+  Alcotest.(check int) "first batch delivered" n1 (List.length !got);
+  (* Crash: SIGKILL — no goodbye, no flush. The parent still owns the
+     listening socket. *)
+  kill_broker bp1;
+  (* Publish into the outage: everything queues client-side. *)
+  for i = n1 to n1 + n2 - 1 do
+    publish_quote pub ~origin:"pub" i
+  done;
+  ignore (spin ~ctxs ~until:(fun () -> false) ~for_ms:100 ());
+  Alcotest.(check bool) "publisher holds the unacked batch" true
+    (Client.queued_count pub.client >= n2);
+  let bp2 = fork_broker ~listen_fd () in
+  Fun.protect ~finally:(fun () -> quit_broker bp2; Unix.close listen_fd)
+  @@ fun () ->
+  (* Subscriber reconnects (and re-subscribes) first, then the
+     publisher — the in-process twin of the daemon's warmup window. *)
+  Alcotest.(check bool) "subscriber reconnects" true
+    (Client.reconnect ~timeout_ms:2000 sub.client);
+  ignore (spin ~ctxs:[ sub ] ~until:(fun () -> false) ~for_ms:100 ());
+  Alcotest.(check bool) "publisher reconnects" true
+    (Client.reconnect ~timeout_ms:2000 pub.client);
+  let all = n1 + n2 in
+  Alcotest.(check bool) "second batch recovered" true
+    (spin ~ctxs ~until:(fun () -> List.length !got = all) ~for_ms:10000 ());
+  Alcotest.(check int) "no duplicate deliveries" 0 !dups;
+  Alcotest.(check int) "no reordering" 0 !reorders;
+  Alcotest.(check (list (pair string int))) "the full sequence, in order"
+    (List.init all (fun i -> ("pub", i)))
+    (List.rev !got);
+  (* Deliveries raced ahead of the cumulative ack — give it a beat. *)
+  Alcotest.(check bool) "publisher fully acknowledged" true
+    (spin ~ctxs ~until:(fun () -> Client.queued_count pub.client = 0)
+       ~for_ms:5000 ());
+  List.iter (fun c -> Client.close c.client) ctxs
+
+let test_e2e_corrupt_bytes_condemn_connection () =
+  (* A rogue peer spraying damaged frames must cost only its own
+     connection: the broker condemns and drops it (observable as EOF
+     on the rogue's socket) and keeps serving everyone else. *)
+  Trace.set_ambient (Trace.create ());
+  let listen_fd = Broker.listen_socket ~host:"127.0.0.1" ~port:0 in
+  let port = bound_port listen_fd in
+  let bp = fork_broker ~listen_fd () in
+  Fun.protect ~finally:(fun () -> quit_broker bp; Unix.close listen_fd)
+  @@ fun () ->
+  let sub = fresh_ctx ~id:"sub" ~port in
+  let pub = fresh_ctx ~id:"pub" ~port in
+  let ctxs = [ sub; pub ] in
+  let got, _, _ = collector sub in
+  let rogue = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect rogue (ADDR_INET (Unix.inet_addr_loopback, port));
+  let junk = String.make 64 '\xde' in
+  ignore (Unix.write_substring rogue junk 0 (String.length junk));
+  (* The broker hangs up on the rogue... *)
+  (match Unix.select [ rogue ] [] [] 5.0 with
+  | [ _ ], _, _ ->
+      Alcotest.(check int) "rogue sees EOF" 0
+        (Unix.read rogue (Bytes.create 16) 0 16)
+  | _ -> Alcotest.fail "broker never hung up on the rogue");
+  (* ...and the well-behaved pair still works end to end. *)
+  publish_quote pub ~origin:"pub" 0;
+  Alcotest.(check bool) "clean traffic still flows" true
+    (spin ~ctxs ~until:(fun () -> !got <> []) ~for_ms:5000 ());
+  Unix.close rogue;
+  List.iter (fun c -> Client.close c.client) ctxs
+
+let suite =
+  ( "transport",
+    [ Alcotest.test_case "framing roundtrip" `Quick test_frame_roundtrip;
+      Alcotest.test_case "framing byte-at-a-time" `Quick test_frame_dribble;
+      Alcotest.test_case "framing all split points" `Quick
+        test_frame_all_split_points;
+      Alcotest.test_case "framing truncated = Await" `Quick
+        test_frame_truncated_is_await;
+      Alcotest.test_case "framing corrupt CRC is sticky" `Quick
+        test_frame_corrupt_crc_sticky;
+      Alcotest.test_case "framing oversize/negative length" `Quick
+        test_frame_oversize_and_negative_length;
+      Alcotest.test_case "framing lying length" `Quick
+        test_frame_corrupt_length_of_valid_frame;
+      Alcotest.test_case "proto roundtrips" `Quick test_proto_roundtrip;
+      Alcotest.test_case "proto rejects garbage" `Quick
+        test_proto_rejects_garbage;
+      Alcotest.test_case "e2e: two subscribers, one broker" `Quick
+        test_e2e_two_clients;
+      Alcotest.test_case "e2e: exactly-once across broker restart" `Quick
+        test_e2e_broker_restart_exactly_once;
+      Alcotest.test_case "e2e: corrupt bytes condemn only their connection"
+        `Quick test_e2e_corrupt_bytes_condemn_connection ] )
