@@ -40,7 +40,7 @@ let run_policy policy_name set_policy =
     st.Dispatch.max_overlap st.Dispatch.peak_queue
     (Engine.now engine)
 
-let run () =
+let rec run () =
   Workload.table_header
     (Printf.sprintf
        "E9  thread policies: burst of %d obvents, handler takes %d ticks"
@@ -57,4 +57,53 @@ let run () =
   let p = Pubsub.Process.create domain (Net.add_node net) in
   let s_total = Pubsub.Process.subscribe p ~param:"TotalQuote" (fun _ -> ()) in
   ignore s_total;
-  Fmt.pr "(ordered classes default to single-threaded handlers)@."
+  Fmt.pr "(ordered classes default to single-threaded handlers)@.";
+  run_domains ()
+
+(* E9b — the same burst with Multi handler bodies on the real domain
+   pool: the virtual-time dispatch schedule is unchanged (executed and
+   finished-at match the single-domain run); what moves off the engine
+   thread is the handler body itself, visible as pool task/steal
+   counts. *)
+and run_domains () =
+  Workload.table_header
+    "E9b pooled handler execution across real domains (same burst)"
+    [ "domains"; "executed"; "finished-at"; "pool-tasks"; "pool-steals" ];
+  let module Pool = Tpbs_core.Pool in
+  let prev_tasks = ref 0 and prev_steals = ref 0 in
+  List.iter
+    (fun domains ->
+      let reg = Workload.registry () in
+      let engine = Engine.create ~seed:12 () in
+      let net =
+        Net.create ~config:{ Net.default_config with jitter = 0 } engine
+      in
+      let domain = Pubsub.Domain.create ~domains reg net in
+      let publisher = Pubsub.Process.create domain (Net.add_node net) in
+      let subscriber = Pubsub.Process.create domain (Net.add_node net) in
+      let s =
+        Pubsub.Process.subscribe subscriber ~param:"StockQuote" ~service_time
+          (fun _ -> ())
+      in
+      Pubsub.Subscription.activate s;
+      let rng = Rng.create 9 in
+      for _ = 1 to burst do
+        Pubsub.Process.publish publisher
+          (Workload.random_event reg rng ~cls:"StockQuote" ())
+      done;
+      Engine.run engine;
+      let st = Pubsub.Subscription.dispatch_stats s in
+      let tasks, steals =
+        match Pubsub.Domain.pool_stats domain with
+        | None -> 0, 0
+        | Some p ->
+            let t = p.Pool.tasks - !prev_tasks
+            and s = p.Pool.steals - !prev_steals in
+            prev_tasks := p.Pool.tasks;
+            prev_steals := p.Pool.steals;
+            t, s
+      in
+      Fmt.pr "%7d  %8d  %11d  %10d  %11d@." domains st.Dispatch.executed
+        (Engine.now engine) tasks steals;
+      Pubsub.Domain.shutdown domain)
+    [ 1; 4 ]

@@ -2,11 +2,15 @@
 
    dune exec bench/main.exe                    -- run everything
    dune exec bench/main.exe -- e3 e5           -- selected experiments
-   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_6.json
+   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_8.json
    dune exec bench/main.exe -- --guard-a4 3.0 a4
                                                -- CI perf smoke: fail if the
                                                   COW arm at 64 subs/node
-                                                  exceeds 3x the shared arm *)
+                                                  exceeds 3x the shared arm
+   dune exec bench/main.exe -- --guard-shard 2.0 e1
+                                               -- CI scaling smoke: fail if the
+                                                  4-shard E1b dispatch run is
+                                                  under 2x the 1-shard run *)
 
 let experiments =
   [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
@@ -14,9 +18,9 @@ let experiments =
     "e7", E7_paradigms.run; "e8", E8_dgc.run; "e9", E9_threading.run;
     "e10", E10_psc.run; "e11", E11_store.run; "ablations", A1_ablations.run;
     "a4", A1_ablations.a4; "micro", Micro.run; "obs", Obs.run;
-    "crash", Crash_smoke.run ]
+    "crash", Crash_smoke.run; "shard", Shard_smoke.run ]
 
-let json_path = "BENCH_6.json"
+let json_path = "BENCH_8.json"
 
 let guard_a4 limit =
   match Workload.json_find "a4" with
@@ -49,23 +53,62 @@ let guard_a4 limit =
                   %.2fx)@."
             r limit)
 
+let guard_shard floor =
+  match Workload.json_find "e1_sharded" with
+  | None ->
+      Fmt.epr "--guard-shard: the E1b sharded table was not produced (run e1)@.";
+      exit 1
+  | Some (_, rows) -> (
+      let speedup_at_4 =
+        List.find_map
+          (function
+            | Workload.J_int 4 :: _ as row -> (
+                match List.nth_opt row 4 with
+                | Some (Workload.J_float s) -> Some s
+                | _ -> None)
+            | _ -> None)
+          rows
+      in
+      match speedup_at_4 with
+      | None ->
+          Fmt.epr "--guard-shard: no 4-shard row in the E1b table@.";
+          exit 1
+      | Some s when s < floor ->
+          Fmt.epr
+            "--guard-shard: 4-shard dispatch throughput is %.2fx the 1-shard \
+             run, below the %.2fx floor@."
+            s floor;
+          exit 1
+      | Some s ->
+          Fmt.pr "shard guard: 4-shard dispatch = %.2fx 1-shard (floor %.2fx)@."
+            s floor)
+
 let () =
-  let rec parse json guard names = function
-    | [] -> json, guard, List.rev names
-    | "--json" :: rest -> parse true guard names rest
+  let rec parse json guard shard names = function
+    | [] -> json, guard, shard, List.rev names
+    | "--json" :: rest -> parse true guard shard names rest
     | "--guard-a4" :: limit :: rest -> (
         match float_of_string_opt limit with
-        | Some l -> parse json (Some l) names rest
+        | Some l -> parse json (Some l) shard names rest
         | None ->
             Fmt.epr "--guard-a4 expects a ratio, got %s@." limit;
             exit 1)
     | [ "--guard-a4" ] ->
         Fmt.epr "--guard-a4 expects a ratio@.";
         exit 1
-    | name :: rest -> parse json guard (name :: names) rest
+    | "--guard-shard" :: floor :: rest -> (
+        match float_of_string_opt floor with
+        | Some f -> parse json guard (Some f) names rest
+        | None ->
+            Fmt.epr "--guard-shard expects a ratio, got %s@." floor;
+            exit 1)
+    | [ "--guard-shard" ] ->
+        Fmt.epr "--guard-shard expects a ratio@.";
+        exit 1
+    | name :: rest -> parse json guard shard (name :: names) rest
   in
-  let json, guard, requested =
-    parse false None [] (List.tl (Array.to_list Sys.argv))
+  let json, guard, shard, requested =
+    parse false None None [] (List.tl (Array.to_list Sys.argv))
   in
   let requested =
     match requested with [] -> List.map fst experiments | names -> names
@@ -80,4 +123,5 @@ let () =
           exit 1)
     requested;
   if json then Workload.write_json json_path;
-  Option.iter guard_a4 guard
+  Option.iter guard_a4 guard;
+  Option.iter guard_shard shard

@@ -14,12 +14,18 @@ type t = {
   mutable executed : int;
   mutable max_overlap : int;
   mutable peak_queue : int;
+  (* Optional offload seam for the sharded engine: when set, [Multi]
+     handler bodies run through this (a [Pool.submit] closure) instead
+     of inline. [Single]/[Class_serial] always stay inline — their
+     whole point is serialisation, which the engine thread provides
+     for free. *)
+  mutable executor : ((unit -> unit) -> unit) option;
 }
 
 let create engine ?(service_time = 0) policy handler =
   { engine; service_time; policy; handler; queue = [];
     active = 0; active_classes = Hashtbl.create 4; executed = 0;
-    max_overlap = 0; peak_queue = 0 }
+    max_overlap = 0; peak_queue = 0; executor = None }
 
 let class_active t cls =
   Option.value ~default:0 (Hashtbl.find_opt t.active_classes cls)
@@ -37,7 +43,9 @@ let rec start t obvent =
   Hashtbl.replace t.active_classes cls (class_active t cls + 1);
   t.executed <- t.executed + 1;
   if t.active > t.max_overlap then t.max_overlap <- t.active;
-  t.handler obvent;
+  (match (t.executor, t.policy) with
+  | Some run, Multi _ -> run (fun () -> t.handler obvent)
+  | _ -> t.handler obvent);
   Engine.schedule t.engine ~delay:t.service_time (fun () -> finish t cls)
 
 and finish t cls =
@@ -88,6 +96,7 @@ let set_policy t policy =
   drain t
 
 let policy t = t.policy
+let set_executor t run = t.executor <- Some run
 
 type stats = { executed : int; max_overlap : int; peak_queue : int }
 

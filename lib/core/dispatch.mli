@@ -39,6 +39,14 @@ val set_policy : t -> policy -> unit
 
 val policy : t -> policy
 
+val set_executor : t -> ((unit -> unit) -> unit) -> unit
+(** Route [Multi] handler bodies through [run] (e.g. a {!Pool.submit}
+    closure) instead of executing inline on the engine thread.
+    [Single] and [Class_serial] handlers always stay inline — they
+    require serialisation, which the engine thread provides.
+    Admission, overlap accounting and [service_time] scheduling are
+    unchanged; only the handler body moves. *)
+
 type stats = {
   executed : int;  (** handler executions started *)
   max_overlap : int;  (** peak concurrent handlers *)

@@ -1,0 +1,51 @@
+(** The parallel dispatch tier: a work-stealing pool of OCaml 5
+    domains fed by bounded per-shard queues.
+
+    Each shard's tasks go to one queue owned by one pinned worker
+    (SPSC-like when [workers = shards]), preserving per-shard
+    submission order on the happy path; idle workers steal from
+    foreign queues. [submit] blocks when the target queue is full and
+    counts pressure events past a threshold; [barrier] waits for every
+    submitted task to complete — the engine calls it at each tick
+    barrier so handler side effects are visible before virtual time
+    advances.
+
+    Counters [pool.tasks], [pool.steals] and [pool.pressure] are
+    created per pool at {!create}; engines that never spawn a pool
+    emit no new metrics. *)
+
+type t
+
+val create : ?capacity:int -> ?pressure:int -> workers:int -> shards:int -> unit -> t
+(** Spawn [workers] domains serving [max workers shards] queues.
+    [capacity] (default 1024) bounds each queue; [pressure] (default
+    3/4 of capacity) is the queue depth at or past which a submit
+    counts a pressure event. *)
+
+val submit : t -> shard:int -> (unit -> unit) -> unit
+(** Enqueue a task on [shard]'s queue, blocking while it is full.
+    Exceptions escaping the task are swallowed (the task still counts
+    as completed for {!barrier}). *)
+
+val barrier : t -> unit
+(** Block until every task submitted so far has completed. *)
+
+val shutdown : t -> unit
+(** Drain ({!barrier}), stop and join all workers. The pool is dead
+    afterwards: further [submit]s are dropped. *)
+
+val on_worker : unit -> bool
+(** [true] iff the calling domain is a pool worker — used by the
+    engine to route cross-shard publishes through the hand-off queue
+    instead of touching shard state off the engine thread. *)
+
+type stats = {
+  tasks : int;
+  steals : int;
+  pressure_events : int;
+  submit_stalls : int;  (** submits that blocked on a full queue *)
+  queued : int;  (** tasks currently waiting, across all queues *)
+  workers : int;
+}
+
+val stats : t -> stats

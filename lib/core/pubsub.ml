@@ -67,16 +67,30 @@ and process = {
   node : Net.node_id;
   rmi : Tpbs_rmi.Rmi.runtime option;
   cert_storage : Stable.t;
-  channels : (string, Stack.t) Hashtbl.t;
+  pshards : pshard array;
+      (* this process's slice of each engine shard, indexed like
+         [domain.shards]: the channel stacks, routing index and egress
+         queue for the classes that shard owns *)
   mutable subs : subscription list;
-  route : subscription Routing.t;
-      (* concrete class -> active subscriptions it routes to *)
-  mutable txq : tx_entry list;
-  mutable tx_armed : bool;
-  mutable tx_next_seq : int;
   interest : (Net.node_id * string, unit) Hashtbl.t;
       (* (node, subscribed type) pairs learned from the meta channel:
          this process's local view of who wants what *)
+}
+
+(* One process × one shard. Everything here is only ever touched for
+   classes the shard owns, so shards pinned to different domains never
+   contend on these tables. The routing index is the exception in
+   spirit: a subscription to a supertype must be visible from every
+   shard (its concrete subclasses can hash anywhere), so [route_in]
+   registers it with all pshards — but each index is still only read
+   and memoized for its own shard's classes. *)
+and pshard = {
+  ps_channels : (string, Stack.t) Hashtbl.t;
+  ps_route : subscription Routing.t;
+      (* concrete class -> active subscriptions it routes to *)
+  mutable ps_txq : tx_entry list;
+  mutable ps_tx_armed : bool;
+  mutable ps_tx_next_seq : int;
 }
 
 and channel_meta = {
@@ -121,8 +135,24 @@ and domain = {
   net : Net.t;
   tx_interval : int;
   rng : Rng.t;
+  n_shards : int;
+  shards : channel_meta Shard.t array;
+      (* shard-local channel metadata + stats; classes are partitioned
+         across shards by [Shard.key] of the class id *)
+  pool : Pool.t option;
+      (* the parallel dispatch tier, present when the domain was
+         created with [~domains] > 1: handler bodies of Multi-policy
+         subscriptions run on its workers, pinned per shard *)
+  handoff : (unit -> unit) Queue.t;
+  handoff_mutex : Mutex.t;
+      (* cross-shard hand-off: engine mutations requested from pool
+         workers (e.g. a handler publishing) are queued here and
+         drained on the engine thread at the tick barrier *)
+  mutable flush_storages : Stable.t list;
+      (* grouped (group-commit) storages to [Stable.flush] once per
+         tick barrier *)
+  mutable barrier_installed : bool;
   mutable processes : process list;  (* newest first; see processes_in_order *)
-  channel_meta : (string, channel_meta) Hashtbl.t;
   gossip_overrides : (string, Gossip.config) Hashtbl.t;
   retain_overrides : (string, unit) Hashtbl.t;
   mutable brokers : broker_state list;  (* newest first; see brokers_in_order *)
@@ -135,18 +165,6 @@ and domain = {
   mutable next_eid : int;  (* per-domain publish sequence for event ids *)
   obs : obs;
   latency : Metric.t;
-  mutable published : int;
-  mutable deliveries : int;
-  mutable filtered_out : int;
-  mutable expired : int;
-  mutable decode_errors : int;
-  mutable broker_forwards : int;
-  mutable broker_events : int;
-  mutable control_messages : int;
-  mutable qos_conflicts : int;
-  mutable filters_pruned : int;
-  mutable replayed : int;
-  mutable channel_misses : int;
 }
 
 (* Registration prepends (constant-time); every ordered consumer goes
@@ -154,6 +172,47 @@ and domain = {
    order. *)
 let processes_in_order d = List.rev d.processes
 let brokers_in_order d = List.rev d.brokers
+
+(* --- shard plumbing --------------------------------------------------- *)
+
+let shard_ix d cls = Shard.key ~n_shards:d.n_shards cls
+let shard_of d cls = d.shards.(shard_ix d cls)
+
+(* The owning shard's stats slice for a class — every former
+   [d.<stat> <- ...] bump goes through one of these. Sites with no
+   class in hand (an undecodable frame) account to shard 0. *)
+let sstats d cls = Shard.stats (shard_of d cls)
+let sstats0 d = Shard.stats d.shards.(0)
+let pshard p cls = p.pshards.(shard_ix p.dom cls)
+
+let meta_find d cls = Hashtbl.find_opt (Shard.channel_meta (shard_of d cls)) cls
+
+let meta_count d =
+  Array.fold_left
+    (fun acc sh -> acc + Hashtbl.length (Shard.channel_meta sh))
+    0 d.shards
+
+(* Engine thunks queued by pool workers, run on the engine thread. *)
+let drain_handoff d =
+  let pending = Queue.create () in
+  Mutex.lock d.handoff_mutex;
+  Queue.transfer d.handoff pending;
+  Mutex.unlock d.handoff_mutex;
+  Queue.iter (fun f -> f ()) pending
+
+(* The tick barrier joins the sharded world back together between
+   virtual-time steps: wait for every offloaded handler to complete,
+   apply their queued cross-shard publishes, then pay the single
+   group-commit fsync of any grouped storage. Installed lazily — an
+   unsharded, ungrouped domain leaves the engine loop untouched. *)
+let install_barrier d =
+  if not d.barrier_installed then begin
+    d.barrier_installed <- true;
+    Engine.add_tick_barrier (Net.engine d.net) (fun () ->
+        (match d.pool with Some pool -> Pool.barrier pool | None -> ());
+        drain_handoff d;
+        List.iter Stable.flush d.flush_storages)
+  end
 
 (* --- envelopes ------------------------------------------------------- *)
 
@@ -182,15 +241,44 @@ let decode_routed bytes =
 module Domain = struct
   type t = domain
 
-  let create ?(tx_interval = 200) registry net =
+  let create ?(tx_interval = 200) ?n_shards ?(domains = 1) registry net =
+    let domains = max 1 domains in
+    let n_shards =
+      match n_shards with Some n -> max 1 n | None -> domains
+    in
+    let tr = Trace.ambient () in
+    let shards =
+      Array.init n_shards (fun k ->
+          (* Per-shard delivery counters only exist on actually-sharded
+             engines: a default domain's metrics output stays identical
+             to the unsharded one. *)
+          let c_deliveries =
+            if n_shards > 1 then
+              Some
+                (Trace.counter tr (Printf.sprintf "core.shard.%d.deliveries" k))
+            else None
+          in
+          Shard.create ?c_deliveries ~id:k ())
+    in
+    let pool =
+      if domains > 1 then
+        Some (Pool.create ~workers:domains ~shards:n_shards ())
+      else None
+    in
     let d =
       {
       registry;
       net;
       tx_interval;
       rng = Rng.split (Engine.rng (Net.engine net));
+      n_shards;
+      shards;
+      pool;
+      handoff = Queue.create ();
+      handoff_mutex = Mutex.create ();
+      flush_storages = [];
+      barrier_installed = false;
       processes = [];
-      channel_meta = Hashtbl.create 16;
       gossip_overrides = Hashtbl.create 4;
       retain_overrides = Hashtbl.create 4;
       brokers = [];
@@ -200,7 +288,7 @@ module Domain = struct
       next_sid = 0;
       next_eid = 0;
       obs =
-        (let tr = Trace.ambient () in
+        (
          {
            tr;
            c_published = Trace.counter tr "core.published";
@@ -217,21 +305,12 @@ module Domain = struct
            c_channel_misses = Trace.counter tr "core.channel_misses";
          });
       latency = Metric.create ();
-      published = 0;
-      deliveries = 0;
-      filtered_out = 0;
-      expired = 0;
-      decode_errors = 0;
-      broker_forwards = 0;
-      broker_events = 0;
-      control_messages = 0;
-      qos_conflicts = 0;
-      filters_pruned = 0;
-      replayed = 0;
-      channel_misses = 0;
       }
     in
     Trace.register_histogram d.obs.tr "core.latency" d.latency;
+    (* A pooled domain always needs the barrier (handler join +
+       hand-off drain); grouped storages install it on registration. *)
+    if Option.is_some pool then install_barrier d;
     d
 
   let registry d = d.registry
@@ -246,12 +325,12 @@ module Domain = struct
     d.targeted <- true
 
   let use_gossip d ~cls ?(config = Gossip.default_config) () =
-    if Hashtbl.mem d.channel_meta cls then
+    if meta_find d cls <> None then
       invalid_arg "Domain.use_gossip: channel already opened";
     Hashtbl.replace d.gossip_overrides cls config
 
   let retain_history d ~cls =
-    if Hashtbl.mem d.channel_meta cls then
+    if meta_find d cls <> None then
       invalid_arg "Domain.retain_history: channel already opened";
     Hashtbl.replace d.retain_overrides cls ()
 
@@ -270,37 +349,47 @@ module Domain = struct
     channel_misses : int;
   }
 
-  let stats (d : t) =
+  let of_shard_stats (m : Shard.stats) =
     {
-      published = d.published;
-      deliveries = d.deliveries;
-      filtered_out = d.filtered_out;
-      expired = d.expired;
-      decode_errors = d.decode_errors;
-      broker_forwards = d.broker_forwards;
-      broker_events = d.broker_events;
-      control_messages = d.control_messages;
-      qos_conflicts = d.qos_conflicts;
-      filters_pruned = d.filters_pruned;
-      replayed = d.replayed;
-      channel_misses = d.channel_misses;
+      published = m.Shard.published;
+      deliveries = m.Shard.deliveries;
+      filtered_out = m.Shard.filtered_out;
+      expired = m.Shard.expired;
+      decode_errors = m.Shard.decode_errors;
+      broker_forwards = m.Shard.broker_forwards;
+      broker_events = m.Shard.broker_events;
+      control_messages = m.Shard.control_messages;
+      qos_conflicts = m.Shard.qos_conflicts;
+      filters_pruned = m.Shard.filters_pruned;
+      replayed = m.Shard.replayed;
+      channel_misses = m.Shard.channel_misses;
     }
+
+  (* Merge-on-read: each shard's slice is owned by one thread; the
+     aggregate view sums the slices. *)
+  let stats (d : t) =
+    let m = Shard.zero_stats () in
+    Array.iter (fun sh -> Shard.add_stats m (Shard.stats sh)) d.shards;
+    of_shard_stats m
+
+  let n_shards (d : t) = d.n_shards
+
+  let shard_of_class (d : t) cls = shard_ix d cls
+
+  let stats_of_shard (d : t) k =
+    if k < 0 || k >= d.n_shards then
+      invalid_arg "Domain.stats_of_shard: no such shard";
+    of_shard_stats (Shard.stats d.shards.(k))
+
+  let pool_stats (d : t) = Option.map Pool.stats d.pool
+
+  let shutdown (d : t) =
+    match d.pool with None -> () | Some pool -> Pool.shutdown pool
 
   let latency d = d.latency
 
   let reset_stats (d : t) =
-    d.published <- 0;
-    d.deliveries <- 0;
-    d.filtered_out <- 0;
-    d.expired <- 0;
-    d.decode_errors <- 0;
-    d.broker_forwards <- 0;
-    d.broker_events <- 0;
-    d.control_messages <- 0;
-    d.qos_conflicts <- 0;
-    d.filters_pruned <- 0;
-    d.replayed <- 0;
-    d.channel_misses <- 0
+    Array.iter (fun sh -> Shard.reset_stats (Shard.stats sh)) d.shards
 end
 
 let now_of d = Engine.now (Net.engine d.net)
@@ -337,10 +426,12 @@ let stale_lazy d meta cursor =
   | _, _ -> false
   | exception Codec.Decode_error _ -> false
 
-let deliver_clone p ~publish_time ~eid s obvent =
+let deliver_clone p ~publish_time ~eid sh s obvent =
   let d = p.dom in
   s.delivered <- s.delivered + 1;
-  d.deliveries <- d.deliveries + 1;
+  let st = Shard.stats sh in
+  st.Shard.deliveries <- st.Shard.deliveries + 1;
+  Shard.count_delivery sh;
   Trace.Counter.incr d.obs.c_deliveries;
   Metric.record d.latency (float_of_int (now_of d - publish_time));
   if Trace.emitting d.obs.tr then
@@ -352,7 +443,7 @@ let deliver_clone p ~publish_time ~eid s obvent =
   Dispatch.submit s.dispatch obvent
 
 let routed_subscriptions p cls =
-  Routing.find p.route cls ~build:(fun cls ->
+  Routing.find (pshard p cls).ps_route cls ~build:(fun cls ->
       let reg = p.dom.registry in
       List.filter
         (fun s -> s.active && (not s.pruned) && Registry.subtype reg cls s.param)
@@ -388,8 +479,10 @@ let learn_interest p cls obvent_bytes =
    times). *)
 let on_event p cls envelope =
   let d = p.dom in
+  let sh = shard_of d cls in
+  let st = Shard.stats sh in
   let decode_error () =
-    d.decode_errors <- d.decode_errors + 1;
+    st.Shard.decode_errors <- st.Shard.decode_errors + 1;
     Trace.Counter.incr d.obs.c_decode_errors;
     if Trace.emitting d.obs.tr then
       Trace.emit d.obs.tr ~layer:"core" ~kind:"decode_error" ~node:p.node
@@ -399,7 +492,7 @@ let on_event p cls envelope =
   | None -> decode_error ()
   | Some (publish_time, eid, obvent_bytes) -> (
       learn_interest p cls obvent_bytes;
-      match Hashtbl.find_opt d.channel_meta cls with
+      match Hashtbl.find_opt (Shard.channel_meta sh) cls with
       | None ->
           (* Delivery raced channel registration: count the miss, do
              not abort the simulation. *)
@@ -419,7 +512,7 @@ let on_event p cls envelope =
               if stale_lazy d meta (Cursor.of_string obvent_bytes) then begin
                 (* Once per event, not once per matching subscription —
                    and without ever materializing the obvent. *)
-                d.expired <- d.expired + 1;
+                st.Shard.expired <- st.Shard.expired + 1;
                 Trace.Counter.incr d.obs.c_expired;
                 if Trace.emitting d.obs.tr then
                   Trace.emit d.obs.tr ~layer:"core" ~kind:"expire"
@@ -436,7 +529,7 @@ let on_event p cls envelope =
                         (fun s ->
                           if Fspec.matches d.registry s.filter gate then true
                           else begin
-                            d.filtered_out <- d.filtered_out + 1;
+                            st.Shard.filtered_out <- st.Shard.filtered_out + 1;
                             Trace.Counter.incr d.obs.c_filtered;
                             incr dropped;
                             false
@@ -473,7 +566,7 @@ let on_event p cls envelope =
                     in
                     List.iter
                       (fun (s, clone) ->
-                        deliver_clone p ~publish_time ~eid s clone)
+                        deliver_clone p ~publish_time ~eid sh s clone)
                       clones)))
 
 (* Replay delivery: a replayed history envelope goes only to the
@@ -485,8 +578,9 @@ let on_event p cls envelope =
    measures the live path. *)
 let replay_event p s cls envelope =
   let d = p.dom in
+  let st = sstats d cls in
   let decode_error () =
-    d.decode_errors <- d.decode_errors + 1;
+    st.Shard.decode_errors <- st.Shard.decode_errors + 1;
     Trace.Counter.incr d.obs.c_decode_errors
   in
   if s.active && not s.pruned then
@@ -501,7 +595,7 @@ let replay_event p s cls envelope =
               && Fspec.matches d.registry s.filter gate
             then begin
               s.delivered <- s.delivered + 1;
-              d.replayed <- d.replayed + 1;
+              st.Shard.replayed <- st.Shard.replayed + 1;
               Trace.Counter.incr d.obs.c_replayed;
               if Trace.emitting d.obs.tr then
                 Trace.emit d.obs.tr ~layer:"core" ~kind:"replay_deliver"
@@ -542,7 +636,8 @@ let remote_transport r cls =
     ()
 
 let attach_channel p cls (meta : channel_meta) =
-  if not (Hashtbl.mem p.channels cls) then begin
+  let ps = pshard p cls in
+  if not (Hashtbl.mem ps.ps_channels cls) then begin
     let deliver ~origin:_ envelope = on_event p cls envelope in
     let profile =
       match p.dom.remote with
@@ -574,23 +669,24 @@ let attach_channel p cls (meta : channel_meta) =
     in
     let stack =
       Stack.assemble profile ~transport ~storage:p.cert_storage
-        ~retain_acked:meta.retain ~group:meta.members ~me:p.node ~name:cls
-        ~deliver ()
+        ~retain_acked:meta.retain ~shard:(shard_ix p.dom cls)
+        ~group:meta.members ~me:p.node ~name:cls ~deliver ()
     in
-    Hashtbl.replace p.channels cls stack
+    Hashtbl.replace ps.ps_channels cls stack
   end
 
 let ensure_channel d cls =
-  match Hashtbl.find_opt d.channel_meta cls with
+  match meta_find d cls with
   | Some meta -> meta
   | None ->
+      let st = sstats d cls in
       let profile, conflicts = Qos.of_type d.registry cls in
       (* Fig. 4 precedence dropped a requested semantics: surface it
          instead of silently resolving (once per class, at channel
          creation). *)
       List.iter
         (fun c ->
-          d.qos_conflicts <- d.qos_conflicts + 1;
+          st.Shard.qos_conflicts <- st.Shard.qos_conflicts + 1;
           Trace.Counter.incr d.obs.c_qos_conflicts;
           if Trace.emitting d.obs.tr then
             Trace.emit d.obs.tr ~layer:"core" ~kind:"qos_conflict"
@@ -607,7 +703,7 @@ let ensure_channel d cls =
           gossip_config = Hashtbl.find_opt d.gossip_overrides cls;
           retain = Hashtbl.mem d.retain_overrides cls }
       in
-      Hashtbl.replace d.channel_meta cls meta;
+      Hashtbl.replace (Shard.channel_meta (shard_of d cls)) cls meta;
       (* Creation order: attach order feeds per-process RNG draws. *)
       List.iter (fun p -> attach_channel p cls meta) (processes_in_order d);
       meta
@@ -617,7 +713,7 @@ let ensure_channel d cls =
 let transmit p cls envelope =
   let meta = ensure_channel p.dom cls in
   attach_channel p cls meta;
-  match Hashtbl.find_opt p.channels cls with
+  match Hashtbl.find_opt (pshard p cls).ps_channels cls with
   | None ->
       (* The channel vanished between enqueue and drain (the egress
          queue decouples publish from transmission, so a concurrent
@@ -625,7 +721,8 @@ let transmit p cls envelope =
          here used to kill the whole engine tick; skip the entry,
          counted and traced like any other tolerated inconsistency. *)
       let d = p.dom in
-      d.channel_misses <- d.channel_misses + 1;
+      let st = sstats d cls in
+      st.Shard.channel_misses <- st.Shard.channel_misses + 1;
       Trace.Counter.incr d.obs.c_channel_misses;
       if Trace.emitting d.obs.tr then
         Trace.emit d.obs.tr ~layer:"core" ~kind:"channel_miss" ~node:p.node
@@ -654,9 +751,13 @@ let transmit p cls envelope =
 (* Egress queue for Prioritary/Timely traffic: one message per drain
    slot; higher priority overtakes, later-born timely obvents are
    preferred, stale ones expire in the queue (§3.1.2 "transmission
-   semantics"). *)
-let rec drain_tx p =
-  p.tx_armed <- false;
+   semantics"). The queue is per process × shard, so a sharded engine
+   drains one message per interval per shard — egress bandwidth
+   scales with the shard count, which is what the E1 sharded-dispatch
+   bench measures. *)
+let rec drain_tx p six =
+  let ps = p.pshards.(six) in
+  ps.ps_tx_armed <- false;
   let d = p.dom in
   let current = now_of d in
   let fresh, dead =
@@ -665,15 +766,16 @@ let rec drain_tx p =
         match e.tx_birth, e.tx_ttl with
         | Some birth, Some ttl -> current <= birth + ttl
         | _, _ -> true)
-      p.txq
+      ps.ps_txq
   in
-  d.expired <- d.expired + List.length dead;
+  let st = Shard.stats d.shards.(six) in
+  st.Shard.expired <- st.Shard.expired + List.length dead;
   Trace.Counter.add d.obs.c_expired (List.length dead);
   if dead <> [] && Trace.emitting d.obs.tr then
     Trace.emit d.obs.tr ~layer:"core" ~kind:"expire_tx" ~node:p.node
       ~data:[ ("count", Trace.I (List.length dead)) ]
       ();
-  p.txq <- fresh;
+  ps.ps_txq <- fresh;
   match fresh with
   | [] -> ()
   | entries ->
@@ -688,15 +790,16 @@ let rec drain_tx p =
         List.fold_left (fun acc e -> if better e acc then e else acc)
           (List.hd entries) (List.tl entries)
       in
-      p.txq <- List.filter (fun e -> e.tx_seq <> best.tx_seq) p.txq;
+      ps.ps_txq <- List.filter (fun e -> e.tx_seq <> best.tx_seq) ps.ps_txq;
       transmit p best.tx_cls best.tx_envelope;
-      arm_tx p
+      arm_tx p six
 
-and arm_tx p =
-  if (not p.tx_armed) && p.txq <> [] then begin
-    p.tx_armed <- true;
+and arm_tx p six =
+  let ps = p.pshards.(six) in
+  if (not ps.ps_tx_armed) && ps.ps_txq <> [] then begin
+    ps.ps_tx_armed <- true;
     Net.schedule_on p.dom.net p.node ~delay:p.dom.tx_interval (fun () ->
-        drain_tx p)
+        drain_tx p six)
   end
 
 (* --- broker ------------------------------------------------------------------ *)
@@ -717,13 +820,16 @@ let broker_route d b cls =
 let broker_on_publish d b bytes =
   match decode_routed bytes with
   | None ->
-      d.decode_errors <- d.decode_errors + 1;
+      (* No class to key on: account the malformed frame to shard 0. *)
+      let st = sstats0 d in
+      st.Shard.decode_errors <- st.Shard.decode_errors + 1;
       Trace.Counter.incr d.obs.c_decode_errors
   | Some (cls, envelope) -> (
-      d.broker_events <- d.broker_events + 1;
+      let st = sstats d cls in
+      st.Shard.broker_events <- st.Shard.broker_events + 1;
       match decode_envelope envelope with
       | None ->
-          d.decode_errors <- d.decode_errors + 1;
+          st.Shard.decode_errors <- st.Shard.decode_errors + 1;
           Trace.Counter.incr d.obs.c_decode_errors
       | Some (_, eid, obvent_bytes) -> (
           match broker_route d b cls with
@@ -768,7 +874,7 @@ let broker_on_publish d b bytes =
                     && not (Hashtbl.mem sent sub.b_node)
                   then begin
                     Hashtbl.replace sent sub.b_node ();
-                    d.broker_forwards <- d.broker_forwards + 1;
+                    st.Shard.broker_forwards <- st.Shard.broker_forwards + 1;
                     Trace.Counter.incr d.obs.c_broker_forwards;
                     if Trace.emitting d.obs.tr then
                       Trace.emit d.obs.tr ~layer:"broker" ~kind:"forward"
@@ -812,7 +918,8 @@ let broker_on_ctl d b bytes =
               sid' = sid);
           Factored.remove b.factored ~id:sid)
   | _ | (exception Codec.Decode_error _) ->
-      d.decode_errors <- d.decode_errors + 1;
+      let st = sstats0 d in
+      st.Shard.decode_errors <- st.Shard.decode_errors + 1;
       Trace.Counter.incr d.obs.c_decode_errors
 
 (* --- the reflexive meta channel (§4.2) ----------------------------------------- *)
@@ -871,9 +978,10 @@ module Subscription = struct
        a filtering host (§3.3.3 migration saved entirely). *)
     if s.pruned then ()
     else
+    let st = sstats d s.param in
     match d.remote with
     | Some r -> (
-        d.control_messages <- d.control_messages + 1;
+        st.Shard.control_messages <- st.Shard.control_messages + 1;
         match verb with
         | `Sub ->
             let filter =
@@ -887,7 +995,7 @@ module Subscription = struct
     match broker_of d p.node with
     | None -> ()
     | Some b ->
-        d.control_messages <- d.control_messages + 1;
+        st.Shard.control_messages <- st.Shard.control_messages + 1;
         let body =
           match verb with
           | `Sub ->
@@ -915,12 +1023,21 @@ module Subscription = struct
      subscription into every warm entry instead of dropping them for a
      full rebuild. Entries mirror [p.subs] order — newest (highest
      sid) first — so the insert compares sids descending. A pruned
-     subscription never routes and never enters the index. *)
+     subscription never routes and never enters the index.
+
+     Registered with every pshard's index: the subscribed param may be
+     a supertype whose concrete subclasses hash to different shards,
+     and each shard must be able to route its own classes without
+     consulting another shard's state. Each index still only memoizes
+     entries for the classes its shard owns. *)
   let route_in s =
     if not s.pruned then
-      Routing.add s.sub_process.route ~param:s.param
-        ~compare:(fun a b -> Int.compare b.sid a.sid)
-        s
+      Array.iter
+        (fun ps ->
+          Routing.add ps.ps_route ~param:s.param
+            ~compare:(fun a b -> Int.compare b.sid a.sid)
+            s)
+        s.sub_process.pshards
 
   let activate s =
     if s.active then
@@ -971,7 +1088,7 @@ module Subscription = struct
     List.iter
       (fun cls ->
         if Registry.subtype d.registry cls s.param then
-          match Hashtbl.find_opt p.channels cls with
+          match Hashtbl.find_opt (pshard p cls).ps_channels cls with
           | None -> ()
           | Some stack -> (
               match Stack.certified stack with
@@ -987,8 +1104,10 @@ module Subscription = struct
     if not s.active then
       Errors.cannot_unsubscribe "subscription %d is not activated" s.sid;
     s.active <- false;
-    Routing.remove s.sub_process.route ~param:s.param (fun x ->
-        x.sid = s.sid);
+    Array.iter
+      (fun ps ->
+        Routing.remove ps.ps_route ~param:s.param (fun x -> x.sid = s.sid))
+      s.sub_process.pshards;
     send_ctl s `Unsub;
     emit_meta s.sub_process ~cls:"SubscriptionDeactivated" ~sid:s.sid
       ~param:s.param
@@ -1001,28 +1120,54 @@ module Process = struct
 
   let node p = p.node
   let domain p = p.dom
+
   let subscriptions p = List.rev p.subs
-  let routing_stats p = Routing.stats p.route
+
+  (* Merge-on-read across the per-shard indexes, like Domain.stats. *)
+  let routing_stats p =
+    Array.fold_left
+      (fun acc ps ->
+        let s = Routing.stats ps.ps_route in
+        Routing.
+          {
+            classes = acc.classes + s.classes;
+            lookups = acc.lookups + s.lookups;
+            builds = acc.builds + s.builds;
+          })
+      Routing.{ classes = 0; lookups = 0; builds = 0 }
+      p.pshards
 
   let create d ?storage ?rmi node =
     if List.exists (fun p -> p.node = node) d.processes then
       invalid_arg "Process.create: node already has a process";
-    if Hashtbl.length d.channel_meta > 0 then
+    if meta_count d > 0 then
       invalid_arg
         "Process.create: create all processes before opening channels";
+    let storage =
+      match storage with Some s -> s | None -> Stable.create ()
+    in
+    (* S2: a group-commit storage defers its fsync to the engine tick
+       barrier — register it (and make sure the barrier exists). *)
+    if Stable.grouped storage then begin
+      d.flush_storages <- d.flush_storages @ [ storage ];
+      install_barrier d
+    end;
     let p =
       {
         dom = d;
         node;
         rmi;
-        cert_storage =
-          (match storage with Some s -> s | None -> Stable.create ());
-        channels = Hashtbl.create 8;
+        cert_storage = storage;
+        pshards =
+          Array.init d.n_shards (fun _ ->
+              {
+                ps_channels = Hashtbl.create 8;
+                ps_route = Routing.create d.registry;
+                ps_txq = [];
+                ps_tx_armed = false;
+                ps_tx_next_seq = 0;
+              });
         subs = [];
-        route = Routing.create d.registry;
-        txq = [];
-        tx_armed = false;
-        tx_next_seq = 0;
         interest = Hashtbl.create 16;
       }
     in
@@ -1031,7 +1176,9 @@ module Process = struct
     Net.set_handler d.net node ~port:del_port (fun _src bytes ->
         match decode_routed bytes with
         | Some (cls, envelope) -> on_event p cls envelope
-        | None -> d.decode_errors <- d.decode_errors + 1);
+        | None ->
+            let st = sstats0 d in
+            st.Shard.decode_errors <- st.Shard.decode_errors + 1);
     d.processes <- p :: d.processes;
     p
 
@@ -1105,22 +1252,35 @@ module Process = struct
       }
     in
     if pruned then begin
-      d.filters_pruned <- d.filters_pruned + 1;
+      let st = sstats d param in
+      st.Shard.filters_pruned <- st.Shard.filters_pruned + 1;
       Trace.Counter.incr d.obs.c_filters_pruned;
       if Trace.emitting d.obs.tr then
         Trace.emit d.obs.tr ~layer:"core" ~kind:"filter_pruned" ~node:p.node
           ~data:[ ("sid", Trace.I sid); ("param", Trace.S param) ] ()
     end;
+    (* Parallel dispatch: Multi-policy handler bodies run on the pool
+       worker pinned to the subscribed type's shard. Single and
+       Class_serial policies stay inline on the engine thread (see
+       Dispatch.set_executor). *)
+    (match d.pool with
+    | Some pool ->
+        let six = shard_ix d param in
+        Dispatch.set_executor s.dispatch (fun task ->
+            Pool.submit pool ~shard:six task)
+    | None -> ());
     p.subs <- s :: p.subs;
     s
 
-  let publish p obvent =
+  let publish_now p obvent =
     let d = p.dom in
     if not (Net.alive d.net p.node) then
       Errors.cannot_publish "publishing process %d is crashed" p.node;
     let cls = Obvent.cls obvent in
+    let six = shard_ix d cls in
     let meta = ensure_channel d cls in
-    d.published <- d.published + 1;
+    let st = Shard.stats d.shards.(six) in
+    st.Shard.published <- st.Shard.published + 1;
     Trace.Counter.incr d.obs.c_published;
     let eid = p.node, d.next_eid in
     d.next_eid <- d.next_eid + 1;
@@ -1131,6 +1291,7 @@ module Process = struct
       encode_envelope ~publish_time:(now_of d) ~eid (Obvent.serialize obvent)
     in
     if meta.profile.Qos.prioritary || meta.profile.Qos.timely then begin
+      let ps = p.pshards.(six) in
       let entry =
         {
           tx_cls = cls;
@@ -1138,20 +1299,36 @@ module Process = struct
           tx_prio = Obvent.priority d.registry obvent;
           tx_birth = Obvent.birth d.registry obvent;
           tx_ttl = Obvent.time_to_live d.registry obvent;
-          tx_seq = p.tx_next_seq;
+          tx_seq = ps.ps_tx_next_seq;
         }
       in
-      p.tx_next_seq <- p.tx_next_seq + 1;
-      p.txq <- entry :: p.txq;
-      arm_tx p
+      ps.ps_tx_next_seq <- ps.ps_tx_next_seq + 1;
+      ps.ps_txq <- entry :: ps.ps_txq;
+      arm_tx p six
     end
     else transmit p cls envelope
 
+  (* Cross-shard hand-off: a handler running on a pool worker must not
+     mutate engine state (channel tables, the event heap) from its
+     domain — its publish is queued and applied on the engine thread
+     at the tick barrier. On the engine thread this is just
+     publish_now. *)
+  let publish p obvent =
+    if Pool.on_worker () then begin
+      let d = p.dom in
+      Mutex.lock d.handoff_mutex;
+      Queue.push (fun () -> publish_now p obvent) d.handoff;
+      Mutex.unlock d.handoff_mutex
+    end
+    else publish_now p obvent
+
   let resume p =
-    p.tx_armed <- false;
-    Hashtbl.iter (fun _ stack -> Stack.resume stack) p.channels;
+    Array.iter (fun ps -> ps.ps_tx_armed <- false) p.pshards;
+    Array.iter
+      (fun ps -> Hashtbl.iter (fun _ stack -> Stack.resume stack) ps.ps_channels)
+      p.pshards;
     List.iter (fun s -> if s.active then Subscription.send_ctl s `Sub) p.subs;
-    arm_tx p
+    Array.iteri (fun six _ -> arm_tx p six) p.pshards
 end
 
 let () =
@@ -1181,7 +1358,7 @@ module Remote = struct
     | None -> ());
     if not (p.dom == d) then
       invalid_arg "Remote.connect: process belongs to another domain";
-    if Hashtbl.length d.channel_meta > 0 then
+    if meta_count d > 0 then
       invalid_arg "Remote.connect: connect before opening channels";
     d.remote <- Some endpoint;
     fun ~cls envelope -> on_event p cls envelope

@@ -37,9 +37,30 @@ module Domain : sig
   type t
 
   val create :
-    ?tx_interval:int -> Tpbs_types.Registry.t -> Tpbs_sim.Net.t -> t
+    ?tx_interval:int ->
+    ?n_shards:int ->
+    ?domains:int ->
+    Tpbs_types.Registry.t ->
+    Tpbs_sim.Net.t ->
+    t
   (** [tx_interval] is the egress-queue drain period for
-      priority/timely traffic (default 200 ticks). *)
+      priority/timely traffic (default 200 ticks).
+
+      [n_shards] partitions the engine: obvent classes are assigned to
+      shards by a stable hash ({!Tpbs_core.Shard.key}) and each shard
+      owns its slice of channel metadata, routing indexes, egress
+      queue and stats. The default is [max 1 domains]. [n_shards = 1]
+      (the default default) is byte-identical to the historical
+      unsharded engine — same traces, same metrics.
+
+      [domains] > 1 additionally spawns the parallel dispatch tier: a
+      work-stealing pool of that many OCaml 5 domains ({!Pool}), with
+      each shard's Multi-policy handler bodies pinned to one worker.
+      Handlers that publish from a worker go through the cross-shard
+      hand-off queue, applied on the engine thread at the tick
+      barrier, where the pool is also joined — so all handler side
+      effects of a tick are visible before virtual time advances.
+      Call {!shutdown} when done to join the workers. *)
 
   val registry : t -> Tpbs_types.Registry.t
   val net : t -> Tpbs_sim.Net.t
@@ -118,10 +139,31 @@ module Domain : sig
   }
 
   val stats : t -> stats
+  (** The aggregate view: per-shard slices merged on read. *)
+
+  val n_shards : t -> int
+
+  val shard_of_class : t -> string -> int
+  (** The shard owning an obvent class ({!Tpbs_core.Shard.key}). *)
+
+  val stats_of_shard : t -> int -> stats
+  (** One shard's slice of {!stats}, for per-shard contention
+      analysis (bench A4 ablation).
+      @raise Invalid_argument if the shard index is out of range. *)
+
+  val pool_stats : t -> Pool.stats option
+  (** Dispatch-tier counters when the domain was created with
+      [~domains] > 1. *)
+
+  val shutdown : t -> unit
+  (** Drain and join the dispatch-tier workers (a no-op without a
+      pool). The domain remains usable for single-threaded work. *)
+
   val latency : t -> Tpbs_sim.Metric.t
   (** Publish-to-handler latency samples, virtual ticks. *)
 
   val reset_stats : t -> unit
+  (** Zero every shard's stats slice. *)
 end
 
 module Subscription : sig

@@ -1,0 +1,114 @@
+(* Shard-local engine state. The engine's formerly monolithic [domain]
+   record is partitioned by obvent class: a stable hash of the class
+   id picks the owning shard, which holds that slice's channel
+   metadata and its own stats record. Per-process shard slices (the
+   routing index, channel stacks and egress queue of one shard) live
+   in [Pubsub]; this module owns the keying rule and the domain-level
+   slice so both sides agree on the partition.
+
+   With [n_shards = 1] everything lands on shard 0 and the engine is
+   byte-identical to the pre-sharding code. With more shards, state
+   touched by different classes lives in different records — the
+   prerequisite for pinning shards to OCaml 5 domains ([Pool]):
+   workers of different shards never share a mutable table. *)
+
+module Trace = Tpbs_trace.Trace
+
+(* FNV-1a (32-bit constants) over the class id: stable across runs,
+   processes and machines — the broker and every client agree on the
+   owning shard without coordination. Masked to stay non-negative. *)
+let hash cls =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    cls;
+  !h
+
+let key ~n_shards cls = if n_shards <= 1 then 0 else hash cls mod n_shards
+
+(* One shard's slice of the former monolithic stats block. Plain
+   mutable ints are correct here precisely because they are
+   shard-local: only the shard's owner (the engine thread, or the
+   worker the shard is pinned to) writes them; readers merge the
+   slices at a tick barrier ([Pubsub.Domain.stats]). *)
+type stats = {
+  mutable published : int;
+  mutable deliveries : int;
+  mutable filtered_out : int;
+  mutable expired : int;
+  mutable decode_errors : int;
+  mutable broker_forwards : int;
+  mutable broker_events : int;
+  mutable control_messages : int;
+  mutable qos_conflicts : int;
+  mutable filters_pruned : int;
+  mutable replayed : int;
+  mutable channel_misses : int;
+}
+
+let zero_stats () =
+  {
+    published = 0;
+    deliveries = 0;
+    filtered_out = 0;
+    expired = 0;
+    decode_errors = 0;
+    broker_forwards = 0;
+    broker_events = 0;
+    control_messages = 0;
+    qos_conflicts = 0;
+    filters_pruned = 0;
+    replayed = 0;
+    channel_misses = 0;
+  }
+
+let add_stats into s =
+  into.published <- into.published + s.published;
+  into.deliveries <- into.deliveries + s.deliveries;
+  into.filtered_out <- into.filtered_out + s.filtered_out;
+  into.expired <- into.expired + s.expired;
+  into.decode_errors <- into.decode_errors + s.decode_errors;
+  into.broker_forwards <- into.broker_forwards + s.broker_forwards;
+  into.broker_events <- into.broker_events + s.broker_events;
+  into.control_messages <- into.control_messages + s.control_messages;
+  into.qos_conflicts <- into.qos_conflicts + s.qos_conflicts;
+  into.filters_pruned <- into.filters_pruned + s.filters_pruned;
+  into.replayed <- into.replayed + s.replayed;
+  into.channel_misses <- into.channel_misses + s.channel_misses
+
+let reset_stats s =
+  s.published <- 0;
+  s.deliveries <- 0;
+  s.filtered_out <- 0;
+  s.expired <- 0;
+  s.decode_errors <- 0;
+  s.broker_forwards <- 0;
+  s.broker_events <- 0;
+  s.control_messages <- 0;
+  s.qos_conflicts <- 0;
+  s.filters_pruned <- 0;
+  s.replayed <- 0;
+  s.channel_misses <- 0
+
+(* The domain-level slice: channel metadata for the classes this shard
+   owns, plus its stats. ['meta] keeps this module free of [Pubsub]'s
+   channel record (no dependency cycle). [c_deliveries] is the
+   per-shard trace counter [core.shard.<k>.deliveries] — created only
+   when the engine actually shards (n_shards > 1), so single-shard
+   metrics output stays byte-identical to the seed engine. *)
+type 'meta t = {
+  id : int;
+  stats : stats;
+  channel_meta : (string, 'meta) Hashtbl.t;
+  c_deliveries : Trace.Counter.t option;
+}
+
+let create ?c_deliveries ~id () =
+  { id; stats = zero_stats (); channel_meta = Hashtbl.create 16; c_deliveries }
+
+let id t = t.id
+let stats t = t.stats
+let channel_meta t = t.channel_meta
+
+let count_delivery t =
+  match t.c_deliveries with Some c -> Trace.Counter.incr c | None -> ()

@@ -1,0 +1,60 @@
+(** Shard-local engine state: the partition rule and per-shard slice
+    records behind the sharded {!Pubsub} engine.
+
+    Obvent classes are partitioned across [n_shards] shards by a
+    stable hash of the class id; each shard owns the channel metadata
+    and stats for its classes, so shards pinned to different OCaml 5
+    domains ({!Pool}) never share a mutable table. [n_shards = 1]
+    reproduces the monolithic engine byte for byte. *)
+
+val hash : string -> int
+(** Stable 32-bit FNV-1a of a class id (non-negative). Identical
+    across runs, processes and machines, so brokers and clients agree
+    on shard ownership without coordination. *)
+
+val key : n_shards:int -> string -> int
+(** The owning shard of a class: [hash cls mod n_shards] (always [0]
+    when [n_shards <= 1]). *)
+
+(** One shard's slice of the engine stats. Plain mutable ints — safe
+    because only the shard's owning thread writes them; merge slices
+    with {!add_stats} at a tick barrier to read. *)
+type stats = {
+  mutable published : int;
+  mutable deliveries : int;
+  mutable filtered_out : int;
+  mutable expired : int;
+  mutable decode_errors : int;
+  mutable broker_forwards : int;
+  mutable broker_events : int;
+  mutable control_messages : int;
+  mutable qos_conflicts : int;
+  mutable filters_pruned : int;
+  mutable replayed : int;
+  mutable channel_misses : int;
+}
+
+val zero_stats : unit -> stats
+val add_stats : stats -> stats -> unit
+(** [add_stats into s] accumulates [s] into [into] field-wise. *)
+
+val reset_stats : stats -> unit
+
+type 'meta t
+(** A shard: id, stats, and the channel-metadata table for the classes
+    it owns. ['meta] is {!Pubsub}'s channel record (kept abstract here
+    to avoid a dependency cycle). *)
+
+val create : ?c_deliveries:Tpbs_trace.Trace.Counter.t -> id:int -> unit -> 'meta t
+(** [c_deliveries] is the shard's [core.shard.<k>.deliveries] counter;
+    omit it on single-shard engines so metrics output stays identical
+    to the unsharded seed. *)
+
+val id : _ t -> int
+val stats : _ t -> stats
+
+val count_delivery : _ t -> unit
+(** Bump the per-shard delivery counter, if this shard has one. *)
+
+val channel_meta : 'meta t -> (string, 'meta) Hashtbl.t
+(** The shard's slice of the channel-metadata table. *)

@@ -10,13 +10,21 @@ type t = {
   mutable clock : time;
   mutable next_seq : int;
   rng : Rng.t;
+  mutable tick_barriers : (unit -> unit) list;
+      (* joined whenever virtual time is about to advance (and once
+         more when the heap drains): the sharded engine parks its
+         domain-pool join and group-commit flush here, so parallel
+         work of one tick completes before the next tick's actions
+         observe it. Empty list = the seed engine's exact loop. *)
 }
 
 let dummy = { at = 0; seq = 0; action = (fun () -> ()) }
 
 let create ?(seed = 42) () =
   { heap = Array.make 256 dummy; size = 0; clock = 0; next_seq = 0;
-    rng = Rng.create seed }
+    rng = Rng.create seed; tick_barriers = [] }
+
+let add_tick_barrier t f = t.tick_barriers <- t.tick_barriers @ [ f ]
 
 let now t = t.clock
 let rng t = t.rng
@@ -99,6 +107,15 @@ let step t =
 let run ?until t =
   let continue = ref true in
   while !continue do
+    (* Tick barrier: fires once per clock advancement (the heap top is
+       past [clock]) and when the heap drains, before the next action
+       runs — a barrier may schedule follow-up work (e.g. publishes
+       handed off from pool workers), which the loop then picks up. *)
+    (match t.tick_barriers with
+    | [] -> ()
+    | barriers ->
+        if t.size = 0 || t.heap.(0).at > t.clock then
+          List.iter (fun f -> f ()) barriers);
     match until with
     | Some limit -> (
         (* Peek: stop before executing an action beyond the horizon. *)

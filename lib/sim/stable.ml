@@ -2,7 +2,13 @@
    backend is pluggable: the default is the original in-memory model
    of a disk (pure-sim runs, no I/O), while lib/store wraps its
    segmented on-disk log in the same interface for runs that must
-   survive a real process kill. *)
+   survive a real process kill.
+
+   [flush] is the group-commit hook: a backend that defers its sync
+   point (one fsync per engine tick instead of one per record) makes
+   [put]/[delete] buffer-only and pays the sync in [flush]; the
+   engine calls it at every tick barrier for storages that declare
+   [grouped]. The in-memory default has nothing to sync. *)
 
 type t = {
   put : string -> string -> unit;
@@ -10,10 +16,13 @@ type t = {
   delete : string -> unit;
   keys_with_prefix : string -> string list;
   size : unit -> int;
+  flush : unit -> unit;
+  grouped : bool;
 }
 
-let make ~put ~get ~delete ~keys_with_prefix ~size =
-  { put; get; delete; keys_with_prefix; size }
+let make ?(flush = fun () -> ()) ?(grouped = false) ~put ~get ~delete
+    ~keys_with_prefix ~size () =
+  { put; get; delete; keys_with_prefix; size; flush; grouped }
 
 let create () =
   let tbl : (string, string) Hashtbl.t = Hashtbl.create 64 in
@@ -31,6 +40,8 @@ let create () =
           tbl []
         |> List.sort String.compare);
     size = (fun () -> Hashtbl.length tbl);
+    flush = (fun () -> ());
+    grouped = false;
   }
 
 let put t k v = t.put k v
@@ -38,3 +49,5 @@ let get t k = t.get k
 let delete t k = t.delete k
 let keys_with_prefix t prefix = t.keys_with_prefix prefix
 let size t = t.size ()
+let flush t = t.flush ()
+let grouped t = t.grouped

@@ -17,14 +17,20 @@ val create : unit -> t
     process death. *)
 
 val make :
+  ?flush:(unit -> unit) ->
+  ?grouped:bool ->
   put:(string -> string -> unit) ->
   get:(string -> string option) ->
   delete:(string -> unit) ->
   keys_with_prefix:(string -> string list) ->
   size:(unit -> int) ->
+  unit ->
   t
 (** Wrap an external backend. [keys_with_prefix] must return sorted
-    keys; [delete] of an absent key must be a no-op. *)
+    keys; [delete] of an absent key must be a no-op. A group-commit
+    backend passes [~grouped:true] and a [flush] that pays its
+    deferred sync point; the engine then calls {!flush} once per tick
+    barrier instead of the backend syncing every record. *)
 
 val put : t -> string -> string -> unit
 val get : t -> string -> string option
@@ -33,3 +39,11 @@ val keys_with_prefix : t -> string -> string list
 (** Sorted. *)
 
 val size : t -> int
+
+val flush : t -> unit
+(** Pay the backend's deferred sync point (group commit); a no-op for
+    backends that sync eagerly (and for the in-memory model disk). *)
+
+val grouped : t -> bool
+(** Whether this backend defers syncs to {!flush} — the engine only
+    registers grouped storages with its tick barrier. *)

@@ -68,6 +68,7 @@ type t = {
   c_torn_bytes : Trace.Counter.t;
   c_crc_rejects : Trace.Counter.t;
   c_fsyncs : Trace.Counter.t;
+  c_group_commits : Trace.Counter.t;
 }
 
 let seg_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.log" id)
@@ -403,6 +404,7 @@ let open_ ?(segment_bytes = 1 lsl 20) ?(compact_min_dead = 64)
       c_torn_bytes = Trace.counter tr "store.torn_bytes";
       c_crc_rejects = Trace.counter tr "store.crc_rejects";
       c_fsyncs = Trace.counter tr "store.fsyncs";
+      c_group_commits = Trace.counter tr "store.group_commits";
     }
   in
   (* Inventory the directory. A leftover compact.tmp is an uncommitted
@@ -539,6 +541,44 @@ let stable ?(sync = true) t =
     ~delete:(fun k -> delete ~sync t k)
     ~keys_with_prefix:(keys_with_prefix t)
     ~size:(fun () -> Hashtbl.length t.index)
+    ()
+
+(* Pay one deferred fsync for everything appended since the last sync
+   point. Bytes are already with the kernel ([append_bytes] flushes),
+   so this is the group-commit boundary: before it, appended records
+   survive a process kill but not a power cut. *)
+let sync t =
+  match t.chan with
+  | None -> ()
+  | Some oc -> (
+      Trace.Counter.incr t.c_fsyncs;
+      try Unix.fsync (Unix.descr_of_out_channel oc)
+      with Unix.Unix_error _ -> ())
+
+(* Group-commit variant of [stable]: record appends are flush-only and
+   the deferred fsync is paid in [Stable.flush] — which the sharded
+   engine calls once per tick barrier, coalescing every certified
+   frontier/low-watermark persist of the tick into one sync
+   ([store.group_commits] counts the non-empty flushes). *)
+let group_stable t =
+  let dirty = ref false in
+  Stable.make ~grouped:true
+    ~flush:(fun () ->
+      if !dirty then begin
+        dirty := false;
+        sync t;
+        Trace.Counter.incr t.c_group_commits
+      end)
+    ~put:(fun k v ->
+      put ~sync:false t k v;
+      dirty := true)
+    ~get:(get t)
+    ~delete:(fun k ->
+      delete ~sync:false t k;
+      dirty := true)
+    ~keys_with_prefix:(keys_with_prefix t)
+    ~size:(fun () -> Hashtbl.length t.index)
+    ()
 
 type stats = {
   keys : int;

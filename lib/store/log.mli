@@ -69,6 +69,19 @@ val stable : ?sync:bool -> t -> Tpbs_sim.Stable.t
     survives a power cut, not just a process crash. Pass [~sync:false]
     to fall back to flush-only appends. *)
 
+val group_stable : t -> Tpbs_sim.Stable.t
+(** Group-commit variant of {!stable}: appends are flush-only and the
+    deferred fsync is paid in [Stable.flush], which the engine calls
+    once per tick barrier — coalescing every certified frontier and
+    low-watermark persist of a tick into one sync instead of one per
+    record. Non-empty flushes are counted by [store.group_commits].
+    The durability window widens accordingly: inside a tick, appended
+    records survive a process kill (bytes are with the kernel) but
+    not necessarily a power cut. *)
+
+val sync : t -> unit
+(** Explicitly fsync the active segment (the group-commit boundary). *)
+
 (** {1 Fault injection} *)
 
 val set_fault : t -> after_bytes:int -> unit

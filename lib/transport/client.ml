@@ -50,6 +50,7 @@ type t = {
   c_dup_drops : Trace.Counter.t;
   c_retransmits : Trace.Counter.t;
   c_reconnects : Trace.Counter.t;
+  c_backoff_waits : Trace.Counter.t;
   g_sendq : Trace.Gauge.t;
   g_unacked : Trace.Gauge.t;
   g_window : Trace.Gauge.t;
@@ -271,6 +272,70 @@ let reconnect ?(timeout_ms = 2000) t =
   end
   else false
 
+(* Exponential backoff with decorrelating jitter for reconnect loops.
+   The schedule is a pure function of (policy, attempt, jitter draw)
+   so the unit tests can pin it down without sockets or sleeping. *)
+module Backoff = struct
+  type policy = {
+    base_ms : int;  (* delay before the first retry *)
+    factor : float;  (* growth per attempt *)
+    max_delay_ms : int;  (* exponential growth is capped here *)
+    jitter : float;  (* +/- fraction of the capped delay *)
+    max_retries : int;  (* attempts before giving up *)
+  }
+
+  let default =
+    {
+      base_ms = 100;
+      factor = 2.0;
+      max_delay_ms = 10_000;
+      jitter = 0.2;
+      max_retries = 8;
+    }
+
+  (* Delay before retry [attempt] (0-based). [u] is a uniform draw in
+     [0, 1): the jittered delay spans [(1 - jitter) * d, (1 + jitter)
+     * d], keeping a fleet of clients that died together from
+     re-dialing in lockstep. Never below 0. *)
+  let delay_ms p ~attempt ~u =
+    let d =
+      float_of_int p.base_ms *. (p.factor ** float_of_int (max 0 attempt))
+    in
+    let d = Float.min d (float_of_int p.max_delay_ms) in
+    let spread = (2.0 *. u -. 1.0) *. p.jitter *. d in
+    max 0 (int_of_float (d +. spread))
+end
+
+(* Keep re-dialing under the backoff schedule until the broker is back
+   or the policy's retry budget runs out. [sleep] and [rand] default
+   to the real clock and a self-seeded PRNG; tests inject both. Each
+   wait is counted by [transport.backoff_waits]. *)
+let reconnect_with_backoff ?(policy = Backoff.default) ?sleep ?rand
+    ?(timeout_ms = 2000) t =
+  let sleep =
+    match sleep with
+    | Some f -> f
+    | None -> fun ms -> Unix.sleepf (float_of_int ms /. 1000.)
+  in
+  let rand =
+    match rand with
+    | Some f -> f
+    | None ->
+        let state = Random.State.make_self_init () in
+        fun () -> Random.State.float state 1.0
+  in
+  let rec attempt n =
+    if n > policy.Backoff.max_retries then false
+    else if reconnect ~timeout_ms t then true
+    else if n = policy.Backoff.max_retries then false
+    else begin
+      Trace.Counter.incr t.c_backoff_waits;
+      sleep (Backoff.delay_ms policy ~attempt:n ~u:(rand ()));
+      attempt (n + 1)
+    end
+  in
+  attempt 0
+
 let connect ?(window = 64) ?(max_frame = Frame.default_max_frame)
     ?(timeout_ms = 2000) ~host ~port ~id () =
   let tr = Trace.ambient () in
@@ -298,6 +363,7 @@ let connect ?(window = 64) ?(max_frame = Frame.default_max_frame)
       c_dup_drops = Trace.counter tr "transport.dup_drops";
       c_retransmits = Trace.counter tr "transport.retransmits";
       c_reconnects = Trace.counter tr "transport.reconnects";
+      c_backoff_waits = Trace.counter tr "transport.backoff_waits";
       g_sendq = Trace.gauge tr "transport.sendq";
       g_unacked = Trace.gauge tr "transport.unacked";
       g_window = Trace.gauge tr "transport.window";

@@ -17,9 +17,9 @@
     Metrics (ambient {!Tpbs_trace.Trace} registry):
     [transport.client_pubs], [transport.client_acked],
     [transport.delivered], [transport.dup_drops],
-    [transport.retransmits], [transport.reconnects] counters;
-    [transport.sendq], [transport.unacked], [transport.window]
-    gauges. *)
+    [transport.retransmits], [transport.reconnects],
+    [transport.backoff_waits] counters; [transport.sendq],
+    [transport.unacked], [transport.window] gauges. *)
 
 type t
 
@@ -55,6 +55,40 @@ val reconnect : ?timeout_ms:int -> t -> bool
 (** One reconnection attempt. On success, re-advertises, re-subscribes
     every live subscription, and retransmits all unacknowledged
     publishes ahead of newer queued ones. *)
+
+(** Exponential backoff with jitter for reconnect loops. *)
+module Backoff : sig
+  type policy = {
+    base_ms : int;  (** delay before the first retry *)
+    factor : float;  (** growth per attempt *)
+    max_delay_ms : int;  (** exponential growth is capped here *)
+    jitter : float;  (** +/- fraction of the capped delay *)
+    max_retries : int;  (** attempts before giving up *)
+  }
+
+  val default : policy
+  (** 100 ms base, doubling, 10 s cap, ±20% jitter, 8 attempts. *)
+
+  val delay_ms : policy -> attempt:int -> u:float -> int
+  (** The wait before (0-based) retry [attempt], given a uniform draw
+      [u] in [0, 1): [min (base * factor^attempt) max_delay], spread
+      over ±[jitter] of itself. Pure — unit-testable without
+      sleeping. *)
+end
+
+val reconnect_with_backoff :
+  ?policy:Backoff.policy ->
+  ?sleep:(int -> unit) ->
+  ?rand:(unit -> float) ->
+  ?timeout_ms:int ->
+  t ->
+  bool
+(** {!reconnect} in a loop under the backoff schedule: up to
+    [max_retries] attempts, waiting [Backoff.delay_ms] between
+    consecutive failures (each wait counted by
+    [transport.backoff_waits]). [sleep] (default [Unix.sleepf]) and
+    [rand] (default a self-seeded PRNG) are injectable for tests.
+    [false] once the retry budget is exhausted. *)
 
 val publish : t -> cls:string -> string -> unit
 (** Low-level publish (bypassing a domain): queue one encoded envelope

@@ -1,0 +1,348 @@
+(* The sharded engine: stable class→shard keying, the engine tick
+   barrier, the work-stealing domain pool, per-shard stats slices,
+   sharded-vs-unsharded delivery equivalence (the qcheck property the
+   refactor is held to), and a real multi-domain end-to-end run with
+   cross-shard hand-off. *)
+
+open Helpers
+module Engine = Tpbs_sim.Engine
+module Net = Tpbs_sim.Net
+module Pubsub = Tpbs_core.Pubsub
+module Shard = Tpbs_core.Shard
+module Pool = Tpbs_core.Pool
+module Domain = Pubsub.Domain
+module Process = Pubsub.Process
+module Subscription = Pubsub.Subscription
+
+(* --- shard keying ----------------------------------------------------- *)
+
+let leafs =
+  [ "StockQuote"; "SpotPrice"; "MarketPrice"; "StockRequest"; "StockObvent";
+    "CertQuote"; "Alarm"; "Tick" ]
+
+let test_key_stable () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check int)
+        (cls ^ " deterministic") (Shard.key ~n_shards:4 cls)
+        (Shard.key ~n_shards:4 cls);
+      Alcotest.(check int) (cls ^ " single shard") 0 (Shard.key ~n_shards:1 cls);
+      List.iter
+        (fun n ->
+          let k = Shard.key ~n_shards:n cls in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s in range at n=%d" cls n)
+            true
+            (k >= 0 && k < n))
+        [ 2; 3; 4; 8 ])
+    leafs;
+  (* The partition actually spreads: over this class population at
+     n_shards = 4, more than one shard is hit. *)
+  let shards =
+    List.sort_uniq Int.compare (List.map (Shard.key ~n_shards:4) leafs)
+  in
+  Alcotest.(check bool) "spreads over shards" true (List.length shards > 1)
+
+(* --- the engine tick barrier ------------------------------------------ *)
+
+let test_tick_barrier () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  Engine.add_tick_barrier engine (fun () ->
+      fired := Engine.now engine :: !fired);
+  List.iter
+    (fun delay -> Engine.schedule engine ~delay (fun () -> ()))
+    [ 0; 5; 5; 9 ];
+  Engine.run engine;
+  (* Once per clock advancement (0→5, 5→9) plus once at drain — and
+     never between the two actions at t = 5. *)
+  Alcotest.(check (list int)) "fires between ticks" [ 0; 5; 9 ]
+    (List.rev !fired)
+
+let test_tick_barrier_schedules_followup () =
+  let engine = Engine.create () in
+  let ran = ref false in
+  let armed = ref false in
+  Engine.add_tick_barrier engine (fun () ->
+      if not !armed then begin
+        armed := true;
+        Engine.schedule engine ~delay:3 (fun () -> ran := true)
+      end);
+  Engine.schedule engine ~delay:1 (fun () -> ());
+  Engine.run engine;
+  Alcotest.(check bool) "work scheduled by the barrier still runs" true !ran
+
+(* --- the domain pool -------------------------------------------------- *)
+
+let test_pool_executes_all () =
+  let pool = Pool.create ~workers:2 ~shards:2 () in
+  let hits = Atomic.make 0 in
+  for i = 0 to 99 do
+    Pool.submit pool ~shard:(i mod 2) (fun () -> Atomic.incr hits)
+  done;
+  Pool.barrier pool;
+  Alcotest.(check int) "all tasks ran" 100 (Atomic.get hits);
+  let st = Pool.stats pool in
+  Alcotest.(check int) "tasks counted" 100 st.Pool.tasks;
+  Alcotest.(check int) "nothing left queued" 0 st.Pool.queued;
+  Pool.shutdown pool
+
+let test_pool_steals_from_loaded_shard () =
+  let pool = Pool.create ~workers:2 ~shards:2 () in
+  let hits = Atomic.make 0 in
+  (* Load only shard 0: one slow task plus a tail of quick ones. The
+     worker pinned to shard 1 has nothing of its own and must steal. *)
+  Pool.submit pool ~shard:0 (fun () ->
+      Unix.sleepf 0.2;
+      Atomic.incr hits);
+  for _ = 1 to 10 do
+    Pool.submit pool ~shard:0 (fun () -> Atomic.incr hits)
+  done;
+  Pool.barrier pool;
+  Alcotest.(check int) "all tasks ran" 11 (Atomic.get hits);
+  let st = Pool.stats pool in
+  Alcotest.(check bool) "idle worker stole" true (st.Pool.steals > 0);
+  Pool.shutdown pool
+
+let test_pool_pressure_threshold () =
+  let pool = Pool.create ~capacity:8 ~pressure:2 ~workers:1 ~shards:1 () in
+  let release = Atomic.make false in
+  (* Park the only worker, then stack the queue past the pressure
+     threshold: the deep submits must be counted. *)
+  Pool.submit pool ~shard:0 (fun () ->
+      while not (Atomic.get release) do
+        Stdlib.Domain.cpu_relax ()
+      done);
+  for _ = 1 to 4 do
+    Pool.submit pool ~shard:0 (fun () -> ())
+  done;
+  Atomic.set release true;
+  Pool.barrier pool;
+  let st = Pool.stats pool in
+  Alcotest.(check bool) "pressure events counted" true
+    (st.Pool.pressure_events > 0);
+  Pool.shutdown pool
+
+(* --- shared scenario fixtures ----------------------------------------- *)
+
+let scen_registry () =
+  let reg = stock_registry () in
+  Registry.declare_class reg ~name:"CertQuote" ~extends:"StockQuote"
+    ~implements:[ "Certified" ] ();
+  Registry.declare_class reg ~name:"Alarm" ~implements:[ "Prioritary" ]
+    ~attrs:[ "source", Vtype.Tstring; "priority", Vtype.Tint ]
+    ();
+  reg
+
+let setup ?(n = 4) ?(seed = 42) ?n_shards ?domains () =
+  let reg = scen_registry () in
+  let engine = Engine.create ~seed () in
+  let net = Net.create engine in
+  let domain = Domain.create ?n_shards ?domains reg net in
+  let procs =
+    Array.init n (fun _ -> Process.create domain (Net.add_node net))
+  in
+  reg, engine, net, domain, procs
+
+let quote_of reg cls ?(company = "Telco Mobiles") ?(amount = 10) () =
+  Obvent.make reg cls
+    [ "company", Value.Str company; "price", Value.Float 80.;
+      "amount", Value.Int amount ]
+
+(* --- per-shard engine state ------------------------------------------- *)
+
+let test_stats_merge_on_read () =
+  let reg, engine, _net, domain, procs = setup ~n_shards:4 () in
+  (* Classes owned by different shards (the population guarantees at
+     least two distinct keys — assert rather than assume). *)
+  let classes = [ "StockQuote"; "SpotPrice"; "MarketPrice"; "StockRequest" ] in
+  let k0 = Domain.shard_of_class domain (List.hd classes) in
+  Alcotest.(check bool) "classes span shards" true
+    (List.exists (fun c -> Domain.shard_of_class domain c <> k0) classes);
+  let s = Process.subscribe procs.(1) ~param:"StockObvent" (fun _ -> ()) in
+  Subscription.activate s;
+  List.iter
+    (fun cls -> Process.publish procs.(0) (quote_of reg cls ()))
+    classes;
+  Engine.run engine;
+  let merged = Domain.stats domain in
+  let summed f =
+    List.fold_left
+      (fun acc k -> acc + f (Domain.stats_of_shard domain k))
+      0 [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "published merges" merged.Domain.published
+    (summed (fun st -> st.Domain.published));
+  Alcotest.(check int) "deliveries merge" merged.Domain.deliveries
+    (summed (fun st -> st.Domain.deliveries));
+  Alcotest.(check int) "all four published" 4 merged.Domain.published;
+  Alcotest.(check int) "all four delivered" 4 merged.Domain.deliveries;
+  (* The slices really are per-shard: no single shard saw everything. *)
+  Alcotest.(check bool) "no shard owns all deliveries" true
+    (List.for_all
+       (fun k -> (Domain.stats_of_shard domain k).Domain.deliveries < 4)
+       [ 0; 1; 2; 3 ]);
+  Domain.reset_stats domain;
+  Alcotest.(check int) "reset zeros every shard" 0
+    (Domain.stats domain).Domain.published
+
+(* --- sharded = unsharded (the refactor's contract) -------------------- *)
+
+let params =
+  [| "StockObvent"; "StockQuote"; "StockRequest"; "SpotPrice"; "CertQuote";
+     "Alarm" |]
+
+let event_classes =
+  [| "StockQuote"; "SpotPrice"; "MarketPrice"; "CertQuote"; "Alarm" |]
+
+(* Run one random scenario at a given shard count: 4 processes, a
+   broker host, subscriptions on two processes, a publish batch
+   covering plain, broker-routed, certified and prioritary (egress
+   queue) classes. Returns per-subscription delivery logs and the
+   merged stats. Timely classes are deliberately absent: expiry
+   depends on drain timing, which sharding is allowed to change. *)
+let run_scenario ~n_shards (sub_params, events) =
+  let reg, engine, _net, domain, procs = setup ~seed:9 ~n_shards () in
+  Pubsub.add_broker domain procs.(3);
+  let logs =
+    List.mapi
+      (fun i pi ->
+        let log = ref [] in
+        let param = params.(pi mod Array.length params) in
+        let s =
+          Process.subscribe procs.(1 + (i mod 2)) ~param (fun o ->
+              let id =
+                match Obvent.cls o with
+                | "Alarm" -> (
+                    match Obvent.get o "source" with
+                    | Value.Str s -> s
+                    | _ -> "?")
+                | _ -> (
+                    match Obvent.get o "amount" with
+                    | Value.Int n -> string_of_int n
+                    | _ -> "?")
+              in
+              log := (Obvent.cls o, id) :: !log)
+        in
+        Subscription.activate s;
+        param, log)
+      sub_params
+  in
+  List.iteri
+    (fun j ci ->
+      let cls = event_classes.(ci mod Array.length event_classes) in
+      let o =
+        if cls = "Alarm" then
+          Obvent.make reg "Alarm"
+            [ "source", Value.Str (string_of_int j);
+              "priority", Value.Int (j mod 3) ]
+        else quote_of reg cls ~amount:j ()
+      in
+      Process.publish procs.(0) o)
+    events;
+  Engine.run engine;
+  ( List.map (fun (param, log) -> param, List.rev !log) logs,
+    Domain.stats domain )
+
+let sharded_equivalent =
+  QCheck.Test.make ~count:25
+    ~name:"sharded engine = unsharded engine (n_shards in {2,4})"
+    QCheck.(
+      make
+        Gen.(
+          list_size (return 6) (int_range 0 (Array.length params - 1))
+          >>= fun sub_params ->
+          list_size (int_range 1 20)
+            (int_range 0 (Array.length event_classes - 1))
+          >>= fun events -> return (sub_params, events)))
+    (fun scenario ->
+      let base_logs, base_stats = run_scenario ~n_shards:1 scenario in
+      List.for_all
+        (fun n_shards ->
+          let logs, stats = run_scenario ~n_shards scenario in
+          (* Aggregate stats are shard-count independent. *)
+          stats = base_stats
+          && List.for_all2
+               (fun (param, base) (param', log) ->
+                 param = param'
+                 (* Per-subscriber multiset: same events delivered. *)
+                 && List.sort compare base = List.sort compare log
+                 (* Per-(subscriber, class) order: within one class the
+                    delivery sequence is exactly the unsharded one.
+                    (Cross-class interleaving may differ: each shard
+                    drains its own egress queue.) *)
+                 && List.for_all
+                      (fun cls ->
+                        List.filter (fun (c, _) -> c = cls) base
+                        = List.filter (fun (c, _) -> c = cls) log)
+                      (Array.to_list event_classes))
+               base_logs logs)
+        [ 2; 4 ])
+
+(* --- real domains: parallel dispatch + cross-shard hand-off ----------- *)
+
+let test_multi_domain_end_to_end () =
+  (* CI's sharded matrix sets TPBS_DOMAINS (1 and 4); default 2. At 1
+     there is no pool — dispatch stays inline and the hand-off queue is
+     bypassed — but the delivery contract below must hold regardless. *)
+  let domains =
+    match Sys.getenv_opt "TPBS_DOMAINS" with
+    | Some s -> ( match int_of_string_opt s with Some n -> max 1 n | None -> 2)
+    | None -> 2
+  in
+  let reg, engine, _net, domain, procs = setup ~n_shards:2 ~domains () in
+  let handled = Atomic.make 0 in
+  (* Handler A (Multi policy ⇒ runs on a pool worker) republishes into
+     another class — a publish from off the engine thread, carried by
+     the hand-off queue and applied at the next tick barrier. *)
+  let s_quote =
+    Process.subscribe procs.(1) ~param:"StockQuote" (fun o ->
+        Atomic.incr handled;
+        match Obvent.get o "amount" with
+        | Value.Int n when n < 8 ->
+            Process.publish procs.(1) (quote_of reg "SpotPrice" ~amount:100 ())
+        | _ -> ())
+  in
+  let s_spot =
+    Process.subscribe procs.(2) ~param:"SpotPrice" (fun _ ->
+        Atomic.incr handled)
+  in
+  Subscription.activate s_quote;
+  Subscription.activate s_spot;
+  for i = 0 to 7 do
+    Process.publish procs.(0) (quote_of reg "StockQuote" ~amount:i ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "quotes handled on workers" 8
+    (Subscription.delivered s_quote);
+  Alcotest.(check int) "handed-off republishes delivered" 8
+    (Subscription.delivered s_spot);
+  Alcotest.(check int) "every handler body ran" 16 (Atomic.get handled);
+  (match Domain.pool_stats domain with
+  | None ->
+      if domains > 1 then
+        Alcotest.fail "pooled domain reports no pool stats"
+  | Some st ->
+      Alcotest.(check bool) "handlers went through the pool" true
+        (st.Pool.tasks >= 16));
+  Domain.shutdown domain
+
+let suite =
+  ( "shard",
+    [ Alcotest.test_case "shard key: stable, in range, spreading" `Quick
+        test_key_stable;
+      Alcotest.test_case "engine tick barrier placement" `Quick
+        test_tick_barrier;
+      Alcotest.test_case "tick barrier may schedule follow-ups" `Quick
+        test_tick_barrier_schedules_followup;
+      Alcotest.test_case "pool executes every task" `Quick
+        test_pool_executes_all;
+      Alcotest.test_case "pool steals from a loaded shard" `Quick
+        test_pool_steals_from_loaded_shard;
+      Alcotest.test_case "pool counts pressure events" `Quick
+        test_pool_pressure_threshold;
+      Alcotest.test_case "per-shard stats merge on read" `Quick
+        test_stats_merge_on_read;
+      QCheck_alcotest.to_alcotest ~long:false sharded_equivalent;
+      Alcotest.test_case "two domains: parallel dispatch + hand-off" `Quick
+        test_multi_domain_end_to_end ] )

@@ -392,6 +392,77 @@ let test_e2e_corrupt_bytes_condemn_connection () =
   Unix.close rogue;
   List.iter (fun c -> Client.close c.client) ctxs
 
+(* --- reconnect backoff ------------------------------------------------ *)
+
+module Backoff = Client.Backoff
+
+let test_backoff_schedule () =
+  let p = Backoff.default in
+  (* No jitter at u = 0.5: the pure exponential, capped at 10 s. *)
+  Alcotest.(check (list int)) "exponential then capped"
+    [ 100; 200; 400; 800; 1600; 3200; 6400; 10000; 10000 ]
+    (List.map
+       (fun attempt -> Backoff.delay_ms p ~attempt ~u:0.5)
+       [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]);
+  (* Jitter spans ±20% of the capped delay. *)
+  Alcotest.(check int) "low draw" 80 (Backoff.delay_ms p ~attempt:0 ~u:0.0);
+  Alcotest.(check bool) "high draw" true
+    (Backoff.delay_ms p ~attempt:0 ~u:0.9999 >= 119);
+  for attempt = 0 to 12 do
+    let d = Backoff.delay_ms p ~attempt ~u:0.37 in
+    Alcotest.(check bool) "never negative" true (d >= 0);
+    Alcotest.(check bool) "never above cap + jitter" true
+      (d
+      <= int_of_float
+           (float_of_int p.Backoff.max_delay_ms *. (1. +. p.Backoff.jitter)))
+  done
+
+let test_reconnect_with_backoff () =
+  (* One client, a broker that dies and (mid-loop) comes back: the
+     backoff loop must wait per the schedule, succeed as soon as the
+     broker returns, and — once the port is truly dead — give up after
+     exactly [max_retries] waits. *)
+  Trace.set_ambient (Trace.create ());
+  let listen_fd = Broker.listen_socket ~host:"127.0.0.1" ~port:0 in
+  let port = bound_port listen_fd in
+  let bp = fork_broker ~listen_fd () in
+  let ctx = fresh_ctx ~id:"backoff" ~port in
+  kill_broker bp;
+  let policy =
+    { Backoff.default with base_ms = 10; max_delay_ms = 40; jitter = 0.;
+      max_retries = 4 }
+  in
+  (* Phase 1: the parent still holds the listening socket, so dials sit
+     in the backlog and the handshake times out. The second wait brings
+     a replacement broker up on the same fd — the next attempt lands. *)
+  let slept = ref [] in
+  let bp2 = ref None in
+  let sleep ms =
+    slept := ms :: !slept;
+    if List.length !slept = 2 then bp2 := Some (fork_broker ~listen_fd ())
+  in
+  Alcotest.(check bool) "recovers once the broker returns" true
+    (Client.reconnect_with_backoff ~policy ~sleep ~rand:(fun () -> 0.5)
+       ~timeout_ms:300 ctx.client);
+  Alcotest.(check (list int)) "two scheduled waits" [ 10; 20 ]
+    (List.rev !slept);
+  Alcotest.(check bool) "client is back" true (Client.connected ctx.client);
+  (match !bp2 with Some bp -> quit_broker bp | None -> ());
+  Unix.close listen_fd;
+  (* Phase 2: nothing listens any more — every attempt is refused, the
+     loop walks the whole capped schedule and gives up. *)
+  slept := [];
+  Alcotest.(check bool) "gives up on a dead port" false
+    (Client.reconnect_with_backoff ~policy
+       ~sleep:(fun ms -> slept := ms :: !slept)
+       ~rand:(fun () -> 0.5) ~timeout_ms:200 ctx.client);
+  Alcotest.(check (list int)) "waits follow the capped schedule"
+    [ 10; 20; 40; 40 ] (List.rev !slept);
+  Alcotest.(check int) "every wait counted" 6
+    (Trace.Counter.value
+       (Trace.counter (Trace.ambient ()) "transport.backoff_waits"));
+  Client.close ctx.client
+
 let suite =
   ( "transport",
     [ Alcotest.test_case "framing roundtrip" `Quick test_frame_roundtrip;
@@ -414,4 +485,8 @@ let suite =
       Alcotest.test_case "e2e: exactly-once across broker restart" `Quick
         test_e2e_broker_restart_exactly_once;
       Alcotest.test_case "e2e: corrupt bytes condemn only their connection"
-        `Quick test_e2e_corrupt_bytes_condemn_connection ] )
+        `Quick test_e2e_corrupt_bytes_condemn_connection;
+      Alcotest.test_case "backoff schedule is exponential, capped, jittered"
+        `Quick test_backoff_schedule;
+      Alcotest.test_case "reconnect with backoff: recover, then give up"
+        `Quick test_reconnect_with_backoff ] )
