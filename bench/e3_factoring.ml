@@ -110,6 +110,122 @@ let run_prune_cell ~n ~dead =
     t_all /. float_of_int events_n *. 1e6,
     t_kept /. float_of_int events_n *. 1e6 )
 
+(* Third table pair: the covering tier that backs [pscc lint
+   --deployment] and the broker's suppression index.
+
+   e3c_decision — cost of one [Subsume.covers] decision as the filters
+   grow (k conjunction atoms per side), in both the provable direction
+   (narrow ⊆ wide) and the refutable one (wide ⊈ narrow).
+
+   e3c_suppression — the broker install scan: filters arrive in order,
+   each is suppressed iff an already-installed one covers it. Reported
+   per (population, redundancy) cell, with the mean decision cost. *)
+
+let conj ~k ~slack =
+  let atom i =
+    let c = i * 3 in
+    if i mod 2 = 0 then
+      Expr.(getter [ "getPrice" ] >=. float (float_of_int (c - slack)))
+    else Expr.(getter [ "getAmount" ] <=. int (1000 - c + slack))
+  in
+  List.fold_left
+    (fun acc i -> Expr.(acc &&& atom i))
+    (atom 0)
+    (List.init (max 0 (k - 1)) (fun i -> i + 1))
+
+let rf_exn expr =
+  match Rfilter.of_expr ~env:[] ~param:"StockQuote" expr with
+  | Some rf -> rf
+  | None -> failwith "e3c: expression did not lift to a remote filter"
+
+let decision_runs = 200
+
+let run_decision_cell ~k =
+  let reg = Workload.registry () in
+  let narrow = rf_exn (conj ~k ~slack:0) in
+  let wide = rf_exn (conj ~k ~slack:5) in
+  let covers = Subsume.covers ~registry:reg ~param:"StockQuote" in
+  assert (covers narrow wide);
+  assert (not (covers wide narrow));
+  let time dir =
+    Workload.time_per_op ~runs:3 (fun () ->
+        for _ = 1 to decision_runs do
+          ignore (dir ())
+        done)
+    /. float_of_int decision_runs *. 1e6
+  in
+  let t_yes = time (fun () -> covers narrow wide) in
+  let t_no = time (fun () -> covers wide narrow) in
+  (2 * k, t_yes, t_no)
+
+let run_suppression_cell ~n ~redundancy =
+  let reg = Workload.registry () in
+  let rng = Rng.create (n + int_of_float (redundancy *. 1000.) + 7) in
+  let rfilters =
+    Workload.filter_population rng ~n ~redundancy ~pool:(max 1 (n / 20))
+    |> List.filter_map (Rfilter.of_expr ~env:[] ~param:"StockQuote")
+  in
+  let covers = Subsume.covers ~registry:reg ~param:"StockQuote" in
+  let installed = ref [] in
+  let suppressed = ref 0 in
+  let decisions = ref 0 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun rf ->
+      let coverer =
+        List.exists
+          (fun ins ->
+            incr decisions;
+            covers rf ins)
+          !installed
+      in
+      if coverer then incr suppressed else installed := rf :: !installed)
+    rfilters;
+  let dt = Sys.time () -. t0 in
+  let total = List.length rfilters in
+  ( total,
+    List.length !installed,
+    !suppressed,
+    100. *. float_of_int !suppressed /. float_of_int (max 1 total),
+    dt /. float_of_int (max 1 !decisions) *. 1e6 )
+
+let run_cover () =
+  Workload.table_header
+    "E3c covering decisions (Subsume.covers) and broker-side suppression"
+    [ "atoms"; "covered(us)"; "not-covered(us)" ];
+  Workload.json_table ~key:"e3c_decision"
+    ~cols:[ "atoms"; "covered_us"; "not_covered_us" ];
+  List.iter
+    (fun k ->
+      let atoms, t_yes, t_no = run_decision_cell ~k in
+      Fmt.pr "%5d  %11.2f  %15.2f@." atoms t_yes t_no;
+      Workload.json_row ~key:"e3c_decision"
+        [ Workload.J_int atoms; Workload.J_float t_yes; Workload.J_float t_no ])
+    [ 1; 2; 4; 8; 16 ];
+  Workload.table_header
+    "E3c broker install scan: subs suppressed by an installed coverer"
+    [ "subs"; "redund"; "installed"; "suppressed"; "rate"; "decision(us)" ];
+  Workload.json_table ~key:"e3c_suppression"
+    ~cols:
+      [ "subs"; "redundancy_pct"; "installed"; "suppressed";
+        "suppressed_pct"; "decision_us" ];
+  List.iter
+    (fun n ->
+      List.iter
+        (fun redundancy ->
+          let total, installed, suppressed, rate, dec_us =
+            run_suppression_cell ~n ~redundancy
+          in
+          Fmt.pr "%5d  %6.0f%%  %9d  %10d  %4.0f%%  %11.2f@." total
+            (100. *. redundancy) installed suppressed rate dec_us;
+          Workload.json_row ~key:"e3c_suppression"
+            [ Workload.J_int total;
+              Workload.J_float (100. *. redundancy);
+              Workload.J_int installed; Workload.J_int suppressed;
+              Workload.J_float rate; Workload.J_float dec_us ])
+        [ 0.0; 0.5; 0.9 ])
+    [ 100; 1000 ]
+
 let run () =
   Workload.table_header
     "E3  compound-filter factoring vs naive per-subscriber evaluation"
@@ -140,4 +256,5 @@ let run () =
           Fmt.pr "%5d  %4.0f%%  %6d  %11.2f  %18.2f  %15d@." subs
             (100. *. dead) pruned t_all t_kept pruned)
         [ 0.0; 0.1; 0.3 ])
-    [ 100; 1000 ]
+    [ 100; 1000 ];
+  run_cover ()

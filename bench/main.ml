@@ -2,7 +2,7 @@
 
    dune exec bench/main.exe                    -- run everything
    dune exec bench/main.exe -- e3 e5           -- selected experiments
-   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_8.json
+   dune exec bench/main.exe -- --json a4 micro -- also dump BENCH_9.json
    dune exec bench/main.exe -- --guard-a4 3.0 a4
                                                -- CI perf smoke: fail if the
                                                   COW arm at 64 subs/node
@@ -10,7 +10,12 @@
    dune exec bench/main.exe -- --guard-shard 2.0 e1
                                                -- CI scaling smoke: fail if the
                                                   4-shard E1b dispatch run is
-                                                  under 2x the 1-shard run *)
+                                                  under 2x the 1-shard run
+   dune exec bench/main.exe -- --guard-cover 50 e3
+                                               -- CI covering smoke: fail if the
+                                                  E3c install scan suppresses
+                                                  less than 50% of a highly
+                                                  redundant population *)
 
 let experiments =
   [ "e1", E1_routing.run; "e2", E2_semantics.run; "e3", E3_factoring.run;
@@ -20,7 +25,7 @@ let experiments =
     "a4", A1_ablations.a4; "micro", Micro.run; "obs", Obs.run;
     "crash", Crash_smoke.run; "shard", Shard_smoke.run ]
 
-let json_path = "BENCH_8.json"
+let json_path = "BENCH_9.json"
 
 let guard_a4 limit =
   match Workload.json_find "a4" with
@@ -83,13 +88,44 @@ let guard_shard floor =
           Fmt.pr "shard guard: 4-shard dispatch = %.2fx 1-shard (floor %.2fx)@."
             s floor)
 
+let guard_cover floor =
+  match Workload.json_find "e3c_suppression" with
+  | None ->
+      Fmt.epr "--guard-cover: the E3c suppression table was not produced \
+               (run e3)@.";
+      exit 1
+  | Some (_, rows) -> (
+      (* last row = largest population at the highest redundancy *)
+      let rate =
+        match List.rev rows with
+        | last :: _ -> (
+            match List.nth_opt last 4 with
+            | Some (Workload.J_float r) -> Some r
+            | _ -> None)
+        | [] -> None
+      in
+      match rate with
+      | None ->
+          Fmt.epr "--guard-cover: no rows in the E3c suppression table@.";
+          exit 1
+      | Some r when r < floor ->
+          Fmt.epr
+            "--guard-cover: install scan suppressed %.0f%% of the redundant \
+             population, below the %.0f%% floor@."
+            r floor;
+          exit 1
+      | Some r ->
+          Fmt.pr "cover guard: %.0f%% of redundant subs suppressed (floor \
+                  %.0f%%)@."
+            r floor)
+
 let () =
-  let rec parse json guard shard names = function
-    | [] -> json, guard, shard, List.rev names
-    | "--json" :: rest -> parse true guard shard names rest
+  let rec parse json guard shard cover names = function
+    | [] -> json, guard, shard, cover, List.rev names
+    | "--json" :: rest -> parse true guard shard cover names rest
     | "--guard-a4" :: limit :: rest -> (
         match float_of_string_opt limit with
-        | Some l -> parse json (Some l) shard names rest
+        | Some l -> parse json (Some l) shard cover names rest
         | None ->
             Fmt.epr "--guard-a4 expects a ratio, got %s@." limit;
             exit 1)
@@ -98,17 +134,26 @@ let () =
         exit 1
     | "--guard-shard" :: floor :: rest -> (
         match float_of_string_opt floor with
-        | Some f -> parse json guard (Some f) names rest
+        | Some f -> parse json guard (Some f) cover names rest
         | None ->
             Fmt.epr "--guard-shard expects a ratio, got %s@." floor;
             exit 1)
     | [ "--guard-shard" ] ->
         Fmt.epr "--guard-shard expects a ratio@.";
         exit 1
-    | name :: rest -> parse json guard shard (name :: names) rest
+    | "--guard-cover" :: floor :: rest -> (
+        match float_of_string_opt floor with
+        | Some f -> parse json guard shard (Some f) names rest
+        | None ->
+            Fmt.epr "--guard-cover expects a percentage, got %s@." floor;
+            exit 1)
+    | [ "--guard-cover" ] ->
+        Fmt.epr "--guard-cover expects a percentage@.";
+        exit 1
+    | name :: rest -> parse json guard shard cover (name :: names) rest
   in
-  let json, guard, shard, requested =
-    parse false None None [] (List.tl (Array.to_list Sys.argv))
+  let json, guard, shard, cover, requested =
+    parse false None None None [] (List.tl (Array.to_list Sys.argv))
   in
   let requested =
     match requested with [] -> List.map fst experiments | names -> names
@@ -124,4 +169,5 @@ let () =
     requested;
   if json then Workload.write_json json_path;
   Option.iter guard_a4 guard;
-  Option.iter guard_shard shard
+  Option.iter guard_shard shard;
+  Option.iter guard_cover cover

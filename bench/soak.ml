@@ -161,7 +161,26 @@ let run_subscriber ~id ~port ~expect ?metrics_file ?samples_file ?ready_file
   let sub = Pubsub.Process.subscribe ctx.proc ~param:"SoakQuote" handler in
   Pubsub.Subscription.activate sub;
   Engine.run ctx.engine;
-  (* push the Sub registration out before declaring readiness *)
+  (* Two narrower siblings registered after the subscribe-to-all: the
+     broker's covering index suppresses them (and must keep them
+     suppressed across restart resync, where the client replays Subs
+     in original order). Locally they still dispatch, so the wide one
+     doubles as a delivery cross-check on the main handler. *)
+  let covered_all = ref 0 in
+  let covered_sub expr counter =
+    let s =
+      Pubsub.Process.subscribe ctx.proc ~param:"SoakQuote"
+        ~filter:(Tpbs_core.Fspec.tree expr)
+        (fun _ -> incr counter)
+    in
+    Pubsub.Subscription.activate s;
+    Engine.run ctx.engine
+  in
+  let ge k = Tpbs_filter.Expr.(Binop (Ge, getter [ "getSeq" ], int k)) in
+  covered_sub (ge 0) covered_all;
+  let covered_tail = ref 0 in
+  covered_sub (ge (max 1 (expect / 2))) covered_tail;
+  (* push the Sub registrations out before declaring readiness *)
   ignore (Client.poll ctx.client ~timeout_ms:10);
   (match ready_file with
   | Some p ->
@@ -181,11 +200,13 @@ let run_subscriber ~id ~port ~expect ?metrics_file ?samples_file ?ready_file
   | None -> ());
   (match metrics_file with Some p -> dump_metrics p | None -> ());
   Printf.printf
-    "soak[%s]: delivered %d/%d (dups seen by app %d, order violations %d)\n%!"
-    id !delivered expect !dups !reorders;
+    "soak[%s]: delivered %d/%d (dups seen by app %d, order violations %d, \
+     covered siblings saw %d/%d)\n%!"
+    id !delivered expect !dups !reorders !covered_all !covered_tail;
   if !dups > 0 then 4
   else if !reorders > 0 then 5
   else if !delivered < expect then 6
+  else if !covered_all <> !delivered then 7
   else 0
 
 (* --- broker child ------------------------------------------------------ *)

@@ -7,6 +7,7 @@ module Compile = Tpbs_psc.Compile
 module Interp = Tpbs_psc.Interp
 module Pparser = Tpbs_psc.Pparser
 module Lint = Tpbs_analysis.Lint
+module Deploy = Tpbs_analysis.Deploy
 
 let read_file path =
   let ic = open_in_bin path in
@@ -73,18 +74,42 @@ let werror_arg =
     & info [ "werror" ]
         ~doc:"Treat warnings as errors: exit 1 when any finding is reported.")
 
+let deployment_arg =
+  Arg.(
+    value & flag
+    & info [ "deployment" ]
+        ~doc:
+          "Treat $(i,PROGRAM) as a deployment manifest (JSON mapping \
+           Java_ps units to broker groups) and run the deployment-wide \
+           passes TP009–TP013 on top of the per-unit ones.")
+
+let witness_arg =
+  Arg.(
+    value & flag
+    & info [ "witness" ]
+        ~doc:
+          "Include counterexample obvents (e.g. the TP011 coverage-gap \
+           witness) in the report.")
+
 let lint_cmd =
-  let run file format werror =
-    match load file with
-    | Error msgs -> report_errors msgs
-    | Ok compiled ->
-        let diags = Lint.analyze compiled in
-        (match format with
-        | `Json -> print_string (Lint.to_json diags)
-        | `Pretty ->
-            if diags = [] then Fmt.pr "%s: clean — no lint findings@." file
-            else Fmt.pr "%a" Lint.pp_report diags);
-        Lint.exit_code ~werror diags
+  let run file format werror deployment witness =
+    let report diags =
+      let diags = if witness then diags else Lint.strip_witnesses diags in
+      (match format with
+      | `Json -> print_string (Lint.to_json diags)
+      | `Pretty ->
+          if diags = [] then Fmt.pr "%s: clean — no lint findings@." file
+          else Fmt.pr "%a" Lint.pp_report diags);
+      Lint.exit_code ~werror diags
+    in
+    if deployment then
+      match Deploy.load file with
+      | Error msgs -> report_errors msgs
+      | Ok d -> report (Lint.analyze_deployment d)
+    else
+      match load file with
+      | Error msgs -> report_errors msgs
+      | Ok compiled -> report (Lint.analyze compiled)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -93,9 +118,15 @@ let lint_cmd =
           filters (abstract interpretation over the filter language), \
           possible division by zero, dead publishes and dead subscriptions \
           (connectivity over the subtype lattice), mobility/factoring \
-          degradation (§4.4.3), and compile-time QoS conflicts (Fig. 4). \
-          Diagnostic codes TP001–TP008 are stable; see DESIGN.md §9.")
-    Term.(const run $ file_arg $ format_arg $ werror_arg)
+          degradation (§4.4.3), compile-time QoS conflicts (Fig. 4), and — \
+          with $(b,--deployment) — cross-unit covering analysis: redundant \
+          subscriptions, deployment-dead endpoints, coverage gaps with \
+          machine-checked counterexample obvents, cross-unit QoS drift, and \
+          broker-suppressed Subs. Diagnostic codes TP001–TP014 are stable; \
+          see DESIGN.md §9 and §14.")
+    Term.(
+      const run $ file_arg $ format_arg $ werror_arg $ deployment_arg
+      $ witness_arg)
 
 let plan_cmd =
   let run file =

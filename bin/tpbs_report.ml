@@ -7,11 +7,13 @@
 let usage () =
   prerr_endline
     "usage: tpbs_report [--check] [--require COUNTER]... \
-     [--require-le NAME:FIELD<=BOUND]... [FILE|-]";
+     [--require-le NAME:FIELD<=BOUND]... [--require-ge NAME:FIELD>=BOUND]... \
+     [FILE|-]";
   exit 2
 
-(* "soak.latency_us:p99<=500000" → (name, field, bound) *)
-let parse_require_le spec =
+(* "soak.latency_us:p99<=500000" → (name, field, bound); [op] is the
+   comparison glyph separating field from bound ("<=" or ">="). *)
+let parse_require ~op spec =
   match String.index_opt spec ':' with
   | None -> None
   | Some i -> (
@@ -29,7 +31,7 @@ let parse_require_le spec =
         in
         go 0
       in
-      match split_on "<=" with
+      match split_on op with
       | None -> None
       | Some (field, bound) -> (
           match float_of_string_opt (String.trim bound) with
@@ -48,6 +50,7 @@ let () =
   let check_mode = ref false in
   let required = ref [] in
   let required_le = ref [] in
+  let required_ge = ref [] in
   let file = ref None in
   let rec parse = function
     | [] -> ()
@@ -61,7 +64,7 @@ let () =
         prerr_endline "tpbs_report: --require expects a counter name";
         exit 2
     | "--require-le" :: spec :: rest -> (
-        match parse_require_le spec with
+        match parse_require ~op:"<=" spec with
         | Some r ->
             required_le := r :: !required_le;
             parse rest
@@ -72,6 +75,19 @@ let () =
             exit 2)
     | [ "--require-le" ] ->
         prerr_endline "tpbs_report: --require-le expects NAME:FIELD<=BOUND";
+        exit 2
+    | "--require-ge" :: spec :: rest -> (
+        match parse_require ~op:">=" spec with
+        | Some r ->
+            required_ge := r :: !required_ge;
+            parse rest
+        | None ->
+            Printf.eprintf
+              "tpbs_report: bad --require-ge spec %S (want NAME:FIELD>=BOUND)\n"
+              spec;
+            exit 2)
+    | [ "--require-ge" ] ->
+        prerr_endline "tpbs_report: --require-ge expects NAME:FIELD>=BOUND";
         exit 2
     | "-" :: rest ->
         file := None;
@@ -133,9 +149,27 @@ let () =
             bound)
         failed_le;
       if failed_le <> [] then exit 1;
+      let failed_ge =
+        List.filter
+          (fun (name, field, bound) ->
+            match Tpbs_trace.Report.metric_value lines name field with
+            | Some v when v >= bound -> false
+            | _ -> true)
+          (List.rev !required_ge)
+      in
+      List.iter
+        (fun (name, field, bound) ->
+          Printf.eprintf "tpbs_report: floor %s:%s %s (bound %g)\n" name field
+            (match Tpbs_trace.Report.metric_value lines name field with
+            | None -> "was never exported"
+            | Some v -> Printf.sprintf "is %g, want >= %g" v bound)
+            bound)
+        failed_ge;
+      if failed_ge <> [] then exit 1;
       if !check_mode then Printf.printf "ok: %d valid lines\n" n
-      else if !required = [] && !required_le = [] then
+      else if !required = [] && !required_le = [] && !required_ge = [] then
         print_string (Tpbs_trace.Report.summarize lines)
       else
         Printf.printf "ok: %d requirements satisfied\n"
-          (List.length !required + List.length !required_le)
+          (List.length !required + List.length !required_le
+         + List.length !required_ge)

@@ -5,118 +5,16 @@ module Expr = Tpbs_filter.Expr
 module Rfilter = Tpbs_filter.Rfilter
 module Subsume = Tpbs_filter.Subsume
 
-(* --- path schemas ------------------------------------------------------- *)
+(* --- path schemas / atom verdicts --------------------------------------- *)
 
-let path_type reg ~param path =
-  let rec walk cls = function
-    | [] -> None
-    | [ m ] -> Registry.method_ret reg cls m
-    | m :: rest -> (
-        match Registry.method_ret reg cls m with
-        | Some (Vtype.Tobject next) -> walk next rest
-        | Some _ | None -> None)
-  in
-  match path with [] -> None | _ -> walk param path
+(* The registry-aware atom reasoning lives in [Subsume] (the covering
+   procedure and the broker's covering index consume the same core);
+   this module keeps its historical surface and delegates. *)
 
-(* A path is reliable when evaluating it on any conforming obvent
-   always yields a present value of a primitive numeric/bool type:
-   length-1 getters on int/float/bool attributes. Longer paths cross
-   object-typed attributes that may be [Null], and strings may be
-   [Null] too (Java reference semantics) — either makes
-   [Rfilter.eval_atom] collapse to [false], so tautology reasoning
-   must not see through them. *)
-let reliable_path reg ~param path =
-  match path with
-  | [ _ ] -> (
-      match path_type reg ~param path with
-      | Some (Vtype.Tint | Vtype.Tfloat | Vtype.Tbool) -> true
-      | Some _ | None -> false)
-  | _ -> false
-
-(* --- atom-level verdicts from declared types ----------------------------- *)
-
-(* [true] when the atom can never hold on a conforming obvent: the
-   declared type of its path cannot produce a value the comparison
-   accepts. An ordering comparison against a numeric constant only
-   holds for numeric values; contains/startsWith only for strings.
-   [Cne] is never "never": on a kind mismatch it is always true. *)
-let atom_never reg ~param (a : Rfilter.atom) =
-  match path_type reg ~param a.path with
-  | None -> false (* unknown method: the typechecker already rejected *)
-  | Some ty -> (
-      match a.cmp with
-      | Clt | Cle | Cgt | Cge -> (
-          match ty, a.const with
-          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
-          | Tstring, Value.Str _ -> false
-          | _, _ -> true)
-      | Ccontains | Cprefix -> (
-          match ty, a.const with
-          | Vtype.Tstring, Value.Str _ -> false
-          | _, _ -> true)
-      | Ceq -> (
-          match ty, a.const with
-          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
-          | Tbool, Value.Bool _ -> false
-          | Tstring, (Value.Str _ | Value.Null) -> false
-          | (Tobject _ | Tremote _ | Tlist _), _ -> false
-          | (Tint | Tfloat | Tbool | Tstring), _ -> true)
-      | Cne -> false)
-
-(* Replace statically-false atoms by [False] so the satisfiability
-   check sees them. *)
-let rec prune_never reg ~param (f : Rfilter.formula) : Rfilter.formula =
-  match f with
-  | Atom a when atom_never reg ~param a -> False
-  | Not f -> Not (prune_never reg ~param f)
-  | And fs -> And (List.map (prune_never reg ~param) fs)
-  | Or fs -> Or (List.map (prune_never reg ~param) fs)
-  | (True | False | Atom _) as f -> f
-
-(* Complement of an atom, exact on values the path is guaranteed to
-   produce. Only claimed for ordering/equality against numeric
-   constants on reliable numeric paths: there the extracted value is
-   always a present number, so e.g. [¬(p < c)] is exactly [p >= c].
-   Anywhere else a missing/null/mistyped value falsifies both the atom
-   and its would-be complement, and no complement exists. *)
-let complement_atom reg ~param (a : Rfilter.atom) : Rfilter.atom option =
-  let numeric_const =
-    match a.const with Value.Int _ | Value.Float _ -> true | _ -> false
-  in
-  let numeric_path =
-    match path_type reg ~param a.path with
-    | Some (Vtype.Tint | Vtype.Tfloat) -> true
-    | Some _ | None -> false
-  in
-  if not (numeric_const && numeric_path && reliable_path reg ~param a.path)
-  then None
-  else
-    let flip cmp : Rfilter.cmp =
-      match (cmp : Rfilter.cmp) with
-      | Clt -> Cge
-      | Cle -> Cgt
-      | Cgt -> Cle
-      | Cge -> Clt
-      | Ceq -> Cne
-      | Cne -> Ceq
-      | Ccontains | Cprefix -> assert false
-    in
-    match a.cmp with
-    | Clt | Cle | Cgt | Cge | Ceq | Cne -> Some { a with cmp = flip a.cmp }
-    | Ccontains | Cprefix -> None
-
-(* Negation normal form of [¬f], using atom complements where exact. *)
-let rec neg reg ~param (f : Rfilter.formula) : Rfilter.formula =
-  match f with
-  | True -> False
-  | False -> True
-  | Not g -> g
-  | And fs -> Or (List.map (neg reg ~param) fs)
-  | Or fs -> And (List.map (neg reg ~param) fs)
-  | Atom a -> (
-      match complement_atom reg ~param a with
-      | Some a' -> Atom a'
-      | None -> Not (Atom a))
+let path_type = Subsume.path_type
+let reliable_path = Subsume.reliable_path
+let prune_never = Subsume.prune_never
+let neg = Subsume.neg
 
 (* --- filter verdicts ----------------------------------------------------- *)
 

@@ -1,0 +1,234 @@
+module Registry = Tpbs_types.Registry
+module Jsonl = Tpbs_trace.Jsonl
+module Compile = Tpbs_psc.Compile
+module Pparser = Tpbs_psc.Pparser
+
+(* A deployment: several separately-compiled Java_ps units plus a JSON
+   manifest mapping each unit to a broker group. Units in the same
+   group exchange traffic through one filtering host; distinct groups
+   do not (until federation bridges them). The manifest is the unit of
+   analysis for the deployment-wide passes (TP009–TP013):
+
+     { "deployment": "fleet",
+       "units": [
+         { "name": "market", "file": "market.javaps", "broker": "b1" },
+         ... ] }
+
+   [file] paths are resolved relative to the manifest; [broker]
+   defaults to ["default"]. *)
+
+type unit_ = {
+  u_name : string;
+  u_file : string;
+  u_broker : string;
+  u_compiled : Compile.t;
+}
+
+type mismatch = { m_type : string; m_first : string; m_other : string }
+
+type t = {
+  d_name : string;
+  d_units : unit_ list;
+  d_registry : Registry.t;
+  d_mismatches : mismatch list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_file path =
+  match read_file path with
+  | exception Sys_error msg -> Error [ msg ]
+  | src -> (
+      match Pparser.program_of_string src with
+      | program -> (
+          match Compile.compile_result program with
+          | Ok compiled -> Ok compiled
+          | Error msgs ->
+              Error (List.map (fun m -> "compile error: " ^ m) msgs))
+      | exception Pparser.Parse_error (pos, msg) ->
+          Error
+            [ Fmt.str "parse error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg ]
+      | exception Tpbs_filter.Lexer.Lex_error (pos, msg) ->
+          Error
+            [ Fmt.str "lex error at %a: %s" Tpbs_filter.Lexer.pp_pos pos msg ])
+
+(* --- registry merging ---------------------------------------------------- *)
+
+let norm_decl (d : Registry.decl) =
+  {
+    d with
+    supers = List.sort String.compare d.supers;
+    attrs = List.sort compare d.attrs;
+    methods = List.sort compare d.methods;
+  }
+
+(* Fold one unit's types into the merged lattice, supers first. The
+   first declaration of a name wins; a later unit declaring the same
+   name differently is recorded as a mismatch (feeding TP012) and its
+   declaration is dropped — the deployment-wide passes then reason
+   over the first unit's view, which is what the broker group's
+   dynamically-grown lattice would converge to as well (first
+   Advertise wins there too). *)
+let merge_unit ~merged ~first_owner ~mismatches ~owner (ureg : Registry.t) =
+  let builtin = Registry.create () in
+  let names =
+    List.filter
+      (fun n -> not (Registry.exists builtin n))
+      (Registry.all_types ureg)
+  in
+  let visited = Hashtbl.create 16 in
+  let rec declare name =
+    if not (Hashtbl.mem visited name) then begin
+      Hashtbl.replace visited name ();
+      let d = Registry.find ureg name in
+      List.iter (fun s -> if List.mem s names then declare s) d.supers;
+      if Registry.exists merged name then begin
+        let d' = Registry.find merged name in
+        if norm_decl d' <> norm_decl d then
+          mismatches :=
+            {
+              m_type = name;
+              m_first =
+                (match Hashtbl.find_opt first_owner name with
+                | Some o -> o
+                | None -> owner);
+              m_other = owner;
+            }
+            :: !mismatches
+      end
+      else begin
+        Hashtbl.replace first_owner name owner;
+        match d.kind with
+        | Registry.Interface -> (
+            try
+              Registry.declare_interface merged ~name ~extends:d.supers
+                ~methods:
+                  (List.map
+                     (fun (m : Registry.meth) -> (m.mname, m.ret))
+                     d.methods)
+                ()
+            with Registry.Type_error _ -> ())
+        | Registry.Class -> (
+            let ext = List.find_opt (Registry.is_class ureg) d.supers in
+            let impls =
+              List.filter (fun s -> not (Registry.is_class ureg s)) d.supers
+            in
+            try
+              Registry.declare_class merged ~name ?extends:ext
+                ~implements:impls ~attrs:d.attrs ()
+            with Registry.Type_error _ -> ())
+      end
+    end
+  in
+  List.iter declare names
+
+(* --- manifest loading ---------------------------------------------------- *)
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error [ msg ]
+  | src -> (
+      match Jsonl.parse src with
+      | Error e ->
+          Error [ Fmt.str "%s: manifest is not valid JSON: %s" path e ]
+      | Ok j -> (
+          let name =
+            match Option.bind (Jsonl.member "deployment" j) Jsonl.to_string with
+            | Some n -> n
+            | None -> Filename.remove_extension (Filename.basename path)
+          in
+          let dir = Filename.dirname path in
+          match Jsonl.member "units" j with
+          | Some (Jsonl.Arr (_ :: _ as us)) ->
+              let errors = ref [] in
+              let err m = errors := !errors @ [ m ] in
+              let units =
+                List.filter_map
+                  (fun u ->
+                    match
+                      ( Option.bind (Jsonl.member "name" u) Jsonl.to_string,
+                        Option.bind (Jsonl.member "file" u) Jsonl.to_string )
+                    with
+                    | Some uname, Some file -> (
+                        let broker =
+                          match
+                            Option.bind (Jsonl.member "broker" u)
+                              Jsonl.to_string
+                          with
+                          | Some b -> b
+                          | None -> "default"
+                        in
+                        let file =
+                          if Filename.is_relative file then
+                            Filename.concat dir file
+                          else file
+                        in
+                        match compile_file file with
+                        | Ok c ->
+                            Some
+                              {
+                                u_name = uname;
+                                u_file = file;
+                                u_broker = broker;
+                                u_compiled = c;
+                              }
+                        | Error msgs ->
+                            List.iter
+                              (fun m -> err (Fmt.str "unit %s: %s" uname m))
+                              msgs;
+                            None)
+                    | _ ->
+                        err
+                          (Fmt.str
+                             "%s: every manifest unit needs \"name\" and \
+                              \"file\" fields"
+                             path);
+                        None)
+                  us
+              in
+              let seen = Hashtbl.create 8 in
+              List.iter
+                (fun u ->
+                  if Hashtbl.mem seen u.u_name then
+                    err (Fmt.str "duplicate unit name %s" u.u_name)
+                  else Hashtbl.add seen u.u_name ())
+                units;
+              if !errors <> [] then Error !errors
+              else begin
+                let merged = Registry.create () in
+                let first_owner = Hashtbl.create 16 in
+                let mismatches = ref [] in
+                List.iter
+                  (fun u ->
+                    merge_unit ~merged ~first_owner ~mismatches
+                      ~owner:u.u_name u.u_compiled.Compile.registry)
+                  units;
+                Ok
+                  {
+                    d_name = name;
+                    d_units = units;
+                    d_registry = merged;
+                    d_mismatches = List.rev !mismatches;
+                  }
+              end
+          | Some _ | None ->
+              Error
+                [ Fmt.str "%s: manifest needs a non-empty \"units\" array" path ]))
+
+let broker_groups t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun u ->
+      match Hashtbl.find_opt tbl u.u_broker with
+      | Some us -> Hashtbl.replace tbl u.u_broker (us @ [ u ])
+      | None ->
+          order := u.u_broker :: !order;
+          Hashtbl.replace tbl u.u_broker [ u ])
+    t.d_units;
+  List.rev_map (fun b -> (b, Hashtbl.find tbl b)) !order

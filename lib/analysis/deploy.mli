@@ -1,0 +1,50 @@
+(** Deployment model for multi-unit analysis ([pscc lint
+    --deployment]): several separately-compiled Java_ps units plus a
+    JSON manifest mapping each unit to a broker group.
+
+    Units in the same broker group exchange traffic through one
+    filtering host; distinct groups do not. Cross-unit reasoning
+    (redundant subscriptions, deployment-dead endpoints, coverage
+    gaps, QoS drift between re-declarations of a shared type) runs
+    over the merged type lattice built here.
+
+    Manifest shape:
+    {[
+      { "deployment": "fleet",
+        "units": [
+          { "name": "market", "file": "market.javaps", "broker": "b1" },
+          ... ] }
+    ]}
+    [file] is resolved relative to the manifest; [broker] defaults to
+    ["default"]. *)
+
+type unit_ = {
+  u_name : string;  (** manifest name, unique in the deployment *)
+  u_file : string;  (** resolved source path *)
+  u_broker : string;  (** broker group *)
+  u_compiled : Tpbs_psc.Compile.t;
+}
+
+type mismatch = {
+  m_type : string;  (** type declared differently across units *)
+  m_first : string;  (** unit whose declaration won in the merge *)
+  m_other : string;  (** unit with the conflicting re-declaration *)
+}
+
+type t = {
+  d_name : string;
+  d_units : unit_ list;  (** manifest order *)
+  d_registry : Tpbs_types.Registry.t;
+      (** merged lattice; on conflict the first declaration wins, the
+          same convergence a broker group's dynamically-grown lattice
+          exhibits (first [Advertise] wins) *)
+  d_mismatches : mismatch list;  (** conflicts recorded by the merge *)
+}
+
+val load : string -> (t, string list) result
+(** Parse the manifest, compile every unit, merge the lattices. The
+    error list aggregates manifest problems and per-unit compile
+    errors (each prefixed with its unit name). *)
+
+val broker_groups : t -> (string * unit_ list) list
+(** Units grouped by broker, in first-appearance order. *)

@@ -20,35 +20,72 @@
       evaluation (§4.4.3), with the precise reason and a rewrite hint
     - [TP008] — QoS conflict on a declared obvent type: the Fig. 4
       precedence will silently drop semantics at runtime
+    - [TP014] — info: a variable-capturing filter (named variables)
+      gets no static verdict; the engine re-checks the lifted filter
+      at subscription time
 
-    All findings are warnings; errors are reserved for compile
-    failures (reported by [pscc] itself via {!Tpbs_psc.Compile.compile_result}). *)
+    Deployment-wide codes (from {!analyze_deployment}, over a
+    {!Deploy.t} manifest):
 
-type severity = Warning | Error
+    - [TP009] — redundant subscription: a sibling subscription of the
+      same process covers it ({!Tpbs_filter.Subsume.covers}), so it
+      can never add a delivery
+    - [TP010] — deployment-dead publish/subscription: refines
+      TP005/TP006 across every unit of the broker group, noting when
+      the missing peer exists only in another group
+    - [TP011] — coverage gap: conforming obvents of a published class
+      match no subscription of the broker group; only reported with a
+      machine-checked counterexample obvent in [witness]
+    - [TP012] — cross-process QoS mismatch: a type re-declared across
+      units where the publisher resolves weaker QoS than a remote
+      subscriber assumes
+    - [TP013] — info: the broker's covering index will suppress this
+      Sub — an earlier forward from the same unit already covers it
+
+    Findings are warnings or info notes; errors are reserved for
+    compile failures (reported by [pscc] itself via
+    {!Tpbs_psc.Compile.compile_result}). *)
+
+type severity = Info | Warning | Error
 
 val severity_name : severity -> string
 
 type diagnostic = {
-  code : string;  (** stable code, [TP001]..[TP008] *)
+  code : string;  (** stable code, [TP001]..[TP014] *)
   severity : severity;
   where : string;
       (** program location: ["process/subscription_var"], ["publish
-          Cls"], or a type name *)
+          Cls"], or a type name; deployment findings prefix the unit
+          or broker-group name *)
   message : string;
   hint : string option;  (** suggested rewrite, when one exists *)
+  witness : Tpbs_serial.Value.t option;
+      (** counterexample obvent, machine-checked against the claim
+          (TP011: matches the published class, matches no
+          subscription) *)
 }
 
 val analyze : Tpbs_psc.Compile.t -> diagnostic list
-(** Run all passes. The result is deterministically sorted by
-    (code, where, message). Verdicts on variable-capturing filters are
-    skipped (their constants only exist at subscription time; the
+(** Run all single-unit passes. The result is deterministically sorted
+    by (code, where, message). Verdicts on variable-capturing filters
+    are skipped (their constants only exist at subscription time; the
     engine re-checks the actually-lifted filter and prunes it there —
-    see [Pubsub]). *)
+    see [Pubsub]) and flagged as TP014. *)
+
+val analyze_deployment : Deploy.t -> diagnostic list
+(** Run the per-unit passes on every unit (where-prefixed with the
+    unit name, minus TP005/TP006 which TP010 refines) plus the
+    deployment-wide passes TP009–TP013, sorted as {!analyze}. *)
 
 val has_error : diagnostic list -> bool
 
 val exit_code : werror:bool -> diagnostic list -> int
-(** [0] clean; [1] warnings present and [werror]; [2] errors. *)
+(** [0] clean; [1] warnings present and [werror] ([Info] findings
+    never gate); [2] errors. *)
+
+val strip_witnesses : diagnostic list -> diagnostic list
+(** Drop every [witness] payload (default for [pscc lint] without
+    [--witness], keeping reports small and goldens stable). *)
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 val pp_report : Format.formatter -> diagnostic list -> unit
@@ -56,4 +93,5 @@ val pp_report : Format.formatter -> diagnostic list -> unit
 val to_json : diagnostic list -> string
 (** Stable machine-readable report: a JSON array of objects with
     [code], [severity], [where], [message] and (when present) [hint]
-    fields, in {!analyze} order. *)
+    and [witness] fields, in {!analyze} order. Witness obvents render
+    with their class under a ["class"] key. *)

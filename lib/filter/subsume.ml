@@ -314,3 +314,420 @@ let count_covered filters =
     if !is_covered then incr covered
   done;
   !covered
+
+(* --- registry-aware atom reasoning ------------------------------------- *)
+
+(* Shared between the static analyzer ([Absint] delegates here) and
+   the covering procedure below: declared getter types constrain the
+   values a filter can observe, because obvents are validated against
+   their schema at construction. *)
+
+module Vtype = Tpbs_types.Vtype
+module Registry = Tpbs_types.Registry
+module Obvent = Tpbs_obvent.Obvent
+
+let path_type reg ~param path =
+  let rec walk cls = function
+    | [] -> None
+    | [ m ] -> Registry.method_ret reg cls m
+    | m :: rest -> (
+        match Registry.method_ret reg cls m with
+        | Some (Vtype.Tobject next) -> walk next rest
+        | Some _ | None -> None)
+  in
+  match path with [] -> None | _ -> walk param path
+
+(* A path is reliable when evaluating it on any conforming obvent
+   always yields a present value of a primitive numeric/bool type:
+   length-1 getters on int/float/bool attributes. Longer paths cross
+   object-typed attributes that may be [Null], and strings may be
+   [Null] too (Java reference semantics) — either makes
+   [Rfilter.eval_atom] collapse to [false], so complement reasoning
+   must not see through them. *)
+let reliable_path reg ~param path =
+  match path with
+  | [ _ ] -> (
+      match path_type reg ~param path with
+      | Some (Vtype.Tint | Vtype.Tfloat | Vtype.Tbool) -> true
+      | Some _ | None -> false)
+  | _ -> false
+
+(* [true] when the atom can never hold on a conforming obvent: the
+   declared type of its path cannot produce a value the comparison
+   accepts. An ordering comparison against a numeric constant only
+   holds for numeric values; contains/startsWith only for strings.
+   [Cne] is never "never": on a kind mismatch it is always true. *)
+let atom_never reg ~param (a : Rfilter.atom) =
+  match path_type reg ~param a.path with
+  | None -> false (* unknown method: the typechecker already rejected *)
+  | Some ty -> (
+      match a.cmp with
+      | Clt | Cle | Cgt | Cge -> (
+          match ty, a.const with
+          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
+          | Tstring, Value.Str _ -> false
+          | _, _ -> true)
+      | Ccontains | Cprefix -> (
+          match ty, a.const with
+          | Vtype.Tstring, Value.Str _ -> false
+          | _, _ -> true)
+      | Ceq -> (
+          match ty, a.const with
+          | (Tint | Tfloat), (Value.Int _ | Value.Float _) -> false
+          | Tbool, Value.Bool _ -> false
+          | Tstring, (Value.Str _ | Value.Null) -> false
+          | (Tobject _ | Tremote _ | Tlist _), _ -> false
+          | (Tint | Tfloat | Tbool | Tstring), _ -> true)
+      | Cne -> false)
+
+(* Replace statically-false atoms by [False] so the satisfiability
+   check sees them. *)
+let rec prune_never reg ~param (f : Rfilter.formula) : Rfilter.formula =
+  match f with
+  | Atom a when atom_never reg ~param a -> False
+  | Not f -> Not (prune_never reg ~param f)
+  | And fs -> And (List.map (prune_never reg ~param) fs)
+  | Or fs -> Or (List.map (prune_never reg ~param) fs)
+  | (True | False | Atom _) as f -> f
+
+(* Complement of an atom, exact on values the path is guaranteed to
+   produce. Only claimed for ordering/equality against numeric
+   constants on reliable numeric paths: there the extracted value is
+   always a present number, so e.g. [¬(p < c)] is exactly [p >= c].
+   Anywhere else a missing/null/mistyped value falsifies both the atom
+   and its would-be complement, and no complement exists. *)
+let complement_atom reg ~param (a : Rfilter.atom) : Rfilter.atom option =
+  let numeric_const =
+    match a.const with Value.Int _ | Value.Float _ -> true | _ -> false
+  in
+  let numeric_path =
+    match path_type reg ~param a.path with
+    | Some (Vtype.Tint | Vtype.Tfloat) -> true
+    | Some _ | None -> false
+  in
+  if not (numeric_const && numeric_path && reliable_path reg ~param a.path)
+  then None
+  else
+    let flip cmp : Rfilter.cmp =
+      match (cmp : Rfilter.cmp) with
+      | Clt -> Cge
+      | Cle -> Cgt
+      | Cgt -> Cle
+      | Cge -> Clt
+      | Ceq -> Cne
+      | Cne -> Ceq
+      | Ccontains | Cprefix -> assert false
+    in
+    match a.cmp with
+    | Clt | Cle | Cgt | Cge | Ceq | Cne -> Some { a with cmp = flip a.cmp }
+    | Ccontains | Cprefix -> None
+
+(* Negation normal form of [¬f], using atom complements where exact. *)
+let rec neg reg ~param (f : Rfilter.formula) : Rfilter.formula =
+  match f with
+  | True -> False
+  | False -> True
+  | Not g -> g
+  | And fs -> Or (List.map (neg reg ~param) fs)
+  | Or fs -> And (List.map (neg reg ~param) fs)
+  | Atom a -> (
+      match complement_atom reg ~param a with
+      | Some a' -> Atom a'
+      | None -> Not (Atom a))
+
+(* --- covering ----------------------------------------------------------- *)
+
+(* [covers a b] decides [unsat (a ∧ ¬b)] by a bounded disjunctive
+   normal form: negated atoms dualize exactly on reliable numeric
+   paths (when a registry is at hand), and each disjunct is refuted
+   by the per-path knowledge of its positive literals — crossed
+   bounds, conflicting equalities, kind contradictions — or by a
+   negative literal the knowledge entails. Past [dnf_limit] disjuncts
+   the procedure degrades to the conservative "unknown". *)
+
+type literal = Lpos of Rfilter.atom | Lneg of Rfilter.atom
+
+exception Too_wide
+
+let dnf_limit = 256
+
+let dnf ?registry ?param (f : Rfilter.formula) : literal list list option =
+  let compl a =
+    match registry, param with
+    | Some reg, Some p -> complement_atom reg ~param:p a
+    | _ -> None
+  in
+  let guard n = if n > dnf_limit then raise Too_wide in
+  let cross lss rss =
+    guard (List.length lss * List.length rss);
+    List.concat_map (fun ls -> List.map (fun rs -> ls @ rs) rss) lss
+  in
+  let rec pos (f : Rfilter.formula) =
+    match f with
+    | True -> [ [] ]
+    | False -> []
+    | Atom a -> [ [ Lpos a ] ]
+    | Not g -> neg_ g
+    | Or fs ->
+        let r = List.concat_map pos fs in
+        guard (List.length r);
+        r
+    | And fs -> List.fold_left (fun acc g -> cross acc (pos g)) [ [] ] fs
+  and neg_ (f : Rfilter.formula) =
+    match f with
+    | True -> []
+    | False -> [ [] ]
+    | Atom a -> (
+        match compl a with
+        | Some a' -> [ [ Lpos a' ] ]
+        | None -> [ [ Lneg a ] ])
+    | Not g -> pos g
+    | Or fs -> List.fold_left (fun acc g -> cross acc (neg_ g)) [ [] ] fs
+    | And fs ->
+        let r = List.concat_map neg_ fs in
+        guard (List.length r);
+        r
+  in
+  match pos f with r -> Some r | exception Too_wide -> None
+
+let conjunct_unsat ?registry ?param lits =
+  let never a =
+    match registry, param with
+    | Some reg, Some p -> atom_never reg ~param:p a
+    | _ -> false
+  in
+  let posa =
+    List.filter_map (function Lpos a -> Some a | Lneg _ -> None) lits
+  in
+  List.exists never posa
+  ||
+  let know = knowledge posa in
+  contradictory know
+  || List.exists (function Lneg b -> entailed know b | Lpos _ -> false) lits
+
+let formula_unsat ?registry ?param (f : Rfilter.formula) =
+  let f =
+    match registry, param with
+    | Some reg, Some p -> prune_never reg ~param:p f
+    | _ -> f
+  in
+  unsat_formula f
+  ||
+  match dnf ?registry ?param f with
+  | None -> false
+  | Some conjs -> List.for_all (conjunct_unsat ?registry ?param) conjs
+
+let covers ?registry ?param (a : Rfilter.t) (b : Rfilter.t) =
+  let param = match param with Some p -> p | None -> a.Rfilter.param in
+  a.Rfilter.formula = b.Rfilter.formula
+  || formula_unsat ?registry ~param
+       (Rfilter.And [ a.Rfilter.formula; Not b.Rfilter.formula ])
+
+(* --- witness construction ----------------------------------------------- *)
+
+(* When covering fails decidably we want more than "unknown": a
+   concrete conforming obvent matching [a] but not [b]. The search
+   enumerates a small candidate set per constrained path — boundary
+   values around the numeric constants of both filters, the string
+   constants and their concatenations, both booleans, the defaults —
+   instantiates the remaining attributes with type defaults, and
+   machine-checks every candidate with [Registry.conforms] and
+   [Rfilter.eval] before claiming it. Soundness is by that final
+   check; completeness is best-effort (a [None] means "no witness
+   found", never "covered"). *)
+
+let default_value (ty : Vtype.t) : Value.t =
+  match ty with
+  | Vtype.Tint -> Value.Int 0
+  | Tfloat -> Value.Float 0.
+  | Tbool -> Value.Bool false
+  | Tstring -> Value.Str ""
+  | Tlist _ -> Value.List []
+  | Tobject _ | Tremote _ -> Value.Null
+
+let dedup_values vs =
+  List.rev
+    (List.fold_left
+       (fun acc v -> if List.exists (Value.equal v) acc then acc else v :: acc)
+       [] vs)
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let candidate_values (ty : Vtype.t) (atoms : Rfilter.atom list) :
+    Value.t list =
+  let consts () =
+    List.filter_map
+      (fun (a : Rfilter.atom) -> as_float a.const)
+      atoms
+  in
+  let vs =
+    match ty with
+    | Vtype.Tbool -> [ Value.Bool false; Value.Bool true ]
+    | Tint ->
+        let ints =
+          List.concat_map
+            (fun f ->
+              let i = int_of_float (Float.round f) in
+              [ i - 1; i; i + 1 ])
+            (consts ())
+        in
+        List.map (fun i -> Value.Int i) (ints @ [ 0 ])
+    | Tfloat ->
+        let floats =
+          List.concat_map
+            (fun f -> [ f -. 1.; f -. 0.5; f; f +. 0.5; f +. 1. ])
+            (consts ())
+        in
+        List.map (fun f -> Value.Float f) (floats @ [ 0. ])
+    | Tstring ->
+        let strs =
+          List.filter_map
+            (fun (a : Rfilter.atom) ->
+              match a.const with Value.Str s -> Some s | _ -> None)
+            atoms
+        in
+        let combos =
+          List.concat_map (fun s1 -> List.map (fun s2 -> s1 ^ s2) strs) strs
+        in
+        List.map (fun s -> Value.Str s) (strs @ combos)
+        @ [ Value.Str ""; Value.Null ]
+    | Tlist _ -> [ Value.List [] ]
+    | Tobject _ | Tremote _ -> [ Value.Null ]
+  in
+  take 12 (dedup_values vs)
+
+(* First instantiable class below [name], by name order — a
+   deterministic concrete carrier for object-typed attributes. *)
+let pick_class reg name =
+  match Registry.subtypes reg name with
+  | subs ->
+      List.find_opt (Registry.instantiable reg) (List.sort String.compare subs)
+  | exception Registry.Type_error _ -> None
+
+(* Build an instance of [cls] realizing [assigns] (attribute paths to
+   leaf values); unconstrained attributes get type defaults, nested
+   assignments recurse through a concrete subclass of the attribute's
+   declared type. *)
+let rec build_obj reg cls (assigns : (string list * Value.t) list) :
+    Value.t option =
+  match Registry.attrs_of reg cls with
+  | exception Registry.Type_error _ -> None
+  | attrs ->
+      let fields =
+        List.map
+          (fun (name, ty) ->
+            let mine =
+              List.filter_map
+                (function
+                  | n :: rest, v when String.equal n name -> Some (rest, v)
+                  | _ -> None)
+                assigns
+            in
+            let v =
+              match List.assoc_opt [] mine with
+              | Some v -> v
+              | None -> (
+                  if mine = [] then default_value ty
+                  else
+                    match ty with
+                    | Vtype.Tobject c -> (
+                        match pick_class reg c with
+                        | Some sub -> (
+                            match build_obj reg sub mine with
+                            | Some v -> v
+                            | None -> Value.Null)
+                        | None -> Value.Null)
+                    | _ -> default_value ty)
+            in
+            (name, v))
+          attrs
+      in
+      Some (Value.Obj { cls; fields })
+
+let witness ~registry ?cls ~param (a : Rfilter.t) (b : Rfilter.t) :
+    Value.t option =
+  let classes =
+    match cls with
+    | Some c -> if Registry.instantiable registry c then [ c ] else []
+    | None -> (
+        match Registry.subtypes registry param with
+        | subs ->
+            List.filter
+              (fun c ->
+                Registry.instantiable registry c
+                && Registry.is_obvent_type registry c)
+              (List.sort String.compare subs)
+        | exception Registry.Type_error _ -> [])
+  in
+  let atoms = Rfilter.atoms a @ Rfilter.atoms b in
+  let budget = ref 20_000 in
+  let attr_path p =
+    let rec conv = function
+      | [] -> Some []
+      | m :: rest -> (
+          match Obvent.attr_of_getter m with
+          | None -> None
+          | Some at -> Option.map (fun tl -> at :: tl) (conv rest))
+    in
+    conv p
+  in
+  let try_class c =
+    let paths =
+      List.filter_map
+        (fun (at : Rfilter.atom) ->
+          match path_type registry ~param:c at.path with
+          | Some ty ->
+              Option.map (fun ap -> (at.path, ap, ty)) (attr_path at.path)
+          | None -> None)
+        atoms
+    in
+    let paths =
+      take 8
+        (List.rev
+           (List.fold_left
+              (fun acc ((gp, _, _) as p) ->
+                if List.exists (fun (gp', _, _) -> gp' = gp) acc then acc
+                else p :: acc)
+              [] paths))
+    in
+    let cands =
+      List.map
+        (fun (gp, ap, ty) ->
+          let mine =
+            List.filter (fun (at : Rfilter.atom) -> at.path = gp) atoms
+          in
+          (ap, candidate_values ty mine))
+        paths
+    in
+    let rec go acc = function
+      | [] ->
+          if !budget <= 0 then None
+          else begin
+            decr budget;
+            match build_obj registry c acc with
+            | Some v
+              when Registry.conforms registry v c
+                   && Rfilter.eval a v
+                   && not (Rfilter.eval b v) ->
+                Some v
+            | _ -> None
+          end
+      | (ap, vs) :: rest ->
+          List.find_map
+            (fun v -> if !budget <= 0 then None else go ((ap, v) :: acc) rest)
+            vs
+    in
+    go [] cands
+  in
+  List.find_map try_class classes
+
+type cover_verdict = Covered | Not_covered of Value.t | Unknown
+
+let covers_witness ~registry ?cls ~param a b =
+  if covers ~registry ~param a b then Covered
+  else
+    match witness ~registry ?cls ~param a b with
+    | Some w -> Not_covered w
+    | None -> Unknown

@@ -46,3 +46,112 @@ val unsat : Rfilter.t -> bool
 (** {!unsat_formula} on a lifted remote filter. The engine consults
     this at subscribe time to prune dead subscriptions from the
     delivery path. *)
+
+(** {1 Registry-aware atom reasoning}
+
+    Declared getter types constrain the values a filter can observe
+    (obvents are validated against their schema at construction), so a
+    registry sharpens every judgement: kind-mismatched atoms become
+    [False], and atoms over reliable numeric paths gain exact
+    complements. [Absint] delegates here, and the broker consumes the
+    same core for its covering index. *)
+
+val path_type :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  string list ->
+  Tpbs_types.Vtype.t option
+(** Declared result type of a getter path on the subscribed type,
+    following the registry schema through object-typed attributes. *)
+
+val reliable_path :
+  Tpbs_types.Registry.t -> param:string -> string list -> bool
+(** Paths guaranteed to produce a present primitive value on every
+    conforming obvent: length-1 getters of int/float/bool type. *)
+
+val atom_never :
+  Tpbs_types.Registry.t -> param:string -> Rfilter.atom -> bool
+(** The atom can never hold on a conforming obvent: its path's
+    declared type cannot produce a value the comparison accepts. *)
+
+val prune_never :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  Rfilter.formula ->
+  Rfilter.formula
+(** Replace statically-false atoms by [False]. *)
+
+val complement_atom :
+  Tpbs_types.Registry.t -> param:string -> Rfilter.atom -> Rfilter.atom option
+(** Exact complement, claimed only for numeric comparisons on
+    {!reliable_path}s (elsewhere a missing/null value falsifies both
+    the atom and its would-be complement). *)
+
+val neg :
+  Tpbs_types.Registry.t ->
+  param:string ->
+  Rfilter.formula ->
+  Rfilter.formula
+(** Negation normal form of [¬f], using exact atom complements where
+    available. *)
+
+(** {1 Covering}
+
+    The subsumption relation federation and the deployment analysis
+    stand on: [covers a b] decides [unsat (a ∧ ¬b)] — every event
+    matching [a] matches [b] — over arbitrary formulas via a bounded
+    disjunctive normal form, refuting each disjunct with the per-path
+    knowledge above. With a registry, negated atoms dualize exactly on
+    reliable numeric paths and kind-mismatched atoms are pruned;
+    without one the procedure still decides the common interval and
+    string-containment cases. [true] is a guarantee; [false] means
+    "unknown". *)
+
+val formula_unsat :
+  ?registry:Tpbs_types.Registry.t ->
+  ?param:string ->
+  Rfilter.formula ->
+  bool
+(** {!unsat_formula} strengthened by the bounded-DNF procedure (and,
+    given a registry, by kind pruning and exact complements). *)
+
+val covers :
+  ?registry:Tpbs_types.Registry.t ->
+  ?param:string ->
+  Rfilter.t ->
+  Rfilter.t ->
+  bool
+(** [covers ?registry ?param a b] — [true] guarantees every obvent
+    value matching [a] matches [b]. [param] defaults to [a.param]; it
+    should name the type whose instances are being filtered (the more
+    specific of the two subscribed types, when they differ). *)
+
+val witness :
+  registry:Tpbs_types.Registry.t ->
+  ?cls:string ->
+  param:string ->
+  Rfilter.t ->
+  Rfilter.t ->
+  Tpbs_serial.Value.t option
+(** A concrete conforming obvent value matching [a] but not [b] — a
+    counterexample to [covers a b]. The search enumerates boundary
+    values around both filters' constants on each constrained path
+    (over the instantiable obvent subtypes of [param], or just [cls]);
+    every returned value is machine-checked with
+    [Registry.conforms] and [Rfilter.eval], so a [Some] is always a
+    genuine counterexample; [None] only means none was found. *)
+
+type cover_verdict =
+  | Covered  (** proven: every match of [a] matches [b] *)
+  | Not_covered of Tpbs_serial.Value.t
+      (** refuted, with a machine-checked witness obvent *)
+  | Unknown  (** neither provable nor refutable within budget *)
+
+val covers_witness :
+  registry:Tpbs_types.Registry.t ->
+  ?cls:string ->
+  param:string ->
+  Rfilter.t ->
+  Rfilter.t ->
+  cover_verdict
+(** {!covers} with {!witness} as the failure path. *)

@@ -3,6 +3,7 @@ module Routing = Tpbs_core.Routing
 module Pubsub = Tpbs_core.Pubsub
 module Factored = Tpbs_filter.Factored
 module Rfilter = Tpbs_filter.Rfilter
+module Subsume = Tpbs_filter.Subsume
 module Cursor = Tpbs_serial.Cursor
 module Value = Tpbs_serial.Value
 module Obvent = Tpbs_obvent.Obvent
@@ -60,13 +61,33 @@ and session = {
   mutable s_window_granted : bool;  (* full publish window released *)
 }
 
-type bsub = { bs_session : session; bs_param : string; bs_always : bool }
+type bsub = {
+  bs_session : session;
+  bs_param : string;
+  bs_always : bool;
+  bs_filter : Rfilter.t option;
+}
+
+(* A Sub covered by an installed subscription of the same session:
+   recorded but never indexed — the coverer already routes a superset
+   of its traffic to the same session, and delivery dedups per session,
+   so suppressing it cannot change the delivery multiset. *)
+type covrec = {
+  cv_sid : int;  (* client-side sid, for unsub matching *)
+  cv_sub : bsub;
+  mutable cv_by : int;  (* bsid of the covering indexed subscription *)
+}
 
 type config = {
   pub_window : int;  (* publish credits granted per client *)
   low_watermark : int;  (* queues below this ⇒ replenish pub credits *)
   high_watermark : int;  (* owed credits at this ⇒ stop reading session *)
   max_frame : int;
+  covering : bool;
+      (* suppress Subs covered by an installed subscription of the
+         same session (§4.4.4-style covering at the broker): the Sub
+         is recorded, not re-indexed, and restored if its coverer is
+         unsubscribed *)
   warmup_ms : int;
       (* a freshly started broker grants zero publish credits for this
          long, so after a crash every surviving subscriber gets a
@@ -82,6 +103,7 @@ let default_config =
     low_watermark = 32;
     high_watermark = 256;
     max_frame = Frame.default_max_frame;
+    covering = true;
     warmup_ms = 750;
   }
 
@@ -94,7 +116,9 @@ type t = {
   factored : Factored.t;
   mutable sessions : session list;
   bsubs : (int, int * bsub) Hashtbl.t;  (* client sid space is per-session *)
+  covered : (int, covrec) Hashtbl.t;  (* bsid → suppressed Sub *)
   mutable next_bsid : int;
+  tr : Trace.t;
   pub_frontier : (string, int) Hashtbl.t;  (* client id → routed frontier *)
   t_started : float;
   mutable stopped : bool;
@@ -107,6 +131,8 @@ type t = {
   c_bad_frames : Trace.Counter.t;
   c_bad_adverts : Trace.Counter.t;
   c_disconnects : Trace.Counter.t;
+  c_subs_covered : Trace.Counter.t;
+  c_subs_restored : Trace.Counter.t;
   g_sessions : Trace.Gauge.t;
   g_qdepth : Trace.Gauge.t;
   g_credit : Trace.Gauge.t;
@@ -144,7 +170,9 @@ let create ?(config = default_config) ?(host = "127.0.0.1") ?listen_fd
     factored = Factored.create ();
     sessions = [];
     bsubs = Hashtbl.create 64;
+    covered = Hashtbl.create 16;
     next_bsid = 0;
+    tr;
     pub_frontier = Hashtbl.create 16;
     t_started = Unix.gettimeofday ();
     stopped = false;
@@ -156,6 +184,8 @@ let create ?(config = default_config) ?(host = "127.0.0.1") ?listen_fd
     c_bad_frames = Trace.counter tr "tpbsd.bad_frames";
     c_bad_adverts = Trace.counter tr "tpbsd.bad_adverts";
     c_disconnects = Trace.counter tr "tpbsd.disconnects";
+    c_subs_covered = Trace.counter tr "broker.subs_covered";
+    c_subs_restored = Trace.counter tr "broker.subs_restored";
     g_sessions = Trace.gauge tr "tpbsd.sessions";
     g_qdepth = Trace.gauge tr "tpbsd.qdepth";
     g_credit = Trace.gauge tr "tpbsd.credit_outstanding";
@@ -180,6 +210,43 @@ let on_advertise t cls supers =
 
 (* --- subscriptions --------------------------------------------------- *)
 
+(* Install an accepted subscription into the live index. *)
+let install t ~bsid ~sid (sub : bsub) =
+  Hashtbl.replace t.bsubs bsid (sid, sub);
+  Routing.add t.route ~param:sub.bs_param
+    ~compare:(fun (b1, _) (b2, _) -> Int.compare b1 b2)
+    (bsid, sub);
+  match sub.bs_filter with
+  | Some rf -> Factored.add t.factored ~id:bsid rf
+  | None -> ()
+
+(* An installed subscription of the same session whose traffic is a
+   superset of [sub]'s: same-session is essential — delivery dedups
+   one Deliver per session, so a same-session coverer makes the
+   suppressed Sub observationally absent, while a cross-session one
+   would not route anything to [sub]'s owner. *)
+let find_coverer t s (sub : bsub) =
+  List.find_map
+    (fun bsid ->
+      match Hashtbl.find_opt t.bsubs bsid with
+      | None -> None
+      | Some (_, cov) ->
+          if
+            cov.bs_session == s
+            && Registry.subtype t.registry sub.bs_param cov.bs_param
+            && (cov.bs_always
+               ||
+               (not sub.bs_always)
+               &&
+               match (sub.bs_filter, cov.bs_filter) with
+               | Some nf, Some cf ->
+                   Subsume.covers ~registry:t.registry ~param:sub.bs_param
+                     nf cf
+               | _ -> false)
+          then Some bsid
+          else None)
+    s.s_subs
+
 let on_sub t s ~sid ~param ~filter =
   if not (Registry.exists t.registry param) then
     (* a subscription to a type nobody advertised yet: declare it bare
@@ -196,17 +263,56 @@ let on_sub t s ~sid ~param ~filter =
   in
   let bsid = t.next_bsid in
   t.next_bsid <- t.next_bsid + 1;
-  let sub = { bs_session = s; bs_param = param; bs_always = always } in
-  Hashtbl.replace t.bsubs bsid (sid, sub);
+  let sub =
+    { bs_session = s; bs_param = param; bs_always = always; bs_filter = rfilter }
+  in
+  let coverer = if t.cfg.covering then find_coverer t s sub else None in
   s.s_subs <- bsid :: s.s_subs;
-  Routing.add t.route ~param
-    ~compare:(fun (b1, _) (b2, _) -> Int.compare b1 b2)
-    (bsid, sub);
-  match rfilter with
-  | Some rf -> Factored.add t.factored ~id:bsid rf
-  | None -> ()
+  match coverer with
+  | Some by ->
+      Hashtbl.replace t.covered bsid { cv_sid = sid; cv_sub = sub; cv_by = by };
+      Trace.Counter.incr t.c_subs_covered;
+      if Trace.emitting t.tr then
+        Trace.emit t.tr ~layer:"broker" ~kind:"sub_covered"
+          ~data:[ ("bsid", Trace.I bsid); ("by", Trace.I by); ("param", Trace.S param) ]
+          ()
+  | None -> install t ~bsid ~sid sub
+
+(* [removed] just left the index: any Sub it was covering either finds
+   another coverer or is promoted into the index (in bsid order, so an
+   early promotion can re-cover a later orphan). *)
+let reparent t removed =
+  let orphans =
+    Hashtbl.fold
+      (fun bsid cv acc -> if cv.cv_by = removed then (bsid, cv) :: acc else acc)
+      t.covered []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (bsid, cv) ->
+      match find_coverer t cv.cv_sub.bs_session cv.cv_sub with
+      | Some by -> cv.cv_by <- by
+      | None ->
+          Hashtbl.remove t.covered bsid;
+          install t ~bsid ~sid:cv.cv_sid cv.cv_sub;
+          Trace.Counter.incr t.c_subs_restored;
+          if Trace.emitting t.tr then
+            Trace.emit t.tr ~layer:"broker" ~kind:"sub_restored"
+              ~data:
+                [ ("bsid", Trace.I bsid); ("param", Trace.S cv.cv_sub.bs_param) ]
+              ())
+    orphans
 
 let on_unsub t s ~sid =
+  let covered_mine =
+    List.filter
+      (fun bsid ->
+        match Hashtbl.find_opt t.covered bsid with
+        | Some cv -> cv.cv_sid = sid && cv.cv_sub.bs_session == s
+        | None -> false)
+      s.s_subs
+  in
+  List.iter (fun bsid -> Hashtbl.remove t.covered bsid) covered_mine;
   let mine =
     List.filter
       (fun bsid ->
@@ -224,7 +330,11 @@ let on_unsub t s ~sid =
           Routing.remove t.route ~param:sub.bs_param (fun (b, _) -> b = bsid);
           Factored.remove t.factored ~id:bsid)
     mine;
-  s.s_subs <- List.filter (fun b -> not (List.mem b mine)) s.s_subs
+  s.s_subs <-
+    List.filter
+      (fun b -> not (List.mem b mine || List.mem b covered_mine))
+      s.s_subs;
+  List.iter (fun bsid -> reparent t bsid) mine
 
 (* --- publish routing -------------------------------------------------- *)
 
@@ -396,9 +506,11 @@ let drop_session t s reason =
   let un = s.s_unflushed in
   s.s_unflushed <- [];
   List.iter (fun pr -> pubrec_done t pr) un;
-  (* drop its subscriptions *)
+  (* drop its subscriptions — covered ones too, with no restore: the
+     only session their coverer was shielding is the one dying *)
   List.iter
     (fun bsid ->
+      Hashtbl.remove t.covered bsid;
       match Hashtbl.find_opt t.bsubs bsid with
       | None -> ()
       | Some (_, sub) ->

@@ -30,11 +30,24 @@
     Within one broker life a per-client publish frontier re-acks
     retransmitted duplicates without re-delivering them.
 
+    Covering suppression ({!Tpbs_filter.Subsume.covers}, on by
+    default): an incoming [Sub] covered by an installed subscription
+    of the {e same session} — subtype of its parameter, filter
+    entailed by its filter — is recorded but never indexed or shipped
+    into the routing/factoring state. Since delivery dedups one
+    [Deliver] per session, suppression cannot change the delivery
+    multiset. When the covering subscription is unsubscribed, the
+    suppressed ones either find another coverer or are promoted into
+    the live index.
+
     Metrics (ambient {!Tpbs_trace.Trace} registry): counters
     [tpbsd.accepts], [tpbsd.pubs], [tpbsd.dup_pubs],
     [tpbsd.forwarded], [tpbsd.acked], [tpbsd.bad_frames],
-    [tpbsd.bad_adverts], [tpbsd.disconnects]; gauges [tpbsd.sessions],
-    [tpbsd.qdepth] (worst queue, with peak), [tpbsd.credit_outstanding]. *)
+    [tpbsd.bad_adverts], [tpbsd.disconnects], [broker.subs_covered],
+    [broker.subs_restored]; gauges [tpbsd.sessions], [tpbsd.qdepth]
+    (worst queue, with peak), [tpbsd.credit_outstanding]. Trace
+    events [sub_covered]/[sub_restored] are emitted on layer
+    ["broker"] when a sink is installed. *)
 
 type t
 
@@ -45,6 +58,10 @@ type config = {
   high_watermark : int;
       (** owed credits at this ⇒ the session stops being read *)
   max_frame : int;
+  covering : bool;
+      (** suppress [Sub]s covered by an installed subscription of the
+          same session (on in {!default_config}); delivery is
+          observationally identical either way *)
   warmup_ms : int;
       (** a freshly started broker grants zero publish credits for
           this long (full windows follow as [Credit]), so after a

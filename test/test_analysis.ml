@@ -313,6 +313,11 @@ let read_file path =
   close_in ic;
   s
 
+let astr_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_lint_demo_golden () =
   let c = Compile.compile_string (read_file (example "lint_demo.javaps")) in
   let got = Lint.to_json (Lint.analyze c) in
@@ -329,10 +334,80 @@ let test_lint_demo_golden () =
 
 let test_lint_stock_clean () =
   let c = Compile.compile_string (read_file (example "stock.javaps")) in
-  Alcotest.(check int) "stock.javaps lints clean" 0
-    (List.length (Lint.analyze c));
+  let diags = Lint.analyze c in
+  (* the broker process captures [limit], so the only finding is the
+     TP014 info note naming it — never a warning, never gating *)
+  Alcotest.(check (list string))
+    "stock.javaps: only the capture note"
+    [ "TP014" ]
+    (List.map (fun d -> d.Lint.code) diags);
+  (match diags with
+  | [ d ] ->
+      Alcotest.(check bool) "TP014 is info" true (d.Lint.severity = Lint.Info);
+      Alcotest.(check bool)
+        "note names the captured variable" true
+        (astr_contains d.Lint.message "limit")
+  | _ -> Alcotest.fail "expected exactly one finding");
   Alcotest.(check int) "exit code 0 even with werror" 0
-    (Lint.exit_code ~werror:true [])
+    (Lint.exit_code ~werror:true diags)
+
+(* --- deployment-wide lint over examples/fleet --------------------------- *)
+
+let load_fleet () =
+  match Tpbs_analysis.Deploy.load (example "fleet/manifest.json") with
+  | Ok d -> d
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs)
+
+let test_fleet_golden () =
+  let d = load_fleet () in
+  let diags = Lint.analyze_deployment d in
+  let got = Lint.to_json diags in
+  let expected = read_file (example "fleet/fleet.expected.json") in
+  Alcotest.(check string) "golden deployment report" expected got;
+  Alcotest.(check (list string))
+    "all six deployment diagnostic classes"
+    [ "TP009"; "TP010"; "TP011"; "TP012"; "TP013"; "TP014" ]
+    (List.sort_uniq String.compare (List.map (fun d -> d.Lint.code) diags));
+  (* without --witness the payload is stripped from the JSON *)
+  Alcotest.(check bool)
+    "strip_witnesses removes the payload" false
+    (astr_contains (Lint.to_json (Lint.strip_witnesses diags)) "\"witness\":")
+
+(* The TP011 witness is not advisory: re-check the claim it encodes —
+   a conforming FleetQuote matched by no subscription of the broker
+   group — against the actual subscription filters. *)
+let test_fleet_witness_checked () =
+  let d = load_fleet () in
+  let diags = Lint.analyze_deployment d in
+  let w =
+    match
+      List.find_opt (fun dg -> dg.Lint.code = "TP011") diags
+    with
+    | Some { Lint.witness = Some w; _ } -> w
+    | Some { Lint.witness = None; _ } ->
+        Alcotest.fail "TP011 reported without witness"
+    | None -> Alcotest.fail "TP011 not reported"
+  in
+  let reg = d.Tpbs_analysis.Deploy.d_registry in
+  Alcotest.(check bool)
+    "witness conforms to FleetQuote" true
+    (Registry.conforms reg w "FleetQuote");
+  List.iter
+    (fun (u : Tpbs_analysis.Deploy.unit_) ->
+      List.iter
+        (fun (sp : Compile.sub_plan) ->
+          if
+            Registry.subtype reg "FleetQuote" sp.Compile.sp_param
+            && sp.Compile.sp_captured = []
+          then
+            match sp.Compile.sp_class with
+            | Compile.Remote_filter rf ->
+                Alcotest.(check bool)
+                  (Fmt.str "witness escapes %s/%s" u.u_name sp.sp_var)
+                  false (Rfilter.eval rf w)
+            | _ -> ())
+        u.u_compiled.Compile.sub_plans)
+    d.d_units
 
 (* --- engine-side pruning ------------------------------------------------ *)
 
@@ -467,6 +542,10 @@ let suite =
       Alcotest.test_case "compile: collects all errors" `Quick
         test_compile_result_collects;
       Alcotest.test_case "lint: golden report" `Quick test_lint_demo_golden;
+      Alcotest.test_case "lint: fleet deployment golden" `Quick
+        test_fleet_golden;
+      Alcotest.test_case "lint: fleet witness machine-checked" `Quick
+        test_fleet_witness_checked;
       Alcotest.test_case "lint: stock.javaps clean" `Quick
         test_lint_stock_clean;
       Alcotest.test_case "pubsub: pruned delivery equivalence" `Quick

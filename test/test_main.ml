@@ -5,4 +5,5 @@ let () =
       Test_stack.suite; Test_rmi.suite;
       Test_core.suite; Test_routing.suite; Test_baselines.suite;
       Test_psc.suite; Test_analysis.suite; Test_store.suite;
-      Test_transport.suite; Test_shard.suite; Test_alternatives.suite ]
+      Test_transport.suite; Test_shard.suite; Test_alternatives.suite;
+      Test_cover.suite ]

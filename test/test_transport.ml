@@ -396,6 +396,79 @@ let test_e2e_corrupt_bytes_condemn_connection () =
 
 module Backoff = Client.Backoff
 
+(* --- covering suppression is delivery-invariant ----------------------- *)
+
+(* The broker's covering index suppresses a [Sub] entailed by an
+   installed subscription of the same session. Run one scenario twice —
+   covering on and off — and demand byte-identical per-subscription
+   delivery sequences, including after the covering subscription is
+   dropped mid-run (which forces the broker to promote the suppressed
+   ones back into the live index). *)
+let run_covering_scenario ~covering =
+  Trace.set_ambient (Trace.create ());
+  let listen_fd = Broker.listen_socket ~host:"127.0.0.1" ~port:0 in
+  let port = bound_port listen_fd in
+  let bp = fork_broker ~config:{ instant_config with covering } ~listen_fd () in
+  Fun.protect ~finally:(fun () -> quit_broker bp; Unix.close listen_fd)
+  @@ fun () ->
+  let sub = fresh_ctx ~id:"sub" ~port in
+  let pub = fresh_ctx ~id:"pub" ~port in
+  let ctxs = [ sub; pub ] in
+  let seq_of ob =
+    match Obvent.get ob "seq" with Value.Int s -> s | _ -> -1
+  in
+  let subscribe_ge k =
+    let got = ref [] in
+    let expr = Tpbs_filter.Expr.(Binop (Ge, getter [ "getSeq" ], int k)) in
+    let s =
+      Pubsub.Process.subscribe sub.proc ~param:"TQuote"
+        ~filter:(Tpbs_core.Fspec.tree expr)
+        (fun ob -> got := seq_of ob :: !got)
+    in
+    Pubsub.Subscription.activate s;
+    Engine.run sub.engine;
+    ignore (Client.poll sub.client ~timeout_ms:10);
+    (s, got)
+  in
+  (* the wide sub first, then two narrower siblings it entails *)
+  let s_all, got_all = subscribe_ge 0 in
+  let _s_mid, got_mid = subscribe_ge 10 in
+  let _s_high, got_high = subscribe_ge 20 in
+  let n1 = 25 in
+  for i = 0 to n1 - 1 do
+    publish_quote pub ~origin:"pub" i
+  done;
+  let batch1_in () =
+    List.length !got_all = n1
+    && List.length !got_mid = n1 - 10
+    && List.length !got_high = n1 - 20
+  in
+  Alcotest.(check bool) "first batch fully delivered" true
+    (spin ~ctxs ~until:batch1_in ~for_ms:10000 ());
+  (* drop the coverer: the narrower subs must keep receiving, which
+     under covering requires the broker-side promotion sweep *)
+  Pubsub.Subscription.deactivate s_all;
+  Engine.run sub.engine;
+  ignore (Client.poll sub.client ~timeout_ms:10);
+  let n2 = 10 in
+  for i = n1 to n1 + n2 - 1 do
+    publish_quote pub ~origin:"pub" i
+  done;
+  let batch2_in () =
+    List.length !got_mid = n1 - 10 + n2 && List.length !got_high = n1 - 20 + n2
+  in
+  Alcotest.(check bool) "promoted subs keep receiving" true
+    (spin ~ctxs ~until:batch2_in ~for_ms:10000 ());
+  let r = (List.rev !got_all, List.rev !got_mid, List.rev !got_high) in
+  List.iter (fun c -> Client.close c.client) ctxs;
+  r
+
+let test_e2e_covering_equivalence () =
+  let on = run_covering_scenario ~covering:true in
+  let off = run_covering_scenario ~covering:false in
+  Alcotest.(check (triple (list int) (list int) (list int)))
+    "same per-subscription deliveries with covering on and off" off on
+
 let test_backoff_schedule () =
   let p = Backoff.default in
   (* No jitter at u = 0.5: the pure exponential, capped at 10 s. *)
@@ -486,6 +559,8 @@ let suite =
         test_e2e_broker_restart_exactly_once;
       Alcotest.test_case "e2e: corrupt bytes condemn only their connection"
         `Quick test_e2e_corrupt_bytes_condemn_connection;
+      Alcotest.test_case "e2e: covering on/off delivers identically" `Quick
+        test_e2e_covering_equivalence;
       Alcotest.test_case "backoff schedule is exponential, capped, jittered"
         `Quick test_backoff_schedule;
       Alcotest.test_case "reconnect with backoff: recover, then give up"
