@@ -85,13 +85,14 @@ let fresh_ctx ~id ~port =
       { reg; engine; proc; client }
 
 (* Pump: real I/O, then drain the simulated engine so injected
-   deliveries run their handlers. Reconnects (with the client's
-   retransmit/resubscribe resync) when the broker went away. *)
+   deliveries run their handlers. When the broker goes away, poll
+   itself re-dials under the client's default backoff policy (with
+   the retransmit/resubscribe resync on success) — its waits are
+   bounded by [timeout_ms], so a disconnected child keeps its cadence
+   without an explicit reconnect loop here. The backoff budget
+   (~25 s) dwarfs any soak broker-restart window. *)
 let turn ctx ~timeout_ms =
-  if not (Client.poll ctx.client ~timeout_ms) then begin
-    if not (Client.reconnect ~timeout_ms:500 ctx.client) then
-      Unix.sleepf 0.1
-  end;
+  ignore (Client.poll ctx.client ~timeout_ms);
   Engine.run ctx.engine
 
 let dump_metrics path =
@@ -425,7 +426,8 @@ let harness ~subs ~pubs ~events ~restart ~pace_us ~out =
     [ "transport.client_pubs"; "transport.client_acked";
       "transport.delivered"; "transport.dup_drops"; "transport.retransmits";
       "transport.reconnects"; "transport.frames_sent";
-      "transport.write_syscalls"; "transport.corrupt_frames" ];
+      "transport.write_syscalls"; "transport.read_syscalls";
+      "transport.corrupt_frames" ];
   let code_of c = Option.value c.code ~default:14 in
   let subs_ok = List.for_all (fun c -> code_of c = 0) sub_children in
   let pubs_ok = List.for_all (fun c -> code_of c = 0) pub_children in

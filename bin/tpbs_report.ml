@@ -8,7 +8,7 @@ let usage () =
   prerr_endline
     "usage: tpbs_report [--check] [--require COUNTER]... \
      [--require-le NAME:FIELD<=BOUND]... [--require-ge NAME:FIELD>=BOUND]... \
-     [FILE|-]";
+     [--require-eq NAME:FIELD==BOUND]... [FILE|-]";
   exit 2
 
 (* "soak.latency_us:p99<=500000" → (name, field, bound); [op] is the
@@ -51,6 +51,7 @@ let () =
   let required = ref [] in
   let required_le = ref [] in
   let required_ge = ref [] in
+  let required_eq = ref [] in
   let file = ref None in
   let rec parse = function
     | [] -> ()
@@ -88,6 +89,19 @@ let () =
             exit 2)
     | [ "--require-ge" ] ->
         prerr_endline "tpbs_report: --require-ge expects NAME:FIELD>=BOUND";
+        exit 2
+    | "--require-eq" :: spec :: rest -> (
+        match parse_require ~op:"==" spec with
+        | Some r ->
+            required_eq := r :: !required_eq;
+            parse rest
+        | None ->
+            Printf.eprintf
+              "tpbs_report: bad --require-eq spec %S (want NAME:FIELD==BOUND)\n"
+              spec;
+            exit 2)
+    | [ "--require-eq" ] ->
+        prerr_endline "tpbs_report: --require-eq expects NAME:FIELD==BOUND";
         exit 2
     | "-" :: rest ->
         file := None;
@@ -166,10 +180,29 @@ let () =
             bound)
         failed_ge;
       if failed_ge <> [] then exit 1;
+      let failed_eq =
+        List.filter
+          (fun (name, field, bound) ->
+            match Tpbs_trace.Report.metric_value lines name field with
+            | Some v when v = bound -> false
+            | _ -> true)
+          (List.rev !required_eq)
+      in
+      List.iter
+        (fun (name, field, bound) ->
+          Printf.eprintf "tpbs_report: exact %s:%s %s (bound %g)\n" name field
+            (match Tpbs_trace.Report.metric_value lines name field with
+            | None -> "was never exported"
+            | Some v -> Printf.sprintf "is %g, want == %g" v bound)
+            bound)
+        failed_eq;
+      if failed_eq <> [] then exit 1;
       if !check_mode then Printf.printf "ok: %d valid lines\n" n
-      else if !required = [] && !required_le = [] && !required_ge = [] then
-        print_string (Tpbs_trace.Report.summarize lines)
+      else if
+        !required = [] && !required_le = [] && !required_ge = []
+        && !required_eq = []
+      then print_string (Tpbs_trace.Report.summarize lines)
       else
         Printf.printf "ok: %d requirements satisfied\n"
           (List.length !required + List.length !required_le
-         + List.length !required_ge)
+         + List.length !required_ge + List.length !required_eq)

@@ -229,6 +229,37 @@ let decode_envelope bytes =
       Some (publish_time, (origin, eseq), obvent_bytes)
   | _ | (exception Codec.Decode_error _) -> None
 
+(* Slice twin of [decode_envelope]: open an envelope living at
+   [bytes.[off .. off+len-1]] of a larger buffer (a transport frame)
+   in place, handing the serialized obvent back as an absolute
+   (off, len) into [bytes] instead of a copy. Envelope-format
+   knowledge stays here; the broker only sees offsets. *)
+let decode_envelope_sub bytes ~off ~len =
+  let module Wire = Tpbs_serial.Wire in
+  let r = Wire.Reader.of_substring bytes ~off ~len in
+  match
+    (let open Codec in
+     match list_header r with
+     | Some 4 -> (
+         match int_prefix r with
+         | None -> None
+         | Some publish_time -> (
+             match int_prefix r with
+             | None -> None
+             | Some origin -> (
+                 match int_prefix r with
+                 | None -> None
+                 | Some eseq -> (
+                     match str_pos r with
+                     | Some (opos, olen) when Wire.Reader.at_end r ->
+                         Some (publish_time, (origin, eseq), (opos, olen))
+                     | _ -> None))))
+     | _ -> None)
+  with
+  | v -> v
+  | exception (Wire.Truncated _ | Wire.Malformed _ | Codec.Decode_error _) ->
+      None
+
 let encode_routed ~cls envelope = Codec.encode (List [ Str cls; Str envelope ])
 
 let decode_routed bytes =
@@ -1345,6 +1376,7 @@ let () =
 
 module Remote = struct
   let decode_envelope = decode_envelope
+  let decode_envelope_sub = decode_envelope_sub
 
   type t = remote = {
     r_publish : cls:string -> string -> unit;

@@ -288,6 +288,18 @@ module Remote : sig
       serialized obvent for cursor-projection filtering without
       re-encoding anything. *)
 
+  val decode_envelope_sub :
+    string -> off:int -> len:int ->
+    (int * (int * int) * (int * int)) option
+  (** Slice twin of {!decode_envelope}: opens an envelope living at
+      [bytes.[off .. off+len-1]] of a larger buffer — a transport
+      frame still sitting in its decoder — without copying it, and
+      hands the serialized obvent back as an absolute [(off, len)]
+      into [bytes]. The broker points a
+      {!Tpbs_serial.Cursor.of_substring} at that slice for its
+      filter decisions, so a dropped event never costs an envelope
+      copy. *)
+
   type t = {
     r_publish : cls:string -> string -> unit;
         (** ship one encoded event envelope of class [cls] *)

@@ -154,6 +154,37 @@ let obj_header r =
   end
   else None
 
+(* --- piecewise encode/decode (see Proto's slice paths) --------------- *)
+
+(* These keep the tag bytes private to this module while letting a
+   caller assemble or take apart one known value shape around a large
+   byte slice it must not copy. *)
+
+let encode_list_header w n =
+  Wire.Writer.byte w tag_list;
+  Wire.Writer.varint w n
+
+let encode_str_sub w s ~pos ~len =
+  Wire.Writer.byte w tag_str;
+  Wire.Writer.string_sub w s ~pos ~len
+
+let list_header r =
+  if Wire.Reader.byte r = tag_list then Some (Wire.Reader.varint r)
+  else None
+
+let str_pos r =
+  if Wire.Reader.byte r = tag_str then begin
+    let n = Wire.Reader.varint r in
+    let pos = Wire.Reader.pos r in
+    Wire.Reader.skip r n;
+    Some (pos, n)
+  end
+  else None
+
+let int_prefix r =
+  if Wire.Reader.byte r = tag_int then Some (Wire.Reader.zigzag r)
+  else None
+
 let clone v = decode (encode v)
 let encoded_size v = String.length (encode v)
 

@@ -33,6 +33,39 @@ val obj_header : Wire.Reader.t -> (string * int) option
     other constructor.
     @raise Wire.Truncated on short input. *)
 
+(** {1 Piecewise encode/decode}
+
+    Assemble or take apart one known value shape around a large byte
+    slice without copying it, while the tag bytes stay private to this
+    module. This is how the transport encodes a [Deliver] once around
+    a shared envelope and parses [Pub]/[Deliver] payloads in place. *)
+
+val encode_list_header : Wire.Writer.t -> int -> unit
+(** Write the list tag and arity; follow with that many
+    {!encode_into} (or slice) element writes for a byte-identical
+    twin of encoding the built-up list. *)
+
+val encode_str_sub : Wire.Writer.t -> string -> pos:int -> len:int -> unit
+(** Encode [Str (String.sub s pos len)] without taking the sub. *)
+
+val list_header : Wire.Reader.t -> int option
+(** If the value at the reader is a list, consume its tag and return
+    the arity, leaving the reader at the first element. [None] (tag
+    consumed) otherwise.
+    @raise Wire.Truncated on short input. *)
+
+val str_pos : Wire.Reader.t -> (int * int) option
+(** If the value at the reader is a string, consume it and return its
+    [(pos, len)] within the reader's underlying buffer (positions are
+    absolute — see {!Wire.Reader.of_substring}). [None] (tag
+    consumed) otherwise.
+    @raise Wire.Truncated on short input. *)
+
+val int_prefix : Wire.Reader.t -> int option
+(** If the value at the reader is an integer, consume and return it.
+    [None] (tag consumed) otherwise.
+    @raise Wire.Truncated on short input. *)
+
 val clone : Value.t -> Value.t
 (** Deep copy through the codec: structurally equal, physically
     fresh. *)

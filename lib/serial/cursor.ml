@@ -1,6 +1,6 @@
 module Trace = Tpbs_trace.Trace
 
-type t = { bytes : string }
+type t = { bytes : string; off : int; len : int }
 
 (* Ambient-registry counters, re-resolved when the ambient trace
    registry is swapped (benches and tests do this between runs). *)
@@ -19,8 +19,18 @@ let counters () =
 let lazy_decodes () = Trace.Counter.value (fst (counters ()))
 let full_decodes () = Trace.Counter.value (snd (counters ()))
 
-let of_string bytes = { bytes }
-let bytes t = t.bytes
+let of_string bytes = { bytes; off = 0; len = String.length bytes }
+
+let of_substring bytes ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length bytes then
+    invalid_arg "Cursor.of_substring";
+  { bytes; off; len }
+
+let bytes t =
+  if t.off = 0 && t.len = String.length t.bytes then t.bytes
+  else String.sub t.bytes t.off t.len
+
+let reader t = Wire.Reader.of_substring t.bytes ~off:t.off ~len:t.len
 
 let wrap f =
   try f () with
@@ -29,7 +39,7 @@ let wrap f =
 
 let class_id t =
   wrap (fun () ->
-      let r = Wire.Reader.of_string t.bytes in
+      let r = reader t in
       match Codec.obj_header r with
       | Some (cls, _) -> Some cls
       | None -> None)
@@ -59,8 +69,13 @@ let rec seek r attrs =
 
 let project t attrs =
   Trace.Counter.incr (fst (counters ()));
-  wrap (fun () -> seek (Wire.Reader.of_string t.bytes) attrs)
+  wrap (fun () -> seek (reader t) attrs)
 
 let to_value t =
   Trace.Counter.incr (snd (counters ()));
-  Codec.decode t.bytes
+  wrap (fun () ->
+      let r = reader t in
+      let v = Codec.decode_prefix r in
+      if not (Wire.Reader.at_end r) then
+        raise (Codec.Decode_error "trailing bytes after value");
+      v)

@@ -20,8 +20,16 @@ type t
 val of_string : string -> t
 (** View over one encoded value. O(1): no bytes are inspected yet. *)
 
+val of_substring : string -> off:int -> len:int -> t
+(** View over one encoded value living at [bytes.[off .. off+len-1]]
+    of a larger buffer — e.g. a payload slice handed out by the frame
+    decoder — without extracting the slice. O(1): no bytes are copied
+    or inspected.
+    @raise Invalid_argument on an out-of-bounds slice. *)
+
 val bytes : t -> string
-(** The underlying encoded bytes, unchanged. *)
+(** The underlying encoded bytes, unchanged. For a {!of_substring}
+    cursor this materializes the slice (one copy). *)
 
 val class_id : t -> string option
 (** The class id of the encoded object, decoding only the header.

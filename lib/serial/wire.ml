@@ -70,19 +70,39 @@ module Writer = struct
     Bytes.blit_string s 0 w.buf w.len n;
     w.len <- w.len + n
 
+  let raw_sub w s ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Wire.Writer.raw_sub";
+    ensure w len;
+    Bytes.blit_string s pos w.buf w.len len;
+    w.len <- w.len + len
+
   let string w s =
     varint w (String.length s);
     raw w s
+
+  let string_sub w s ~pos ~len =
+    varint w len;
+    raw_sub w s ~pos ~len
 
   let contents w = Bytes.sub_string w.buf 0 w.len
 end
 
 module Reader = struct
-  type t = { src : string; mutable off : int }
+  type t = { src : string; mutable off : int; limit : int }
 
-  let of_string s = { src = s; off = 0 }
+  let of_string s = { src = s; off = 0; limit = String.length s }
+
+  (* A bounded view over [s.[off .. off+len-1]] without extracting the
+     slice: [pos] stays absolute into [s], so offsets recorded by a
+     slicing decoder index the original buffer directly. *)
+  let of_substring s ~off ~len =
+    if off < 0 || len < 0 || off + len > String.length s then
+      invalid_arg "Wire.Reader.of_substring";
+    { src = s; off; limit = off + len }
+
   let pos r = r.off
-  let remaining r = String.length r.src - r.off
+  let remaining r = r.limit - r.off
   let at_end r = remaining r = 0
 
   let need r n what =
@@ -179,14 +199,18 @@ let crc_table =
      done;
      table)
 
-let crc32 s =
+let crc32_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Wire.crc32_sub";
   let table = Lazy.force crc_table in
   let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx =
-        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)
-      in
-      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
-    s;
+  for i = pos to pos + len - 1 do
+    let ch = String.unsafe_get s i in
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
   Int32.logxor !c 0xFFFFFFFFl
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)

@@ -50,6 +50,16 @@ module Writer : sig
   val raw : t -> string -> unit
   (** Append bytes with no length prefix. *)
 
+  val raw_sub : t -> string -> pos:int -> len:int -> unit
+  (** [raw_sub w s ~pos ~len] appends [s.[pos .. pos+len-1]] with no
+      length prefix and no intermediate slice allocation.
+      @raise Invalid_argument on an out-of-bounds slice. *)
+
+  val string_sub : t -> string -> pos:int -> len:int -> unit
+  (** Length-prefixed append of [s.[pos .. pos+len-1]], the
+      slice-sourced twin of {!string} — byte-identical output to
+      [string w (String.sub s pos len)] without the copy. *)
+
   val contents : t -> string
   (** Snapshot of everything written so far. *)
 end
@@ -61,6 +71,13 @@ module Reader : sig
 
   val of_string : string -> t
   (** Reader positioned at the start of [s]. *)
+
+  val of_substring : string -> off:int -> len:int -> t
+  (** Reader bounded to [s.[off .. off+len-1]] without extracting the
+      slice. {!pos} stays absolute into [s], so offsets read off this
+      reader index the original buffer — the substrate of zero-copy
+      payload views over a framing buffer.
+      @raise Invalid_argument on an out-of-bounds slice. *)
 
   val pos : t -> int
   val remaining : t -> int
@@ -97,3 +114,8 @@ end
 val crc32 : string -> int32
 (** CRC-32 (IEEE) checksum, used to guard message frames in the
     simulated transport. *)
+
+val crc32_sub : string -> pos:int -> len:int -> int32
+(** {!crc32} over [s.[pos .. pos+len-1]] without extracting the slice
+    — lets a stream decoder check a frame in place.
+    @raise Invalid_argument on an out-of-bounds slice. *)

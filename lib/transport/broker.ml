@@ -36,6 +36,21 @@ module Trace = Tpbs_trace.Trace
    life, a per-client publish frontier suppresses re-routing of
    retransmitted duplicates (they are re-acked, not re-delivered). *)
 
+(* What a delivery queue holds. With shared frames (the default) the
+   Deliver is encoded + framed + CRC'd once in [on_pub] and every
+   target session queues the same immutable string by reference —
+   fan-out cost is independent of subscriber count. [D_plain] is the
+   per-session-encode baseline, kept selectable ([config.shared_frames
+   = false]) so the win stays measurable. *)
+type delivery =
+  | D_shared of Frame.preframed
+  | D_plain of {
+      dp_origin : string;
+      dp_pseq : int;
+      dp_cls : string;
+      dp_envelope : string;
+    }
+
 type pubrec = {
   pr_session : session;  (* publisher awaiting the ack *)
   pr_pseq : int;
@@ -48,8 +63,7 @@ and session = {
   mutable s_hello : bool;
   mutable s_pub_credit_owed : int;  (* credits to return to this publisher *)
   mutable s_deliver_credit : int;  (* credits the client granted us *)
-  s_q : (string * int * string * string * pubrec) Queue.t;
-      (* origin, pseq, cls, envelope, ack bookkeeping *)
+  s_q : (delivery * pubrec) Queue.t;
   mutable s_unflushed : pubrec list;
       (* sent into s_conn but not yet drained to the kernel *)
   mutable s_subs : int list;  (* broker-side sids owned *)
@@ -88,6 +102,10 @@ type config = {
          same session (§4.4.4-style covering at the broker): the Sub
          is recorded, not re-indexed, and restored if its coverer is
          unsubscribed *)
+  shared_frames : bool;
+      (* encode-once fan-out: frame each accepted Pub's Deliver once
+         and share the bytes across all target sessions. Off = the
+         per-session-encode baseline, for measurement *)
   warmup_ms : int;
       (* a freshly started broker grants zero publish credits for this
          long, so after a crash every surviving subscriber gets a
@@ -104,6 +122,7 @@ let default_config =
     high_watermark = 256;
     max_frame = Frame.default_max_frame;
     covering = true;
+    shared_frames = true;
     warmup_ms = 750;
   }
 
@@ -366,7 +385,13 @@ let pubrec_done t pr =
   if pr.pr_outstanding = 0 && not pr.pr_session.s_closing then
     complete_pub t pr.pr_session pr.pr_pseq
 
-let on_pub t s ~pseq ~cls ~envelope =
+(* [envelope] is a view into the session's frame decoder buffer: valid
+   only for the duration of this call (the next [Conn.recv] may move
+   it), which is enough — filter decisions project over it in place,
+   and it leaves either inside the once-encoded shared frame or as the
+   one queued copy of the baseline arm. A dropped event costs no
+   envelope copy at all. *)
+let on_pub t s ~pseq ~cls ~(envelope : Proto.slice) =
   Trace.Counter.incr t.c_pubs;
   (* first pub of a (re)connected session pins the ack base *)
   if s.s_ack_frontier = min_int then begin
@@ -386,18 +411,25 @@ let on_pub t s ~pseq ~cls ~envelope =
   end
   else begin
     Hashtbl.replace t.pub_frontier s.s_id pseq;
-    match Pubsub.Remote.decode_envelope envelope with
+    match
+      Pubsub.Remote.decode_envelope_sub envelope.Proto.sl_buf
+        ~off:envelope.Proto.sl_off ~len:envelope.Proto.sl_len
+    with
     | None ->
         Trace.Counter.incr t.c_bad_frames;
         complete_pub t s pseq
-    | Some (_, _, obvent_bytes) -> (
+    | Some (_, _, (obv_off, obv_len)) -> (
         match Routing.find t.route cls ~build:(build_targets t) with
         | [] -> complete_pub t s pseq
         | routed ->
             (* Factored matching through lazy cursor projections, as on
                the in-simulation filtering host: match or drop without
-               materializing the obvent. *)
-            let cursor = Cursor.of_string obvent_bytes in
+               materializing the obvent — or even copying its bytes out
+               of the frame. *)
+            let cursor =
+              Cursor.of_substring envelope.Proto.sl_buf ~off:obv_off
+                ~len:obv_len
+            in
             let resolve path =
               let rec to_attrs = function
                 | [] -> Some []
@@ -441,9 +473,24 @@ let on_pub t s ~pseq ~cls ~envelope =
             if n = 0 then complete_pub t s pseq
             else begin
               let pr = { pr_session = s; pr_pseq = pseq; pr_outstanding = n } in
+              (* build the delivery once, outside the target loop: in
+                 shared mode this is THE encode+CRC of the whole
+                 fan-out *)
+              let delivery =
+                if t.cfg.shared_frames then
+                  D_shared
+                    (Proto.encode_deliver ~origin:s.s_id ~pseq ~cls envelope)
+                else
+                  D_plain
+                    {
+                      dp_origin = s.s_id;
+                      dp_pseq = pseq;
+                      dp_cls = cls;
+                      dp_envelope = Proto.slice_to_string envelope;
+                    }
+              in
               Hashtbl.iter
-                (fun _ dst ->
-                  Queue.push (s.s_id, pseq, cls, envelope, pr) dst.s_q)
+                (fun _ dst -> Queue.push (delivery, pr) dst.s_q)
                 targets
             end)
   end
@@ -462,8 +509,18 @@ let pump_session t s =
   if not s.s_closing then begin
     (* drain the delivery queue into the connection, credit-gated *)
     while s.s_deliver_credit > 0 && not (Queue.is_empty s.s_q) do
-      let origin, pseq, cls, envelope, pr = Queue.pop s.s_q in
-      Conn.send s.s_conn (Proto.Deliver { origin; pseq; cls; envelope });
+      let delivery, pr = Queue.pop s.s_q in
+      (match delivery with
+      | D_shared pf -> Conn.send_preframed s.s_conn pf
+      | D_plain { dp_origin; dp_pseq; dp_cls; dp_envelope } ->
+          Conn.send s.s_conn
+            (Proto.Deliver
+               {
+                 origin = dp_origin;
+                 pseq = dp_pseq;
+                 cls = dp_cls;
+                 envelope = dp_envelope;
+               }));
       Trace.Counter.incr t.c_forwarded;
       s.s_deliver_credit <- s.s_deliver_credit - 1;
       s.s_unflushed <- pr :: s.s_unflushed
@@ -501,7 +558,7 @@ let drop_session t s reason =
   Trace.Counter.incr t.c_disconnects;
   (* its queued/unflushed deliveries will never happen; release the
      publisher acks they were holding back *)
-  Queue.iter (fun (_, _, _, _, pr) -> pubrec_done t pr) s.s_q;
+  Queue.iter (fun (_, pr) -> pubrec_done t pr) s.s_q;
   Queue.clear s.s_q;
   let un = s.s_unflushed in
   s.s_unflushed <- [];
@@ -544,7 +601,8 @@ let on_msg t s (m : Proto.msg) =
   | Advertise { cls; supers } -> on_advertise t cls supers
   | Sub { sid; param; filter } -> on_sub t s ~sid ~param ~filter
   | Unsub { sid } -> on_unsub t s ~sid
-  | Pub { pseq; cls; envelope } -> on_pub t s ~pseq ~cls ~envelope
+  | Pub { pseq; cls; envelope } ->
+      on_pub t s ~pseq ~cls ~envelope:(Proto.slice_of_string envelope)
   | Pub_ack _ -> ()  (* brokers do not publish *)
   | Deliver _ -> drop_session t s "client sent deliver"
   | Credit { n } -> s.s_deliver_credit <- s.s_deliver_credit + n
@@ -595,16 +653,26 @@ let read_session t s =
     | `Ok ->
         let continue = ref true in
         while !continue && not s.s_closing do
-          match Conn.pop s.s_conn with
-          | Conn.Msg m ->
-              (* every processed Pub owes the publisher a credit back *)
-              (match m with
-              | Proto.Pub _ ->
-                  s.s_pub_credit_owed <- s.s_pub_credit_owed + 1
-              | _ -> ());
-              on_msg t s m
-          | Conn.Nothing -> continue := false
-          | Conn.Bad reason ->
+          match Conn.pop_view s.s_conn with
+          | Conn.View (Proto.V_pub { pseq; cls; envelope }) ->
+              (* the hot message, decoded in place: the envelope slice
+                 stays valid through on_pub — no recv happens before
+                 it returns. Every processed Pub owes the publisher a
+                 credit back. *)
+              if not s.s_hello then drop_session t s "message before hello"
+              else begin
+                s.s_pub_credit_owed <- s.s_pub_credit_owed + 1;
+                on_pub t s ~pseq ~cls ~envelope
+              end
+          | Conn.View (Proto.V_deliver _) ->
+              if not s.s_hello then drop_session t s "message before hello"
+              else drop_session t s "client sent deliver"
+          | Conn.View (Proto.V_msg m) -> on_msg t s m
+          | Conn.View Proto.V_none ->
+              (* pop_view reports undecodable frames as View_bad *)
+              assert false
+          | Conn.View_nothing -> continue := false
+          | Conn.View_bad reason ->
               Trace.Counter.incr t.c_bad_frames;
               drop_session t s reason;
               continue := false

@@ -62,6 +62,15 @@ type config = {
       (** suppress [Sub]s covered by an installed subscription of the
           same session (on in {!default_config}); delivery is
           observationally identical either way *)
+  shared_frames : bool;
+      (** encode-once fan-out (on in {!default_config}): each accepted
+          [Pub]'s [Deliver] is encoded + framed + CRC'd once
+          ({!Proto.encode_deliver}) and the same immutable bytes are
+          queued on every target session, so per-event encode cost is
+          independent of subscriber count (watch
+          [transport.deliver_encodes] against [tpbsd.pubs]). Off = the
+          per-session-encode baseline, kept for measurement; delivery
+          is byte-identical either way *)
   warmup_ms : int;
       (** a freshly started broker grants zero publish credits for
           this long (full windows follow as [Credit]), so after a

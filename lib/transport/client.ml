@@ -24,6 +24,40 @@ module Trace = Tpbs_trace.Trace
    grants the broker a delivery window, replenished as the
    application consumes. *)
 
+(* Exponential backoff with decorrelating jitter for reconnect loops.
+   The schedule is a pure function of (policy, attempt, jitter draw)
+   so the unit tests can pin it down without sockets or sleeping. *)
+module Backoff = struct
+  type policy = {
+    base_ms : int;  (* delay before the first retry *)
+    factor : float;  (* growth per attempt *)
+    max_delay_ms : int;  (* exponential growth is capped here *)
+    jitter : float;  (* +/- fraction of the capped delay *)
+    max_retries : int;  (* attempts before giving up *)
+  }
+
+  let default =
+    {
+      base_ms = 100;
+      factor = 2.0;
+      max_delay_ms = 10_000;
+      jitter = 0.2;
+      max_retries = 8;
+    }
+
+  (* Delay before retry [attempt] (0-based). [u] is a uniform draw in
+     [0, 1): the jittered delay spans [(1 - jitter) * d, (1 + jitter)
+     * d], keeping a fleet of clients that died together from
+     re-dialing in lockstep. Never below 0. *)
+  let delay_ms p ~attempt ~u =
+    let d =
+      float_of_int p.base_ms *. (p.factor ** float_of_int (max 0 attempt))
+    in
+    let d = Float.min d (float_of_int p.max_delay_ms) in
+    let spread = (2.0 *. u -. 1.0) *. p.jitter *. d in
+    max 0 (int_of_float (d +. spread))
+end
+
 type sub = { sb_sid : int; sb_param : string; sb_filter : Value.t }
 
 type t = {
@@ -43,6 +77,13 @@ type t = {
   mutable consumed : int;  (* deliveries since the last credit grant *)
   mutable registry : Registry.t option;
   mutable inject : (cls:string -> string -> unit) option;
+  (* auto-reconnect ([None] = caller-driven) *)
+  rc_policy : Backoff.policy option;
+  mutable rc_attempt : int;  (* dials since the connection dropped *)
+  mutable rc_next_at : float;  (* wall clock of the next allowed dial *)
+  rc_rand : unit -> float;
+  rc_timeout_ms : int;  (* handshake budget for automatic dials *)
+  mutable user_closed : bool;  (* {!close} called: stop auto-dialing *)
   (* observability *)
   c_pubs : Trace.Counter.t;
   c_acked : Trace.Counter.t;
@@ -70,7 +111,11 @@ let drop_conn t =
       Conn.close c;
       t.conn <- None;
       t.pub_credit <- 0;
-      Hashtbl.reset t.advertised
+      Hashtbl.reset t.advertised;
+      (* a fresh disconnect re-arms the backoff schedule: the first
+         automatic dial may happen immediately *)
+      t.rc_attempt <- 0;
+      t.rc_next_at <- 0.0
 
 (* Advertise [cls] and (first) its supertype chain, so the broker can
    insert it into its lattice — supers-first is the topological order
@@ -118,7 +163,12 @@ let on_ack t pseq =
     else continue := false
   done
 
-let on_deliver t ~origin ~pseq ~cls ~envelope =
+(* [envelope] is a view into the frame decoder's buffer, valid for
+   this call only — long enough: the dedup/frontier check runs over
+   the view, so a duplicate from a pre-restart broker life is dropped
+   without copying a byte, and only a fresh delivery pays the one
+   materializing copy on its way into the application. *)
+let on_deliver t ~origin ~pseq ~cls ~(envelope : Proto.slice) =
   let seen =
     match Hashtbl.find_opt t.frontier origin with
     | Some f -> pseq <= f
@@ -129,7 +179,7 @@ let on_deliver t ~origin ~pseq ~cls ~envelope =
     Hashtbl.replace t.frontier origin pseq;
     Trace.Counter.incr t.c_delivered;
     (match t.inject with
-    | Some inject -> inject ~cls envelope
+    | Some inject -> inject ~cls (Proto.slice_to_string envelope)
     | None -> ());
     t.consumed <- t.consumed + 1;
     if t.consumed >= max 1 (t.window / 2) then begin
@@ -146,7 +196,7 @@ let on_msg t (m : Proto.msg) =
   | Proto.Pub_ack { pseq } -> on_ack t pseq
   | Proto.Credit { n } -> t.pub_credit <- t.pub_credit + n
   | Proto.Deliver { origin; pseq; cls; envelope } ->
-      on_deliver t ~origin ~pseq ~cls ~envelope
+      on_deliver t ~origin ~pseq ~cls ~envelope:(Proto.slice_of_string envelope)
   | Proto.Bye -> drop_conn t
   | Proto.Hello _ | Proto.Advertise _ | Proto.Sub _ | Proto.Unsub _
   | Proto.Pub _ ->
@@ -155,42 +205,25 @@ let on_msg t (m : Proto.msg) =
 let drain_incoming t conn =
   let continue = ref true in
   while !continue do
-    match Conn.pop conn with
-    | Conn.Msg m ->
+    match Conn.pop_view conn with
+    | Conn.View (Proto.V_deliver { origin; pseq; cls; envelope }) ->
+        (* the hot message, decoded in place over the decoder buffer:
+           no recv happens before on_deliver returns, so the envelope
+           view stays valid throughout *)
+        on_deliver t ~origin ~pseq ~cls ~envelope;
+        if t.conn == None then continue := false
+    | Conn.View (Proto.V_pub _) -> ()  (* brokers do not publish to us *)
+    | Conn.View (Proto.V_msg m) ->
         on_msg t m;
         if t.conn == None then continue := false
-    | Conn.Nothing -> continue := false
-    | Conn.Bad _ ->
+    | Conn.View Proto.V_none ->
+        (* pop_view reports undecodable frames as View_bad *)
+        assert false
+    | Conn.View_nothing -> continue := false
+    | Conn.View_bad _ ->
         drop_conn t;
         continue := false
   done
-
-(* One I/O turn. Returns [true] while the connection is up. *)
-let poll t ~timeout_ms =
-  match t.conn with
-  | None -> false
-  | Some conn -> (
-      let rds = [ Conn.fd conn ] in
-      let wrs = if Conn.pending_bytes conn > 0 then rds else [] in
-      let timeout = float_of_int timeout_ms /. 1000. in
-      (match Unix.select rds wrs [] timeout with
-      | rd, _, _ ->
-          if rd <> [] then begin
-            match Conn.recv conn with
-            | `Ok -> drain_incoming t conn
-            | `Blocked -> ()
-            | `Closed _ -> drop_conn t
-          end
-      | exception Unix.Unix_error (EINTR, _, _) -> ());
-      match t.conn with
-      | None -> false
-      | Some conn -> (
-          pump_send t;
-          match Conn.flush conn with
-          | `Ok | `Blocked -> true
-          | `Closed _ ->
-              drop_conn t;
-              false))
 
 (* --- dialing ----------------------------------------------------------- *)
 
@@ -264,6 +297,7 @@ let resync t =
       ignore (Conn.flush conn)
 
 let reconnect ?(timeout_ms = 2000) t =
+  t.user_closed <- false;
   drop_conn t;
   if dial t ~timeout_ms then begin
     Trace.Counter.incr t.c_reconnects;
@@ -272,39 +306,74 @@ let reconnect ?(timeout_ms = 2000) t =
   end
   else false
 
-(* Exponential backoff with decorrelating jitter for reconnect loops.
-   The schedule is a pure function of (policy, attempt, jitter draw)
-   so the unit tests can pin it down without sockets or sleeping. *)
-module Backoff = struct
-  type policy = {
-    base_ms : int;  (* delay before the first retry *)
-    factor : float;  (* growth per attempt *)
-    max_delay_ms : int;  (* exponential growth is capped here *)
-    jitter : float;  (* +/- fraction of the capped delay *)
-    max_retries : int;  (* attempts before giving up *)
-  }
+(* One scheduled re-dial, driven from {!poll} while disconnected. The
+   first attempt after a drop is immediate ([drop_conn] zeroes the
+   schedule); each failure books the next attempt one jittered
+   exponential step later, until the retry budget runs out — after
+   which only an explicit {!reconnect} re-arms the client. *)
+let auto_dial t ~timeout_ms =
+  match t.rc_policy with
+  | None -> ()
+  | Some p when t.user_closed || t.rc_attempt > p.Backoff.max_retries -> ()
+  | Some p ->
+      let now = Unix.gettimeofday () in
+      let now =
+        if now < t.rc_next_at then begin
+          (* not due yet: wait it out, but never past the caller's
+             poll budget — a pump loop keeps its cadence while
+             disconnected instead of busy-spinning *)
+          let budget = float_of_int (max 0 timeout_ms) /. 1000. in
+          let wait = Float.min (t.rc_next_at -. now) budget in
+          if wait > 0. then Unix.sleepf wait;
+          Unix.gettimeofday ()
+        end
+        else now
+      in
+      if now >= t.rc_next_at then begin
+        let n = t.rc_attempt in
+        (* on success [reconnect]'s drop_conn has already re-armed the
+           schedule for the next disconnect *)
+        if not (reconnect ~timeout_ms:t.rc_timeout_ms t) then begin
+          if n < p.Backoff.max_retries then begin
+            Trace.Counter.incr t.c_backoff_waits;
+            let d = Backoff.delay_ms p ~attempt:n ~u:(t.rc_rand ()) in
+            t.rc_next_at <-
+              Unix.gettimeofday () +. (float_of_int d /. 1000.)
+          end;
+          t.rc_attempt <- n + 1
+        end
+      end
 
-  let default =
-    {
-      base_ms = 100;
-      factor = 2.0;
-      max_delay_ms = 10_000;
-      jitter = 0.2;
-      max_retries = 8;
-    }
-
-  (* Delay before retry [attempt] (0-based). [u] is a uniform draw in
-     [0, 1): the jittered delay spans [(1 - jitter) * d, (1 + jitter)
-     * d], keeping a fleet of clients that died together from
-     re-dialing in lockstep. Never below 0. *)
-  let delay_ms p ~attempt ~u =
-    let d =
-      float_of_int p.base_ms *. (p.factor ** float_of_int (max 0 attempt))
-    in
-    let d = Float.min d (float_of_int p.max_delay_ms) in
-    let spread = (2.0 *. u -. 1.0) *. p.jitter *. d in
-    max 0 (int_of_float (d +. spread))
-end
+(* One I/O turn. Returns [true] while the connection is up. While it
+   is down and the client carries a backoff policy (the default),
+   poll itself drives the re-dials on the jittered exponential
+   schedule — callers just keep polling. *)
+let poll t ~timeout_ms =
+  (match t.conn with None -> auto_dial t ~timeout_ms | Some _ -> ());
+  match t.conn with
+  | None -> false
+  | Some conn -> (
+      let rds = [ Conn.fd conn ] in
+      let wrs = if Conn.pending_bytes conn > 0 then rds else [] in
+      let timeout = float_of_int timeout_ms /. 1000. in
+      (match Unix.select rds wrs [] timeout with
+      | rd, _, _ ->
+          if rd <> [] then begin
+            match Conn.recv conn with
+            | `Ok -> drain_incoming t conn
+            | `Blocked -> ()
+            | `Closed _ -> drop_conn t
+          end
+      | exception Unix.Unix_error (EINTR, _, _) -> ());
+      match t.conn with
+      | None -> false
+      | Some conn -> (
+          pump_send t;
+          match Conn.flush conn with
+          | `Ok | `Blocked -> true
+          | `Closed _ ->
+              drop_conn t;
+              false))
 
 (* Keep re-dialing under the backoff schedule until the broker is back
    or the policy's retry budget runs out. [sleep] and [rand] default
@@ -337,7 +406,8 @@ let reconnect_with_backoff ?(policy = Backoff.default) ?sleep ?rand
   attempt 0
 
 let connect ?(window = 64) ?(max_frame = Frame.default_max_frame)
-    ?(timeout_ms = 2000) ~host ~port ~id () =
+    ?(timeout_ms = 2000) ?(reconnect = `Backoff Backoff.default) ~host ~port
+    ~id () =
   let tr = Trace.ambient () in
   let t =
     {
@@ -357,6 +427,15 @@ let connect ?(window = 64) ?(max_frame = Frame.default_max_frame)
       consumed = 0;
       registry = None;
       inject = None;
+      rc_policy =
+        (match reconnect with `Backoff p -> Some p | `Manual -> None);
+      rc_attempt = 0;
+      rc_next_at = 0.0;
+      rc_rand =
+        (let state = Random.State.make_self_init () in
+         fun () -> Random.State.float state 1.0);
+      rc_timeout_ms = timeout_ms;
+      user_closed = false;
       c_pubs = Trace.counter tr "transport.client_pubs";
       c_acked = Trace.counter tr "transport.client_acked";
       c_delivered = Trace.counter tr "transport.delivered";
@@ -409,6 +488,7 @@ let unacked_count t = Queue.length t.unacked
 let queued_count t = Queue.length t.sendq + Queue.length t.unacked
 
 let close t =
+  t.user_closed <- true;
   (match t.conn with
   | Some conn ->
       Conn.send conn Proto.Bye;

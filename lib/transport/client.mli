@@ -23,39 +23,6 @@
 
 type t
 
-val connect :
-  ?window:int ->
-  ?max_frame:int ->
-  ?timeout_ms:int ->
-  host:string ->
-  port:int ->
-  id:string ->
-  unit ->
-  t option
-(** Dial and handshake. [id] must be unique among the broker's clients
-    and stable across reconnects (it keys publish deduplication).
-    [window] (default 64) is the delivery credit granted to the
-    broker. [None] if the broker is unreachable or the handshake times
-    out. *)
-
-val attach : t -> Tpbs_core.Pubsub.Domain.t -> Tpbs_core.Pubsub.Process.t -> unit
-(** Wire a domain through this connection
-    ({!Tpbs_core.Pubsub.Remote.connect}): call once, before any
-    channel is opened. *)
-
-val poll : t -> timeout_ms:int -> bool
-(** One I/O turn: wait up to [timeout_ms] for socket readiness, read
-    and dispatch deliveries/acks/credits, push queued publishes.
-    [false] when the connection is down — publishes queue locally
-    until {!reconnect} succeeds. *)
-
-val connected : t -> bool
-
-val reconnect : ?timeout_ms:int -> t -> bool
-(** One reconnection attempt. On success, re-advertises, re-subscribes
-    every live subscription, and retransmits all unacknowledged
-    publishes ahead of newer queued ones. *)
-
 (** Exponential backoff with jitter for reconnect loops. *)
 module Backoff : sig
   type policy = {
@@ -75,6 +42,50 @@ module Backoff : sig
       over ±[jitter] of itself. Pure — unit-testable without
       sleeping. *)
 end
+
+val connect :
+  ?window:int ->
+  ?max_frame:int ->
+  ?timeout_ms:int ->
+  ?reconnect:[ `Backoff of Backoff.policy | `Manual ] ->
+  host:string ->
+  port:int ->
+  id:string ->
+  unit ->
+  t option
+(** Dial and handshake. [id] must be unique among the broker's clients
+    and stable across reconnects (it keys publish deduplication).
+    [window] (default 64) is the delivery credit granted to the
+    broker. [None] if the broker is unreachable or the handshake times
+    out.
+
+    [reconnect] (default [`Backoff Backoff.default]) makes {!poll}
+    itself re-dial a dropped connection on the jittered exponential
+    schedule — the first attempt immediate, each failure booking the
+    next one later, until the retry budget runs out (after which only
+    an explicit {!reconnect} re-arms it; {!close} disarms it).
+    [`Manual] restores the caller-driven behaviour. *)
+
+val attach : t -> Tpbs_core.Pubsub.Domain.t -> Tpbs_core.Pubsub.Process.t -> unit
+(** Wire a domain through this connection
+    ({!Tpbs_core.Pubsub.Remote.connect}): call once, before any
+    channel is opened. *)
+
+val poll : t -> timeout_ms:int -> bool
+(** One I/O turn: wait up to [timeout_ms] for socket readiness, read
+    and dispatch deliveries/acks/credits, push queued publishes.
+    [false] when the connection is down — publishes queue locally
+    until a reconnect succeeds. Under the default [`Backoff] policy a
+    down connection is re-dialed from inside poll itself (waits are
+    bounded by [timeout_ms] per call and counted by
+    [transport.backoff_waits]); with [`Manual], call {!reconnect}. *)
+
+val connected : t -> bool
+
+val reconnect : ?timeout_ms:int -> t -> bool
+(** One reconnection attempt. On success, re-advertises, re-subscribes
+    every live subscription, and retransmits all unacknowledged
+    publishes ahead of newer queued ones. *)
 
 val reconnect_with_backoff :
   ?policy:Backoff.policy ->

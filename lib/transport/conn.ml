@@ -9,19 +9,38 @@ module Trace = Tpbs_trace.Trace
    a single TCP segment, usually) — the batching factor shows up as
    [transport.frames_sent] / [transport.write_syscalls].
 
+   Pending bytes live in a chunk queue rather than one flat buffer:
+   small frames coalesce into a shared accumulator chunk as before,
+   but a large {!Frame.preframed} fan-out frame is enqueued by
+   reference — the same immutable string queued on every subscriber
+   session, written to each socket with zero copies in userland.
+
    The read side is symmetric: [recv] does one [read] into a scratch
-   buffer and feeds the incremental {!Frame.Decoder}; [pop] then
-   yields zero or more complete messages. Short and partial reads are
-   the decoder's normal diet. *)
+   buffer and feeds the incremental {!Frame.Decoder}; [pop_view] then
+   yields zero or more complete messages, decoded in place over the
+   decoder's buffer. Short and partial reads are the decoder's normal
+   diet. *)
 
 type verdict = [ `Ok | `Blocked | `Closed of string ]
+
+(* A queued run of bytes: [data.[off ..]] remains to be written. Small
+   frames share an accumulator chunk; each large frame is its own
+   chunk, holding the (possibly shared) string by reference. *)
+type chunk = { data : string; mutable off : int }
+
+(* Frames at or below this size are coalesced (copied) into the
+   accumulator; larger ones are enqueued by reference. The threshold
+   trades one small memcpy for syscall batching: a burst of control
+   frames still leaves in one [write], while a big envelope — where
+   the copy would cost more than a syscall — goes out directly. *)
+let coalesce_limit = 4096
 
 type t = {
   fd : Unix.file_descr;
   dec : Frame.Decoder.t;
-  wbuf : Buffer.t;  (* frames accumulating for the next write *)
-  mutable inflight : string;  (* partially written chunk *)
-  mutable inflight_off : int;
+  wbuf : Buffer.t;  (* small frames accumulating for the next write *)
+  chunks : chunk Queue.t;  (* sealed runs, in send order *)
+  mutable chunk_bytes : int;  (* unwritten bytes across [chunks] *)
   scratch : Bytes.t;
   mutable closed : bool;
   mutable frames_sent : int;
@@ -35,6 +54,18 @@ type t = {
 (* Shared ambient-registry counters: every connection in the process
    feeds the same transport.* totals, re-resolved when tests swap the
    ambient registry. *)
+type ctrs = {
+  c_frames_sent : Trace.Counter.t;
+  c_frames_recv : Trace.Counter.t;
+  c_bytes_sent : Trace.Counter.t;
+  c_bytes_recv : Trace.Counter.t;
+  c_write_sys : Trace.Counter.t;
+  c_read_sys : Trace.Counter.t;
+  c_corrupt : Trace.Counter.t;
+  c_fanout_shared : Trace.Counter.t;
+  c_payload_copies : Trace.Counter.t;
+}
+
 let cached = ref None
 
 let counters () =
@@ -43,12 +74,17 @@ let counters () =
   | Some (tr', c) when tr' == tr -> c
   | _ ->
       let c =
-        ( Trace.counter tr "transport.frames_sent",
-          Trace.counter tr "transport.frames_received",
-          Trace.counter tr "transport.bytes_sent",
-          Trace.counter tr "transport.bytes_received",
-          Trace.counter tr "transport.write_syscalls",
-          Trace.counter tr "transport.corrupt_frames" )
+        {
+          c_frames_sent = Trace.counter tr "transport.frames_sent";
+          c_frames_recv = Trace.counter tr "transport.frames_received";
+          c_bytes_sent = Trace.counter tr "transport.bytes_sent";
+          c_bytes_recv = Trace.counter tr "transport.bytes_received";
+          c_write_sys = Trace.counter tr "transport.write_syscalls";
+          c_read_sys = Trace.counter tr "transport.read_syscalls";
+          c_corrupt = Trace.counter tr "transport.corrupt_frames";
+          c_fanout_shared = Trace.counter tr "transport.fanout_shared";
+          c_payload_copies = Trace.counter tr "transport.payload_copies";
+        }
       in
       cached := Some (tr, c);
       c
@@ -61,8 +97,8 @@ let create ?max_frame fd =
     fd;
     dec = Frame.Decoder.create ?max_frame ();
     wbuf = Buffer.create 4096;
-    inflight = "";
-    inflight_off = 0;
+    chunks = Queue.create ();
+    chunk_bytes = 0;
     scratch = Bytes.create 65536;
     closed = false;
     frames_sent = 0;
@@ -74,15 +110,46 @@ let create ?max_frame fd =
   }
 
 let fd t = t.fd
+let pending_bytes t = t.chunk_bytes + Buffer.length t.wbuf
 
-let pending_bytes t =
-  String.length t.inflight - t.inflight_off + Buffer.length t.wbuf
+(* Move the accumulator's contents to the back of the chunk queue, so
+   later chunks (and later accumulated frames) stay in send order. *)
+let seal t =
+  let n = Buffer.length t.wbuf in
+  if n > 0 then begin
+    Queue.push { data = Buffer.contents t.wbuf; off = 0 } t.chunks;
+    t.chunk_bytes <- t.chunk_bytes + n;
+    Buffer.clear t.wbuf
+  end
+
+let count_sent t =
+  t.frames_sent <- t.frames_sent + 1;
+  Trace.Counter.incr (counters ()).c_frames_sent
 
 let send t msg =
   Buffer.add_string t.wbuf (Frame.frame (Proto.encode msg));
-  t.frames_sent <- t.frames_sent + 1;
-  let c_fs, _, _, _, _, _ = counters () in
-  Trace.Counter.incr c_fs
+  count_sent t
+
+(* Enqueue an already-framed string. The string itself is immutable
+   and may be simultaneously queued on any number of connections —
+   that sharing is the whole point: the frame was encoded and CRC'd
+   once for the lot. Small frames still coalesce (one counted copy
+   into the accumulator) so fan-out of tiny envelopes keeps the
+   syscall batching; large frames ride by reference, copy-free. *)
+let send_preframed t pf =
+  let s = Frame.preframed_bytes pf in
+  let c = counters () in
+  Trace.Counter.incr c.c_fanout_shared;
+  if String.length s <= coalesce_limit then begin
+    Buffer.add_string t.wbuf s;
+    Trace.Counter.incr c.c_payload_copies
+  end
+  else begin
+    seal t;
+    Queue.push { data = s; off = 0 } t.chunks;
+    t.chunk_bytes <- t.chunk_bytes + String.length s
+  end;
+  count_sent t
 
 let close t =
   if not t.closed then begin
@@ -90,42 +157,41 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-(* Push pending bytes at the kernel until it blocks or we drain. *)
-let rec flush t : verdict =
+(* Push pending chunks at the kernel until it blocks or we drain. *)
+let flush t : verdict =
   if t.closed then `Closed "closed"
-  else if t.inflight_off < String.length t.inflight then begin
-    let len = String.length t.inflight - t.inflight_off in
-    match
-      Unix.write_substring t.fd t.inflight t.inflight_off len
-    with
-    | 0 -> `Blocked
-    | n ->
-        t.write_syscalls <- t.write_syscalls + 1;
-        t.bytes_sent <- t.bytes_sent + n;
-        let _, _, c_bs, _, c_ws, _ = counters () in
-        Trace.Counter.incr c_ws;
-        Trace.Counter.add c_bs n;
-        if n = len then begin
-          t.inflight <- "";
-          t.inflight_off <- 0;
-          flush t
-        end
-        else begin
-          t.inflight_off <- t.inflight_off + n;
-          `Blocked
-        end
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
-        `Blocked
-    | exception Unix.Unix_error (e, _, _) ->
-        `Closed (Unix.error_message e)
+  else begin
+    seal t;
+    let rec drain () =
+      match Queue.peek_opt t.chunks with
+      | None -> `Ok
+      | Some chunk -> (
+          let len = String.length chunk.data - chunk.off in
+          match Unix.write_substring t.fd chunk.data chunk.off len with
+          | 0 -> `Blocked
+          | n ->
+              t.write_syscalls <- t.write_syscalls + 1;
+              t.bytes_sent <- t.bytes_sent + n;
+              t.chunk_bytes <- t.chunk_bytes - n;
+              let c = counters () in
+              Trace.Counter.incr c.c_write_sys;
+              Trace.Counter.add c.c_bytes_sent n;
+              if n = len then begin
+                ignore (Queue.pop t.chunks);
+                drain ()
+              end
+              else begin
+                chunk.off <- chunk.off + n;
+                `Blocked
+              end
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
+            ->
+              `Blocked
+          | exception Unix.Unix_error (e, _, _) ->
+              `Closed (Unix.error_message e))
+    in
+    drain ()
   end
-  else if Buffer.length t.wbuf > 0 then begin
-    t.inflight <- Buffer.contents t.wbuf;
-    t.inflight_off <- 0;
-    Buffer.clear t.wbuf;
-    flush t
-  end
-  else `Ok
 
 (* One read syscall; feed whatever arrived to the decoder. *)
 let recv t : verdict =
@@ -136,8 +202,9 @@ let recv t : verdict =
     | n ->
         t.read_syscalls <- t.read_syscalls + 1;
         t.bytes_recv <- t.bytes_recv + n;
-        let _, _, _, c_br, _, _ = counters () in
-        Trace.Counter.add c_br n;
+        let c = counters () in
+        Trace.Counter.incr c.c_read_sys;
+        Trace.Counter.add c.c_bytes_recv n;
         Frame.Decoder.feed t.dec (Bytes.unsafe_to_string t.scratch) 0 n;
         `Ok
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
@@ -147,24 +214,41 @@ let recv t : verdict =
 
 type popped = Msg of Proto.msg | Nothing | Bad of string
 
-let pop t =
-  match Frame.Decoder.pop t.dec with
-  | Frame.Decoder.Await -> Nothing
-  | Frame.Decoder.Corrupt msg ->
-      let _, _, _, _, _, c_cf = counters () in
-      Trace.Counter.incr c_cf;
-      Bad msg
-  | Frame.Decoder.Frame payload -> (
-      match Proto.decode payload with
-      | Some m ->
+type popped_view =
+  | View of Proto.view
+  | View_nothing
+  | View_bad of string
+
+let pop_view t =
+  match Frame.Decoder.pop_view t.dec with
+  | Frame.Decoder.V_await -> View_nothing
+  | Frame.Decoder.V_corrupt msg ->
+      Trace.Counter.incr (counters ()).c_corrupt;
+      View_bad msg
+  | Frame.Decoder.V_frame (buf, off, len) -> (
+      match Proto.decode_view buf ~off ~len with
+      | Proto.V_none ->
+          Trace.Counter.incr (counters ()).c_corrupt;
+          View_bad "undecodable message"
+      | v ->
           t.frames_recv <- t.frames_recv + 1;
-          let _, c_fr, _, _, _, _ = counters () in
-          Trace.Counter.incr c_fr;
-          Msg m
-      | None ->
-          let _, _, _, _, _, c_cf = counters () in
-          Trace.Counter.incr c_cf;
-          Bad "undecodable message")
+          Trace.Counter.incr (counters ()).c_frames_recv;
+          View v)
+
+let pop t =
+  match pop_view t with
+  | View_nothing -> Nothing
+  | View_bad msg -> Bad msg
+  | View v -> (
+      match v with
+      | Proto.V_msg m -> Msg m
+      | Proto.V_pub { pseq; cls; envelope } ->
+          Msg (Proto.Pub { pseq; cls; envelope = Proto.slice_to_string envelope })
+      | Proto.V_deliver { origin; pseq; cls; envelope } ->
+          Msg
+            (Proto.Deliver
+               { origin; pseq; cls; envelope = Proto.slice_to_string envelope })
+      | Proto.V_none -> Bad "undecodable message")
 
 type stats = {
   frames_sent : int;

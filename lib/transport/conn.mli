@@ -22,6 +22,15 @@ val fd : t -> Unix.file_descr
 val send : t -> Proto.msg -> unit
 (** Queue a message. No I/O happens until {!flush}. *)
 
+val send_preframed : t -> Frame.preframed -> unit
+(** Queue an already-framed string without re-encoding or re-CRCing.
+    The same {!Frame.preframed} may be queued on any number of
+    connections simultaneously — fan-out costs one encode for the lot
+    (each enqueue bumps [transport.fanout_shared]). Frames larger than
+    the coalescing threshold are held by reference and written to the
+    socket with no userland copy; smaller ones are coalesced into the
+    accumulator (one counted copy) to preserve syscall batching. *)
+
 val flush : t -> verdict
 (** Write queued bytes until drained ([`Ok]), the kernel blocks
     ([`Blocked] — retry when the fd polls writable), or the peer is
@@ -42,6 +51,24 @@ type popped =
           connection (also counted by [transport.corrupt_frames]) *)
 
 val pop : t -> popped
+(** Materializing form of {!pop_view}: [Pub]/[Deliver] envelopes are
+    copied out of the decoder buffer (counted by
+    [transport.payload_copies]), so the message is stable across
+    later {!recv}s. *)
+
+type popped_view =
+  | View of Proto.view
+  | View_nothing  (** need more bytes *)
+  | View_bad of string
+      (** corrupt frame or undecodable message: fatal, close the
+          connection (also counted by [transport.corrupt_frames]) *)
+
+val pop_view : t -> popped_view
+(** Zero-copy pop: the frame payload is decoded in place over the
+    decoder's buffer, so [Pub]/[Deliver] envelopes come back as
+    {!Proto.slice} views. A view is only valid until the next {!recv}
+    on this connection — finish with it, or {!Proto.slice_to_string}
+    it, first. *)
 
 val close : t -> unit
 (** Idempotent. *)

@@ -29,6 +29,17 @@ let frame payload =
   Bytes.blit_string payload 0 b header_bytes n;
   Bytes.unsafe_to_string b
 
+(* A frame built once and shared by reference across any number of
+   connections: header + CRC are computed at construction, so fanning
+   an event out to N subscribers costs one encode and one CRC no
+   matter what N is. The type is abstract so only bytes that really
+   went through [frame] can be enqueued as-is on a socket. *)
+type preframed = string
+
+let preframed payload = frame payload
+let preframed_bytes (p : preframed) : string = p
+let preframed_length (p : preframed) = String.length p - header_bytes
+
 module Decoder = struct
   type t = {
     max_frame : int;
@@ -85,33 +96,54 @@ module Decoder = struct
 
   let feed_string t s = feed t s 0 (String.length s)
 
+  type view_result =
+    | V_frame of string * int * int
+    | V_await
+    | V_corrupt of string
+
   let condemn t msg =
     t.dead <- Some msg;
     (* the buffered tail is garbage now — drop it *)
-    t.len <- 0;
-    Corrupt msg
+    t.len <- 0
 
-  let pop t =
+  (* Zero-copy pop: the payload is handed out as an (buf, off, len)
+     view into the decoder's own buffer. The CRC is checked in place
+     ([Wire.crc32_sub]), so a valid frame costs no allocation at all.
+     The view aliases mutable storage — it is invalidated by the next
+     [feed] (which may compact or reallocate the buffer), so callers
+     must finish with it, or copy, before feeding again. *)
+  let pop_view t =
     match t.dead with
-    | Some msg -> Corrupt msg
+    | Some msg -> V_corrupt msg
     | None ->
-        if t.len < header_bytes then Await
+        if t.len < header_bytes then V_await
         else
           let n = Int32.to_int (Bytes.get_int32_le t.buf t.start) in
-          if n < 0 || n > t.max_frame then
-            condemn t (Printf.sprintf "frame length %d out of bounds" n)
-          else if t.len < header_bytes + n then Await
+          if n < 0 || n > t.max_frame then begin
+            let msg = Printf.sprintf "frame length %d out of bounds" n in
+            condemn t msg;
+            V_corrupt msg
+          end
+          else if t.len < header_bytes + n then V_await
           else
             let crc = Bytes.get_int32_le t.buf (t.start + 4) in
-            let payload =
-              Bytes.sub_string t.buf (t.start + header_bytes) n
-            in
-            if Wire.crc32 payload <> crc then condemn t "frame crc mismatch"
+            let src = Bytes.unsafe_to_string t.buf in
+            let off = t.start + header_bytes in
+            if Wire.crc32_sub src ~pos:off ~len:n <> crc then begin
+              condemn t "frame crc mismatch";
+              V_corrupt "frame crc mismatch"
+            end
             else begin
               t.start <- t.start + header_bytes + n;
               t.len <- t.len - header_bytes - n;
               if t.len = 0 then t.start <- 0;
               t.frames <- t.frames + 1;
-              Frame payload
+              V_frame (src, off, n)
             end
+
+  let pop t =
+    match pop_view t with
+    | V_await -> Await
+    | V_corrupt msg -> Corrupt msg
+    | V_frame (src, off, len) -> Frame (String.sub src off len)
 end

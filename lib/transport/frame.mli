@@ -14,6 +14,22 @@ val default_max_frame : int
 val frame : string -> string
 (** Wrap a payload in a frame header. *)
 
+type preframed
+(** A frame built once and shared by reference across any number of
+    connections: the fan-out currency of the encode-once delivery
+    path. Abstract so only bytes that really carry a valid header +
+    CRC can bypass per-connection encoding. *)
+
+val preframed : string -> preframed
+(** [preframed payload] = {!frame}[ payload], typed for sharing. One
+    encode + one CRC here covers every connection it is sent on. *)
+
+val preframed_bytes : preframed -> string
+(** The raw framed bytes (header included), ready for the socket. *)
+
+val preframed_length : preframed -> int
+(** Payload length (header excluded). *)
+
 (** Incremental, fd-free frame parser. Feed it whatever the socket
     returned — a byte at a time if need be — and pop complete frames.
     Corruption is sticky: once a frame is condemned, every later [pop]
@@ -35,7 +51,22 @@ module Decoder : sig
 
   val pop : t -> result
   (** Extract the next complete frame: [Await] means feed more bytes,
-      [Corrupt] is fatal for the connection. *)
+      [Corrupt] is fatal for the connection. Copies the payload out;
+      {!pop_view} is the allocation-free form. *)
+
+  type view_result =
+    | V_frame of string * int * int
+        (** [(buf, off, len)]: payload view into the decoder's own
+            buffer. *)
+    | V_await
+    | V_corrupt of string
+
+  val pop_view : t -> view_result
+  (** Like {!pop} but zero-copy: the payload is a slice of the
+      decoder's internal buffer and the CRC is checked in place. The
+      view is only valid until the next {!feed} (which may compact or
+      reallocate the buffer) — finish with it, or copy, before feeding
+      again. *)
 
   val buffered : t -> int
   (** Unconsumed bytes currently held. *)

@@ -1,5 +1,7 @@
 module Value = Tpbs_serial.Value
 module Codec = Tpbs_serial.Codec
+module Wire = Tpbs_serial.Wire
+module Trace = Tpbs_trace.Trace
 
 (* The broker protocol. One message per frame, encoded as an ordinary
    [Value] through [Codec] — the transport speaks the same wire
@@ -84,12 +86,161 @@ let of_value v =
       | _ -> None)
   | _ -> None
 
-let encode m = Codec.encode (to_value m)
+(* Ambient-registry counters, re-resolved when the ambient trace
+   registry is swapped (benches and tests do this between runs).
+   [transport.deliver_encodes] counts every full Deliver encode — the
+   quantity the encode-once fan-out makes independent of subscriber
+   count — and [transport.payload_copies] counts each time a payload
+   slice is materialized into a fresh string. *)
+let cached = ref None
+
+let counters () =
+  let tr = Trace.ambient () in
+  match !cached with
+  | Some (tr', cs) when tr' == tr -> cs
+  | Some _ | None ->
+      let cs =
+        ( Trace.counter tr "transport.deliver_encodes",
+          Trace.counter tr "transport.payload_copies" )
+      in
+      cached := Some (tr, cs);
+      cs
+
+let count_deliver_encode () = Trace.Counter.incr (fst (counters ()))
+let count_payload_copy () = Trace.Counter.incr (snd (counters ()))
+
+let encode m =
+  (match m with Deliver _ -> count_deliver_encode () | _ -> ());
+  Codec.encode (to_value m)
 
 let decode s =
   match Codec.decode s with
   | v -> of_value v
   | exception Codec.Decode_error _ -> None
+
+(* --- zero-copy payload views ----------------------------------------- *)
+
+type slice = { sl_buf : string; sl_off : int; sl_len : int }
+
+let slice_of_string s = { sl_buf = s; sl_off = 0; sl_len = String.length s }
+
+let slice_to_string sl =
+  if sl.sl_off = 0 && sl.sl_len = String.length sl.sl_buf then sl.sl_buf
+  else begin
+    count_payload_copy ();
+    String.sub sl.sl_buf sl.sl_off sl.sl_len
+  end
+
+(* Encode + frame + CRC a Deliver exactly once, around the envelope
+   slice, producing bytes identical to
+   [Frame.frame (encode (Deliver {origin; pseq; cls; envelope}))] —
+   the Deliver wire shape carries no per-session field, so one
+   preframed string serves every subscriber. *)
+let encode_deliver ~origin ~pseq ~cls (envelope : slice) =
+  count_deliver_encode ();
+  let w = Wire.Writer.create ~capacity:(envelope.sl_len + 64) () in
+  Codec.encode_list_header w 5;
+  Codec.encode_into w (Value.Str "dlv");
+  Codec.encode_into w (Value.Str origin);
+  Codec.encode_into w (Value.Int pseq);
+  Codec.encode_into w (Value.Str cls);
+  Codec.encode_str_sub w envelope.sl_buf ~pos:envelope.sl_off
+    ~len:envelope.sl_len;
+  Frame.preframed (Wire.Writer.contents w)
+
+type view =
+  | V_pub of { pseq : int; cls : string; envelope : slice }
+  | V_deliver of { origin : string; pseq : int; cls : string; envelope : slice }
+  | V_msg of msg
+  | V_none
+
+(* Parse one payload slice in place. The hot shapes — Pub and Deliver,
+   the only messages that carry an envelope — are taken apart
+   piecewise so the envelope stays a view into [buf]; everything else
+   goes through the ordinary full decode (control messages are tiny).
+   Any structural surprise falls back to the full decode, whose answer
+   is authoritative. *)
+let decode_view buf ~off ~len =
+  let fallback () =
+    let r = Wire.Reader.of_substring buf ~off ~len in
+    match Codec.decode_prefix r with
+    | v -> (
+        if not (Wire.Reader.at_end r) then V_none
+        else match of_value v with Some m -> V_msg m | None -> V_none)
+    | exception Codec.Decode_error _ -> V_none
+  in
+  let r = Wire.Reader.of_substring buf ~off ~len in
+  let str_field r =
+    match Codec.str_pos r with
+    | Some (pos, len) -> Some (String.sub buf pos len)
+    | None -> None
+  in
+  match
+    (try
+       match Codec.list_header r with
+       | Some arity when arity >= 1 -> (
+           match str_field r with
+           | Some tag -> Some (tag, arity)
+           | None -> None)
+       | _ -> None
+     with
+    | Wire.Truncated _ | Wire.Malformed _ | Codec.Decode_error _ -> None)
+  with
+  | Some ("pub", 4) -> (
+      match
+        (try
+           match Codec.int_prefix r with
+           | None -> None
+           | Some pseq -> (
+               match str_field r with
+               | None -> None
+               | Some cls -> (
+                   match Codec.str_pos r with
+                   | Some (ep, el) when Wire.Reader.at_end r ->
+                       Some
+                         (V_pub
+                            {
+                              pseq;
+                              cls;
+                              envelope =
+                                { sl_buf = buf; sl_off = ep; sl_len = el };
+                            })
+                   | _ -> None))
+         with
+        | Wire.Truncated _ | Wire.Malformed _ | Codec.Decode_error _ -> None)
+      with
+      | Some v -> v
+      | None -> fallback ())
+  | Some ("dlv", 5) -> (
+      match
+        (try
+           match str_field r with
+           | None -> None
+           | Some origin -> (
+               match Codec.int_prefix r with
+               | None -> None
+               | Some pseq -> (
+                   match str_field r with
+                   | None -> None
+                   | Some cls -> (
+                       match Codec.str_pos r with
+                       | Some (ep, el) when Wire.Reader.at_end r ->
+                           Some
+                             (V_deliver
+                                {
+                                  origin;
+                                  pseq;
+                                  cls;
+                                  envelope =
+                                    { sl_buf = buf; sl_off = ep; sl_len = el };
+                                })
+                       | _ -> None)))
+         with
+        | Wire.Truncated _ | Wire.Malformed _ | Codec.Decode_error _ -> None)
+      with
+      | Some v -> v
+      | None -> fallback ())
+  | _ -> fallback ()
 
 let tag = function
   | Hello _ -> "hello"

@@ -31,8 +31,52 @@ type msg =
   | Bye
 
 val encode : msg -> string
+(** Encoding a [Deliver] bumps the ambient [transport.deliver_encodes]
+    counter — {!encode_deliver} bumps it once for the whole fan-out,
+    which is what makes "one encode per publish" checkable. *)
+
 val decode : string -> msg option
 (** [None] on undecodable bytes or an unknown message shape. *)
+
+(** {1 Zero-copy payload views}
+
+    [Pub] and [Deliver] are the only messages that carry an envelope,
+    and the envelope dominates their size. These entry points keep it
+    a [(buf, off, len)] view end to end: {!decode_view} parses a
+    frame payload in place, and {!encode_deliver} encodes + frames +
+    CRCs a [Deliver] around the slice exactly once for any number of
+    subscribers. *)
+
+type slice = { sl_buf : string; sl_off : int; sl_len : int }
+(** A byte view [sl_buf.[sl_off .. sl_off+sl_len-1]]. Views produced
+    by {!decode_view} over a decoder buffer are only valid until the
+    next feed — copy ({!slice_to_string}) anything that outlives the
+    read loop iteration. *)
+
+val slice_of_string : string -> slice
+val slice_to_string : slice -> string
+(** Materialize the slice. A proper sub-slice costs one copy and bumps
+    the ambient [transport.payload_copies] counter; a whole-buffer
+    slice is returned as-is for free. *)
+
+val encode_deliver :
+  origin:string -> pseq:int -> cls:string -> slice -> Frame.preframed
+(** One encode + one CRC, byte-identical to
+    [Frame.frame (encode (Deliver ...))] with the slice contents as
+    envelope. The Deliver wire shape carries no per-session field, so
+    the result serves every subscriber of the publish. *)
+
+type view =
+  | V_pub of { pseq : int; cls : string; envelope : slice }
+  | V_deliver of { origin : string; pseq : int; cls : string; envelope : slice }
+  | V_msg of msg  (** any other (small) message, fully decoded *)
+  | V_none  (** undecodable bytes or an unknown shape *)
+
+val decode_view : string -> off:int -> len:int -> view
+(** Parse one frame payload in place: [Pub]/[Deliver] envelopes come
+    back as views into the argument buffer, everything else decodes
+    fully. Agrees with {!decode} on every input (with [V_none] playing
+    [None]). *)
 
 val to_value : msg -> Tpbs_serial.Value.t
 val of_value : Tpbs_serial.Value.t -> msg option

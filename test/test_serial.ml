@@ -228,6 +228,37 @@ let test_cursor_malformed_raises () =
   let whole = Codec.encode (Value.obj "C" [ "g", Value.Str "hello" ]) in
   check_raises "truncated" (String.sub whole 0 (String.length whole - 2))
 
+let test_cursor_of_substring () =
+  (* A cursor over a slice of a larger buffer (the zero-copy transport
+     path: an envelope parked inside a frame) behaves exactly like one
+     over the extracted string. *)
+  let v = Value.obj "Order" [ "qty", Value.Int 4; "tag", Value.Str "x" ] in
+  let enc = Codec.encode v in
+  let padded = "junk-before" ^ enc ^ "junk-after" in
+  let c = Cursor.of_substring padded ~off:11 ~len:(String.length enc) in
+  Alcotest.(check string) "bytes materializes the slice" enc (Cursor.bytes c);
+  Alcotest.(check (option string)) "class id through the slice"
+    (Some "Order") (Cursor.class_id c);
+  Alcotest.(check (option value_testable)) "projection through the slice"
+    (Some (Value.Int 4))
+    (Cursor.project c [ "qty" ]);
+  Alcotest.(check value_testable) "full decode through the slice" v
+    (Cursor.to_value c);
+  (* The slice length is authoritative: bytes beyond it are trailing
+     garbage, not silently ignored. *)
+  (match
+     Cursor.to_value
+       (Cursor.of_substring padded ~off:11 ~len:(String.length enc + 3))
+   with
+  | exception Codec.Decode_error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes inside the slice must be rejected");
+  List.iter
+    (fun (off, len) ->
+      match Cursor.of_substring padded ~off ~len with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "bounds (%d, %d) must be rejected" off len)
+    [ (-1, 4); (0, -1); (0, String.length padded + 1); (String.length padded, 1) ]
+
 let test_cursor_counters () =
   let v = Value.obj "C" [ "f", Value.Int 1 ] in
   let c = Cursor.of_string (Codec.encode v) in
@@ -400,7 +431,9 @@ let suite =
         test_cursor_projection_examples;
       Alcotest.test_case "cursor rejects malformed input" `Quick
         test_cursor_malformed_raises;
-      Alcotest.test_case "cursor decode counters" `Quick test_cursor_counters ]
+      Alcotest.test_case "cursor decode counters" `Quick test_cursor_counters;
+      Alcotest.test_case "cursor over a substring slice" `Quick
+        test_cursor_of_substring ]
     @ List.map QCheck_alcotest.to_alcotest
         [ prop_cursor_agrees_with_decode; prop_roundtrip; prop_encoded_size;
           prop_frame;

@@ -3,6 +3,7 @@
 
 module Frame = Tpbs_transport.Frame
 module Proto = Tpbs_transport.Proto
+module Conn = Tpbs_transport.Conn
 module Broker = Tpbs_transport.Broker
 module Client = Tpbs_transport.Client
 module Value = Tpbs_serial.Value
@@ -536,6 +537,371 @@ let test_reconnect_with_backoff () =
        (Trace.counter (Trace.ambient ()) "transport.backoff_waits"));
   Client.close ctx.client
 
+(* --- encode-once shared frames and zero-copy views -------------------- *)
+
+let slice_of ~buf ~off ~len = { Proto.sl_buf = buf; sl_off = off; sl_len = len }
+
+(* The shared-frame encoder against its oracle: byte-identical to the
+   per-session path for any origin/pseq/cls/envelope, including
+   envelopes handed over as proper slices of a larger buffer. *)
+let test_preframed_oracle =
+  QCheck.Test.make ~name:"encode_deliver = frame (encode (Deliver ...))"
+    ~count:300
+    QCheck.(
+      quad small_string small_nat small_string
+        (triple
+           (string_of_size (Gen.int_range 0 300))
+           (int_bound 16) (int_bound 16)))
+    (fun (origin, pseq, cls, (env, padl, padr)) ->
+      let buf = String.make padl 'L' ^ env ^ String.make padr 'R' in
+      let slice = slice_of ~buf ~off:padl ~len:(String.length env) in
+      let pf = Proto.encode_deliver ~origin ~pseq ~cls slice in
+      let oracle =
+        Frame.frame (Proto.encode (Deliver { origin; pseq; cls; envelope = env }))
+      in
+      Frame.preframed_bytes pf = oracle
+      && Frame.preframed_length pf = String.length oracle - Frame.header_bytes)
+
+(* pop_view and pop must agree frame for frame under arbitrary feed
+   chunking — same payloads, same order, same Await points. *)
+let test_decoder_view_agrees_with_pop =
+  QCheck.Test.make ~name:"decoder pop_view agrees with pop" ~count:200
+    QCheck.(
+      pair
+        (small_list (string_of_size (Gen.int_range 0 80)))
+        (list_of_size (Gen.int_range 1 16) (int_bound 40)))
+    (fun (payloads, cuts) ->
+      let stream = String.concat "" (List.map Frame.frame payloads) in
+      let d_copy = Frame.Decoder.create () in
+      let d_view = Frame.Decoder.create () in
+      let got_copy = ref [] and got_view = ref [] in
+      let drain_copy () =
+        let rec go () =
+          match Frame.Decoder.pop d_copy with
+          | Frame.Decoder.Frame s ->
+              got_copy := s :: !got_copy;
+              go ()
+          | Frame.Decoder.Await -> ()
+          | Frame.Decoder.Corrupt m -> QCheck.Test.fail_reportf "copy corrupt: %s" m
+        in
+        go ()
+      in
+      let drain_view () =
+        let rec go () =
+          match Frame.Decoder.pop_view d_view with
+          | Frame.Decoder.V_frame (buf, off, len) ->
+              (* views die at the next feed: materialize now *)
+              got_view := String.sub buf off len :: !got_view;
+              go ()
+          | Frame.Decoder.V_await -> ()
+          | Frame.Decoder.V_corrupt m ->
+              QCheck.Test.fail_reportf "view corrupt: %s" m
+        in
+        go ()
+      in
+      let pos = ref 0 in
+      let feed len =
+        let len = min len (String.length stream - !pos) in
+        Frame.Decoder.feed d_copy stream !pos len;
+        Frame.Decoder.feed d_view stream !pos len;
+        pos := !pos + len;
+        drain_copy ();
+        drain_view ()
+      in
+      List.iter feed cuts;
+      feed (String.length stream - !pos);
+      List.rev !got_copy = payloads && !got_copy = !got_view)
+
+let test_decoder_view_corrupt_matches_pop () =
+  (* A flipped payload byte condemns both forms identically, and both
+     stay condemned. *)
+  let mk () =
+    let f = Bytes.of_string (Frame.frame "abcdef" ^ Frame.frame "ghijkl") in
+    Bytes.set f Frame.header_bytes 'X';
+    Bytes.to_string f
+  in
+  let d_copy = Frame.Decoder.create () in
+  let d_view = Frame.Decoder.create () in
+  Frame.Decoder.feed_string d_copy (mk ());
+  Frame.Decoder.feed_string d_view (mk ());
+  let copy_msg =
+    match Frame.Decoder.pop d_copy with
+    | Frame.Decoder.Corrupt m -> m
+    | _ -> Alcotest.fail "pop must report corruption"
+  in
+  (match Frame.Decoder.pop_view d_view with
+  | Frame.Decoder.V_corrupt m ->
+      Alcotest.(check string) "same condemnation" copy_msg m
+  | _ -> Alcotest.fail "pop_view must report corruption");
+  Frame.Decoder.feed_string d_view (Frame.frame "late");
+  (match Frame.Decoder.pop_view d_view with
+  | Frame.Decoder.V_corrupt _ -> ()
+  | _ -> Alcotest.fail "condemnation must be sticky through pop_view")
+
+let test_decode_view_agrees_with_decode () =
+  (* Over every protocol message and every garbage sample, the in-place
+     view parse and the full decode tell the same story — also when the
+     payload sits mid-buffer. *)
+  let agree s =
+    let pad = "\xaa\xbb\xcc" in
+    let padded = pad ^ s ^ pad in
+    List.iter
+      (fun (buf, off) ->
+        match
+          ( Proto.decode s,
+            Proto.decode_view buf ~off ~len:(String.length s) )
+        with
+        | None, Proto.V_none -> ()
+        | Some (Proto.Pub { pseq; cls; envelope }),
+          Proto.V_pub { pseq = p; cls = c; envelope = e } ->
+            Alcotest.(check bool) "pub fields" true (p = pseq && c = cls);
+            Alcotest.(check string) "pub envelope" envelope
+              (Proto.slice_to_string e)
+        | Some (Proto.Deliver { origin; pseq; cls; envelope }),
+          Proto.V_deliver { origin = o; pseq = p; cls = c; envelope = e } ->
+            Alcotest.(check bool) "deliver fields" true
+              (o = origin && p = pseq && c = cls);
+            Alcotest.(check string) "deliver envelope" envelope
+              (Proto.slice_to_string e)
+        | Some m, Proto.V_msg m' ->
+            Alcotest.(check bool) (Proto.tag m) true (m = m')
+        | _, _ -> Alcotest.fail "decode_view disagrees with decode")
+      [ (s, 0); (padded, String.length pad) ]
+  in
+  List.iter (fun m -> agree (Proto.encode m)) all_msgs;
+  List.iter agree
+    [ ""; "\xff\xff\xff"; Codec.encode (Value.Str "not a message");
+      Codec.encode (Value.List [ Value.Str "unknown-tag"; Value.Int 1 ]);
+      Codec.encode (Value.List [ Value.Str "pub"; Value.Str "wrong shape" ]) ]
+
+let test_chunk_queue_order_under_partial_writes () =
+  (* Interleave small coalesced messages with large by-reference shared
+     frames through a socketpair whose send buffer is clamped small, so
+     flush hits partial writes and blocked chunks — the peer must see
+     every frame, in enqueue order, bit-exact. *)
+  Trace.set_ambient (Trace.create ());
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Unix.setsockopt_int a SO_SNDBUF 4096;
+  let conn = Conn.create ~max_frame:(1 lsl 20) a in
+  let expected = ref [] in
+  for i = 0 to 23 do
+    if i mod 3 = 0 then begin
+      (* unique big envelope: takes the chunk-queue reference path *)
+      let env = String.init 6000 (fun j -> Char.chr ((i + j) land 0xff)) in
+      let pf =
+        Proto.encode_deliver ~origin:"pub" ~pseq:i ~cls:"TQuote"
+          (slice_of ~buf:env ~off:0 ~len:(String.length env))
+      in
+      Conn.send_preframed conn pf;
+      let s = Frame.preframed_bytes pf in
+      expected :=
+        String.sub s Frame.header_bytes (Frame.preframed_length pf)
+        :: !expected
+    end
+    else begin
+      let m = Proto.Credit { n = i } in
+      Conn.send conn m;
+      expected := Proto.encode m :: !expected
+    end
+  done;
+  let expected = List.rev !expected in
+  let dec = Frame.Decoder.create ~max_frame:(1 lsl 20) () in
+  let got = ref [] in
+  let rbuf = Bytes.create 777 in
+  let read_some () =
+    match Unix.read b rbuf 0 (Bytes.length rbuf) with
+    | 0 -> false
+    | k ->
+        Frame.Decoder.feed_string dec (Bytes.sub_string rbuf 0 k);
+        let rec drain () =
+          match Frame.Decoder.pop dec with
+          | Frame.Decoder.Frame s ->
+              got := s :: !got;
+              drain ()
+          | Frame.Decoder.Await -> ()
+          | Frame.Decoder.Corrupt m -> Alcotest.failf "corrupt stream: %s" m
+        in
+        drain ();
+        true
+  in
+  let rec pump guard =
+    if guard = 0 then Alcotest.fail "flush never drained";
+    match Conn.flush conn with
+    | `Ok -> ()
+    | `Blocked ->
+        ignore (read_some ());
+        pump (guard - 1)
+    | `Closed m -> Alcotest.failf "writer closed: %s" m
+  in
+  pump 10_000;
+  Alcotest.(check int) "nothing left queued" 0 (Conn.pending_bytes conn);
+  Unix.shutdown a Unix.SHUTDOWN_SEND;
+  while read_some () do
+    ()
+  done;
+  Alcotest.(check int) "every frame arrived" (List.length expected)
+    (List.length !got);
+  Alcotest.(check bool) "in order, bit-exact" true (List.rev !got = expected);
+  Unix.close a;
+  Unix.close b
+
+let test_syscall_stats_balance () =
+  (* The ambient transport.read_syscalls / write_syscalls counters must
+     equal the sum of the per-connection stats over every live
+     connection in the registry's lifetime. *)
+  Trace.set_ambient (Trace.create ());
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  let ca = Conn.create a and cb = Conn.create b in
+  let wait_readable fd = ignore (Unix.select [ fd ] [] [] 2.0) in
+  let pump_across src dst n =
+    for i = 1 to n do
+      Conn.send src (Proto.Credit { n = i })
+    done;
+    (match Conn.flush src with
+    | `Ok -> ()
+    | _ -> Alcotest.fail "flush did not drain");
+    let seen = ref 0 in
+    while !seen < n do
+      wait_readable (Conn.fd dst);
+      (match Conn.recv dst with
+      | `Ok -> ()
+      | `Blocked -> ()
+      | `Closed m -> Alcotest.failf "peer closed: %s" m);
+      let rec drain () =
+        match Conn.pop dst with
+        | Conn.Msg _ ->
+            incr seen;
+            drain ()
+        | Conn.Nothing -> ()
+        | Conn.Bad m -> Alcotest.failf "bad frame: %s" m
+      in
+      drain ()
+    done
+  in
+  pump_across ca cb 5;
+  pump_across cb ca 3;
+  let sa = Conn.stats ca and sb = Conn.stats cb in
+  let ambient name =
+    Trace.Counter.value (Trace.counter (Trace.ambient ()) name)
+  in
+  Alcotest.(check int) "write syscalls balance"
+    (sa.Conn.write_syscalls + sb.Conn.write_syscalls)
+    (ambient "transport.write_syscalls");
+  Alcotest.(check int) "read syscalls balance"
+    (sa.Conn.read_syscalls + sb.Conn.read_syscalls)
+    (ambient "transport.read_syscalls");
+  Alcotest.(check int) "frames sent balance"
+    (sa.Conn.frames_sent + sb.Conn.frames_sent)
+    (ambient "transport.frames_sent");
+  Alcotest.(check int) "frames received balance"
+    (sa.Conn.frames_received + sb.Conn.frames_received)
+    (ambient "transport.frames_received");
+  Alcotest.(check int) "bytes sent balance"
+    (sa.Conn.bytes_sent + sb.Conn.bytes_sent)
+    (ambient "transport.bytes_sent");
+  Alcotest.(check bool) "read syscalls happened" true
+    (ambient "transport.read_syscalls" > 0);
+  Conn.close ca;
+  Conn.close cb
+
+(* In-process broker with raw connections: the encode-once ledger.
+   [shared_frames] on, K subscribers and P publishes cost exactly P
+   Deliver encodes and P*K shared enqueues; off, P*K encodes. *)
+let run_fanout_counters ~shared ~subs ~pubs =
+  Trace.set_ambient (Trace.create ());
+  let config = { instant_config with Broker.shared_frames = shared } in
+  let broker = Broker.create ~config ~port:0 () in
+  let port = Broker.port broker in
+  let dial id window =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+    let c = Conn.create fd in
+    Conn.send c (Proto.Hello { client = id; window });
+    c
+  in
+  let sub_conns =
+    List.init subs (fun k ->
+        ignore (Broker.poll broker ~timeout_ms:0 ());
+        let c = dial (Printf.sprintf "s%d" k) 1_000_000 in
+        Conn.send c (Proto.Sub { sid = k; param = "TQuote"; filter = Value.Null });
+        ignore (Conn.flush c);
+        c)
+  in
+  let pub = dial "pub" 0 in
+  Conn.send pub (Proto.Advertise { cls = "TQuote"; supers = [] });
+  ignore (Conn.flush pub);
+  let envelope i =
+    Codec.encode
+      (Value.List
+         [ Value.Int 0; Value.Int 1; Value.Int i;
+           Value.Str (Codec.encode (Value.obj "TQuote" [ ("seq", Value.Int i) ]))
+         ])
+  in
+  let delivered = ref 0 in
+  let credit = ref 0 and sent = ref 0 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while !delivered < pubs * subs && Unix.gettimeofday () < deadline do
+    ignore (Broker.poll broker ~timeout_ms:0 ());
+    while !credit > 0 && !sent < pubs do
+      Conn.send pub (Proto.Pub { pseq = !sent; cls = "TQuote"; envelope = envelope !sent });
+      incr sent;
+      decr credit
+    done;
+    ignore (Conn.flush pub);
+    (match Conn.recv pub with
+    | `Ok ->
+        let rec drain () =
+          match Conn.pop pub with
+          | Conn.Msg (Proto.Welcome { window }) ->
+              credit := window;
+              drain ()
+          | Conn.Msg (Proto.Credit { n }) ->
+              credit := !credit + n;
+              drain ()
+          | Conn.Msg _ -> drain ()
+          | Conn.Nothing -> ()
+          | Conn.Bad m -> Alcotest.failf "publisher: %s" m
+        in
+        drain ()
+    | `Blocked -> ()
+    | `Closed m -> Alcotest.failf "publisher closed: %s" m);
+    List.iter
+      (fun c ->
+        match Conn.recv c with
+        | `Ok ->
+            let rec drain () =
+              match Conn.pop c with
+              | Conn.Msg (Proto.Deliver _) ->
+                  incr delivered;
+                  drain ()
+              | Conn.Msg _ -> drain ()
+              | Conn.Nothing -> ()
+              | Conn.Bad m -> Alcotest.failf "subscriber: %s" m
+            in
+            drain ()
+        | `Blocked -> ()
+        | `Closed m -> Alcotest.failf "subscriber closed: %s" m)
+      sub_conns
+  done;
+  Alcotest.(check int) "all deliveries arrived" (pubs * subs) !delivered;
+  List.iter Conn.close sub_conns;
+  Conn.close pub;
+  Broker.stop broker;
+  let v name = Trace.Counter.value (Trace.counter (Trace.ambient ()) name) in
+  (v "transport.deliver_encodes", v "transport.fanout_shared")
+
+let test_broker_encode_once_counters () =
+  let encodes, shared_enqueues =
+    run_fanout_counters ~shared:true ~subs:4 ~pubs:10
+  in
+  Alcotest.(check int) "one encode per publish, independent of K" 10 encodes;
+  Alcotest.(check int) "every enqueue shares the frame" 40 shared_enqueues;
+  let encodes, shared_enqueues =
+    run_fanout_counters ~shared:false ~subs:4 ~pubs:10
+  in
+  Alcotest.(check int) "baseline pays one encode per subscriber" 40 encodes;
+  Alcotest.(check int) "baseline never shares" 0 shared_enqueues
+
 let suite =
   ( "transport",
     [ Alcotest.test_case "framing roundtrip" `Quick test_frame_roundtrip;
@@ -564,4 +930,16 @@ let suite =
       Alcotest.test_case "backoff schedule is exponential, capped, jittered"
         `Quick test_backoff_schedule;
       Alcotest.test_case "reconnect with backoff: recover, then give up"
-        `Quick test_reconnect_with_backoff ] )
+        `Quick test_reconnect_with_backoff;
+      QCheck_alcotest.to_alcotest test_preframed_oracle;
+      QCheck_alcotest.to_alcotest test_decoder_view_agrees_with_pop;
+      Alcotest.test_case "decoder view corruption matches pop" `Quick
+        test_decoder_view_corrupt_matches_pop;
+      Alcotest.test_case "decode_view agrees with decode" `Quick
+        test_decode_view_agrees_with_decode;
+      Alcotest.test_case "chunk queue keeps order under partial writes"
+        `Quick test_chunk_queue_order_under_partial_writes;
+      Alcotest.test_case "ambient syscall counters balance per-conn stats"
+        `Quick test_syscall_stats_balance;
+      Alcotest.test_case "broker fan-out encodes once per publish" `Quick
+        test_broker_encode_once_counters ] )
